@@ -1,0 +1,81 @@
+// Experiment E8a — ablation of the misprediction analysis (Section 8):
+// how the cost penalty decomposes over the M1/M2/M3 regimes, and how
+// tight the paper's bound λ|M2| + (2-α)λ|M3| is in practice.
+//
+// For each (alpha, accuracy) cell we measure: the misprediction counts,
+// the realized cost increase over the oracle run (allocation totals on
+// the same trace), the bound, and their quotient (tightness).
+//
+// Expected shapes: M1 mispredictions are free; the realized increase
+// never exceeds the bound; the bound loosens (quotient drops) as alpha
+// grows because (2-α)λ over-charges benign M3 flips.
+#include <iostream>
+
+#include "analysis/allocation.hpp"
+#include "analysis/misprediction.hpp"
+#include "bench_util.hpp"
+#include "core/drwp.hpp"
+#include "core/simulator.hpp"
+#include "offline/opt_lower_bound.hpp"
+#include "predictor/noisy.hpp"
+#include "predictor/oracle.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repl;
+  CliParser cli("bench_ablation_misprediction",
+                "Section 8 misprediction penalty: measured vs bound");
+  cli.add_flag("seed", "5", "trace seed");
+  cli.add_flag("lambda", "500", "transfer cost");
+  cli.add_flag("scale", "0.5", "trace scale");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const Trace trace =
+      bench::evaluation_trace(cli.get_int("seed"), cli.get_double("scale"));
+  SystemConfig config;
+  config.num_servers = trace.num_servers();
+  config.transfer_cost = cli.get_double("lambda");
+  std::cout << "trace: " << trace.size() << " requests, lambda = "
+            << config.transfer_cost << "\n\n";
+
+  bench::ShapeChecks checks;
+  Table table({"alpha", "accuracy", "M1", "M2", "M3", "measured increase",
+               "bound", "tightness"});
+  for (double alpha : {0.1, 0.3, 0.6, 1.0}) {
+    OraclePredictor oracle(trace);
+    DrwpPolicy baseline(alpha);
+    const SimulationResult perfect =
+        Simulator(config).run(baseline, trace, oracle);
+    const double perfect_alloc =
+        allocate_costs(perfect, trace).total_allocated;
+
+    for (double accuracy : {0.0, 0.25, 0.5, 0.75}) {
+      AccuracyPredictor noisy(trace, accuracy, 321);
+      DrwpPolicy policy(alpha);
+      const SimulationResult degraded =
+          Simulator(config).run(policy, trace, noisy);
+      const MispredictionReport report =
+          analyze_mispredictions(degraded, trace, alpha);
+      const double increase =
+          allocate_costs(degraded, trace).total_allocated - perfect_alloc;
+      const double tightness =
+          report.penalty_bound > 0.0
+              ? std::max(increase, 0.0) / report.penalty_bound
+              : 0.0;
+      table.add_row({Table::cell(alpha, 2), bench::percent_label(accuracy),
+                     Table::cell(report.m1), Table::cell(report.m2),
+                     Table::cell(report.m3), Table::cell(increase, 1),
+                     Table::cell(report.penalty_bound, 1),
+                     Table::cell(tightness, 4)});
+      checks.expect(increase <= report.penalty_bound + 1e-6,
+                    "penalty bound covers measured increase at alpha=" +
+                        Table::cell(alpha, 2) + " accuracy=" +
+                        bench::percent_label(accuracy));
+    }
+  }
+  std::cout << table.str() << "\n";
+  std::cout << "tightness = measured increase / bound; low values mean "
+               "the Section-8 bound is conservative on this workload.\n";
+  return checks.finish();
+}

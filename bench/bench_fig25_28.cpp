@@ -1,0 +1,121 @@
+// Experiment E1 — Figures 25–28 of the paper: online-to-optimal cost
+// ratio of Algorithm 1 over the (alpha, prediction accuracy) grid, one
+// table per transfer cost λ ∈ {10, 100, 1000, 10000}, on the IBM-like
+// trace (10 servers, 7 days, ~11.7k requests), normalized by the exact
+// offline optimum.
+//
+// Paper shapes this harness checks:
+//  * every cell ≤ 1 + 1/alpha (robustness) — spot-checked at extremes;
+//  * the 100%-accuracy column ≤ (5+alpha)/3 (consistency);
+//  * the alpha = 1 row is constant across accuracies;
+//  * the minimum sits at (alpha -> 0, accuracy = 100%);
+//  * at λ = 10 the whole surface is ≈ 1;
+//  * at larger λ the worst cell is at (alpha -> 0, accuracy = 0%).
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/ratio.hpp"
+#include "bench_util.hpp"
+#include "core/drwp.hpp"
+#include "offline/opt_dp.hpp"
+#include "predictor/noisy.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repl;
+  CliParser cli("bench_fig25_28",
+                "Figures 25-28: ratio vs (alpha, accuracy) per lambda");
+  cli.add_flag("seed", "1", "trace seed");
+  cli.add_flag("scale", "1.0", "trace scale (1.0 = full 7 days)");
+  cli.add_flag("lambdas", "10,100,1000,10000", "lambda values");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const Trace trace =
+      bench::evaluation_trace(cli.get_int("seed"), cli.get_double("scale"));
+  std::cout << "trace: " << trace.size() << " requests over "
+            << trace.duration() / 86400.0 << " days on "
+            << trace.num_servers() << " servers\n\n";
+
+  bench::ShapeChecks checks;
+  SystemConfig config;
+  config.num_servers = trace.num_servers();
+
+  for (double lambda : cli.get_double_list("lambdas")) {
+    config.transfer_cost = lambda;
+    const double opt = optimal_offline_cost(config, trace);
+    std::cout << "=== lambda = " << lambda << "  (OPT = " << opt
+              << ") ===\n";
+
+    std::vector<std::string> header = {"alpha \\ accuracy"};
+    for (double accuracy : bench::accuracy_grid()) {
+      header.push_back(bench::percent_label(accuracy));
+    }
+    Table table(header);
+
+    double min_ratio = 1e18, max_ratio = 0.0;
+    double min_alpha = 0, min_accuracy = 0, max_alpha = 0, max_accuracy = 0;
+    double alpha1_first = -1.0;
+    bool alpha1_constant = true;
+    double perfect_col_worst_gap = -1e18;  // ratio - consistency bound
+
+    for (double alpha : bench::alpha_grid()) {
+      std::vector<std::string> row = {Table::cell(alpha, 2)};
+      for (double accuracy : bench::accuracy_grid()) {
+        AccuracyPredictor predictor(trace, accuracy, 1234);
+        DrwpPolicy policy(alpha);
+        const double ratio =
+            evaluate_policy(config, policy, trace, predictor, opt).ratio;
+        row.push_back(Table::cell(ratio, 4));
+        if (ratio < min_ratio) {
+          min_ratio = ratio;
+          min_alpha = alpha;
+          min_accuracy = accuracy;
+        }
+        if (ratio > max_ratio) {
+          max_ratio = ratio;
+          max_alpha = alpha;
+          max_accuracy = accuracy;
+        }
+        if (alpha == 1.0) {
+          if (alpha1_first < 0.0) {
+            alpha1_first = ratio;
+          } else if (std::abs(ratio - alpha1_first) > 1e-12) {
+            alpha1_constant = false;
+          }
+        }
+        if (accuracy == 1.0) {
+          perfect_col_worst_gap = std::max(
+              perfect_col_worst_gap, ratio - consistency_bound(alpha));
+        }
+      }
+      table.add_row(std::move(row));
+    }
+    std::cout << table.str() << "\n";
+
+    checks.expect(alpha1_constant,
+                  "lambda=" + std::to_string(lambda) +
+                      ": alpha=1 row is accuracy-independent");
+    checks.expect(perfect_col_worst_gap <= 1e-9,
+                  "lambda=" + std::to_string(lambda) +
+                      ": 100%-accuracy column within (5+alpha)/3");
+    if (lambda <= 10.0) {
+      checks.expect(max_ratio < 1.2,
+                    "lambda=10: whole surface close to 1 (max " +
+                        Table::cell(max_ratio, 4) + ")");
+    } else {
+      checks.expect(min_accuracy == 1.0 && min_alpha <= 0.25,
+                    "lambda=" + std::to_string(lambda) +
+                        ": minimum at (alpha->0, accuracy=100%), found "
+                        "alpha=" + Table::cell(min_alpha, 2) +
+                        " accuracy=" + bench::percent_label(min_accuracy));
+      checks.expect(max_accuracy <= 0.25 && max_alpha <= 0.25,
+                    "lambda=" + std::to_string(lambda) +
+                        ": peak at (alpha->0, accuracy->0), found alpha=" +
+                        Table::cell(max_alpha, 2) + " accuracy=" +
+                        bench::percent_label(max_accuracy));
+    }
+    std::cout << "\n";
+  }
+  return checks.finish();
+}

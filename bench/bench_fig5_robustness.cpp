@@ -1,0 +1,57 @@
+// Experiment E3 — Figure 5 of the paper: the tight robustness instance.
+// Two servers, same-server gaps of αλ + ε, always-"beyond" predictions
+// (all wrong). The online-to-optimal ratio must approach 1 + 1/α from
+// below as m grows and ε shrinks.
+#include <iostream>
+
+#include "analysis/ratio.hpp"
+#include "bench_util.hpp"
+#include "core/drwp.hpp"
+#include "offline/opt_dp.hpp"
+#include "predictor/fixed.hpp"
+#include "trace/paper_instances.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repl;
+  CliParser cli("bench_fig5_robustness",
+                "Figure 5: ratio -> 1 + 1/alpha on the tight instance");
+  cli.add_flag("lambda", "100", "transfer cost");
+  if (!cli.parse(argc, argv)) return 0;
+  const double lambda = cli.get_double("lambda");
+
+  bench::ShapeChecks checks;
+  SystemConfig config;
+  config.num_servers = 2;
+  config.transfer_cost = lambda;
+
+  Table table({"alpha", "m", "eps/(alpha*lambda)", "ratio", "bound 1+1/a"});
+  for (double alpha : {0.2, 0.5, 1.0}) {
+    double last_ratio = 0.0;
+    for (int m : {10, 50, 200, 1000}) {
+      for (double eps_frac : {1e-1, 1e-3}) {
+        const double eps = alpha * lambda * eps_frac;
+        const Trace trace = make_figure5_trace(alpha, lambda, m, eps);
+        DrwpPolicy policy(alpha);
+        FixedPredictor beyond = always_beyond_predictor();
+        const RatioReport report =
+            evaluate_policy(config, policy, trace, beyond);
+        table.add_row({Table::cell(alpha, 2), Table::cell(m),
+                       Table::cell(eps_frac, 4),
+                       Table::cell(report.ratio, 5),
+                       Table::cell(robustness_bound(alpha), 5)});
+        if (eps_frac == 1e-3) last_ratio = report.ratio;
+        checks.expect(report.ratio <= robustness_bound(alpha) + 1e-9,
+                      "ratio within bound at alpha=" +
+                          Table::cell(alpha, 2) + " m=" + Table::cell(m));
+      }
+    }
+    checks.expect(last_ratio > robustness_bound(alpha) * 0.99,
+                  "ratio converges to 1+1/alpha at alpha=" +
+                      Table::cell(alpha, 2) + " (reached " +
+                      Table::cell(last_ratio, 4) + ")");
+  }
+  std::cout << table.str() << "\n";
+  return checks.finish();
+}

@@ -1,0 +1,63 @@
+// Experiment E4 — Figure 6 of the paper: the tight consistency instance.
+// All predictions are correct ("beyond"), yet Algorithm 1 cannot do
+// better than (5+α)/3: the ratio approaches that bound as ε shrinks.
+// Also prints the conventional (α=1) policy on the same instance for
+// contrast, and the 3/2 lower-bound reference line.
+#include <iostream>
+
+#include "analysis/ratio.hpp"
+#include "bench_util.hpp"
+#include "core/drwp.hpp"
+#include "offline/opt_dp.hpp"
+#include "predictor/fixed.hpp"
+#include "trace/paper_instances.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repl;
+  CliParser cli("bench_fig6_consistency",
+                "Figure 6: ratio -> (5+alpha)/3 under perfect predictions");
+  cli.add_flag("lambda", "100", "transfer cost");
+  cli.add_flag("cycles", "20", "instance length in 3-request cycles");
+  if (!cli.parse(argc, argv)) return 0;
+  const double lambda = cli.get_double("lambda");
+  const int cycles = static_cast<int>(cli.get_int("cycles"));
+
+  bench::ShapeChecks checks;
+  SystemConfig config;
+  config.num_servers = 2;
+  config.transfer_cost = lambda;
+
+  Table table({"alpha", "eps/lambda", "ratio", "bound (5+a)/3"});
+  for (double alpha : {0.1, 0.3, 0.5, 0.8, 1.0}) {
+    double best = 0.0;
+    for (double eps_frac : {1e-1, 1e-2, 1e-4}) {
+      const double eps = std::min(alpha, 1.0) * lambda * eps_frac;
+      const Trace trace = make_figure6_trace(lambda, eps, cycles);
+      DrwpPolicy policy(alpha);
+      FixedPredictor beyond = always_beyond_predictor();  // correct here
+      const RatioReport report =
+          evaluate_policy(config, policy, trace, beyond);
+      table.add_row({Table::cell(alpha, 2), Table::cell(eps_frac, 5),
+                     Table::cell(report.ratio, 5),
+                     Table::cell(consistency_bound(alpha), 5)});
+      best = std::max(best, report.ratio);
+      checks.expect(report.ratio <= consistency_bound(alpha) + 1e-9,
+                    "consistency bound holds at alpha=" +
+                        Table::cell(alpha, 2) + " eps_frac=" +
+                        Table::cell(eps_frac, 5));
+    }
+    checks.expect(best > consistency_bound(alpha) * 0.98,
+                  "ratio converges to (5+alpha)/3 at alpha=" +
+                      Table::cell(alpha, 2) + " (reached " +
+                      Table::cell(best, 4) + ")");
+    checks.expect(best > 1.5 - 1e-9,
+                  "ratio respects the Section-9 lower bound 3/2 at alpha=" +
+                      Table::cell(alpha, 2));
+  }
+  std::cout << table.str() << "\n";
+  std::cout << "reference: any deterministic learning-augmented algorithm "
+               "has consistency >= 3/2 (Section 9).\n";
+  return checks.finish();
+}

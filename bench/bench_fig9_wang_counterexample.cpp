@@ -1,0 +1,71 @@
+// Experiment E5 — Figure 9 / Section 11 of the paper: the counterexample
+// refuting the claimed 2-competitiveness of Wang et al. (INFOCOM 2021).
+// On the two-server instance with 2λ+ε same-server gaps the Wang policy's
+// ratio approaches 5/2; Algorithm 1 with α = 1 (the paper's conventional
+// rule) stays at ≤ 2 on the same instance.
+#include <iostream>
+
+#include "analysis/ratio.hpp"
+#include "baselines/wang2021.hpp"
+#include "bench_util.hpp"
+#include "core/drwp.hpp"
+#include "offline/opt_dp.hpp"
+#include "predictor/fixed.hpp"
+#include "predictor/oracle.hpp"
+#include "trace/paper_instances.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repl;
+  CliParser cli("bench_fig9_wang_counterexample",
+                "Figure 9: Wang et al. 2021 is not 2-competitive");
+  cli.add_flag("lambda", "100", "transfer cost");
+  if (!cli.parse(argc, argv)) return 0;
+  const double lambda = cli.get_double("lambda");
+
+  bench::ShapeChecks checks;
+  SystemConfig config;
+  config.num_servers = 2;
+  config.transfer_cost = lambda;
+
+  Table table({"m", "eps/lambda", "wang2021 ratio", "conventional ratio",
+               "drwp(0.5)+oracle ratio"});
+  double wang_final = 0.0;
+  for (int m : {10, 50, 200, 800}) {
+    for (double eps_frac : {1e-2, 1e-4}) {
+      const double eps = lambda * eps_frac;
+      const Trace trace = make_figure9_trace(lambda, eps, m);
+      const double opt = optimal_offline_cost(config, trace);
+      FixedPredictor ignored = always_beyond_predictor();
+
+      Wang2021Policy wang;
+      const double wang_ratio =
+          evaluate_policy(config, wang, trace, ignored, opt).ratio;
+      ConventionalPolicy conventional;
+      const double conventional_ratio =
+          evaluate_policy(config, conventional, trace, ignored, opt).ratio;
+      OraclePredictor oracle(trace);
+      DrwpPolicy drwp(0.5);
+      const double drwp_ratio =
+          evaluate_policy(config, drwp, trace, oracle, opt).ratio;
+
+      table.add_row({Table::cell(m), Table::cell(eps_frac, 5),
+                     Table::cell(wang_ratio, 5),
+                     Table::cell(conventional_ratio, 5),
+                     Table::cell(drwp_ratio, 5)});
+      if (m == 800 && eps_frac == 1e-4) wang_final = wang_ratio;
+      checks.expect(conventional_ratio <= 2.0 + 1e-9,
+                    "conventional (alpha=1) stays 2-competitive at m=" +
+                        Table::cell(m));
+    }
+  }
+  std::cout << table.str() << "\n";
+  checks.expect(wang_final > 2.45,
+                "Wang et al. ratio approaches 5/2 (reached " +
+                    Table::cell(wang_final, 4) + ") — the 2-competitive "
+                    "claim is refuted");
+  checks.expect(wang_final < 2.5 + 1e-6,
+                "Wang et al. ratio does not exceed 5/2 on this instance");
+  return checks.finish();
+}

@@ -1,0 +1,176 @@
+// Experiment E9 — engine microbenchmarks (google-benchmark): simulator
+// throughput in requests/second across system sizes and policies, DP
+// solver scaling in trace length and active-server count, and adversary
+// generation speed.
+#include <benchmark/benchmark.h>
+
+#include "adversary/lower_bound_adversary.hpp"
+#include "baselines/wang2021.hpp"
+#include "core/adaptive_drwp.hpp"
+#include "core/drwp.hpp"
+#include "core/simulator.hpp"
+#include "offline/opt_dp.hpp"
+#include "offline/opt_lower_bound.hpp"
+#include "predictor/noisy.hpp"
+#include "predictor/oracle.hpp"
+#include "trace/generators.hpp"
+
+namespace {
+
+using namespace repl;
+
+Trace bench_trace(int num_servers, std::size_t approx_requests,
+                  std::uint64_t seed) {
+  const double horizon = 100000.0;
+  const double rate = static_cast<double>(approx_requests) / horizon;
+  return generate_poisson_trace(num_servers, rate, horizon,
+                                ServerAssignment{}, seed);
+}
+
+void BM_SimulatorDrwp(benchmark::State& state) {
+  const int servers = static_cast<int>(state.range(0));
+  const Trace trace = bench_trace(servers, 20000, 1);
+  SystemConfig config;
+  config.num_servers = servers;
+  config.transfer_cost = 25.0;
+  OraclePredictor predictor(trace);
+  SimulationOptions lean;
+  lean.record_events = false;
+  const Simulator simulator(config, lean);
+  for (auto _ : state) {
+    DrwpPolicy policy(0.3);
+    benchmark::DoNotOptimize(
+        simulator.run(policy, trace, predictor).total_cost());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_SimulatorDrwp)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SimulatorAdaptive(benchmark::State& state) {
+  const Trace trace = bench_trace(16, 20000, 2);
+  SystemConfig config;
+  config.num_servers = 16;
+  config.transfer_cost = 25.0;
+  AccuracyPredictor predictor(trace, 0.7, 3);
+  SimulationOptions lean;
+  lean.record_events = false;
+  const Simulator simulator(config, lean);
+  for (auto _ : state) {
+    AdaptiveDrwpPolicy policy(0.3, AdaptiveDrwpPolicy::Options{0.1, 100});
+    benchmark::DoNotOptimize(
+        simulator.run(policy, trace, predictor).total_cost());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_SimulatorAdaptive);
+
+void BM_SimulatorWang(benchmark::State& state) {
+  const Trace trace = bench_trace(16, 20000, 4);
+  SystemConfig config;
+  config.num_servers = 16;
+  config.transfer_cost = 25.0;
+  OraclePredictor predictor(trace);
+  SimulationOptions lean;
+  lean.record_events = false;
+  const Simulator simulator(config, lean);
+  for (auto _ : state) {
+    Wang2021Policy policy;
+    benchmark::DoNotOptimize(
+        simulator.run(policy, trace, predictor).total_cost());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_SimulatorWang);
+
+void BM_SimulatorEventRecording(benchmark::State& state) {
+  const bool record = state.range(0) != 0;
+  const Trace trace = bench_trace(16, 20000, 5);
+  SystemConfig config;
+  config.num_servers = 16;
+  config.transfer_cost = 25.0;
+  OraclePredictor predictor(trace);
+  SimulationOptions options;
+  options.record_events = record;
+  const Simulator simulator(config, options);
+  for (auto _ : state) {
+    DrwpPolicy policy(0.3);
+    benchmark::DoNotOptimize(
+        simulator.run(policy, trace, predictor).total_cost());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_SimulatorEventRecording)->Arg(0)->Arg(1);
+
+void BM_OptimalDpByRequests(benchmark::State& state) {
+  const auto requests = static_cast<std::size_t>(state.range(0));
+  const Trace trace = bench_trace(8, requests, 6);
+  SystemConfig config;
+  config.num_servers = 8;
+  config.transfer_cost = 25.0;
+  const OptimalDpSolver solver(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(trace));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_OptimalDpByRequests)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_OptimalDpByActiveServers(benchmark::State& state) {
+  const int servers = static_cast<int>(state.range(0));
+  const Trace trace = bench_trace(servers, 4000, 7);
+  SystemConfig config;
+  config.num_servers = servers;
+  config.transfer_cost = 25.0;
+  const OptimalDpSolver solver(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(trace));
+  }
+}
+BENCHMARK(BM_OptimalDpByActiveServers)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_OptLowerBound(benchmark::State& state) {
+  const Trace trace = bench_trace(16, 20000, 8);
+  SystemConfig config;
+  config.num_servers = 16;
+  config.transfer_cost = 25.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt_lower_bound(config, trace));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_OptLowerBound);
+
+void BM_AdversaryGenerate(benchmark::State& state) {
+  LowerBoundAdversary::Options options;
+  options.lambda = 10.0;
+  options.epsilon = 1e-3;
+  options.num_requests = static_cast<int>(state.range(0));
+  const LowerBoundAdversary adversary(options);
+  const DrwpPolicy prototype(0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adversary.generate(prototype).trace.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AdversaryGenerate)->Arg(100)->Arg(1000);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bench_trace(16, static_cast<std::size_t>(state.range(0)),
+                    static_cast<std::uint64_t>(state.iterations()))
+            .size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_TraceGeneration)->Arg(10000);
+
+}  // namespace

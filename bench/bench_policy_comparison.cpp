@@ -1,0 +1,163 @@
+// Experiment E7 — policy comparison across workload families (the
+// summary behind the paper's Section-10 claims): for each workload
+// (Poisson, bursty MMPP, diurnal, IBM-like) and each λ regime, the ratio
+// of every policy against the exact offline optimum, plus the measured
+// accuracy of the causal history predictor.
+//
+// Expected shape: DRWP with good predictions wins everywhere it matters
+// (λ comparable to typical gaps); at extreme λ all reasonable policies
+// converge; naive policies lose by large factors in their adverse regime.
+#include <iostream>
+#include <memory>
+
+#include "analysis/ratio.hpp"
+#include "baselines/naive.hpp"
+#include "baselines/wang2021.hpp"
+#include "bench_util.hpp"
+#include "core/adaptive_drwp.hpp"
+#include "core/drwp.hpp"
+#include "extensions/randomized_drwp.hpp"
+#include "offline/opt_dp.hpp"
+#include "predictor/ensemble.hpp"
+#include "predictor/history.hpp"
+#include "predictor/last_gap.hpp"
+#include "predictor/noisy.hpp"
+#include "predictor/oracle.hpp"
+#include "trace/generators.hpp"
+#include "trace/trace_stats.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Workload {
+  std::string name;
+  repl::Trace trace;
+};
+
+std::vector<Workload> make_workloads(std::uint64_t seed) {
+  using namespace repl;
+  std::vector<Workload> workloads;
+  workloads.push_back(
+      {"poisson", generate_poisson_trace(8, 0.02, 2 * 86400.0,
+                                         ServerAssignment{}, seed)});
+  MmppConfig mmpp;
+  mmpp.rate_low = 0.002;
+  mmpp.rate_high = 0.3;
+  mmpp.mean_low_duration = 7200.0;
+  mmpp.mean_high_duration = 600.0;
+  mmpp.horizon = 2 * 86400.0;
+  workloads.push_back(
+      {"bursty-mmpp",
+       generate_mmpp_trace(8, mmpp, ServerAssignment{}, seed + 1)});
+  DiurnalConfig diurnal;
+  diurnal.base_rate = 0.02;
+  diurnal.amplitude = 0.85;
+  diurnal.horizon = 2 * 86400.0;
+  workloads.push_back(
+      {"diurnal",
+       generate_diurnal_trace(8, diurnal, ServerAssignment{}, seed + 2)});
+  IbmSynthConfig ibm;
+  ibm.horizon = 2 * 86400.0;
+  ibm.target_requests = 11688.0 * 2.0 / 7.0;
+  workloads.push_back({"ibm-like", synthesize_ibm_like(ibm, seed + 3)});
+  return workloads;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace repl;
+  CliParser cli("bench_policy_comparison",
+                "all policies x workload families x lambda");
+  cli.add_flag("seed", "11", "workload seed");
+  cli.add_flag("alpha", "0.2", "alpha for prediction-using policies");
+  cli.add_flag("lambdas", "30,300,3000", "lambda values");
+  if (!cli.parse(argc, argv)) return 0;
+  const double alpha = cli.get_double("alpha");
+
+  bench::ShapeChecks checks;
+  for (Workload& workload : make_workloads(cli.get_int("seed"))) {
+    const Trace& trace = workload.trace;
+    const TraceStats stats = compute_trace_stats(trace);
+    std::cout << "=== workload " << workload.name << ": "
+              << stats.summary() << " ===\n";
+    SystemConfig config;
+    config.num_servers = trace.num_servers();
+
+    for (double lambda : cli.get_double_list("lambdas")) {
+      config.transfer_cost = lambda;
+      const double opt = optimal_offline_cost(config, trace);
+      std::cout << "--- lambda = " << lambda
+                << " (fraction of same-server gaps <= lambda: "
+                << Table::cell(stats.fraction_gaps_within(lambda), 3)
+                << ") ---\n";
+      Table table({"policy", "predictor", "ratio", "transfers"});
+      double drwp_oracle_ratio = 0.0, static_ratio = 0.0;
+
+      auto run = [&](ReplicationPolicy& policy, Predictor& predictor) {
+        const RatioReport report =
+            evaluate_policy(config, policy, trace, predictor, opt);
+        table.add_row({report.policy_name, report.predictor_name,
+                       Table::cell(report.ratio, 4),
+                       Table::cell(report.num_transfers)});
+        return report.ratio;
+      };
+
+      OraclePredictor oracle(trace);
+      AccuracyPredictor noisy80(trace, 0.8, 99);
+      HistoryPredictor history(trace.num_servers());
+      LastGapPredictor last_gap(trace.num_servers());
+      std::vector<std::shared_ptr<Predictor>> experts;
+      experts.push_back(
+          std::make_shared<HistoryPredictor>(trace.num_servers()));
+      experts.push_back(
+          std::make_shared<LastGapPredictor>(trace.num_servers()));
+      experts.push_back(std::make_shared<AccuracyPredictor>(trace, 0.6, 5));
+      EnsemblePredictor ensemble(std::move(experts));
+
+      DrwpPolicy drwp_o(alpha);
+      drwp_oracle_ratio = run(drwp_o, oracle);
+      DrwpPolicy drwp_n(alpha);
+      run(drwp_n, noisy80);
+      DrwpPolicy drwp_h(alpha);
+      run(drwp_h, history);
+      DrwpPolicy drwp_lg(alpha);
+      run(drwp_lg, last_gap);
+      DrwpPolicy drwp_ens(alpha);
+      run(drwp_ens, ensemble);
+      AdaptiveDrwpPolicy adaptive(
+          alpha, AdaptiveDrwpPolicy::Options{0.5, 100});
+      AccuracyPredictor noisy80b(trace, 0.8, 99);
+      run(adaptive, noisy80b);
+      ConventionalPolicy conventional;
+      run(conventional, oracle);
+      RandomizedDrwpPolicy randomized(alpha, 7);
+      AccuracyPredictor noisy80c(trace, 0.8, 99);
+      run(randomized, noisy80c);
+      Wang2021Policy wang;
+      run(wang, oracle);
+      FullReplicationPolicy full;
+      run(full, oracle);
+      StaticPolicy pinned;
+      static_ratio = run(pinned, oracle);
+      SingleCopyChasePolicy chase;
+      run(chase, oracle);
+
+      std::cout << table.str() << "\n";
+      checks.expect(
+          drwp_oracle_ratio <= consistency_bound(alpha) + 1e-9,
+          workload.name + " lambda=" + std::to_string(lambda) +
+              ": drwp+oracle within consistency bound");
+      if (stats.fraction_gaps_within(lambda) > 0.3) {
+        checks.expect(drwp_oracle_ratio < static_ratio,
+                      workload.name + " lambda=" +
+                          std::to_string(lambda) +
+                          ": drwp+oracle beats static pinning when "
+                          "locality matters");
+      }
+    }
+    std::cout << "\n";
+  }
+  return checks.finish();
+}

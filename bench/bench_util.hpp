@@ -1,0 +1,68 @@
+// Shared plumbing for the experiment harness binaries.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "predictor/noisy.hpp"
+#include "trace/ibm_synth.hpp"
+#include "trace/trace.hpp"
+#include "util/table.hpp"
+
+namespace repl::bench {
+
+/// The evaluation trace standing in for the paper's IBM object
+/// "652aaef228286e0a" (11688 reads / 7 days / 10 servers); see DESIGN.md
+/// §4 for the substitution rationale. `scale` < 1 shortens the horizon
+/// and the request budget proportionally for quick runs.
+inline Trace evaluation_trace(std::uint64_t seed, double scale = 1.0) {
+  IbmSynthConfig config;
+  config.horizon *= scale;
+  config.target_requests *= scale;
+  return synthesize_ibm_like(config, seed);
+}
+
+/// The alpha grid of the paper's plots. The paper sweeps {0, 0.1, ..., 1}
+/// but alpha = 0 is outside Algorithm 1's domain (unbounded robustness);
+/// 0.02 stands in for "alpha -> 0".
+inline std::vector<double> alpha_grid() {
+  return {0.02, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+}
+
+/// Prediction accuracies {0%, 10%, ..., 100%}.
+inline std::vector<double> accuracy_grid() {
+  std::vector<double> grid;
+  for (int pct = 0; pct <= 100; pct += 10) grid.push_back(pct / 100.0);
+  return grid;
+}
+
+/// Shape-check reporting: benches print PASS/FAIL lines so their output
+/// is self-validating without a test harness.
+class ShapeChecks {
+ public:
+  void expect(bool condition, const std::string& what) {
+    ++total_;
+    failures_ += !condition;
+    std::cout << (condition ? "  [PASS] " : "  [FAIL] ") << what << "\n";
+  }
+
+  /// Prints a summary and returns a process exit code.
+  int finish() const {
+    std::cout << "shape checks: " << (total_ - failures_) << "/" << total_
+              << " passed\n";
+    return failures_ == 0 ? 0 : 1;
+  }
+
+ private:
+  int total_ = 0;
+  int failures_ = 0;
+};
+
+inline std::string percent_label(double fraction) {
+  return std::to_string(static_cast<int>(fraction * 100.0 + 0.5)) + "%";
+}
+
+}  // namespace repl::bench

@@ -1,0 +1,93 @@
+// Experiment E8b — the distinct-storage-rate extension (beyond the
+// paper; DESIGN.md §6): rate-aware DRWP vs the rate-oblivious original
+// vs Wang et al. 2021 (which is rate-aware by construction), normalized
+// by the exact weighted offline optimum (DP with the buy pass).
+// Also compares the randomized-duration variant on uniform rates.
+#include <iostream>
+
+#include "analysis/ratio.hpp"
+#include "baselines/wang2021.hpp"
+#include "bench_util.hpp"
+#include "core/drwp.hpp"
+#include "extensions/randomized_drwp.hpp"
+#include "extensions/weighted_drwp.hpp"
+#include "offline/opt_dp.hpp"
+#include "predictor/noisy.hpp"
+#include "predictor/oracle.hpp"
+#include "trace/generators.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repl;
+  CliParser cli("bench_weighted_extension",
+                "distinct storage rates: rate-aware vs oblivious");
+  cli.add_flag("seed", "17", "workload seed");
+  cli.add_flag("alpha", "0.4", "alpha");
+  cli.add_flag("lambda", "100", "transfer cost");
+  if (!cli.parse(argc, argv)) return 0;
+  const double alpha = cli.get_double("alpha");
+  const double lambda = cli.get_double("lambda");
+
+  bench::ShapeChecks checks;
+
+  // Three rate profiles over 6 servers; server 0 stays the cheapest so
+  // Wang et al.'s home assumption holds.
+  const std::vector<std::pair<std::string, std::vector<double>>> profiles =
+      {{"uniform", {1, 1, 1, 1, 1, 1}},
+       {"mild-skew", {0.5, 1, 1, 2, 2, 4}},
+       {"hot-cold", {0.05, 1, 1, 8, 8, 8}}};
+
+  ServerAssignment assignment;
+  assignment.kind = ServerAssignment::Kind::kUniform;
+  const Trace trace =
+      generate_poisson_trace(6, 0.03, 86400.0, assignment,
+                             cli.get_int("seed"));
+  std::cout << "trace: " << trace.size() << " requests, lambda = "
+            << lambda << ", alpha = " << alpha << "\n\n";
+
+  for (const auto& [name, rates] : profiles) {
+    SystemConfig config;
+    config.num_servers = 6;
+    config.transfer_cost = lambda;
+    config.storage_rates = rates;
+    const double opt = optimal_offline_cost(config, trace);
+    std::cout << "=== rate profile " << name << " (weighted OPT = " << opt
+              << ") ===\n";
+
+    Table table({"policy", "predictor", "ratio"});
+    double weighted_ratio = 0.0, plain_ratio = 0.0;
+    auto run = [&](ReplicationPolicy& policy, Predictor& predictor) {
+      const RatioReport report =
+          evaluate_policy(config, policy, trace, predictor, opt);
+      table.add_row({report.policy_name, report.predictor_name,
+                     Table::cell(report.ratio, 4)});
+      return report.ratio;
+    };
+
+    OraclePredictor oracle(trace);
+    AccuracyPredictor noisy(trace, 0.8, 3);
+    WeightedDrwpPolicy weighted_o(alpha);
+    weighted_ratio = run(weighted_o, oracle);
+    WeightedDrwpPolicy weighted_n(alpha);
+    run(weighted_n, noisy);
+    DrwpPolicy plain(alpha);
+    plain_ratio = run(plain, oracle);
+    Wang2021Policy wang;
+    run(wang, oracle);
+    RandomizedDrwpPolicy randomized(alpha, 23);
+    run(randomized, oracle);
+
+    std::cout << table.str() << "\n";
+    if (name == "uniform") {
+      checks.expect(weighted_ratio == plain_ratio,
+                    "uniform rates: weighted == plain DRWP");
+      checks.expect(weighted_ratio <= consistency_bound(alpha) + 1e-9,
+                    "uniform rates: consistency bound holds");
+    } else {
+      checks.expect(weighted_ratio <= plain_ratio + 1e-9,
+                    name + ": rate-aware DRWP no worse than oblivious");
+    }
+  }
+  return checks.finish();
+}

@@ -1,0 +1,83 @@
+// The Section-8 adaptation in action: how the robustness target 2 + β
+// protects against degrading prediction quality.
+//
+// Sweeps prediction accuracy from 100% down to 0% and prints, side by
+// side, the plain Algorithm 1 (small alpha: great consistency, terrible
+// robustness) and the adapted variant with two β settings. The plain
+// ratio climbs toward 1 + 1/α while the adapted ones stay clamped.
+//
+//   ./build/examples/adaptive_robustness [--alpha=0.1] [--lambda=400]
+#include <iostream>
+
+#include "analysis/ratio.hpp"
+#include "core/adaptive_drwp.hpp"
+#include "core/drwp.hpp"
+#include "offline/opt_dp.hpp"
+#include "predictor/noisy.hpp"
+#include "trace/ibm_synth.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  repl::CliParser cli("adaptive_robustness",
+                      "bounded robustness under degrading predictions");
+  cli.add_flag("alpha", "0.1", "distrust hyper-parameter");
+  cli.add_flag("lambda", "400", "transfer cost λ");
+  cli.add_flag("seed", "3", "workload seed");
+  cli.add_flag("warmup", "100", "adaptive warm-up requests");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const double alpha = cli.get_double("alpha");
+  const double lambda = cli.get_double("lambda");
+
+  // A scaled-down IBM-like day of traffic (same generator as the paper's
+  // evaluation substitute).
+  repl::IbmSynthConfig synth;
+  synth.horizon = 86400.0;
+  synth.target_requests = 1700.0;
+  const repl::Trace trace =
+      repl::synthesize_ibm_like(synth, cli.get_int("seed"));
+
+  repl::SystemConfig config;
+  config.num_servers = synth.num_servers;
+  config.transfer_cost = lambda;
+  const double opt = repl::optimal_offline_cost(config, trace);
+
+  const auto warmup =
+      static_cast<std::size_t>(cli.get_int("warmup"));
+  repl::Table table({"accuracy", "plain drwp", "adapted b=0.1",
+                     "adapted b=1.0", "fallbacks b=0.1"});
+  for (int pct = 100; pct >= 0; pct -= 10) {
+    const double accuracy = pct / 100.0;
+    repl::AccuracyPredictor p1(trace, accuracy, 11);
+    repl::AccuracyPredictor p2(trace, accuracy, 11);
+    repl::AccuracyPredictor p3(trace, accuracy, 11);
+    repl::DrwpPolicy plain(alpha);
+    repl::AdaptiveDrwpPolicy small_beta(
+        alpha, repl::AdaptiveDrwpPolicy::Options{0.1, warmup});
+    repl::AdaptiveDrwpPolicy large_beta(
+        alpha, repl::AdaptiveDrwpPolicy::Options{1.0, warmup});
+    const double r_plain =
+        repl::evaluate_policy(config, plain, trace, p1, opt).ratio;
+    const double r_small =
+        repl::evaluate_policy(config, small_beta, trace, p2, opt).ratio;
+    const double r_large =
+        repl::evaluate_policy(config, large_beta, trace, p3, opt).ratio;
+    table.add_row({std::to_string(pct) + "%",
+                   repl::Table::cell(r_plain, 4),
+                   repl::Table::cell(r_small, 4),
+                   repl::Table::cell(r_large, 4),
+                   repl::Table::cell(small_beta.fallback_count())});
+  }
+
+  std::cout << "alpha = " << alpha << " (robustness bound "
+            << repl::robustness_bound(alpha) << ", consistency bound "
+            << repl::consistency_bound(alpha) << "), lambda = " << lambda
+            << ", " << trace.size() << " requests\n\n"
+            << table.str()
+            << "\nThe adapted columns should stay near their 2+beta "
+               "targets as accuracy degrades,\nwhile the plain column "
+               "drifts toward 1 + 1/alpha = "
+            << repl::robustness_bound(alpha) << ".\n";
+  return 0;
+}

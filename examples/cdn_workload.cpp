@@ -1,0 +1,128 @@
+// CDN scenario: a content-distribution workload with diurnal traffic over
+// regional edge servers, served with a *causal* history-based predictor
+// (no clairvoyance) — the realistic deployment of the paper's algorithm.
+//
+// Compares DRWP under the EWMA history predictor against: the same
+// algorithm with an oracle (upper bound on what better ML could buy),
+// the prediction-free conventional policy, Wang et al. 2021, and naive
+// strategies — all normalized by the exact offline optimum. Also reports
+// the measured accuracy of the history predictor.
+//
+//   ./build/examples/cdn_workload [--lambda=120] [--alpha=0.25] ...
+#include <iostream>
+#include <memory>
+
+#include "analysis/ratio.hpp"
+#include "baselines/naive.hpp"
+#include "baselines/wang2021.hpp"
+#include "core/adaptive_drwp.hpp"
+#include "core/drwp.hpp"
+#include "offline/opt_dp.hpp"
+#include "offline/planned_policy.hpp"
+#include "predictor/history.hpp"
+#include "predictor/oracle.hpp"
+#include "trace/generators.hpp"
+#include "trace/trace_stats.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+/// Measures how often a causal predictor agrees with the ground truth.
+double measure_accuracy(const repl::Trace& trace, repl::Predictor& predictor,
+                        double lambda) {
+  predictor.reset();
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    repl::PredictionQuery query;
+    query.request_index = static_cast<long>(i);
+    query.server = trace[i].server;
+    query.time = trace[i].time;
+    query.lambda = lambda;
+    const bool forecast = predictor.predict(query).within_lambda;
+    correct += forecast == repl::next_gap_within_lambda(trace, i, lambda);
+  }
+  return trace.empty() ? 1.0
+                       : static_cast<double>(correct) /
+                             static_cast<double>(trace.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  repl::CliParser cli("cdn_workload",
+                      "diurnal CDN workload with a causal predictor");
+  cli.add_flag("servers", "8", "number of edge servers");
+  cli.add_flag("days", "3", "workload length in days");
+  cli.add_flag("lambda", "120", "transfer cost λ (seconds of storage)");
+  cli.add_flag("alpha", "0.25", "distrust hyper-parameter");
+  cli.add_flag("seed", "7", "workload seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const int servers = static_cast<int>(cli.get_int("servers"));
+  const double lambda = cli.get_double("lambda");
+  const double alpha = cli.get_double("alpha");
+
+  repl::DiurnalConfig workload;
+  workload.base_rate = 0.03;
+  workload.amplitude = 0.85;
+  workload.horizon = 86400.0 * static_cast<double>(cli.get_int("days"));
+  const repl::Trace trace = repl::generate_diurnal_trace(
+      servers, workload, repl::ServerAssignment{}, cli.get_int("seed"));
+  std::cout << "workload: " << repl::compute_trace_stats(trace).summary()
+            << "\n";
+
+  repl::SystemConfig config;
+  config.num_servers = servers;
+  config.transfer_cost = lambda;
+  const double opt = repl::optimal_offline_cost(config, trace);
+  std::cout << "offline optimum: " << opt << "\n";
+
+  repl::HistoryPredictor history(servers);
+  std::cout << "history predictor accuracy on this trace: "
+            << 100.0 * measure_accuracy(trace, history, lambda) << "%\n\n";
+
+  repl::Table table({"policy", "predictor", "cost", "ratio", "transfers"});
+  auto add_row = [&](repl::ReplicationPolicy& policy,
+                     repl::Predictor& predictor) {
+    const repl::RatioReport report =
+        repl::evaluate_policy(config, policy, trace, predictor, opt);
+    table.add_row({report.policy_name, report.predictor_name,
+                   repl::Table::cell(report.online_cost, 1),
+                   repl::Table::cell(report.ratio, 4),
+                   repl::Table::cell(report.num_transfers)});
+  };
+
+  repl::OraclePredictor oracle(trace);
+  repl::HistoryPredictor ewma(servers);
+
+  repl::DrwpPolicy drwp_history(alpha);
+  add_row(drwp_history, ewma);
+  repl::DrwpPolicy drwp_oracle(alpha);
+  add_row(drwp_oracle, oracle);
+  repl::AdaptiveDrwpPolicy adaptive(
+      alpha, repl::AdaptiveDrwpPolicy::Options{/*beta=*/0.5,
+                                               /*warmup_requests=*/100});
+  repl::HistoryPredictor ewma2(servers);
+  add_row(adaptive, ewma2);
+  repl::ConventionalPolicy conventional;
+  add_row(conventional, oracle);  // predictions ignored anyway
+  repl::Wang2021Policy wang;
+  add_row(wang, oracle);
+  repl::FullReplicationPolicy full;
+  add_row(full, oracle);
+  repl::StaticPolicy pinned;
+  add_row(pinned, oracle);
+  // The hindsight-optimal strategy itself, replayed (ratio 1.0000 by
+  // construction — a built-in sanity row).
+  repl::PlannedPolicy offline_plan(
+      trace, repl::OptimalDpSolver(config).solve_with_plan(trace));
+  add_row(offline_plan, oracle);
+
+  std::cout << table.str() << "\n"
+            << "Reading: drwp+history is what you can deploy today; "
+               "drwp+oracle bounds what a better\npredictor could buy; "
+               "conventional is the best prediction-free ratio (2)."
+            << "\n";
+  return 0;
+}

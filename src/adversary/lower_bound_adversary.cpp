@@ -1,0 +1,121 @@
+#include "adversary/lower_bound_adversary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace repl {
+
+namespace {
+constexpr int kS1 = 0;
+constexpr int kS2 = 1;
+constexpr Prediction kBeyond{false};
+}  // namespace
+
+std::size_t AdversaryResult::count(AdversaryKind kind) const {
+  return static_cast<std::size_t>(
+      std::count(kinds.begin(), kinds.end(), kind));
+}
+
+LowerBoundAdversary::LowerBoundAdversary(Options options)
+    : options_(options) {
+  REPL_REQUIRE(options.lambda > 0.0);
+  REPL_REQUIRE(options.epsilon > 0.0 && options.epsilon < options.lambda);
+  REPL_REQUIRE(options.num_requests >= 1);
+}
+
+SystemConfig LowerBoundAdversary::config() const {
+  SystemConfig cfg;
+  cfg.num_servers = 2;
+  cfg.transfer_cost = options_.lambda;
+  cfg.initial_server = kS1;
+  return cfg;
+}
+
+AdversaryResult LowerBoundAdversary::generate(
+    const ReplicationPolicy& prototype) const {
+  const double lambda = options_.lambda;
+  const double eps = options_.epsilon;
+  const SystemConfig cfg = config();
+
+  NullEventSink sink;
+  PolicyPtr live = prototype.clone();
+  live->reset(cfg, kBeyond, sink);
+
+  std::vector<Request> requests;
+  std::vector<AdversaryKind> kinds;
+  requests.reserve(static_cast<std::size_t>(options_.num_requests));
+
+  // r1 arrives at s2 right after time 0, forcing a transfer under any
+  // strategy (only s1 holds the object at time 0).
+  live->advance_to(eps, sink);
+  live->on_request(kS2, eps, kBeyond, sink);
+  requests.push_back(Request{eps, kS2});
+  kinds.push_back(AdversaryKind::kK1b);
+
+  double last_at[2] = {0.0, eps};  // dummy r0 at s1, r1 at s2
+
+  while (static_cast<int>(requests.size()) < options_.num_requests) {
+    const Request prev = requests.back();
+    const int s = (prev.server == kS1) ? kS2 : kS1;  // the other server
+    const double t_k = last_at[s];
+    const double t_prime = std::max(prev.time + eps, t_k + lambda + eps);
+
+    // Peek: does s hold a copy at t'?
+    PolicyPtr probe = live->clone();
+    probe->advance_to(t_prime, sink);
+
+    double next_time;
+    int next_server;
+    AdversaryKind kind;
+    if (!probe->holds(s)) {
+      next_time = t_prime;
+      next_server = s;
+      kind = (t_prime == t_k + lambda + eps) ? AdversaryKind::kK1a
+                                             : AdversaryKind::kK1b;
+    } else {
+      // Monitor for a drop of s's copy during (t', prev.time + λ).
+      const double window_end = prev.time + lambda;
+      double drop_time = std::numeric_limits<double>::infinity();
+      for (;;) {
+        const double transition = probe->next_transition_time();
+        if (!(transition < window_end)) break;
+        // Step just past the transition (strict advance semantics).
+        probe->advance_to(transition + eps * 0.125, sink);
+        if (!probe->holds(s)) {
+          drop_time = transition;
+          break;
+        }
+      }
+      if (std::isfinite(drop_time)) {
+        next_time = drop_time + eps;
+        next_server = s;
+        kind = AdversaryKind::kK1c;
+      } else {
+        next_time = prev.time + lambda + eps;
+        next_server = prev.server;
+        kind = AdversaryKind::kK2;
+      }
+    }
+
+    REPL_CHECK_MSG(next_time > prev.time,
+                   "adversary generated a non-increasing request time");
+    // All same-server gaps must exceed λ so the fixed "beyond" prediction
+    // stream is correct (the lower bound concerns consistency).
+    REPL_CHECK_MSG(next_time - last_at[next_server] > lambda,
+                   "adversary generated a same-server gap <= lambda");
+
+    live->advance_to(next_time, sink);
+    live->on_request(next_server, next_time, kBeyond, sink);
+    requests.push_back(Request{next_time, next_server});
+    kinds.push_back(kind);
+    last_at[next_server] = next_time;
+  }
+
+  AdversaryResult result{Trace(2, std::move(requests)), std::move(kinds)};
+  return result;
+}
+
+}  // namespace repl

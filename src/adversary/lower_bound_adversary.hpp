@@ -1,0 +1,60 @@
+// The Section-9 adaptive adversary: drives any deterministic replication
+// policy on a two-server system with always-correct "beyond λ"
+// predictions and generates a request sequence on which the policy's cost
+// is at least ~3/2 of the offline optimum. This realizes the paper's
+// lower bound of 3/2 on the consistency of any deterministic
+// learning-augmented algorithm.
+//
+// Generation rules, after request r_{i-1} (s is the other server, r_k the
+// last request at s, ε a small constant, t' = max{t_{i-1}+ε, t_k+λ+ε}):
+//   * if s holds no copy at t'           → request at s at t'
+//       (Type-K1a when t' = t_k+λ+ε, else Type-K1b);
+//   * if s drops its copy at t* in (t', t_{i-1}+λ)
+//                                        → request at s at t*+ε (Type-K1c);
+//   * if s keeps its copy throughout     → request at s[r_{i-1}] at
+//                                          t_{i-1}+λ+ε (Type-K2).
+//
+// The adversary observes the policy's future copy-holding behaviour by
+// advancing *clones* of it — policies are required to be clone()-able and
+// deterministic. All generated same-server gaps exceed λ, so the fixed
+// "beyond" predictions are genuinely correct.
+#pragma once
+
+#include <vector>
+
+#include "core/policy.hpp"
+#include "trace/trace.hpp"
+
+namespace repl {
+
+enum class AdversaryKind { kK1a, kK1b, kK1c, kK2 };
+
+struct AdversaryResult {
+  Trace trace;
+  std::vector<AdversaryKind> kinds;  // aligned with trace requests
+
+  std::size_t count(AdversaryKind kind) const;
+};
+
+class LowerBoundAdversary {
+ public:
+  struct Options {
+    double lambda = 1.0;
+    double epsilon = 1e-4;  // the paper's ε; must be < λ
+    int num_requests = 200;
+  };
+
+  explicit LowerBoundAdversary(Options options);
+
+  /// Plays the game against a fresh clone of `prototype` and returns the
+  /// generated trace. Re-running the policy on the trace (with
+  /// always-"beyond" predictions) reproduces the adversarial behaviour.
+  AdversaryResult generate(const ReplicationPolicy& prototype) const;
+
+  SystemConfig config() const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace repl

@@ -1,0 +1,139 @@
+#include "analysis/allocation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "analysis/request_types.hpp"
+#include "util/check.hpp"
+
+namespace repl {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+AllocationReport allocate_costs(const SimulationResult& result,
+                                const Trace& trace) {
+  REPL_REQUIRE_MSG(result.serves.size() == trace.size(),
+                   "allocation needs the full event log "
+                   "(SimulationOptions::record_events)");
+  REPL_REQUIRE_MSG(!trace.empty(), "allocation of an empty trace");
+  REPL_REQUIRE_MSG(!std::isnan(result.initial_intended_duration),
+                   "allocation requires a TTL-based (DRWP-family) policy");
+  const SystemConfig& config = result.config;
+  const double lambda = config.transfer_cost;
+  const int final_server = trace[trace.size() - 1].server;
+  const double final_time = trace.duration();
+
+  AllocationReport report;
+  report.allocated.assign(trace.size(), 0.0);
+
+  // ---- Per-request base allocations (Proposition 2) -------------------
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const ServeRecord& serve = result.serves[i];
+    const RequestType type = classify_request(serve);
+    const int p = trace.prev_same_server(i);
+    const bool first_at_initial =
+        p < 0 && serve.server == config.initial_server;
+    // l_i: intended duration of the regular copy created after p(i).
+    double l_i = std::numeric_limits<double>::quiet_NaN();
+    double t_p = std::numeric_limits<double>::quiet_NaN();
+    if (p >= 0) {
+      l_i = result.serves[static_cast<std::size_t>(p)].intended_duration;
+      t_p = trace[static_cast<std::size_t>(p)].time;
+    } else if (first_at_initial) {
+      l_i = result.initial_intended_duration;  // the copy after dummy r0
+      t_p = 0.0;
+    }
+
+    double alloc = 0.0;
+    switch (type) {
+      case RequestType::kType1:
+        alloc = lambda + (std::isnan(l_i) ? 0.0 : l_i);
+        break;
+      case RequestType::kType2:
+        REPL_CHECK(serve.special_since <= serve.time);
+        alloc = lambda + (serve.time - serve.special_since) +
+                (std::isnan(l_i) ? 0.0 : l_i);
+        break;
+      case RequestType::kType3:
+      case RequestType::kType4:
+        // A local serve implies a copy held since the previous request at
+        // this server, so p(i) (or the dummy) must exist.
+        REPL_CHECK_MSG(!std::isnan(t_p),
+                       "local serve without a preceding request");
+        alloc = serve.time - t_p;
+        break;
+    }
+    report.allocated[i] = alloc;
+  }
+
+  // ---- Leftover regular copies -> first requests -----------------------
+  // Every active server except s[r_m] leaves one unallocated regular copy
+  // after its last request; their durations are charged to the first
+  // requests at non-initial servers (sums match, pairing is irrelevant —
+  // we distribute in server order for determinism).
+  std::vector<double> leftovers;
+  for (int s = 0; s < config.num_servers; ++s) {
+    if (s == final_server) continue;
+    const int last = [&] {
+      int idx = -1;
+      for (std::size_t i = trace.size(); i-- > 0;) {
+        if (trace[i].server == s) {
+          idx = static_cast<int>(i);
+          break;
+        }
+      }
+      return idx;
+    }();
+    if (last >= 0) {
+      leftovers.push_back(
+          result.serves[static_cast<std::size_t>(last)].intended_duration);
+    } else if (s == config.initial_server) {
+      // Active only through the dummy r0.
+      leftovers.push_back(result.initial_intended_duration);
+    }
+  }
+  std::vector<std::size_t> first_requests;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (trace.prev_same_server(i) < 0 &&
+        trace[i].server != config.initial_server) {
+      first_requests.push_back(i);
+    }
+  }
+  REPL_CHECK_MSG(leftovers.size() == first_requests.size(),
+                 "leftover copies (" << leftovers.size()
+                                     << ") != first requests ("
+                                     << first_requests.size() << ")");
+  for (std::size_t j = 0; j < leftovers.size(); ++j) {
+    report.allocated[first_requests[j]] += leftovers[j];
+  }
+
+  report.total_allocated = 0.0;
+  for (double a : report.allocated) report.total_allocated += a;
+
+  // ---- Independently integrated adjusted online cost -------------------
+  // Storage of every copy segment, clipping out (a) everything after r_m
+  // in the segment live at s[r_m] when r_m arrived, and (b) the infinite
+  // special tail of the final surviving copy.
+  double storage = 0.0;
+  for (const CopySegment& seg : result.segments) {
+    double cut = seg.end;
+    if (seg.end == kInf) {
+      REPL_CHECK_MSG(seg.special_from < kInf,
+                     "surviving copy must end as a special copy");
+      cut = seg.special_from;  // exclusion (b)
+    }
+    if (seg.server == final_server && seg.begin <= final_time &&
+        (seg.end > final_time || seg.end == kInf)) {
+      cut = std::min(cut, final_time);  // exclusion (a)
+    }
+    if (cut > seg.begin) storage += cut - seg.begin;
+  }
+  report.adjusted_online_cost =
+      storage + lambda * static_cast<double>(result.transfers.size());
+  return report;
+}
+
+}  // namespace repl

@@ -1,0 +1,51 @@
+// Proposition-2 cost allocation (Section 4.1).
+//
+// The paper's competitive analysis charges the entire online cost to
+// individual requests:
+//   Type-1:  l_i + λ
+//   Type-2:  (t_i − t'_i) + l_i + λ
+//   Type-3:  t_i − t_{p(i)}
+//   Type-4:  t_i − t_{p(i)}   ( = (t_i − t'_i) + l_i )
+// with the end-of-sequence adjustments: the regular copy created after
+// the final request r_m and the special copy that survives forever are
+// excluded, and the n'−1 leftover regular copies (after each other active
+// server's last request) are charged to the n'−1 first requests at
+// non-initial servers.
+//
+// `allocate_costs` computes both sides of the allocation identity — the
+// per-request allocations and the independently-integrated adjusted
+// online cost — so tests can assert they agree to rounding error. A
+// nonzero discrepancy indicates a bug in the policy, the simulator, or
+// this analyzer.
+//
+// Only meaningful for DRWP-family simulations (policies with intended
+// durations and special-copy semantics).
+#pragma once
+
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "trace/trace.hpp"
+
+namespace repl {
+
+struct AllocationReport {
+  /// Per-request allocation, aligned with the trace. First requests at
+  /// non-initial servers include their share of the leftover copies.
+  std::vector<double> allocated;
+  /// Sum of `allocated`.
+  double total_allocated = 0.0;
+  /// λ·(transfers) + storage integrated over all copy segments, minus the
+  /// two excluded artifacts (the post-r_m regular copy at s[r_m] and the
+  /// infinite special copy).
+  double adjusted_online_cost = 0.0;
+
+  double discrepancy() const {
+    return total_allocated - adjusted_online_cost;
+  }
+};
+
+AllocationReport allocate_costs(const SimulationResult& result,
+                                const Trace& trace);
+
+}  // namespace repl

@@ -1,0 +1,62 @@
+#include "analysis/misprediction.hpp"
+
+#include "offline/opt_lower_bound.hpp"
+#include "util/check.hpp"
+
+namespace repl {
+
+MispredictionReport analyze_mispredictions(const SimulationResult& result,
+                                           const Trace& trace,
+                                           double alpha) {
+  REPL_REQUIRE(result.serves.size() == trace.size());
+  REPL_REQUIRE(alpha > 0.0 && alpha <= 1.0);
+  const SystemConfig& config = result.config;
+  const double lambda = config.transfer_cost;
+
+  MispredictionReport report;
+  report.classes.assign(trace.size(), MispredictionClass::kCorrect);
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const int p = trace.prev_same_server(i);
+    Prediction issued;
+    double gap = 0.0;
+    if (p >= 0) {
+      issued = result.serves[static_cast<std::size_t>(p)].prediction;
+      gap = trace[i].time - trace[static_cast<std::size_t>(p)].time;
+    } else if (trace[i].server == config.initial_server) {
+      issued = result.initial_prediction;  // forecast made at the dummy r0
+      gap = trace[i].time;
+    } else {
+      ++report.uncovered;
+      continue;
+    }
+    const bool truth_within = gap <= lambda;
+    if (issued.within_lambda == truth_within) {
+      ++report.correct;
+      continue;
+    }
+    MispredictionClass cls;
+    if (gap <= alpha * lambda) {
+      cls = MispredictionClass::kM1;
+      ++report.m1;
+    } else if (gap <= lambda) {
+      cls = MispredictionClass::kM2;
+      ++report.m2;
+    } else {
+      cls = MispredictionClass::kM3;
+      ++report.m3;
+    }
+    report.classes[i] = cls;
+  }
+
+  report.penalty_bound = lambda * static_cast<double>(report.m2) +
+                         (2.0 - alpha) * lambda *
+                             static_cast<double>(report.m3);
+  const double opt_l = opt_lower_bound(config, trace);
+  report.ratio_increase_bound =
+      opt_l > 0.0 ? report.penalty_bound / opt_l
+                  : std::numeric_limits<double>::infinity();
+  return report;
+}
+
+}  // namespace repl

@@ -1,0 +1,53 @@
+// Misprediction impact analysis (Section 8 of the paper).
+//
+// A request r_i is *mispredicted* when the prediction issued after its
+// predecessor r_{p(i)} (the forecast of the gap t_i − t_{p(i)}) was wrong.
+// Mispredicted requests split by the realized gap:
+//   M1: gap ≤ α·λ          — harmless (stays Type-3);
+//   M2: α·λ < gap ≤ λ      — may turn a local serve into a transfer;
+//                            penalty ≤ λ each;
+//   M3: gap > λ            — may lengthen a regular copy / retype
+//                            requests; penalty ≤ (2 − α)·λ each.
+//
+// The paper bounds the total online cost increase due to mispredictions
+// by λ·|M2| + (2 − α)·λ·|M3|, and the induced competitive-ratio increase
+// by that quantity over OPTL (inequality (11)).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "trace/trace.hpp"
+
+namespace repl {
+
+enum class MispredictionClass { kCorrect, kM1, kM2, kM3 };
+
+struct MispredictionReport {
+  std::size_t correct = 0;
+  std::size_t m1 = 0;
+  std::size_t m2 = 0;
+  std::size_t m3 = 0;
+  /// Requests whose incoming gap had no covering prediction (first
+  /// requests at non-initial servers).
+  std::size_t uncovered = 0;
+
+  /// λ·|M2| + (2 − α)·λ·|M3| — the paper's bound on the total online cost
+  /// increase caused by all mispredictions.
+  double penalty_bound = 0.0;
+  /// penalty_bound / OPTL — the bound (11) on the ratio increase.
+  double ratio_increase_bound = 0.0;
+
+  std::size_t mispredicted() const { return m1 + m2 + m3; }
+
+  /// Per-request classes, aligned with the trace (uncovered requests are
+  /// reported as kCorrect).
+  std::vector<MispredictionClass> classes;
+};
+
+/// Classifies every request of a DRWP-family run with distrust `alpha`.
+MispredictionReport analyze_mispredictions(const SimulationResult& result,
+                                           const Trace& trace, double alpha);
+
+}  // namespace repl

@@ -1,0 +1,91 @@
+#include "analysis/partition.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace repl {
+
+PartitionReport partition_sequence(const Trace& trace,
+                                   const SimulationResult& result,
+                                   const OfflinePlan& plan) {
+  REPL_REQUIRE(!trace.empty());
+  REPL_REQUIRE(plan.states.size() == trace.size());
+  const SystemConfig& config = result.config;
+  const double lambda = config.transfer_cost;
+
+  std::vector<int> server_to_bit(
+      static_cast<std::size_t>(config.num_servers), -1);
+  for (std::size_t b = 0; b < plan.active_servers.size(); ++b) {
+    server_to_bit[static_cast<std::size_t>(plan.active_servers[b])] =
+        static_cast<int>(b);
+  }
+  const auto weight = [&](std::uint32_t s) {
+    double w = 0.0;
+    for (std::size_t b = 0; b < plan.active_servers.size(); ++b) {
+      if (s & (std::uint32_t{1} << b)) {
+        w += config.storage_rate(plan.active_servers[b]);
+      }
+    }
+    return w;
+  };
+
+  // A request r_i is a partition boundary when no server other than
+  // s[r_i] holds a copy across t_i, i.e. appears in both the holder set
+  // of the gap ending at t_i and the one starting there. The final
+  // request is a boundary by the paper's convention.
+  const AllocationReport allocation = allocate_costs(result, trace);
+  PartitionReport report;
+  Partition current;
+  current.first_request = 0;
+  double prev_time = 0.0;
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const std::uint32_t state = plan.states[i];
+    const std::uint32_t next_state =
+        (i + 1 < trace.size()) ? plan.states[i + 1] : plan.final_state;
+    const int abit = server_to_bit[
+        static_cast<std::size_t>(trace[i].server)];
+    REPL_CHECK(abit >= 0);
+    const std::uint32_t amask = std::uint32_t{1} << abit;
+
+    // Offline cost attributed to request i: the gap storage before it,
+    // its serve cost and any copies bought at it (evaluate_plan's
+    // accounting, attributed per request).
+    double opt_here = (trace[i].time - prev_time) * weight(state);
+    if (!(state & amask)) opt_here += lambda;
+    opt_here += lambda * static_cast<double>(
+                             std::popcount(next_state & ~(state | amask)));
+    if (i == 0) {
+      // Copies bought at time 0 alongside the dummy request.
+      const int init_bit = server_to_bit[
+          static_cast<std::size_t>(config.initial_server)];
+      REPL_CHECK(init_bit >= 0);
+      opt_here += lambda * static_cast<double>(std::popcount(
+                               state & ~(std::uint32_t{1} << init_bit)));
+    }
+    prev_time = trace[i].time;
+
+    current.online_cost += allocation.allocated[i];
+    current.opt_cost += opt_here;
+    current.last_request = i;
+
+    const bool crossing_elsewhere =
+        (state & next_state & ~amask) != 0 && i + 1 < trace.size();
+    if (!crossing_elsewhere) {
+      report.partitions.push_back(current);
+      current = Partition{};
+      current.first_request = i + 1;
+    }
+  }
+
+  for (const Partition& partition : report.partitions) {
+    report.total_online += partition.online_cost;
+    report.total_opt += partition.opt_cost;
+    report.max_ratio = std::max(report.max_ratio, partition.ratio());
+  }
+  return report;
+}
+
+}  // namespace repl

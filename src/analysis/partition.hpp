@@ -1,0 +1,59 @@
+// The division approach of Section 5: splitting a request sequence into
+// partitions at the requests r_i where no server other than s[r_i] holds
+// a copy crossing t_i in the optimal offline strategy. The paper's
+// competitive analysis bounds Online(d,e)/OPT(d,e) per partition and
+// aggregates; this module reconstructs that decomposition from an
+// OfflinePlan and a DRWP run so the concentration of the competitive
+// ratio can be inspected empirically (which partitions are tight, which
+// are slack).
+//
+// Note: the DP may return *any* cost-optimal plan, not necessarily one
+// with the canonical Proposition 3–6 structure the paper's proof picks,
+// so the per-partition ratio is reported, not asserted against the
+// theoretical bound; the aggregate identities (sums of per-partition
+// costs equal the totals) always hold and are tested.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/allocation.hpp"
+#include "core/simulator.hpp"
+#include "offline/opt_dp.hpp"
+#include "trace/trace.hpp"
+
+namespace repl {
+
+struct Partition {
+  /// Request index range (first_request..last_request, inclusive); the
+  /// paper's (r_d, r_e] with d = first_request - 1.
+  std::size_t first_request = 0;
+  std::size_t last_request = 0;
+  /// Online cost allocated to the partition's requests (Proposition 2).
+  double online_cost = 0.0;
+  /// Offline cost incurred over the partition's time span by the plan.
+  double opt_cost = 0.0;
+
+  double ratio() const {
+    return opt_cost > 0.0 ? online_cost / opt_cost
+                          : std::numeric_limits<double>::infinity();
+  }
+  std::size_t size() const { return last_request - first_request + 1; }
+};
+
+struct PartitionReport {
+  std::vector<Partition> partitions;
+  double total_online = 0.0;  // == allocation.total_allocated
+  double total_opt = 0.0;     // == plan.cost
+  double max_ratio = 0.0;
+
+  std::size_t count() const { return partitions.size(); }
+};
+
+/// Decomposes the sequence using `plan` for the offline side and the
+/// Proposition-2 allocation of `result` for the online side.
+PartitionReport partition_sequence(const Trace& trace,
+                                   const SimulationResult& result,
+                                   const OfflinePlan& plan);
+
+}  // namespace repl

@@ -1,0 +1,35 @@
+#include "analysis/ratio.hpp"
+
+#include "offline/opt_dp.hpp"
+#include "offline/opt_lower_bound.hpp"
+#include "util/check.hpp"
+
+namespace repl {
+
+RatioReport evaluate_policy(const SystemConfig& config,
+                            ReplicationPolicy& policy, const Trace& trace,
+                            Predictor& predictor, double opt_cost) {
+  if (opt_cost < 0.0) opt_cost = optimal_offline_cost(config, trace);
+  SimulationOptions options;
+  options.record_events = false;
+  const SimulationResult result =
+      Simulator(config, options).run(policy, trace, predictor);
+
+  RatioReport report;
+  report.online_cost = result.total_cost();
+  report.opt_cost = opt_cost;
+  report.opt_lower =
+      config.storage_rates.empty() ? opt_lower_bound(config, trace) : 0.0;
+  report.ratio = opt_cost > 0.0
+                     ? report.online_cost / opt_cost
+                     : (report.online_cost > 0.0
+                            ? std::numeric_limits<double>::infinity()
+                            : 1.0);
+  report.num_transfers = result.num_transfers;
+  report.num_local = result.num_local;
+  report.policy_name = result.policy_name;
+  report.predictor_name = result.predictor_name;
+  return report;
+}
+
+}  // namespace repl

@@ -1,0 +1,36 @@
+// Competitive-ratio evaluation: runs a policy over a trace and normalizes
+// its cost by the exact offline optimum (or a caller-provided value, so
+// sweeps can amortize one DP solve across many policy/predictor cells).
+#pragma once
+
+#include <string>
+
+#include "core/policy.hpp"
+#include "core/simulator.hpp"
+#include "predictor/predictor.hpp"
+#include "trace/trace.hpp"
+
+namespace repl {
+
+struct RatioReport {
+  double online_cost = 0.0;
+  double opt_cost = 0.0;
+  double opt_lower = 0.0;  // OPTL, for reference
+  double ratio = 0.0;      // online / opt
+  std::size_t num_transfers = 0;
+  std::size_t num_local = 0;
+  std::string policy_name;
+  std::string predictor_name;
+};
+
+/// Runs the policy and computes online/OPT. `opt_cost` < 0 means "solve
+/// the DP here". Event recording is disabled for speed.
+RatioReport evaluate_policy(const SystemConfig& config,
+                            ReplicationPolicy& policy, const Trace& trace,
+                            Predictor& predictor, double opt_cost = -1.0);
+
+/// The paper's bounds, for assertions and table columns.
+inline double robustness_bound(double alpha) { return 1.0 + 1.0 / alpha; }
+inline double consistency_bound(double alpha) { return (5.0 + alpha) / 3.0; }
+
+}  // namespace repl

@@ -1,0 +1,40 @@
+#include "analysis/request_types.hpp"
+
+namespace repl {
+
+std::string to_string(RequestType type) {
+  switch (type) {
+    case RequestType::kType1: return "Type-1";
+    case RequestType::kType2: return "Type-2";
+    case RequestType::kType3: return "Type-3";
+    case RequestType::kType4: return "Type-4";
+  }
+  return "?";
+}
+
+RequestType classify_request(const ServeRecord& record) {
+  if (record.local) {
+    return record.source_special ? RequestType::kType4
+                                 : RequestType::kType3;
+  }
+  return record.source_special ? RequestType::kType2 : RequestType::kType1;
+}
+
+std::vector<RequestType> classify_requests(const SimulationResult& result) {
+  std::vector<RequestType> types;
+  types.reserve(result.serves.size());
+  for (const ServeRecord& record : result.serves) {
+    types.push_back(classify_request(record));
+  }
+  return types;
+}
+
+TypeCounts count_request_types(const SimulationResult& result) {
+  TypeCounts counts;
+  for (const ServeRecord& record : result.serves) {
+    ++counts.counts[static_cast<int>(classify_request(record))];
+  }
+  return counts;
+}
+
+}  // namespace repl

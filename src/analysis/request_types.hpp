@@ -1,0 +1,38 @@
+// Request typing per Section 4.1 of the paper.
+//
+// Under Algorithm 1 every request falls into one of four types according
+// to how it was served:
+//   Type-1: by a transfer from a *regular* copy at another server;
+//   Type-2: by a transfer from a *special* copy;
+//   Type-3: by the local copy while *regular*;
+//   Type-4: by the local copy while *special*.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/simulator.hpp"
+
+namespace repl {
+
+enum class RequestType { kType1 = 1, kType2 = 2, kType3 = 3, kType4 = 4 };
+
+std::string to_string(RequestType type);
+
+/// Classifies one serve record.
+RequestType classify_request(const ServeRecord& record);
+
+/// Classifies all requests of a DRWP-family simulation.
+std::vector<RequestType> classify_requests(const SimulationResult& result);
+
+/// Counts per type (index 0 unused; 1..4 = Type-1..4).
+struct TypeCounts {
+  std::size_t counts[5] = {0, 0, 0, 0, 0};
+  std::size_t total() const {
+    return counts[1] + counts[2] + counts[3] + counts[4];
+  }
+};
+
+TypeCounts count_request_types(const SimulationResult& result);
+
+}  // namespace repl

@@ -1,0 +1,77 @@
+#include "analysis/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace repl {
+
+std::string render_timeline(const SimulationResult& result,
+                            const Trace& trace, TimelineOptions options) {
+  REPL_REQUIRE(options.width >= 8);
+  REPL_REQUIRE_MSG(!result.segments.empty() || trace.empty(),
+                   "timeline needs the event log "
+                   "(SimulationOptions::record_events)");
+  const double horizon = result.horizon > 0.0 ? result.horizon : 1.0;
+  const int width = options.width;
+  const int servers = result.config.num_servers;
+
+  const auto column = [&](double time) {
+    const double frac = std::clamp(time / horizon, 0.0, 1.0);
+    return std::min(static_cast<int>(frac * width), width - 1);
+  };
+
+  std::vector<std::string> rows(
+      static_cast<std::size_t>(servers),
+      std::string(static_cast<std::size_t>(width), '.'));
+
+  for (const CopySegment& segment : result.segments) {
+    const int from = column(segment.begin);
+    const int to = segment.end >= horizon ? width - 1 : column(segment.end);
+    auto& row = rows[static_cast<std::size_t>(segment.server)];
+    for (int c = from; c <= to; ++c) {
+      row[static_cast<std::size_t>(c)] = '=';
+    }
+    if (std::isfinite(segment.special_from) &&
+        segment.special_from <= horizon) {
+      const int special_from = column(segment.special_from);
+      for (int c = special_from; c <= to; ++c) {
+        row[static_cast<std::size_t>(c)] = '*';
+      }
+    }
+  }
+
+  for (const ServeRecord& serve : result.serves) {
+    if (serve.time > horizon) continue;
+    auto& row = rows[static_cast<std::size_t>(serve.server)];
+    row[static_cast<std::size_t>(column(serve.time))] =
+        serve.local ? 'o' : 'x';
+  }
+
+  std::ostringstream os;
+  for (int s = 0; s < servers; ++s) {
+    os << "s" << s << (s < 10 ? " " : "") << "|"
+       << rows[static_cast<std::size_t>(s)] << "|\n";
+  }
+  if (options.show_axis) {
+    os << "    0";
+    const std::string mid = "t=" +
+                            std::to_string(static_cast<long long>(horizon / 2));
+    const std::string end =
+        "t=" + std::to_string(static_cast<long long>(horizon));
+    const int pad_mid =
+        std::max(1, width / 2 - static_cast<int>(mid.size()) / 2 - 1);
+    const int pad_end = std::max(
+        1, width - pad_mid - static_cast<int>(mid.size()) -
+               static_cast<int>(end.size()) - 1);
+    os << std::string(static_cast<std::size_t>(pad_mid), ' ') << mid
+       << std::string(static_cast<std::size_t>(pad_end), ' ') << end
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace repl

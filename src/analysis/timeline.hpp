@@ -1,0 +1,29 @@
+// ASCII timeline rendering of a simulation: one row per server showing
+// when copies were held (and when they were special), with request
+// markers. Invaluable for eyeballing policy behaviour in examples and
+// bug reports; the format is stable enough to assert against in tests.
+//
+//   s0 |=========*****x............|
+//   s1 |..........o===============|
+//
+//   '=' regular copy   '*' special copy   '.' no copy
+//   'o' local serve    'x' request served by transfer
+#pragma once
+
+#include <string>
+
+#include "core/simulator.hpp"
+#include "trace/trace.hpp"
+
+namespace repl {
+
+struct TimelineOptions {
+  int width = 72;          // characters across [0, horizon]
+  bool show_axis = true;   // print a time axis footer
+};
+
+std::string render_timeline(const SimulationResult& result,
+                            const Trace& trace,
+                            TimelineOptions options = TimelineOptions());
+
+}  // namespace repl

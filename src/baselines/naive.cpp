@@ -1,0 +1,105 @@
+#include "baselines/naive.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace repl {
+
+void NaivePolicyBase::reset(const SystemConfig& config, const Prediction&,
+                            EventSink& sink) {
+  config.validate();
+  config_ = config;
+  holding_.assign(static_cast<std::size_t>(config.num_servers), false);
+  holding_[static_cast<std::size_t>(config.initial_server)] = true;
+  copy_count_ = 1;
+  now_ = 0.0;
+  sink.on_create(config.initial_server, 0.0);
+}
+
+void NaivePolicyBase::advance_to(double time, EventSink&) {
+  REPL_CHECK(time >= now_);
+  if (std::isfinite(time)) now_ = time;
+}
+
+bool NaivePolicyBase::holds(int server) const {
+  REPL_REQUIRE(server >= 0 && server < config_.num_servers);
+  return holding_[static_cast<std::size_t>(server)];
+}
+
+ServeAction FullReplicationPolicy::on_request(int server, double time,
+                                              const Prediction&,
+                                              EventSink& sink) {
+  REPL_REQUIRE(server >= 0 && server < config_.num_servers);
+  ServeAction action;
+  if (holding_[static_cast<std::size_t>(server)]) {
+    action.local = true;
+    action.source = server;
+  } else {
+    int source = -1;
+    for (int s = 0; s < config_.num_servers; ++s) {
+      if (holding_[static_cast<std::size_t>(s)]) {
+        source = s;
+        break;
+      }
+    }
+    REPL_CHECK(source >= 0);
+    action.local = false;
+    action.source = source;
+    sink.on_transfer(source, server, time);
+    holding_[static_cast<std::size_t>(server)] = true;
+    ++copy_count_;
+    sink.on_create(server, time);
+  }
+  now_ = time;
+  return action;
+}
+
+ServeAction StaticPolicy::on_request(int server, double time,
+                                     const Prediction&, EventSink& sink) {
+  REPL_REQUIRE(server >= 0 && server < config_.num_servers);
+  ServeAction action;
+  if (server == config_.initial_server) {
+    action.local = true;
+    action.source = server;
+  } else {
+    action.local = false;
+    action.source = config_.initial_server;
+    // Serve remotely; the requester does not retain a copy.
+    sink.on_transfer(config_.initial_server, server, time);
+  }
+  now_ = time;
+  return action;
+}
+
+void SingleCopyChasePolicy::reset(const SystemConfig& config,
+                                  const Prediction& pred0, EventSink& sink) {
+  NaivePolicyBase::reset(config, pred0, sink);
+  holder_ = config.initial_server;
+}
+
+ServeAction SingleCopyChasePolicy::on_request(int server, double time,
+                                              const Prediction&,
+                                              EventSink& sink) {
+  REPL_REQUIRE(server >= 0 && server < config_.num_servers);
+  ServeAction action;
+  if (server == holder_) {
+    action.local = true;
+    action.source = server;
+  } else {
+    action.local = false;
+    action.source = holder_;
+    sink.on_transfer(holder_, server, time);
+    holding_[static_cast<std::size_t>(server)] = true;
+    ++copy_count_;
+    sink.on_create(server, time);
+    holding_[static_cast<std::size_t>(holder_)] = false;
+    --copy_count_;
+    sink.on_drop(holder_, time);
+    holder_ = server;
+  }
+  now_ = time;
+  return action;
+}
+
+}  // namespace repl

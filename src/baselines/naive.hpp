@@ -1,0 +1,76 @@
+// Naive reference policies. None of them is competitive; they anchor the
+// benchmark comparisons at the two extremes of the storage/transfer
+// trade-off:
+//
+//  * FullReplicationPolicy — replicate on first touch, never drop:
+//    minimal transfers, unbounded storage;
+//  * StaticPolicy — keep only the initial copy, serve everything remote:
+//    minimal storage, λ per non-local request;
+//  * SingleCopyChasePolicy — exactly one copy that migrates to every
+//    requester: storage-minimal with a transfer whenever the request
+//    location changes.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "core/policy.hpp"
+
+namespace repl {
+
+/// Common scaffolding: none of the naive policies has spontaneous
+/// transitions, so advance_to is a no-op and next_transition_time is +inf.
+class NaivePolicyBase : public ReplicationPolicy {
+ public:
+  void reset(const SystemConfig& config, const Prediction& pred0,
+             EventSink& sink) override;
+  void advance_to(double time, EventSink&) override;
+  double next_transition_time() const override {
+    return std::numeric_limits<double>::infinity();
+  }
+  bool holds(int server) const override;
+  int copy_count() const override { return copy_count_; }
+
+ protected:
+  SystemConfig config_;
+  std::vector<bool> holding_;
+  int copy_count_ = 0;
+  double now_ = 0.0;
+};
+
+class FullReplicationPolicy final : public NaivePolicyBase {
+ public:
+  ServeAction on_request(int server, double time, const Prediction&,
+                         EventSink& sink) override;
+  std::string name() const override { return "full-replication"; }
+  std::unique_ptr<ReplicationPolicy> clone() const override {
+    return std::make_unique<FullReplicationPolicy>(*this);
+  }
+};
+
+class StaticPolicy final : public NaivePolicyBase {
+ public:
+  ServeAction on_request(int server, double time, const Prediction&,
+                         EventSink& sink) override;
+  std::string name() const override { return "static-single-copy"; }
+  std::unique_ptr<ReplicationPolicy> clone() const override {
+    return std::make_unique<StaticPolicy>(*this);
+  }
+};
+
+class SingleCopyChasePolicy final : public NaivePolicyBase {
+ public:
+  void reset(const SystemConfig& config, const Prediction& pred0,
+             EventSink& sink) override;
+  ServeAction on_request(int server, double time, const Prediction&,
+                         EventSink& sink) override;
+  std::string name() const override { return "single-copy-chase"; }
+  std::unique_ptr<ReplicationPolicy> clone() const override {
+    return std::make_unique<SingleCopyChasePolicy>(*this);
+  }
+
+ private:
+  int holder_ = 0;
+};
+
+}  // namespace repl

@@ -1,0 +1,53 @@
+// The adapted Algorithm 1 of Section 8: bounded robustness 2 + β.
+//
+// Plain Algorithm 1 trades consistency (5+α)/3 against robustness 1+1/α —
+// unbounded as α → 0. The adaptation monitors an upper bound of the
+// online-to-optimal ratio (OnlineU / OPTL, see OnlineCostEstimator) and,
+// whenever it exceeds the target 2 + β, sets the intended duration of the
+// next regular copy to λ regardless of the prediction (the conventional
+// 2-competitive rule); otherwise it follows Algorithm 1. A configurable
+// warm-up runs plain Algorithm 1 for the first `warmup_requests` requests
+// (the paper's experiments use 100).
+#pragma once
+
+#include <optional>
+
+#include "core/drwp.hpp"
+#include "core/online_estimator.hpp"
+
+namespace repl {
+
+class AdaptiveDrwpPolicy final : public DrwpPolicy {
+ public:
+  struct Options {
+    double beta = 0.1;              // target robustness is 2 + beta
+    std::size_t warmup_requests = 100;
+  };
+
+  AdaptiveDrwpPolicy(double alpha, Options options);
+
+  void reset(const SystemConfig& config, const Prediction& pred0,
+             EventSink& sink) override;
+  std::string name() const override;
+  std::unique_ptr<ReplicationPolicy> clone() const override;
+
+  double beta() const { return options_.beta; }
+
+  /// Current monitor value OnlineU / OPTL (+inf before any request).
+  double monitored_ratio() const;
+  /// How many requests chose the conventional duration because the
+  /// monitor exceeded 2 + β.
+  std::size_t fallback_count() const { return fallback_count_; }
+
+ protected:
+  double choose_duration(const Prediction& pred,
+                         const ServeContext& ctx) override;
+
+ private:
+  Options options_;
+  std::optional<OnlineCostEstimator> estimator_;
+  std::size_t served_ = 0;
+  std::size_t fallback_count_ = 0;
+};
+
+}  // namespace repl

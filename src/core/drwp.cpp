@@ -1,0 +1,214 @@
+#include "core/drwp.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace repl {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+DrwpPolicy::DrwpPolicy(double alpha) : alpha_(alpha) {
+  REPL_REQUIRE_MSG(alpha > 0.0 && alpha <= 1.0,
+                   "alpha must be in (0, 1], got " << alpha);
+}
+
+void DrwpPolicy::reset(const SystemConfig& config, const Prediction& pred0,
+                       EventSink& sink) {
+  config.validate();
+  config_ = config;
+  servers_.assign(static_cast<std::size_t>(config.num_servers),
+                  ServerState{});
+  copy_count_ = 0;
+  now_ = 0.0;
+  expiries_ = {};
+
+  // Line 2: the initial copy at s1, with an intended duration chosen by
+  // the prediction for the dummy request r0.
+  ServerState& s0 = servers_[static_cast<std::size_t>(config.initial_server)];
+  s0.has_copy = true;
+  s0.last_request_time = 0.0;
+  copy_count_ = 1;
+  sink.on_create(config.initial_server, 0.0);
+  ServeContext ctx;
+  ctx.server = config.initial_server;
+  ctx.time = 0.0;
+  ctx.local = true;
+  const double duration = choose_duration(pred0, ctx);
+  set_intended(config.initial_server, 0.0, duration, sink);
+}
+
+double DrwpPolicy::choose_duration(const Prediction& pred,
+                                   const ServeContext&) {
+  return pred.within_lambda ? lambda() : alpha_ * lambda();
+}
+
+void DrwpPolicy::set_intended(int server, double time, double duration,
+                              EventSink& sink) {
+  REPL_REQUIRE(duration > 0.0);
+  ServerState& st = servers_[static_cast<std::size_t>(server)];
+  REPL_CHECK(st.has_copy);
+  st.special = false;
+  st.special_since = kInf;
+  st.expiry = time + duration;
+  st.last_intended = duration;
+  ++st.generation;
+  expiries_.push(HeapEntry{st.expiry, server, st.generation});
+  sink.on_set_duration(server, time, duration);
+}
+
+void DrwpPolicy::purge_stale_heap() const {
+  while (!expiries_.empty()) {
+    const HeapEntry& top = expiries_.top();
+    const ServerState& st = servers_[static_cast<std::size_t>(top.server)];
+    const bool valid =
+        st.has_copy && !st.special && st.generation == top.generation;
+    if (valid) return;
+    expiries_.pop();
+  }
+}
+
+double DrwpPolicy::next_transition_time() const {
+  purge_stale_heap();
+  return expiries_.empty() ? kInf : expiries_.top().time;
+}
+
+void DrwpPolicy::process_expiry(int server, double time, EventSink& sink) {
+  // Algorithm 1 lines 20–25.
+  ServerState& st = servers_[static_cast<std::size_t>(server)];
+  REPL_CHECK(st.has_copy && !st.special);
+  if (copy_count_ == 1) {
+    st.special = true;
+    st.special_since = time;
+    sink.on_mark_special(server, time);
+  } else {
+    st.has_copy = false;
+    --copy_count_;
+    REPL_CHECK_MSG(copy_count_ >= 1, "at-least-one-copy violated");
+    sink.on_drop(server, time);
+  }
+}
+
+void DrwpPolicy::advance_to(double time, EventSink& sink) {
+  REPL_CHECK_MSG(time >= now_, "advance_to moved backwards");
+  for (;;) {
+    purge_stale_heap();
+    if (expiries_.empty()) break;
+    const HeapEntry top = expiries_.top();
+    if (!(top.time < time)) break;  // expiry at exactly `time` fires later
+    expiries_.pop();
+    process_expiry(top.server, top.time, sink);
+    now_ = top.time;
+  }
+  if (std::isfinite(time)) now_ = time;
+}
+
+int DrwpPolicy::pick_transfer_source(int requester) const {
+  // A special copy is necessarily the only copy (checked); otherwise the
+  // lowest-indexed holder is chosen — cost is source-independent under
+  // the uniform transfer cost λ, so this only pins determinism.
+  int first_holder = -1;
+  for (int s = 0; s < config_.num_servers; ++s) {
+    const ServerState& st = servers_[static_cast<std::size_t>(s)];
+    if (!st.has_copy || s == requester) continue;
+    if (st.special) {
+      REPL_CHECK_MSG(copy_count_ == 1,
+                     "special copy must be the only copy (Proposition 1)");
+      return s;
+    }
+    if (first_holder < 0) first_holder = s;
+  }
+  REPL_CHECK_MSG(first_holder >= 0, "no transfer source available");
+  return first_holder;
+}
+
+ServeAction DrwpPolicy::on_request(int server, double time,
+                                   const Prediction& pred, EventSink& sink) {
+  REPL_REQUIRE(server >= 0 && server < config_.num_servers);
+  REPL_CHECK_MSG(time >= now_, "requests must arrive in time order");
+  REPL_CHECK_MSG(next_transition_time() >= time,
+                 "advance_to(t) must run before on_request(t)");
+
+  ServerState& st = servers_[static_cast<std::size_t>(server)];
+  ServeAction action;
+  ServeContext ctx;
+  ctx.server = server;
+  ctx.time = time;
+  ctx.prev_intended = st.last_intended;
+  ctx.prev_request_time = st.last_request_time;
+
+  if (st.has_copy) {
+    // Lines 4–5: served by the local copy (t_i <= E_j or K_j = 1).
+    REPL_CHECK(st.special || st.expiry >= time);
+    action.local = true;
+    action.source = server;
+    action.source_special = st.special;
+    action.special_since = st.special_since;
+  } else {
+    // Lines 6–9: transfer from another holder, create a copy here.
+    const int source = pick_transfer_source(server);
+    ServerState& src = servers_[static_cast<std::size_t>(source)];
+    action.local = false;
+    action.source = source;
+    action.source_special = src.special;
+    action.special_since = src.special_since;
+    sink.on_transfer(source, server, time);
+    st.has_copy = true;
+    ++copy_count_;
+    sink.on_create(server, time);
+    if (src.special) {
+      // Lines 15–19: the special copy is dropped right after serving an
+      // outgoing transfer.
+      src.has_copy = false;
+      src.special = false;
+      src.special_since = kInf;
+      --copy_count_;
+      REPL_CHECK(copy_count_ >= 1);
+      sink.on_drop(source, time);
+    }
+  }
+
+  ctx.local = action.local;
+  ctx.source_special = action.source_special;
+  ctx.special_since = action.special_since;
+
+  // Lines 10–14: the new intended duration from the fresh prediction.
+  const double duration = choose_duration(pred, ctx);
+  action.intended_duration = duration;
+  set_intended(server, time, duration, sink);
+  st.last_request_time = time;
+  now_ = time;
+  return action;
+}
+
+bool DrwpPolicy::holds(int server) const {
+  REPL_REQUIRE(server >= 0 && server < config_.num_servers);
+  return servers_[static_cast<std::size_t>(server)].has_copy;
+}
+
+double DrwpPolicy::intended_expiry(int server) const {
+  REPL_REQUIRE(server >= 0 && server < config_.num_servers);
+  const ServerState& st = servers_[static_cast<std::size_t>(server)];
+  if (!st.has_copy) return -kInf;
+  return st.special ? kInf : st.expiry;
+}
+
+bool DrwpPolicy::is_special(int server) const {
+  REPL_REQUIRE(server >= 0 && server < config_.num_servers);
+  return servers_[static_cast<std::size_t>(server)].special;
+}
+
+std::string DrwpPolicy::name() const {
+  std::ostringstream os;
+  os << "drwp(alpha=" << alpha_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<ReplicationPolicy> DrwpPolicy::clone() const {
+  return std::make_unique<DrwpPolicy>(*this);
+}
+
+}  // namespace repl

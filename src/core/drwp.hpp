@@ -1,0 +1,129 @@
+// Algorithm 1 of the paper: Dynamic Replication With Predictions (DRWP).
+//
+// Per-server state: the intended expiry E_j of the regular copy and the
+// keep-tag K_j marking a special copy (a copy kept beyond its intended
+// duration because it is the only copy in the system). On each request the
+// server keeps its copy for an intended duration of
+//
+//      λ    if the next local request is predicted within λ,
+//      α·λ  otherwise,
+//
+// where α ∈ (0, 1] is the distrust hyper-parameter. When a regular copy
+// expires it is dropped, unless it is the only copy, in which case it
+// becomes special and survives until the next request: served locally it
+// turns regular again; serving a transfer it is dropped right after
+// (Algorithm 1 lines 15–19).
+//
+// Proven bounds (reproduced by the test suite empirically):
+// (5+α)/3-consistent and (1 + 1/α)-robust.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "core/policy.hpp"
+
+namespace repl {
+
+class DrwpPolicy : public ReplicationPolicy {
+ public:
+  /// `alpha` in (0, 1]. alpha -> 0 trusts predictions fully; alpha = 1
+  /// ignores them (both branches give duration λ).
+  explicit DrwpPolicy(double alpha);
+
+  void reset(const SystemConfig& config, const Prediction& pred0,
+             EventSink& sink) override;
+  void advance_to(double time, EventSink& sink) override;
+  ServeAction on_request(int server, double time, const Prediction& pred,
+                         EventSink& sink) override;
+  double next_transition_time() const override;
+  bool holds(int server) const override;
+  int copy_count() const override { return copy_count_; }
+  std::string name() const override;
+  std::unique_ptr<ReplicationPolicy> clone() const override;
+
+  double alpha() const { return alpha_; }
+  double lambda() const { return config_.transfer_cost; }
+
+  /// Intended expiry of `server`'s regular copy (+inf for a special copy,
+  /// -inf when no copy is held). Exposed for tests and the adversary.
+  double intended_expiry(int server) const;
+  bool is_special(int server) const;
+
+ protected:
+  /// Everything known about the request just served, before the new
+  /// intended duration is chosen. Subclasses (adapted Algorithm 1,
+  /// weighted extension) override choose_duration.
+  struct ServeContext {
+    int server = -1;
+    double time = 0.0;
+    bool local = false;
+    bool source_special = false;
+    double special_since = std::numeric_limits<double>::infinity();
+    /// Intended duration set after the preceding request at this server
+    /// (the analysis' l_i); NaN if this is the server's first request.
+    double prev_intended = std::numeric_limits<double>::quiet_NaN();
+    /// Time of the preceding request at this server (0 for the initial
+    /// server's dummy r0); NaN if none.
+    double prev_request_time = std::numeric_limits<double>::quiet_NaN();
+  };
+
+  /// Default: pred.within_lambda ? λ : α·λ (Algorithm 1 lines 10–13).
+  virtual double choose_duration(const Prediction& pred,
+                                 const ServeContext& ctx);
+
+  const SystemConfig& config() const { return config_; }
+
+ private:
+  struct HeapEntry {
+    double time;
+    int server;
+    std::uint64_t generation;
+    friend bool operator>(const HeapEntry& a, const HeapEntry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.server > b.server;  // ties: lower server index first
+    }
+  };
+
+  struct ServerState {
+    bool has_copy = false;
+    bool special = false;  // K_j
+    double expiry = -std::numeric_limits<double>::infinity();  // E_j
+    double special_since = std::numeric_limits<double>::infinity();
+    double last_intended = std::numeric_limits<double>::quiet_NaN();
+    double last_request_time = std::numeric_limits<double>::quiet_NaN();
+    std::uint64_t generation = 0;
+  };
+
+  void set_intended(int server, double time, double duration,
+                    EventSink& sink);
+  void process_expiry(int server, double time, EventSink& sink);
+  void purge_stale_heap() const;
+  int pick_transfer_source(int requester) const;
+
+  double alpha_;
+  SystemConfig config_;
+  std::vector<ServerState> servers_;
+  int copy_count_ = 0;
+  double now_ = 0.0;
+  mutable std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                              std::greater<HeapEntry>>
+      expiries_;
+};
+
+/// The prediction-less 2-competitive baseline: Algorithm 1 with α = 1
+/// (both prediction branches yield duration λ, so forecasts are ignored).
+/// The paper notes this matches the best possible deterministic online
+/// ratio for the problem.
+class ConventionalPolicy final : public DrwpPolicy {
+ public:
+  ConventionalPolicy() : DrwpPolicy(1.0) {}
+  std::string name() const override { return "conventional"; }
+  std::unique_ptr<ReplicationPolicy> clone() const override {
+    return std::make_unique<ConventionalPolicy>(*this);
+  }
+};
+
+}  // namespace repl

@@ -1,0 +1,65 @@
+// The replication policy interface.
+//
+// A policy is an event-driven automaton over the copy configuration. The
+// driver (Simulator, or the Section-9 adversary) interacts with it via:
+//
+//   reset(cfg, pred0, sink)       — place the initial copy at
+//                                   cfg.initial_server at time 0; `pred0`
+//                                   is the prediction for the dummy
+//                                   request r0;
+//   advance_to(t, sink)           — process all spontaneous transitions
+//                                   (copy expiries) with time strictly
+//                                   less than t, in time order (ties by
+//                                   server index);
+//   on_request(server, t, pred)   — serve a request; `pred` forecasts the
+//                                   *next* inter-request time at `server`;
+//   next_transition_time()        — earliest pending spontaneous
+//                                   transition (+inf if none);
+//   holds(server) / copy_count()  — introspection of the copy set.
+//
+// Time-tie conventions (see DESIGN.md §2): an intended expiry at exactly
+// time t does not fire before a request at time t — copies are valid
+// through their expiry instant inclusive — so drivers always call
+// advance_to(t) (strict) before on_request(t).
+//
+// Policies must be clone()-able: the lower-bound adversary forks the
+// policy to peek at its future copy-holding behaviour, and the adapted
+// algorithm's tests compare forked trajectories.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/types.hpp"
+#include "predictor/predictor.hpp"
+
+namespace repl {
+
+class ReplicationPolicy {
+ public:
+  virtual ~ReplicationPolicy() = default;
+
+  virtual void reset(const SystemConfig& config, const Prediction& pred0,
+                     EventSink& sink) = 0;
+
+  virtual void advance_to(double time, EventSink& sink) = 0;
+
+  virtual ServeAction on_request(int server, double time,
+                                 const Prediction& pred,
+                                 EventSink& sink) = 0;
+
+  /// Earliest time (> the last processed instant) at which the copy set
+  /// changes without a request arriving; +inf if the configuration is
+  /// stable.
+  virtual double next_transition_time() const = 0;
+
+  virtual bool holds(int server) const = 0;
+  virtual int copy_count() const = 0;
+
+  virtual std::string name() const = 0;
+  virtual std::unique_ptr<ReplicationPolicy> clone() const = 0;
+};
+
+using PolicyPtr = std::unique_ptr<ReplicationPolicy>;
+
+}  // namespace repl

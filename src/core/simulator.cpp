@@ -1,0 +1,249 @@
+#include "core/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace repl {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// The canonical event sink: validates the event stream and accumulates
+/// copy segments + transfers.
+class Recorder final : public EventSink {
+ public:
+  Recorder(const SystemConfig& config, bool record_events, double horizon)
+      : config_(config),
+        record_events_(record_events),
+        horizon_(horizon),
+        holding_(static_cast<std::size_t>(config.num_servers), false),
+        open_begin_(static_cast<std::size_t>(config.num_servers), 0.0),
+        open_special_(static_cast<std::size_t>(config.num_servers), kInf) {}
+
+  void on_create(int server, double time) override {
+    check_time(time);
+    REPL_CHECK_MSG(!holding_at(server),
+                   "create at server already holding a copy");
+    holding_at(server) = true;
+    ++count_;
+    open_begin_[static_cast<std::size_t>(server)] = time;
+    open_special_[static_cast<std::size_t>(server)] = kInf;
+  }
+
+  void on_drop(int server, double time) override {
+    check_time(time);
+    REPL_CHECK_MSG(holding_at(server), "drop at server without a copy");
+    holding_at(server) = false;
+    --count_;
+    REPL_CHECK_MSG(count_ >= 1,
+                   "at-least-one-copy requirement violated at t=" << time);
+    close_segment(server, time);
+  }
+
+  void on_mark_special(int server, double time) override {
+    check_time(time);
+    REPL_CHECK_MSG(holding_at(server), "mark_special without a copy");
+    REPL_CHECK_MSG(count_ == 1,
+                   "special copy must be the only copy (Proposition 1)");
+    auto& sf = open_special_[static_cast<std::size_t>(server)];
+    REPL_CHECK_MSG(sf == kInf, "copy marked special twice");
+    sf = time;
+  }
+
+  void on_transfer(int src, int dst, double time) override {
+    check_time(time);
+    REPL_CHECK_MSG(src != dst, "self-transfer");
+    REPL_CHECK_MSG(holding_at(src), "transfer from a server without a copy");
+    ++transfer_count_;
+    // Transfers after the cost horizon (e.g. post-trace home migrations
+    // during the flush) are recorded but not billed.
+    if (time <= horizon_) ++billed_transfer_count_;
+    if (record_events_) transfers_.push_back(TransferRecord{src, dst, time});
+  }
+
+  void on_set_duration(int server, double time, double duration) override {
+    check_time(time);
+    REPL_CHECK(holding_at(server));
+    REPL_CHECK(duration > 0.0);
+    if (std::isnan(initial_intended_)) initial_intended_ = duration;
+    // A renewed intended duration un-marks a special copy.
+    open_special_[static_cast<std::size_t>(server)] = kInf;
+  }
+
+  /// Closes all still-open segments with end = +inf. No further events
+  /// may follow.
+  void finish() {
+    for (int s = 0; s < config_.num_servers; ++s) {
+      if (holding_at(s)) {
+        close_segment(s, kInf);
+        holding_at(s) = false;
+      }
+    }
+  }
+
+  int count() const { return count_; }
+  std::size_t transfer_count() const { return transfer_count_; }
+  std::size_t billed_transfer_count() const { return billed_transfer_count_; }
+  double last_time() const { return last_time_; }
+  double initial_intended() const { return initial_intended_; }
+  std::vector<CopySegment>& segments() { return segments_; }
+  std::vector<TransferRecord>& transfers() { return transfers_; }
+
+  /// Storage cost within [0, horizon], weighted by per-server rates.
+  /// Must be called after finish() (all segments materialized).
+  double storage_cost(double horizon) const {
+    double total = 0.0;
+    for (const CopySegment& seg : segments_) {
+      const double end = std::min(seg.end, horizon);
+      if (end > seg.begin) {
+        total += config_.storage_rate(seg.server) * (end - seg.begin);
+      }
+    }
+    return total;
+  }
+
+ private:
+  std::vector<bool>::reference holding_at(int server) {
+    REPL_CHECK(server >= 0 && server < config_.num_servers);
+    return holding_[static_cast<std::size_t>(server)];
+  }
+
+  void check_time(double time) {
+    REPL_CHECK_MSG(time >= last_time_,
+                   "event times must be non-decreasing: " << time << " after "
+                                                          << last_time_);
+    last_time_ = time;
+  }
+
+  void close_segment(int server, double end) {
+    const auto s = static_cast<std::size_t>(server);
+    segments_.push_back(CopySegment{server, open_begin_[s], open_special_[s],
+                                    end});
+    open_special_[s] = kInf;
+  }
+
+  const SystemConfig& config_;
+  bool record_events_;
+  double horizon_;
+  std::vector<bool> holding_;
+  std::vector<double> open_begin_;
+  std::vector<double> open_special_;
+  std::vector<CopySegment> segments_;
+  std::vector<TransferRecord> transfers_;
+  int count_ = 0;
+  std::size_t transfer_count_ = 0;
+  std::size_t billed_transfer_count_ = 0;
+  double last_time_ = 0.0;
+  double initial_intended_ = std::numeric_limits<double>::quiet_NaN();
+};
+
+}  // namespace
+
+Simulator::Simulator(SystemConfig config, SimulationOptions options)
+    : config_(std::move(config)), options_(options) {
+  config_.validate();
+}
+
+SimulationResult Simulator::run(ReplicationPolicy& policy, const Trace& trace,
+                                Predictor& predictor) const {
+  REPL_REQUIRE_MSG(trace.num_servers() == config_.num_servers,
+                   "trace has " << trace.num_servers()
+                                << " servers, config expects "
+                                << config_.num_servers);
+  const double lambda = config_.transfer_cost;
+  const double horizon =
+      options_.horizon < 0.0 ? trace.duration() : options_.horizon;
+
+  Recorder recorder(config_, options_.record_events, horizon);
+  predictor.reset();
+
+  const Prediction pred0 = predictor.predict(
+      PredictionQuery{-1, config_.initial_server, 0.0, lambda});
+  policy.reset(config_, pred0, recorder);
+
+  SimulationResult result;
+  result.config = config_;
+  result.horizon = horizon;
+  result.policy_name = policy.name();
+  result.predictor_name = predictor.name();
+  result.initial_prediction = pred0;
+  if (options_.record_events) result.serves.reserve(trace.size());
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Request& r = trace[i];
+    policy.advance_to(r.time, recorder);
+    const Prediction pred = predictor.predict(PredictionQuery{
+        static_cast<long>(i), r.server, r.time, lambda});
+    const std::size_t transfers_before = recorder.transfer_count();
+    const ServeAction action = policy.on_request(r.server, r.time, pred,
+                                                 recorder);
+    // Cross-check the action against the event stream.
+    const std::size_t new_transfers =
+        recorder.transfer_count() - transfers_before;
+    REPL_CHECK(action.extra_transfers >= 0);
+    REPL_CHECK_MSG(
+        new_transfers ==
+            (action.local ? 0u : 1u) +
+                static_cast<std::size_t>(action.extra_transfers),
+        "serve action inconsistent with emitted transfers");
+    if (action.local) ++result.num_local;
+
+    if (options_.record_events) {
+      ServeRecord record;
+      record.index = i;
+      record.server = r.server;
+      record.time = r.time;
+      record.local = action.local;
+      record.source = action.source;
+      record.source_special = action.source_special;
+      record.special_since = action.special_since;
+      record.intended_duration = action.intended_duration;
+      record.prediction = pred;
+      result.serves.push_back(record);
+    }
+  }
+
+  // Flush pending expiries past the horizon so the post-trace segments
+  // (needed by the Proposition-2 allocation analysis) are materialized.
+  // The flush window is bounded because some policies (e.g. Wang et al.'s
+  // home renewal) re-arm expiries forever; two maximum TTLs past the end
+  // is enough to expose every copy's fate under all implemented policies.
+  double min_rate = 1.0;
+  for (int s = 0; s < config_.num_servers; ++s) {
+    min_rate = std::min(min_rate, config_.storage_rate(s));
+  }
+  const double flush_time = std::max(horizon, trace.duration()) +
+                            4.0 * lambda / min_rate + 1.0;
+  policy.advance_to(flush_time, recorder);
+  REPL_CHECK_MSG(policy.copy_count() == recorder.count(),
+                 "policy copy count disagrees with event stream");
+  REPL_CHECK(recorder.count() >= 1);
+
+  recorder.finish();
+  result.storage_cost = recorder.storage_cost(horizon);
+  result.num_transfers = recorder.billed_transfer_count();
+  result.transfer_cost = lambda * static_cast<double>(result.num_transfers);
+  result.initial_intended_duration = recorder.initial_intended();
+
+  if (options_.record_events) {
+    result.segments = std::move(recorder.segments());
+    std::sort(result.segments.begin(), result.segments.end(),
+              [](const CopySegment& a, const CopySegment& b) {
+                if (a.begin != b.begin) return a.begin < b.begin;
+                return a.server < b.server;
+              });
+    result.transfers = std::move(recorder.transfers());
+  }
+  return result;
+}
+
+SimulationResult simulate(const SystemConfig& config,
+                          ReplicationPolicy& policy, const Trace& trace,
+                          Predictor& predictor, SimulationOptions options) {
+  return Simulator(config, options).run(policy, trace, predictor);
+}
+
+}  // namespace repl

@@ -1,0 +1,110 @@
+// Drives a ReplicationPolicy over a trace, integrating storage/transfer
+// costs and validating the model invariants on every event:
+//
+//  * at least one copy exists at all times;
+//  * transfers originate at copy holders;
+//  * a special copy is the only copy when marked (Proposition 1);
+//  * event times are non-decreasing.
+//
+// The full event log (serve records, copy segments, transfers) is
+// returned so the analysis module can classify requests (Section 4.1)
+// and verify the Proposition-2 cost allocation identity.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "core/types.hpp"
+#include "predictor/predictor.hpp"
+#include "trace/trace.hpp"
+
+namespace repl {
+
+/// One entry per request, in trace order.
+struct ServeRecord {
+  std::size_t index = 0;
+  int server = -1;
+  double time = 0.0;
+  bool local = false;
+  int source = -1;
+  bool source_special = false;
+  double special_since = std::numeric_limits<double>::infinity();
+  double intended_duration = 0.0;
+  Prediction prediction;
+};
+
+/// A maximal interval during which one server continuously held a copy.
+/// `special_from` is +inf if the copy never became special; `end` is +inf
+/// if the copy was never dropped (the final surviving copy).
+struct CopySegment {
+  int server = -1;
+  double begin = 0.0;
+  double special_from = std::numeric_limits<double>::infinity();
+  double end = std::numeric_limits<double>::infinity();
+};
+
+struct TransferRecord {
+  int src = -1;
+  int dst = -1;
+  double time = 0.0;
+};
+
+struct SimulationResult {
+  SystemConfig config;
+  double horizon = 0.0;
+  /// Storage cost integrated over [0, horizon], weighted by the
+  /// per-server storage rates.
+  double storage_cost = 0.0;
+  /// transfer_cost = λ × number of transfers.
+  double transfer_cost = 0.0;
+  double total_cost() const { return storage_cost + transfer_cost; }
+
+  std::size_t num_local = 0;
+  std::size_t num_transfers = 0;
+  /// Intended duration set for the initial copy at time 0 (from the r0
+  /// prediction); NaN for policies that do not use TTLs.
+  double initial_intended_duration =
+      std::numeric_limits<double>::quiet_NaN();
+  /// The prediction issued for the dummy request r0.
+  Prediction initial_prediction;
+
+  std::vector<ServeRecord> serves;
+  std::vector<CopySegment> segments;
+  std::vector<TransferRecord> transfers;
+
+  std::string policy_name;
+  std::string predictor_name;
+};
+
+struct SimulationOptions {
+  /// Cost horizon; negative means "the final request time" (the paper's
+  /// convention of counting cost up to r_m only).
+  double horizon = -1.0;
+  /// Keep per-event logs (serves/segments/transfers). Benches on long
+  /// traces may disable to save memory; analysis requires them.
+  bool record_events = true;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(SystemConfig config, SimulationOptions options = {});
+
+  /// Runs `policy` over `trace` with predictions from `predictor`.
+  /// The policy is reset first; the predictor's reset() is called too.
+  SimulationResult run(ReplicationPolicy& policy, const Trace& trace,
+                       Predictor& predictor) const;
+
+ private:
+  SystemConfig config_;
+  SimulationOptions options_;
+};
+
+/// Convenience wrapper: one-shot simulation.
+SimulationResult simulate(const SystemConfig& config,
+                          ReplicationPolicy& policy, const Trace& trace,
+                          Predictor& predictor,
+                          SimulationOptions options = {});
+
+}  // namespace repl

@@ -1,0 +1,94 @@
+// Shared value types of the replication engine.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "predictor/predictor.hpp"
+#include "util/check.hpp"
+
+namespace repl {
+
+/// Static description of the multi-server system.
+///
+/// Storage costs 1 per time unit per copy by default; the optional
+/// `storage_rates` vector (one rate per server) enables the
+/// distinct-storage-cost extension studied in Section 11 / Wang et al.
+/// 2021. The transfer cost between any two servers is the uniform
+/// `transfer_cost` (the paper's λ).
+struct SystemConfig {
+  int num_servers = 1;
+  double transfer_cost = 1.0;  // λ > 0
+  int initial_server = 0;      // holds the only copy at time 0 (s1)
+  std::vector<double> storage_rates;  // empty => all servers rate 1
+
+  double storage_rate(int server) const {
+    if (storage_rates.empty()) return 1.0;
+    return storage_rates[static_cast<std::size_t>(server)];
+  }
+
+  void validate() const {
+    REPL_REQUIRE(num_servers >= 1);
+    REPL_REQUIRE(transfer_cost > 0.0);
+    REPL_REQUIRE(initial_server >= 0 && initial_server < num_servers);
+    REPL_REQUIRE(storage_rates.empty() ||
+                 storage_rates.size() ==
+                     static_cast<std::size_t>(num_servers));
+    for (double r : storage_rates) REPL_REQUIRE(r > 0.0);
+  }
+};
+
+/// How a request was served, plus the bookkeeping Algorithm 1's analysis
+/// needs (Section 4.1's request typing is derived from these fields).
+struct ServeAction {
+  bool local = false;
+  /// Server whose copy served the request (equals the request's server
+  /// when local, the transfer source otherwise).
+  int source = -1;
+  /// The serving copy was a *special* copy (kept beyond its intended
+  /// duration, Algorithm 1's K tag) at serve time.
+  bool source_special = false;
+  /// If `source_special`, the instant the serving copy switched from
+  /// regular to special (the paper's t'_i).
+  double special_since = std::numeric_limits<double>::infinity();
+  /// Intended duration the policy set for the requester's copy after this
+  /// request (λ or α·λ for Algorithm 1); 0 for policies without TTLs.
+  double intended_duration = 0.0;
+  /// Transfers emitted during this request beyond the serving one (e.g.
+  /// offline plans replicating to additional servers). The simulator
+  /// validates the emitted-transfer count against this.
+  int extra_transfers = 0;
+};
+
+/// Receives the policy's state-change notifications. The simulator is the
+/// canonical sink (cost integration + invariant checking); tests may use
+/// lighter ones.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  /// A copy materialized at `server` (initial placement or transfer
+  /// receipt).
+  virtual void on_create(int server, double time) = 0;
+  /// The copy at `server` was dropped.
+  virtual void on_drop(int server, double time) = 0;
+  /// The copy at `server` outlived its intended duration and became a
+  /// special copy (Algorithm 1 lines 21–22).
+  virtual void on_mark_special(int server, double time) = 0;
+  /// The object was transferred src -> dst (cost λ).
+  virtual void on_transfer(int src, int dst, double time) = 0;
+  /// The policy (re)set the intended expiry of `server`'s copy to
+  /// time + duration. Informational; used by analysis.
+  virtual void on_set_duration(int server, double time, double duration) = 0;
+};
+
+/// No-op sink for probing policies without recording.
+class NullEventSink final : public EventSink {
+ public:
+  void on_create(int, double) override {}
+  void on_drop(int, double) override {}
+  void on_mark_special(int, double) override {}
+  void on_transfer(int, int, double) override {}
+  void on_set_duration(int, double, double) override {}
+};
+
+}  // namespace repl

@@ -1,0 +1,71 @@
+#include "extensions/multi_object.hpp"
+
+#include "core/simulator.hpp"
+#include "offline/opt_dp.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace repl {
+
+MultiObjectWorkload generate_multi_object_workload(
+    const MultiObjectConfig& config, std::uint64_t seed) {
+  REPL_REQUIRE(config.num_objects >= 1);
+  REPL_REQUIRE(config.request_rate > 0.0);
+  REPL_REQUIRE(config.horizon > 0.0);
+  Rng rng(seed);
+  const ZipfDistribution object_zipf(config.num_objects,
+                                     config.object_zipf_s);
+  const ZipfDistribution server_zipf(config.num_servers,
+                                     config.server_zipf_s);
+
+  std::vector<std::vector<Request>> per_object(
+      static_cast<std::size_t>(config.num_objects));
+  double t = 0.0;
+  for (;;) {
+    t += rng.exponential(config.request_rate);
+    if (t > config.horizon) break;
+    const int object = object_zipf.sample(rng) - 1;
+    const int server = server_zipf.sample(rng) - 1;
+    per_object[static_cast<std::size_t>(object)].push_back(
+        Request{t, server});
+  }
+
+  MultiObjectWorkload workload;
+  workload.num_servers = config.num_servers;
+  workload.objects.reserve(per_object.size());
+  for (auto& requests : per_object) {
+    workload.objects.push_back(
+        Trace::from_unsorted(config.num_servers, std::move(requests)));
+  }
+  return workload;
+}
+
+MultiObjectResult run_multi_object(const MultiObjectWorkload& workload,
+                                   const SystemConfig& base_config,
+                                   const PolicyFactory& make_policy,
+                                   const PredictorFactory& make_predictor) {
+  REPL_REQUIRE(base_config.num_servers == workload.num_servers);
+  MultiObjectResult result;
+  SimulationOptions options;
+  options.record_events = false;
+  const Simulator simulator(base_config, options);
+  const OptimalDpSolver solver(base_config);
+  for (const Trace& trace : workload.objects) {
+    if (trace.empty()) {
+      result.per_object_online.push_back(0.0);
+      result.per_object_opt.push_back(0.0);
+      continue;
+    }
+    PolicyPtr policy = make_policy();
+    auto predictor = make_predictor(trace);
+    const SimulationResult run = simulator.run(*policy, trace, *predictor);
+    const double opt = solver.solve(trace);
+    result.per_object_online.push_back(run.total_cost());
+    result.per_object_opt.push_back(opt);
+    result.online_cost += run.total_cost();
+    result.opt_cost += opt;
+  }
+  return result;
+}
+
+}  // namespace repl

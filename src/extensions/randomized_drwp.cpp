@@ -1,0 +1,37 @@
+#include "extensions/randomized_drwp.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace repl {
+
+RandomizedDrwpPolicy::RandomizedDrwpPolicy(double alpha, std::uint64_t seed)
+    : DrwpPolicy(alpha), seed_(seed), rng_(seed) {}
+
+void RandomizedDrwpPolicy::reset(const SystemConfig& config,
+                                 const Prediction& pred0, EventSink& sink) {
+  rng_ = Rng(seed_);  // reproducible runs
+  DrwpPolicy::reset(config, pred0, sink);
+}
+
+double RandomizedDrwpPolicy::choose_duration(const Prediction& pred,
+                                             const ServeContext&) {
+  if (pred.within_lambda) return lambda();
+  // z in [0, α] with density proportional to e^(z/α); inverse-CDF sample.
+  const double u = rng_.next_double();
+  const double z = alpha() * std::log1p(u * (std::exp(1.0) - 1.0));
+  // Guard against a zero duration (u = 0).
+  return std::max(z, 1e-9 * alpha()) * lambda();
+}
+
+std::string RandomizedDrwpPolicy::name() const {
+  std::ostringstream os;
+  os << "randomized-drwp(alpha=" << alpha() << ")";
+  return os.str();
+}
+
+std::unique_ptr<ReplicationPolicy> RandomizedDrwpPolicy::clone() const {
+  return std::make_unique<RandomizedDrwpPolicy>(*this);
+}
+
+}  // namespace repl

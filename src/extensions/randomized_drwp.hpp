@@ -1,0 +1,43 @@
+// Exploratory randomized variant of Algorithm 1 (not from the paper).
+//
+// Classical randomized ski-rental buys after renting z·B where z is drawn
+// from the density e^z/(e−1) on [0,1], beating every deterministic
+// strategy (ratio e/(e−1) ≈ 1.582 instead of 2). Transplanted here: when
+// the prediction says the next request is *beyond* λ, the intended
+// duration is λ·z with z ~ e^z/(e−1) rescaled to [0, α] (so the expected
+// duration stays below the deterministic α·λ choice while hedging against
+// mispredictions); a "within" prediction still yields λ. With α = 1 this
+// is a prediction-free randomized policy.
+//
+// No competitive guarantee is claimed — the paper's lower bound (3/2)
+// applies to deterministic algorithms only, and benchmarking this variant
+// against it is exactly the point of the extension
+// (bench_weighted_extension prints the comparison).
+#pragma once
+
+#include <cstdint>
+
+#include "core/drwp.hpp"
+#include "util/rng.hpp"
+
+namespace repl {
+
+class RandomizedDrwpPolicy final : public DrwpPolicy {
+ public:
+  RandomizedDrwpPolicy(double alpha, std::uint64_t seed);
+
+  void reset(const SystemConfig& config, const Prediction& pred0,
+             EventSink& sink) override;
+  std::string name() const override;
+  std::unique_ptr<ReplicationPolicy> clone() const override;
+
+ protected:
+  double choose_duration(const Prediction& pred,
+                         const ServeContext& ctx) override;
+
+ private:
+  std::uint64_t seed_;
+  Rng rng_;
+};
+
+}  // namespace repl

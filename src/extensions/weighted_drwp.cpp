@@ -1,0 +1,23 @@
+#include "extensions/weighted_drwp.hpp"
+
+#include <sstream>
+
+namespace repl {
+
+double WeightedDrwpPolicy::choose_duration(const Prediction& pred,
+                                           const ServeContext& ctx) {
+  const double base = DrwpPolicy::choose_duration(pred, ctx);
+  return base / config().storage_rate(ctx.server);
+}
+
+std::string WeightedDrwpPolicy::name() const {
+  std::ostringstream os;
+  os << "weighted-drwp(alpha=" << alpha() << ")";
+  return os.str();
+}
+
+std::unique_ptr<ReplicationPolicy> WeightedDrwpPolicy::clone() const {
+  return std::make_unique<WeightedDrwpPolicy>(*this);
+}
+
+}  // namespace repl

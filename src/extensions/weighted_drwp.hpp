@@ -1,0 +1,29 @@
+// Distinct-storage-rate extension of Algorithm 1.
+//
+// The paper analyzes uniform storage rates and leaves distinct rates to
+// the Wang et al. line of work (Section 11). The natural generalization —
+// scale every intended duration by 1/µ(s), so the storage spent between
+// renewals matches one transfer cost exactly as in the uniform case — is
+// implemented here and evaluated against Wang2021Policy and the exact
+// weighted DP in bench_weighted_extension. This is an extension beyond
+// the paper, documented as such; no competitive guarantee is claimed.
+#pragma once
+
+#include "core/drwp.hpp"
+
+namespace repl {
+
+class WeightedDrwpPolicy final : public DrwpPolicy {
+ public:
+  explicit WeightedDrwpPolicy(double alpha) : DrwpPolicy(alpha) {}
+
+  std::string name() const override;
+  std::unique_ptr<ReplicationPolicy> clone() const override;
+
+ protected:
+  /// λ/µ(s) if predicted within, α·λ/µ(s) otherwise.
+  double choose_duration(const Prediction& pred,
+                         const ServeContext& ctx) override;
+};
+
+}  // namespace repl

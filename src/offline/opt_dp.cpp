@@ -1,0 +1,292 @@
+#include "offline/opt_dp.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace repl {
+
+namespace {
+
+constexpr double kInfCost = std::numeric_limits<double>::infinity();
+
+struct ActiveMap {
+  std::vector<int> bit_to_server;
+  std::vector<int> server_to_bit;  // -1 for servers with no requests
+  int init_bit = 0;
+
+  int bits() const { return static_cast<int>(bit_to_server.size()); }
+};
+
+bool uniform_rates_impl(const SystemConfig& config) {
+  if (config.storage_rates.empty()) return true;
+  for (double r : config.storage_rates) {
+    if (r != config.storage_rates.front()) return false;
+  }
+  return true;
+}
+
+ActiveMap build_active_map(const SystemConfig& config, const Trace& trace) {
+  ActiveMap map;
+  map.server_to_bit.assign(static_cast<std::size_t>(config.num_servers), -1);
+  auto add = [&map](int server) {
+    auto& bit = map.server_to_bit[static_cast<std::size_t>(server)];
+    if (bit < 0) {
+      bit = static_cast<int>(map.bit_to_server.size());
+      map.bit_to_server.push_back(server);
+    }
+  };
+  add(config.initial_server);
+  for (const Request& r : trace.requests()) add(r.server);
+  // Under distinct storage rates the optimum may "park" the object at the
+  // cheapest server even if it never requests; include one such server in
+  // the state universe. (Under uniform rates parking at a non-requester
+  // never beats extending an existing copy, so no extra bit is needed.)
+  if (!uniform_rates_impl(config)) {
+    int cheapest = 0;
+    for (int s = 1; s < config.num_servers; ++s) {
+      if (config.storage_rate(s) < config.storage_rate(cheapest)) {
+        cheapest = s;
+      }
+    }
+    add(cheapest);
+  }
+  map.init_bit = map.server_to_bit[
+      static_cast<std::size_t>(config.initial_server)];
+  return map;
+}
+
+/// Summed storage rate per holder set.
+std::vector<double> build_weights(const SystemConfig& config,
+                                  const ActiveMap& map) {
+  const std::size_t full = std::size_t{1} << map.bits();
+  std::vector<double> weights(full, 0.0);
+  for (std::size_t s = 1; s < full; ++s) {
+    const int low = std::countr_zero(s);
+    weights[s] = weights[s & (s - 1)] +
+                 config.storage_rate(map.bit_to_server[
+                     static_cast<std::size_t>(low)]);
+  }
+  return weights;
+}
+
+bool uniform_rates(const SystemConfig& config) {
+  return uniform_rates_impl(config);
+}
+
+/// Event sequence: the dummy request r0 (time 0, initial server) followed
+/// by the trace. Buying copies at time 0 is thereby representable.
+struct Event {
+  double gap;  // time since the previous event
+  int bit;     // requesting server's bit index
+};
+
+std::vector<Event> build_events(const ActiveMap& map, const Trace& trace) {
+  std::vector<Event> events;
+  events.reserve(trace.size() + 1);
+  events.push_back(Event{0.0, map.init_bit});
+  double prev = 0.0;
+  for (const Request& r : trace.requests()) {
+    events.push_back(Event{
+        r.time - prev,
+        map.server_to_bit[static_cast<std::size_t>(r.server)]});
+    prev = r.time;
+  }
+  return events;
+}
+
+}  // namespace
+
+OptimalDpSolver::OptimalDpSolver(SystemConfig config, Options options)
+    : config_(std::move(config)), options_(options) {
+  config_.validate();
+  REPL_REQUIRE(options_.max_active_servers >= 1);
+}
+
+double OptimalDpSolver::solve(const Trace& trace) const {
+  if (trace.empty()) return 0.0;
+  REPL_REQUIRE(trace.num_servers() == config_.num_servers);
+  const ActiveMap map = build_active_map(config_, trace);
+  const int k = map.bits();
+  REPL_REQUIRE_MSG(k <= options_.max_active_servers,
+                   "trace has " << k << " active servers; DP is Θ(m·2^k·k)"
+                                << " and capped at "
+                                << options_.max_active_servers);
+  const std::size_t full = std::size_t{1} << k;
+  const double lambda = config_.transfer_cost;
+  const std::vector<double> weights = build_weights(config_, map);
+  // Under uniform rates, buying a copy at a non-requesting server never
+  // beats extending an existing one, so the buy pass can be skipped; the
+  // reference solver cross-checks this in tests.
+  const bool need_buy_pass = !uniform_rates(config_);
+
+  std::vector<double> dp(full, kInfCost);
+  std::vector<double> work(full);
+  std::vector<double> next(full, kInfCost);
+  dp[std::size_t{1} << map.init_bit] = 0.0;
+
+  for (const Event& event : build_events(map, trace)) {
+    const std::size_t abit = std::size_t{1} << event.bit;
+    // val[S] = dp[S] + storage over the gap + serve cost.
+    work[0] = kInfCost;
+    for (std::size_t s = 1; s < full; ++s) {
+      work[s] = dp[s] + event.gap * weights[s] +
+                ((s & abit) ? 0.0 : lambda);
+    }
+    // Superset-min: work[T] = min_{S ⊇ T} val[S].
+    for (int b = 0; b < k; ++b) {
+      const std::size_t bbit = std::size_t{1} << b;
+      for (std::size_t t = 0; t < full; ++t) {
+        if (!(t & bbit)) work[t] = std::min(work[t], work[t | bbit]);
+      }
+    }
+    // Buy pass: work[T] = min_{U ⊆ T} (work[U] + λ·|T \ U|).
+    if (need_buy_pass) {
+      for (int b = 0; b < k; ++b) {
+        const std::size_t bbit = std::size_t{1} << b;
+        for (std::size_t t = 0; t < full; ++t) {
+          if (t & bbit) work[t] = std::min(work[t], work[t ^ bbit] + lambda);
+        }
+      }
+    }
+    next[0] = kInfCost;
+    for (std::size_t s = 1; s < full; ++s) next[s] = work[s & ~abit];
+    dp.swap(next);
+  }
+
+  double best = kInfCost;
+  for (std::size_t s = 1; s < full; ++s) best = std::min(best, dp[s]);
+  REPL_CHECK(best < kInfCost);
+  return best;
+}
+
+OfflinePlan OptimalDpSolver::solve_with_plan(const Trace& trace) const {
+  REPL_REQUIRE(trace.num_servers() == config_.num_servers);
+  OfflinePlan plan;
+  if (trace.empty()) return plan;
+  const ActiveMap map = build_active_map(config_, trace);
+  const int k = map.bits();
+  REPL_REQUIRE_MSG(k <= 16, "plan reconstruction uses the O(4^k) reference "
+                            "transition; limited to 16 active servers");
+  const std::size_t full = std::size_t{1} << k;
+  const double lambda = config_.transfer_cost;
+  const std::vector<double> weights = build_weights(config_, map);
+  const std::vector<Event> events = build_events(map, trace);
+
+  std::vector<double> dp(full, kInfCost);
+  std::vector<double> next(full);
+  dp[std::size_t{1} << map.init_bit] = 0.0;
+  // parents[e][S'] = the predecessor state chosen at event e.
+  std::vector<std::vector<std::uint32_t>> parents(
+      events.size(), std::vector<std::uint32_t>(full, 0));
+
+  for (std::size_t e = 0; e < events.size(); ++e) {
+    const Event& event = events[e];
+    const std::size_t abit = std::size_t{1} << event.bit;
+    std::fill(next.begin(), next.end(), kInfCost);
+    for (std::size_t s = 1; s < full; ++s) {
+      if (dp[s] == kInfCost) continue;
+      const double base =
+          dp[s] + event.gap * weights[s] + ((s & abit) ? 0.0 : lambda);
+      for (std::size_t sp = 1; sp < full; ++sp) {
+        const double bought = static_cast<double>(
+            std::popcount(sp & ~(s | abit)));
+        const double cost = base + lambda * bought;
+        if (cost < next[sp]) {
+          next[sp] = cost;
+          parents[e][sp] = static_cast<std::uint32_t>(s);
+        }
+      }
+    }
+    dp.swap(next);
+  }
+
+  std::size_t best_state = 0;
+  double best = kInfCost;
+  for (std::size_t s = 1; s < full; ++s) {
+    if (dp[s] < best) {
+      best = dp[s];
+      best_state = s;
+    }
+  }
+  REPL_CHECK(best < kInfCost);
+
+  plan.cost = best;
+  plan.active_servers = map.bit_to_server;
+  plan.final_state = static_cast<std::uint32_t>(best_state);
+  plan.states.assign(trace.size(), 0);
+  // Backtrack post-states: post[e] is the holder set chosen after event e
+  // (event 0 = the dummy r0, event e ≥ 1 = trace request e-1). The gap
+  // ending at request i is crossed by post[i], so states[i] = post[i].
+  std::vector<std::uint32_t> post(events.size());
+  std::uint32_t cur = plan.final_state;
+  for (std::size_t e = events.size(); e-- > 0;) {
+    post[e] = cur;
+    cur = parents[e][cur];
+  }
+  REPL_CHECK_MSG(cur == (std::uint32_t{1} << map.init_bit),
+                 "plan backtrack did not reach the initial state");
+  for (std::size_t i = 0; i < trace.size(); ++i) plan.states[i] = post[i];
+  return plan;
+}
+
+double optimal_offline_cost(const SystemConfig& config, const Trace& trace) {
+  return OptimalDpSolver(config).solve(trace);
+}
+
+double evaluate_plan(const SystemConfig& config, const Trace& trace,
+                     const OfflinePlan& plan) {
+  REPL_REQUIRE(plan.states.size() == trace.size());
+  const double lambda = config.transfer_cost;
+  const auto weight = [&](std::uint32_t s) {
+    double w = 0.0;
+    for (int b = 0; b < static_cast<int>(plan.active_servers.size()); ++b) {
+      if (s & (std::uint32_t{1} << b)) {
+        w += config.storage_rate(
+            plan.active_servers[static_cast<std::size_t>(b)]);
+      }
+    }
+    return w;
+  };
+  std::vector<int> server_to_bit(
+      static_cast<std::size_t>(config.num_servers), -1);
+  for (std::size_t b = 0; b < plan.active_servers.size(); ++b) {
+    server_to_bit[static_cast<std::size_t>(plan.active_servers[b])] =
+        static_cast<int>(b);
+  }
+  const int init_bit =
+      server_to_bit[static_cast<std::size_t>(config.initial_server)];
+  REPL_REQUIRE(init_bit >= 0);
+
+  double cost = 0.0;
+  // Copies bought at time 0 (beyond the initial one) cost a transfer each.
+  if (!trace.empty()) {
+    const std::uint32_t bought0 =
+        plan.states[0] & ~(std::uint32_t{1} << init_bit);
+    cost += lambda * static_cast<double>(std::popcount(bought0));
+  }
+  double prev_time = 0.0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const std::uint32_t state = plan.states[i];  // holders over the gap
+    REPL_REQUIRE_MSG(state != 0, "empty holder set in plan");
+    cost += (trace[i].time - prev_time) * weight(state);
+    const int abit =
+        server_to_bit[static_cast<std::size_t>(trace[i].server)];
+    REPL_REQUIRE(abit >= 0);
+    const std::uint32_t amask = std::uint32_t{1} << abit;
+    if (!(state & amask)) cost += lambda;  // served by transfer
+    const std::uint32_t next_set =
+        (i + 1 < trace.size()) ? plan.states[i + 1] : plan.final_state;
+    REPL_REQUIRE_MSG(next_set != 0, "empty holder set in plan");
+    // Copies appearing at servers other than the requester cost a
+    // transfer each.
+    cost += lambda * static_cast<double>(
+                         std::popcount(next_set & ~(state | amask)));
+    prev_time = trace[i].time;
+  }
+  return cost;
+}
+
+}  // namespace repl

@@ -1,0 +1,30 @@
+#include "offline/opt_lower_bound.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace repl {
+
+double opt_lower_bound(const SystemConfig& config, const Trace& trace) {
+  config.validate();
+  REPL_REQUIRE(trace.num_servers() == config.num_servers);
+  for (double r : config.storage_rates) {
+    REPL_REQUIRE_MSG(r == 1.0,
+                     "OPTL is derived for uniform unit storage rates");
+  }
+  const double lambda = config.transfer_cost;
+  double bound = 0.0;
+  double prev_global = 0.0;  // dummy r0 at time 0
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const double gap_same =
+        interarrival_to_prev(trace, i, config.initial_server);
+    bound += (gap_same > lambda) ? lambda : gap_same;
+    const double gap_global = trace[i].time - prev_global;
+    if (gap_global > lambda) bound += gap_global - lambda;
+    prev_global = trace[i].time;
+  }
+  return bound;
+}
+
+}  // namespace repl

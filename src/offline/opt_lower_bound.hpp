@@ -1,0 +1,26 @@
+// The closed-form lower bound OPTL on the optimal offline cost
+// (Section 8 of the paper):
+//
+//   OPTL = Σ_{i: t_i − t_{p(i)} > λ} λ
+//        + Σ_{i: t_i − t_{p(i)} ≤ λ} (t_i − t_{p(i)})
+//        + Σ_{i: t_i − t_{i−1} > λ} (t_i − t_{i−1} − λ)
+//
+// where p(i) is the previous request at the same server (the dummy r0 at
+// time 0 counts for the initial server; a first request elsewhere has
+// t_i − t_{p(i)} = ∞ and contributes λ) and t_{i−1} is the previous
+// request anywhere (t_{-1} = 0, the dummy).
+//
+// Justification (paper): each request costs at least min(λ, gap-to-prev)
+// — Proposition 5 — and the at-least-one-copy requirement forces storage
+// of at least the portion of each global gap beyond λ that the first term
+// does not already count. Valid for uniform storage rates (rate 1).
+#pragma once
+
+#include "core/types.hpp"
+#include "trace/trace.hpp"
+
+namespace repl {
+
+double opt_lower_bound(const SystemConfig& config, const Trace& trace);
+
+}  // namespace repl

@@ -1,0 +1,97 @@
+#include "offline/opt_reference.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace repl {
+
+double reference_offline_cost(const SystemConfig& config,
+                              const Trace& trace) {
+  config.validate();
+  if (trace.empty()) return 0.0;
+  REPL_REQUIRE(trace.num_servers() == config.num_servers);
+
+  // Active-server bit mapping (independent re-implementation).
+  std::vector<int> server_to_bit(
+      static_cast<std::size_t>(config.num_servers), -1);
+  std::vector<int> bit_to_server;
+  auto add = [&](int server) {
+    auto& bit = server_to_bit[static_cast<std::size_t>(server)];
+    if (bit < 0) {
+      bit = static_cast<int>(bit_to_server.size());
+      bit_to_server.push_back(server);
+    }
+  };
+  add(config.initial_server);
+  for (const Request& r : trace.requests()) add(r.server);
+  if (!config.storage_rates.empty()) {
+    // Allow parking at the cheapest server (see opt_dp.cpp).
+    int cheapest = 0;
+    for (int s = 1; s < config.num_servers; ++s) {
+      if (config.storage_rate(s) < config.storage_rate(cheapest)) {
+        cheapest = s;
+      }
+    }
+    add(cheapest);
+  }
+  const int k = static_cast<int>(bit_to_server.size());
+  REPL_REQUIRE_MSG(k <= 12, "reference solver is O(m·4^k); k capped at 12");
+  const std::size_t full = std::size_t{1} << k;
+  const double lambda = config.transfer_cost;
+  constexpr double kInfCost = std::numeric_limits<double>::infinity();
+
+  std::vector<double> weight(full, 0.0);
+  for (std::size_t s = 1; s < full; ++s) {
+    const int low = std::countr_zero(s);
+    weight[s] =
+        weight[s & (s - 1)] +
+        config.storage_rate(bit_to_server[static_cast<std::size_t>(low)]);
+  }
+
+  std::vector<double> dp(full, kInfCost);
+  std::vector<double> next(full);
+  dp[std::size_t{1}
+     << server_to_bit[static_cast<std::size_t>(config.initial_server)]] =
+      0.0;
+
+  double prev_time = 0.0;
+  // Process the dummy request r0 (gap 0, at the initial server) followed
+  // by the trace requests.
+  for (std::size_t i = 0; i <= trace.size(); ++i) {
+    double gap;
+    int server;
+    if (i == 0) {
+      gap = 0.0;
+      server = config.initial_server;
+    } else {
+      gap = trace[i - 1].time - prev_time;
+      server = trace[i - 1].server;
+      prev_time = trace[i - 1].time;
+    }
+    const std::size_t abit =
+        std::size_t{1} << server_to_bit[static_cast<std::size_t>(server)];
+    std::fill(next.begin(), next.end(), kInfCost);
+    for (std::size_t s = 1; s < full; ++s) {
+      if (dp[s] == kInfCost) continue;
+      const double base = dp[s] + gap * weight[s] +
+                          ((s & abit) ? 0.0 : lambda);
+      for (std::size_t sp = 1; sp < full; ++sp) {
+        const double bought = static_cast<double>(
+            std::popcount(sp & ~(s | abit)));
+        next[sp] = std::min(next[sp], base + lambda * bought);
+      }
+    }
+    dp.swap(next);
+  }
+
+  double best = kInfCost;
+  for (std::size_t s = 1; s < full; ++s) best = std::min(best, dp[s]);
+  REPL_CHECK(best < kInfCost);
+  return best;
+}
+
+}  // namespace repl

@@ -1,0 +1,17 @@
+// Reference offline solver: identical cost model to OptimalDpSolver but
+// with a brute-force transition (explicit minimization over all pairs of
+// predecessor/successor holder sets, O(4^k) per request) and no
+// superset-min / buy-pass transforms. Exists purely to cross-validate the
+// fast solver on small instances; tests assert bit-for-bit agreement.
+#pragma once
+
+#include "core/types.hpp"
+#include "trace/trace.hpp"
+
+namespace repl {
+
+/// Optimal offline cost by exhaustive state-pair enumeration. Limited to
+/// 12 active servers.
+double reference_offline_cost(const SystemConfig& config, const Trace& trace);
+
+}  // namespace repl

@@ -1,0 +1,142 @@
+#include "offline/planned_policy.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace repl {
+
+PlannedPolicy::PlannedPolicy(const Trace& trace, OfflinePlan plan)
+    : trace_(trace), plan_(std::move(plan)) {
+  REPL_REQUIRE_MSG(plan_.states.size() == trace_.size(),
+                   "plan does not match the trace");
+}
+
+int PlannedPolicy::bit_of(int server) const {
+  REPL_CHECK(server >= 0 &&
+             server < static_cast<int>(server_to_bit_.size()));
+  return server_to_bit_[static_cast<std::size_t>(server)];
+}
+
+void PlannedPolicy::reset(const SystemConfig& config, const Prediction&,
+                          EventSink& sink) {
+  config.validate();
+  REPL_REQUIRE(config.num_servers == trace_.num_servers());
+  config_ = config;
+  server_to_bit_.assign(static_cast<std::size_t>(config.num_servers), -1);
+  for (std::size_t b = 0; b < plan_.active_servers.size(); ++b) {
+    server_to_bit_[static_cast<std::size_t>(plan_.active_servers[b])] =
+        static_cast<int>(b);
+  }
+  const int init_bit = bit_of(config.initial_server);
+  REPL_REQUIRE_MSG(init_bit >= 0,
+                   "plan does not cover the initial server");
+  holders_ = std::uint32_t{1} << init_bit;
+  next_request_ = 0;
+  now_ = 0.0;
+  sink.on_create(config.initial_server, 0.0);
+  // Copies the plan buys at time 0 (alongside the dummy request).
+  if (!plan_.states.empty()) {
+    int ignored = 0;
+    reconcile(plan_.states[0], /*requester=*/-1, 0.0, sink, &ignored);
+  }
+}
+
+void PlannedPolicy::advance_to(double time, EventSink&) {
+  REPL_CHECK(time >= now_);
+  if (std::isfinite(time)) now_ = time;
+}
+
+void PlannedPolicy::reconcile(std::uint32_t target, int requester,
+                              double time, EventSink& sink,
+                              int* extra_transfers) {
+  REPL_REQUIRE_MSG(target != 0, "plan reaches an empty holder set");
+  const std::uint32_t requester_mask =
+      requester >= 0 ? (std::uint32_t{1} << bit_of(requester)) : 0;
+  // Creates first (the at-least-one-copy requirement must hold at every
+  // intermediate event), sourcing from any current holder.
+  std::uint32_t to_create = target & ~holders_;
+  while (to_create) {
+    const int bit = std::countr_zero(to_create);
+    to_create &= to_create - 1;
+    const std::uint32_t mask = std::uint32_t{1} << bit;
+    const int server = server_of_bit(bit);
+    if (!(mask & requester_mask)) {
+      // A replication transfer beyond the serving one.
+      const int src_bit = std::countr_zero(holders_);
+      sink.on_transfer(server_of_bit(src_bit), server, time);
+      ++*extra_transfers;
+    }
+    sink.on_create(server, time);
+    holders_ |= mask;
+  }
+  std::uint32_t to_drop = holders_ & ~target;
+  while (to_drop) {
+    const int bit = std::countr_zero(to_drop);
+    to_drop &= to_drop - 1;
+    holders_ &= ~(std::uint32_t{1} << bit);
+    REPL_CHECK(holders_ != 0);
+    sink.on_drop(server_of_bit(bit), time);
+  }
+}
+
+ServeAction PlannedPolicy::on_request(int server, double time,
+                                      const Prediction&, EventSink& sink) {
+  REPL_CHECK_MSG(next_request_ < trace_.size(),
+                 "more requests than the plan covers");
+  REPL_CHECK_MSG(trace_[next_request_].server == server &&
+                     trace_[next_request_].time == time,
+                 "request stream diverges from the planned trace at index "
+                     << next_request_);
+  const std::uint32_t state = plan_.states[next_request_];
+  REPL_CHECK_MSG(state == holders_,
+                 "holder set diverged from the plan");
+  const int abit = bit_of(server);
+  REPL_REQUIRE(abit >= 0);
+  const std::uint32_t amask = std::uint32_t{1} << abit;
+
+  ServeAction action;
+  if (holders_ & amask) {
+    action.local = true;
+    action.source = server;
+  } else {
+    action.local = false;
+    const int src_bit = std::countr_zero(holders_);
+    action.source = server_of_bit(src_bit);
+    sink.on_transfer(action.source, server, time);
+  }
+
+  const std::uint32_t target = (next_request_ + 1 < trace_.size())
+                                   ? plan_.states[next_request_ + 1]
+                                   : plan_.final_state;
+  // The requester's copy (if the plan keeps one) rides along with the
+  // serve; creating it emits no extra transfer.
+  if ((target & amask) && !(holders_ & amask)) {
+    sink.on_create(server, time);
+    holders_ |= amask;
+  }
+  reconcile(target, server, time, sink, &action.extra_transfers);
+  ++next_request_;
+  now_ = time;
+  return action;
+}
+
+bool PlannedPolicy::holds(int server) const {
+  if (server < 0 || server >= static_cast<int>(server_to_bit_.size())) {
+    return false;
+  }
+  const int bit = server_to_bit_[static_cast<std::size_t>(server)];
+  if (bit < 0) return false;
+  return holders_ & (std::uint32_t{1} << bit);
+}
+
+int PlannedPolicy::copy_count() const {
+  return std::popcount(holders_);
+}
+
+std::unique_ptr<ReplicationPolicy> PlannedPolicy::clone() const {
+  return std::make_unique<PlannedPolicy>(*this);
+}
+
+}  // namespace repl

@@ -1,0 +1,64 @@
+// Replays an OfflinePlan as a ReplicationPolicy.
+//
+// This turns the DP's optimal strategy into a runnable policy, so the
+// *simulator's* cost accounting can be cross-validated against the DP's:
+// simulating a PlannedPolicy over its trace must cost exactly plan.cost.
+// It also provides the "offline optimum" row in comparative experiments
+// (its ratio is 1 by construction).
+//
+// The policy is bound to the specific trace the plan was computed for;
+// requests must be fed in exactly that order (checked).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "offline/opt_dp.hpp"
+#include "trace/trace.hpp"
+
+namespace repl {
+
+class PlannedPolicy final : public ReplicationPolicy {
+ public:
+  /// `plan` must come from OptimalDpSolver::solve_with_plan on `trace`
+  /// (or be any feasible plan for it). The trace is copied.
+  PlannedPolicy(const Trace& trace, OfflinePlan plan);
+
+  void reset(const SystemConfig& config, const Prediction& pred0,
+             EventSink& sink) override;
+  void advance_to(double time, EventSink&) override;
+  ServeAction on_request(int server, double time, const Prediction& pred,
+                         EventSink& sink) override;
+  double next_transition_time() const override {
+    return std::numeric_limits<double>::infinity();
+  }
+  bool holds(int server) const override;
+  int copy_count() const override;
+  std::string name() const override { return "offline-plan"; }
+  std::unique_ptr<ReplicationPolicy> clone() const override;
+
+ private:
+  /// Emits creates/drops (plus transfers for servers that are neither
+  /// the requester nor already holding) moving the holder set to
+  /// `target`. `requester` < 0 means no request is being served (the
+  /// time-0 reconciliation).
+  void reconcile(std::uint32_t target, int requester, double time,
+                 EventSink& sink, int* extra_transfers);
+
+  int bit_of(int server) const;
+  int server_of_bit(int bit) const {
+    return plan_.active_servers[static_cast<std::size_t>(bit)];
+  }
+
+  Trace trace_;
+  OfflinePlan plan_;
+  SystemConfig config_;
+  std::vector<int> server_to_bit_;
+  std::uint32_t holders_ = 0;  // bitmask over plan_.active_servers
+  std::size_t next_request_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace repl

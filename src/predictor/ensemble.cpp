@@ -1,0 +1,71 @@
+#include "predictor/ensemble.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace repl {
+
+EnsemblePredictor::EnsemblePredictor(
+    std::vector<std::shared_ptr<Predictor>> experts, Config config)
+    : experts_(std::move(experts)), config_(config) {
+  REPL_REQUIRE_MSG(!experts_.empty(), "ensemble needs at least one expert");
+  for (const auto& expert : experts_) REPL_REQUIRE(expert != nullptr);
+  REPL_REQUIRE(config.penalty > 0.0 && config.penalty <= 1.0);
+  weights_.assign(experts_.size(), 1.0);
+}
+
+void EnsemblePredictor::reset() {
+  for (auto& expert : experts_) expert->reset();
+  weights_.assign(experts_.size(), 1.0);
+  pending_.clear();
+}
+
+Prediction EnsemblePredictor::predict(const PredictionQuery& query) {
+  if (pending_.empty()) {
+    // Sized lazily: server ids are discovered from queries.
+    pending_.resize(16);
+  }
+  if (static_cast<std::size_t>(query.server) >= pending_.size()) {
+    pending_.resize(static_cast<std::size_t>(query.server) + 1);
+  }
+
+  // Score the pending votes for this server: the gap since the previous
+  // prediction is now known.
+  PendingVote& pending = pending_[static_cast<std::size_t>(query.server)];
+  if (config_.penalty < 1.0 && pending.time >= 0.0) {
+    const bool truth_within = (query.time - pending.time) <= query.lambda;
+    for (std::size_t e = 0; e < experts_.size(); ++e) {
+      if (pending.votes[e] != truth_within) {
+        weights_[e] *= config_.penalty;
+      }
+    }
+    // Keep weights away from total collapse (renormalize to max 1).
+    double max_weight = 0.0;
+    for (double w : weights_) max_weight = std::max(max_weight, w);
+    REPL_CHECK(max_weight > 0.0);
+    for (double& w : weights_) w /= max_weight;
+  }
+
+  // Collect fresh votes and take the weighted majority.
+  std::vector<bool> votes(experts_.size());
+  double within_weight = 0.0, beyond_weight = 0.0;
+  for (std::size_t e = 0; e < experts_.size(); ++e) {
+    const bool vote = experts_[e]->predict(query).within_lambda;
+    votes[e] = vote;
+    (vote ? within_weight : beyond_weight) += weights_[e];
+  }
+  pending.time = query.time;
+  pending.votes = std::move(votes);
+  return Prediction{within_weight > beyond_weight};
+}
+
+std::string EnsemblePredictor::name() const {
+  std::ostringstream os;
+  os << "ensemble(" << experts_.size() << " experts";
+  if (config_.penalty < 1.0) os << ", penalty=" << config_.penalty;
+  os << ")";
+  return os.str();
+}
+
+}  // namespace repl

@@ -1,0 +1,53 @@
+// Ensemble predictor: weighted-majority vote over several base
+// predictors, in the spirit of the multiple-expert setting of Gollapudi
+// and Panigrahi (ICML 2019) that the paper cites as related work. The
+// weights can optionally adapt multiplicatively: after each observed
+// outcome, experts that mispredicted the previous gap at the same server
+// are down-weighted (classic weighted-majority updates).
+//
+// Adaptation is causal: a prediction issued at request r_i is scored only
+// when the *next* request at the same server reveals the gap.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "predictor/predictor.hpp"
+
+namespace repl {
+
+class EnsemblePredictor final : public Predictor {
+ public:
+  struct Config {
+    /// Multiplicative penalty in (0, 1] applied to a wrong expert's
+    /// weight; 1 disables adaptation (plain weighted vote).
+    double penalty = 0.5;
+  };
+
+  /// Takes shared ownership of the experts; initial weights default to 1.
+  EnsemblePredictor(std::vector<std::shared_ptr<Predictor>> experts,
+                    Config config);
+  explicit EnsemblePredictor(
+      std::vector<std::shared_ptr<Predictor>> experts)
+      : EnsemblePredictor(std::move(experts), Config()) {}
+
+  void reset() override;
+  Prediction predict(const PredictionQuery& query) override;
+  std::string name() const override;
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  struct PendingVote {
+    double time = -1.0;  // when the scored prediction was issued
+    std::vector<bool> votes;
+  };
+
+  std::vector<std::shared_ptr<Predictor>> experts_;
+  Config config_;
+  std::vector<double> weights_;
+  /// Last issued per-expert votes per server, awaiting ground truth.
+  std::vector<PendingVote> pending_;
+};
+
+}  // namespace repl

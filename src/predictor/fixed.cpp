@@ -1,0 +1,3 @@
+// FixedPredictor is header-only; this translation unit anchors the
+// library target so every public header has a home in the build.
+#include "predictor/fixed.hpp"

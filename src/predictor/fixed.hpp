@@ -1,0 +1,31 @@
+// Constant predictors: always "within lambda" or always "beyond lambda".
+// The paper's tight examples (Figures 5 and 6) assume such streams.
+#pragma once
+
+#include "predictor/predictor.hpp"
+
+namespace repl {
+
+class FixedPredictor final : public Predictor {
+ public:
+  explicit FixedPredictor(bool within_lambda) : within_(within_lambda) {}
+
+  Prediction predict(const PredictionQuery&) override {
+    return Prediction{within_};
+  }
+  std::string name() const override {
+    return within_ ? "always-within" : "always-beyond";
+  }
+
+ private:
+  bool within_;
+};
+
+inline FixedPredictor always_within_predictor() {
+  return FixedPredictor(true);
+}
+inline FixedPredictor always_beyond_predictor() {
+  return FixedPredictor(false);
+}
+
+}  // namespace repl

@@ -1,0 +1,50 @@
+// Causal history-based predictor.
+//
+// A realistic stand-in for the machine-learned predictor the paper
+// assumes: it observes only past arrivals and forecasts the next
+// inter-request time at a server from an exponentially weighted moving
+// average (EWMA) of that server's past inter-request times. The forecast
+// is "within lambda" iff the EWMA is at most `margin * lambda`.
+//
+// Unlike the clairvoyant predictors this one can be used on live request
+// streams; its accuracy on a trace is itself an interesting measurement
+// (see the cdn_workload example).
+#pragma once
+
+#include <vector>
+
+#include "predictor/predictor.hpp"
+
+namespace repl {
+
+class HistoryPredictor final : public Predictor {
+ public:
+  struct Config {
+    double ewma_decay = 0.3;       // weight of the newest observation
+    double margin = 1.0;           // compare EWMA against margin * lambda
+    bool default_within = false;   // forecast before any observation
+  };
+
+  explicit HistoryPredictor(int num_servers)
+      : HistoryPredictor(num_servers, Config()) {}
+  HistoryPredictor(int num_servers, Config config);
+
+  void reset() override;
+  Prediction predict(const PredictionQuery& query) override;
+  std::string name() const override { return "history-ewma"; }
+
+  /// EWMA currently held for `server`; negative if no observation yet.
+  double ewma(int server) const;
+
+ private:
+  struct ServerState {
+    double last_time = -1.0;  // time of previous request; <0 if none
+    double ewma = -1.0;       // <0 until the first gap is observed
+  };
+
+  int num_servers_;
+  Config config_;
+  std::vector<ServerState> state_;
+};
+
+}  // namespace repl

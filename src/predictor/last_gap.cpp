@@ -1,0 +1,30 @@
+#include "predictor/last_gap.hpp"
+
+#include "util/check.hpp"
+
+namespace repl {
+
+LastGapPredictor::LastGapPredictor(int num_servers, bool default_within)
+    : num_servers_(num_servers), default_within_(default_within) {
+  REPL_REQUIRE(num_servers >= 1);
+  reset();
+}
+
+void LastGapPredictor::reset() {
+  state_.assign(static_cast<std::size_t>(num_servers_), ServerState{});
+}
+
+Prediction LastGapPredictor::predict(const PredictionQuery& query) {
+  REPL_REQUIRE(query.server >= 0 && query.server < num_servers_);
+  ServerState& st = state_[static_cast<std::size_t>(query.server)];
+  if (st.last_time >= 0.0) {
+    const double gap = query.time - st.last_time;
+    REPL_CHECK_MSG(gap >= 0.0, "last-gap predictor fed out-of-order times");
+    st.last_class = gap <= query.lambda ? 1 : 0;
+  }
+  st.last_time = query.time;
+  if (st.last_class < 0) return Prediction{default_within_};
+  return Prediction{st.last_class == 1};
+}
+
+}  // namespace repl

@@ -1,0 +1,33 @@
+// The prediction model of the paper's Appendix J: each prediction is the
+// ground truth flipped independently with probability 1 - accuracy.
+//
+// The flip decision is a pure function of (seed, request_index), so the
+// prediction stream for a given trace and seed is identical regardless of
+// which policy consumes it — required for apples-to-apples comparisons
+// (e.g. plain vs adapted Algorithm 1 on the same predictions).
+#pragma once
+
+#include <cstdint>
+
+#include "predictor/predictor.hpp"
+#include "trace/trace.hpp"
+
+namespace repl {
+
+class AccuracyPredictor final : public Predictor {
+ public:
+  /// `accuracy` in [0, 1]: probability that a prediction equals the truth.
+  AccuracyPredictor(const Trace& trace, double accuracy, std::uint64_t seed);
+
+  Prediction predict(const PredictionQuery& query) override;
+  std::string name() const override;
+
+  double accuracy() const { return accuracy_; }
+
+ private:
+  const Trace* trace_;
+  double accuracy_;
+  std::uint64_t seed_;
+};
+
+}  // namespace repl

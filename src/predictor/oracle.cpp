@@ -1,0 +1,28 @@
+#include "predictor/oracle.hpp"
+
+#include "util/check.hpp"
+
+namespace repl {
+
+bool ground_truth_within_lambda(const Trace& trace,
+                                const PredictionQuery& query) {
+  REPL_REQUIRE(query.lambda > 0.0);
+  if (query.request_index < 0) {
+    return first_gap_within_lambda(trace, query.server, query.lambda);
+  }
+  const auto i = static_cast<std::size_t>(query.request_index);
+  REPL_REQUIRE(i < trace.size());
+  REPL_REQUIRE_MSG(trace[i].server == query.server,
+                   "prediction query server mismatch at request " << i);
+  return next_gap_within_lambda(trace, i, query.lambda);
+}
+
+Prediction OraclePredictor::predict(const PredictionQuery& query) {
+  return Prediction{ground_truth_within_lambda(*trace_, query)};
+}
+
+Prediction AdversarialPredictor::predict(const PredictionQuery& query) {
+  return Prediction{!ground_truth_within_lambda(*trace_, query)};
+}
+
+}  // namespace repl

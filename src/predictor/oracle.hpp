@@ -1,0 +1,43 @@
+// Ground-truth predictors (clairvoyant): the perfect oracle and its
+// negation (the worst possible predictor). Both read the driving trace.
+#pragma once
+
+#include "predictor/predictor.hpp"
+#include "trace/trace.hpp"
+
+namespace repl {
+
+/// Computes the ground truth for a prediction query against `trace`:
+/// whether the next request at the query's server arrives within lambda.
+/// Handles the dummy-request query (request_index == -1) via the first
+/// request at the initial server.
+bool ground_truth_within_lambda(const Trace& trace,
+                                const PredictionQuery& query);
+
+/// Always-correct predictor. Under it, Algorithm 1's competitive ratio is
+/// the paper's consistency bound (5+alpha)/3.
+class OraclePredictor final : public Predictor {
+ public:
+  explicit OraclePredictor(const Trace& trace) : trace_(&trace) {}
+
+  Prediction predict(const PredictionQuery& query) override;
+  std::string name() const override { return "oracle"; }
+
+ private:
+  const Trace* trace_;
+};
+
+/// Always-wrong predictor: the adversarial input for robustness tests;
+/// under it the ratio is governed by the paper's 1 + 1/alpha bound.
+class AdversarialPredictor final : public Predictor {
+ public:
+  explicit AdversarialPredictor(const Trace& trace) : trace_(&trace) {}
+
+  Prediction predict(const PredictionQuery& query) override;
+  std::string name() const override { return "adversarial"; }
+
+ private:
+  const Trace* trace_;
+};
+
+}  // namespace repl

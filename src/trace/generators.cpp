@@ -1,0 +1,136 @@
+#include "trace/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <optional>
+
+#include "util/check.hpp"
+
+namespace repl {
+
+namespace {
+
+/// Draws a server index per the assignment rule. Zipf values are 1-based
+/// in the distribution, mapped to 0-based server ids, matching the paper's
+/// "server indexed by i with probability i^(-1)/H_n" with i = 1..n.
+class ServerSampler {
+ public:
+  ServerSampler(int num_servers, const ServerAssignment& assignment)
+      : num_servers_(num_servers) {
+    if (assignment.kind == ServerAssignment::Kind::kZipf) {
+      zipf_.emplace(num_servers, assignment.zipf_s);
+    }
+  }
+
+  int sample(Rng& rng) const {
+    if (zipf_) return zipf_->sample(rng) - 1;
+    return static_cast<int>(
+        rng.uniform_index(static_cast<std::uint64_t>(num_servers_)));
+  }
+
+ private:
+  int num_servers_;
+  std::optional<ZipfDistribution> zipf_;
+};
+
+}  // namespace
+
+Trace generate_poisson_trace(int num_servers, double rate, double horizon,
+                             const ServerAssignment& assignment,
+                             std::uint64_t seed) {
+  REPL_REQUIRE(rate > 0.0);
+  REPL_REQUIRE(horizon > 0.0);
+  Rng rng(seed);
+  ServerSampler sampler(num_servers, assignment);
+  std::vector<Request> requests;
+  double t = 0.0;
+  for (;;) {
+    t += rng.exponential(rate);
+    if (t > horizon) break;
+    requests.push_back(Request{t, sampler.sample(rng)});
+  }
+  return Trace::from_unsorted(num_servers, std::move(requests));
+}
+
+Trace generate_periodic_trace(int num_servers,
+                              const std::vector<double>& periods,
+                              const std::vector<double>& offsets,
+                              double horizon) {
+  REPL_REQUIRE(periods.size() == static_cast<std::size_t>(num_servers));
+  REPL_REQUIRE(offsets.size() == static_cast<std::size_t>(num_servers));
+  REPL_REQUIRE(horizon > 0.0);
+  std::vector<Request> requests;
+  for (int s = 0; s < num_servers; ++s) {
+    const double period = periods[static_cast<std::size_t>(s)];
+    const double offset = offsets[static_cast<std::size_t>(s)];
+    if (period <= 0.0) continue;  // server inactive
+    REPL_REQUIRE(offset > 0.0);
+    for (double t = offset; t <= horizon; t += period) {
+      requests.push_back(Request{t, s});
+    }
+  }
+  return Trace::from_unsorted(num_servers, std::move(requests));
+}
+
+Trace generate_mmpp_trace(int num_servers, const MmppConfig& config,
+                          const ServerAssignment& assignment,
+                          std::uint64_t seed) {
+  REPL_REQUIRE(config.rate_low > 0.0 && config.rate_high > 0.0);
+  REPL_REQUIRE(config.mean_low_duration > 0.0 &&
+               config.mean_high_duration > 0.0);
+  REPL_REQUIRE(config.horizon > 0.0);
+  Rng rng(seed);
+  ServerSampler sampler(num_servers, assignment);
+  std::vector<Request> requests;
+  double t = 0.0;
+  bool high = false;
+  double state_end = rng.exponential(1.0 / config.mean_low_duration);
+  while (t < config.horizon) {
+    const double rate = high ? config.rate_high : config.rate_low;
+    const double next = t + rng.exponential(rate);
+    if (next > state_end) {
+      // Jump to the state switch instant; no arrival in between (the
+      // exponential's memorylessness makes this restart exact).
+      t = state_end;
+      high = !high;
+      state_end = t + rng.exponential(1.0 / (high ? config.mean_high_duration
+                                                  : config.mean_low_duration));
+      continue;
+    }
+    t = next;
+    if (t > config.horizon) break;
+    requests.push_back(Request{t, sampler.sample(rng)});
+  }
+  return Trace::from_unsorted(num_servers, std::move(requests));
+}
+
+Trace generate_diurnal_trace(int num_servers, const DiurnalConfig& config,
+                             const ServerAssignment& assignment,
+                             std::uint64_t seed) {
+  REPL_REQUIRE(config.base_rate > 0.0);
+  REPL_REQUIRE(config.amplitude >= 0.0 && config.amplitude < 1.0);
+  REPL_REQUIRE(config.period > 0.0);
+  REPL_REQUIRE(config.horizon > 0.0);
+  Rng rng(seed);
+  ServerSampler sampler(num_servers, assignment);
+  // Thinning: candidate arrivals at the max rate, accepted with
+  // probability rate(t) / rate_max.
+  const double rate_max = config.base_rate * (1.0 + config.amplitude);
+  std::vector<Request> requests;
+  double t = 0.0;
+  for (;;) {
+    t += rng.exponential(rate_max);
+    if (t > config.horizon) break;
+    const double rate =
+        config.base_rate *
+        (1.0 + config.amplitude *
+                   std::sin(2.0 * M_PI * t / config.period + config.phase));
+    if (rng.bernoulli(rate / rate_max)) {
+      requests.push_back(Request{t, sampler.sample(rng)});
+    }
+  }
+  return Trace::from_unsorted(num_servers, std::move(requests));
+}
+
+}  // namespace repl

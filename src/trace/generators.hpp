@@ -1,0 +1,67 @@
+// Synthetic workload generators.
+//
+// All generators are deterministic given a seed and produce valid traces
+// (strictly increasing, strictly positive times).
+#pragma once
+
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace repl {
+
+/// How request arrival instants are assigned to servers.
+struct ServerAssignment {
+  enum class Kind {
+    kUniform,  // each server equally likely
+    kZipf,     // P(server i) ∝ (i+1)^(-s), the paper's Appendix-J rule
+  };
+  Kind kind = Kind::kZipf;
+  double zipf_s = 1.0;
+};
+
+/// Homogeneous Poisson arrivals over [0, horizon] at `rate` requests per
+/// time unit, assigned to servers per `assignment`.
+Trace generate_poisson_trace(int num_servers, double rate, double horizon,
+                             const ServerAssignment& assignment,
+                             std::uint64_t seed);
+
+/// Periodic per-server arrivals: server s emits requests every
+/// `periods[s]` time units starting at `offsets[s]`, until `horizon`.
+/// Useful for crafted regimes (gap <= alpha*lambda, (alpha*lambda, lambda],
+/// > lambda).
+Trace generate_periodic_trace(int num_servers,
+                              const std::vector<double>& periods,
+                              const std::vector<double>& offsets,
+                              double horizon);
+
+/// Two-state Markov-modulated Poisson process (bursty workload): the
+/// process alternates between a quiet state (rate_low) and a bursty state
+/// (rate_high); state holding times are exponential.
+struct MmppConfig {
+  double rate_low = 0.01;
+  double rate_high = 1.0;
+  double mean_low_duration = 3600.0;
+  double mean_high_duration = 300.0;
+  double horizon = 86400.0;
+};
+Trace generate_mmpp_trace(int num_servers, const MmppConfig& config,
+                          const ServerAssignment& assignment,
+                          std::uint64_t seed);
+
+/// Non-homogeneous Poisson with diurnal (sinusoidal) rate modulation:
+/// rate(t) = base_rate * (1 + amplitude * sin(2*pi*t/period + phase)),
+/// sampled by thinning.
+struct DiurnalConfig {
+  double base_rate = 0.02;
+  double amplitude = 0.8;  // in [0, 1)
+  double period = 86400.0;
+  double phase = 0.0;
+  double horizon = 7 * 86400.0;
+};
+Trace generate_diurnal_trace(int num_servers, const DiurnalConfig& config,
+                             const ServerAssignment& assignment,
+                             std::uint64_t seed);
+
+}  // namespace repl

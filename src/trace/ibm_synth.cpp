@@ -1,0 +1,92 @@
+#include "trace/ibm_synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace repl {
+
+Trace synthesize_ibm_like(const IbmSynthConfig& config, std::uint64_t seed) {
+  REPL_REQUIRE(config.num_servers >= 1);
+  REPL_REQUIRE(config.horizon > 0.0);
+  REPL_REQUIRE(config.target_requests > 0.0);
+  REPL_REQUIRE(config.burst_fraction >= 0.0 && config.burst_fraction < 1.0);
+  REPL_REQUIRE(config.diurnal_amplitude >= 0.0 &&
+               config.diurnal_amplitude < 1.0);
+
+  Rng rng(seed);
+  const ZipfDistribution zipf(config.num_servers, config.zipf_s);
+
+  // Split the request budget between a diurnal background process and
+  // burst episodes.
+  const double background_budget =
+      config.target_requests * (1.0 - config.burst_fraction);
+  const double burst_budget = config.target_requests * config.burst_fraction;
+
+  const double base_rate = background_budget / config.horizon;
+  const double day = 86400.0;
+  const double rate_max = base_rate * (1.0 + config.diurnal_amplitude);
+
+  std::vector<Request> requests;
+  requests.reserve(static_cast<std::size_t>(config.target_requests * 1.2));
+
+  // Background: thinned non-homogeneous Poisson, diurnal modulation.
+  double t = 0.0;
+  for (;;) {
+    t += rng.exponential(rate_max);
+    if (t > config.horizon) break;
+    const double rate =
+        base_rate *
+        (1.0 + config.diurnal_amplitude * std::sin(2.0 * M_PI * t / day));
+    if (rng.bernoulli(rate / rate_max)) {
+      requests.push_back(Request{t, zipf.sample(rng) - 1});
+    }
+  }
+
+  // Bursts: episodes start as a Poisson process; each episode has a
+  // Pareto-distributed length and emits requests at an elevated rate,
+  // concentrated on a single Zipf-sampled server (object-storage bursts
+  // typically hit one client location).
+  const double burst_rate = rate_max * config.burst_rate_multiplier;
+  // The Pareto scale below is chosen so the mean episode length equals
+  // burst_mean_length, hence the expected request count per episode:
+  const double expected_per_burst = burst_rate * config.burst_mean_length;
+  const double episodes =
+      std::max(1.0, burst_budget / std::max(expected_per_burst, 1.0));
+  const double episode_rate = episodes / config.horizon;
+  // Pareto scale so that the mean equals burst_mean_length (shape > 1).
+  const double shape = config.burst_length_shape;
+  const double scale = shape > 1.0
+                           ? config.burst_mean_length * (shape - 1.0) / shape
+                           : config.burst_mean_length;
+
+  double episode_start = 0.0;
+  for (;;) {
+    episode_start += rng.exponential(episode_rate);
+    if (episode_start > config.horizon) break;
+    const double length = rng.pareto(scale, shape);
+    const double episode_end =
+        std::min(episode_start + length, config.horizon);
+    const int hot_server = zipf.sample(rng) - 1;
+    double bt = episode_start;
+    for (;;) {
+      bt += rng.exponential(burst_rate);
+      if (bt > episode_end) break;
+      // Mostly the hot server, occasionally spillover elsewhere.
+      const int server =
+          rng.bernoulli(0.85) ? hot_server : zipf.sample(rng) - 1;
+      requests.push_back(Request{bt, server});
+    }
+  }
+
+  return Trace::from_unsorted(config.num_servers, std::move(requests));
+}
+
+Trace default_ibm_like_trace(std::uint64_t seed) {
+  return synthesize_ibm_like(IbmSynthConfig{}, seed);
+}
+
+}  // namespace repl

@@ -1,0 +1,92 @@
+#include "trace/paper_instances.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace repl {
+
+namespace {
+constexpr int kS1 = 0;
+constexpr int kS2 = 1;
+}  // namespace
+
+Trace make_figure5_trace(double alpha, double lambda, int m, double eps) {
+  REPL_REQUIRE(alpha > 0.0 && alpha <= 1.0);
+  REPL_REQUIRE(lambda > 0.0);
+  REPL_REQUIRE(m >= 1);
+  REPL_REQUIRE(eps > 0.0 && eps < alpha * lambda);
+  const double step = alpha * lambda + eps;
+  std::vector<Request> requests;
+  requests.reserve(static_cast<std::size_t>(m));
+  // r_i for odd i at s2, even i at s1; consecutive requests at the same
+  // server are `step` apart; r0 (dummy) at s1 at time 0, r1 at s2 at eps.
+  for (int i = 1; i <= m; ++i) {
+    if (i % 2 == 1) {
+      const double t = eps + step * ((i - 1) / 2);
+      requests.push_back(Request{t, kS2});
+    } else {
+      const double t = step * (i / 2);
+      requests.push_back(Request{t, kS1});
+    }
+  }
+  return Trace(2, std::move(requests));
+}
+
+double figure5_optimal_cost(double alpha, double lambda, int m, double eps) {
+  // r1 is served by a transfer (lambda); every later request is served by
+  // a local copy held since the preceding request at the same server
+  // (each such interval is alpha*lambda + eps <= lambda). For m >= 2 the
+  // union of those intervals covers [0, t_m]; for m = 1 the mandatory
+  // coverage of [0, t_1 = eps] costs an extra eps.
+  if (m == 1) return lambda + eps;
+  return lambda + (m - 1) * (alpha * lambda + eps);
+}
+
+Trace make_figure6_trace(double lambda, double eps, int cycles) {
+  REPL_REQUIRE(lambda > 0.0);
+  REPL_REQUIRE(eps > 0.0 && eps < lambda);
+  REPL_REQUIRE(cycles >= 1);
+  std::vector<Request> requests;
+  requests.reserve(static_cast<std::size_t>(cycles) * 3);
+  double base = 0.0;
+  int home = kS1;  // holds the (special) copy at the cycle start
+  for (int c = 0; c < cycles; ++c) {
+    const int other = (home == kS1) ? kS2 : kS1;
+    requests.push_back(Request{base + lambda, other});
+    requests.push_back(Request{base + lambda + eps, home});
+    requests.push_back(Request{base + 2.0 * lambda + eps, other});
+    base += 2.0 * lambda + eps;
+    home = other;  // r3 of this cycle plays r0 of the next, roles swapped
+  }
+  return Trace(2, std::move(requests));
+}
+
+double figure6_single_cycle_optimal_cost(double lambda, double eps) {
+  // s1 holds its copy over [0, lambda+eps] and serves r2 locally; r1 is a
+  // transfer; s2 holds over [lambda, 2*lambda+eps] and serves r3 locally.
+  return 3.0 * lambda + 2.0 * eps;
+}
+
+Trace make_figure9_trace(double lambda, double eps, int m) {
+  REPL_REQUIRE(lambda > 0.0);
+  REPL_REQUIRE(eps > 0.0);
+  REPL_REQUIRE(m >= 2);
+  std::vector<Request> requests;
+  requests.reserve(static_cast<std::size_t>(m - 1));
+  // Paper numbering: r1 = dummy at s1 at time 0; r_k at s2 at
+  // t_k = 2*(k-2)*lambda + (k-1)*eps for k = 2..m.
+  for (int k = 2; k <= m; ++k) {
+    const double t = 2.0 * (k - 2) * lambda + (k - 1) * eps;
+    requests.push_back(Request{t, kS2});
+  }
+  return Trace(2, std::move(requests));
+}
+
+double figure9_optimal_cost(double lambda, double eps, int m) {
+  // s2 keeps a copy from r2 (time eps) through the final request; r2 is
+  // served by a transfer; s1 holds the mandatory initial copy over [0,eps].
+  return (m - 2) * (2.0 * lambda + eps) + lambda + eps;
+}
+
+}  // namespace repl

@@ -1,0 +1,57 @@
+// Builders for the constructed instances the paper uses in its analysis:
+//
+//  * Figure 5 — the tight robustness example (ratio → 1 + 1/α),
+//  * Figure 6 — the tight consistency example (ratio → (5+α)/3),
+//  * Figure 9 — the counterexample to Wang et al. (2021)'s claimed
+//    2-competitiveness (ratio → 5/2).
+//
+// Each builder comes with the closed-form optimal offline cost stated in
+// the paper (under this library's cost convention: transfers + storage
+// integrated up to the final request). These closed forms double as exact
+// oracles for the offline DP solver in tests.
+//
+// Server convention: server 0 is the paper's s1 (initial copy holder,
+// dummy request r0 at time 0), server 1 is s2.
+#pragma once
+
+#include "trace/trace.hpp"
+
+namespace repl {
+
+/// Figure 5: requests alternate between s2 and s1 (first real request at
+/// s2 at time eps), consecutive requests at the same server are
+/// alpha*lambda + eps apart. With always-"beyond" predictions, Algorithm 1
+/// serves every request by a transfer; the optimum keeps both copies.
+/// `m` = number of real requests (r1..rm), m >= 1. Requires
+/// 0 < eps < alpha*lambda.
+Trace make_figure5_trace(double alpha, double lambda, int m, double eps);
+
+/// Exact optimal offline cost of the Figure 5 instance:
+/// lambda + (m-1)*(alpha*lambda + eps).
+double figure5_optimal_cost(double alpha, double lambda, int m, double eps);
+
+/// Figure 6: one cycle is r1 at s_other at T+lambda, r2 at s_home at
+/// T+lambda+eps, r3 at s_other at T+2*lambda+eps; then roles swap and the
+/// next cycle starts at T' = T+2*lambda+eps. All inter-request times at a
+/// server exceed lambda, so correct predictions are all "beyond".
+/// Requires 0 < eps < alpha*lambda for the intended online behaviour
+/// (callers pick eps accordingly; the trace itself only needs eps > 0).
+Trace make_figure6_trace(double lambda, double eps, int cycles);
+
+/// Exact optimal offline cost of the single-cycle Figure 6 instance:
+/// 3*lambda + 2*eps. (For multiple cycles the paper only states the
+/// asymptotic ratio; use the DP for exact values.)
+double figure6_single_cycle_optimal_cost(double lambda, double eps);
+
+/// Figure 9: all requests after the dummy arise at s2 with consecutive
+/// gaps 2*lambda + eps; the first (r2 in the paper's numbering) arises at
+/// time eps. `m` = the paper's m (total requests including r1 = the dummy
+/// at s1); the returned trace holds the m-1 requests at s2.
+/// Requires m >= 2.
+Trace make_figure9_trace(double lambda, double eps, int m);
+
+/// Exact optimal offline cost of the Figure 9 instance:
+/// (m-2)*(2*lambda + eps) + lambda + eps.
+double figure9_optimal_cost(double lambda, double eps, int m);
+
+}  // namespace repl

@@ -1,0 +1,104 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace repl {
+
+Trace::Trace(int num_servers, std::vector<Request> requests)
+    : num_servers_(num_servers), requests_(std::move(requests)) {
+  REPL_REQUIRE_MSG(num_servers_ >= 1, "need at least one server");
+  double prev_time = 0.0;
+  for (std::size_t i = 0; i < requests_.size(); ++i) {
+    const Request& r = requests_[i];
+    REPL_REQUIRE_MSG(r.server >= 0 && r.server < num_servers_,
+                     "request " << i << ": server " << r.server
+                                << " out of range [0, " << num_servers_
+                                << ")");
+    REPL_REQUIRE_MSG(r.time > 0.0,
+                     "request " << i << ": time must be > 0 (time 0 is the "
+                                   "dummy request r0)");
+    REPL_REQUIRE_MSG(i == 0 || r.time > prev_time,
+                     "request " << i << ": times must be strictly increasing"
+                                << " (" << r.time << " after " << prev_time
+                                << ")");
+    prev_time = r.time;
+  }
+
+  prev_same_server_.assign(requests_.size(), -1);
+  next_same_server_.assign(requests_.size(), -1);
+  first_at_server_.assign(static_cast<std::size_t>(num_servers_), -1);
+  count_at_server_.assign(static_cast<std::size_t>(num_servers_), 0);
+  std::vector<int> last(static_cast<std::size_t>(num_servers_), -1);
+  for (std::size_t i = 0; i < requests_.size(); ++i) {
+    const auto s = static_cast<std::size_t>(requests_[i].server);
+    prev_same_server_[i] = last[s];
+    if (last[s] >= 0) {
+      next_same_server_[static_cast<std::size_t>(last[s])] =
+          static_cast<int>(i);
+    }
+    if (first_at_server_[s] < 0) first_at_server_[s] = static_cast<int>(i);
+    ++count_at_server_[s];
+    last[s] = static_cast<int>(i);
+  }
+}
+
+Trace Trace::from_unsorted(int num_servers, std::vector<Request> requests,
+                           double min_gap) {
+  REPL_REQUIRE(min_gap > 0.0);
+  std::stable_sort(requests.begin(), requests.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.time < b.time;
+                   });
+  double floor_time = 0.0;
+  for (Request& r : requests) {
+    if (r.time <= floor_time) r.time = floor_time + min_gap;
+    floor_time = r.time;
+  }
+  return Trace(num_servers, std::move(requests));
+}
+
+int Trace::first_at_server(int server) const {
+  REPL_REQUIRE(server >= 0 && server < num_servers_);
+  return first_at_server_[static_cast<std::size_t>(server)];
+}
+
+std::size_t Trace::count_at_server(int server) const {
+  REPL_REQUIRE(server >= 0 && server < num_servers_);
+  return count_at_server_[static_cast<std::size_t>(server)];
+}
+
+std::vector<int> Trace::active_servers() const {
+  std::vector<int> out;
+  for (int s = 0; s < num_servers_; ++s) {
+    if (count_at_server_[static_cast<std::size_t>(s)] > 0) out.push_back(s);
+  }
+  return out;
+}
+
+double interarrival_to_prev(const Trace& trace, std::size_t i,
+                            int initial_server) {
+  REPL_REQUIRE(i < trace.size());
+  const int p = trace.prev_same_server(i);
+  if (p >= 0) return trace[i].time - trace[static_cast<std::size_t>(p)].time;
+  if (trace[i].server == initial_server) return trace[i].time;  // r0 at t=0
+  return kNoTime;
+}
+
+bool next_gap_within_lambda(const Trace& trace, std::size_t i,
+                            double lambda) {
+  REPL_REQUIRE(i < trace.size());
+  const int nxt = trace.next_same_server(i);
+  if (nxt < 0) return false;
+  return trace[static_cast<std::size_t>(nxt)].time - trace[i].time <= lambda;
+}
+
+bool first_gap_within_lambda(const Trace& trace, int initial_server,
+                             double lambda) {
+  const int first = trace.first_at_server(initial_server);
+  if (first < 0) return false;
+  return trace[static_cast<std::size_t>(first)].time <= lambda;
+}
+
+}  // namespace repl

@@ -1,0 +1,104 @@
+// Request trace model.
+//
+// A trace is a strictly time-increasing sequence of data-access requests
+// over `num_servers` servers. The paper's dummy request r0 (initial copy
+// holder at time 0) is *not* part of the trace; it is a property of the
+// system configuration (`SystemConfig::initial_server`) and the helpers
+// here accept the initial server where the r0 convention matters.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace repl {
+
+/// One data-access request: arises at `server` at time `time`.
+struct Request {
+  double time = 0.0;
+  int server = 0;
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+/// Immutable, validated request sequence.
+///
+/// Invariants established at construction:
+///  * every server id is in [0, num_servers);
+///  * times are strictly increasing and strictly positive (time 0 is
+///    reserved for the dummy request r0 at the initial copy holder).
+class Trace {
+ public:
+  /// Validates and adopts `requests`; throws std::invalid_argument if the
+  /// invariants above do not hold.
+  Trace(int num_servers, std::vector<Request> requests);
+
+  /// Builds a valid trace from arbitrary input: sorts by time and nudges
+  /// exact ties forward by `min_gap` (the paper assumes distinct request
+  /// times; real traces have second-granularity timestamps with ties).
+  static Trace from_unsorted(int num_servers, std::vector<Request> requests,
+                             double min_gap = 1e-6);
+
+  int num_servers() const { return num_servers_; }
+  std::size_t size() const { return requests_.size(); }
+  bool empty() const { return requests_.empty(); }
+  const Request& operator[](std::size_t i) const { return requests_[i]; }
+  const std::vector<Request>& requests() const { return requests_; }
+
+  /// Time of the final request; 0 for an empty trace.
+  double duration() const {
+    return requests_.empty() ? 0.0 : requests_.back().time;
+  }
+
+  /// Index of the previous request at the same server, or -1 if none.
+  /// Computed once at construction. Does not know about the dummy r0.
+  int prev_same_server(std::size_t i) const {
+    return prev_same_server_[i];
+  }
+
+  /// Index of the next request at the same server, or -1 if none.
+  int next_same_server(std::size_t i) const {
+    return next_same_server_[i];
+  }
+
+  /// Index of the first request at `server`, or -1 if the server never
+  /// receives a request.
+  int first_at_server(int server) const;
+
+  /// Number of requests at `server`.
+  std::size_t count_at_server(int server) const;
+
+  /// Servers that receive at least one request, ascending.
+  std::vector<int> active_servers() const;
+
+ private:
+  int num_servers_;
+  std::vector<Request> requests_;
+  std::vector<int> prev_same_server_;
+  std::vector<int> next_same_server_;
+  std::vector<int> first_at_server_;   // indexed by server, -1 if none
+  std::vector<std::size_t> count_at_server_;
+};
+
+/// Sentinel for "no previous/next request".
+inline constexpr double kNoTime = std::numeric_limits<double>::infinity();
+
+/// Inter-request time t_i − t_{p(i)} under the paper's convention: the
+/// dummy request r0 at `initial_server` at time 0 counts as the
+/// predecessor of the first request at `initial_server`. Returns +inf when
+/// r_i is the first request at a server other than `initial_server`.
+double interarrival_to_prev(const Trace& trace, std::size_t i,
+                            int initial_server);
+
+/// Ground truth for the binary prediction issued right after request r_i:
+/// will the next request at the same server arrive within `lambda`?
+/// If there is no next request at that server the truth is "beyond".
+bool next_gap_within_lambda(const Trace& trace, std::size_t i, double lambda);
+
+/// Ground truth for the prediction issued for the dummy request r0 at
+/// `initial_server`: will the first request at that server arrive within
+/// `lambda` of time 0?
+bool first_gap_within_lambda(const Trace& trace, int initial_server,
+                             double lambda);
+
+}  // namespace repl

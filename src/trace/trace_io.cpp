@@ -1,0 +1,58 @@
+#include "trace/trace_io.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+
+namespace repl {
+
+std::string trace_to_csv(const Trace& trace) {
+  std::ostringstream os;
+  write_csv_row(os, {"time", "server"});
+  for (const Request& r : trace.requests()) {
+    write_csv_row(os, {format_double(r.time), std::to_string(r.server)});
+  }
+  return os.str();
+}
+
+Trace trace_from_csv(const std::string& text, int num_servers) {
+  const auto rows = parse_csv(text);
+  REPL_REQUIRE_MSG(!rows.empty(), "empty trace CSV");
+  std::size_t start = 0;
+  if (!rows[0].empty() && rows[0][0] == "time") start = 1;  // header
+  std::vector<Request> requests;
+  requests.reserve(rows.size() - start);
+  int max_server = -1;
+  for (std::size_t i = start; i < rows.size(); ++i) {
+    const CsvRow& row = rows[i];
+    if (row.size() < 2) {
+      throw std::invalid_argument("trace CSV row " + std::to_string(i) +
+                                  ": expected time,server");
+    }
+    Request r;
+    try {
+      r.time = std::stod(row[0]);
+      r.server = std::stoi(row[1]);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("trace CSV row " + std::to_string(i) +
+                                  ": malformed number");
+    }
+    max_server = std::max(max_server, r.server);
+    requests.push_back(r);
+  }
+  if (num_servers == 0) num_servers = max_server + 1;
+  return Trace::from_unsorted(num_servers, std::move(requests));
+}
+
+void save_trace(const Trace& trace, const std::string& path) {
+  write_file(path, trace_to_csv(trace));
+}
+
+Trace load_trace(const std::string& path, int num_servers) {
+  return trace_from_csv(read_file(path), num_servers);
+}
+
+}  // namespace repl

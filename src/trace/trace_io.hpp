@@ -1,0 +1,25 @@
+// CSV import/export of traces.
+//
+// Format: header "time,server" followed by one row per request. Times are
+// written with round-trip precision. Import tolerates unsorted input and
+// duplicate timestamps via Trace::from_unsorted.
+#pragma once
+
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace repl {
+
+/// Serializes a trace to CSV text (with header).
+std::string trace_to_csv(const Trace& trace);
+
+/// Parses CSV text into a trace. `num_servers` of 0 means "infer as
+/// max(server)+1". Throws std::invalid_argument on malformed rows.
+Trace trace_from_csv(const std::string& text, int num_servers = 0);
+
+/// File convenience wrappers.
+void save_trace(const Trace& trace, const std::string& path);
+Trace load_trace(const std::string& path, int num_servers = 0);
+
+}  // namespace repl

@@ -1,0 +1,65 @@
+#include "trace/trace_ops.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace repl {
+
+Trace slice_trace(const Trace& trace, double t_begin, double t_end) {
+  REPL_REQUIRE(t_begin >= 0.0 && t_end > t_begin);
+  std::vector<Request> requests;
+  for (const Request& r : trace.requests()) {
+    if (r.time > t_begin && r.time <= t_end) {
+      requests.push_back(Request{r.time - t_begin, r.server});
+    }
+  }
+  return Trace(trace.num_servers(), std::move(requests));
+}
+
+Trace merge_traces(const Trace& a, const Trace& b) {
+  REPL_REQUIRE_MSG(a.num_servers() == b.num_servers(),
+                   "merging traces over different server universes");
+  std::vector<Request> requests;
+  requests.reserve(a.size() + b.size());
+  requests.insert(requests.end(), a.requests().begin(), a.requests().end());
+  requests.insert(requests.end(), b.requests().begin(), b.requests().end());
+  return Trace::from_unsorted(a.num_servers(), std::move(requests));
+}
+
+Trace remap_servers(const Trace& trace, const std::vector<int>& mapping,
+                    int new_num_servers) {
+  REPL_REQUIRE(mapping.size() ==
+               static_cast<std::size_t>(trace.num_servers()));
+  std::vector<Request> requests;
+  requests.reserve(trace.size());
+  for (const Request& r : trace.requests()) {
+    const int target = mapping[static_cast<std::size_t>(r.server)];
+    REPL_REQUIRE_MSG(target >= 0 && target < new_num_servers,
+                     "mapping sends server " << r.server
+                                             << " out of range");
+    requests.push_back(Request{r.time, target});
+  }
+  return Trace(new_num_servers, std::move(requests));
+}
+
+Trace scale_time(const Trace& trace, double factor) {
+  REPL_REQUIRE(factor > 0.0);
+  std::vector<Request> requests;
+  requests.reserve(trace.size());
+  for (const Request& r : trace.requests()) {
+    requests.push_back(Request{r.time * factor, r.server});
+  }
+  return Trace(trace.num_servers(), std::move(requests));
+}
+
+Trace thin_trace(const Trace& trace, std::size_t keep_every) {
+  REPL_REQUIRE(keep_every >= 1);
+  std::vector<Request> requests;
+  for (std::size_t i = 0; i < trace.size(); i += keep_every) {
+    requests.push_back(trace[i]);
+  }
+  return Trace(trace.num_servers(), std::move(requests));
+}
+
+}  // namespace repl

@@ -1,0 +1,33 @@
+// Trace transformations: windowing, merging, server remapping and time
+// scaling. Used to build composite workloads (e.g. splicing a burst into
+// a diurnal background) and to down-scale experiments.
+#pragma once
+
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace repl {
+
+/// Requests with time in (t_begin, t_end], times shifted so the window
+/// starts at 0 (i.e. new time = old time - t_begin).
+Trace slice_trace(const Trace& trace, double t_begin, double t_end);
+
+/// Interleaves two traces over the same server universe (by time; exact
+/// ties are nudged per Trace::from_unsorted).
+Trace merge_traces(const Trace& a, const Trace& b);
+
+/// Applies `mapping[old_server] = new_server` and a new server count.
+Trace remap_servers(const Trace& trace, const std::vector<int>& mapping,
+                    int new_num_servers);
+
+/// Multiplies all request times by `factor` > 0. Combined with a matching
+/// λ scaling this leaves all competitive ratios invariant — a property
+/// the tests exploit.
+Trace scale_time(const Trace& trace, double factor);
+
+/// Keeps every k-th request (k >= 1), preserving times: a crude but
+/// useful thinning for quick experiments.
+Trace thin_trace(const Trace& trace, std::size_t keep_every);
+
+}  // namespace repl

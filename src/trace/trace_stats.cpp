@@ -1,0 +1,64 @@
+#include "trace/trace_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/stats.hpp"
+
+namespace repl {
+
+double TraceStats::fraction_gaps_within(double threshold) const {
+  if (per_server_gaps_.empty()) return 0.0;
+  const auto within = static_cast<double>(std::count_if(
+      per_server_gaps_.begin(), per_server_gaps_.end(),
+      [threshold](double g) { return g <= threshold; }));
+  return within / static_cast<double>(per_server_gaps_.size());
+}
+
+std::string TraceStats::summary() const {
+  std::ostringstream os;
+  os << num_requests << " requests over " << duration << " time units on "
+     << active_servers << "/" << num_servers << " servers; "
+     << "mean global gap " << mean_global_gap << ", mean same-server gap "
+     << mean_per_server_gap << " (median " << median_per_server_gap
+     << ", p90 " << p90_per_server_gap << ")";
+  return os.str();
+}
+
+TraceStats compute_trace_stats(const Trace& trace) {
+  TraceStats stats;
+  stats.num_requests = trace.size();
+  stats.num_servers = trace.num_servers();
+  stats.active_servers = static_cast<int>(trace.active_servers().size());
+  stats.duration = trace.duration();
+  stats.per_server_counts.assign(
+      static_cast<std::size_t>(trace.num_servers()), 0);
+  for (int s = 0; s < trace.num_servers(); ++s) {
+    stats.per_server_counts[static_cast<std::size_t>(s)] =
+        trace.count_at_server(s);
+  }
+
+  RunningStats global_gaps;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    global_gaps.add(trace[i].time - trace[i - 1].time);
+  }
+  stats.mean_global_gap = global_gaps.mean();
+
+  RunningStats server_gaps;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const int p = trace.prev_same_server(i);
+    if (p < 0) continue;
+    const double gap = trace[i].time - trace[static_cast<std::size_t>(p)].time;
+    server_gaps.add(gap);
+    stats.per_server_gaps_.push_back(gap);
+  }
+  stats.mean_per_server_gap = server_gaps.mean();
+  if (!stats.per_server_gaps_.empty()) {
+    const auto qs = quantiles(stats.per_server_gaps_, {0.5, 0.9});
+    stats.median_per_server_gap = qs[0];
+    stats.p90_per_server_gap = qs[1];
+  }
+  return stats;
+}
+
+}  // namespace repl

@@ -1,0 +1,39 @@
+// Descriptive statistics of a trace, used to characterize workloads in
+// the benches and to sanity-check the IBM-like synthesizer against the
+// figures the paper quotes (request count, mean inter-request time).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace repl {
+
+struct TraceStats {
+  std::size_t num_requests = 0;
+  int num_servers = 0;
+  int active_servers = 0;
+  double duration = 0.0;
+  double mean_global_gap = 0.0;      // between consecutive requests anywhere
+  double mean_per_server_gap = 0.0;  // between consecutive requests at the
+                                     // same server (pooled over servers)
+  double median_per_server_gap = 0.0;
+  double p90_per_server_gap = 0.0;
+  std::vector<std::size_t> per_server_counts;
+
+  /// Fraction of same-server gaps that are <= threshold. The competitive
+  /// behaviour of Algorithm 1 is governed by where gaps fall relative to
+  /// alpha*lambda and lambda.
+  double fraction_gaps_within(double threshold) const;
+
+  std::string summary() const;
+
+ private:
+  friend TraceStats compute_trace_stats(const Trace&);
+  std::vector<double> per_server_gaps_;
+};
+
+TraceStats compute_trace_stats(const Trace& trace);
+
+}  // namespace repl

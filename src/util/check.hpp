@@ -1,0 +1,75 @@
+// Lightweight invariant checking used throughout the library.
+//
+// REPL_CHECK fires in all build types: the invariants it guards (e.g. the
+// at-least-one-copy requirement, or the special-copy uniqueness property of
+// Algorithm 1) are cheap relative to the surrounding work and their
+// violation always indicates a logic bug, never bad user input.
+// REPL_REQUIRE is for validating user-supplied arguments and throws
+// std::invalid_argument instead.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace repl {
+
+/// Thrown when an internal invariant is violated (a bug in this library).
+class CheckFailure : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invalid argument: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace detail
+
+#define REPL_CHECK(expr)                                                   \
+  do {                                                                     \
+    if (!(expr)) ::repl::detail::check_failed(#expr, __FILE__, __LINE__,   \
+                                              std::string());              \
+  } while (false)
+
+#define REPL_CHECK_MSG(expr, msg)                                          \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream repl_check_os;                                    \
+      repl_check_os << msg;                                                \
+      ::repl::detail::check_failed(#expr, __FILE__, __LINE__,              \
+                                   repl_check_os.str());                   \
+    }                                                                      \
+  } while (false)
+
+#define REPL_REQUIRE(expr)                                                 \
+  do {                                                                     \
+    if (!(expr)) ::repl::detail::require_failed(#expr, __FILE__, __LINE__, \
+                                                std::string());            \
+  } while (false)
+
+#define REPL_REQUIRE_MSG(expr, msg)                                        \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream repl_check_os;                                    \
+      repl_check_os << msg;                                                \
+      ::repl::detail::require_failed(#expr, __FILE__, __LINE__,            \
+                                     repl_check_os.str());                 \
+    }                                                                      \
+  } while (false)
+
+}  // namespace repl

@@ -1,0 +1,129 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace repl {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void CliParser::add_flag(const std::string& name,
+                         const std::string& default_value,
+                         const std::string& help) {
+  REPL_REQUIRE(!name.empty());
+  flags_[name] = Flag{default_value, help, /*boolean=*/false};
+}
+
+void CliParser::add_bool_flag(const std::string& name,
+                              const std::string& help) {
+  REPL_REQUIRE(!name.empty());
+  flags_[name] = Flag{"false", help, /*boolean=*/true};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << help();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    std::string name, value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      const auto it = flags_.find(name);
+      if (it == flags_.end()) {
+        throw std::invalid_argument("unknown flag: --" + name);
+      }
+      if (it->second.boolean) {
+        value = "true";
+      } else {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument("flag --" + name + " expects a value");
+        }
+        value = argv[++i];
+      }
+    }
+    if (flags_.find(name) == flags_.end()) {
+      throw std::invalid_argument("unknown flag: --" + name);
+    }
+    values_[name] = value;
+  }
+  return true;
+}
+
+const CliParser::Flag& CliParser::find(const std::string& name) const {
+  const auto it = flags_.find(name);
+  REPL_REQUIRE_MSG(it != flags_.end(), "flag not registered: " << name);
+  return it->second;
+}
+
+std::string CliParser::get_string(const std::string& name) const {
+  const Flag& flag = find(name);
+  const auto it = values_.find(name);
+  return it == values_.end() ? flag.default_value : it->second;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string v = get_string(name);
+  std::size_t pos = 0;
+  const double out = std::stod(v, &pos);
+  if (pos != v.size()) {
+    throw std::invalid_argument("flag --" + name + ": not a number: " + v);
+  }
+  return out;
+}
+
+long long CliParser::get_int(const std::string& name) const {
+  const std::string v = get_string(name);
+  std::size_t pos = 0;
+  const long long out = std::stoll(v, &pos);
+  if (pos != v.size()) {
+    throw std::invalid_argument("flag --" + name + ": not an integer: " + v);
+  }
+  return out;
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string v = get_string(name);
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw std::invalid_argument("flag --" + name + ": not a boolean: " + v);
+}
+
+std::vector<double> CliParser::get_double_list(const std::string& name) const {
+  const std::string v = get_string(name);
+  std::vector<double> out;
+  std::istringstream is(v);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (item.empty()) continue;
+    out.push_back(std::stod(item));
+  }
+  return out;
+}
+
+std::string CliParser::help() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name;
+    if (!flag.boolean) os << "=<" << flag.default_value << ">";
+    os << "\n      " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace repl

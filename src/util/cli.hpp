@@ -1,0 +1,56 @@
+// Tiny flag parser for bench/example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name`.
+// Unknown flags raise; `--help` prints registered flags.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace repl {
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  /// Registers a flag with a default value (all values are strings;
+  /// typed getters convert on access).
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Registers a boolean flag defaulting to false.
+  void add_bool_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. Returns false if --help was requested (help text is
+  /// written to stdout). Throws std::invalid_argument on unknown flags or
+  /// malformed values.
+  bool parse(int argc, const char* const* argv);
+
+  std::string get_string(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  long long get_int(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Comma-separated list of doubles, e.g. "--lambdas=10,100,1000".
+  std::vector<double> get_double_list(const std::string& name) const;
+
+  std::string help() const;
+
+ private:
+  struct Flag {
+    std::string default_value;
+    std::string help;
+    bool boolean = false;
+  };
+
+  const Flag& find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace repl

@@ -1,0 +1,31 @@
+// Minimal CSV reading/writing for trace import/export and bench output.
+// Handles quoting of fields containing commas, quotes, or newlines; does
+// not attempt full RFC 4180 (multi-line quoted fields are supported on
+// read, embedded CR is normalized away).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace repl {
+
+using CsvRow = std::vector<std::string>;
+
+/// Serializes one row, quoting fields as needed, and appends '\n'.
+void write_csv_row(std::ostream& os, const CsvRow& row);
+
+/// Parses a complete CSV document. Empty trailing line is ignored.
+/// Throws std::invalid_argument on unterminated quotes.
+std::vector<CsvRow> parse_csv(const std::string& text);
+
+/// Reads a whole file; throws std::runtime_error if it cannot be opened.
+std::string read_file(const std::string& path);
+
+/// Writes a whole file; throws std::runtime_error on failure.
+void write_file(const std::string& path, const std::string& contents);
+
+/// Formats a double with enough digits to round-trip (max_digits10).
+std::string format_double(double v);
+
+}  // namespace repl

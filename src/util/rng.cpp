@@ -1,0 +1,143 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace repl {
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  REPL_REQUIRE(lo <= hi);
+  return lo + (hi - lo) * next_double();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  REPL_REQUIRE(n > 0);
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = -n % n;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+double Rng::exponential(double rate) {
+  REPL_REQUIRE(rate > 0.0);
+  // -log(1 - U) with U in [0,1); 1-U in (0,1] so log is finite.
+  return -std::log1p(-next_double()) / rate;
+}
+
+double Rng::pareto(double x_min, double shape) {
+  REPL_REQUIRE(x_min > 0.0);
+  REPL_REQUIRE(shape > 0.0);
+  const double u = 1.0 - next_double();  // (0, 1]
+  return x_min / std::pow(u, 1.0 / shape);
+}
+
+double Rng::normal(double mean, double stddev) {
+  REPL_REQUIRE(stddev >= 0.0);
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  // Marsaglia polar method.
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  have_cached_normal_ = true;
+  return mean + stddev * (u * factor);
+}
+
+void Rng::jump() {
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::array<std::uint64_t, 4> t{0, 0, 0, 0};
+  for (std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (std::uint64_t{1} << b)) {
+        for (int i = 0; i < 4; ++i) t[i] ^= s_[i];
+      }
+      next_u64();
+    }
+  }
+  s_ = t;
+}
+
+Rng Rng::split() {
+  Rng child = *this;
+  child.have_cached_normal_ = false;
+  child.jump();  // child starts 2^128 steps ahead of the parent
+  // Perturb the parent by one draw so consecutive splits without
+  // intervening use still produce distinct children.
+  next_u64();
+  return child;
+}
+
+ZipfDistribution::ZipfDistribution(int n, double s) : n_(n), s_(s) {
+  REPL_REQUIRE(n >= 1);
+  cdf_.resize(static_cast<std::size_t>(n));
+  double total = 0.0;
+  for (int i = 1; i <= n; ++i) {
+    total += std::pow(static_cast<double>(i), -s);
+    cdf_[static_cast<std::size_t>(i - 1)] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+int ZipfDistribution::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int>(it - cdf_.begin()) + 1;
+}
+
+double ZipfDistribution::pmf(int i) const {
+  REPL_REQUIRE(i >= 1 && i <= n_);
+  const double lo = (i == 1) ? 0.0 : cdf_[static_cast<std::size_t>(i - 2)];
+  return cdf_[static_cast<std::size_t>(i - 1)] - lo;
+}
+
+}  // namespace repl

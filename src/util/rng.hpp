@@ -1,0 +1,103 @@
+// Deterministic, portable random number generation.
+//
+// The standard library's engines are portable but its distributions are
+// not (their algorithms are implementation-defined), so experiments seeded
+// the same way could produce different traces on different standard
+// libraries. Every distribution used by the workload generators is
+// therefore implemented here, on top of xoshiro256** seeded via SplitMix64.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace repl {
+
+/// SplitMix64: used to expand a 64-bit seed into xoshiro's 256-bit state.
+/// Passes BigCrush when used directly; here it is only a seed expander.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Fast, 256-bit state, passes
+/// BigCrush. All library randomness flows through this engine.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  std::uint64_t next_u64();
+  result_type operator()() { return next_u64(); }
+
+  /// Uniform in [0, 1) with 53 bits of precision.
+  double next_double();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Unbiased (rejection sampling).
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponential with given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Pareto (Type I) with scale x_m > 0 and shape a > 0.
+  double pareto(double x_min, double shape);
+
+  /// Standard normal via Box–Muller (polar form), then scaled.
+  double normal(double mean, double stddev);
+
+  /// Jump function: advances the state by 2^128 steps; used to derive
+  /// independent streams for parallel workers.
+  void jump();
+
+  /// Splits off an independent generator (jump-based substream).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Samples from {1, ..., n} with P(i) proportional to i^(-s).
+/// For s = 1 and n = 10 this is exactly the server-assignment rule of the
+/// paper's Appendix J. Uses precomputed cumulative weights + binary search.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(int n, double s);
+
+  /// Returns a value in [1, n].
+  int sample(Rng& rng) const;
+
+  /// Probability mass of value i (1-based).
+  double pmf(int i) const;
+
+  int n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  int n_;
+  double s_;
+  std::vector<double> cdf_;  // cdf_[i] = P(value <= i+1)
+};
+
+}  // namespace repl

@@ -1,0 +1,48 @@
+// Streaming and batch descriptive statistics used by trace analysis and
+// the benchmark harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace repl {
+
+/// Numerically stable streaming mean/variance (Welford) with min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator (parallel reduction friendly).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Batch quantile with linear interpolation (type-7, the numpy default).
+/// `q` in [0, 1]. The input is copied and sorted.
+double quantile(std::vector<double> values, double q);
+
+/// Convenience: several quantiles with a single sort.
+std::vector<double> quantiles(std::vector<double> values,
+                              const std::vector<double>& qs);
+
+/// Pearson correlation of two equal-length series.
+double pearson_correlation(const std::vector<double>& xs,
+                           const std::vector<double>& ys);
+
+}  // namespace repl

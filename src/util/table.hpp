@@ -1,0 +1,40 @@
+// Aligned-column table rendering for the benchmark harness. Benches print
+// paper-style tables; this keeps their formatting uniform and readable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace repl {
+
+/// Builds an aligned text table. Numeric cells should be pre-formatted by
+/// the caller (cell(double) helpers provided). Column widths auto-fit.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience cell formatters.
+  static std::string cell(double v, int precision = 4);
+  static std::string cell(long long v);
+  static std::string cell(int v) { return cell(static_cast<long long>(v)); }
+  static std::string cell(std::size_t v) {
+    return cell(static_cast<long long>(v));
+  }
+
+  /// Renders with a header underline; right-aligns cells that look numeric.
+  std::string str() const;
+
+  /// Renders as GitHub-flavored markdown.
+  std::string markdown() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace repl

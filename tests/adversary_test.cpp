@@ -1,0 +1,157 @@
+// Section-9 lower-bound adversary tests: every deterministic policy in
+// the library is forced to a ratio approaching (or exceeding) 3/2 against
+// the offline optimum, under genuinely correct predictions.
+#include <gtest/gtest.h>
+
+#include "adversary/lower_bound_adversary.hpp"
+#include "analysis/ratio.hpp"
+#include "baselines/naive.hpp"
+#include "baselines/wang2021.hpp"
+#include "core/adaptive_drwp.hpp"
+#include "core/drwp.hpp"
+#include "core/simulator.hpp"
+#include "offline/opt_dp.hpp"
+#include "predictor/fixed.hpp"
+
+namespace repl {
+namespace {
+
+LowerBoundAdversary::Options options_for(double lambda, int m) {
+  LowerBoundAdversary::Options options;
+  options.lambda = lambda;
+  options.epsilon = lambda * 1e-4;
+  options.num_requests = m;
+  return options;
+}
+
+TEST(Adversary, GeneratedGapsExceedLambdaSoPredictionsAreCorrect) {
+  const LowerBoundAdversary adversary(options_for(10.0, 150));
+  DrwpPolicy policy(0.4);
+  const AdversaryResult result = adversary.generate(policy);
+  ASSERT_EQ(result.trace.size(), 150u);
+  for (std::size_t i = 0; i < result.trace.size(); ++i) {
+    const double gap = interarrival_to_prev(result.trace, i, 0);
+    EXPECT_GT(gap, 10.0) << "request " << i;
+  }
+}
+
+TEST(Adversary, DeterministicForDeterministicPolicy) {
+  const LowerBoundAdversary adversary(options_for(10.0, 80));
+  DrwpPolicy policy(0.6);
+  const AdversaryResult a = adversary.generate(policy);
+  const AdversaryResult b = adversary.generate(policy);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i], b.trace[i]);
+  }
+}
+
+TEST(Adversary, ReplayReproducesAdversarialBehaviour) {
+  // Re-running the victim on the generated trace must serve every
+  // Type-K1 request by a transfer (the adversary fires right after the
+  // victim's copy disappears).
+  const LowerBoundAdversary adversary(options_for(10.0, 120));
+  DrwpPolicy policy(0.5);
+  const AdversaryResult result = adversary.generate(policy);
+  FixedPredictor beyond = always_beyond_predictor();
+  DrwpPolicy replay(0.5);
+  const SimulationResult run = Simulator(adversary.config())
+                                   .run(replay, result.trace, beyond);
+  for (std::size_t i = 0; i < result.trace.size(); ++i) {
+    if (result.kinds[i] != AdversaryKind::kK2) {
+      EXPECT_FALSE(run.serves[i].local) << "request " << i;
+    }
+  }
+}
+
+class AdversaryRatio : public ::testing::TestWithParam<double> {};
+
+TEST_P(AdversaryRatio, DrwpForcedAboveThreeHalves) {
+  const double alpha = GetParam();
+  const double lambda = 10.0;
+  const LowerBoundAdversary adversary(options_for(lambda, 500));
+  DrwpPolicy prototype(alpha);
+  const AdversaryResult generated = adversary.generate(prototype);
+
+  FixedPredictor beyond = always_beyond_predictor();
+  DrwpPolicy victim(alpha);
+  const RatioReport report = evaluate_policy(
+      adversary.config(), victim, generated.trace, beyond);
+  // The paper's bound is asymptotic (3/2 as eps -> 0, m -> inf); with
+  // eps = 1e-4*lambda and m = 500 the ratio must already clear 1.45.
+  EXPECT_GT(report.ratio, 1.45) << "alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaSweep, AdversaryRatio,
+                         ::testing::Values(0.2, 0.4, 0.6, 0.8, 1.0));
+
+TEST(Adversary, ForcesAdaptivePolicyToo) {
+  const double lambda = 10.0;
+  const LowerBoundAdversary adversary(options_for(lambda, 400));
+  AdaptiveDrwpPolicy::Options options;
+  options.beta = 0.1;
+  options.warmup_requests = 20;
+  AdaptiveDrwpPolicy prototype(0.3, options);
+  const AdversaryResult generated = adversary.generate(prototype);
+  FixedPredictor beyond = always_beyond_predictor();
+  AdaptiveDrwpPolicy victim(0.3, options);
+  const RatioReport report = evaluate_policy(
+      adversary.config(), victim, generated.trace, beyond);
+  EXPECT_GT(report.ratio, 1.4);
+}
+
+TEST(Adversary, ForcesBaselinePolicies) {
+  const double lambda = 10.0;
+  const LowerBoundAdversary adversary(options_for(lambda, 300));
+  FixedPredictor beyond = always_beyond_predictor();
+
+  Wang2021Policy wang;
+  const AdversaryResult vs_wang = adversary.generate(wang);
+  Wang2021Policy wang_victim;
+  EXPECT_GT(evaluate_policy(adversary.config(), wang_victim, vs_wang.trace,
+                            beyond)
+                .ratio,
+            1.45);
+
+  FullReplicationPolicy full;
+  const AdversaryResult vs_full = adversary.generate(full);
+  FullReplicationPolicy full_victim;
+  EXPECT_GT(evaluate_policy(adversary.config(), full_victim, vs_full.trace,
+                            beyond)
+                .ratio,
+            1.45);
+
+  StaticPolicy pinned;
+  const AdversaryResult vs_static = adversary.generate(pinned);
+  StaticPolicy static_victim;
+  EXPECT_GT(evaluate_policy(adversary.config(), static_victim,
+                            vs_static.trace, beyond)
+                .ratio,
+            1.45);
+}
+
+TEST(Adversary, KindsArePopulated) {
+  const LowerBoundAdversary adversary(options_for(10.0, 200));
+  DrwpPolicy policy(0.5);
+  const AdversaryResult result = adversary.generate(policy);
+  const std::size_t total =
+      result.count(AdversaryKind::kK1a) + result.count(AdversaryKind::kK1b) +
+      result.count(AdversaryKind::kK1c) + result.count(AdversaryKind::kK2);
+  EXPECT_EQ(total, result.trace.size());
+  // Against DRWP (which drops expired copies), the adversary must use
+  // the K1 branch at least some of the time.
+  EXPECT_GT(result.count(AdversaryKind::kK1a) +
+                result.count(AdversaryKind::kK1b) +
+                result.count(AdversaryKind::kK1c),
+            0u);
+}
+
+TEST(Adversary, RejectsBadOptions) {
+  LowerBoundAdversary::Options bad;
+  bad.lambda = 10.0;
+  bad.epsilon = 20.0;  // epsilon >= lambda
+  EXPECT_THROW(LowerBoundAdversary{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace repl

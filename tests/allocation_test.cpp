@@ -1,0 +1,157 @@
+// Proposition-2 allocation tests: the allocation identity (sum of
+// per-request allocations equals the independently integrated adjusted
+// online cost) across workloads, alphas and prediction regimes, plus
+// hand-checked allocations on crafted scenarios.
+#include <gtest/gtest.h>
+
+#include "analysis/allocation.hpp"
+#include "analysis/request_types.hpp"
+#include "core/drwp.hpp"
+#include "core/simulator.hpp"
+#include "predictor/fixed.hpp"
+#include "predictor/noisy.hpp"
+#include "predictor/oracle.hpp"
+#include "test_util.hpp"
+#include "trace/paper_instances.hpp"
+
+namespace repl {
+namespace {
+
+using testing::make_config;
+
+TEST(Allocation, HandCheckedTwoServerScenario) {
+  // Scenario B of drwp_test: lambda=4, alpha=0.5, always-beyond.
+  // Allocations: r0 (Type-1 first request): λ + leftover(2) = 6;
+  // r1 (Type-3): t1 - t_dummy = 2; r2 (Type-2): λ + (9-4) + l=2 = 11.
+  const SystemConfig config = make_config(2, 4.0);
+  const Trace trace(2, {{1.0, 1}, {2.0, 0}, {9.0, 1}});
+  FixedPredictor beyond = always_beyond_predictor();
+  const SimulationResult result =
+      testing::run_drwp(config, trace, 0.5, beyond);
+  const AllocationReport report = allocate_costs(result, trace);
+  ASSERT_EQ(report.allocated.size(), 3u);
+  EXPECT_DOUBLE_EQ(report.allocated[0], 6.0);
+  EXPECT_DOUBLE_EQ(report.allocated[1], 2.0);
+  EXPECT_DOUBLE_EQ(report.allocated[2], 11.0);
+  EXPECT_DOUBLE_EQ(report.total_allocated, 19.0);
+  EXPECT_NEAR(report.discrepancy(), 0.0, 1e-9);
+}
+
+TEST(Allocation, Figure6AllocationsMatchPaper) {
+  const double lambda = 10.0, eps = 1.0;
+  const SystemConfig config = make_config(2, lambda);
+  const Trace trace = make_figure6_trace(lambda, eps, 1);
+  FixedPredictor beyond = always_beyond_predictor();
+  const SimulationResult result =
+      testing::run_drwp(config, trace, 0.5, beyond);
+  const AllocationReport report = allocate_costs(result, trace);
+  ASSERT_EQ(report.allocated.size(), 3u);
+  // r1 (Type-2, first request at the non-initial s2): λ + (t1 - t') with
+  // t' = αλ = 5, plus the single leftover regular copy (after r2 at s1,
+  // duration αλ = 5): 10 + 5 + 5 = 20.
+  EXPECT_DOUBLE_EQ(report.allocated[0], 20.0);
+  // r2 (Type-1): λ + l where l is the initial copy's intended duration
+  // after the dummy r0 (αλ = 5): 10 + 5 = 15.
+  EXPECT_DOUBLE_EQ(report.allocated[1], 15.0);
+  // r3 (Type-2): λ + (t3 - t') + l, t' = t2 + αλ = 16, l = αλ:
+  // 10 + 5 + 5 = 20.
+  EXPECT_DOUBLE_EQ(report.allocated[2], 20.0);
+  EXPECT_NEAR(report.discrepancy(), 0.0, 1e-9);
+  // Matches the walkthrough's total online cost 5λ + αλ = 55.
+  EXPECT_DOUBLE_EQ(report.total_allocated, 55.0);
+}
+
+struct AllocationCase {
+  double alpha;
+  double lambda;
+  int predictor;  // 0 oracle, 1 beyond, 2 within, 3 noisy
+  std::uint64_t seed;
+};
+
+class AllocationIdentity
+    : public ::testing::TestWithParam<AllocationCase> {};
+
+TEST_P(AllocationIdentity, SumMatchesAdjustedCost) {
+  const AllocationCase param = GetParam();
+  const Trace trace = testing::random_trace(5, 0.05, 4000.0, param.seed);
+  ASSERT_FALSE(trace.empty());
+  const SystemConfig config = make_config(5, param.lambda);
+  std::unique_ptr<Predictor> predictor;
+  switch (param.predictor) {
+    case 0: predictor = std::make_unique<OraclePredictor>(trace); break;
+    case 1: predictor = std::make_unique<FixedPredictor>(false); break;
+    case 2: predictor = std::make_unique<FixedPredictor>(true); break;
+    default:
+      predictor =
+          std::make_unique<AccuracyPredictor>(trace, 0.6, param.seed);
+  }
+  const SimulationResult result =
+      testing::run_drwp(config, trace, param.alpha, *predictor);
+  const AllocationReport report = allocate_costs(result, trace);
+  const double scale = std::max(1.0, report.total_allocated);
+  EXPECT_NEAR(report.discrepancy() / scale, 0.0, 1e-9)
+      << "alpha=" << param.alpha << " lambda=" << param.lambda
+      << " predictor=" << param.predictor << " seed=" << param.seed;
+  // The allocation never under-counts the measured (horizon-clipped)
+  // cost: allocated >= measured.
+  EXPECT_GE(report.total_allocated, result.total_cost() - 1e-6);
+}
+
+std::vector<AllocationCase> allocation_cases() {
+  std::vector<AllocationCase> cases;
+  std::uint64_t seed = 1000;
+  for (double alpha : {0.1, 0.5, 1.0}) {
+    for (double lambda : {2.0, 20.0, 120.0}) {
+      for (int predictor : {0, 1, 2, 3}) {
+        cases.push_back({alpha, lambda, predictor, seed++});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AllocationIdentity,
+                         ::testing::ValuesIn(allocation_cases()));
+
+TEST(Allocation, TypeCountsConsistent) {
+  const Trace trace = testing::random_trace(5, 0.05, 4000.0, 77);
+  const SystemConfig config = make_config(5, 20.0);
+  FixedPredictor beyond = always_beyond_predictor();
+  const SimulationResult result =
+      testing::run_drwp(config, trace, 0.5, beyond);
+  const TypeCounts counts = count_request_types(result);
+  EXPECT_EQ(counts.total(), trace.size());
+  // Transfers == Type-1 + Type-2, locals == Type-3 + Type-4.
+  EXPECT_EQ(counts.counts[1] + counts.counts[2], result.num_transfers);
+  EXPECT_EQ(counts.counts[3] + counts.counts[4], result.num_local);
+}
+
+TEST(Allocation, RequiresEventLog) {
+  const Trace trace(2, {{1.0, 1}});
+  const SystemConfig config = make_config(2, 4.0);
+  FixedPredictor beyond = always_beyond_predictor();
+  DrwpPolicy policy(0.5);
+  SimulationOptions lean;
+  lean.record_events = false;
+  const SimulationResult result =
+      Simulator(config, lean).run(policy, trace, beyond);
+  EXPECT_THROW(allocate_costs(result, trace), std::invalid_argument);
+}
+
+TEST(Allocation, SingleServerTraceAllocatesGaps) {
+  const SystemConfig config = make_config(1, 5.0);
+  const Trace trace(1, {{1.0, 0}, {3.0, 0}, {10.0, 0}});
+  FixedPredictor within = always_within_predictor();
+  const SimulationResult result =
+      testing::run_drwp(config, trace, 0.5, within);
+  const AllocationReport report = allocate_costs(result, trace);
+  // All requests local (gaps 1, 2, 7; the 7-gap is bridged by the special
+  // copy). Allocations are the gaps themselves.
+  EXPECT_DOUBLE_EQ(report.allocated[0], 1.0);
+  EXPECT_DOUBLE_EQ(report.allocated[1], 2.0);
+  EXPECT_DOUBLE_EQ(report.allocated[2], 7.0);
+  EXPECT_NEAR(report.discrepancy(), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace repl

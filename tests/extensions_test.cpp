@@ -1,0 +1,182 @@
+// Tests for the extension modules: weighted storage rates, multi-object
+// aggregation, and the randomized duration variant.
+#include <gtest/gtest.h>
+
+#include "analysis/ratio.hpp"
+#include "baselines/wang2021.hpp"
+#include "core/simulator.hpp"
+#include "extensions/multi_object.hpp"
+#include "extensions/randomized_drwp.hpp"
+#include "extensions/weighted_drwp.hpp"
+#include "offline/opt_dp.hpp"
+#include "predictor/fixed.hpp"
+#include "predictor/oracle.hpp"
+#include "test_util.hpp"
+
+namespace repl {
+namespace {
+
+using testing::make_config;
+
+TEST(WeightedDrwp, ScalesDurationsByRate) {
+  SystemConfig config = make_config(2, 10.0);
+  config.storage_rates = {1.0, 4.0};
+  WeightedDrwpPolicy policy(0.5);
+  NullEventSink sink;
+  policy.reset(config, Prediction{false}, sink);
+  EXPECT_DOUBLE_EQ(policy.intended_expiry(0), 5.0);  // αλ/µ0 = 5
+  policy.advance_to(1.0, sink);
+  const ServeAction a = policy.on_request(1, 1.0, Prediction{true}, sink);
+  EXPECT_DOUBLE_EQ(a.intended_duration, 2.5);  // λ/µ1 = 10/4
+}
+
+TEST(WeightedDrwp, MatchesPlainOnUniformRates) {
+  const SystemConfig config = make_config(4, 15.0);
+  const Trace trace = testing::random_trace(4, 0.05, 3000.0, 171);
+  FixedPredictor beyond = always_beyond_predictor();
+  WeightedDrwpPolicy weighted(0.5);
+  DrwpPolicy plain(0.5);
+  const double a =
+      Simulator(config).run(weighted, trace, beyond).total_cost();
+  const double b =
+      Simulator(config).run(plain, trace, beyond).total_cost();
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(WeightedDrwp, BeatsUnawareDrwpOnSkewedRates) {
+  // An expensive server with frequent local requests: the rate-aware
+  // policy holds shorter copies there and should not lose to the
+  // rate-oblivious one by much — and on strongly skewed configurations
+  // it wins. Assert the aggregate over several seeds.
+  SystemConfig config = make_config(3, 20.0);
+  config.storage_rates = {1.0, 8.0, 1.0};
+  double weighted_total = 0.0, plain_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    ServerAssignment assignment;
+    assignment.kind = ServerAssignment::Kind::kUniform;
+    const Trace trace =
+        generate_poisson_trace(3, 0.08, 2000.0, assignment, seed + 500);
+    if (trace.empty()) continue;
+    FixedPredictor beyond = always_beyond_predictor();
+    WeightedDrwpPolicy weighted(0.5);
+    DrwpPolicy plain(0.5);
+    SimulationOptions lean;
+    lean.record_events = false;
+    weighted_total +=
+        Simulator(config, lean).run(weighted, trace, beyond).total_cost();
+    plain_total +=
+        Simulator(config, lean).run(plain, trace, beyond).total_cost();
+  }
+  EXPECT_LT(weighted_total, plain_total);
+}
+
+TEST(WeightedDrwp, RespectsOptimum) {
+  SystemConfig config = make_config(3, 12.0);
+  config.storage_rates = {1.0, 3.0, 0.5};
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Trace trace = testing::random_trace(3, 0.06, 1500.0, seed + 600);
+    if (trace.empty()) continue;
+    const double opt = optimal_offline_cost(config, trace);
+    WeightedDrwpPolicy policy(0.5);
+    FixedPredictor beyond = always_beyond_predictor();
+    SimulationOptions lean;
+    lean.record_events = false;
+    const double cost =
+        Simulator(config, lean).run(policy, trace, beyond).total_cost();
+    EXPECT_GE(cost, opt - 1e-9) << "seed=" << seed;
+  }
+}
+
+TEST(MultiObject, WorkloadSplitsAllRequests) {
+  MultiObjectConfig config;
+  config.num_objects = 8;
+  config.num_servers = 5;
+  config.request_rate = 0.1;
+  config.horizon = 20000.0;
+  const MultiObjectWorkload workload =
+      generate_multi_object_workload(config, 7);
+  ASSERT_EQ(workload.objects.size(), 8u);
+  std::size_t total = 0;
+  for (const Trace& trace : workload.objects) total += trace.size();
+  EXPECT_NEAR(static_cast<double>(total), 2000.0, 300.0);
+  // Zipf popularity: object 0 dominates object 7.
+  EXPECT_GT(workload.objects[0].size(), workload.objects[7].size());
+}
+
+TEST(MultiObject, AggregateEqualsSumOfParts) {
+  MultiObjectConfig config;
+  config.num_objects = 5;
+  config.num_servers = 4;
+  config.request_rate = 0.05;
+  config.horizon = 10000.0;
+  const MultiObjectWorkload workload =
+      generate_multi_object_workload(config, 11);
+  const SystemConfig base = make_config(4, 25.0);
+  const MultiObjectResult result = run_multi_object(
+      workload, base, [] { return std::make_unique<DrwpPolicy>(0.5); },
+      [](const Trace& trace) {
+        return std::make_unique<OraclePredictor>(trace);
+      });
+  ASSERT_EQ(result.per_object_online.size(), 5u);
+  double online = 0.0, opt = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    online += result.per_object_online[i];
+    opt += result.per_object_opt[i];
+    EXPECT_GE(result.per_object_online[i], result.per_object_opt[i] - 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(result.online_cost, online);
+  EXPECT_DOUBLE_EQ(result.opt_cost, opt);
+  EXPECT_GE(result.ratio(), 1.0 - 1e-9);
+  EXPECT_LE(result.ratio(), consistency_bound(0.5) + 1e-9);
+}
+
+TEST(RandomizedDrwp, ReproducibleForSameSeed) {
+  const SystemConfig config = make_config(4, 20.0);
+  const Trace trace = testing::random_trace(4, 0.05, 3000.0, 191);
+  FixedPredictor beyond = always_beyond_predictor();
+  RandomizedDrwpPolicy a(0.5, 42), b(0.5, 42);
+  const double cost_a =
+      Simulator(config).run(a, trace, beyond).total_cost();
+  const double cost_b =
+      Simulator(config).run(b, trace, beyond).total_cost();
+  EXPECT_DOUBLE_EQ(cost_a, cost_b);
+}
+
+TEST(RandomizedDrwp, SeedsChangeBehaviour) {
+  const SystemConfig config = make_config(4, 20.0);
+  const Trace trace = testing::random_trace(4, 0.08, 5000.0, 193);
+  FixedPredictor beyond = always_beyond_predictor();
+  RandomizedDrwpPolicy a(0.5, 1), b(0.5, 2);
+  const double cost_a =
+      Simulator(config).run(a, trace, beyond).total_cost();
+  const double cost_b =
+      Simulator(config).run(b, trace, beyond).total_cost();
+  EXPECT_NE(cost_a, cost_b);
+}
+
+TEST(RandomizedDrwp, NeverBeatsOptimum) {
+  const SystemConfig config = make_config(4, 20.0);
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Trace trace = testing::random_trace(4, 0.05, 2000.0, seed + 800);
+    if (trace.empty()) continue;
+    const double opt = optimal_offline_cost(config, trace);
+    RandomizedDrwpPolicy policy(0.5, seed);
+    FixedPredictor beyond = always_beyond_predictor();
+    SimulationOptions lean;
+    lean.record_events = false;
+    const double cost =
+        Simulator(config, lean).run(policy, trace, beyond).total_cost();
+    EXPECT_GE(cost, opt - 1e-9);
+  }
+}
+
+TEST(RandomizedDrwp, WithinPredictionStillGivesLambda) {
+  const SystemConfig config = make_config(1, 10.0);
+  RandomizedDrwpPolicy policy(0.5, 7);
+  NullEventSink sink;
+  policy.reset(config, Prediction{true}, sink);
+  EXPECT_DOUBLE_EQ(policy.intended_expiry(0), 10.0);
+}
+
+}  // namespace
+}  // namespace repl

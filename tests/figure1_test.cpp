@@ -1,0 +1,121 @@
+// Reconstruction of the paper's Figure 1 — the worked example
+// illustrating Algorithm 1 and the request typing of Section 4.1.
+//
+// Four servers (s1..s4 = 0..3), nine requests, scripted predictions.
+// The paper states: r1, r2, r3, r5, r8 are Type-1; r4 and r6 are Type-2;
+// r7 is Type-3; r9 is Type-4; and p(6) = 1 (r1 and r6 arise in
+// succession at the same server). The timings below realize exactly that
+// typing with λ = 10, α = 0.5; every intermediate state is hand-computed
+// in the comments and asserted.
+#include <gtest/gtest.h>
+
+#include "analysis/allocation.hpp"
+#include "analysis/request_types.hpp"
+#include "core/drwp.hpp"
+#include "core/simulator.hpp"
+#include "predictor/predictor.hpp"
+#include "test_util.hpp"
+
+namespace repl {
+namespace {
+
+using testing::make_config;
+
+/// Returns a fixed sequence of forecasts in call order (first call = the
+/// dummy r0's prediction).
+class ScriptedPredictor final : public Predictor {
+ public:
+  explicit ScriptedPredictor(std::vector<bool> within)
+      : within_(std::move(within)) {}
+
+  void reset() override { next_ = 0; }
+  Prediction predict(const PredictionQuery&) override {
+    REPL_REQUIRE_MSG(next_ < within_.size(),
+                     "scripted predictor exhausted");
+    return Prediction{within_[next_++]};
+  }
+  std::string name() const override { return "scripted"; }
+
+ private:
+  std::vector<bool> within_;
+  std::size_t next_ = 0;
+};
+
+TEST(Figure1, FullWalkthrough) {
+  const double lambda = 10.0, alpha = 0.5;  // αλ = 5
+  const SystemConfig config = make_config(4, lambda);
+
+  // Requests (time, server). Servers: 0 = s1 (initial holder), etc.
+  const Trace trace(4, {
+                           {1.0, 1},   // r1
+                           {2.0, 2},   // r2
+                           {3.0, 3},   // r3
+                           {13.0, 0},  // r4
+                           {14.0, 3},  // r5
+                           {21.0, 1},  // r6  (p(6) = r1)
+                           {25.0, 1},  // r7
+                           {28.0, 2},  // r8
+                           {35.0, 2},  // r9
+                       });
+  // Predictions in issue order: r0 beyond (initial copy αλ), r1 within
+  // (copy λ), r2 within, r3 beyond, r4..r5 beyond, r6 within, r7..r9
+  // beyond.
+  ScriptedPredictor predictor({false, true, true, false, false, false,
+                               true, false, false, false});
+  DrwpPolicy policy(alpha);
+  const SimulationResult result =
+      Simulator(config).run(policy, trace, predictor);
+
+  // Hand-computed trajectory:
+  //  t=0: copy at s0, E=5.         t=5:  s0 expires (4 copies) -> drop.
+  //  r1@1 (s1): transfer from the regular copy at s0 -> Type-1; E1=11.
+  //  r2@2 (s2): transfer from s0 (regular) -> Type-1; E2=12.
+  //  r3@3 (s3): transfer from s0 (regular) -> Type-1; E3=8.
+  //  t=8: s3 drops; t=11: s1 drops; t=12: s2 is the only copy -> special.
+  //  r4@13 (s0): transfer from s2's SPECIAL (since 12) -> Type-2;
+  //              s2 dropped after the transfer; E0=18.
+  //  r5@14 (s3): transfer from s0 (regular) -> Type-1; E3=19.
+  //  t=18: s0 drops; t=19: s3 only copy -> special.
+  //  r6@21 (s1): transfer from s3's SPECIAL (since 19) -> Type-2; E1=31.
+  //  r7@25 (s1): local regular -> Type-3; E1=30.
+  //  r8@28 (s2): transfer from s1 (regular) -> Type-1; E2=33.
+  //  t=30: s1 drops; t=33: s2 only copy -> special.
+  //  r9@35 (s2): local SPECIAL (since 33) -> Type-4.
+  const auto types = classify_requests(result);
+  const std::vector<RequestType> expected = {
+      RequestType::kType1, RequestType::kType1, RequestType::kType1,
+      RequestType::kType2, RequestType::kType1, RequestType::kType2,
+      RequestType::kType3, RequestType::kType1, RequestType::kType4};
+  ASSERT_EQ(types.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(types[i], expected[i]) << "r" << (i + 1);
+  }
+
+  // The paper's p(6) = 1: r6's predecessor at its server is r1.
+  EXPECT_EQ(trace.prev_same_server(5), 0);
+
+  // Special-copy switch instants feeding the Type-2/4 allocations.
+  EXPECT_DOUBLE_EQ(result.serves[3].special_since, 12.0);  // r4
+  EXPECT_DOUBLE_EQ(result.serves[5].special_since, 19.0);  // r6
+  EXPECT_DOUBLE_EQ(result.serves[8].special_since, 33.0);  // r9
+
+  // Totals: 7 transfers; storage s0 [0,5]+[13,18]=10, s1 [1,11]+[21,30]
+  // =19, s2 [2,13]+[28,35]=18, s3 [3,8]+[14,21]=12 => 59.
+  EXPECT_EQ(result.num_transfers, 7u);
+  EXPECT_DOUBLE_EQ(result.storage_cost, 59.0);
+  EXPECT_DOUBLE_EQ(result.total_cost(), 129.0);
+
+  // The Section-4.1 allocation identity closes on the example too.
+  const AllocationReport report = allocate_costs(result, trace);
+  EXPECT_NEAR(report.discrepancy(), 0.0, 1e-9);
+}
+
+TEST(Figure1, ScriptedPredictorMisuseTraps) {
+  ScriptedPredictor predictor({true});
+  PredictionQuery query;
+  predictor.predict(query);
+  EXPECT_THROW(predictor.predict(query), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace repl

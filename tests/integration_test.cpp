@@ -1,0 +1,182 @@
+// End-to-end integration tests on realistic (scaled-down) workloads:
+// all policies run under all predictor families, theorem-backed bounds
+// hold, and the experiment pipeline (trace -> predictions -> policy ->
+// DP normalization) works as the benches use it.
+#include <gtest/gtest.h>
+
+#include "analysis/allocation.hpp"
+#include "analysis/misprediction.hpp"
+#include "analysis/ratio.hpp"
+#include "baselines/naive.hpp"
+#include "baselines/wang2021.hpp"
+#include "core/adaptive_drwp.hpp"
+#include "core/drwp.hpp"
+#include "core/simulator.hpp"
+#include "extensions/randomized_drwp.hpp"
+#include "offline/opt_dp.hpp"
+#include "offline/opt_lower_bound.hpp"
+#include "predictor/history.hpp"
+#include "predictor/noisy.hpp"
+#include "predictor/oracle.hpp"
+#include "test_util.hpp"
+#include "trace/ibm_synth.hpp"
+#include "trace/trace_stats.hpp"
+
+namespace repl {
+namespace {
+
+using testing::make_config;
+
+/// A small IBM-like workload (same generator as the benches, shorter
+/// horizon) so integration tests stay fast.
+Trace small_ibm_trace(std::uint64_t seed) {
+  IbmSynthConfig config;
+  config.horizon = 86400.0;          // one day
+  config.target_requests = 1700.0;   // scaled from 11688/week
+  return synthesize_ibm_like(config, seed);
+}
+
+TEST(Integration, AllPoliciesRunAllPredictorsOnIbmLikeTrace) {
+  const Trace trace = small_ibm_trace(5);
+  ASSERT_GT(trace.size(), 500u);
+  const SystemConfig config = make_config(10, 500.0);
+  const double opt = optimal_offline_cost(config, trace);
+  ASSERT_GT(opt, 0.0);
+
+  std::vector<PolicyPtr> policies;
+  policies.push_back(std::make_unique<DrwpPolicy>(0.3));
+  policies.push_back(std::make_unique<ConventionalPolicy>());
+  policies.push_back(std::make_unique<AdaptiveDrwpPolicy>(
+      0.3, AdaptiveDrwpPolicy::Options{0.5, 100}));
+  policies.push_back(std::make_unique<Wang2021Policy>());
+  policies.push_back(std::make_unique<FullReplicationPolicy>());
+  policies.push_back(std::make_unique<StaticPolicy>());
+  policies.push_back(std::make_unique<SingleCopyChasePolicy>());
+  policies.push_back(std::make_unique<RandomizedDrwpPolicy>(0.3, 9));
+
+  OraclePredictor oracle(trace);
+  AccuracyPredictor noisy(trace, 0.7, 77);
+  HistoryPredictor history(10);
+  for (auto& policy : policies) {
+    for (Predictor* predictor : std::initializer_list<Predictor*>{
+             &oracle, &noisy, &history}) {
+      const RatioReport report =
+          evaluate_policy(config, *policy, trace, *predictor, opt);
+      EXPECT_GE(report.ratio, 1.0 - 1e-9)
+          << policy->name() << " / " << predictor->name();
+      EXPECT_LT(report.ratio, 100.0)
+          << policy->name() << " / " << predictor->name();
+    }
+  }
+}
+
+TEST(Integration, TheoremBoundsOnIbmLikeTrace) {
+  const Trace trace = small_ibm_trace(6);
+  for (double lambda : {10.0, 500.0, 5000.0}) {
+    const SystemConfig config = make_config(10, lambda);
+    const double opt = optimal_offline_cost(config, trace);
+    for (double alpha : {0.1, 0.5, 1.0}) {
+      OraclePredictor oracle(trace);
+      DrwpPolicy consistent(alpha);
+      EXPECT_LE(
+          evaluate_policy(config, consistent, trace, oracle, opt).ratio,
+          consistency_bound(alpha) + 1e-9)
+          << "alpha=" << alpha << " lambda=" << lambda;
+      AdversarialPredictor wrong(trace);
+      DrwpPolicy robust(alpha);
+      EXPECT_LE(evaluate_policy(config, robust, trace, wrong, opt).ratio,
+                robustness_bound(alpha) + 1e-9)
+          << "alpha=" << alpha << " lambda=" << lambda;
+    }
+  }
+}
+
+TEST(Integration, AccuracyImprovesDrwpOnIbmLikeTrace) {
+  // The paper's headline empirical claim: with small alpha, higher
+  // prediction accuracy lowers the cost ratio. Checked at the endpoints
+  // (0% vs 100%) where the trend is theorem-like rather than noisy.
+  const Trace trace = small_ibm_trace(7);
+  const SystemConfig config = make_config(10, 500.0);
+  const double opt = optimal_offline_cost(config, trace);
+  const double alpha = 0.1;
+  AccuracyPredictor bad(trace, 0.0, 3);
+  AccuracyPredictor good(trace, 1.0, 3);
+  DrwpPolicy a(alpha), b(alpha);
+  const double ratio_bad =
+      evaluate_policy(config, a, trace, bad, opt).ratio;
+  const double ratio_good =
+      evaluate_policy(config, b, trace, good, opt).ratio;
+  EXPECT_LT(ratio_good, ratio_bad);
+}
+
+TEST(Integration, AlphaOneInsensitiveToAccuracy) {
+  // The paper's observed plateau: at alpha = 1 the ratio is independent
+  // of prediction accuracy.
+  const Trace trace = small_ibm_trace(8);
+  const SystemConfig config = make_config(10, 1000.0);
+  const double opt = optimal_offline_cost(config, trace);
+  double first = -1.0;
+  for (double accuracy : {0.0, 0.3, 0.6, 1.0}) {
+    AccuracyPredictor predictor(trace, accuracy, 11);
+    DrwpPolicy policy(1.0);
+    const double ratio =
+        evaluate_policy(config, policy, trace, predictor, opt).ratio;
+    if (first < 0.0) {
+      first = ratio;
+    } else {
+      EXPECT_DOUBLE_EQ(ratio, first) << "accuracy=" << accuracy;
+    }
+  }
+}
+
+TEST(Integration, SmallLambdaRatiosNearOne) {
+  // Figure-25 regime: when λ is far below typical inter-request times,
+  // Algorithm 1 tracks the optimum closely for any accuracy.
+  const Trace trace = small_ibm_trace(9);
+  const TraceStats stats = compute_trace_stats(trace);
+  const double lambda = 10.0;
+  ASSERT_GT(stats.median_per_server_gap, 5 * lambda);
+  const SystemConfig config = make_config(10, lambda);
+  const double opt = optimal_offline_cost(config, trace);
+  for (double accuracy : {0.0, 0.5, 1.0}) {
+    AccuracyPredictor predictor(trace, accuracy, 13);
+    DrwpPolicy policy(0.2);
+    const double ratio =
+        evaluate_policy(config, policy, trace, predictor, opt).ratio;
+    EXPECT_LT(ratio, 1.35) << "accuracy=" << accuracy;
+  }
+}
+
+TEST(Integration, AllocationIdentityOnIbmLikeTrace) {
+  const Trace trace = small_ibm_trace(10);
+  const SystemConfig config = make_config(10, 500.0);
+  AccuracyPredictor predictor(trace, 0.6, 17);
+  const SimulationResult result =
+      testing::run_drwp(config, trace, 0.4, predictor);
+  const AllocationReport report = allocate_costs(result, trace);
+  EXPECT_NEAR(report.discrepancy() / report.total_allocated, 0.0, 1e-9);
+  const MispredictionReport mispredictions =
+      analyze_mispredictions(result, trace, 0.4);
+  EXPECT_GT(mispredictions.mispredicted(), 0u);
+  EXPECT_GT(mispredictions.correct, 0u);
+}
+
+TEST(Integration, OptSandwichOnIbmLikeTrace) {
+  const Trace trace = small_ibm_trace(11);
+  for (double lambda : {50.0, 500.0}) {
+    const SystemConfig config = make_config(10, lambda);
+    const double opt = optimal_offline_cost(config, trace);
+    EXPECT_GE(opt, opt_lower_bound(config, trace) - 1e-6);
+    OraclePredictor oracle(trace);
+    DrwpPolicy policy(0.5);
+    SimulationOptions lean;
+    lean.record_events = false;
+    const double online = Simulator(config, lean)
+                              .run(policy, trace, oracle)
+                              .total_cost();
+    EXPECT_LE(opt, online + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace repl

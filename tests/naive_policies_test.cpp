@@ -1,0 +1,72 @@
+// Tests for the naive reference policies.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/naive.hpp"
+#include "core/simulator.hpp"
+#include "predictor/fixed.hpp"
+#include "test_util.hpp"
+
+namespace repl {
+namespace {
+
+using testing::make_config;
+
+TEST(FullReplication, TransfersOncePerServerThenLocal) {
+  const SystemConfig config = make_config(3, 5.0);
+  const Trace trace(3,
+                    {{1.0, 1}, {2.0, 2}, {3.0, 1}, {4.0, 2}, {5.0, 0}});
+  FullReplicationPolicy policy;
+  FixedPredictor ignored = always_beyond_predictor();
+  const SimulationResult result =
+      Simulator(config).run(policy, trace, ignored);
+  EXPECT_EQ(result.num_transfers, 2u);  // first touch of s1 and s2
+  EXPECT_EQ(result.num_local, 3u);
+  // Storage: s0 [0,5] + s1 [1,5] + s2 [2,5] = 5 + 4 + 3.
+  EXPECT_DOUBLE_EQ(result.storage_cost, 12.0);
+}
+
+TEST(StaticPolicy, AlwaysServesRemoteFromInitial) {
+  const SystemConfig config = make_config(3, 5.0);
+  const Trace trace(3, {{1.0, 1}, {2.0, 2}, {3.0, 1}, {4.0, 0}});
+  StaticPolicy policy;
+  FixedPredictor ignored = always_beyond_predictor();
+  const SimulationResult result =
+      Simulator(config).run(policy, trace, ignored);
+  EXPECT_EQ(result.num_transfers, 3u);
+  EXPECT_EQ(result.num_local, 1u);  // the request at the initial server
+  EXPECT_DOUBLE_EQ(result.storage_cost, 4.0);  // one copy, [0, 4]
+  EXPECT_EQ(policy.copy_count(), 1);
+}
+
+TEST(SingleCopyChase, MigratesToEveryRequester) {
+  const SystemConfig config = make_config(3, 5.0);
+  const Trace trace(3, {{1.0, 1}, {2.0, 2}, {3.0, 2}, {4.0, 0}});
+  SingleCopyChasePolicy policy;
+  FixedPredictor ignored = always_beyond_predictor();
+  const SimulationResult result =
+      Simulator(config).run(policy, trace, ignored);
+  EXPECT_EQ(result.num_transfers, 3u);  // s1, s2, back to s0 (not for r3)
+  EXPECT_EQ(result.num_local, 1u);      // the repeat at s2
+  EXPECT_DOUBLE_EQ(result.storage_cost, 4.0);  // exactly one copy always
+  EXPECT_EQ(policy.copy_count(), 1);
+  EXPECT_TRUE(policy.holds(0));  // chased back to server 0 at t=4
+}
+
+TEST(NaivePolicies, CloneAndIntrospection) {
+  const SystemConfig config = make_config(2, 5.0);
+  FullReplicationPolicy policy;
+  NullEventSink sink;
+  policy.reset(config, Prediction{}, sink);
+  EXPECT_TRUE(policy.holds(0));
+  EXPECT_FALSE(policy.holds(1));
+  EXPECT_TRUE(std::isinf(policy.next_transition_time()));
+  auto clone = policy.clone();
+  clone->on_request(1, 1.0, Prediction{}, sink);
+  EXPECT_TRUE(clone->holds(1));
+  EXPECT_FALSE(policy.holds(1));
+}
+
+}  // namespace
+}  // namespace repl

@@ -1,0 +1,232 @@
+// Offline optimum tests: the DP against closed forms, the reference
+// solver, the OPTL lower bound, policy upper bounds, and plan
+// reconstruction.
+#include <bit>
+
+#include <gtest/gtest.h>
+
+#include "baselines/naive.hpp"
+#include "baselines/wang2021.hpp"
+#include "core/drwp.hpp"
+#include "core/simulator.hpp"
+#include "offline/opt_dp.hpp"
+#include "offline/opt_lower_bound.hpp"
+#include "offline/opt_reference.hpp"
+#include "predictor/fixed.hpp"
+#include "predictor/noisy.hpp"
+#include "test_util.hpp"
+#include "trace/paper_instances.hpp"
+
+namespace repl {
+namespace {
+
+using testing::make_config;
+
+TEST(OptDp, EmptyTraceIsFree) {
+  const SystemConfig config = make_config(3, 5.0);
+  EXPECT_DOUBLE_EQ(optimal_offline_cost(config, Trace(3, {})), 0.0);
+}
+
+TEST(OptDp, SingleServerKeepsTheCopy) {
+  // All requests at the initial server: the only feasible (and optimal)
+  // strategy stores the copy throughout, costing t_m.
+  const SystemConfig config = make_config(1, 5.0);
+  const Trace trace(1, {{2.0, 0}, {30.0, 0}, {31.0, 0}});
+  EXPECT_DOUBLE_EQ(optimal_offline_cost(config, trace), 31.0);
+}
+
+TEST(OptDp, RemoteSingletonPrefersTransferWhenGapLarge) {
+  // One remote request, far in the future: serving by transfer at cost λ
+  // plus mandatory coverage storage t1 beats holding two copies.
+  const SystemConfig config = make_config(2, 5.0);
+  const Trace trace(2, {{100.0, 1}});
+  EXPECT_DOUBLE_EQ(optimal_offline_cost(config, trace), 100.0 + 5.0);
+}
+
+TEST(OptDp, Figure5ClosedForm) {
+  const double alpha = 0.5, lambda = 10.0, eps = 0.5;
+  for (int m : {1, 2, 5, 10, 25}) {
+    const SystemConfig config = make_config(2, lambda);
+    const Trace trace = make_figure5_trace(alpha, lambda, m, eps);
+    EXPECT_NEAR(optimal_offline_cost(config, trace),
+                figure5_optimal_cost(alpha, lambda, m, eps), 1e-9)
+        << "m=" << m;
+  }
+}
+
+TEST(OptDp, Figure6ClosedForm) {
+  const double lambda = 10.0, eps = 0.25;
+  const SystemConfig config = make_config(2, lambda);
+  const Trace trace = make_figure6_trace(lambda, eps, 1);
+  EXPECT_NEAR(optimal_offline_cost(config, trace),
+              figure6_single_cycle_optimal_cost(lambda, eps), 1e-9);
+}
+
+TEST(OptDp, Figure9ClosedForm) {
+  const double lambda = 10.0, eps = 0.05;
+  for (int m : {2, 3, 6, 12}) {
+    const SystemConfig config = make_config(2, lambda);
+    const Trace trace = make_figure9_trace(lambda, eps, m);
+    EXPECT_NEAR(optimal_offline_cost(config, trace),
+                figure9_optimal_cost(lambda, eps, m), 1e-9)
+        << "m=" << m;
+  }
+}
+
+TEST(OptDp, MatchesReferenceOnUniformRandomTraces) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const Trace trace = testing::random_trace(4, 0.08, 400.0, seed);
+    if (trace.empty()) continue;
+    for (double lambda : {2.0, 10.0, 60.0}) {
+      const SystemConfig config = make_config(4, lambda);
+      EXPECT_NEAR(optimal_offline_cost(config, trace),
+                  reference_offline_cost(config, trace), 1e-9)
+          << "seed=" << seed << " lambda=" << lambda;
+    }
+  }
+}
+
+TEST(OptDp, MatchesReferenceOnWeightedRandomTraces) {
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    const Trace trace = testing::random_trace(3, 0.06, 300.0, seed);
+    if (trace.empty()) continue;
+    SystemConfig config = make_config(3, 8.0);
+    config.storage_rates = {1.0, 0.25, 4.0};
+    EXPECT_NEAR(optimal_offline_cost(config, trace),
+                reference_offline_cost(config, trace), 1e-9)
+        << "seed=" << seed;
+  }
+}
+
+TEST(OptDp, WeightedParkingAtCheapIdleServerHelps) {
+  // Two expensive requesters ping-pong with long gaps; a third, very
+  // cheap server never requests. The optimum transfers the object to the
+  // cheap server for the long quiet stretches ("parking"), which only a
+  // state space including the idle server can represent.
+  SystemConfig config = make_config(3, 1.0);
+  config.storage_rates = {10.0, 10.0, 0.01};
+  const Trace trace(3, {{100.0, 1}, {200.0, 0}, {300.0, 1}});
+  const double opt = optimal_offline_cost(config, trace);
+  // Parking plan: park at s2 (λ at t=0 buy), serve each request by
+  // transfer: storage ≈ 300*0.01 = 3 plus 4 transfers = 4 -> ~7.
+  EXPECT_LT(opt, 10.0);
+  EXPECT_NEAR(opt, reference_offline_cost(config, trace), 1e-9);
+}
+
+TEST(OptDp, AtMostPolicyCosts) {
+  // The DP is a true optimum: no online policy can beat it.
+  FixedPredictor beyond = always_beyond_predictor();
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Trace trace = testing::random_trace(5, 0.05, 2000.0, seed + 50);
+    if (trace.empty()) continue;
+    for (double lambda : {5.0, 40.0}) {
+      const SystemConfig config = make_config(5, lambda);
+      const double opt = optimal_offline_cost(config, trace);
+      DrwpPolicy drwp(0.5);
+      ConventionalPolicy conventional;
+      FullReplicationPolicy full;
+      StaticPolicy pinned;
+      SingleCopyChasePolicy chase;
+      for (ReplicationPolicy* policy :
+           std::initializer_list<ReplicationPolicy*>{
+               &drwp, &conventional, &full, &pinned, &chase}) {
+        SimulationOptions lean;
+        lean.record_events = false;
+        const double cost = Simulator(config, lean)
+                                .run(*policy, trace, beyond)
+                                .total_cost();
+        EXPECT_GE(cost, opt - 1e-9)
+            << policy->name() << " seed=" << seed << " lambda=" << lambda;
+      }
+    }
+  }
+}
+
+TEST(OptDp, AtLeastLowerBound) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Trace trace = testing::random_trace(5, 0.05, 3000.0, seed + 70);
+    if (trace.empty()) continue;
+    for (double lambda : {3.0, 25.0, 200.0}) {
+      const SystemConfig config = make_config(5, lambda);
+      EXPECT_GE(optimal_offline_cost(config, trace),
+                opt_lower_bound(config, trace) - 1e-9)
+          << "seed=" << seed << " lambda=" << lambda;
+    }
+  }
+}
+
+TEST(OptLowerBound, ClosedFormOnCraftedTrace) {
+  // λ=4. Requests: (3, s0): gap_same=3 <= 4 -> +3; global gap 3 -> no
+  // excess. (5, s1): first at s1 -> +4; global 2 -> none.
+  // (20, s0): gap_same=17 > 4 -> +4; global 15 -> +11.
+  const SystemConfig config = make_config(2, 4.0);
+  const Trace trace(2, {{3.0, 0}, {5.0, 1}, {20.0, 0}});
+  EXPECT_DOUBLE_EQ(opt_lower_bound(config, trace), 3 + 4 + 4 + 11);
+}
+
+TEST(OptLowerBound, RejectsWeightedRates) {
+  SystemConfig config = make_config(2, 4.0);
+  config.storage_rates = {1.0, 2.0};
+  const Trace trace(2, {{1.0, 0}});
+  EXPECT_THROW(opt_lower_bound(config, trace), std::invalid_argument);
+}
+
+TEST(OptDp, PlanMatchesSolveAndEvaluates) {
+  for (std::uint64_t seed = 200; seed < 206; ++seed) {
+    const Trace trace = testing::random_trace(4, 0.06, 500.0, seed);
+    if (trace.empty()) continue;
+    const SystemConfig config = make_config(4, 10.0);
+    const OptimalDpSolver solver(config);
+    const double cost = solver.solve(trace);
+    const OfflinePlan plan = solver.solve_with_plan(trace);
+    EXPECT_NEAR(plan.cost, cost, 1e-9) << "seed=" << seed;
+    EXPECT_NEAR(evaluate_plan(config, trace, plan), cost, 1e-9)
+        << "seed=" << seed;
+  }
+}
+
+TEST(OptDp, PlanOnFigure5KeepsBothCopies) {
+  const double alpha = 0.5, lambda = 10.0, eps = 0.5;
+  const SystemConfig config = make_config(2, lambda);
+  const Trace trace = make_figure5_trace(alpha, lambda, 9, eps);
+  const OfflinePlan plan = OptimalDpSolver(config).solve_with_plan(trace);
+  // After the first request both servers hold copies (serving each
+  // request locally is strictly cheaper than a transfer here), except
+  // during the final gap where only the last requester's copy is needed.
+  for (std::size_t i = 2; i + 1 < plan.states.size(); ++i) {
+    EXPECT_EQ(std::popcount(plan.states[i]), 2) << "gap before request " << i;
+  }
+  EXPECT_EQ(std::popcount(plan.states[plan.states.size() - 1]), 1);
+}
+
+TEST(OptDp, RespectsActiveServerCap) {
+  OptimalDpSolver::Options options;
+  options.max_active_servers = 2;
+  const SystemConfig config = make_config(4, 1.0);
+  const OptimalDpSolver solver(config, options);
+  const Trace trace(4, {{1.0, 1}, {2.0, 2}, {3.0, 3}});
+  EXPECT_THROW(solver.solve(trace), std::invalid_argument);
+}
+
+TEST(OptDp, ManyPhysicalServersFewActive) {
+  // 1000 physical servers, 3 active: the DP must only pay for 3 bits.
+  const SystemConfig config = make_config(1000, 5.0);
+  const Trace trace(1000, {{1.0, 500}, {2.0, 999}, {8.0, 500}});
+  const double opt = optimal_offline_cost(config, trace);
+  EXPECT_GT(opt, 0.0);
+  EXPECT_NEAR(opt, reference_offline_cost(config, trace), 1e-9);
+}
+
+TEST(Wang2021CounterexampleCost, MatchesFigure9Optimal) {
+  // Independent cross-check of the Figure-9 closed form against the
+  // reference solver on a mid-sized instance.
+  const double lambda = 7.0, eps = 0.125;
+  const int m = 8;
+  const SystemConfig config = make_config(2, lambda);
+  const Trace trace = make_figure9_trace(lambda, eps, m);
+  EXPECT_NEAR(reference_offline_cost(config, trace),
+              figure9_optimal_cost(lambda, eps, m), 1e-9);
+}
+
+}  // namespace
+}  // namespace repl

@@ -1,0 +1,125 @@
+// Section-5 partition decomposition tests: aggregate identities, the
+// Figure-6 instance's canonical partition structure, and ratio
+// concentration reporting.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/allocation.hpp"
+#include "analysis/partition.hpp"
+#include "analysis/ratio.hpp"
+#include "core/drwp.hpp"
+#include "core/simulator.hpp"
+#include "offline/opt_dp.hpp"
+#include "predictor/fixed.hpp"
+#include "predictor/noisy.hpp"
+#include "predictor/oracle.hpp"
+#include "test_util.hpp"
+#include "trace/paper_instances.hpp"
+
+namespace repl {
+namespace {
+
+using testing::make_config;
+
+TEST(Partition, AggregateIdentities) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Trace trace = testing::random_trace(4, 0.06, 1000.0, seed + 900);
+    if (trace.empty()) continue;
+    const SystemConfig config = make_config(4, 12.0);
+    OraclePredictor oracle(trace);
+    const SimulationResult result =
+        testing::run_drwp(config, trace, 0.5, oracle);
+    const OfflinePlan plan =
+        OptimalDpSolver(config).solve_with_plan(trace);
+    const PartitionReport report =
+        partition_sequence(trace, result, plan);
+
+    ASSERT_GE(report.count(), 1u);
+    // Per-partition opt costs sum to the plan's (optimal) cost; online
+    // costs sum to the allocation total.
+    EXPECT_NEAR(report.total_opt, plan.cost,
+                1e-9 * std::max(1.0, plan.cost))
+        << "seed=" << seed;
+    const AllocationReport allocation = allocate_costs(result, trace);
+    EXPECT_NEAR(report.total_online, allocation.total_allocated,
+                1e-9 * std::max(1.0, allocation.total_allocated))
+        << "seed=" << seed;
+    // Partitions tile the request sequence contiguously.
+    std::size_t expected_first = 0;
+    for (const Partition& partition : report.partitions) {
+      EXPECT_EQ(partition.first_request, expected_first);
+      EXPECT_GE(partition.last_request, partition.first_request);
+      expected_first = partition.last_request + 1;
+    }
+    EXPECT_EQ(expected_first, trace.size());
+  }
+}
+
+TEST(Partition, MaxRatioDominatesAggregate) {
+  const Trace trace = testing::random_trace(5, 0.05, 3000.0, 41);
+  const SystemConfig config = make_config(5, 25.0);
+  AccuracyPredictor noisy(trace, 0.5, 7);
+  const SimulationResult result =
+      testing::run_drwp(config, trace, 0.4, noisy);
+  const OfflinePlan plan = OptimalDpSolver(config).solve_with_plan(trace);
+  const PartitionReport report = partition_sequence(trace, result, plan);
+  // max over partitions of Online/OPT upper-bounds the aggregate ratio —
+  // the heart of the paper's division argument.
+  EXPECT_GE(report.max_ratio + 1e-9,
+            report.total_online / report.total_opt);
+}
+
+TEST(Partition, Figure6SingleCycleIsOnePartition) {
+  // In the Figure-6 instance both servers hold overlapping copies across
+  // every interior request in the optimal strategy, so the whole cycle
+  // is one partition ending at the final request.
+  const double lambda = 10.0, eps = 1.0;
+  const SystemConfig config = make_config(2, lambda);
+  const Trace trace = make_figure6_trace(lambda, eps, 1);
+  FixedPredictor beyond = always_beyond_predictor();
+  const SimulationResult result =
+      testing::run_drwp(config, trace, 0.5, beyond);
+  const OfflinePlan plan = OptimalDpSolver(config).solve_with_plan(trace);
+  const PartitionReport report = partition_sequence(trace, result, plan);
+  ASSERT_EQ(report.count(), 1u);
+  EXPECT_DOUBLE_EQ(report.partitions[0].online_cost, 55.0);
+  EXPECT_DOUBLE_EQ(report.partitions[0].opt_cost, 3 * lambda + 2 * eps);
+}
+
+TEST(Partition, IsolatedRequestsFormSingletonPartitions) {
+  // All requests at the single active server: the only copy lives there,
+  // so no *other* server's copy ever crosses a request time — every
+  // request is a partition boundary and partitions are singletons.
+  const double lambda = 1.0;
+  const SystemConfig config = make_config(2, lambda);
+  const Trace trace(2, {{100.0, 0}, {200.0, 0}, {300.0, 0}});
+  FixedPredictor beyond = always_beyond_predictor();
+  const SimulationResult result =
+      testing::run_drwp(config, trace, 0.5, beyond);
+  const OfflinePlan plan = OptimalDpSolver(config).solve_with_plan(trace);
+  const PartitionReport report = partition_sequence(trace, result, plan);
+  EXPECT_EQ(report.count(), 3u);
+  for (const Partition& partition : report.partitions) {
+    EXPECT_EQ(partition.size(), 1u);
+  }
+}
+
+TEST(Partition, OracleRunsStayNearConsistencyBoundPerPartition) {
+  // Reported, not proven, for arbitrary optimal plans (see header); on
+  // these workloads the per-partition ratios of oracle-driven DRWP stay
+  // within a small slack of the consistency bound.
+  const Trace trace = testing::random_trace(4, 0.05, 2000.0, 77);
+  const SystemConfig config = make_config(4, 15.0);
+  OraclePredictor oracle(trace);
+  const double alpha = 0.5;
+  const SimulationResult result =
+      testing::run_drwp(config, trace, alpha, oracle);
+  const OfflinePlan plan = OptimalDpSolver(config).solve_with_plan(trace);
+  const PartitionReport report = partition_sequence(trace, result, plan);
+  EXPECT_LE(report.total_online / report.total_opt,
+            consistency_bound(alpha) + 1e-9);
+}
+
+}  // namespace
+}  // namespace repl

@@ -1,0 +1,113 @@
+// PlannedPolicy tests: simulating the DP's optimal plan must reproduce
+// the DP's cost exactly — the strongest cross-validation between the
+// simulator's cost integration and the offline solver's accounting.
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "offline/opt_dp.hpp"
+#include "offline/planned_policy.hpp"
+#include "predictor/fixed.hpp"
+#include "test_util.hpp"
+#include "trace/paper_instances.hpp"
+
+namespace repl {
+namespace {
+
+using testing::make_config;
+
+double simulate_plan(const SystemConfig& config, const Trace& trace) {
+  const OfflinePlan plan = OptimalDpSolver(config).solve_with_plan(trace);
+  PlannedPolicy policy(trace, plan);
+  FixedPredictor ignored = always_beyond_predictor();
+  const SimulationResult result =
+      Simulator(config).run(policy, trace, ignored);
+  EXPECT_NEAR(result.total_cost(), plan.cost,
+              1e-9 * std::max(1.0, plan.cost));
+  return result.total_cost();
+}
+
+TEST(PlannedPolicy, ReproducesDpCostOnUniformTraces) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Trace trace = testing::random_trace(4, 0.06, 800.0, seed + 40);
+    if (trace.empty()) continue;
+    for (double lambda : {3.0, 15.0, 90.0}) {
+      const SystemConfig config = make_config(4, lambda);
+      simulate_plan(config, trace);
+    }
+  }
+}
+
+TEST(PlannedPolicy, ReproducesDpCostOnWeightedTraces) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Trace trace = testing::random_trace(3, 0.05, 600.0, seed + 60);
+    if (trace.empty()) continue;
+    SystemConfig config = make_config(3, 10.0);
+    config.storage_rates = {1.0, 0.2, 5.0};
+    simulate_plan(config, trace);
+  }
+}
+
+TEST(PlannedPolicy, ReproducesClosedFormsOnPaperInstances) {
+  const double lambda = 10.0;
+  {
+    const SystemConfig config = make_config(2, lambda);
+    const Trace trace = make_figure5_trace(0.5, lambda, 8, 0.25);
+    EXPECT_NEAR(simulate_plan(config, trace),
+                figure5_optimal_cost(0.5, lambda, 8, 0.25), 1e-9);
+  }
+  {
+    const SystemConfig config = make_config(2, lambda);
+    const Trace trace = make_figure6_trace(lambda, 0.5, 1);
+    EXPECT_NEAR(simulate_plan(config, trace),
+                figure6_single_cycle_optimal_cost(lambda, 0.5), 1e-9);
+  }
+  {
+    const SystemConfig config = make_config(2, lambda);
+    const Trace trace = make_figure9_trace(lambda, 0.125, 7);
+    EXPECT_NEAR(simulate_plan(config, trace),
+                figure9_optimal_cost(lambda, 0.125, 7), 1e-9);
+  }
+}
+
+TEST(PlannedPolicy, ExercisesParkingTransfersUnderWeightedRates) {
+  // The weighted "parking" instance (see offline_test): the plan buys a
+  // copy at the cheap idle server; replaying it must emit those extra
+  // transfers and still match the DP cost.
+  SystemConfig config = make_config(3, 1.0);
+  config.storage_rates = {10.0, 10.0, 0.01};
+  const Trace trace(3, {{100.0, 1}, {200.0, 0}, {300.0, 1}});
+  const OfflinePlan plan = OptimalDpSolver(config).solve_with_plan(trace);
+  PlannedPolicy policy(trace, plan);
+  FixedPredictor ignored = always_beyond_predictor();
+  const SimulationResult result =
+      Simulator(config).run(policy, trace, ignored);
+  EXPECT_NEAR(result.total_cost(), plan.cost, 1e-9);
+  // The parking copy at server 2 exists even though it never requests.
+  bool parked = false;
+  for (const CopySegment& seg : result.segments) {
+    parked = parked || seg.server == 2;
+  }
+  EXPECT_TRUE(parked);
+}
+
+TEST(PlannedPolicy, RejectsDivergingRequestStream) {
+  const SystemConfig config = make_config(2, 5.0);
+  const Trace trace(2, {{1.0, 1}, {2.0, 0}});
+  const Trace other(2, {{1.0, 0}, {2.0, 1}});
+  const OfflinePlan plan = OptimalDpSolver(config).solve_with_plan(trace);
+  PlannedPolicy policy(trace, plan);
+  FixedPredictor ignored = always_beyond_predictor();
+  EXPECT_THROW(Simulator(config).run(policy, other, ignored),
+               CheckFailure);
+}
+
+TEST(PlannedPolicy, RejectsMismatchedPlanSize) {
+  const SystemConfig config = make_config(2, 5.0);
+  const Trace trace(2, {{1.0, 1}, {2.0, 0}});
+  OfflinePlan plan = OptimalDpSolver(config).solve_with_plan(trace);
+  plan.states.pop_back();
+  EXPECT_THROW(PlannedPolicy(trace, plan), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace repl

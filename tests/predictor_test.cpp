@@ -1,0 +1,241 @@
+// Unit tests for the prediction substrate.
+#include <gtest/gtest.h>
+
+#include "predictor/fixed.hpp"
+#include "predictor/history.hpp"
+#include "predictor/noisy.hpp"
+#include "predictor/oracle.hpp"
+#include "test_util.hpp"
+#include "trace/trace.hpp"
+
+namespace repl {
+namespace {
+
+PredictionQuery query_for(const Trace& trace, long index, double lambda,
+                          int initial_server = 0) {
+  PredictionQuery q;
+  q.request_index = index;
+  q.lambda = lambda;
+  if (index < 0) {
+    q.server = initial_server;
+    q.time = 0.0;
+  } else {
+    q.server = trace[static_cast<std::size_t>(index)].server;
+    q.time = trace[static_cast<std::size_t>(index)].time;
+  }
+  return q;
+}
+
+TEST(GroundTruth, NextGapAndDummy) {
+  const Trace trace(2, {{1.0, 0}, {1.5, 0}, {9.0, 1}});
+  EXPECT_TRUE(ground_truth_within_lambda(trace, query_for(trace, 0, 1.0)));
+  EXPECT_FALSE(ground_truth_within_lambda(trace, query_for(trace, 1, 1.0)));
+  // Dummy query: first request at server 0 arrives at 1.0.
+  EXPECT_TRUE(ground_truth_within_lambda(trace, query_for(trace, -1, 2.0)));
+  EXPECT_FALSE(
+      ground_truth_within_lambda(trace, query_for(trace, -1, 0.5)));
+  // Last request at a server: no next, truth is "beyond".
+  EXPECT_FALSE(
+      ground_truth_within_lambda(trace, query_for(trace, 2, 1000.0)));
+}
+
+TEST(Oracle, AlwaysCorrect) {
+  const Trace trace = testing::random_trace(4, 0.02, 20000.0, 5);
+  OraclePredictor oracle(trace);
+  const double lambda = 50.0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto q = query_for(trace, static_cast<long>(i), lambda);
+    EXPECT_EQ(oracle.predict(q).within_lambda,
+              next_gap_within_lambda(trace, i, lambda));
+  }
+}
+
+TEST(Adversarial, AlwaysWrong) {
+  const Trace trace = testing::random_trace(4, 0.02, 20000.0, 6);
+  OraclePredictor oracle(trace);
+  AdversarialPredictor adversarial(trace);
+  const double lambda = 50.0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto q = query_for(trace, static_cast<long>(i), lambda);
+    EXPECT_NE(oracle.predict(q).within_lambda,
+              adversarial.predict(q).within_lambda);
+  }
+}
+
+TEST(Fixed, ConstantForecasts) {
+  FixedPredictor within = always_within_predictor();
+  FixedPredictor beyond = always_beyond_predictor();
+  PredictionQuery q;
+  q.lambda = 1.0;
+  EXPECT_TRUE(within.predict(q).within_lambda);
+  EXPECT_FALSE(beyond.predict(q).within_lambda);
+  EXPECT_EQ(within.name(), "always-within");
+  EXPECT_EQ(beyond.name(), "always-beyond");
+}
+
+TEST(Accuracy, FullAccuracyMatchesOracle) {
+  const Trace trace = testing::random_trace(4, 0.02, 20000.0, 7);
+  OraclePredictor oracle(trace);
+  AccuracyPredictor full(trace, 1.0, 99);
+  const double lambda = 80.0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto q = query_for(trace, static_cast<long>(i), lambda);
+    EXPECT_EQ(full.predict(q).within_lambda,
+              oracle.predict(q).within_lambda);
+  }
+}
+
+TEST(Accuracy, ZeroAccuracyIsAlwaysWrong) {
+  const Trace trace = testing::random_trace(4, 0.02, 20000.0, 8);
+  OraclePredictor oracle(trace);
+  AccuracyPredictor zero(trace, 0.0, 99);
+  const double lambda = 80.0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto q = query_for(trace, static_cast<long>(i), lambda);
+    EXPECT_NE(zero.predict(q).within_lambda,
+              oracle.predict(q).within_lambda);
+  }
+}
+
+TEST(Accuracy, EmpiricalRateMatchesParameter) {
+  const Trace trace = testing::random_trace(6, 0.05, 100000.0, 9);
+  ASSERT_GT(trace.size(), 2000u);
+  OraclePredictor oracle(trace);
+  const double accuracy = 0.7;
+  AccuracyPredictor noisy(trace, accuracy, 1234);
+  const double lambda = 30.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto q = query_for(trace, static_cast<long>(i), lambda);
+    correct += noisy.predict(q).within_lambda ==
+               oracle.predict(q).within_lambda;
+  }
+  EXPECT_NEAR(static_cast<double>(correct) /
+                  static_cast<double>(trace.size()),
+              accuracy, 0.03);
+}
+
+TEST(Accuracy, DeterministicAndOrderIndependent) {
+  const Trace trace = testing::random_trace(4, 0.02, 20000.0, 10);
+  AccuracyPredictor a(trace, 0.5, 77);
+  AccuracyPredictor b(trace, 0.5, 77);
+  const double lambda = 40.0;
+  // Query b in reverse order; per-request flips must not depend on call
+  // order (counter-based randomness).
+  std::vector<bool> fwd, rev(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    fwd.push_back(
+        a.predict(query_for(trace, static_cast<long>(i), lambda))
+            .within_lambda);
+  }
+  for (std::size_t i = trace.size(); i-- > 0;) {
+    rev[i] = b.predict(query_for(trace, static_cast<long>(i), lambda))
+                 .within_lambda;
+  }
+  EXPECT_EQ(fwd, std::vector<bool>(rev.begin(), rev.end()));
+}
+
+TEST(Accuracy, DifferentSeedsDiffer) {
+  const Trace trace = testing::random_trace(4, 0.05, 50000.0, 11);
+  AccuracyPredictor a(trace, 0.5, 1);
+  AccuracyPredictor b(trace, 0.5, 2);
+  const double lambda = 40.0;
+  std::size_t differ = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto q = query_for(trace, static_cast<long>(i), lambda);
+    differ += a.predict(q).within_lambda != b.predict(q).within_lambda;
+  }
+  EXPECT_GT(differ, trace.size() / 5);
+}
+
+TEST(Accuracy, RejectsBadAccuracy) {
+  const Trace trace(1, {{1.0, 0}});
+  EXPECT_THROW(AccuracyPredictor(trace, -0.1, 1), std::invalid_argument);
+  EXPECT_THROW(AccuracyPredictor(trace, 1.1, 1), std::invalid_argument);
+}
+
+TEST(History, LearnsShortGaps) {
+  HistoryPredictor predictor(1);
+  const double lambda = 10.0;
+  // Feed a server with 5-unit gaps; after the first gap the EWMA is 5 and
+  // the forecast flips to "within".
+  PredictionQuery q;
+  q.server = 0;
+  q.lambda = lambda;
+  q.time = 0.0;
+  q.request_index = 0;
+  EXPECT_FALSE(predictor.predict(q).within_lambda);  // no history yet
+  q.time = 5.0;
+  EXPECT_TRUE(predictor.predict(q).within_lambda);
+  EXPECT_NEAR(predictor.ewma(0), 5.0, 1e-12);
+}
+
+TEST(History, EwmaTracksRegimeChange) {
+  HistoryPredictor::Config config;
+  config.ewma_decay = 0.5;
+  HistoryPredictor predictor(1, config);
+  const double lambda = 10.0;
+  PredictionQuery q;
+  q.server = 0;
+  q.lambda = lambda;
+  double t = 0.0;
+  q.time = t;
+  predictor.predict(q);
+  // Three short gaps -> within.
+  for (int i = 0; i < 3; ++i) {
+    t += 2.0;
+    q.time = t;
+    EXPECT_TRUE(predictor.predict(q).within_lambda);
+  }
+  // Long gaps shift the EWMA beyond lambda after a couple of samples.
+  t += 100.0;
+  q.time = t;
+  predictor.predict(q);  // ewma = 0.5*100 + 0.5*small > 10 already
+  t += 100.0;
+  q.time = t;
+  EXPECT_FALSE(predictor.predict(q).within_lambda);
+}
+
+TEST(History, PerServerIsolation) {
+  HistoryPredictor predictor(2);
+  const double lambda = 10.0;
+  PredictionQuery q0{0, 0, 0.0, lambda};
+  PredictionQuery q1{1, 1, 1.0, lambda};
+  predictor.predict(q0);
+  predictor.predict(q1);
+  q0.time = 2.0;  // gap 2 at server 0
+  predictor.predict(q0);
+  EXPECT_NEAR(predictor.ewma(0), 2.0, 1e-12);
+  EXPECT_LT(predictor.ewma(1), 0.0);  // server 1 has no gap yet
+}
+
+TEST(History, ResetClearsState) {
+  HistoryPredictor predictor(1);
+  PredictionQuery q{0, 0, 1.0, 10.0};
+  predictor.predict(q);
+  q.time = 3.0;
+  predictor.predict(q);
+  EXPECT_GE(predictor.ewma(0), 0.0);
+  predictor.reset();
+  EXPECT_LT(predictor.ewma(0), 0.0);
+}
+
+TEST(History, DefaultWithinOption) {
+  HistoryPredictor::Config config;
+  config.default_within = true;
+  HistoryPredictor predictor(1, config);
+  PredictionQuery q{0, 0, 1.0, 10.0};
+  EXPECT_TRUE(predictor.predict(q).within_lambda);
+}
+
+TEST(History, RejectsBadConfig) {
+  HistoryPredictor::Config bad;
+  bad.ewma_decay = 0.0;
+  EXPECT_THROW(HistoryPredictor(1, bad), std::invalid_argument);
+  bad.ewma_decay = 0.5;
+  bad.margin = 0.0;
+  EXPECT_THROW(HistoryPredictor(1, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace repl

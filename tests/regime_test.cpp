@@ -1,0 +1,138 @@
+// Exact-cost pinning of Algorithm 1 across the three inter-request-time
+// regimes the analysis distinguishes (Proposition 8):
+//   gap <= alpha*lambda        — local either way;
+//   alpha*lambda < gap <= lambda — local iff predicted within;
+//   gap > lambda               — transfer under correct predictions.
+// Periodic single-server and two-server traces make the expected costs
+// computable by hand.
+#include <gtest/gtest.h>
+
+#include "analysis/request_types.hpp"
+#include "core/drwp.hpp"
+#include "core/simulator.hpp"
+#include "predictor/fixed.hpp"
+#include "predictor/oracle.hpp"
+#include "test_util.hpp"
+#include "trace/generators.hpp"
+
+namespace repl {
+namespace {
+
+using testing::make_config;
+
+// One server, period p, n requests at p, 2p, ..., np; the dummy r0 at 0
+// makes every gap equal to p. lambda and alpha chosen per regime.
+Trace periodic_single(double period, int n) {
+  std::vector<Request> requests;
+  for (int i = 1; i <= n; ++i) {
+    requests.push_back(Request{period * i, 0});
+  }
+  return Trace(1, std::move(requests));
+}
+
+TEST(Regimes, ShortGapsAllLocalTypeThree) {
+  // gap = 2 <= alpha*lambda = 5: every request Type-3; cost = storage
+  // [0, t_n] only.
+  const double lambda = 10.0, alpha = 0.5, period = 2.0;
+  const int n = 20;
+  const SystemConfig config = make_config(1, lambda);
+  const Trace trace = periodic_single(period, n);
+  OraclePredictor oracle(trace);
+  DrwpPolicy policy(alpha);
+  const SimulationResult result =
+      Simulator(config).run(policy, trace, oracle);
+  EXPECT_DOUBLE_EQ(result.total_cost(), period * n);
+  const TypeCounts counts = count_request_types(result);
+  EXPECT_EQ(counts.counts[3], static_cast<std::size_t>(n));
+}
+
+TEST(Regimes, MidGapsLocalUnderCorrectPredictions) {
+  // alpha*lambda = 5 < gap = 8 <= lambda = 10: the oracle forecasts
+  // "within", so copies last lambda and every request is Type-3 —
+  // optimal behaviour (Proposition 8 consistency case).
+  const double lambda = 10.0, alpha = 0.5, period = 8.0;
+  const int n = 15;
+  const SystemConfig config = make_config(1, lambda);
+  const Trace trace = periodic_single(period, n);
+  OraclePredictor oracle(trace);
+  DrwpPolicy policy(alpha);
+  const SimulationResult result =
+      Simulator(config).run(policy, trace, oracle);
+  EXPECT_DOUBLE_EQ(result.total_cost(), period * n);
+  EXPECT_EQ(count_request_types(result).counts[3],
+            static_cast<std::size_t>(n));
+}
+
+TEST(Regimes, MidGapsTransferUnderWrongPredictions) {
+  // Same instance, always-"beyond" predictions: copies last only
+  // alpha*lambda = 5 < 8, so (with one server) each expiry turns special
+  // and requests become Type-4 — the storage cost is unchanged, which is
+  // exactly why single-server instances cannot exhibit the robustness
+  // gap (the at-least-one-copy rule saves the algorithm).
+  const double lambda = 10.0, alpha = 0.5, period = 8.0;
+  const int n = 15;
+  const SystemConfig config = make_config(1, lambda);
+  const Trace trace = periodic_single(period, n);
+  AdversarialPredictor wrong(trace);
+  DrwpPolicy policy(alpha);
+  const SimulationResult result =
+      Simulator(config).run(policy, trace, wrong);
+  EXPECT_DOUBLE_EQ(result.total_cost(), period * n);
+  EXPECT_EQ(count_request_types(result).counts[4],
+            static_cast<std::size_t>(n));
+}
+
+TEST(Regimes, TwoServerMidGapsShowTheRobustnessGap) {
+  // Two servers alternating with same-server gaps in (alpha*lambda,
+  // lambda]: correct predictions keep both copies alive (all local);
+  // wrong ("beyond") predictions let each copy expire and force
+  // transfers — the regime where mispredictions genuinely hurt (M2).
+  const double lambda = 10.0, alpha = 0.5;
+  const SystemConfig config = make_config(2, lambda);
+  // Server 0 at 8, 16, 24...; server 1 at 4, 12, 20... — same-server
+  // gaps of 8, interleaved.
+  const Trace trace = generate_periodic_trace(2, {8.0, 8.0}, {8.0, 4.0},
+                                              80.0);
+  OraclePredictor oracle(trace);
+  DrwpPolicy good(alpha);
+  const SimulationResult with_oracle =
+      Simulator(config).run(good, trace, oracle);
+  FixedPredictor beyond = always_beyond_predictor();
+  DrwpPolicy bad(alpha);
+  const SimulationResult with_wrong =
+      Simulator(config).run(bad, trace, beyond);
+  // Correct predictions: only the unavoidable first transfer to server 1.
+  EXPECT_EQ(with_oracle.num_transfers, 1u);
+  // Wrong predictions force many transfers and strictly higher cost.
+  EXPECT_GT(with_wrong.num_transfers, trace.size() / 2);
+  EXPECT_GT(with_wrong.total_cost(), with_oracle.total_cost());
+}
+
+TEST(Regimes, LongGapsTransferIsOptimalBehaviour) {
+  // gap = 50 > lambda = 10 at two alternating servers: correct
+  // predictions give short alpha*lambda copies; requests are served by
+  // transfers from the surviving special copy (Type-2), the consistent
+  // behaviour for sparse traffic.
+  const double lambda = 10.0, alpha = 0.5;
+  const SystemConfig config = make_config(2, lambda);
+  const Trace trace = generate_periodic_trace(2, {100.0, 100.0},
+                                              {50.0, 100.0}, 400.0);
+  OraclePredictor oracle(trace);
+  DrwpPolicy policy(alpha);
+  const SimulationResult result =
+      Simulator(config).run(policy, trace, oracle);
+  const TypeCounts counts = count_request_types(result);
+  // The first request at the initial server is served by its own special
+  // copy (Type-4); every later one by a transfer from the surviving
+  // special copy at the other server (Type-2).
+  EXPECT_EQ(counts.counts[4], 1u);
+  EXPECT_EQ(counts.counts[2], trace.size() - 1);
+  // Exactly one copy is alive at any instant (regular stubs, then
+  // specials), so storage = t_m; transfers = lambda each.
+  EXPECT_DOUBLE_EQ(result.total_cost(),
+                   trace.duration() +
+                       lambda * static_cast<double>(trace.size() - 1));
+}
+
+}  // namespace
+}  // namespace repl

@@ -1,0 +1,250 @@
+// Property tests of the paper's theorems:
+//  * robustness: cost(DRWP) / OPT <= 1 + 1/alpha for ANY predictions;
+//  * consistency: cost(DRWP) / OPT <= (5+alpha)/3 under perfect
+//    predictions;
+//  * alpha = 1 (conventional): ratio <= 2;
+//  * the Figure-5 / Figure-6 instances drive the ratios toward the
+//    tight bounds;
+//  * the misprediction penalty bound of Section 8.
+#include <gtest/gtest.h>
+
+#include "analysis/allocation.hpp"
+#include "analysis/misprediction.hpp"
+#include "analysis/ratio.hpp"
+#include "core/drwp.hpp"
+#include "core/simulator.hpp"
+#include "offline/opt_dp.hpp"
+#include "predictor/fixed.hpp"
+#include "predictor/noisy.hpp"
+#include "predictor/oracle.hpp"
+#include "test_util.hpp"
+#include "trace/paper_instances.hpp"
+
+namespace repl {
+namespace {
+
+using testing::make_config;
+
+struct BoundCase {
+  double alpha;
+  double lambda;
+  std::uint64_t seed;
+};
+
+class RobustnessBound : public ::testing::TestWithParam<BoundCase> {};
+
+TEST_P(RobustnessBound, HoldsForArbitraryPredictions) {
+  const BoundCase param = GetParam();
+  const Trace trace = testing::random_trace(5, 0.05, 4000.0, param.seed);
+  ASSERT_FALSE(trace.empty());
+  const SystemConfig config = make_config(5, param.lambda);
+  const double opt = optimal_offline_cost(config, trace);
+  const double bound = robustness_bound(param.alpha);
+
+  // Worst predictions we can construct: always-wrong, plus both constant
+  // streams and a noisy one.
+  AdversarialPredictor adversarial(trace);
+  FixedPredictor beyond = always_beyond_predictor();
+  FixedPredictor within = always_within_predictor();
+  AccuracyPredictor noisy(trace, 0.3, param.seed * 13 + 7);
+  for (Predictor* predictor :
+       std::initializer_list<Predictor*>{&adversarial, &beyond, &within,
+                                         &noisy}) {
+    DrwpPolicy policy(param.alpha);
+    const RatioReport report =
+        evaluate_policy(config, policy, trace, *predictor, opt);
+    EXPECT_LE(report.ratio, bound + 1e-9)
+        << predictor->name() << " alpha=" << param.alpha
+        << " lambda=" << param.lambda << " seed=" << param.seed;
+  }
+}
+
+class ConsistencyBound : public ::testing::TestWithParam<BoundCase> {};
+
+TEST_P(ConsistencyBound, HoldsForPerfectPredictions) {
+  const BoundCase param = GetParam();
+  const Trace trace = testing::random_trace(5, 0.05, 4000.0, param.seed);
+  ASSERT_FALSE(trace.empty());
+  const SystemConfig config = make_config(5, param.lambda);
+  OraclePredictor oracle(trace);
+  DrwpPolicy policy(param.alpha);
+  const RatioReport report =
+      evaluate_policy(config, policy, trace, oracle);
+  EXPECT_LE(report.ratio, consistency_bound(param.alpha) + 1e-9)
+      << "alpha=" << param.alpha << " lambda=" << param.lambda
+      << " seed=" << param.seed;
+}
+
+std::vector<BoundCase> bound_cases() {
+  std::vector<BoundCase> cases;
+  std::uint64_t seed = 9000;
+  for (double alpha : {0.1, 0.3, 0.5, 0.8, 1.0}) {
+    for (double lambda : {3.0, 20.0, 120.0}) {
+      for (int rep = 0; rep < 3; ++rep) {
+        cases.push_back({alpha, lambda, seed++});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RobustnessBound,
+                         ::testing::ValuesIn(bound_cases()));
+INSTANTIATE_TEST_SUITE_P(Sweep, ConsistencyBound,
+                         ::testing::ValuesIn(bound_cases()));
+
+TEST(ConventionalRatio, AtMostTwo) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Trace trace = testing::random_trace(5, 0.04, 5000.0, seed + 400);
+    if (trace.empty()) continue;
+    for (double lambda : {5.0, 50.0}) {
+      const SystemConfig config = make_config(5, lambda);
+      ConventionalPolicy policy;
+      FixedPredictor beyond = always_beyond_predictor();
+      const RatioReport report =
+          evaluate_policy(config, policy, trace, beyond);
+      EXPECT_LE(report.ratio, 2.0 + 1e-9)
+          << "seed=" << seed << " lambda=" << lambda;
+    }
+  }
+}
+
+TEST(TightExamples, Figure5RatioApproachesRobustnessBound) {
+  // With always-"beyond" predictions on the Figure-5 instance, the ratio
+  // approaches 1 + 1/alpha as m grows and eps shrinks.
+  const double lambda = 100.0;
+  for (double alpha : {0.25, 0.5, 1.0}) {
+    const double eps = alpha * lambda * 1e-3;
+    const int m = 400;
+    const SystemConfig config = make_config(2, lambda);
+    const Trace trace = make_figure5_trace(alpha, lambda, m, eps);
+    DrwpPolicy policy(alpha);
+    FixedPredictor beyond = always_beyond_predictor();
+    const RatioReport report =
+        evaluate_policy(config, policy, trace, beyond);
+    const double bound = robustness_bound(alpha);
+    EXPECT_LE(report.ratio, bound + 1e-9) << "alpha=" << alpha;
+    EXPECT_GT(report.ratio, bound * 0.98) << "alpha=" << alpha;
+  }
+}
+
+TEST(TightExamples, Figure6RatioApproachesConsistencyBound) {
+  // Perfect ("beyond") predictions on the Figure-6 cycles: the ratio
+  // approaches (5+alpha)/3 as eps -> 0.
+  const double lambda = 100.0;
+  for (double alpha : {0.25, 0.5, 1.0}) {
+    const double eps = std::min(alpha * lambda, lambda) * 1e-3;
+    const SystemConfig config = make_config(2, lambda);
+    const Trace trace = make_figure6_trace(lambda, eps, 12);
+    DrwpPolicy policy(alpha);
+    FixedPredictor beyond = always_beyond_predictor();
+    const RatioReport report =
+        evaluate_policy(config, policy, trace, beyond);
+    const double bound = consistency_bound(alpha);
+    EXPECT_LE(report.ratio, bound + 1e-9) << "alpha=" << alpha;
+    EXPECT_GT(report.ratio, bound * 0.97) << "alpha=" << alpha;
+  }
+}
+
+TEST(TightExamples, SmallAlphaBeatsConventionalOnFigure6) {
+  // The benefit of trusting correct predictions: on the consistency
+  // instance, alpha -> 0 yields a strictly better ratio than alpha = 1.
+  const double lambda = 50.0, eps = 0.05;
+  const SystemConfig config = make_config(2, lambda);
+  const Trace trace = make_figure6_trace(lambda, eps, 10);
+  FixedPredictor beyond = always_beyond_predictor();
+  DrwpPolicy trusting(0.05);
+  DrwpPolicy distrusting(1.0);
+  const double ratio_trusting =
+      evaluate_policy(config, trusting, trace, beyond).ratio;
+  const double ratio_distrusting =
+      evaluate_policy(config, distrusting, trace, beyond).ratio;
+  EXPECT_LT(ratio_trusting, ratio_distrusting);
+}
+
+TEST(Mispredictions, ClassifiesRegimes) {
+  // lambda=10, alpha=0.5. Craft gaps in all three regimes at one server
+  // and flip specific predictions with the adversarial predictor.
+  const double lambda = 10.0, alpha = 0.5;
+  const SystemConfig config = make_config(1, lambda);
+  // Gaps from dummy: 3 (<= αλ), then 8 (in (αλ, λ]), then 25 (> λ).
+  const Trace trace(1, {{3.0, 0}, {11.0, 0}, {36.0, 0}});
+  AdversarialPredictor wrong(trace);
+  const SimulationResult result =
+      testing::run_drwp(config, trace, alpha, wrong);
+  const MispredictionReport report =
+      analyze_mispredictions(result, trace, alpha);
+  EXPECT_EQ(report.m1, 1u);
+  EXPECT_EQ(report.m2, 1u);
+  EXPECT_EQ(report.m3, 1u);
+  EXPECT_EQ(report.correct, 0u);
+  EXPECT_DOUBLE_EQ(report.penalty_bound,
+                   lambda + (2.0 - alpha) * lambda);
+}
+
+TEST(Mispredictions, OracleRunHasNone) {
+  const Trace trace = testing::random_trace(4, 0.05, 3000.0, 91);
+  const SystemConfig config = make_config(4, 15.0);
+  OraclePredictor oracle(trace);
+  const SimulationResult result =
+      testing::run_drwp(config, trace, 0.5, oracle);
+  const MispredictionReport report =
+      analyze_mispredictions(result, trace, 0.5);
+  EXPECT_EQ(report.mispredicted(), 0u);
+  EXPECT_EQ(report.correct + report.uncovered, trace.size());
+}
+
+TEST(Mispredictions, PenaltyBoundCoversObservedIncrease) {
+  // Section 8: the total online cost increase caused by mispredictions is
+  // at most λ|M2| + (2-α)λ|M3|. Compare allocated totals of noisy vs
+  // oracle runs on identical traces.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Trace trace = testing::random_trace(5, 0.05, 4000.0, seed + 700);
+    if (trace.empty()) continue;
+    const double alpha = 0.4, lambda = 25.0;
+    const SystemConfig config = make_config(5, lambda);
+    OraclePredictor oracle(trace);
+    AccuracyPredictor noisy(trace, 0.5, seed + 1);
+    const SimulationResult perfect =
+        testing::run_drwp(config, trace, alpha, oracle);
+    const SimulationResult degraded =
+        testing::run_drwp(config, trace, alpha, noisy);
+    const MispredictionReport report =
+        analyze_mispredictions(degraded, trace, alpha);
+    const double increase = allocate_costs(degraded, trace).total_allocated -
+                            allocate_costs(perfect, trace).total_allocated;
+    EXPECT_LE(increase, report.penalty_bound + 1e-6) << "seed=" << seed;
+  }
+}
+
+TEST(Mispredictions, M1IsFree) {
+  // Flipping predictions for gaps <= alpha*lambda does not change cost:
+  // both branches keep the copy long enough.
+  const double lambda = 10.0, alpha = 0.5;
+  const SystemConfig config = make_config(1, lambda);
+  const Trace trace(1, {{2.0, 0}, {4.0, 0}, {6.0, 0}});  // gaps 2 <= αλ=5
+  OraclePredictor oracle(trace);
+  AdversarialPredictor wrong(trace);
+  const double with_oracle =
+      testing::run_drwp(config, trace, alpha, oracle).total_cost();
+  const double with_wrong =
+      testing::run_drwp(config, trace, alpha, wrong).total_cost();
+  EXPECT_DOUBLE_EQ(with_oracle, with_wrong);
+}
+
+TEST(RatioReport, FieldsPopulated) {
+  const Trace trace = testing::random_trace(4, 0.05, 2000.0, 311);
+  const SystemConfig config = make_config(4, 10.0);
+  DrwpPolicy policy(0.5);
+  OraclePredictor oracle(trace);
+  const RatioReport report = evaluate_policy(config, policy, trace, oracle);
+  EXPECT_GT(report.online_cost, 0.0);
+  EXPECT_GT(report.opt_cost, 0.0);
+  EXPECT_GE(report.ratio, 1.0 - 1e-9);
+  EXPECT_GE(report.opt_cost, report.opt_lower - 1e-9);
+  EXPECT_EQ(report.num_local + report.num_transfers, trace.size());
+  EXPECT_EQ(report.policy_name, "drwp(alpha=0.5)");
+}
+
+}  // namespace
+}  // namespace repl

@@ -1,0 +1,46 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/drwp.hpp"
+#include "core/simulator.hpp"
+#include "predictor/fixed.hpp"
+#include "predictor/noisy.hpp"
+#include "predictor/oracle.hpp"
+#include "trace/generators.hpp"
+#include "trace/trace.hpp"
+
+namespace repl::testing {
+
+inline SystemConfig make_config(int num_servers, double lambda,
+                                int initial_server = 0) {
+  SystemConfig config;
+  config.num_servers = num_servers;
+  config.transfer_cost = lambda;
+  config.initial_server = initial_server;
+  return config;
+}
+
+/// A quick random trace whose inter-request times straddle all three
+/// regimes (<= alpha*lambda, (alpha*lambda, lambda], > lambda) for the
+/// lambda values the suites use.
+inline Trace random_trace(int num_servers, double rate, double horizon,
+                          std::uint64_t seed) {
+  ServerAssignment assignment;
+  assignment.kind = ServerAssignment::Kind::kZipf;
+  assignment.zipf_s = 1.0;
+  return generate_poisson_trace(num_servers, rate, horizon, assignment,
+                                seed);
+}
+
+/// Runs DRWP(alpha) with the given predictor and full event recording.
+inline SimulationResult run_drwp(const SystemConfig& config,
+                                 const Trace& trace, double alpha,
+                                 Predictor& predictor) {
+  DrwpPolicy policy(alpha);
+  return Simulator(config).run(policy, trace, predictor);
+}
+
+}  // namespace repl::testing

@@ -1,0 +1,190 @@
+// Timeline rendering tests plus cross-cutting property suites:
+// clone-replay determinism and holds()/segment agreement.
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/timeline.hpp"
+#include "core/drwp.hpp"
+#include "core/simulator.hpp"
+#include "predictor/fixed.hpp"
+#include "predictor/noisy.hpp"
+#include "test_util.hpp"
+
+namespace repl {
+namespace {
+
+using testing::make_config;
+
+TEST(Timeline, RendersScenario) {
+  // Scenario B of drwp_test: s0 holds [0,9] going special at 4 and is
+  // dropped after the outgoing transfer; s1 receives transfers at 1 and 9.
+  const SystemConfig config = make_config(2, 4.0);
+  const Trace trace(2, {{1.0, 1}, {2.0, 0}, {9.0, 1}});
+  FixedPredictor beyond = always_beyond_predictor();
+  const SimulationResult result =
+      testing::run_drwp(config, trace, 0.5, beyond);
+  TimelineOptions options;
+  options.width = 36;
+  const std::string art = render_timeline(result, trace, options);
+  // Two server rows plus the axis.
+  EXPECT_NE(art.find("s0 |"), std::string::npos);
+  EXPECT_NE(art.find("s1 |"), std::string::npos);
+  EXPECT_NE(art.find("t=9"), std::string::npos);
+  // Special period rendered on s0's row; transfer marks on s1's row.
+  EXPECT_NE(art.find('*'), std::string::npos);
+  EXPECT_NE(art.find('x'), std::string::npos);
+  // s0's local serve at t=2 is a 'o'.
+  EXPECT_NE(art.find('o'), std::string::npos);
+}
+
+TEST(Timeline, MarkerCountsMatchServes) {
+  const SystemConfig config = make_config(3, 15.0);
+  const Trace trace = testing::random_trace(3, 0.02, 1500.0, 21);
+  AccuracyPredictor predictor(trace, 0.6, 5);
+  const SimulationResult result =
+      testing::run_drwp(config, trace, 0.5, predictor);
+  TimelineOptions options;
+  options.width = 2048;  // wide enough that no two requests collide
+  options.show_axis = false;
+  const std::string art = render_timeline(result, trace, options);
+  const auto locals = static_cast<std::size_t>(
+      std::count(art.begin(), art.end(), 'o'));
+  const auto remotes = static_cast<std::size_t>(
+      std::count(art.begin(), art.end(), 'x'));
+  EXPECT_EQ(locals, result.num_local);
+  EXPECT_EQ(remotes, result.num_transfers);
+}
+
+TEST(Timeline, RequiresEventLog) {
+  const SystemConfig config = make_config(2, 4.0);
+  const Trace trace(2, {{1.0, 1}});
+  FixedPredictor beyond = always_beyond_predictor();
+  DrwpPolicy policy(0.5);
+  SimulationOptions lean;
+  lean.record_events = false;
+  const SimulationResult result =
+      Simulator(config, lean).run(policy, trace, beyond);
+  EXPECT_THROW(render_timeline(result, trace), std::invalid_argument);
+}
+
+TEST(Timeline, RejectsTinyWidth) {
+  const SystemConfig config = make_config(2, 4.0);
+  const Trace trace(2, {{1.0, 1}});
+  FixedPredictor beyond = always_beyond_predictor();
+  const SimulationResult result =
+      testing::run_drwp(config, trace, 0.5, beyond);
+  TimelineOptions options;
+  options.width = 2;
+  EXPECT_THROW(render_timeline(result, trace, options),
+               std::invalid_argument);
+}
+
+// ---- Cross-cutting properties ---------------------------------------
+
+TEST(PolicyProperties, CloneReplayEquivalence) {
+  // Splitting a run in half via clone() and continuing must match the
+  // uninterrupted run event for event (determinism + complete state in
+  // clone). Exercised through costs and final copy sets.
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Trace trace = testing::random_trace(4, 0.05, 2000.0, seed + 950);
+    if (trace.size() < 10) continue;
+    const SystemConfig config = make_config(4, 18.0);
+    FixedPredictor beyond = always_beyond_predictor();
+    DrwpPolicy whole(0.4);
+    const double expected =
+        Simulator(config).run(whole, trace, beyond).total_cost();
+
+    // Manual two-phase drive with a clone swap in the middle.
+    NullEventSink sink;
+    DrwpPolicy first(0.4);
+    first.reset(config, Prediction{false}, sink);
+    const std::size_t half = trace.size() / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      first.advance_to(trace[i].time, sink);
+      first.on_request(trace[i].server, trace[i].time, Prediction{false},
+                       sink);
+    }
+    auto second = first.clone();
+    for (std::size_t i = half; i < trace.size(); ++i) {
+      second->advance_to(trace[i].time, sink);
+      second->on_request(trace[i].server, trace[i].time, Prediction{false},
+                         sink);
+    }
+    // Compare final holder sets with a fresh full run (cost bookkeeping
+    // lives in the simulator, so compare state, then re-verify cost).
+    DrwpPolicy reference(0.4);
+    reference.reset(config, Prediction{false}, sink);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      reference.advance_to(trace[i].time, sink);
+      reference.on_request(trace[i].server, trace[i].time,
+                           Prediction{false}, sink);
+    }
+    for (int s = 0; s < config.num_servers; ++s) {
+      EXPECT_EQ(second->holds(s), reference.holds(s))
+          << "seed=" << seed << " server=" << s;
+    }
+    EXPECT_EQ(second->copy_count(), reference.copy_count());
+    EXPECT_GT(expected, 0.0);
+  }
+}
+
+TEST(PolicyProperties, HoldsAgreesWithSegments) {
+  // The policy's holds() introspection must agree with the simulator's
+  // recorded segments at every request instant.
+  const Trace trace = testing::random_trace(4, 0.05, 2000.0, 970);
+  const SystemConfig config = make_config(4, 18.0);
+  FixedPredictor beyond = always_beyond_predictor();
+  DrwpPolicy policy(0.4);
+  const SimulationResult result =
+      Simulator(config).run(policy, trace, beyond);
+
+  auto held_per_segments = [&](int server, double time) {
+    for (const CopySegment& seg : result.segments) {
+      if (seg.server == server && seg.begin <= time && time < seg.end) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Replay and probe just after each request.
+  NullEventSink sink;
+  DrwpPolicy replay(0.4);
+  replay.reset(config, Prediction{false}, sink);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    replay.advance_to(trace[i].time, sink);
+    replay.on_request(trace[i].server, trace[i].time, Prediction{false},
+                      sink);
+    for (int s = 0; s < config.num_servers; ++s) {
+      EXPECT_EQ(replay.holds(s),
+                held_per_segments(s, trace[i].time))
+          << "request " << i << " server " << s;
+    }
+  }
+}
+
+TEST(PolicyProperties, RegularSourceAtExactExpiryInstant) {
+  // A copy whose intended expiry coincides with another server's request
+  // time is still a valid *regular* transfer source at that instant
+  // (copies are valid through their expiry inclusive), and is dropped
+  // when time moves on.
+  NullEventSink sink;
+  const SystemConfig config = make_config(2, 4.0);
+  DrwpPolicy policy(0.5);
+  policy.reset(config, Prediction{false}, sink);  // s0: E = 2
+  policy.advance_to(2.0, sink);
+  const ServeAction action =
+      policy.on_request(1, 2.0, Prediction{false}, sink);
+  EXPECT_FALSE(action.local);
+  EXPECT_EQ(action.source, 0);
+  EXPECT_FALSE(action.source_special);
+  EXPECT_TRUE(policy.holds(0));
+  policy.advance_to(3.0, sink);  // the expiry at exactly 2.0 now fires
+  EXPECT_FALSE(policy.holds(0));
+  EXPECT_TRUE(policy.holds(1));
+}
+
+}  // namespace
+}  // namespace repl

@@ -1,0 +1,330 @@
+// Unit tests for the trace substrate: model invariants, generators,
+// the IBM-like synthesizer, the paper's constructed instances, CSV I/O,
+// and trace statistics.
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "trace/generators.hpp"
+#include "trace/ibm_synth.hpp"
+#include "trace/paper_instances.hpp"
+#include "trace/trace.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/trace_stats.hpp"
+#include "util/rng.hpp"
+
+namespace repl {
+namespace {
+
+TEST(Trace, ValidatesMonotoneTimes) {
+  EXPECT_NO_THROW(Trace(2, {{1.0, 0}, {2.0, 1}}));
+  EXPECT_THROW(Trace(2, {{2.0, 0}, {1.0, 1}}), std::invalid_argument);
+  EXPECT_THROW(Trace(2, {{1.0, 0}, {1.0, 1}}), std::invalid_argument);
+}
+
+TEST(Trace, RejectsNonPositiveTimes) {
+  EXPECT_THROW(Trace(1, {{0.0, 0}}), std::invalid_argument);
+  EXPECT_THROW(Trace(1, {{-1.0, 0}}), std::invalid_argument);
+}
+
+TEST(Trace, RejectsBadServerIds) {
+  EXPECT_THROW(Trace(2, {{1.0, 2}}), std::invalid_argument);
+  EXPECT_THROW(Trace(2, {{1.0, -1}}), std::invalid_argument);
+  EXPECT_THROW(Trace(0, {}), std::invalid_argument);
+}
+
+TEST(Trace, FromUnsortedSortsAndNudgesTies) {
+  const Trace trace = Trace::from_unsorted(
+      3, {{5.0, 0}, {1.0, 1}, {5.0, 2}, {1.0, 2}}, 0.5);
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace[0].time, 1.0);
+  EXPECT_EQ(trace[1].time, 1.5);  // tie nudged by min_gap
+  EXPECT_EQ(trace[2].time, 5.0);
+  EXPECT_EQ(trace[3].time, 5.5);
+  // Stable: the first of the 1.0 ties was server 1.
+  EXPECT_EQ(trace[0].server, 1);
+  EXPECT_EQ(trace[1].server, 2);
+}
+
+TEST(Trace, PrevNextSameServerLinks) {
+  const Trace trace(3, {{1.0, 0}, {2.0, 1}, {3.0, 0}, {4.0, 2}, {5.0, 0}});
+  EXPECT_EQ(trace.prev_same_server(0), -1);
+  EXPECT_EQ(trace.prev_same_server(2), 0);
+  EXPECT_EQ(trace.prev_same_server(4), 2);
+  EXPECT_EQ(trace.next_same_server(0), 2);
+  EXPECT_EQ(trace.next_same_server(2), 4);
+  EXPECT_EQ(trace.next_same_server(4), -1);
+  EXPECT_EQ(trace.next_same_server(3), -1);
+}
+
+TEST(Trace, FirstAtServerAndCounts) {
+  const Trace trace(3, {{1.0, 1}, {2.0, 1}, {3.0, 0}});
+  EXPECT_EQ(trace.first_at_server(1), 0);
+  EXPECT_EQ(trace.first_at_server(0), 2);
+  EXPECT_EQ(trace.first_at_server(2), -1);
+  EXPECT_EQ(trace.count_at_server(1), 2u);
+  EXPECT_EQ(trace.count_at_server(2), 0u);
+  EXPECT_EQ(trace.active_servers(), (std::vector<int>{0, 1}));
+  EXPECT_DOUBLE_EQ(trace.duration(), 3.0);
+}
+
+TEST(Trace, InterarrivalUsesDummyForInitialServer) {
+  const Trace trace(2, {{3.0, 0}, {4.0, 1}, {9.0, 1}});
+  // First request at the initial server: predecessor is r0 at time 0.
+  EXPECT_DOUBLE_EQ(interarrival_to_prev(trace, 0, /*initial=*/0), 3.0);
+  // First request at another server: no predecessor.
+  EXPECT_TRUE(std::isinf(interarrival_to_prev(trace, 1, 0)));
+  EXPECT_DOUBLE_EQ(interarrival_to_prev(trace, 2, 0), 5.0);
+}
+
+TEST(Trace, NextGapGroundTruth) {
+  const Trace trace(2, {{1.0, 0}, {2.0, 0}, {10.0, 0}});
+  EXPECT_TRUE(next_gap_within_lambda(trace, 0, 1.0));   // gap 1 <= 1
+  EXPECT_FALSE(next_gap_within_lambda(trace, 1, 7.0));  // gap 8 > 7
+  EXPECT_FALSE(next_gap_within_lambda(trace, 2, 100.0));  // no next
+  EXPECT_TRUE(first_gap_within_lambda(trace, 0, 1.0));
+  EXPECT_FALSE(first_gap_within_lambda(trace, 0, 0.5));
+  EXPECT_FALSE(first_gap_within_lambda(trace, 1, 100.0));  // never requests
+}
+
+TEST(Generators, PoissonCountNearExpectation) {
+  const Trace trace = generate_poisson_trace(
+      4, /*rate=*/0.1, /*horizon=*/10000.0, ServerAssignment{}, 42);
+  EXPECT_NEAR(static_cast<double>(trace.size()), 1000.0, 150.0);
+  EXPECT_LE(trace.duration(), 10000.0);
+}
+
+TEST(Generators, PoissonDeterministicInSeed) {
+  const Trace a = generate_poisson_trace(4, 0.05, 5000.0,
+                                         ServerAssignment{}, 7);
+  const Trace b = generate_poisson_trace(4, 0.05, 5000.0,
+                                         ServerAssignment{}, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Generators, ZipfAssignmentSkewsToServerZero) {
+  const Trace trace = generate_poisson_trace(10, 0.5, 20000.0,
+                                             ServerAssignment{}, 11);
+  // Under Zipf(1), server 0 gets ~1/H_10 ≈ 34% of requests; server 9 ~3.4%.
+  const double n = static_cast<double>(trace.size());
+  EXPECT_GT(trace.count_at_server(0) / n, 0.28);
+  EXPECT_LT(trace.count_at_server(9) / n, 0.08);
+}
+
+TEST(Generators, UniformAssignmentIsFlat) {
+  ServerAssignment assignment;
+  assignment.kind = ServerAssignment::Kind::kUniform;
+  const Trace trace =
+      generate_poisson_trace(5, 0.5, 20000.0, assignment, 13);
+  const double n = static_cast<double>(trace.size());
+  for (int s = 0; s < 5; ++s) {
+    EXPECT_NEAR(trace.count_at_server(s) / n, 0.2, 0.03);
+  }
+}
+
+TEST(Generators, PeriodicEmitsExpectedTimes) {
+  const Trace trace = generate_periodic_trace(
+      2, /*periods=*/{10.0, 0.0}, /*offsets=*/{5.0, 1.0}, /*horizon=*/36.0);
+  // Server 0 at 5, 15, 25, 35; server 1 inactive (period 0).
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_DOUBLE_EQ(trace[0].time, 5.0);
+  EXPECT_DOUBLE_EQ(trace[3].time, 35.0);
+  EXPECT_EQ(trace.count_at_server(1), 0u);
+}
+
+TEST(Generators, MmppProducesBurstsAndQuietPeriods) {
+  MmppConfig config;
+  config.rate_low = 0.001;
+  config.rate_high = 1.0;
+  config.mean_low_duration = 2000.0;
+  config.mean_high_duration = 500.0;
+  config.horizon = 200000.0;
+  const Trace trace =
+      generate_mmpp_trace(3, config, ServerAssignment{}, 17);
+  ASSERT_GT(trace.size(), 100u);
+  // Gap distribution should be strongly bimodal: some gaps far above the
+  // mean (quiet) and many far below (burst).
+  double max_gap = 0.0;
+  std::size_t small_gaps = 0;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const double gap = trace[i].time - trace[i - 1].time;
+    max_gap = std::max(max_gap, gap);
+    small_gaps += gap < 10.0;
+  }
+  EXPECT_GT(max_gap, 500.0);
+  EXPECT_GT(static_cast<double>(small_gaps) /
+                static_cast<double>(trace.size()),
+            0.5);
+}
+
+TEST(Generators, DiurnalRateVaries) {
+  DiurnalConfig config;
+  config.base_rate = 0.05;
+  config.amplitude = 0.9;
+  config.period = 86400.0;
+  config.horizon = 7 * 86400.0;
+  const Trace trace =
+      generate_diurnal_trace(4, config, ServerAssignment{}, 19);
+  ASSERT_GT(trace.size(), 1000u);
+  // Count requests in the peak vs trough quarter of each day; the peak
+  // (around day fraction 0.25 for phase 0) should dominate.
+  std::size_t peak = 0, trough = 0;
+  for (const Request& r : trace.requests()) {
+    const double frac = std::fmod(r.time, 86400.0) / 86400.0;
+    if (frac >= 0.125 && frac < 0.375) ++peak;
+    if (frac >= 0.625 && frac < 0.875) ++trough;
+  }
+  EXPECT_GT(peak, trough * 3);
+}
+
+TEST(IbmSynth, MatchesPaperScale) {
+  const Trace trace = default_ibm_like_trace(1);
+  // The paper's object: 11688 reads over 7 days on 10 servers.
+  EXPECT_EQ(trace.num_servers(), 10);
+  EXPECT_NEAR(static_cast<double>(trace.size()), 11688.0, 2500.0);
+  EXPECT_LE(trace.duration(), 7.0 * 86400.0);
+  const TraceStats stats = compute_trace_stats(trace);
+  // Mean same-server gap should be within a factor ~2 of the quoted
+  // 500 s * H-weighted skew (the paper quotes ~500 s per *server* on
+  // average; Zipf skew spreads this between ~1.5ks at server 0 and much
+  // longer tails elsewhere). Only a coarse sanity band is asserted.
+  EXPECT_GT(stats.mean_per_server_gap, 300.0);
+  EXPECT_LT(stats.mean_per_server_gap, 20000.0);
+}
+
+TEST(IbmSynth, ZipfServerSkew) {
+  const Trace trace = default_ibm_like_trace(2);
+  const double n = static_cast<double>(trace.size());
+  EXPECT_GT(trace.count_at_server(0) / n, 0.2);
+  EXPECT_GT(trace.count_at_server(0), trace.count_at_server(9) * 3);
+}
+
+TEST(IbmSynth, DeterministicInSeed) {
+  const Trace a = default_ibm_like_trace(3);
+  const Trace b = default_ibm_like_trace(3);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a[0], b[0]);
+  EXPECT_EQ(a[a.size() - 1], b[b.size() - 1]);
+}
+
+TEST(IbmSynth, GapsSpanOrdersOfMagnitude) {
+  const Trace trace = default_ibm_like_trace(4);
+  std::size_t under_10s = 0, over_1000s = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const int p = trace.prev_same_server(i);
+    if (p < 0) continue;
+    const double gap = trace[i].time - trace[static_cast<std::size_t>(p)].time;
+    under_10s += gap <= 10.0;
+    over_1000s += gap > 1000.0;
+  }
+  EXPECT_GT(under_10s, 100u);   // bursty short gaps exist
+  EXPECT_GT(over_1000s, 100u);  // long quiet gaps exist
+}
+
+TEST(PaperInstances, Figure5Structure) {
+  const double alpha = 0.5, lambda = 10.0, eps = 0.1;
+  const Trace trace = make_figure5_trace(alpha, lambda, 6, eps);
+  ASSERT_EQ(trace.size(), 6u);
+  // Alternating s2 (odd i) / s1 (even i); same-server gaps = αλ + ε.
+  EXPECT_EQ(trace[0].server, 1);
+  EXPECT_EQ(trace[1].server, 0);
+  EXPECT_DOUBLE_EQ(trace[0].time, eps);
+  EXPECT_DOUBLE_EQ(trace[1].time, alpha * lambda + eps);
+  for (std::size_t i = 2; i < trace.size(); ++i) {
+    EXPECT_NEAR(trace[i].time - trace[i - 2].time, alpha * lambda + eps,
+                1e-12);
+    EXPECT_EQ(trace[i].server, trace[i - 2].server);
+  }
+}
+
+TEST(PaperInstances, Figure6StructureAndGaps) {
+  const double lambda = 8.0, eps = 0.25;
+  const Trace trace = make_figure6_trace(lambda, eps, 3);
+  ASSERT_EQ(trace.size(), 9u);
+  // All same-server gaps exceed λ (so "beyond" predictions are correct).
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const double gap = interarrival_to_prev(trace, i, 0);
+    EXPECT_GT(gap, lambda) << "request " << i;
+  }
+  // First cycle: r1 at s2 at λ, r2 at s1 at λ+ε, r3 at s2 at 2λ+ε.
+  EXPECT_EQ(trace[0].server, 1);
+  EXPECT_DOUBLE_EQ(trace[0].time, lambda);
+  EXPECT_EQ(trace[1].server, 0);
+  EXPECT_DOUBLE_EQ(trace[1].time, lambda + eps);
+  EXPECT_EQ(trace[2].server, 1);
+  EXPECT_DOUBLE_EQ(trace[2].time, 2 * lambda + eps);
+  // Second cycle swaps roles: r4 at s1.
+  EXPECT_EQ(trace[3].server, 0);
+}
+
+TEST(PaperInstances, Figure9Structure) {
+  const double lambda = 5.0, eps = 0.01;
+  const Trace trace = make_figure9_trace(lambda, eps, 6);
+  ASSERT_EQ(trace.size(), 5u);  // r2..r6, all at s2
+  for (const Request& r : trace.requests()) EXPECT_EQ(r.server, 1);
+  EXPECT_DOUBLE_EQ(trace[0].time, eps);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_NEAR(trace[i].time - trace[i - 1].time, 2 * lambda + eps, 1e-12);
+  }
+}
+
+TEST(PaperInstances, BuildersRejectBadParameters) {
+  EXPECT_THROW(make_figure5_trace(0.5, 10.0, 5, /*eps=*/6.0),
+               std::invalid_argument);  // eps >= alpha*lambda
+  EXPECT_THROW(make_figure5_trace(1.5, 10.0, 5, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW(make_figure6_trace(10.0, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(make_figure9_trace(10.0, 0.1, 1), std::invalid_argument);
+}
+
+TEST(TraceIo, CsvRoundTrip) {
+  const Trace trace = testing::random_trace(5, 0.01, 5000.0, 23);
+  const std::string csv = trace_to_csv(trace);
+  const Trace parsed = trace_from_csv(csv, 5);
+  ASSERT_EQ(parsed.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(parsed[i], trace[i]);
+  }
+}
+
+TEST(TraceIo, InfersServerCount) {
+  const Trace parsed = trace_from_csv("time,server\n1.5,0\n2.5,3\n");
+  EXPECT_EQ(parsed.num_servers(), 4);
+  EXPECT_EQ(parsed.size(), 2u);
+}
+
+TEST(TraceIo, RejectsMalformedRows) {
+  EXPECT_THROW(trace_from_csv("time,server\n1.5\n"), std::invalid_argument);
+  EXPECT_THROW(trace_from_csv("time,server\nabc,0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(trace_from_csv(""), std::invalid_argument);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const Trace trace = testing::random_trace(3, 0.01, 2000.0, 29);
+  const std::string path = ::testing::TempDir() + "/repl_trace_test.csv";
+  save_trace(trace, path);
+  const Trace loaded = load_trace(path, 3);
+  ASSERT_EQ(loaded.size(), trace.size());
+  EXPECT_EQ(loaded[0], trace[0]);
+}
+
+TEST(TraceStats, ComputesGapsAndFractions) {
+  const Trace trace(2, {{1.0, 0}, {2.0, 1}, {3.0, 0}, {10.0, 1}});
+  const TraceStats stats = compute_trace_stats(trace);
+  EXPECT_EQ(stats.num_requests, 4u);
+  EXPECT_EQ(stats.active_servers, 2);
+  EXPECT_DOUBLE_EQ(stats.duration, 10.0);
+  EXPECT_NEAR(stats.mean_global_gap, 3.0, 1e-12);  // gaps 1,1,7
+  // Same-server gaps: 2 (server 0), 8 (server 1).
+  EXPECT_NEAR(stats.mean_per_server_gap, 5.0, 1e-12);
+  EXPECT_NEAR(stats.fraction_gaps_within(2.0), 0.5, 1e-12);
+  EXPECT_NEAR(stats.fraction_gaps_within(10.0), 1.0, 1e-12);
+  EXPECT_FALSE(stats.summary().empty());
+}
+
+}  // namespace
+}  // namespace repl

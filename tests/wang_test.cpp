@@ -1,0 +1,147 @@
+// Wang et al. (2021) baseline tests, including the paper's Section-11
+// counterexample: the algorithm's ratio approaches 5/2 on the Figure-9
+// instance, refuting the claimed 2-competitiveness.
+#include <gtest/gtest.h>
+
+#include "analysis/ratio.hpp"
+#include "baselines/wang2021.hpp"
+#include "core/simulator.hpp"
+#include "offline/opt_dp.hpp"
+#include "predictor/fixed.hpp"
+#include "test_util.hpp"
+#include "trace/paper_instances.hpp"
+
+namespace repl {
+namespace {
+
+using testing::make_config;
+
+TEST(Wang2021, RequiresObjectToStartAtHome) {
+  SystemConfig config = make_config(3, 10.0);
+  config.storage_rates = {2.0, 1.0, 3.0};  // home is server 1
+  config.initial_server = 0;
+  Wang2021Policy policy;
+  NullEventSink sink;
+  EXPECT_THROW(policy.reset(config, Prediction{}, sink),
+               std::invalid_argument);
+  config.initial_server = 1;
+  EXPECT_NO_THROW(policy.reset(config, Prediction{}, sink));
+  EXPECT_EQ(policy.home_server(), 1);
+}
+
+TEST(Wang2021, KeepsCopyForTtlAfterLocalRequest) {
+  const SystemConfig config = make_config(2, 10.0);
+  Wang2021Policy policy;
+  NullEventSink sink;
+  policy.reset(config, Prediction{}, sink);
+  policy.advance_to(3.0, sink);
+  const ServeAction action =
+      policy.on_request(1, 3.0, Prediction{}, sink);
+  EXPECT_FALSE(action.local);
+  EXPECT_DOUBLE_EQ(action.intended_duration, 10.0);  // λ/µ with µ=1
+  EXPECT_TRUE(policy.holds(1));
+  EXPECT_TRUE(policy.holds(0));  // regular source keeps its copy
+}
+
+TEST(Wang2021, OnlyCopyGetsOneGraceRenewalThenMigratesHome) {
+  // λ=10. The dummy copy at home renews forever; a remote copy that
+  // becomes the only copy is renewed once and then sent home.
+  const SystemConfig config = make_config(2, 10.0);
+  Wang2021Policy policy;
+  NullEventSink sink;
+  policy.reset(config, Prediction{}, sink);
+  policy.advance_to(1.0, sink);
+  policy.on_request(1, 1.0, Prediction{}, sink);  // copy at s1 until 11
+  // Home's copy (expiry 10) is dropped at 10 (two copies); s1's copy
+  // expires at 11 as the only copy -> renewed to 21 -> at 21 it migrates
+  // home.
+  policy.advance_to(15.0, sink);
+  EXPECT_FALSE(policy.holds(0));
+  EXPECT_TRUE(policy.holds(1));
+  policy.advance_to(22.0, sink);
+  EXPECT_TRUE(policy.holds(0));   // migrated home at t=21
+  EXPECT_FALSE(policy.holds(1));
+  EXPECT_EQ(policy.copy_count(), 1);
+}
+
+TEST(Wang2021, HomeRenewsIndefinitely) {
+  const SystemConfig config = make_config(2, 10.0);
+  Wang2021Policy policy;
+  NullEventSink sink;
+  policy.reset(config, Prediction{}, sink);
+  policy.advance_to(1000.0, sink);  // many renewals, never dropped
+  EXPECT_TRUE(policy.holds(0));
+  EXPECT_EQ(policy.copy_count(), 1);
+}
+
+TEST(Wang2021, Figure9WalkthroughCost) {
+  // λ=10, ε=0.01, m=10 requests in the paper's numbering. The paper
+  // derives ≈5λ of online cost per request at s2 versus ≈2λ+ε optimal.
+  const double lambda = 10.0, eps = 0.01;
+  const int m = 10;
+  const SystemConfig config = make_config(2, lambda);
+  const Trace trace = make_figure9_trace(lambda, eps, m);
+  Wang2021Policy policy;
+  FixedPredictor ignored = always_beyond_predictor();
+  const SimulationResult result =
+      Simulator(config).run(policy, trace, ignored);
+  // Per cycle: one serve transfer + one migrate-home transfer.
+  EXPECT_GE(result.num_transfers, static_cast<std::size_t>(2 * (m - 2)));
+  EXPECT_GE(result.total_cost(), (m - 2) * 5.0 * lambda - 2.0 * lambda);
+}
+
+TEST(Wang2021, CounterexampleRatioApproachesFiveHalves) {
+  const double lambda = 100.0, eps = 1e-3;
+  const int m = 300;
+  const SystemConfig config = make_config(2, lambda);
+  const Trace trace = make_figure9_trace(lambda, eps, m);
+  Wang2021Policy policy;
+  FixedPredictor ignored = always_beyond_predictor();
+  const RatioReport report =
+      evaluate_policy(config, policy, trace, ignored);
+  EXPECT_GT(report.ratio, 2.45);
+  EXPECT_LT(report.ratio, 2.55);
+}
+
+TEST(Wang2021, BetterThanNothingOnRandomTraces) {
+  // Sanity: on random traces the policy is feasible and within its
+  // worst-case factor of the optimum (2.5 on uniform rates, empirically).
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Trace trace = testing::random_trace(4, 0.05, 3000.0, seed + 130);
+    if (trace.empty()) continue;
+    const SystemConfig config = make_config(4, 15.0);
+    Wang2021Policy policy;
+    FixedPredictor ignored = always_beyond_predictor();
+    const RatioReport report =
+        evaluate_policy(config, policy, trace, ignored);
+    EXPECT_GE(report.ratio, 1.0 - 1e-9);
+    EXPECT_LE(report.ratio, 3.5) << "seed=" << seed;
+  }
+}
+
+TEST(Wang2021, WeightedTtlScalesWithRate) {
+  SystemConfig config = make_config(2, 10.0);
+  config.storage_rates = {1.0, 4.0};
+  Wang2021Policy policy;
+  NullEventSink sink;
+  policy.reset(config, Prediction{}, sink);
+  policy.advance_to(1.0, sink);
+  const ServeAction action =
+      policy.on_request(1, 1.0, Prediction{}, sink);
+  EXPECT_DOUBLE_EQ(action.intended_duration, 2.5);  // λ/µ = 10/4
+}
+
+TEST(Wang2021, CloneIsIndependent) {
+  const SystemConfig config = make_config(2, 10.0);
+  Wang2021Policy policy;
+  NullEventSink sink;
+  policy.reset(config, Prediction{}, sink);
+  auto clone = policy.clone();
+  clone->advance_to(5.0, sink);
+  clone->on_request(1, 5.0, Prediction{}, sink);
+  EXPECT_TRUE(clone->holds(1));
+  EXPECT_FALSE(policy.holds(1));
+}
+
+}  // namespace
+}  // namespace repl
