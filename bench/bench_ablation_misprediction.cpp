@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return 0;
 
   const Trace trace =
-      bench::evaluation_trace(cli.get_int("seed"), cli.get_double("scale"));
+      bench::evaluation_trace(cli.get_uint64("seed"), cli.get_double("scale"));
   SystemConfig config;
   config.num_servers = trace.num_servers();
   config.transfer_cost = cli.get_double("lambda");

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   if (!cli.parse(argc, argv)) return 0;
 
   const Trace trace =
-      bench::evaluation_trace(cli.get_int("seed"), cli.get_double("scale"));
+      bench::evaluation_trace(cli.get_uint64("seed"), cli.get_double("scale"));
   std::cout << "trace: " << trace.size() << " requests\n\n";
 
   bench::ShapeChecks checks;

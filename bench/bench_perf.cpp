@@ -9,10 +9,12 @@
 #include "core/adaptive_drwp.hpp"
 #include "core/drwp.hpp"
 #include "core/simulator.hpp"
+#include "extensions/multi_object.hpp"
 #include "offline/opt_dp.hpp"
 #include "offline/opt_lower_bound.hpp"
 #include "predictor/noisy.hpp"
 #include "predictor/oracle.hpp"
+#include "run/parallel_runner.hpp"
 #include "trace/generators.hpp"
 
 namespace {
@@ -160,6 +162,51 @@ void BM_AdversaryGenerate(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_AdversaryGenerate)->Arg(100)->Arg(1000);
+
+const MultiObjectWorkload& runner_workload() {
+  static const MultiObjectWorkload workload = [] {
+    MultiObjectConfig config;
+    config.num_objects = 2000;
+    config.num_servers = 10;
+    config.horizon = 86400.0;
+    config.request_rate = 20.0 * 2000.0 / config.horizon;
+    return generate_multi_object_workload(config, 9);
+  }();
+  return workload;
+}
+
+/// Multi-object engine throughput by worker count (Arg = threads; 1 is
+/// the serial reference path).
+void BM_ParallelRunner(benchmark::State& state) {
+  const MultiObjectWorkload& workload = runner_workload();
+  SystemConfig config;
+  config.num_servers = 10;
+  config.transfer_cost = 100.0;
+  RunnerOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  options.compute_opt = false;
+  options.simulation.record_events = false;
+  const ParallelRunner runner(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        runner
+            .run(
+                workload, config,
+                [](const ObjectContext&) -> PolicyPtr {
+                  return std::make_unique<DrwpPolicy>(0.3);
+                },
+                [](const ObjectContext& context) -> PredictorPtr {
+                  return std::make_unique<AccuracyPredictor>(
+                      *context.trace, 0.9, context.seed);
+                })
+            .online_cost);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(runner.last_stats().requests_simulated));
+}
+BENCHMARK(BM_ParallelRunner)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_TraceGeneration(benchmark::State& state) {
   for (auto _ : state) {

@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
   const double alpha = cli.get_double("alpha");
 
   bench::ShapeChecks checks;
-  for (Workload& workload : make_workloads(cli.get_int("seed"))) {
+  for (Workload& workload : make_workloads(cli.get_uint64("seed"))) {
     const Trace& trace = workload.trace;
     const TraceStats stats = compute_trace_stats(trace);
     std::cout << "=== workload " << workload.name << ": "

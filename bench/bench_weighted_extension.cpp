@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
   assignment.kind = ServerAssignment::Kind::kUniform;
   const Trace trace =
       generate_poisson_trace(6, 0.03, 86400.0, assignment,
-                             cli.get_int("seed"));
+                             cli.get_uint64("seed"));
   std::cout << "trace: " << trace.size() << " requests, lambda = "
             << lambda << ", alpha = " << alpha << "\n\n";
 

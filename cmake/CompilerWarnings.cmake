@@ -1,0 +1,28 @@
+# Interface target carrying the project's warning flags. Linked by every
+# first-party target; third-party code (googletest, benchmark) is untouched.
+add_library(repl_warnings INTERFACE)
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  target_compile_options(repl_warnings INTERFACE
+    -Wall
+    -Wextra
+    -Wpedantic
+    -Wshadow
+    -Wconversion
+    -Wsign-conversion
+    -Wnon-virtual-dtor
+    -Wold-style-cast
+    -Wcast-align
+    -Wunused
+    -Woverloaded-virtual
+    -Wdouble-promotion
+    -Wimplicit-fallthrough)
+  if(REPL_WARNINGS_AS_ERRORS)
+    target_compile_options(repl_warnings INTERFACE -Werror)
+  endif()
+elseif(MSVC)
+  target_compile_options(repl_warnings INTERFACE /W4)
+  if(REPL_WARNINGS_AS_ERRORS)
+    target_compile_options(repl_warnings INTERFACE /WX)
+  endif()
+endif()

@@ -1,0 +1,29 @@
+# Provides GTest::gtest and GTest::gtest_main.
+#
+# Resolution order keeps offline builds working:
+#   1. an installed GTest package (Debian's libgtest-dev ships one);
+#   2. the distro source tree under /usr/src/googletest;
+#   3. FetchContent from GitHub (needs network) as the last resort.
+find_package(GTest QUIET)
+
+if(TARGET GTest::gtest_main)
+  message(STATUS "repl: using installed GTest package")
+elseif(EXISTS /usr/src/googletest/CMakeLists.txt)
+  message(STATUS "repl: building GTest from /usr/src/googletest")
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  add_subdirectory(/usr/src/googletest
+    ${CMAKE_BINARY_DIR}/_deps/googletest-build EXCLUDE_FROM_ALL)
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest ALIAS gtest)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+else()
+  message(STATUS "repl: fetching GTest via FetchContent")
+  include(FetchContent)
+  FetchContent_Declare(googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+endif()
+
+include(GoogleTest)

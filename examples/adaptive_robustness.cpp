@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   synth.horizon = 86400.0;
   synth.target_requests = 1700.0;
   const repl::Trace trace =
-      repl::synthesize_ibm_like(synth, cli.get_int("seed"));
+      repl::synthesize_ibm_like(synth, cli.get_uint64("seed"));
 
   repl::SystemConfig config;
   config.num_servers = synth.num_servers;

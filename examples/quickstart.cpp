@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   // 1. A day of Poisson traffic over 5 servers, Zipf-skewed.
   const repl::Trace trace = repl::generate_poisson_trace(
       /*num_servers=*/5, /*rate=*/0.02, /*horizon=*/86400.0,
-      repl::ServerAssignment{}, cli.get_int("seed"));
+      repl::ServerAssignment{}, cli.get_uint64("seed"));
   std::cout << "workload: " << repl::compute_trace_stats(trace).summary()
             << "\n";
 

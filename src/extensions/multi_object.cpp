@@ -1,7 +1,6 @@
 #include "extensions/multi_object.hpp"
 
-#include "core/simulator.hpp"
-#include "offline/opt_dp.hpp"
+#include "run/parallel_runner.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -40,32 +39,38 @@ MultiObjectWorkload generate_multi_object_workload(
   return workload;
 }
 
+namespace {
+
+MultiObjectResult run_with_threads(const MultiObjectWorkload& workload,
+                                   const SystemConfig& base_config,
+                                   const PolicyFactory& make_policy,
+                                   const PredictorFactory& make_predictor,
+                                   int num_threads) {
+  RunnerOptions options;
+  options.num_threads = num_threads;
+  options.simulation.record_events = false;
+  const ParallelRunner runner(options);
+  return runner.run(workload, base_config,
+                    adapt_policy_factory(make_policy),
+                    adapt_predictor_factory(make_predictor));
+}
+
+}  // namespace
+
 MultiObjectResult run_multi_object(const MultiObjectWorkload& workload,
                                    const SystemConfig& base_config,
                                    const PolicyFactory& make_policy,
                                    const PredictorFactory& make_predictor) {
-  REPL_REQUIRE(base_config.num_servers == workload.num_servers);
-  MultiObjectResult result;
-  SimulationOptions options;
-  options.record_events = false;
-  const Simulator simulator(base_config, options);
-  const OptimalDpSolver solver(base_config);
-  for (const Trace& trace : workload.objects) {
-    if (trace.empty()) {
-      result.per_object_online.push_back(0.0);
-      result.per_object_opt.push_back(0.0);
-      continue;
-    }
-    PolicyPtr policy = make_policy();
-    auto predictor = make_predictor(trace);
-    const SimulationResult run = simulator.run(*policy, trace, *predictor);
-    const double opt = solver.solve(trace);
-    result.per_object_online.push_back(run.total_cost());
-    result.per_object_opt.push_back(opt);
-    result.online_cost += run.total_cost();
-    result.opt_cost += opt;
-  }
-  return result;
+  return run_with_threads(workload, base_config, make_policy,
+                          make_predictor, /*num_threads=*/1);
+}
+
+MultiObjectResult run_multi_object_parallel(
+    const MultiObjectWorkload& workload, const SystemConfig& base_config,
+    const PolicyFactory& make_policy,
+    const PredictorFactory& make_predictor, int num_threads) {
+  return run_with_threads(workload, base_config, make_policy,
+                          make_predictor, num_threads);
 }
 
 }  // namespace repl

@@ -55,10 +55,21 @@ struct MultiObjectResult {
 
 /// Runs one policy instance per object and aggregates costs; the offline
 /// optimum decomposes per object since copies of different objects do not
-/// interact.
+/// interact. Serial reference path (ParallelRunner with one thread).
 MultiObjectResult run_multi_object(const MultiObjectWorkload& workload,
                                    const SystemConfig& base_config,
                                    const PolicyFactory& make_policy,
                                    const PredictorFactory& make_predictor);
+
+/// As run_multi_object(), but sharded across a work-stealing pool
+/// (`num_threads` = 0 uses every hardware thread). The aggregate is
+/// bit-identical to the serial path; see run/parallel_runner.hpp.
+/// Unlike the serial contract, the factories are invoked concurrently
+/// from worker threads and must be thread-safe (no mutation of shared
+/// captured state).
+MultiObjectResult run_multi_object_parallel(
+    const MultiObjectWorkload& workload, const SystemConfig& base_config,
+    const PolicyFactory& make_policy,
+    const PredictorFactory& make_predictor, int num_threads = 0);
 
 }  // namespace repl

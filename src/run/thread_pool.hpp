@@ -1,0 +1,80 @@
+// Work-stealing thread pool for embarrassingly parallel simulation.
+//
+// Each worker owns a deque: tasks submitted from outside are distributed
+// round-robin across the worker deques (sharding), a worker pops from the
+// front of its own deque, and an idle worker steals from the *back* of a
+// victim's deque so the two ends never contend on the hot path. Deques are
+// mutex-protected — tasks here are whole-object simulations (micro- to
+// milliseconds each), so queue overhead is noise and the simple locking
+// scheme keeps the pool easy to reason about.
+//
+// The pool itself is oblivious to task order and must never influence
+// results: callers that need determinism (ParallelRunner) write each
+// task's output to a pre-assigned slot and reduce in slot order afterwards.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace repl {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// `num_threads` = 0 picks std::thread::hardware_concurrency() (at
+  /// least 1). Tasks must not throw — wrap user code and capture
+  /// exceptions in the task body (see ParallelRunner).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task onto the next worker's deque (round-robin).
+  /// Safe to call from multiple threads, including from inside a task.
+  void submit(Task task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Number of successful steals since construction (diagnostics; the
+  /// count is exact but read without ordering guarantees).
+  std::uint64_t steal_count() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  void worker_loop(std::size_t id);
+  bool try_pop_local(std::size_t id, Task& task);
+  bool try_steal(std::size_t thief, Task& task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex idle_mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  /// Tasks submitted but not yet finished (drives wait_idle()).
+  std::atomic<std::size_t> pending_{0};
+  /// Tasks sitting in some deque (drives worker wakeup).
+  std::atomic<std::size_t> queued_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> next_queue_{0};  // round-robin cursor
+};
+
+}  // namespace repl

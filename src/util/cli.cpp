@@ -96,6 +96,22 @@ long long CliParser::get_int(const std::string& name) const {
   return out;
 }
 
+std::uint64_t CliParser::get_uint64(const std::string& name) const {
+  const std::string v = get_string(name);
+  // std::stoull silently wraps negative input (and skips leading
+  // whitespace before the sign), so reject any minus sign up front.
+  if (v.find('-') != std::string::npos) {
+    throw std::invalid_argument("flag --" + name +
+                                ": must be non-negative: " + v);
+  }
+  std::size_t pos = 0;
+  const unsigned long long out = std::stoull(v, &pos);
+  if (pos != v.size()) {
+    throw std::invalid_argument("flag --" + name + ": not an integer: " + v);
+  }
+  return static_cast<std::uint64_t>(out);
+}
+
 bool CliParser::get_bool(const std::string& name) const {
   const std::string v = get_string(name);
   if (v == "true" || v == "1" || v == "yes") return true;

@@ -4,6 +4,7 @@
 // Unknown flags raise; `--help` prints registered flags.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -31,6 +32,9 @@ class CliParser {
   std::string get_string(const std::string& name) const;
   double get_double(const std::string& name) const;
   long long get_int(const std::string& name) const;
+  /// For seed-like flags passed to std::uint64_t parameters; rejects
+  /// negative values.
+  std::uint64_t get_uint64(const std::string& name) const;
   bool get_bool(const std::string& name) const;
 
   /// Comma-separated list of doubles, e.g. "--lambdas=10,100,1000".

@@ -98,7 +98,7 @@ void Rng::jump() {
   for (std::uint64_t word : kJump) {
     for (int b = 0; b < 64; ++b) {
       if (word & (std::uint64_t{1} << b)) {
-        for (int i = 0; i < 4; ++i) t[i] ^= s_[i];
+        for (std::size_t i = 0; i < 4; ++i) t[i] ^= s_[i];
       }
       next_u64();
     }

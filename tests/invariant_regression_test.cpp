@@ -1,0 +1,171 @@
+// Invariant regression tests on adversarial generated traces: replay the
+// Simulator's event log and independently re-verify the model invariants
+// — at least one copy at all times, every transfer originates at a
+// holder, and the Proposition-2 allocation identity — across bursty,
+// tie-heavy, and skewed workloads under both faithful and fully wrong
+// predictions.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/allocation.hpp"
+#include "core/adaptive_drwp.hpp"
+#include "core/drwp.hpp"
+#include "core/simulator.hpp"
+#include "predictor/noisy.hpp"
+#include "predictor/oracle.hpp"
+#include "test_util.hpp"
+#include "trace/generators.hpp"
+
+namespace repl {
+namespace {
+
+using testing::make_config;
+
+/// At-least-one-copy: the union of copy segments must cover [0, horizon]
+/// with multiplicity >= 1 (the final copy's segment ends at +inf).
+void expect_full_coverage(const SimulationResult& result) {
+  struct Edge {
+    double time;
+    int delta;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(result.segments.size() * 2);
+  for (const CopySegment& segment : result.segments) {
+    edges.push_back({segment.begin, +1});
+    if (std::isfinite(segment.end)) edges.push_back({segment.end, -1});
+  }
+  // Copies are valid through their end instant inclusive: at a drop/create
+  // tie instant the creation counts before the drop.
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.delta > b.delta;
+  });
+  int active = 0;
+  double last_time = 0.0;
+  for (const Edge& edge : edges) {
+    if (edge.time > last_time && edge.time <= result.horizon) {
+      ASSERT_GE(active, 1) << "no copy during (" << last_time << ", "
+                           << edge.time << ")";
+    }
+    active += edge.delta;
+    last_time = edge.time;
+  }
+  ASSERT_GE(active, 1) << "no surviving copy after " << last_time;
+}
+
+/// Transfer-from-holder: the source of every transfer holds a copy at the
+/// transfer instant (its segment covers the instant inclusively).
+void expect_transfers_from_holders(const SimulationResult& result) {
+  for (const TransferRecord& transfer : result.transfers) {
+    const bool held = std::any_of(
+        result.segments.begin(), result.segments.end(),
+        [&](const CopySegment& segment) {
+          return segment.server == transfer.src &&
+                 segment.begin <= transfer.time &&
+                 transfer.time <= segment.end;
+        });
+    EXPECT_TRUE(held) << "transfer " << transfer.src << "->" << transfer.dst
+                      << " at " << transfer.time
+                      << " does not originate at a copy holder";
+  }
+}
+
+/// Proposition-2: per-request allocations sum to the adjusted online cost.
+void expect_allocation_identity(const SimulationResult& result,
+                                const Trace& trace) {
+  const AllocationReport report = allocate_costs(result, trace);
+  const double scale = std::max(1.0, report.adjusted_online_cost);
+  EXPECT_NEAR(report.discrepancy() / scale, 0.0, 1e-9);
+}
+
+void check_all(const SystemConfig& config, const Trace& trace, double alpha,
+               Predictor& predictor) {
+  DrwpPolicy policy(alpha);
+  const SimulationResult result =
+      Simulator(config).run(policy, trace, predictor);
+  expect_full_coverage(result);
+  expect_transfers_from_holders(result);
+  expect_allocation_identity(result, trace);
+}
+
+TEST(InvariantRegression, BurstyMmppTraces) {
+  MmppConfig mmpp;
+  mmpp.rate_low = 0.002;
+  mmpp.rate_high = 2.0;
+  mmpp.mean_low_duration = 2000.0;
+  mmpp.mean_high_duration = 100.0;
+  mmpp.horizon = 40000.0;
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    SCOPED_TRACE(seed);
+    const Trace trace =
+        generate_mmpp_trace(6, mmpp, ServerAssignment{}, seed);
+    const SystemConfig config = make_config(6, 50.0);
+    OraclePredictor oracle(trace);
+    check_all(config, trace, 0.3, oracle);
+    AccuracyPredictor always_wrong(trace, 0.0, seed);
+    check_all(config, trace, 0.3, always_wrong);
+  }
+}
+
+TEST(InvariantRegression, ExpiryRequestTieInstants) {
+  // Periodic traces whose gaps land exactly on alpha*lambda and lambda —
+  // the tie conventions (copies valid through their expiry instant) are
+  // where off-by-one-event bugs live.
+  const double lambda = 10.0;
+  const double alpha = 0.5;
+  for (double period : {alpha * lambda, lambda, lambda + 1e-9}) {
+    SCOPED_TRACE(period);
+    const Trace trace = generate_periodic_trace(
+        3, {period, 1.5 * period, 2.0 * period}, {period, period / 3, 1.0},
+        400.0);
+    const SystemConfig config = make_config(3, lambda);
+    OraclePredictor oracle(trace);
+    check_all(config, trace, alpha, oracle);
+    AccuracyPredictor always_wrong(trace, 0.0, 5);
+    check_all(config, trace, alpha, always_wrong);
+  }
+}
+
+TEST(InvariantRegression, SkewedPoissonAcrossAlphas) {
+  const Trace trace = testing::random_trace(8, 0.2, 20000.0, 31);
+  const SystemConfig config = make_config(8, 100.0);
+  for (double alpha : {0.05, 0.5, 1.0}) {
+    SCOPED_TRACE(alpha);
+    OraclePredictor oracle(trace);
+    check_all(config, trace, alpha, oracle);
+    AccuracyPredictor coin(trace, 0.5, 17);
+    check_all(config, trace, alpha, coin);
+  }
+}
+
+TEST(InvariantRegression, AdaptivePolicyKeepsModelInvariants) {
+  // The adaptive variant re-tunes alpha online; coverage and holder
+  // invariants must survive the switches (allocation identity is
+  // DRWP-specific and not asserted here).
+  const Trace trace = testing::random_trace(6, 0.1, 30000.0, 41);
+  const SystemConfig config = make_config(6, 60.0);
+  AccuracyPredictor predictor(trace, 0.6, 9);
+  AdaptiveDrwpPolicy policy(0.3, AdaptiveDrwpPolicy::Options{0.2, 50});
+  const SimulationResult result =
+      Simulator(config).run(policy, trace, predictor);
+  expect_full_coverage(result);
+  expect_transfers_from_holders(result);
+}
+
+TEST(InvariantRegression, DistinctStorageRatesKeepInvariants) {
+  const Trace trace = testing::random_trace(4, 0.08, 20000.0, 51);
+  SystemConfig config = make_config(4, 40.0);
+  config.storage_rates = {1.0, 0.25, 4.0, 0.5};
+  OraclePredictor oracle(trace);
+  DrwpPolicy policy(0.4);
+  const SimulationResult result =
+      Simulator(config).run(policy, trace, oracle);
+  expect_full_coverage(result);
+  expect_transfers_from_holders(result);
+}
+
+}  // namespace
+}  // namespace repl

@@ -110,8 +110,8 @@ TEST(Generators, ZipfAssignmentSkewsToServerZero) {
                                              ServerAssignment{}, 11);
   // Under Zipf(1), server 0 gets ~1/H_10 ≈ 34% of requests; server 9 ~3.4%.
   const double n = static_cast<double>(trace.size());
-  EXPECT_GT(trace.count_at_server(0) / n, 0.28);
-  EXPECT_LT(trace.count_at_server(9) / n, 0.08);
+  EXPECT_GT(static_cast<double>(trace.count_at_server(0)) / n, 0.28);
+  EXPECT_LT(static_cast<double>(trace.count_at_server(9)) / n, 0.08);
 }
 
 TEST(Generators, UniformAssignmentIsFlat) {
@@ -121,7 +121,7 @@ TEST(Generators, UniformAssignmentIsFlat) {
       generate_poisson_trace(5, 0.5, 20000.0, assignment, 13);
   const double n = static_cast<double>(trace.size());
   for (int s = 0; s < 5; ++s) {
-    EXPECT_NEAR(trace.count_at_server(s) / n, 0.2, 0.03);
+    EXPECT_NEAR(static_cast<double>(trace.count_at_server(s)) / n, 0.2, 0.03);
   }
 }
 
@@ -198,7 +198,7 @@ TEST(IbmSynth, MatchesPaperScale) {
 TEST(IbmSynth, ZipfServerSkew) {
   const Trace trace = default_ibm_like_trace(2);
   const double n = static_cast<double>(trace.size());
-  EXPECT_GT(trace.count_at_server(0) / n, 0.2);
+  EXPECT_GT(static_cast<double>(trace.count_at_server(0)) / n, 0.2);
   EXPECT_GT(trace.count_at_server(0), trace.count_at_server(9) * 3);
 }
 

@@ -147,9 +147,13 @@ TEST(Zipf, SamplingMatchesPmf) {
   Rng rng(37);
   std::vector<int> counts(11, 0);
   const int draws = 200000;
-  for (int i = 0; i < draws; ++i) ++counts[zipf.sample(rng)];
+  for (int i = 0; i < draws; ++i) {
+    ++counts[static_cast<std::size_t>(zipf.sample(rng))];
+  }
   for (int i = 1; i <= 10; ++i) {
-    EXPECT_NEAR(static_cast<double>(counts[i]) / draws, zipf.pmf(i),
+    EXPECT_NEAR(static_cast<double>(counts[static_cast<std::size_t>(i)]) /
+                    draws,
+                zipf.pmf(i),
                 5e-3)
         << "value " << i;
   }
@@ -170,10 +174,10 @@ TEST(RunningStats, MatchesDirectComputation) {
     stats.add(x);
     sum += x;
   }
-  const double mean = sum / xs.size();
+  const double mean = sum / static_cast<double>(xs.size());
   double var = 0.0;
   for (double x : xs) var += (x - mean) * (x - mean);
-  var /= (xs.size() - 1);
+  var /= static_cast<double>(xs.size() - 1);
   EXPECT_NEAR(stats.mean(), mean, 1e-12);
   EXPECT_NEAR(stats.variance(), var, 1e-12);
   EXPECT_EQ(stats.count(), xs.size());
