@@ -1,0 +1,285 @@
+// Streaming-engine throughput sweep: synthesizes interleaved
+// multi-object event logs to disk (objects swept geometrically up to
+// --objects, a fixed --events per row), then serves each log through the
+// sharded StreamingEngine at every thread count in --threads, reporting
+// events/sec. Per-object traces are never materialized — the stream goes
+// binary log → batcher → shards.
+//
+//   ./build/bench/bench_engine                  # 10^4..10^6 objects, 10^7 events
+//   ./build/bench/bench_engine --smoke          # CI-sized run + parity check
+//
+// At smoke scale (or with --verify) the engine aggregates are checked
+// bit-for-bit against a serial per-object Simulator sweep over the same
+// log. A machine-readable BENCH_engine.json accompanies the table.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/drwp.hpp"
+#include "core/simulator.hpp"
+#include "engine/engine.hpp"
+#include "offline/opt_lower_bound.hpp"
+#include "predictor/last_gap.hpp"
+#include "trace/event_log.hpp"
+#include "trace/stream_gen.hpp"
+#include "trace/trace.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+#ifndef REPL_GIT_DESCRIBE
+#define REPL_GIT_DESCRIBE "unknown"
+#endif
+
+namespace {
+
+using namespace repl;
+
+struct RowResult {
+  std::uint64_t objects = 0;
+  std::uint64_t events = 0;
+  int threads_requested = 0;
+  int threads_used = 1;
+  double events_per_sec = 0.0;
+  double ingest_seconds = 0.0;
+  double finish_seconds = 0.0;
+  std::uint64_t steals = 0;
+  double online_cost = 0.0;
+  double ratio = 1.0;
+  bool verified = false;
+  bool identical = true;
+};
+
+EnginePolicyFactory policy_factory(double alpha) {
+  return [alpha](const EngineObjectContext&) -> PolicyPtr {
+    return std::make_unique<DrwpPolicy>(alpha);
+  };
+}
+
+EnginePredictorFactory predictor_factory(int num_servers) {
+  return [num_servers](const EngineObjectContext&) -> PredictorPtr {
+    return std::make_unique<LastGapPredictor>(num_servers);
+  };
+}
+
+/// Serial reference for the parity check: per-object Simulator + OPTL
+/// sweep in object-id order (materializes the traces, so only run at
+/// verification scale).
+bool matches_serial(const std::string& log_path, const SystemConfig& config,
+                    double alpha, const EngineMetrics& metrics) {
+  std::map<std::uint64_t, std::vector<Request>> per_object;
+  {
+    EventLogReader reader(log_path);
+    LogEvent event;
+    while (reader.next(event)) {
+      per_object[event.object].push_back(
+          Request{event.time, static_cast<int>(event.server)});
+    }
+  }
+  SimulationOptions options;
+  options.record_events = false;
+  const Simulator simulator(config, options);
+  double online_cost = 0.0;
+  double lower_bound = 0.0;
+  std::size_t transfers = 0;
+  for (auto& [id, requests] : per_object) {
+    Trace trace(config.num_servers, std::move(requests));
+    DrwpPolicy policy(alpha);
+    LastGapPredictor predictor(config.num_servers);
+    const SimulationResult result = simulator.run(policy, trace, predictor);
+    online_cost += result.total_cost();
+    transfers += result.num_transfers;
+    lower_bound += opt_lower_bound(config, trace);
+  }
+  return online_cost == metrics.online_cost &&
+         lower_bound == metrics.lower_bound &&
+         transfers == metrics.num_transfers &&
+         per_object.size() == metrics.objects;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_engine",
+                "streaming engine throughput sweep over binary event logs");
+  cli.add_flag("min-objects", "10000", "smallest object count in the sweep");
+  cli.add_flag("objects", "1000000", "largest object count in the sweep");
+  cli.add_flag("events", "10000000", "events per generated log");
+  cli.add_flag("servers", "10", "servers in the system");
+  cli.add_flag("shards", "256", "object-table shards");
+  cli.add_flag("batch", "65536", "events per ingest batch");
+  cli.add_flag("threads", "1,2,4,8", "comma-separated thread counts "
+               "(0 = all hardware threads)");
+  cli.add_flag("lambda", "10", "transfer cost λ");
+  cli.add_flag("alpha", "0.3", "DRWP α");
+  cli.add_flag("seed", "42", "workload seed");
+  cli.add_flag("json", "BENCH_engine.json", "machine-readable output path");
+  cli.add_bool_flag("verify", "also run the serial per-object Simulator "
+                    "sweep and require bit-identical aggregates");
+  cli.add_bool_flag("keep-logs", "keep the generated event logs on disk");
+  cli.add_bool_flag("smoke", "CI-sized run: 2·10^3 objects, 2·10^5 events, "
+                    "threads 1 and 4, verification on");
+  if (!cli.parse(argc, argv)) return 0;
+
+  // Bounds-checked count flags (no narrowing casts from get_int).
+  std::size_t min_objects = cli.get_size_t("min-objects", 1, 100000000);
+  std::size_t max_objects = cli.get_size_t("objects", 1, 100000000);
+  std::uint64_t events = cli.get_size_t("events", 1);
+  const std::size_t shards = cli.get_size_t("shards", 1, 1 << 20);
+  const std::size_t batch = cli.get_size_t("batch", 1);
+  const int servers = static_cast<int>(cli.get_size_t("servers", 1, 4096));
+  const double lambda = cli.get_double("lambda");
+  const double alpha = cli.get_double("alpha");
+  const std::uint64_t seed = cli.get_uint64("seed");
+  const bool smoke = cli.get_bool("smoke");
+  bool verify = cli.get_bool("verify") || smoke;
+  std::vector<int> thread_counts;
+  for (const double t : cli.get_double_list("threads")) {
+    thread_counts.push_back(static_cast<int>(t));
+  }
+  if (smoke) {
+    min_objects = 2000;
+    max_objects = 2000;
+    events = 200000;
+    thread_counts = {1, 4};
+  }
+  if (min_objects > max_objects || thread_counts.empty()) {
+    std::cerr << "error: need --min-objects <= --objects and a non-empty "
+                 "--threads list\n";
+    return EXIT_FAILURE;
+  }
+
+  SystemConfig config;
+  config.num_servers = servers;
+  config.transfer_cost = lambda;
+
+  Table table({"objects", "events", "threads", "used", "events/s",
+               "ingest_s", "finish_s", "steals", "cost", "ratio",
+               "identical"});
+  std::vector<RowResult> rows;
+  bool all_identical = true;
+
+  for (std::size_t objects = min_objects;;) {
+    // One log per object count; every thread count serves the same file.
+    StreamWorkloadConfig workload;
+    workload.num_objects = objects;
+    workload.num_servers = servers;
+    workload.rate = static_cast<double>(objects) / 64.0;
+    workload.max_events = events;
+    const std::string log_path =
+        (std::filesystem::temp_directory_path() /
+         ("bench_engine_" + std::to_string(objects) + ".evlog"))
+            .string();
+    std::cerr << "generating " << events << " events over " << objects
+              << " objects -> " << log_path << "\n";
+    generate_event_log(workload, seed, log_path);
+
+    for (const int threads : thread_counts) {
+      EngineOptions options;
+      options.num_shards = shards;
+      options.num_threads = threads;
+      options.base_seed = seed;
+
+      EventLogReader reader(log_path);
+      StreamingEngine engine(config, options, policy_factory(alpha),
+                             predictor_factory(servers));
+      const EngineMetrics metrics = engine.serve(reader, batch);
+      const EngineStats& stats = engine.stats();
+
+      RowResult row;
+      row.objects = objects;
+      row.events = stats.events_ingested;
+      row.threads_requested = threads;
+      row.threads_used = stats.threads_used;
+      row.ingest_seconds = stats.ingest_seconds;
+      row.finish_seconds = stats.finish_seconds;
+      const double wall = stats.ingest_seconds + stats.finish_seconds;
+      row.events_per_sec =
+          wall > 0.0 ? static_cast<double>(row.events) / wall : 0.0;
+      row.steals = stats.steals;
+      row.online_cost = metrics.online_cost;
+      row.ratio = metrics.ratio();
+      if (verify) {
+        row.verified = true;
+        row.identical = matches_serial(log_path, config, alpha, metrics);
+        all_identical = all_identical && row.identical;
+      }
+      rows.push_back(row);
+
+      table.add_row({Table::cell(row.objects), Table::cell(row.events),
+                     Table::cell(row.threads_requested),
+                     Table::cell(row.threads_used),
+                     Table::cell(row.events_per_sec, 0),
+                     Table::cell(row.ingest_seconds, 3),
+                     Table::cell(row.finish_seconds, 3),
+                     Table::cell(row.steals),
+                     Table::cell(row.online_cost, 1),
+                     Table::cell(row.ratio, 4),
+                     row.verified ? (row.identical ? "yes" : "NO") : "-"});
+    }
+
+    if (!cli.get_bool("keep-logs")) {
+      std::error_code ec;
+      std::filesystem::remove(log_path, ec);
+    }
+    if (objects >= max_objects) break;
+    objects = std::min(objects * 10, max_objects);
+  }
+
+  std::cout << table.str() << "\n";
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("bench_engine");
+  json.key("git_describe").value(REPL_GIT_DESCRIBE);
+  json.key("smoke").value(smoke);
+  json.key("servers").value(servers);
+  json.key("shards").value(static_cast<std::uint64_t>(shards));
+  json.key("lambda").value(lambda);
+  json.key("alpha").value(alpha);
+  json.key("rows").begin_array();
+  for (const RowResult& row : rows) {
+    json.begin_object();
+    json.key("objects").value(row.objects);
+    json.key("events").value(row.events);
+    json.key("threads").value(row.threads_requested);
+    json.key("threads_used").value(row.threads_used);
+    json.key("events_per_second").value(row.events_per_sec);
+    json.key("ingest_seconds").value(row.ingest_seconds);
+    json.key("finish_seconds").value(row.finish_seconds);
+    json.key("steals").value(row.steals);
+    json.key("online_cost").value(row.online_cost);
+    json.key("ratio").value(row.ratio);
+    json.key("verified").value(row.verified);
+    json.key("identical").value(row.identical);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  const std::string json_path = cli.get_string("json");
+  std::ofstream out(json_path);
+  out << json.str() << "\n";
+  out.flush();
+  if (!out) {
+    std::cerr << "error: failed to write " << json_path << "\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "wrote " << json_path << "\n";
+
+  if (!all_identical) {
+    std::cerr << "FAIL: engine aggregates diverged from the serial "
+                 "per-object Simulator sweep\n";
+    return EXIT_FAILURE;
+  }
+  if (verify) {
+    std::cout << "engine aggregates bit-identical to the serial "
+                 "per-object sweep\n";
+  }
+  return EXIT_SUCCESS;
+}

@@ -2,7 +2,24 @@
 // throughput in requests/second across system sizes and policies, DP
 // solver scaling in trace length and active-server count, and adversary
 // generation speed.
+//
+// Besides the human console table, every run appends nothing and writes a
+// fresh machine-readable BENCH_perf.json (per-benchmark events/sec, wall
+// time, thread count, plus the configure-time git describe) so the bench
+// trajectory can accumulate across commits.
 #include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "util/json.hpp"
+
+#ifndef REPL_GIT_DESCRIBE
+#define REPL_GIT_DESCRIBE "unknown"
+#endif
 
 #include "adversary/lower_bound_adversary.hpp"
 #include "baselines/wang2021.hpp"
@@ -220,4 +237,71 @@ void BM_TraceGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceGeneration)->Arg(10000);
 
+/// ConsoleReporter that additionally collects the per-iteration runs so
+/// main() can dump them as JSON. Only fields stable across the
+/// google-benchmark versions we build against (1.6–1.8) are touched.
+class TrajectoryReporter final : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) {
+      if (run.run_type == Run::RT_Iteration) runs_.push_back(run);
+    }
+    benchmark::ConsoleReporter::ReportRuns(report);
+  }
+
+  const std::vector<Run>& runs() const { return runs_; }
+
+ private:
+  std::vector<Run> runs_;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  TrajectoryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  repl::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("bench_perf");
+  json.key("git_describe").value(REPL_GIT_DESCRIBE);
+  json.key("hardware_threads")
+      .value(static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  json.key("benchmarks").begin_array();
+  for (const auto& run : reporter.runs()) {
+    const double wall = run.real_accumulated_time;
+    const auto items = run.counters.find("items_per_second");
+    json.begin_object();
+    json.key("name").value(run.benchmark_name());
+    json.key("iterations").value(static_cast<std::int64_t>(run.iterations));
+    json.key("threads").value(static_cast<std::int64_t>(run.threads));
+    json.key("wall_seconds").value(wall);
+    json.key("real_seconds_per_iter")
+        .value(run.iterations > 0
+                   ? wall / static_cast<double>(run.iterations)
+                   : wall);
+    json.key("events_per_second")
+        .value(items != run.counters.end()
+                   ? static_cast<double>(items->second)
+                   : 0.0);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  const char* out_path = "BENCH_perf.json";
+  std::ofstream out(out_path);
+  out << json.str() << "\n";
+  out.flush();
+  if (!out) {
+    std::cerr << "bench_perf: failed to write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << out_path << " (" << reporter.runs().size()
+            << " benchmarks)\n";
+  benchmark::Shutdown();
+  return 0;
+}

@@ -13,15 +13,24 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// The canonical event sink: validates the event stream and accumulates
 /// copy segments + transfers.
+///
+/// `billing_horizon` bounds which transfers are billed (time <= horizon).
+/// When the cost horizon is "the final request time" it is unknown while
+/// the run is still streaming, so it starts at +inf (every in-run transfer
+/// happens no later than the final request and is billed either way) and
+/// is pinned to the resolved horizon just before the post-trace flush.
 class Recorder final : public EventSink {
  public:
-  Recorder(const SystemConfig& config, bool record_events, double horizon)
+  Recorder(const SystemConfig& config, bool record_events,
+           double billing_horizon)
       : config_(config),
         record_events_(record_events),
-        horizon_(horizon),
+        billing_horizon_(billing_horizon),
         holding_(static_cast<std::size_t>(config.num_servers), false),
         open_begin_(static_cast<std::size_t>(config.num_servers), 0.0),
         open_special_(static_cast<std::size_t>(config.num_servers), kInf) {}
+
+  void set_billing_horizon(double horizon) { billing_horizon_ = horizon; }
 
   void on_create(int server, double time) override {
     check_time(time);
@@ -60,7 +69,7 @@ class Recorder final : public EventSink {
     ++transfer_count_;
     // Transfers after the cost horizon (e.g. post-trace home migrations
     // during the flush) are recorded but not billed.
-    if (time <= horizon_) ++billed_transfer_count_;
+    if (time <= billing_horizon_) ++billed_transfer_count_;
     if (record_events_) transfers_.push_back(TransferRecord{src, dst, time});
   }
 
@@ -127,7 +136,7 @@ class Recorder final : public EventSink {
 
   const SystemConfig& config_;
   bool record_events_;
-  double horizon_;
+  double billing_horizon_;
   std::vector<bool> holding_;
   std::vector<double> open_begin_;
   std::vector<double> open_special_;
@@ -140,7 +149,154 @@ class Recorder final : public EventSink {
   double initial_intended_ = std::numeric_limits<double>::quiet_NaN();
 };
 
+/// Validates before any member sizes containers from config fields.
+const SystemConfig& validated(const SystemConfig& config) {
+  config.validate();
+  return config;
+}
+
 }  // namespace
+
+struct OnlineSimulation::Impl {
+  Impl(const SystemConfig& cfg, const SimulationOptions& opts,
+       ReplicationPolicy& pol, Predictor& pred)
+      : config(validated(cfg)),
+        options(opts),
+        policy(pol),
+        predictor(pred),
+        recorder(config, options.record_events,
+                 options.horizon < 0.0 ? kInf : options.horizon) {
+    predictor.reset();
+    const Prediction pred0 = predictor.predict(
+        PredictionQuery{-1, config.initial_server, 0.0,
+                        config.transfer_cost});
+    policy.reset(config, pred0, recorder);
+    result.config = config;
+    result.policy_name = policy.name();
+    result.predictor_name = predictor.name();
+    result.initial_prediction = pred0;
+  }
+
+  const SystemConfig& config;
+  SimulationOptions options;
+  ReplicationPolicy& policy;
+  Predictor& predictor;
+  Recorder recorder;
+  SimulationResult result;
+  std::size_t index = 0;
+  double last_request_time = 0.0;
+  bool finished = false;
+};
+
+OnlineSimulation::OnlineSimulation(const SystemConfig& config,
+                                   const SimulationOptions& options,
+                                   ReplicationPolicy& policy,
+                                   Predictor& predictor)
+    : impl_(std::make_unique<Impl>(config, options, policy, predictor)) {}
+
+OnlineSimulation::~OnlineSimulation() = default;
+OnlineSimulation::OnlineSimulation(OnlineSimulation&&) noexcept = default;
+OnlineSimulation& OnlineSimulation::operator=(OnlineSimulation&&) noexcept =
+    default;
+
+void OnlineSimulation::step(int server, double time) {
+  Impl& im = *impl_;
+  REPL_CHECK(!im.finished);
+  REPL_REQUIRE_MSG(server >= 0 && server < im.config.num_servers,
+                   "request server " << server << " out of range");
+  REPL_REQUIRE_MSG(time > 0.0 && time > im.last_request_time,
+                   "request times must be strictly increasing and positive: "
+                       << time << " after " << im.last_request_time);
+  im.last_request_time = time;
+
+  im.policy.advance_to(time, im.recorder);
+  const Prediction pred = im.predictor.predict(PredictionQuery{
+      static_cast<long>(im.index), server, time, im.config.transfer_cost});
+  const std::size_t transfers_before = im.recorder.transfer_count();
+  const ServeAction action =
+      im.policy.on_request(server, time, pred, im.recorder);
+  // Cross-check the action against the event stream.
+  const std::size_t new_transfers =
+      im.recorder.transfer_count() - transfers_before;
+  REPL_CHECK(action.extra_transfers >= 0);
+  REPL_CHECK_MSG(
+      new_transfers ==
+          (action.local ? 0u : 1u) +
+              static_cast<std::size_t>(action.extra_transfers),
+      "serve action inconsistent with emitted transfers");
+  if (action.local) ++im.result.num_local;
+
+  if (im.options.record_events) {
+    ServeRecord record;
+    record.index = im.index;
+    record.server = server;
+    record.time = time;
+    record.local = action.local;
+    record.source = action.source;
+    record.source_special = action.source_special;
+    record.special_since = action.special_since;
+    record.intended_duration = action.intended_duration;
+    record.prediction = pred;
+    im.result.serves.push_back(record);
+  }
+  ++im.index;
+}
+
+void OnlineSimulation::reserve(std::size_t num_requests) {
+  if (impl_->options.record_events) impl_->result.serves.reserve(num_requests);
+}
+
+std::size_t OnlineSimulation::steps() const { return impl_->index; }
+
+double OnlineSimulation::last_time() const {
+  return impl_->last_request_time;
+}
+
+SimulationResult OnlineSimulation::finish() {
+  Impl& im = *impl_;
+  REPL_CHECK_MSG(!im.finished, "OnlineSimulation::finish() called twice");
+  im.finished = true;
+
+  const double lambda = im.config.transfer_cost;
+  const double horizon =
+      im.options.horizon < 0.0 ? im.last_request_time : im.options.horizon;
+  im.recorder.set_billing_horizon(horizon);
+
+  // Flush pending expiries past the horizon so the post-trace segments
+  // (needed by the Proposition-2 allocation analysis) are materialized.
+  // The flush window is bounded because some policies (e.g. Wang et al.'s
+  // home renewal) re-arm expiries forever; two maximum TTLs past the end
+  // is enough to expose every copy's fate under all implemented policies.
+  double min_rate = 1.0;
+  for (int s = 0; s < im.config.num_servers; ++s) {
+    min_rate = std::min(min_rate, im.config.storage_rate(s));
+  }
+  const double flush_time = std::max(horizon, im.last_request_time) +
+                            4.0 * lambda / min_rate + 1.0;
+  im.policy.advance_to(flush_time, im.recorder);
+  REPL_CHECK_MSG(im.policy.copy_count() == im.recorder.count(),
+                 "policy copy count disagrees with event stream");
+  REPL_CHECK(im.recorder.count() >= 1);
+
+  im.recorder.finish();
+  im.result.horizon = horizon;
+  im.result.storage_cost = im.recorder.storage_cost(horizon);
+  im.result.num_transfers = im.recorder.billed_transfer_count();
+  im.result.transfer_cost =
+      lambda * static_cast<double>(im.result.num_transfers);
+  im.result.initial_intended_duration = im.recorder.initial_intended();
+
+  if (im.options.record_events) {
+    im.result.segments = std::move(im.recorder.segments());
+    std::sort(im.result.segments.begin(), im.result.segments.end(),
+              [](const CopySegment& a, const CopySegment& b) {
+                if (a.begin != b.begin) return a.begin < b.begin;
+                return a.server < b.server;
+              });
+    im.result.transfers = std::move(im.recorder.transfers());
+  }
+  return std::move(im.result);
+}
 
 Simulator::Simulator(SystemConfig config, SimulationOptions options)
     : config_(std::move(config)), options_(options) {
@@ -153,91 +309,10 @@ SimulationResult Simulator::run(ReplicationPolicy& policy, const Trace& trace,
                    "trace has " << trace.num_servers()
                                 << " servers, config expects "
                                 << config_.num_servers);
-  const double lambda = config_.transfer_cost;
-  const double horizon =
-      options_.horizon < 0.0 ? trace.duration() : options_.horizon;
-
-  Recorder recorder(config_, options_.record_events, horizon);
-  predictor.reset();
-
-  const Prediction pred0 = predictor.predict(
-      PredictionQuery{-1, config_.initial_server, 0.0, lambda});
-  policy.reset(config_, pred0, recorder);
-
-  SimulationResult result;
-  result.config = config_;
-  result.horizon = horizon;
-  result.policy_name = policy.name();
-  result.predictor_name = predictor.name();
-  result.initial_prediction = pred0;
-  if (options_.record_events) result.serves.reserve(trace.size());
-
-  for (std::size_t i = 0; i < trace.size(); ++i) {
-    const Request& r = trace[i];
-    policy.advance_to(r.time, recorder);
-    const Prediction pred = predictor.predict(PredictionQuery{
-        static_cast<long>(i), r.server, r.time, lambda});
-    const std::size_t transfers_before = recorder.transfer_count();
-    const ServeAction action = policy.on_request(r.server, r.time, pred,
-                                                 recorder);
-    // Cross-check the action against the event stream.
-    const std::size_t new_transfers =
-        recorder.transfer_count() - transfers_before;
-    REPL_CHECK(action.extra_transfers >= 0);
-    REPL_CHECK_MSG(
-        new_transfers ==
-            (action.local ? 0u : 1u) +
-                static_cast<std::size_t>(action.extra_transfers),
-        "serve action inconsistent with emitted transfers");
-    if (action.local) ++result.num_local;
-
-    if (options_.record_events) {
-      ServeRecord record;
-      record.index = i;
-      record.server = r.server;
-      record.time = r.time;
-      record.local = action.local;
-      record.source = action.source;
-      record.source_special = action.source_special;
-      record.special_since = action.special_since;
-      record.intended_duration = action.intended_duration;
-      record.prediction = pred;
-      result.serves.push_back(record);
-    }
-  }
-
-  // Flush pending expiries past the horizon so the post-trace segments
-  // (needed by the Proposition-2 allocation analysis) are materialized.
-  // The flush window is bounded because some policies (e.g. Wang et al.'s
-  // home renewal) re-arm expiries forever; two maximum TTLs past the end
-  // is enough to expose every copy's fate under all implemented policies.
-  double min_rate = 1.0;
-  for (int s = 0; s < config_.num_servers; ++s) {
-    min_rate = std::min(min_rate, config_.storage_rate(s));
-  }
-  const double flush_time = std::max(horizon, trace.duration()) +
-                            4.0 * lambda / min_rate + 1.0;
-  policy.advance_to(flush_time, recorder);
-  REPL_CHECK_MSG(policy.copy_count() == recorder.count(),
-                 "policy copy count disagrees with event stream");
-  REPL_CHECK(recorder.count() >= 1);
-
-  recorder.finish();
-  result.storage_cost = recorder.storage_cost(horizon);
-  result.num_transfers = recorder.billed_transfer_count();
-  result.transfer_cost = lambda * static_cast<double>(result.num_transfers);
-  result.initial_intended_duration = recorder.initial_intended();
-
-  if (options_.record_events) {
-    result.segments = std::move(recorder.segments());
-    std::sort(result.segments.begin(), result.segments.end(),
-              [](const CopySegment& a, const CopySegment& b) {
-                if (a.begin != b.begin) return a.begin < b.begin;
-                return a.server < b.server;
-              });
-    result.transfers = std::move(recorder.transfers());
-  }
-  return result;
+  OnlineSimulation sim(config_, options_, policy, predictor);
+  sim.reserve(trace.size());
+  for (const Request& r : trace.requests()) sim.step(r.server, r.time);
+  return sim.finish();
 }
 
 SimulationResult simulate(const SystemConfig& config,

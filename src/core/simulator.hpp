@@ -12,6 +12,7 @@
 #pragma once
 
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -85,6 +86,46 @@ struct SimulationOptions {
   /// Keep per-event logs (serves/segments/transfers). Benches on long
   /// traces may disable to save memory; analysis requires them.
   bool record_events = true;
+};
+
+/// Incremental form of the simulator: requests are fed one at a time via
+/// step(), so a driver does not need the whole trace up front (the
+/// streaming engine serves millions of interleaved objects this way).
+/// Simulator::run() is a thin loop over this class, which makes the two
+/// paths bit-identical by construction.
+///
+/// Lifetime: the config, policy, and predictor must outlive the
+/// OnlineSimulation; reset() is called on both components here.
+/// step() times must be strictly increasing and strictly positive (the
+/// Trace invariants). finish() may be called once; it resolves a negative
+/// `options.horizon` to the last step() time, flushes pending expiries,
+/// and returns the completed result.
+class OnlineSimulation {
+ public:
+  OnlineSimulation(const SystemConfig& config,
+                   const SimulationOptions& options,
+                   ReplicationPolicy& policy, Predictor& predictor);
+  ~OnlineSimulation();
+  OnlineSimulation(OnlineSimulation&&) noexcept;
+  OnlineSimulation& operator=(OnlineSimulation&&) noexcept;
+
+  /// Serves the next request, arriving at `server` at `time`.
+  void step(int server, double time);
+
+  /// Pre-sizes the serve log when the request count is known up front.
+  void reserve(std::size_t num_requests);
+
+  /// Requests served so far.
+  std::size_t steps() const;
+
+  /// Time of the last step; 0 before the first.
+  double last_time() const;
+
+  SimulationResult finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 class Simulator {

@@ -1,0 +1,323 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <limits>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "offline/opt_lower_bound.hpp"
+#include "run/parallel_runner.hpp"
+#include "run/thread_pool.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace repl {
+
+namespace {
+
+/// Shard assignment: a SplitMix64 mix of the id, so dense and strided id
+/// spaces both spread evenly. Pure function of the id — shard layout
+/// never affects results, only load balance.
+std::size_t shard_index(std::uint64_t object_id, std::size_t num_shards) {
+  return static_cast<std::size_t>(SplitMix64(object_id).next() %
+                                  static_cast<std::uint64_t>(num_shards));
+}
+
+struct ObjectState {
+  ObjectState(const SystemConfig& config, const SimulationOptions& sim,
+              PolicyPtr pol, PredictorPtr pred, bool with_lower_bound)
+      : policy(std::move(pol)),
+        predictor(std::move(pred)),
+        simulation(config, sim, *policy, *predictor) {
+    if (with_lower_bound) lower_bound.emplace(config);
+  }
+
+  PolicyPtr policy;
+  PredictorPtr predictor;
+  OnlineSimulation simulation;
+  std::optional<StreamingLowerBound> lower_bound;
+  std::size_t events = 0;
+};
+
+/// One finalized object's contribution, carried to the global reduction.
+struct ObjectFinal {
+  std::uint64_t id = 0;
+  std::size_t events = 0;
+  std::size_t num_local = 0;
+  std::size_t num_transfers = 0;
+  double online_cost = 0.0;
+  double lower_bound = 0.0;
+};
+
+}  // namespace
+
+struct StreamingEngine::Shard {
+  std::unordered_map<std::uint64_t, std::unique_ptr<ObjectState>> objects;
+  /// Events routed to this shard for the batch in flight, in stream order.
+  std::vector<LogEvent> inbox;
+  /// Set by the shard task on failure; the lowest shard index wins.
+  std::exception_ptr error;
+  /// Filled by finish(), sorted by object id.
+  std::vector<ObjectFinal> finals;
+  EngineShardMetrics metrics;
+};
+
+StreamingEngine::StreamingEngine(SystemConfig config, EngineOptions options,
+                                 EnginePolicyFactory make_policy,
+                                 EnginePredictorFactory make_predictor)
+    : config_(std::move(config)),
+      options_(options),
+      make_policy_(std::move(make_policy)),
+      make_predictor_(std::move(make_predictor)) {
+  config_.validate();
+  REPL_REQUIRE(options_.num_shards >= 1);
+  REPL_REQUIRE(options_.num_threads >= 0);
+  REPL_REQUIRE(make_policy_ != nullptr);
+  REPL_REQUIRE(make_predictor_ != nullptr);
+  if (options_.compute_lower_bound) {
+    // Fail here, not inside the first shard task (which would poison
+    // the engine for a statically-checkable precondition).
+    for (double r : config_.storage_rates) {
+      REPL_REQUIRE_MSG(r == 1.0,
+                       "compute_lower_bound requires uniform unit storage "
+                       "rates (OPTL is derived for them)");
+    }
+  }
+  shards_.reserve(options_.num_shards);
+  for (std::size_t i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+StreamingEngine::~StreamingEngine() = default;
+
+StreamingEngine::Shard& StreamingEngine::shard_for(std::uint64_t object_id) {
+  return *shards_[shard_index(object_id, options_.num_shards)];
+}
+
+void StreamingEngine::run_shard_tasks(
+    const std::vector<std::size_t>& shard_ids,
+    const std::function<void(Shard&)>& work) {
+  const auto guarded = [&](Shard& shard) {
+    try {
+      work(shard);
+    } catch (...) {
+      shard.error = std::current_exception();
+    }
+  };
+
+  if (options_.num_threads == 1 || shard_ids.size() <= 1) {
+    for (std::size_t id : shard_ids) guarded(*shards_[id]);
+  } else {
+    if (!pool_) {
+      pool_ = std::make_unique<ThreadPool>(
+          options_.num_threads == 0
+              ? 0
+              : static_cast<std::size_t>(options_.num_threads));
+      stats_.threads_used = static_cast<int>(pool_->num_threads());
+    }
+    const std::uint64_t steals_before = pool_->steal_count();
+    for (std::size_t id : shard_ids) {
+      Shard* shard = shards_[id].get();
+      pool_->submit([&guarded, shard] { guarded(*shard); });
+    }
+    pool_->wait_idle();
+    stats_.steals += pool_->steal_count() - steals_before;
+  }
+
+  // Deterministic error propagation: the lowest shard index wins. A
+  // shard that failed mid-inbox has partially advanced object state, so
+  // the engine as a whole is poisoned — later calls fail fast instead of
+  // silently dropping the stuck inbox.
+  for (const auto& shard : shards_) {
+    if (shard->error) {
+      failed_ = true;
+      std::rethrow_exception(shard->error);
+    }
+  }
+}
+
+void StreamingEngine::ingest(const LogEvent* events, std::size_t count) {
+  REPL_CHECK_MSG(!finished_, "ingest after finish()");
+  REPL_CHECK_MSG(!failed_, "engine unusable after a prior failure");
+  if (count == 0) return;
+  const auto started = std::chrono::steady_clock::now();
+
+  // Validate the whole batch before touching any engine state, so a
+  // rejected batch leaves the engine clean and the caller may retry
+  // with corrected input. Everything checkable without per-object state
+  // is checked here; only per-object time strictness remains for
+  // OnlineSimulation::step (a violation there poisons the engine).
+  double prev = any_event_ ? last_batch_time_
+                           : -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < count; ++i) {
+    REPL_REQUIRE_MSG(events[i].time > 0.0,
+                     "event times must be strictly positive: "
+                         << events[i].time);
+    REPL_REQUIRE_MSG(events[i].time >= prev,
+                     "event stream out of order: " << events[i].time
+                                                   << " after " << prev);
+    REPL_REQUIRE_MSG(
+        events[i].server < static_cast<std::uint32_t>(config_.num_servers),
+        "event server " << events[i].server << " out of range [0, "
+                        << config_.num_servers << ")");
+    prev = events[i].time;
+  }
+
+  // Route to shard inboxes in stream order.
+  std::vector<std::size_t> active;
+  for (std::size_t i = 0; i < count; ++i) {
+    const LogEvent& event = events[i];
+    Shard& shard = shard_for(event.object);
+    if (shard.inbox.empty()) {
+      active.push_back(shard_index(event.object, options_.num_shards));
+    }
+    shard.inbox.push_back(event);
+  }
+  last_batch_time_ = prev;
+  any_event_ = true;
+
+  SimulationOptions sim_options;
+  sim_options.horizon = options_.horizon;
+  sim_options.record_events = false;
+
+  run_shard_tasks(active, [&](Shard& shard) {
+    for (const LogEvent& event : shard.inbox) {
+      std::unique_ptr<ObjectState>& slot = shard.objects[event.object];
+      if (!slot) {
+        EngineObjectContext context;
+        context.object_id = event.object;
+        context.seed = ParallelRunner::object_seed(
+            options_.base_seed, static_cast<std::size_t>(event.object));
+        slot = std::make_unique<ObjectState>(
+            config_, sim_options, make_policy_(context),
+            make_predictor_(context), options_.compute_lower_bound);
+      }
+      slot->simulation.step(static_cast<int>(event.server), event.time);
+      if (slot->lower_bound) {
+        slot->lower_bound->step(static_cast<int>(event.server), event.time);
+      }
+      ++slot->events;
+    }
+    shard.inbox.clear();
+  });
+
+  ++stats_.batches;
+  stats_.events_ingested += count;
+  stats_.ingest_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+}
+
+EngineMetrics StreamingEngine::finish() {
+  REPL_CHECK_MSG(!finished_, "finish() called twice");
+  REPL_CHECK_MSG(!failed_, "engine unusable after a prior failure");
+  finished_ = true;
+  const auto started = std::chrono::steady_clock::now();
+
+  std::vector<std::size_t> all_shards(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) all_shards[i] = i;
+
+  run_shard_tasks(all_shards, [](Shard& shard) {
+    shard.finals.reserve(shard.objects.size());
+    for (auto& [id, state] : shard.objects) {
+      const SimulationResult result = state->simulation.finish();
+      ObjectFinal final;
+      final.id = id;
+      final.events = state->events;
+      final.num_local = result.num_local;
+      final.num_transfers = result.num_transfers;
+      final.online_cost = result.total_cost();
+      final.lower_bound =
+          state->lower_bound ? state->lower_bound->value() : 0.0;
+      shard.finals.push_back(final);
+      state.reset();  // release simulation state as we go
+    }
+    shard.objects.clear();
+    std::sort(shard.finals.begin(), shard.finals.end(),
+              [](const ObjectFinal& a, const ObjectFinal& b) {
+                return a.id < b.id;
+              });
+    // Shard-local reduction in ascending object id.
+    for (const ObjectFinal& final : shard.finals) {
+      ++shard.metrics.objects;
+      shard.metrics.events += final.events;
+      shard.metrics.num_local += final.num_local;
+      shard.metrics.num_transfers += final.num_transfers;
+      shard.metrics.online_cost += final.online_cost;
+      shard.metrics.lower_bound += final.lower_bound;
+    }
+  });
+
+  // Global reduction: id-sorted across every shard, on the calling
+  // thread — the exact order of a serial per-object sweep, which is what
+  // makes the totals bit-identical for any shard/thread configuration.
+  std::vector<ObjectFinal> all;
+  std::size_t total_objects = 0;
+  for (const auto& shard : shards_) total_objects += shard->finals.size();
+  all.reserve(total_objects);
+  for (auto& shard : shards_) {
+    all.insert(all.end(), shard->finals.begin(), shard->finals.end());
+    shard->finals.clear();
+    shard->finals.shrink_to_fit();
+  }
+  std::sort(all.begin(), all.end(),
+            [](const ObjectFinal& a, const ObjectFinal& b) {
+              return a.id < b.id;
+            });
+
+  EngineMetrics metrics;
+  for (const ObjectFinal& final : all) {
+    ++metrics.objects;
+    metrics.events += final.events;
+    metrics.num_local += final.num_local;
+    metrics.num_transfers += final.num_transfers;
+    metrics.online_cost += final.online_cost;
+    metrics.lower_bound += final.lower_bound;
+  }
+  metrics.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) metrics.shards.push_back(shard->metrics);
+
+  stats_.finish_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started)
+          .count();
+  return metrics;
+}
+
+EngineMetrics StreamingEngine::serve(EventLogReader& reader,
+                                     std::size_t batch_events) {
+  REPL_REQUIRE(batch_events >= 1);
+  REPL_REQUIRE_MSG(reader.num_servers() == config_.num_servers,
+                   "log has " << reader.num_servers()
+                              << " servers, config expects "
+                              << config_.num_servers);
+  std::vector<LogEvent> batch;
+  while (reader.read_batch(batch, batch_events) > 0) ingest(batch);
+  return finish();
+}
+
+std::size_t StreamingEngine::object_count() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->objects.size();
+  return total;
+}
+
+EngineMetrics serve_event_log(const std::string& log_path,
+                              const SystemConfig& config,
+                              const EngineOptions& options,
+                              const EnginePolicyFactory& make_policy,
+                              const EnginePredictorFactory& make_predictor,
+                              EngineStats* stats) {
+  EventLogReader reader(log_path);
+  StreamingEngine engine(config, options, make_policy, make_predictor);
+  EngineMetrics metrics = engine.serve(reader);
+  if (stats != nullptr) *stats = engine.stats();
+  return metrics;
+}
+
+}  // namespace repl

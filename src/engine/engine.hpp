@@ -1,0 +1,194 @@
+// Streaming serving engine: online replication over an interleaved
+// multi-object event stream.
+//
+// Where ParallelRunner consumes a fully materialized per-object workload,
+// the engine ingests one globally time-ordered stream of (time, object,
+// server) events — from an EventLogReader or any in-memory batch source —
+// and serves each event online through a lazily instantiated per-object
+// OnlineSimulation. Millions of objects fit without pre-splitting the
+// stream into traces.
+//
+// Architecture:
+//   * a sharded object table: object state lives in one of `num_shards`
+//     hash maps, shard = mix(object_id) mod num_shards;
+//   * an event batcher: ingest() routes a time-ordered batch to per-shard
+//     inboxes and executes the non-empty shards in parallel on the
+//     work-stealing ThreadPool. Within a shard events stay in stream
+//     order, so per-object order is preserved; across shards objects are
+//     independent (the paper's footnote 1 — the same argument that makes
+//     ParallelRunner correct);
+//   * a metrics reducer: finish() finalizes every object, reduces each
+//     shard in ascending object id, then reduces globally in ascending
+//     object id across shards.
+//
+// Determinism contract (same as run/parallel_runner.hpp): the global
+// aggregates are bit-identical to running each object's subsequence
+// through Simulator serially in object-id order, for every shard count
+// and thread count. Shard tasks only touch their own shard; the global
+// floating-point reduction happens on the calling thread over the
+// id-sorted per-object results; per-object randomness derives from
+// ParallelRunner::object_seed(base_seed, object_id).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "core/simulator.hpp"
+#include "predictor/predictor.hpp"
+#include "trace/event_log.hpp"
+
+namespace repl {
+
+class ThreadPool;
+
+/// Everything the factories get to build one object's components. There
+/// is no trace — the engine is online — so predictors must be causal
+/// (last-gap, EWMA history, fixed, ...), not trace-peeking ones.
+struct EngineObjectContext {
+  std::uint64_t object_id = 0;
+  /// Deterministic per-object seed: a pure function of
+  /// (EngineOptions::base_seed, object_id), independent of shard and
+  /// thread counts.
+  std::uint64_t seed = 0;
+};
+
+/// Invoked concurrently from shard tasks — must be thread-safe (draw
+/// randomness only from the context's seed).
+using EnginePolicyFactory = std::function<PolicyPtr(const EngineObjectContext&)>;
+using EnginePredictorFactory =
+    std::function<PredictorPtr(const EngineObjectContext&)>;
+
+struct EngineOptions {
+  /// Shards of the object table; also the parallelism grain. More shards
+  /// than threads keeps the pool busy when object popularity is skewed.
+  std::size_t num_shards = 64;
+  /// 0 => all hardware threads; 1 => run shards inline on the calling
+  /// thread (the serial reference path — no pool is created).
+  int num_threads = 0;
+  /// Per-object cost horizon, as SimulationOptions::horizon: negative
+  /// means "that object's final request time".
+  double horizon = -1.0;
+  /// Also accumulate the streaming OPTL lower bound per object, enabling
+  /// the ratio aggregate. Requires uniform unit storage rates.
+  bool compute_lower_bound = true;
+  /// Root of the per-object seed streams.
+  std::uint64_t base_seed = 0x5eed5eed5eed5eedULL;
+};
+
+/// Per-shard aggregate, reduced in ascending object id within the shard.
+struct EngineShardMetrics {
+  std::size_t objects = 0;
+  std::size_t events = 0;
+  std::size_t num_local = 0;
+  std::size_t num_transfers = 0;
+  double online_cost = 0.0;
+  double lower_bound = 0.0;
+};
+
+/// Global aggregate, reduced in ascending object id across all shards —
+/// the order a serial per-object Simulator sweep would use.
+struct EngineMetrics {
+  std::size_t objects = 0;
+  std::size_t events = 0;
+  std::size_t num_local = 0;
+  std::size_t num_transfers = 0;
+  double online_cost = 0.0;
+  /// Sum of per-object OPTL bounds; 0 when compute_lower_bound is off.
+  double lower_bound = 0.0;
+  /// online / OPTL — an upper bound on the empirical competitive ratio.
+  double ratio() const {
+    return lower_bound > 0.0 ? online_cost / lower_bound : 1.0;
+  }
+
+  std::vector<EngineShardMetrics> shards;
+};
+
+/// Diagnostics accumulated across ingest()/finish().
+struct EngineStats {
+  int threads_used = 1;
+  std::size_t batches = 0;
+  std::uint64_t events_ingested = 0;
+  std::uint64_t steals = 0;
+  double ingest_seconds = 0.0;
+  double finish_seconds = 0.0;
+};
+
+class StreamingEngine {
+ public:
+  StreamingEngine(SystemConfig config, EngineOptions options,
+                  EnginePolicyFactory make_policy,
+                  EnginePredictorFactory make_predictor);
+  ~StreamingEngine();
+
+  StreamingEngine(const StreamingEngine&) = delete;
+  StreamingEngine& operator=(const StreamingEngine&) = delete;
+
+  /// Serves one time-ordered batch of events. Batches must be mutually
+  /// ordered too (the stream's global time order spans calls). Bad
+  /// input that needs no per-object state to detect — out-of-order or
+  /// non-positive times, servers outside the config — is rejected
+  /// up front, before any engine state changes, so the caller may
+  /// retry with corrected input. A failure *inside* shard execution
+  /// (a per-object time tie, a policy invariant violation) has already
+  /// advanced some object state: it poisons the engine and every later
+  /// call fails fast. Lowest shard index wins when several shards fail.
+  void ingest(const LogEvent* events, std::size_t count);
+  void ingest(const std::vector<LogEvent>& events) {
+    ingest(events.data(), events.size());
+  }
+
+  /// Drains `reader` through ingest() in `batch_events`-sized batches and
+  /// returns finish(). The whole log never resides in memory.
+  EngineMetrics serve(EventLogReader& reader,
+                      std::size_t batch_events = 1 << 16);
+
+  /// Finalizes every object (post-stream expiry flush, per-object cost
+  /// extraction) and reduces the aggregates. No ingest() may follow.
+  EngineMetrics finish();
+
+  /// Objects instantiated so far.
+  std::size_t object_count() const;
+
+  const EngineStats& stats() const { return stats_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  struct Shard;
+
+  Shard& shard_for(std::uint64_t object_id);
+  void run_shard_tasks(const std::vector<std::size_t>& shard_ids,
+                       const std::function<void(Shard&)>& work);
+
+  SystemConfig config_;
+  EngineOptions options_;
+  EnginePolicyFactory make_policy_;
+  EnginePredictorFactory make_predictor_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Lazily created on the first multi-threaded batch; reused across
+  /// batches so ingestion does not pay spawn/join churn.
+  std::unique_ptr<ThreadPool> pool_;
+  EngineStats stats_;
+  double last_batch_time_ = 0.0;
+  bool any_event_ = false;
+  bool finished_ = false;
+  /// Set when a shard task failed (object state partially advanced);
+  /// every later ingest()/finish() fails fast. A batch rejected by the
+  /// pre-routing validation does NOT poison the engine — no state was
+  /// touched, so the caller may retry with corrected input.
+  bool failed_ = false;
+};
+
+/// One-shot convenience: serves the log at `log_path` and returns the
+/// aggregates (stats optionally copied out).
+EngineMetrics serve_event_log(const std::string& log_path,
+                              const SystemConfig& config,
+                              const EngineOptions& options,
+                              const EnginePolicyFactory& make_policy,
+                              const EnginePredictorFactory& make_predictor,
+                              EngineStats* stats = nullptr);
+
+}  // namespace repl

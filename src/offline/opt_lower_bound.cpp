@@ -1,6 +1,7 @@
 #include "offline/opt_lower_bound.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "util/check.hpp"
 
@@ -25,6 +26,40 @@ double opt_lower_bound(const SystemConfig& config, const Trace& trace) {
     prev_global = trace[i].time;
   }
   return bound;
+}
+
+namespace {
+
+/// Validates before the initializer list sizes the per-server vector
+/// from config.num_servers.
+const SystemConfig& validated(const SystemConfig& config) {
+  config.validate();
+  return config;
+}
+
+}  // namespace
+
+StreamingLowerBound::StreamingLowerBound(const SystemConfig& config)
+    : lambda_(validated(config).transfer_cost),
+      last_at_server_(static_cast<std::size_t>(config.num_servers),
+                      -std::numeric_limits<double>::infinity()) {
+  for (double r : config.storage_rates) {
+    REPL_REQUIRE_MSG(r == 1.0,
+                     "OPTL is derived for uniform unit storage rates");
+  }
+  last_at_server_[static_cast<std::size_t>(config.initial_server)] = 0.0;
+}
+
+void StreamingLowerBound::step(int server, double time) {
+  REPL_REQUIRE(server >= 0 &&
+               static_cast<std::size_t>(server) < last_at_server_.size());
+  const auto s = static_cast<std::size_t>(server);
+  const double gap_same = time - last_at_server_[s];
+  bound_ += (gap_same > lambda_) ? lambda_ : gap_same;
+  const double gap_global = time - prev_global_;
+  if (gap_global > lambda_) bound_ += gap_global - lambda_;
+  prev_global_ = time;
+  last_at_server_[s] = time;
 }
 
 }  // namespace repl

@@ -16,11 +16,36 @@
 // does not already count. Valid for uniform storage rates (rate 1).
 #pragma once
 
+#include <vector>
+
 #include "core/types.hpp"
 #include "trace/trace.hpp"
 
 namespace repl {
 
 double opt_lower_bound(const SystemConfig& config, const Trace& trace);
+
+/// Incremental OPTL: feed requests in time order and read the bound at
+/// any point. The accumulation order mirrors opt_lower_bound() exactly,
+/// so after the same request sequence value() is bit-identical to the
+/// batch function on the materialized trace — the streaming engine uses
+/// this for cost/OPTL ratio aggregates without holding traces.
+class StreamingLowerBound {
+ public:
+  explicit StreamingLowerBound(const SystemConfig& config);
+
+  void step(int server, double time);
+
+  double value() const { return bound_; }
+
+ private:
+  double lambda_;
+  /// Last request time per server; the dummy r0 at time 0 seeds the
+  /// initial server, -inf elsewhere (so a first request contributes λ
+  /// via an infinite same-server gap).
+  std::vector<double> last_at_server_;
+  double prev_global_ = 0.0;
+  double bound_ = 0.0;
+};
 
 }  // namespace repl

@@ -1,0 +1,298 @@
+#include "trace/event_log.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+
+namespace repl {
+
+namespace {
+
+constexpr std::size_t kBufferBytes = std::size_t{1} << 20;
+
+void store_le32(unsigned char* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+void store_le64(unsigned char* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+std::uint32_t load_le32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+std::uint64_t load_le64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+void encode_record(unsigned char* p, const LogEvent& e) {
+  store_le64(p, std::bit_cast<std::uint64_t>(e.time));
+  store_le64(p + 8, e.object);
+  store_le32(p + 16, e.server);
+}
+
+LogEvent decode_record(const unsigned char* p) {
+  LogEvent e;
+  e.time = std::bit_cast<double>(load_le64(p));
+  e.object = load_le64(p + 8);
+  e.server = load_le32(p + 16);
+  return e;
+}
+
+[[noreturn]] void io_fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("event log " + path + ": " + what);
+}
+
+}  // namespace
+
+EventLogWriter::EventLogWriter(const std::string& path, int num_servers,
+                               std::uint64_t num_objects)
+    : out_(path, std::ios::binary | std::ios::trunc), path_(path) {
+  REPL_REQUIRE(num_servers >= 1);
+  if (!out_) io_fail(path_, "cannot open for writing");
+  num_servers_ = static_cast<std::uint32_t>(num_servers);
+  num_objects_ = num_objects;
+  buffer_.reserve(kBufferBytes);
+
+  unsigned char header[EventLogHeader::kSize];
+  store_le64(header, EventLogHeader::kMagic);
+  store_le32(header + 8, EventLogHeader::kVersion);
+  store_le32(header + 12, num_servers_);
+  store_le64(header + 16, num_objects_);
+  store_le64(header + 24, EventLogHeader::kUnknownCount);
+  out_.write(reinterpret_cast<const char*>(header), EventLogHeader::kSize);
+  if (!out_) io_fail(path_, "header write failed");
+  open_ = true;
+}
+
+EventLogWriter::~EventLogWriter() {
+  try {
+    if (open_) close();
+  } catch (...) {
+    // Destructors must not throw; call close() explicitly to observe
+    // failures.
+  }
+}
+
+void EventLogWriter::write(const LogEvent& event) {
+  REPL_CHECK_MSG(open_, "write after close");
+  REPL_REQUIRE_MSG(event.server < num_servers_,
+                   "event server " << event.server << " out of range [0, "
+                                   << num_servers_ << ")");
+  REPL_REQUIRE_MSG(num_objects_ == 0 || event.object < num_objects_,
+                   "event object " << event.object << " out of range [0, "
+                                   << num_objects_ << ")");
+  REPL_REQUIRE_MSG(event.time >= last_time_,
+                   "event times must be non-decreasing: "
+                       << event.time << " after " << last_time_);
+  last_time_ = event.time;
+  if (event.object > max_object_) max_object_ = event.object;
+
+  const std::size_t pos = buffer_.size();
+  buffer_.resize(pos + EventLogHeader::kRecordSize);
+  encode_record(buffer_.data() + pos, event);
+  ++count_;
+  if (buffer_.size() >= kBufferBytes) flush_buffer();
+}
+
+void EventLogWriter::flush_buffer() {
+  if (buffer_.empty()) return;
+  out_.write(reinterpret_cast<const char*>(buffer_.data()),
+             static_cast<std::streamsize>(buffer_.size()));
+  if (!out_) io_fail(path_, "record write failed");
+  buffer_.clear();
+}
+
+void EventLogWriter::close() {
+  REPL_CHECK_MSG(open_, "close() called twice");
+  open_ = false;
+  flush_buffer();
+  if (num_objects_ == 0 && count_ > 0) num_objects_ = max_object_ + 1;
+  unsigned char patch[16];
+  store_le64(patch, num_objects_);
+  store_le64(patch + 8, count_);
+  out_.seekp(16);
+  out_.write(reinterpret_cast<const char*>(patch), sizeof(patch));
+  out_.flush();
+  if (!out_) io_fail(path_, "header patch failed");
+  out_.close();
+  if (out_.fail()) io_fail(path_, "close failed");
+}
+
+EventLogReader::EventLogReader(const std::string& path)
+    : in_(path, std::ios::binary), path_(path) {
+  if (!in_) io_fail(path_, "cannot open for reading");
+  unsigned char header[EventLogHeader::kSize];
+  in_.read(reinterpret_cast<char*>(header), EventLogHeader::kSize);
+  if (in_.gcount() != static_cast<std::streamsize>(EventLogHeader::kSize)) {
+    io_fail(path_, "truncated header");
+  }
+  if (load_le64(header) != EventLogHeader::kMagic) {
+    io_fail(path_, "bad magic (not an event log)");
+  }
+  header_.version = load_le32(header + 8);
+  if (header_.version != EventLogHeader::kVersion) {
+    io_fail(path_, "unsupported version " + std::to_string(header_.version));
+  }
+  header_.num_servers = load_le32(header + 12);
+  if (header_.num_servers == 0) io_fail(path_, "zero num_servers");
+  header_.num_objects = load_le64(header + 16);
+  header_.num_events = load_le64(header + 24);
+  buffer_.resize(kBufferBytes);
+}
+
+void EventLogReader::refill() {
+  // Preserve a partial trailing record for the next chunk.
+  const std::size_t leftover = buffer_len_ - buffer_pos_;
+  if (leftover > 0) {
+    std::memmove(buffer_.data(), buffer_.data() + buffer_pos_, leftover);
+  }
+  buffer_pos_ = 0;
+  buffer_len_ = leftover;
+  in_.read(reinterpret_cast<char*>(buffer_.data() + leftover),
+           static_cast<std::streamsize>(buffer_.size() - leftover));
+  buffer_len_ += static_cast<std::size_t>(in_.gcount());
+  if (in_.bad()) io_fail(path_, "read failed");
+  if (buffer_len_ == leftover) {
+    eof_ = true;
+    if (leftover > 0) io_fail(path_, "truncated record at end of log");
+  }
+}
+
+bool EventLogReader::next(LogEvent& event) {
+  if (header_.num_events != EventLogHeader::kUnknownCount &&
+      delivered_ == header_.num_events) {
+    return false;
+  }
+  if (buffer_len_ - buffer_pos_ < EventLogHeader::kRecordSize) {
+    if (!eof_) refill();
+    if (buffer_len_ - buffer_pos_ < EventLogHeader::kRecordSize) {
+      if (header_.num_events != EventLogHeader::kUnknownCount) {
+        io_fail(path_, "truncated: " + std::to_string(delivered_) +
+                           " events read, header promises " +
+                           std::to_string(header_.num_events));
+      }
+      return false;  // unknown count: clean EOF ends the log
+    }
+  }
+  event = decode_record(buffer_.data() + buffer_pos_);
+  buffer_pos_ += EventLogHeader::kRecordSize;
+  ++delivered_;
+  return true;
+}
+
+std::size_t EventLogReader::read_batch(std::vector<LogEvent>& out,
+                                       std::size_t max_events) {
+  out.clear();
+  out.reserve(max_events);
+  LogEvent event;
+  while (out.size() < max_events && next(event)) out.push_back(event);
+  return out.size();
+}
+
+std::uint64_t event_log_to_csv(const std::string& log_path,
+                               const std::string& csv_path) {
+  EventLogReader reader(log_path);
+  std::ofstream csv(csv_path, std::ios::trunc);
+  if (!csv) throw std::runtime_error("cannot open for writing: " + csv_path);
+  csv << "time,object,server\n";
+  LogEvent event;
+  while (reader.next(event)) {
+    csv << format_double(event.time) << ',' << event.object << ','
+        << event.server << '\n';
+    if (!csv) throw std::runtime_error("write failed: " + csv_path);
+  }
+  csv.flush();
+  if (!csv) throw std::runtime_error("write failed: " + csv_path);
+  return reader.events_read();
+}
+
+namespace {
+
+/// Parses one "time,object,server" row via the shared numeric-CSV
+/// helpers; returns false for the header (honored until the first data
+/// row — `allow_header` is cleared here) or a blank line.
+bool parse_event_row(const std::string& line, std::size_t row_index,
+                     bool& allow_header, LogEvent& event) {
+  std::vector<std::string> fields;
+  const NumericRow kind =
+      split_numeric_row(line, row_index, "event CSV", "time",
+                        "time,object,server", 3, allow_header, fields);
+  if (kind == NumericRow::kBlank) return false;
+  allow_header = false;
+  if (kind == NumericRow::kHeader) return false;
+  try {
+    event.time = parse_double_field(fields[0]);
+    event.object = parse_uint64_field(fields[1]);
+    const unsigned long long server = parse_uint64_field(fields[2]);
+    if (server > std::numeric_limits<std::uint32_t>::max()) {
+      throw std::invalid_argument(fields[2]);
+    }
+    event.server = static_cast<std::uint32_t>(server);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("event CSV row " + std::to_string(row_index) +
+                                ": malformed value");
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t event_log_from_csv(const std::string& csv_path,
+                                 const std::string& log_path,
+                                 int num_servers) {
+  if (num_servers == 0) {
+    // Inference pass: scan for max server id without writing anything.
+    std::ifstream csv(csv_path);
+    if (!csv) throw std::runtime_error("cannot open: " + csv_path);
+    std::string line;
+    std::uint32_t max_server = 0;
+    bool allow_header = true;
+    bool any = false;
+    for (std::size_t row = 0; std::getline(csv, line); ++row) {
+      LogEvent event;
+      if (!parse_event_row(line, row, allow_header, event)) continue;
+      max_server = std::max(max_server, event.server);
+      any = true;
+    }
+    if (csv.bad()) throw std::runtime_error("read failed: " + csv_path);
+    REPL_REQUIRE_MSG(any, "event CSV has no data rows: " << csv_path);
+    num_servers = static_cast<int>(max_server) + 1;
+  }
+
+  std::ifstream csv(csv_path);
+  if (!csv) throw std::runtime_error("cannot open: " + csv_path);
+  try {
+    EventLogWriter writer(log_path, num_servers);
+    std::string line;
+    bool allow_header = true;
+    for (std::size_t row = 0; std::getline(csv, line); ++row) {
+      LogEvent event;
+      if (!parse_event_row(line, row, allow_header, event)) continue;
+      writer.write(event);
+    }
+    if (csv.bad()) throw std::runtime_error("read failed: " + csv_path);
+    writer.close();
+    return writer.events_written();
+  } catch (...) {
+    // Without this, the writer's destructor would close() and patch a
+    // self-consistent header over the partial output — leaving a log
+    // that passes every reader validation but holds only a prefix of
+    // the CSV. Never leave such a file behind.
+    std::error_code ec;
+    std::filesystem::remove(log_path, ec);
+    throw;
+  }
+}
+
+}  // namespace repl

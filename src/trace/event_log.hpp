@@ -1,0 +1,151 @@
+// Binary event-log format for interleaved multi-object request streams.
+//
+// A log is one globally time-ordered sequence of (time, object, server)
+// events — the online interface the streaming engine serves. The format
+// is designed for multi-GB logs: fixed-width little-endian records behind
+// a small header, written and read through buffered streams so a log
+// never needs to reside in memory.
+//
+// Layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       8     magic      "REPLELOG"
+//   8       4     version    currently 1
+//   12      4     num_servers
+//   16      8     num_objects   (max object id + 1; 0 while streaming)
+//   24      8     num_events    (patched on close; kUnknownCount while
+//                                streaming, e.g. after a crash)
+//   32      --    records, 20 bytes each:
+//                   0   8   time    IEEE-754 binary64
+//                   8   8   object  u64
+//                   16  4   server  u32
+//
+// Readers reject bad magic / unsupported versions, and detect truncation
+// both against the header count and against partial trailing records.
+// A text twin ("time,object,server" CSV) is provided for interchange and
+// debugging; conversions stream row by row.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace repl {
+
+/// One interleaved request: object `object` is accessed at `server` at
+/// `time`.
+struct LogEvent {
+  double time = 0.0;
+  std::uint64_t object = 0;
+  std::uint32_t server = 0;
+
+  friend bool operator==(const LogEvent&, const LogEvent&) = default;
+};
+
+struct EventLogHeader {
+  static constexpr std::uint64_t kMagic = 0x474f4c454c504552ULL;  // "REPLELOG"
+  static constexpr std::uint32_t kVersion = 1;
+  static constexpr std::uint64_t kUnknownCount = ~std::uint64_t{0};
+  static constexpr std::size_t kSize = 32;      // bytes on disk
+  static constexpr std::size_t kRecordSize = 20;
+
+  std::uint32_t version = kVersion;
+  std::uint32_t num_servers = 0;
+  std::uint64_t num_objects = 0;
+  std::uint64_t num_events = kUnknownCount;
+};
+
+/// Streaming writer. Events must arrive in non-decreasing time order
+/// (ties across objects are fine; per-object ordering is the consumer's
+/// concern). The event count is patched into the header on close().
+class EventLogWriter {
+ public:
+  /// Opens `path` for writing and emits the header with an unknown event
+  /// count. `num_objects` may be 0 ("unknown"); close() raises it to
+  /// max(object id)+1 observed if so. Throws std::runtime_error when the
+  /// file cannot be opened.
+  EventLogWriter(const std::string& path, int num_servers,
+                 std::uint64_t num_objects = 0);
+  ~EventLogWriter();
+
+  EventLogWriter(const EventLogWriter&) = delete;
+  EventLogWriter& operator=(const EventLogWriter&) = delete;
+
+  void write(const LogEvent& event);
+  void write(double time, std::uint64_t object, std::uint32_t server) {
+    write(LogEvent{time, object, server});
+  }
+
+  std::uint64_t events_written() const { return count_; }
+
+  /// Flushes the buffer, patches the header counts, and closes the file.
+  /// Throws std::runtime_error on I/O failure. The destructor calls this
+  /// too but swallows errors; call explicitly when failure matters.
+  void close();
+
+ private:
+  void flush_buffer();
+
+  std::ofstream out_;
+  std::string path_;
+  std::vector<unsigned char> buffer_;
+  std::uint32_t num_servers_ = 0;
+  std::uint64_t num_objects_ = 0;
+  std::uint64_t max_object_ = 0;
+  std::uint64_t count_ = 0;
+  double last_time_ = -std::numeric_limits<double>::infinity();
+  bool open_ = false;
+};
+
+/// Streaming reader. Validates the header on open; next()/read_batch()
+/// deliver events in file order and throw std::runtime_error on
+/// truncation (fewer events than the header promises, or a partial
+/// trailing record when the count is unknown).
+class EventLogReader {
+ public:
+  explicit EventLogReader(const std::string& path);
+
+  const EventLogHeader& header() const { return header_; }
+  int num_servers() const { return static_cast<int>(header_.num_servers); }
+
+  /// Events delivered so far.
+  std::uint64_t events_read() const { return delivered_; }
+
+  /// Reads the next event into `event`; returns false at a clean
+  /// end-of-log.
+  bool next(LogEvent& event);
+
+  /// Reads up to `max_events` into `out` (appended; `out` is cleared
+  /// first). Returns the number read; 0 at a clean end-of-log.
+  std::size_t read_batch(std::vector<LogEvent>& out, std::size_t max_events);
+
+ private:
+  void refill();
+
+  std::ifstream in_;
+  std::string path_;
+  EventLogHeader header_;
+  std::vector<unsigned char> buffer_;
+  std::size_t buffer_pos_ = 0;   // bytes consumed from buffer_
+  std::size_t buffer_len_ = 0;   // valid bytes in buffer_
+  std::uint64_t delivered_ = 0;
+  bool eof_ = false;
+};
+
+/// Streams a binary log into its CSV twin ("time,object,server" with
+/// header row). Returns the number of events converted.
+std::uint64_t event_log_to_csv(const std::string& log_path,
+                               const std::string& csv_path);
+
+/// Streams a "time,object,server" CSV into a binary log. `num_servers` of
+/// 0 means "infer as max(server)+1" — which requires a second pass, so
+/// the CSV is read twice; pass the true count to stream single-pass.
+/// Returns the number of events converted.
+std::uint64_t event_log_from_csv(const std::string& csv_path,
+                                 const std::string& log_path,
+                                 int num_servers = 0);
+
+}  // namespace repl

@@ -1,0 +1,125 @@
+#include "trace/stream_gen.hpp"
+
+#include <cmath>
+#include <limits>
+#include <optional>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace repl {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Draws the next inter-arrival gap of the aggregate process. For the
+/// diurnal process the gap is a candidate at the peak rate; acceptance is
+/// decided separately (thinning), so rejected candidates still advance
+/// the clock.
+class ArrivalSampler {
+ public:
+  explicit ArrivalSampler(const StreamWorkloadConfig& config)
+      : config_(config) {
+    if (config.arrivals == StreamWorkloadConfig::Arrivals::kPareto) {
+      // Choose the scale so the mean gap is 1/rate when the mean exists
+      // (shape > 1); otherwise fall back to scale = 1/rate.
+      pareto_scale_ =
+          config.pareto_shape > 1.0
+              ? (config.pareto_shape - 1.0) / (config.pareto_shape *
+                                               config.rate)
+              : 1.0 / config.rate;
+    }
+  }
+
+  /// Advances `t` to the next accepted arrival; returns false when the
+  /// process cannot produce one (never happens for these processes).
+  bool advance(Rng& rng, double& t) const {
+    switch (config_.arrivals) {
+      case StreamWorkloadConfig::Arrivals::kPoisson:
+        t += rng.exponential(config_.rate);
+        return true;
+      case StreamWorkloadConfig::Arrivals::kPareto:
+        t += rng.pareto(pareto_scale_, config_.pareto_shape);
+        return true;
+      case StreamWorkloadConfig::Arrivals::kDiurnal: {
+        // Thinning at the peak rate, as in generate_diurnal_trace().
+        const double rate_max =
+            config_.rate * (1.0 + config_.diurnal_amplitude);
+        for (;;) {
+          t += rng.exponential(rate_max);
+          const double rate =
+              config_.rate *
+              (1.0 + config_.diurnal_amplitude *
+                         std::sin(2.0 * M_PI * t / config_.diurnal_period));
+          if (rng.bernoulli(rate / rate_max)) return true;
+          if (config_.horizon > 0.0 && t > config_.horizon) return true;
+        }
+      }
+    }
+    return false;
+  }
+
+ private:
+  const StreamWorkloadConfig& config_;
+  double pareto_scale_ = 0.0;
+};
+
+}  // namespace
+
+std::uint64_t generate_event_stream(const StreamWorkloadConfig& config,
+                                    std::uint64_t seed, EventLogWriter& out) {
+  REPL_REQUIRE(config.num_objects >= 1);
+  REPL_REQUIRE(config.num_servers >= 1);
+  REPL_REQUIRE(config.rate > 0.0);
+  REPL_REQUIRE(config.pareto_shape > 0.0);
+  REPL_REQUIRE(config.diurnal_amplitude >= 0.0 &&
+               config.diurnal_amplitude < 1.0);
+  REPL_REQUIRE(config.diurnal_period > 0.0);
+  REPL_REQUIRE_MSG(config.horizon > 0.0 || config.max_events > 0,
+                   "set a horizon or a max_events stop condition");
+  REPL_REQUIRE_MSG(config.num_objects <=
+                       std::uint64_t{std::numeric_limits<int>::max()},
+                   "object Zipf table caps num_objects at 2^31-1");
+
+  Rng rng(seed);
+  const ZipfDistribution object_zipf(static_cast<int>(config.num_objects),
+                                     config.object_zipf_s);
+  std::optional<ZipfDistribution> server_zipf;
+  if (config.server_zipf_s > 0.0) {
+    server_zipf.emplace(config.num_servers, config.server_zipf_s);
+  }
+  const ArrivalSampler arrivals(config);
+
+  std::uint64_t emitted = 0;
+  double t = 0.0;
+  while (config.max_events == 0 || emitted < config.max_events) {
+    double next = t;
+    if (!arrivals.advance(rng, next)) break;
+    // Keep the global clock strictly increasing even when a gap
+    // underflows the time's current ulp (possible far into a long
+    // stream), so every per-object subsequence is a valid Trace.
+    if (next <= t) next = std::nextafter(t, kInf);
+    t = next;
+    if (config.horizon > 0.0 && t > config.horizon) break;
+    const auto object =
+        static_cast<std::uint64_t>(object_zipf.sample(rng) - 1);
+    const int server =
+        server_zipf ? server_zipf->sample(rng) - 1
+                    : static_cast<int>(rng.uniform_index(
+                          static_cast<std::uint64_t>(config.num_servers)));
+    out.write(t, object, static_cast<std::uint32_t>(server));
+    ++emitted;
+  }
+  return emitted;
+}
+
+std::uint64_t generate_event_log(const StreamWorkloadConfig& config,
+                                 std::uint64_t seed, const std::string& path) {
+  EventLogWriter writer(path, config.num_servers, config.num_objects);
+  const std::uint64_t emitted = generate_event_stream(config, seed, writer);
+  writer.close();
+  return emitted;
+}
+
+}  // namespace repl

@@ -1,6 +1,8 @@
 #include "trace/trace_io.hpp"
 
 #include <algorithm>
+#include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -18,41 +20,74 @@ std::string trace_to_csv(const Trace& trace) {
   return os.str();
 }
 
-Trace trace_from_csv(const std::string& text, int num_servers) {
-  const auto rows = parse_csv(text);
-  REPL_REQUIRE_MSG(!rows.empty(), "empty trace CSV");
-  std::size_t start = 0;
-  if (!rows[0].empty() && rows[0][0] == "time") start = 1;  // header
+namespace {
+
+/// One line-by-line parser behind both the string and the file API, so
+/// the two accept exactly the same inputs. Blank lines are skipped; the
+/// header ("time,server") is honored until the first data row.
+Trace trace_from_lines(std::istream& in, int num_servers) {
   std::vector<Request> requests;
-  requests.reserve(rows.size() - start);
+  std::vector<std::string> fields;
+  std::string line;
   int max_server = -1;
-  for (std::size_t i = start; i < rows.size(); ++i) {
-    const CsvRow& row = rows[i];
-    if (row.size() < 2) {
-      throw std::invalid_argument("trace CSV row " + std::to_string(i) +
-                                  ": expected time,server");
-    }
+  bool allow_header = true;
+  bool any_row = false;
+  for (std::size_t row = 0; std::getline(in, line); ++row) {
+    const NumericRow kind =
+        split_numeric_row(line, row, "trace CSV", "time", "time,server", 2,
+                          allow_header, fields);
+    if (kind == NumericRow::kBlank) continue;
+    allow_header = false;
+    any_row = true;
+    if (kind == NumericRow::kHeader) continue;
     Request r;
     try {
-      r.time = std::stod(row[0]);
-      r.server = std::stoi(row[1]);
+      r.time = parse_double_field(fields[0]);
+      const long long server = parse_int_field(fields[1]);
+      if (server < std::numeric_limits<int>::min() ||
+          server > std::numeric_limits<int>::max()) {
+        throw std::invalid_argument(fields[1]);
+      }
+      r.server = static_cast<int>(server);
     } catch (const std::exception&) {
-      throw std::invalid_argument("trace CSV row " + std::to_string(i) +
+      throw std::invalid_argument("trace CSV row " + std::to_string(row) +
                                   ": malformed number");
     }
     max_server = std::max(max_server, r.server);
     requests.push_back(r);
   }
+  REPL_REQUIRE_MSG(any_row, "empty trace CSV");
   if (num_servers == 0) num_servers = max_server + 1;
   return Trace::from_unsorted(num_servers, std::move(requests));
 }
 
+}  // namespace
+
+Trace trace_from_csv(const std::string& text, int num_servers) {
+  std::istringstream in(text);
+  return trace_from_lines(in, num_servers);
+}
+
 void save_trace(const Trace& trace, const std::string& path) {
-  write_file(path, trace_to_csv(trace));
+  // Streamed row by row so a large trace is never duplicated in one
+  // in-memory CSV string.
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_csv_row(out, {"time", "server"});
+  for (const Request& r : trace.requests()) {
+    write_csv_row(out, {format_double(r.time), std::to_string(r.server)});
+    if (!out) throw std::runtime_error("write failed: " + path);
+  }
+  out.flush();
+  if (!out) throw std::runtime_error("write failed: " + path);
 }
 
 Trace load_trace(const std::string& path, int num_servers) {
-  return trace_from_csv(read_file(path), num_servers);
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  Trace trace = trace_from_lines(in, num_servers);
+  if (in.bad()) throw std::runtime_error("read failed: " + path);
+  return trace;
 }
 
 }  // namespace repl

@@ -1,8 +1,13 @@
 // CSV import/export of traces.
 //
-// Format: header "time,server" followed by one row per request. Times are
-// written with round-trip precision. Import tolerates unsorted input and
-// duplicate timestamps via Trace::from_unsorted.
+// Format: header "time,server" followed by one row per request — plain
+// unquoted fields, exactly two per row (blank lines are skipped; the
+// header is honored only before the first data row). Times are written
+// with round-trip precision. Import tolerates unsorted input and
+// duplicate timestamps via Trace::from_unsorted. The parser is strict:
+// quoted fields or extra columns are rejected, so files produced by
+// trace_to_csv/save_trace always round-trip but hand-edited CSVs must
+// match the format exactly.
 #pragma once
 
 #include <string>
@@ -18,7 +23,9 @@ std::string trace_to_csv(const Trace& trace);
 /// max(server)+1". Throws std::invalid_argument on malformed rows.
 Trace trace_from_csv(const std::string& text, int num_servers = 0);
 
-/// File convenience wrappers.
+/// File convenience wrappers. Both stream row by row through the file
+/// streams, so a large trace never doubles peak memory as one giant CSV
+/// string. Throw std::runtime_error on I/O failure.
 void save_trace(const Trace& trace, const std::string& path);
 Trace load_trace(const std::string& path, int num_servers = 0);
 

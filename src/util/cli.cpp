@@ -112,6 +112,18 @@ std::uint64_t CliParser::get_uint64(const std::string& name) const {
   return static_cast<std::uint64_t>(out);
 }
 
+std::size_t CliParser::get_size_t(const std::string& name,
+                                  std::size_t min_value,
+                                  std::size_t max_value) const {
+  const std::uint64_t raw = get_uint64(name);
+  if (raw > std::uint64_t{max_value} || raw < std::uint64_t{min_value}) {
+    throw std::invalid_argument(
+        "flag --" + name + ": " + std::to_string(raw) + " outside [" +
+        std::to_string(min_value) + ", " + std::to_string(max_value) + "]");
+  }
+  return static_cast<std::size_t>(raw);
+}
+
 bool CliParser::get_bool(const std::string& name) const {
   const std::string v = get_string(name);
   if (v == "true" || v == "1" || v == "yes") return true;

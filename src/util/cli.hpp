@@ -4,6 +4,7 @@
 // Unknown flags raise; `--help` prints registered flags.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -35,6 +36,11 @@ class CliParser {
   /// For seed-like flags passed to std::uint64_t parameters; rejects
   /// negative values.
   std::uint64_t get_uint64(const std::string& name) const;
+  /// Bounds-checked count flags (--shards, --objects, ...): rejects
+  /// negative values and anything outside [min_value, max_value], so
+  /// call sites need no narrowing casts from get_int.
+  std::size_t get_size_t(const std::string& name, std::size_t min_value = 0,
+                         std::size_t max_value = SIZE_MAX) const;
   bool get_bool(const std::string& name) const;
 
   /// Comma-separated list of doubles, e.g. "--lambdas=10,100,1000".

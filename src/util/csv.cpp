@@ -114,4 +114,61 @@ std::string format_double(double v) {
   return os.str();
 }
 
+NumericRow split_numeric_row(const std::string& line, std::size_t row_index,
+                             const std::string& context,
+                             const std::string& header_first_field,
+                             const std::string& expected_desc,
+                             std::size_t expected_fields, bool allow_header,
+                             std::vector<std::string>& fields) {
+  std::string text = line;
+  if (!text.empty() && text.back() == '\r') text.pop_back();
+  if (text.empty()) return NumericRow::kBlank;
+
+  fields.clear();
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      fields.push_back(text.substr(start));
+      break;
+    }
+    fields.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  if (allow_header && fields.front() == header_first_field) {
+    return NumericRow::kHeader;
+  }
+  if (fields.size() != expected_fields) {
+    throw std::invalid_argument(context + " row " +
+                                std::to_string(row_index) + ": expected " +
+                                expected_desc);
+  }
+  return NumericRow::kData;
+}
+
+double parse_double_field(const std::string& field) {
+  std::size_t pos = 0;
+  const double out = std::stod(field, &pos);
+  if (pos != field.size()) throw std::invalid_argument(field);
+  return out;
+}
+
+long long parse_int_field(const std::string& field) {
+  std::size_t pos = 0;
+  const long long out = std::stoll(field, &pos);
+  if (pos != field.size()) throw std::invalid_argument(field);
+  return out;
+}
+
+unsigned long long parse_uint64_field(const std::string& field) {
+  // std::stoull silently wraps negative input, so reject the sign first.
+  if (field.find('-') != std::string::npos) {
+    throw std::invalid_argument(field);
+  }
+  std::size_t pos = 0;
+  const unsigned long long out = std::stoull(field, &pos);
+  if (pos != field.size()) throw std::invalid_argument(field);
+  return out;
+}
+
 }  // namespace repl

@@ -28,4 +28,37 @@ void write_file(const std::string& path, const std::string& contents);
 /// Formats a double with enough digits to round-trip (max_digits10).
 std::string format_double(double v);
 
+/// Line-level helpers shared by the simple numeric CSV formats (the
+/// "time,server" trace files and the "time,object,server" event-log
+/// twin — no quoting, one record per line).
+
+enum class NumericRow {
+  kBlank,   // empty line (or lone CR) — skip
+  kHeader,  // the header row — skip
+  kData,    // `fields` holds the split record
+};
+
+/// Strips one trailing CR and splits `line` on commas into `fields`.
+/// A line whose first field equals `header_first_field` is the header —
+/// but only while `allow_header` is true (callers clear it after the
+/// first header or data row, so an embedded header from concatenated
+/// CSVs fails the numeric parse instead of being silently swallowed).
+/// Throws std::invalid_argument("<context> row <row_index>: expected
+/// <expected_desc>") when a data row's field count is not
+/// `expected_fields`.
+NumericRow split_numeric_row(const std::string& line, std::size_t row_index,
+                             const std::string& context,
+                             const std::string& header_first_field,
+                             const std::string& expected_desc,
+                             std::size_t expected_fields, bool allow_header,
+                             std::vector<std::string>& fields);
+
+/// Strict full-consumption field parsers: the entire field must be one
+/// number. Throw std::invalid_argument (bare message — callers add the
+/// row context) on malformed or out-of-range input;
+/// parse_uint64_field additionally rejects any minus sign.
+double parse_double_field(const std::string& field);
+long long parse_int_field(const std::string& field);
+unsigned long long parse_uint64_field(const std::string& field);
+
 }  // namespace repl

@@ -1,0 +1,128 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+
+namespace repl {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ << ',';
+    needs_comma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  REPL_CHECK(!needs_comma_.empty() && !after_key_);
+  needs_comma_.pop_back();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  REPL_CHECK(!needs_comma_.empty() && !after_key_);
+  needs_comma_.pop_back();
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  REPL_CHECK_MSG(!needs_comma_.empty() && !after_key_,
+                 "key() outside an object");
+  if (needs_comma_.back()) out_ << ',';
+  needs_comma_.back() = true;
+  out_ << '"' << json_escape(name) << "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  before_value();
+  out_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) {
+  return value(std::string(v));
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  // JSON has no Infinity/NaN literals; null is the conventional stand-in.
+  if (std::isfinite(v)) {
+    out_ << format_double(v);
+  } else {
+    out_ << "null";
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  REPL_CHECK_MSG(needs_comma_.empty(), "unclosed JSON scope");
+  return out_.str();
+}
+
+}  // namespace repl

@@ -1,0 +1,50 @@
+// Minimal JSON emission for machine-readable bench output.
+//
+// A forward-only writer: values are emitted as they are appended, so a
+// multi-megabyte report never needs an in-memory DOM. Only what the bench
+// trajectory files (BENCH_*.json) need — objects, arrays, strings,
+// numbers, booleans — with round-trip double formatting and string
+// escaping. Not a parser.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace repl {
+
+/// Escapes `text` for inclusion in a JSON string literal (no quotes).
+std::string json_escape(const std::string& text);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits the key of the next object member.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+
+  /// The document so far. Call after the outermost scope is closed.
+  std::string str() const;
+
+ private:
+  void before_value();
+
+  std::ostringstream out_;
+  /// true per open scope once it has at least one element (comma needed).
+  std::vector<bool> needs_comma_;
+  bool after_key_ = false;
+};
+
+}  // namespace repl

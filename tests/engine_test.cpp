@@ -1,0 +1,388 @@
+// Streaming engine tests. The load-bearing property: engine aggregates
+// are bit-identical to running every object's subsequence through the
+// batch Simulator serially in object-id order — for 1, 4, and
+// hardware-concurrency threads, across shard counts, including randomized
+// per-object components seeded from the object id.
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/drwp.hpp"
+#include "core/simulator.hpp"
+#include "engine/engine.hpp"
+#include "extensions/randomized_drwp.hpp"
+#include "offline/opt_lower_bound.hpp"
+#include "predictor/last_gap.hpp"
+#include "run/parallel_runner.hpp"
+#include "trace/event_log.hpp"
+#include "trace/stream_gen.hpp"
+#include "trace/trace.hpp"
+#include "util/check.hpp"
+
+namespace repl {
+namespace {
+
+constexpr double kAlpha = 0.3;
+
+SystemConfig engine_config(int num_servers) {
+  SystemConfig config;
+  config.num_servers = num_servers;
+  config.transfer_cost = 10.0;
+  return config;
+}
+
+EnginePolicyFactory drwp_factory() {
+  return [](const EngineObjectContext&) -> PolicyPtr {
+    return std::make_unique<DrwpPolicy>(kAlpha);
+  };
+}
+
+EnginePolicyFactory randomized_factory() {
+  return [](const EngineObjectContext& context) -> PolicyPtr {
+    return std::make_unique<RandomizedDrwpPolicy>(kAlpha, context.seed);
+  };
+}
+
+EnginePredictorFactory last_gap_factory(int num_servers) {
+  return [num_servers](const EngineObjectContext&) -> PredictorPtr {
+    return std::make_unique<LastGapPredictor>(num_servers);
+  };
+}
+
+/// The serial reference: group the stream per object (id order), run the
+/// batch Simulator + OPTL per object, reduce in id order.
+struct SerialReference {
+  std::size_t objects = 0;
+  std::size_t events = 0;
+  std::size_t num_local = 0;
+  std::size_t num_transfers = 0;
+  double online_cost = 0.0;
+  double lower_bound = 0.0;
+};
+
+SerialReference serial_reference(const std::vector<LogEvent>& events,
+                                 const SystemConfig& config,
+                                 bool randomized, std::uint64_t base_seed) {
+  std::map<std::uint64_t, std::vector<Request>> per_object;
+  for (const LogEvent& e : events) {
+    per_object[e.object].push_back(
+        Request{e.time, static_cast<int>(e.server)});
+  }
+
+  SerialReference ref;
+  SimulationOptions options;
+  options.record_events = false;
+  const Simulator simulator(config, options);
+  for (const auto& [id, requests] : per_object) {
+    const Trace trace(config.num_servers, requests);
+    const std::uint64_t seed = ParallelRunner::object_seed(
+        base_seed, static_cast<std::size_t>(id));
+    PolicyPtr policy;
+    if (randomized) {
+      policy = std::make_unique<RandomizedDrwpPolicy>(kAlpha, seed);
+    } else {
+      policy = std::make_unique<DrwpPolicy>(kAlpha);
+    }
+    LastGapPredictor predictor(config.num_servers);
+    const SimulationResult result =
+        simulator.run(*policy, trace, predictor);
+    ++ref.objects;
+    ref.events += trace.size();
+    ref.num_local += result.num_local;
+    ref.num_transfers += result.num_transfers;
+    ref.online_cost += result.total_cost();
+    ref.lower_bound += opt_lower_bound(config, trace);
+  }
+  return ref;
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("repl_engine_test_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string temp_path(const std::string& name) {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+std::string make_log(const std::string& path, std::uint64_t num_objects,
+                     int num_servers, double rate, double horizon,
+                     std::uint64_t seed) {
+  StreamWorkloadConfig config;
+  config.num_objects = num_objects;
+  config.num_servers = num_servers;
+  config.rate = rate;
+  config.horizon = horizon;
+  generate_event_log(config, seed, path);
+  return path;
+}
+
+std::vector<LogEvent> read_all(const std::string& path) {
+  EventLogReader reader(path);
+  std::vector<LogEvent> events;
+  LogEvent event;
+  while (reader.next(event)) events.push_back(event);
+  return events;
+}
+
+/// The acceptance-criteria matrix: engine == serial Simulator sweep, at
+/// 1 / 4 / hardware-concurrency threads and several shard counts.
+TEST_F(EngineTest, AggregatesBitIdenticalToSerialSimulator) {
+  const SystemConfig config = engine_config(6);
+  const std::string log =
+      make_log(temp_path("w.evlog"), 300, 6, 3.0, 3000.0, 21);
+  const std::vector<LogEvent> events = read_all(log);
+  ASSERT_GT(events.size(), 2000u);
+
+  const SerialReference ref =
+      serial_reference(events, config, /*randomized=*/false,
+                       EngineOptions{}.base_seed);
+
+  for (const int threads : {1, 4, 0 /* hardware concurrency */}) {
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{7},
+                                     std::size_t{64}}) {
+      EngineOptions options;
+      options.num_threads = threads;
+      options.num_shards = shards;
+      EngineStats stats;
+      const EngineMetrics metrics = serve_event_log(
+          log, config, options, drwp_factory(), last_gap_factory(6),
+          &stats);
+
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " shards=" + std::to_string(shards));
+      EXPECT_EQ(metrics.objects, ref.objects);
+      EXPECT_EQ(metrics.events, ref.events);
+      EXPECT_EQ(metrics.num_local, ref.num_local);
+      EXPECT_EQ(metrics.num_transfers, ref.num_transfers);
+      EXPECT_EQ(metrics.online_cost, ref.online_cost);   // bit-identical
+      EXPECT_EQ(metrics.lower_bound, ref.lower_bound);   // bit-identical
+      EXPECT_EQ(stats.events_ingested, ref.events);
+      EXPECT_EQ(metrics.shards.size(), shards);
+    }
+  }
+}
+
+/// Randomized policies draw from object_seed(base_seed, id): results must
+/// not depend on shard layout or scheduling.
+TEST_F(EngineTest, RandomizedPolicySeedsAreShardAndThreadInvariant) {
+  const SystemConfig config = engine_config(4);
+  const std::string log =
+      make_log(temp_path("r.evlog"), 120, 4, 2.0, 1500.0, 33);
+  const std::vector<LogEvent> events = read_all(log);
+
+  const SerialReference ref =
+      serial_reference(events, config, /*randomized=*/true,
+                       EngineOptions{}.base_seed);
+
+  for (const int threads : {1, 4}) {
+    for (const std::size_t shards : {std::size_t{3}, std::size_t{32}}) {
+      EngineOptions options;
+      options.num_threads = threads;
+      options.num_shards = shards;
+      const EngineMetrics metrics =
+          serve_event_log(log, config, options, randomized_factory(),
+                          last_gap_factory(4), nullptr);
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " shards=" + std::to_string(shards));
+      EXPECT_EQ(metrics.online_cost, ref.online_cost);
+      EXPECT_EQ(metrics.num_transfers, ref.num_transfers);
+    }
+  }
+}
+
+TEST_F(EngineTest, ShardMetricsPartitionTheGlobals) {
+  const SystemConfig config = engine_config(5);
+  const std::string log =
+      make_log(temp_path("s.evlog"), 200, 5, 2.0, 2000.0, 5);
+  EngineOptions options;
+  options.num_shards = 16;
+  options.num_threads = 1;
+  const EngineMetrics metrics = serve_event_log(
+      log, config, options, drwp_factory(), last_gap_factory(5), nullptr);
+
+  std::size_t objects = 0, events = 0, local = 0, transfers = 0;
+  for (const EngineShardMetrics& shard : metrics.shards) {
+    objects += shard.objects;
+    events += shard.events;
+    local += shard.num_local;
+    transfers += shard.num_transfers;
+  }
+  EXPECT_EQ(objects, metrics.objects);
+  EXPECT_EQ(events, metrics.events);
+  EXPECT_EQ(local, metrics.num_local);
+  EXPECT_EQ(transfers, metrics.num_transfers);
+  EXPECT_GT(metrics.ratio(), 1.0);  // online pays at least OPTL
+}
+
+TEST_F(EngineTest, LazyInstantiationOnlyMaterializesRequestedObjects) {
+  const SystemConfig config = engine_config(3);
+  StreamingEngine engine(config, EngineOptions{}, drwp_factory(),
+                         last_gap_factory(3));
+  // Ids are sparse over a huge space — the table only holds what it saw.
+  const std::vector<LogEvent> events = {
+      {1.0, 0, 0}, {2.0, 1u << 20, 1}, {3.0, 0, 2}, {4.0, 0xffffffffffULL, 0}};
+  engine.ingest(events);
+  EXPECT_EQ(engine.object_count(), 3u);
+  const EngineMetrics metrics = engine.finish();
+  EXPECT_EQ(metrics.objects, 3u);
+  EXPECT_EQ(metrics.events, 4u);
+}
+
+TEST_F(EngineTest, MultiBatchIngestEqualsSingleServe) {
+  const SystemConfig config = engine_config(4);
+  const std::string log =
+      make_log(temp_path("b.evlog"), 80, 4, 1.0, 1000.0, 9);
+  const std::vector<LogEvent> events = read_all(log);
+
+  EngineOptions options;
+  options.num_shards = 8;
+  options.num_threads = 4;
+
+  // One call per event (worst-case batching)...
+  StreamingEngine drip(config, options, drwp_factory(),
+                       last_gap_factory(4));
+  for (const LogEvent& e : events) drip.ingest(&e, 1);
+  const EngineMetrics dripped = drip.finish();
+
+  // ...equals one giant batch.
+  StreamingEngine bulk(config, options, drwp_factory(),
+                       last_gap_factory(4));
+  bulk.ingest(events);
+  const EngineMetrics bulked = bulk.finish();
+
+  EXPECT_EQ(dripped.online_cost, bulked.online_cost);
+  EXPECT_EQ(dripped.lower_bound, bulked.lower_bound);
+  EXPECT_EQ(dripped.num_transfers, bulked.num_transfers);
+  EXPECT_EQ(dripped.events, bulked.events);
+}
+
+TEST_F(EngineTest, RejectsOutOfOrderStreams) {
+  const SystemConfig config = engine_config(2);
+  StreamingEngine engine(config, EngineOptions{}, drwp_factory(),
+                         last_gap_factory(2));
+  const std::vector<LogEvent> bad = {{2.0, 0, 0}, {1.0, 1, 0}};
+  EXPECT_THROW(engine.ingest(bad), std::invalid_argument);
+  // Unknown servers and non-positive times are likewise caught by the
+  // pre-routing validation.
+  EXPECT_THROW(engine.ingest({{{1.0, 0, 2}}}), std::invalid_argument);
+  EXPECT_THROW(engine.ingest({{{0.0, 0, 0}}}), std::invalid_argument);
+  // The rejections happened before any routing: no event of a bad
+  // batch (including its in-order prefix) was served, and the engine
+  // accepts a corrected batch afterwards.
+  EXPECT_EQ(engine.object_count(), 0u);
+  engine.ingest({{{2.0, 0, 0}, {2.5, 1, 0}}});
+  const EngineMetrics metrics = engine.finish();
+  EXPECT_EQ(metrics.objects, 2u);
+  EXPECT_EQ(metrics.events, 2u);
+
+  StreamingEngine engine2(config, EngineOptions{}, drwp_factory(),
+                          last_gap_factory(2));
+  engine2.ingest({{{2.0, 0, 0}}});
+  // Order is enforced across batches too.
+  const std::vector<LogEvent> earlier = {{1.5, 1, 0}};
+  EXPECT_THROW(engine2.ingest(earlier), std::invalid_argument);
+  // A per-object time tie violates the Trace invariants. This throw
+  // comes from *inside* shard execution, so the engine is poisoned and
+  // later calls fail fast instead of serving a half-applied stream.
+  const std::vector<LogEvent> tie = {{2.0, 0, 1}};
+  EXPECT_THROW(engine2.ingest(tie), std::invalid_argument);
+  EXPECT_THROW(engine2.ingest({{{3.0, 1, 0}}}), CheckFailure);
+  EXPECT_THROW(engine2.finish(), CheckFailure);
+}
+
+TEST_F(EngineTest, FinishIsTerminal) {
+  const SystemConfig config = engine_config(2);
+  StreamingEngine engine(config, EngineOptions{}, drwp_factory(),
+                         last_gap_factory(2));
+  engine.ingest({{{1.0, 0, 0}}});
+  engine.finish();
+  EXPECT_THROW(engine.ingest({{{2.0, 0, 0}}}), CheckFailure);
+  EXPECT_THROW(engine.finish(), CheckFailure);
+}
+
+TEST_F(EngineTest, EmptyStreamYieldsEmptyMetrics) {
+  const SystemConfig config = engine_config(2);
+  StreamingEngine engine(config, EngineOptions{}, drwp_factory(),
+                         last_gap_factory(2));
+  const EngineMetrics metrics = engine.finish();
+  EXPECT_EQ(metrics.objects, 0u);
+  EXPECT_EQ(metrics.events, 0u);
+  EXPECT_EQ(metrics.online_cost, 0.0);
+  EXPECT_EQ(metrics.ratio(), 1.0);
+}
+
+/// The OnlineSimulation step/finish path must agree with Simulator::run
+/// (which now delegates to it — this guards the contract either way).
+TEST_F(EngineTest, OnlineSimulationMatchesBatchSimulator) {
+  const SystemConfig config = engine_config(4);
+  const std::string log =
+      make_log(temp_path("o.evlog"), 1, 4, 0.5, 2000.0, 77);
+  const std::vector<LogEvent> events = read_all(log);
+  std::vector<Request> requests;
+  for (const LogEvent& e : events) {
+    requests.push_back(Request{e.time, static_cast<int>(e.server)});
+  }
+  const Trace trace(4, requests);
+
+  DrwpPolicy batch_policy(kAlpha);
+  LastGapPredictor batch_predictor(4);
+  const SimulationResult batch =
+      Simulator(config).run(batch_policy, trace, batch_predictor);
+
+  DrwpPolicy online_policy(kAlpha);
+  LastGapPredictor online_predictor(4);
+  OnlineSimulation online(config, SimulationOptions{}, online_policy,
+                          online_predictor);
+  for (const Request& r : trace.requests()) online.step(r.server, r.time);
+  EXPECT_EQ(online.steps(), trace.size());
+  EXPECT_EQ(online.last_time(), trace.duration());
+  const SimulationResult streamed = online.finish();
+
+  EXPECT_EQ(streamed.total_cost(), batch.total_cost());
+  EXPECT_EQ(streamed.storage_cost, batch.storage_cost);
+  EXPECT_EQ(streamed.transfer_cost, batch.transfer_cost);
+  EXPECT_EQ(streamed.num_local, batch.num_local);
+  EXPECT_EQ(streamed.horizon, batch.horizon);
+  EXPECT_EQ(streamed.serves.size(), batch.serves.size());
+  EXPECT_EQ(streamed.segments.size(), batch.segments.size());
+}
+
+/// StreamingLowerBound mirrors the batch OPTL bit for bit.
+TEST_F(EngineTest, StreamingLowerBoundMatchesBatch) {
+  const SystemConfig config = engine_config(5);
+  const std::string log =
+      make_log(temp_path("lb.evlog"), 1, 5, 0.8, 4000.0, 13);
+  const std::vector<LogEvent> events = read_all(log);
+  std::vector<Request> requests;
+  for (const LogEvent& e : events) {
+    requests.push_back(Request{e.time, static_cast<int>(e.server)});
+  }
+  const Trace trace(5, requests);
+
+  StreamingLowerBound streaming(config);
+  for (const Request& r : trace.requests()) streaming.step(r.server, r.time);
+  EXPECT_EQ(streaming.value(), opt_lower_bound(config, trace));
+}
+
+}  // namespace
+}  // namespace repl

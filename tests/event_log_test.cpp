@@ -1,0 +1,269 @@
+// Binary event-log tests: write → read round trip, header bookkeeping,
+// corruption error paths (bad magic, bad version, truncation), the
+// CSV twin conversions, and the streaming workload generator.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "trace/event_log.hpp"
+#include "trace/stream_gen.hpp"
+
+namespace repl {
+namespace {
+
+class EventLogTest : public ::testing::Test {
+ protected:
+  /// A fresh path under the test's temp dir; removed on teardown.
+  std::string temp_path(const std::string& name) {
+    const auto path = dir_ / name;
+    paths_.push_back(path);
+    return path.string();
+  }
+
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("repl_event_log_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::create_directories(dir_);
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::filesystem::path dir_;
+  std::vector<std::filesystem::path> paths_;
+};
+
+std::vector<LogEvent> read_all(const std::string& path) {
+  EventLogReader reader(path);
+  std::vector<LogEvent> events;
+  LogEvent event;
+  while (reader.next(event)) events.push_back(event);
+  return events;
+}
+
+TEST_F(EventLogTest, RoundTripPreservesEventsAndHeader) {
+  const std::string path = temp_path("roundtrip.evlog");
+  const std::vector<LogEvent> events = {
+      {0.5, 3, 1}, {1.25, 0, 0}, {1.25, 7, 2}, {9.75e6, 3, 1}};
+  {
+    EventLogWriter writer(path, /*num_servers=*/3);
+    for (const LogEvent& e : events) writer.write(e);
+    EXPECT_EQ(writer.events_written(), events.size());
+    writer.close();
+  }
+
+  EventLogReader reader(path);
+  EXPECT_EQ(reader.header().version, EventLogHeader::kVersion);
+  EXPECT_EQ(reader.num_servers(), 3);
+  EXPECT_EQ(reader.header().num_events, events.size());
+  EXPECT_EQ(reader.header().num_objects, 8u);  // max id 7, inferred +1
+
+  std::vector<LogEvent> back;
+  LogEvent event;
+  while (reader.next(event)) back.push_back(event);
+  EXPECT_EQ(back, events);
+  EXPECT_FALSE(reader.next(event));  // stays at EOF
+}
+
+TEST_F(EventLogTest, ReadBatchChunksTheStream) {
+  const std::string path = temp_path("batch.evlog");
+  {
+    EventLogWriter writer(path, 2);
+    for (int i = 0; i < 10; ++i) {
+      writer.write(static_cast<double>(i) + 1.0,
+                   static_cast<std::uint64_t>(i % 4),
+                   static_cast<std::uint32_t>(i % 2));
+    }
+    writer.close();
+  }
+  EventLogReader reader(path);
+  std::vector<LogEvent> batch;
+  EXPECT_EQ(reader.read_batch(batch, 4), 4u);
+  EXPECT_EQ(batch[0].time, 1.0);
+  EXPECT_EQ(reader.read_batch(batch, 4), 4u);
+  EXPECT_EQ(reader.read_batch(batch, 4), 2u);
+  EXPECT_EQ(reader.read_batch(batch, 4), 0u);
+  EXPECT_EQ(reader.events_read(), 10u);
+}
+
+TEST_F(EventLogTest, WriterRejectsBadInput) {
+  const std::string path = temp_path("reject.evlog");
+  EventLogWriter writer(path, 2, /*num_objects=*/5);
+  writer.write(1.0, 0, 0);
+  EXPECT_THROW(writer.write(0.5, 0, 0), std::invalid_argument);  // time order
+  EXPECT_THROW(writer.write(2.0, 0, 2), std::invalid_argument);  // server
+  EXPECT_THROW(writer.write(2.0, 5, 0), std::invalid_argument);  // object
+  writer.write(1.0, 4, 1);  // equal times are fine (ties across objects)
+  writer.close();
+}
+
+TEST_F(EventLogTest, BadMagicIsRejected) {
+  const std::string path = temp_path("bad_magic.evlog");
+  std::ofstream(path, std::ios::binary) << "definitely not an event log....";
+  EXPECT_THROW(EventLogReader reader(path), std::runtime_error);
+}
+
+TEST_F(EventLogTest, BadVersionIsRejected) {
+  const std::string path = temp_path("bad_version.evlog");
+  {
+    EventLogWriter writer(path, 2);
+    writer.write(1.0, 0, 0);
+    writer.close();
+  }
+  // Bump the version field (offset 8) to an unsupported value.
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(8);
+  const char bumped = 99;
+  f.write(&bumped, 1);
+  f.close();
+  EXPECT_THROW(EventLogReader reader(path), std::runtime_error);
+}
+
+TEST_F(EventLogTest, TruncatedFileIsDetected) {
+  const std::string path = temp_path("trunc.evlog");
+  {
+    EventLogWriter writer(path, 2);
+    for (int i = 1; i <= 100; ++i) {
+      writer.write(static_cast<double>(i), 0, 0);
+    }
+    writer.close();
+  }
+  // Chop mid-record: fewer events than the header promises AND a partial
+  // trailing record.
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full - EventLogHeader::kRecordSize - 7);
+
+  EventLogReader reader(path);
+  LogEvent event;
+  EXPECT_THROW(
+      {
+        while (reader.next(event)) {
+        }
+      },
+      std::runtime_error);
+}
+
+TEST_F(EventLogTest, TruncatedHeaderIsDetected) {
+  const std::string path = temp_path("trunc_header.evlog");
+  std::ofstream(path, std::ios::binary) << "REPL";  // 4 of 32 header bytes
+  EXPECT_THROW(EventLogReader reader(path), std::runtime_error);
+}
+
+TEST_F(EventLogTest, CsvRoundTripMatchesBinary) {
+  const std::string log_path = temp_path("orig.evlog");
+  const std::string csv_path = temp_path("twin.csv");
+  const std::string back_path = temp_path("back.evlog");
+
+  StreamWorkloadConfig config;
+  config.num_objects = 50;
+  config.num_servers = 6;
+  config.rate = 2.0;
+  config.horizon = 500.0;
+  const std::uint64_t generated = generate_event_log(config, 7, log_path);
+  ASSERT_GT(generated, 100u);
+
+  EXPECT_EQ(event_log_to_csv(log_path, csv_path), generated);
+  EXPECT_EQ(event_log_from_csv(csv_path, back_path, config.num_servers),
+            generated);
+
+  // Doubles are written with round-trip precision, so the binary → CSV →
+  // binary cycle is lossless and the event sequences match exactly.
+  EXPECT_EQ(read_all(back_path), read_all(log_path));
+
+  // Server-count inference (num_servers = 0) scans the CSV twice but
+  // lands on the same log.
+  const std::string inferred_path = temp_path("inferred.evlog");
+  EXPECT_EQ(event_log_from_csv(csv_path, inferred_path, 0), generated);
+  EXPECT_EQ(read_all(inferred_path), read_all(log_path));
+}
+
+TEST_F(EventLogTest, CsvRejectsMalformedRows) {
+  const std::string csv_path = temp_path("bad.csv");
+  const std::string log_path = temp_path("bad.evlog");
+  std::ofstream(csv_path) << "time,object,server\n1.0,0\n";
+  EXPECT_THROW(event_log_from_csv(csv_path, log_path, 2),
+               std::invalid_argument);
+  std::ofstream(csv_path, std::ios::trunc)
+      << "time,object,server\n1.0,zero,0\n";
+  EXPECT_THROW(event_log_from_csv(csv_path, log_path, 2),
+               std::invalid_argument);
+  // Blank lines before the header (or anywhere) are tolerated.
+  const std::string ok_path = temp_path("ok.evlog");
+  std::ofstream(csv_path, std::ios::trunc)
+      << "\ntime,object,server\n1.0,0,0\n\n2.0,1,1\n";
+  EXPECT_EQ(event_log_from_csv(csv_path, ok_path, 2), 2u);
+  // An embedded header (concatenated CSVs) is data corruption, not a
+  // skippable row.
+  std::ofstream(csv_path, std::ios::trunc)
+      << "time,object,server\n1.0,0,0\ntime,object,server\n2.0,1,1\n";
+  EXPECT_THROW(event_log_from_csv(csv_path, log_path, 2),
+               std::invalid_argument);
+  // A failed conversion must not leave a valid-looking partial log
+  // behind (the writer's destructor patches a self-consistent header).
+  EXPECT_FALSE(std::filesystem::exists(log_path));
+}
+
+TEST_F(EventLogTest, GeneratorIsDeterministicAndOrdered) {
+  StreamWorkloadConfig config;
+  config.num_objects = 200;
+  config.num_servers = 5;
+  config.rate = 1.0;
+  config.max_events = 2000;
+
+  const std::string a = temp_path("gen_a.evlog");
+  const std::string b = temp_path("gen_b.evlog");
+  ASSERT_EQ(generate_event_log(config, 11, a), config.max_events);
+  ASSERT_EQ(generate_event_log(config, 11, b), config.max_events);
+  const std::vector<LogEvent> events = read_all(a);
+  EXPECT_EQ(events, read_all(b));
+
+  double prev = 0.0;
+  for (const LogEvent& e : events) {
+    EXPECT_GT(e.time, prev);  // global strict increase
+    prev = e.time;
+    EXPECT_LT(e.object, config.num_objects);
+    EXPECT_LT(e.server, static_cast<std::uint32_t>(config.num_servers));
+  }
+
+  const std::vector<LogEvent> other = [&] {
+    const std::string c = temp_path("gen_c.evlog");
+    generate_event_log(config, 12, c);
+    return read_all(c);
+  }();
+  EXPECT_NE(events, other);  // seed matters
+}
+
+TEST_F(EventLogTest, GeneratorCoversAllArrivalProcesses) {
+  for (const auto arrivals : {StreamWorkloadConfig::Arrivals::kPoisson,
+                              StreamWorkloadConfig::Arrivals::kPareto,
+                              StreamWorkloadConfig::Arrivals::kDiurnal}) {
+    StreamWorkloadConfig config;
+    config.num_objects = 20;
+    config.num_servers = 3;
+    config.arrivals = arrivals;
+    config.rate = 0.5;
+    config.horizon = 2000.0;
+    const std::string path = temp_path(
+        "arrivals_" +
+        std::to_string(static_cast<int>(arrivals)) + ".evlog");
+    const std::uint64_t n = generate_event_log(config, 3, path);
+    EXPECT_GT(n, 0u);
+    const std::vector<LogEvent> events = read_all(path);
+    EXPECT_EQ(events.size(), n);
+    EXPECT_LE(events.back().time, config.horizon);
+  }
+}
+
+}  // namespace
+}  // namespace repl
