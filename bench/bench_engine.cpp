@@ -11,6 +11,7 @@
 // At smoke scale (or with --verify) the engine aggregates are checked
 // bit-for-bit against a serial per-object Simulator sweep over the same
 // log. A machine-readable BENCH_engine.json accompanies the table.
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -52,6 +53,18 @@ struct RowResult {
   double online_cost = 0.0;
   double ratio = 1.0;
   bool verified = false;
+  bool identical = true;
+};
+
+/// Mid-stream snapshot cost at one object count: write the checkpoint at
+/// half the log, restore it, finish the serve, and require the resumed
+/// aggregates to be bit-identical to an uninterrupted run.
+struct CheckpointResult {
+  std::uint64_t objects = 0;
+  std::uint64_t at_events = 0;
+  std::uint64_t bytes = 0;
+  double write_seconds = 0.0;
+  double restore_seconds = 0.0;
   bool identical = true;
 };
 
@@ -102,6 +115,63 @@ bool matches_serial(const std::string& log_path, const SystemConfig& config,
          per_object.size() == metrics.objects;
 }
 
+/// Measures checkpoint write + restore throughput on `log_path`, and
+/// verifies the resumed serve reproduces `reference` bit for bit.
+CheckpointResult measure_checkpoint(const std::string& log_path,
+                                    const SystemConfig& config,
+                                    const EngineOptions& options,
+                                    double alpha,
+                                    const EngineMetrics& reference) {
+  const std::string ckpt_path = log_path + ".ckpt";
+  CheckpointResult result;
+  {
+    EventLogReader reader(log_path);
+    StreamingEngine engine(config, options, policy_factory(alpha),
+                           predictor_factory(config.num_servers));
+    // Drain half the log, snapshot, abandon (the simulated crash).
+    const std::uint64_t half =
+        reader.header().num_events == EventLogHeader::kUnknownCount
+            ? 0
+            : reader.header().num_events / 2;
+    std::vector<LogEvent> batch;
+    while (engine.stats().events_ingested < half &&
+           reader.read_batch(batch, std::size_t{1} << 16) > 0) {
+      engine.ingest(batch);
+    }
+    result.at_events = engine.stats().events_ingested;
+    const auto write_start = std::chrono::steady_clock::now();
+    engine.checkpoint(ckpt_path);
+    result.write_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      write_start)
+            .count();
+  }
+  result.bytes = std::filesystem::file_size(ckpt_path);
+
+  const auto restore_start = std::chrono::steady_clock::now();
+  auto resumed = StreamingEngine::restore(ckpt_path, config, options,
+                                          policy_factory(alpha),
+                                          predictor_factory(
+                                              config.num_servers));
+  result.restore_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    restore_start)
+          .count();
+  result.objects = resumed->object_count();
+
+  EventLogReader reader(log_path);
+  const EngineMetrics metrics = resumed->serve(reader);
+  result.identical = metrics.online_cost == reference.online_cost &&
+                     metrics.lower_bound == reference.lower_bound &&
+                     metrics.num_transfers == reference.num_transfers &&
+                     metrics.num_local == reference.num_local &&
+                     metrics.events == reference.events &&
+                     metrics.objects == reference.objects;
+  std::error_code ec;
+  std::filesystem::remove(ckpt_path, ec);
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -121,6 +191,8 @@ int main(int argc, char** argv) {
   cli.add_flag("json", "BENCH_engine.json", "machine-readable output path");
   cli.add_bool_flag("verify", "also run the serial per-object Simulator "
                     "sweep and require bit-identical aggregates");
+  cli.add_bool_flag("checkpoint", "also measure checkpoint write/restore "
+                    "throughput at half of each log (resume parity checked)");
   cli.add_bool_flag("keep-logs", "keep the generated event logs on disk");
   cli.add_bool_flag("smoke", "CI-sized run: 2·10^3 objects, 2·10^5 events, "
                     "threads 1 and 4, verification on");
@@ -138,6 +210,7 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = cli.get_uint64("seed");
   const bool smoke = cli.get_bool("smoke");
   bool verify = cli.get_bool("verify") || smoke;
+  const bool checkpointing = cli.get_bool("checkpoint") || smoke;
   std::vector<int> thread_counts;
   for (const double t : cli.get_double_list("threads")) {
     thread_counts.push_back(static_cast<int>(t));
@@ -162,6 +235,7 @@ int main(int argc, char** argv) {
                "ingest_s", "finish_s", "steals", "cost", "ratio",
                "identical"});
   std::vector<RowResult> rows;
+  std::vector<CheckpointResult> checkpoint_rows;
   bool all_identical = true;
 
   for (std::size_t objects = min_objects;;) {
@@ -179,6 +253,8 @@ int main(int argc, char** argv) {
               << " objects -> " << log_path << "\n";
     generate_event_log(workload, seed, log_path);
 
+    EngineMetrics last_metrics;
+    EngineOptions last_options;
     for (const int threads : thread_counts) {
       EngineOptions options;
       options.num_shards = shards;
@@ -190,6 +266,8 @@ int main(int argc, char** argv) {
                              predictor_factory(servers));
       const EngineMetrics metrics = engine.serve(reader, batch);
       const EngineStats& stats = engine.stats();
+      last_metrics = metrics;
+      last_options = options;
 
       RowResult row;
       row.objects = objects;
@@ -223,6 +301,13 @@ int main(int argc, char** argv) {
                      row.verified ? (row.identical ? "yes" : "NO") : "-"});
     }
 
+    if (checkpointing) {
+      const CheckpointResult ck = measure_checkpoint(
+          log_path, config, last_options, alpha, last_metrics);
+      all_identical = all_identical && ck.identical;
+      checkpoint_rows.push_back(ck);
+    }
+
     if (!cli.get_bool("keep-logs")) {
       std::error_code ec;
       std::filesystem::remove(log_path, ec);
@@ -232,6 +317,25 @@ int main(int argc, char** argv) {
   }
 
   std::cout << table.str() << "\n";
+
+  if (!checkpoint_rows.empty()) {
+    Table ck_table({"objects", "ckpt@events", "bytes", "write_s",
+                    "write_MB/s", "restore_s", "restore_MB/s", "identical"});
+    for (const CheckpointResult& ck : checkpoint_rows) {
+      const double mb = static_cast<double>(ck.bytes) / (1024.0 * 1024.0);
+      ck_table.add_row(
+          {Table::cell(ck.objects), Table::cell(ck.at_events),
+           Table::cell(ck.bytes),
+           Table::cell(ck.write_seconds, 3),
+           Table::cell(ck.write_seconds > 0.0 ? mb / ck.write_seconds : 0.0,
+                       1),
+           Table::cell(ck.restore_seconds, 3),
+           Table::cell(
+               ck.restore_seconds > 0.0 ? mb / ck.restore_seconds : 0.0, 1),
+           ck.identical ? "yes" : "NO"});
+    }
+    std::cout << ck_table.str() << "\n";
+  }
 
   JsonWriter json;
   json.begin_object();
@@ -260,6 +364,18 @@ int main(int argc, char** argv) {
     json.end_object();
   }
   json.end_array();
+  json.key("checkpoints").begin_array();
+  for (const CheckpointResult& ck : checkpoint_rows) {
+    json.begin_object();
+    json.key("objects").value(ck.objects);
+    json.key("at_events").value(ck.at_events);
+    json.key("bytes").value(ck.bytes);
+    json.key("write_seconds").value(ck.write_seconds);
+    json.key("restore_seconds").value(ck.restore_seconds);
+    json.key("identical").value(ck.identical);
+    json.end_object();
+  }
+  json.end_array();
   json.end_object();
 
   const std::string json_path = cli.get_string("json");
@@ -273,13 +389,17 @@ int main(int argc, char** argv) {
   std::cout << "wrote " << json_path << "\n";
 
   if (!all_identical) {
-    std::cerr << "FAIL: engine aggregates diverged from the serial "
-                 "per-object Simulator sweep\n";
+    std::cerr << "FAIL: engine aggregates diverged (serial-sweep parity or "
+                 "checkpoint resume parity)\n";
     return EXIT_FAILURE;
   }
   if (verify) {
     std::cout << "engine aggregates bit-identical to the serial "
                  "per-object sweep\n";
+  }
+  if (checkpointing) {
+    std::cout << "checkpoint resume aggregates bit-identical to the "
+                 "uninterrupted serve\n";
   }
   return EXIT_SUCCESS;
 }

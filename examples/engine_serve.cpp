@@ -6,11 +6,24 @@
 //   ./build/examples/engine_serve
 //   ./build/examples/engine_serve --objects=100000 --arrivals=diurnal
 //   ./build/examples/engine_serve --log=my.evlog   # serve an existing log
+//
+// Crash-safe serving: --checkpoint-every=N snapshots the full engine
+// state (atomically, via rename) every N events; --resume-from=path
+// restores a snapshot and continues the same log mid-stream with
+// bit-identical final aggregates; --stop-after=N simulates a crash by
+// abandoning the serve (checkpoint written, no metrics) after ~N events.
+//
+//   ./build/examples/engine_serve --keep-log --checkpoint-path=my.ckpt
+//       --checkpoint-every=200000 --stop-after=400000
+//   ./build/examples/engine_serve --log=/tmp/engine_serve_demo.evlog
+//       --resume-from=my.ckpt
+#include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/drwp.hpp"
 #include "engine/engine.hpp"
@@ -36,6 +49,14 @@ int main(int argc, char** argv) {
   cli.add_flag("alpha", "0.3", "DRWP α");
   cli.add_flag("seed", "1", "workload seed");
   cli.add_bool_flag("keep-log", "keep the generated log on disk");
+  cli.add_flag("checkpoint-every", "0",
+               "snapshot the engine every N events (0 = never)");
+  cli.add_flag("checkpoint-path", "",
+               "snapshot destination (default: <log>.ckpt)");
+  cli.add_flag("resume-from", "", "restore this snapshot and resume the log");
+  cli.add_flag("stop-after", "0",
+               "abandon the serve after ~N events (with a final snapshot); "
+               "simulates a crash for resume testing");
   if (!cli.parse(argc, argv)) return 0;
 
   const std::size_t objects = cli.get_size_t("objects", 1, 100000000);
@@ -91,16 +112,73 @@ int main(int argc, char** argv) {
             << " events, " << reader.header().num_objects << " objects, "
             << reader.num_servers() << " servers)\n";
 
-  StreamingEngine engine(
-      config, options,
+  const std::uint64_t checkpoint_every = cli.get_uint64("checkpoint-every");
+  const std::uint64_t stop_after = cli.get_uint64("stop-after");
+  const std::string resume_from = cli.get_string("resume-from");
+  std::string checkpoint_path = cli.get_string("checkpoint-path");
+  if (checkpoint_path.empty()) checkpoint_path = log_path + ".ckpt";
+
+  const EnginePolicyFactory make_policy =
       [alpha](const EngineObjectContext&) -> PolicyPtr {
-        return std::make_unique<DrwpPolicy>(alpha);
-      },
+    return std::make_unique<DrwpPolicy>(alpha);
+  };
+  const EnginePredictorFactory make_predictor =
       [servers](const EngineObjectContext&) -> PredictorPtr {
-        return std::make_unique<LastGapPredictor>(servers);
-      });
-  const EngineMetrics metrics = engine.serve(reader);
-  const EngineStats& stats = engine.stats();
+    return std::make_unique<LastGapPredictor>(servers);
+  };
+
+  std::unique_ptr<StreamingEngine> engine;
+  if (!resume_from.empty()) {
+    engine = StreamingEngine::restore(resume_from, config, options,
+                                      make_policy, make_predictor);
+    std::cout << "resumed " << resume_from << ": " << engine->object_count()
+              << " objects at event offset " << engine->resume_position()
+              << "\n";
+  } else {
+    engine = std::make_unique<StreamingEngine>(config, options, make_policy,
+                                               make_predictor);
+  }
+
+  if (stop_after > 0) {
+    // Crash simulation: drain part of the log — honoring the periodic
+    // --checkpoint-every cadence, like a real serve would — then write a
+    // final snapshot and abandon the serve without finishing. The log is
+    // kept so a later --resume-from can pick up where this run stopped.
+    if (engine->resume_position() > reader.events_read()) {
+      reader.skip_events(engine->resume_position() - reader.events_read());
+    }
+    std::vector<LogEvent> batch;
+    std::uint64_t next_mark =
+        checkpoint_every == 0
+            ? 0
+            : (engine->stats().events_ingested / checkpoint_every + 1) *
+                  checkpoint_every;
+    while (engine->stats().events_ingested < stop_after &&
+           reader.read_batch(batch, std::size_t{1} << 16) > 0) {
+      engine->ingest(batch);
+      if (checkpoint_every > 0 &&
+          engine->stats().events_ingested >= next_mark) {
+        const std::string tmp = checkpoint_path + ".tmp";
+        engine->checkpoint(tmp);
+        std::filesystem::rename(tmp, checkpoint_path);
+        while (next_mark <= engine->stats().events_ingested) {
+          next_mark += checkpoint_every;
+        }
+      }
+    }
+    engine->checkpoint(checkpoint_path);
+    std::cout << "stopped after " << engine->stats().events_ingested
+              << " events; snapshot -> " << checkpoint_path
+              << "\nresume with: --log=" << log_path
+              << " --resume-from=" << checkpoint_path << "\n";
+    return EXIT_SUCCESS;
+  }
+
+  ServeOptions serve_options;
+  serve_options.checkpoint_every = checkpoint_every;
+  if (checkpoint_every > 0) serve_options.checkpoint_path = checkpoint_path;
+  const EngineMetrics metrics = engine->serve(reader, serve_options);
+  const EngineStats& stats = engine->stats();
   const double wall = stats.ingest_seconds + stats.finish_seconds;
 
   Table table({"metric", "value"});
@@ -114,6 +192,11 @@ int main(int argc, char** argv) {
   table.add_row({"threads used", Table::cell(stats.threads_used)});
   table.add_row({"batches", Table::cell(stats.batches)});
   table.add_row({"steals", Table::cell(stats.steals)});
+  if (stats.checkpoints_written > 0) {
+    table.add_row({"checkpoints", Table::cell(stats.checkpoints_written)});
+    table.add_row(
+        {"checkpoint seconds", Table::cell(stats.checkpoint_seconds, 3)});
+  }
   table.add_row({"wall seconds", Table::cell(wall, 3)});
   table.add_row(
       {"events/sec",

@@ -1,0 +1,195 @@
+#include "checkpoint/snapshot.hpp"
+
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+#ifdef __unix__
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace repl {
+
+namespace {
+
+void store_le32(unsigned char* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+void store_le64(unsigned char* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+std::uint32_t load_le32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+std::uint64_t load_le64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void sync_path_best_effort(const std::string& path) {
+#ifdef __unix__
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);  // best effort: durability, not correctness
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
+SnapshotWriter::SnapshotWriter(const std::string& path,
+                               const SnapshotHeader& header)
+    : out_(path, std::ios::binary | std::ios::trunc),
+      path_(path),
+      header_(header) {
+  if (!out_) {
+    throw std::runtime_error("checkpoint " + path_ +
+                             ": cannot open for writing");
+  }
+  unsigned char raw[SnapshotHeader::kSize] = {};
+  store_le64(raw, SnapshotHeader::kMagic);
+  store_le32(raw + 8, SnapshotHeader::kVersion);
+  store_le32(raw + 12, header_.num_servers);
+  store_le64(raw + 16, header_.num_objects);
+  store_le64(raw + 24, header_.events_ingested);
+  store_le64(raw + 32, header_.batches);
+  store_le64(raw + 40, header_.base_seed);
+  store_le64(raw + 48, std::bit_cast<std::uint64_t>(header_.last_batch_time));
+  store_le32(raw + 56, header_.flags);
+  out_.write(reinterpret_cast<const char*>(raw), SnapshotHeader::kSize);
+  if (!out_) throw std::runtime_error("checkpoint " + path_ + ": header write failed");
+  bytes_written_ = SnapshotHeader::kSize;
+  open_ = true;
+}
+
+SnapshotWriter::~SnapshotWriter() = default;
+
+void SnapshotWriter::add_object(std::uint64_t object_id,
+                                const std::vector<unsigned char>& payload) {
+  REPL_CHECK_MSG(open_, "add_object after close()");
+  REPL_CHECK_MSG(objects_written_ < header_.num_objects,
+                 "more object records than the header promises");
+  REPL_CHECK_MSG(objects_written_ == 0 || object_id > last_id_,
+                 "object records must have strictly increasing ids");
+  REPL_REQUIRE(payload.size() <=
+               std::numeric_limits<std::uint32_t>::max());
+  last_id_ = object_id;
+  ++objects_written_;
+
+  unsigned char prefix[12];
+  store_le64(prefix, object_id);
+  store_le32(prefix + 8, static_cast<std::uint32_t>(payload.size()));
+  out_.write(reinterpret_cast<const char*>(prefix), sizeof(prefix));
+  out_.write(reinterpret_cast<const char*>(payload.data()),
+             static_cast<std::streamsize>(payload.size()));
+  if (!out_) {
+    throw std::runtime_error("checkpoint " + path_ + ": record write failed");
+  }
+  bytes_written_ += sizeof(prefix) + payload.size();
+}
+
+void SnapshotWriter::close() {
+  REPL_CHECK_MSG(open_, "close() called twice");
+  open_ = false;
+  REPL_CHECK_MSG(objects_written_ == header_.num_objects,
+                 "snapshot holds " << objects_written_
+                                   << " object records, header promises "
+                                   << header_.num_objects);
+  unsigned char footer[8];
+  store_le64(footer, SnapshotHeader::kFooterMagic);
+  out_.write(reinterpret_cast<const char*>(footer), sizeof(footer));
+  out_.flush();
+  if (!out_) throw std::runtime_error("checkpoint " + path_ + ": footer write failed");
+  bytes_written_ += sizeof(footer);
+  out_.close();
+  if (out_.fail()) throw std::runtime_error("checkpoint " + path_ + ": close failed");
+  // Push the bytes to stable storage before the caller renames this file
+  // over the previous snapshot — otherwise a power loss can persist the
+  // rename but not the data, destroying the last good checkpoint.
+  sync_path_best_effort(path_);
+}
+
+SnapshotReader::SnapshotReader(const std::string& path)
+    : in_(path, std::ios::binary), path_(path) {
+  if (!in_) fail("cannot open for reading");
+  unsigned char raw[SnapshotHeader::kSize];
+  in_.read(reinterpret_cast<char*>(raw), SnapshotHeader::kSize);
+  if (in_.gcount() != static_cast<std::streamsize>(SnapshotHeader::kSize)) {
+    fail("truncated header");
+  }
+  if (load_le64(raw) != SnapshotHeader::kMagic) {
+    fail("bad magic (not a checkpoint)");
+  }
+  header_.version = load_le32(raw + 8);
+  if (header_.version != SnapshotHeader::kVersion) {
+    fail("unsupported version " + std::to_string(header_.version));
+  }
+  header_.num_servers = load_le32(raw + 12);
+  if (header_.num_servers == 0) fail("zero num_servers");
+  header_.num_objects = load_le64(raw + 16);
+  header_.events_ingested = load_le64(raw + 24);
+  header_.batches = load_le64(raw + 32);
+  header_.base_seed = load_le64(raw + 40);
+  header_.last_batch_time = std::bit_cast<double>(load_le64(raw + 48));
+  header_.flags = load_le32(raw + 56);
+}
+
+void SnapshotReader::fail(const std::string& what) const {
+  throw std::runtime_error("checkpoint " + path_ + ": " + what);
+}
+
+void SnapshotReader::read_exact(void* dst, std::size_t n, const char* what) {
+  in_.read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
+  if (in_.gcount() != static_cast<std::streamsize>(n)) {
+    fail(std::string("truncated ") + what + " after " +
+         std::to_string(objects_read_) + " of " +
+         std::to_string(header_.num_objects) + " object records");
+  }
+}
+
+bool SnapshotReader::next_object(std::uint64_t& object_id,
+                                 std::vector<unsigned char>& payload) {
+  if (objects_read_ == header_.num_objects) {
+    if (!footer_checked_) {
+      unsigned char footer[8];
+      read_exact(footer, sizeof(footer), "footer");
+      if (load_le64(footer) != SnapshotHeader::kFooterMagic) {
+        fail("bad footer magic (snapshot not sealed)");
+      }
+      // Bytes after the footer mean the file is not what the header
+      // claims — reject rather than silently ignore.
+      if (in_.peek() != std::ifstream::traits_type::eof()) {
+        fail("trailing bytes after footer");
+      }
+      footer_checked_ = true;
+    }
+    return false;
+  }
+  unsigned char prefix[12];
+  read_exact(prefix, sizeof(prefix), "record prefix");
+  object_id = load_le64(prefix);
+  if (objects_read_ > 0 && object_id <= prev_id_) {
+    fail("object ids out of order at record " +
+         std::to_string(objects_read_));
+  }
+  prev_id_ = object_id;
+  const std::uint32_t len = load_le32(prefix + 8);
+  payload.resize(len);
+  if (len > 0) read_exact(payload.data(), len, "record payload");
+  ++objects_read_;
+  return true;
+}
+
+}  // namespace repl

@@ -1,0 +1,133 @@
+// Versioned binary snapshot container for full engine state.
+//
+// A snapshot freezes a StreamingEngine mid-stream: the engine-level
+// scalars plus one state record per live object, so a long-running serve
+// can resume after a crash or redeploy with bit-identical final
+// aggregates. The file layout mirrors trace/event_log.hpp's conventions
+// (magic/version header, little-endian fixed-width fields, strict
+// truncation detection):
+//
+//   offset  size  field
+//   0       8     magic        "REPLCKPT"
+//   8       4     version      currently 1
+//   12      4     num_servers
+//   16      8     num_objects        (object records that follow)
+//   24      8     events_ingested    (== the event-log resume offset in
+//                                     records; byte offset is
+//                                     EventLogHeader::kSize + 20·N)
+//   32      8     batches            (ingest batches so far, diagnostics)
+//   40      8     base_seed          (per-object seed root; must match on
+//                                     restore or object RNG streams fork)
+//   48      8     last_batch_time    IEEE-754 binary64
+//   56      4     flags              bit 0: any_event
+//                                    bit 1: compute_lower_bound
+//   60      4     reserved, 0
+//   64      --    object records, ascending object id:
+//                   0   8   object id
+//                   8   4   payload length in bytes
+//                   12  --  payload (StateWriter stream)
+//   end     8     footer magic "REPLCKND"
+//
+// The trailing footer makes truncation at an exact record boundary — a
+// crash mid-checkpoint — detectable, which header-count checking alone
+// would miss for the final record. Writers therefore emit to a temporary
+// path and rename into place (see StreamingEngine::serve) so a partial
+// file never shadows a good snapshot.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace repl {
+
+/// Best-effort fsync of a file or directory (no-op off POSIX). Callers
+/// that rename a sealed snapshot over a previous one should sync the
+/// containing directory afterwards so the rename itself is durable.
+void sync_path_best_effort(const std::string& path);
+
+struct SnapshotHeader {
+  static constexpr std::uint64_t kMagic = 0x54504b434c504552ULL;  // "REPLCKPT"
+  static constexpr std::uint64_t kFooterMagic =
+      0x444e4b434c504552ULL;  // "REPLCKND"
+  static constexpr std::uint32_t kVersion = 1;
+  static constexpr std::size_t kSize = 64;  // bytes on disk
+
+  static constexpr std::uint32_t kFlagAnyEvent = 1u << 0;
+  static constexpr std::uint32_t kFlagLowerBound = 1u << 1;
+
+  std::uint32_t version = kVersion;
+  std::uint32_t num_servers = 0;
+  std::uint64_t num_objects = 0;
+  std::uint64_t events_ingested = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t base_seed = 0;
+  double last_batch_time = 0.0;
+  std::uint32_t flags = 0;
+};
+
+/// Writes a snapshot file. The object count is fixed up front (the engine
+/// knows its table size before serializing), so close() can verify every
+/// promised record was emitted before sealing the footer.
+class SnapshotWriter {
+ public:
+  /// Opens `path` (truncating) and emits the header. Throws
+  /// std::runtime_error when the file cannot be opened.
+  SnapshotWriter(const std::string& path, const SnapshotHeader& header);
+  ~SnapshotWriter();
+
+  SnapshotWriter(const SnapshotWriter&) = delete;
+  SnapshotWriter& operator=(const SnapshotWriter&) = delete;
+
+  /// Appends one object record. Ids must be strictly increasing — the
+  /// canonical order, independent of shard layout.
+  void add_object(std::uint64_t object_id,
+                  const std::vector<unsigned char>& payload);
+
+  /// Seals the footer, flushes, and closes. Throws std::runtime_error on
+  /// I/O failure or if fewer records than promised were added. The
+  /// destructor does NOT seal — an abandoned writer leaves a file without
+  /// a footer, which readers reject.
+  void close();
+
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+  SnapshotHeader header_;
+  std::uint64_t objects_written_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  std::uint64_t last_id_ = 0;
+  bool open_ = false;
+};
+
+/// Reads and validates a snapshot file: header on open, per-record bounds
+/// and id ordering during iteration, footer at the end. Every corruption
+/// mode (bad magic, unsupported version, truncation anywhere, trailing
+/// garbage) raises std::runtime_error with a diagnostic.
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(const std::string& path);
+
+  const SnapshotHeader& header() const { return header_; }
+
+  /// Reads the next object record; returns false after the last one (at
+  /// which point the footer has been verified).
+  bool next_object(std::uint64_t& object_id,
+                   std::vector<unsigned char>& payload);
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const;
+  void read_exact(void* dst, std::size_t n, const char* what);
+
+  std::ifstream in_;
+  std::string path_;
+  SnapshotHeader header_;
+  std::uint64_t objects_read_ = 0;
+  std::uint64_t prev_id_ = 0;
+  bool footer_checked_ = false;
+};
+
+}  // namespace repl

@@ -46,6 +46,26 @@ double AdaptiveDrwpPolicy::choose_duration(const Prediction& pred,
   return DrwpPolicy::choose_duration(pred, ctx);
 }
 
+void AdaptiveDrwpPolicy::save_state(StateWriter& out) const {
+  DrwpPolicy::save_state(out);
+  out.f64(options_.beta);
+  out.u64(static_cast<std::uint64_t>(served_));
+  out.u64(static_cast<std::uint64_t>(fallback_count_));
+  REPL_CHECK(estimator_.has_value());
+  estimator_->save_state(out);
+}
+
+void AdaptiveDrwpPolicy::load_state(StateReader& in) {
+  DrwpPolicy::load_state(in);
+  if (in.f64() != options_.beta) in.fail("adaptive beta mismatch");
+  served_ = static_cast<std::size_t>(in.u64());
+  fallback_count_ = static_cast<std::size_t>(in.u64());
+  if (!estimator_.has_value()) {
+    in.fail("adaptive monitor missing (load_state before reset?)");
+  }
+  estimator_->load_state(in);
+}
+
 double AdaptiveDrwpPolicy::monitored_ratio() const {
   return estimator_ ? estimator_->ratio_bound()
                     : std::numeric_limits<double>::infinity();

@@ -31,6 +31,11 @@ class AdaptiveDrwpPolicy final : public DrwpPolicy {
   std::string name() const override;
   std::unique_ptr<ReplicationPolicy> clone() const override;
 
+  /// Base DRWP state plus the ratio monitor (estimator accumulators,
+  /// warm-up and fallback counters).
+  void save_state(StateWriter& out) const override;
+  void load_state(StateReader& in) override;
+
   double beta() const { return options_.beta; }
 
   /// Current monitor value OnlineU / OPTL (+inf before any request).

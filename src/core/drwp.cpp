@@ -201,6 +201,62 @@ bool DrwpPolicy::is_special(int server) const {
   return servers_[static_cast<std::size_t>(server)].special;
 }
 
+void DrwpPolicy::save_state(StateWriter& out) const {
+  out.f64(alpha_);
+  out.i32(config_.num_servers);
+  out.i32(copy_count_);
+  out.f64(now_);
+  for (const ServerState& st : servers_) {
+    out.boolean(st.has_copy);
+    out.boolean(st.special);
+    out.f64(st.expiry);
+    out.f64(st.special_since);
+    out.f64(st.last_intended);
+    out.f64(st.last_request_time);
+    out.u64(st.generation);
+  }
+}
+
+void DrwpPolicy::load_state(StateReader& in) {
+  const double alpha = in.f64();
+  if (alpha != alpha_) in.fail("drwp alpha mismatch");
+  const std::int32_t num_servers = in.i32();
+  if (num_servers != config_.num_servers ||
+      servers_.size() != static_cast<std::size_t>(num_servers)) {
+    in.fail("drwp server count mismatch (load_state before reset?)");
+  }
+  copy_count_ = in.i32();
+  now_ = in.f64();
+  expiries_ = {};
+  for (ServerState& st : servers_) {
+    st.has_copy = in.boolean();
+    st.special = in.boolean();
+    st.expiry = in.f64();
+    st.special_since = in.f64();
+    st.last_intended = in.f64();
+    st.last_request_time = in.f64();
+    st.generation = in.u64();
+  }
+  if (copy_count_ < 1 || copy_count_ > num_servers) {
+    in.fail("drwp copy count " + std::to_string(copy_count_) +
+            " out of range");
+  }
+  // Rebuild the expiry heap from the per-server truth. Pop order is a
+  // total order on (time, server), so the rebuilt heap dequeues in the
+  // exact sequence the original would have — stale entries simply never
+  // existed here.
+  int copies = 0;
+  for (int s = 0; s < num_servers; ++s) {
+    const ServerState& st = servers_[static_cast<std::size_t>(s)];
+    if (!st.has_copy) continue;
+    ++copies;
+    if (!st.special) {
+      expiries_.push(HeapEntry{st.expiry, s, st.generation});
+    }
+  }
+  if (copies != copy_count_) in.fail("drwp copy count inconsistent");
+}
+
 std::string DrwpPolicy::name() const {
   std::ostringstream os;
   os << "drwp(alpha=" << alpha_ << ")";

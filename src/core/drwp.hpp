@@ -44,6 +44,13 @@ class DrwpPolicy : public ReplicationPolicy {
   std::string name() const override;
   std::unique_ptr<ReplicationPolicy> clone() const override;
 
+  /// Serializes the per-server automaton state (E_j, K_j, bookkeeping)
+  /// and the clock; the expiry heap is rebuilt from it on load, which
+  /// drops stale entries for free. alpha and the server count are
+  /// written as cross-checks only.
+  void save_state(StateWriter& out) const override;
+  void load_state(StateReader& in) override;
+
   double alpha() const { return alpha_; }
   double lambda() const { return config_.transfer_cost; }
 

@@ -59,6 +59,32 @@ void OnlineCostEstimator::record(int server, double time, bool local,
   }
 }
 
+void OnlineCostEstimator::save_state(StateWriter& out) const {
+  out.f64(lambda_);
+  out.f64(opt_l_);
+  out.f64(allocated_);
+  out.f64(last_global_time_);
+  out.u64(static_cast<std::uint64_t>(servers_seen_count_));
+  out.u64(static_cast<std::uint64_t>(requests_seen_));
+  out.u64(static_cast<std::uint64_t>(server_seen_.size()));
+  for (const bool seen : server_seen_) out.boolean(seen);
+}
+
+void OnlineCostEstimator::load_state(StateReader& in) {
+  if (in.f64() != lambda_) in.fail("estimator lambda mismatch");
+  opt_l_ = in.f64();
+  allocated_ = in.f64();
+  last_global_time_ = in.f64();
+  servers_seen_count_ = static_cast<std::size_t>(in.u64());
+  requests_seen_ = static_cast<std::size_t>(in.u64());
+  if (in.u64() != server_seen_.size()) {
+    in.fail("estimator server count mismatch");
+  }
+  for (std::size_t s = 0; s < server_seen_.size(); ++s) {
+    server_seen_[s] = in.boolean();
+  }
+}
+
 double OnlineCostEstimator::ratio_bound() const {
   if (opt_l_ <= 0.0) return std::numeric_limits<double>::infinity();
   return online_upper_bound() / opt_l_;

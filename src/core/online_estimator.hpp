@@ -23,6 +23,7 @@
 #include <limits>
 #include <vector>
 
+#include "checkpoint/state_io.hpp"
 #include "core/types.hpp"
 
 namespace repl {
@@ -52,6 +53,11 @@ class OnlineCostEstimator {
   double ratio_bound() const;
 
   std::size_t requests_seen() const { return requests_seen_; }
+
+  /// Checkpoint protocol: the accumulators and the seen-server set; λ is
+  /// construction state and only cross-checked.
+  void save_state(StateWriter& out) const;
+  void load_state(StateReader& in);
 
  private:
   double lambda_;

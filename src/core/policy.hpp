@@ -30,6 +30,7 @@
 #include <memory>
 #include <string>
 
+#include "checkpoint/state_io.hpp"
 #include "core/types.hpp"
 #include "predictor/predictor.hpp"
 
@@ -58,7 +59,28 @@ class ReplicationPolicy {
 
   virtual std::string name() const = 0;
   virtual std::unique_ptr<ReplicationPolicy> clone() const = 0;
+
+  /// Checkpoint protocol (see checkpoint/snapshot.hpp): serialize every
+  /// field that evolves after reset() so that a freshly constructed and
+  /// reset() policy, after load_state(), continues bit-identically to
+  /// the saved one. Static configuration (alpha, the SystemConfig) is
+  /// re-established by construction + reset, not by the snapshot —
+  /// implementations write cross-check fields instead of reloading them.
+  /// The default refuses: a policy that silently round-tripped nothing
+  /// would resume from the wrong state.
+  virtual void save_state(StateWriter& out) const;
+  virtual void load_state(StateReader& in);
 };
+
+inline void ReplicationPolicy::save_state(StateWriter&) const {
+  REPL_REQUIRE_MSG(false, "policy '" << name()
+                                     << "' does not support checkpointing");
+}
+
+inline void ReplicationPolicy::load_state(StateReader&) {
+  REPL_REQUIRE_MSG(false, "policy '" << name()
+                                     << "' does not support checkpointing");
+}
 
 using PolicyPtr = std::unique_ptr<ReplicationPolicy>;
 

@@ -12,13 +12,22 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// The canonical event sink: validates the event stream and accumulates
-/// copy segments + transfers.
+/// costs, copy segments, and transfers.
 ///
-/// `billing_horizon` bounds which transfers are billed (time <= horizon).
-/// When the cost horizon is "the final request time" it is unknown while
-/// the run is still streaming, so it starts at +inf (every in-run transfer
-/// happens no later than the final request and is billed either way) and
-/// is pinned to the resolved horizon just before the post-trace flush.
+/// `billing_horizon` bounds which costs are billed: transfers at
+/// time <= horizon, and the portion of each copy segment within
+/// [0, horizon]. When the cost horizon is "the final request time" it is
+/// unknown while the run is still streaming, so it starts at +inf (every
+/// in-run transfer happens no later than the final request and is billed
+/// either way, and every in-run segment closes no later than the final
+/// request) and is pinned to the resolved horizon just before the
+/// post-trace flush.
+///
+/// Storage cost accumulates incrementally as segments close — one
+/// addition per segment, in close order, the exact sequence a post-hoc
+/// sweep over the segment list would perform — so a streaming consumer
+/// (the engine, checkpoints) needs only this scalar, and the segment
+/// list itself is retained only when per-event recording is on.
 class Recorder final : public EventSink {
  public:
   Recorder(const SystemConfig& config, bool record_events,
@@ -102,16 +111,46 @@ class Recorder final : public EventSink {
   std::vector<TransferRecord>& transfers() { return transfers_; }
 
   /// Storage cost within [0, horizon], weighted by per-server rates.
-  /// Must be called after finish() (all segments materialized).
-  double storage_cost(double horizon) const {
-    double total = 0.0;
-    for (const CopySegment& seg : segments_) {
-      const double end = std::min(seg.end, horizon);
-      if (end > seg.begin) {
-        total += config_.storage_rate(seg.server) * (end - seg.begin);
-      }
+  /// Must be called after finish() (all segments closed and billed).
+  double storage_cost() const { return storage_cost_; }
+
+  /// Checkpoint protocol: the cost accumulators and per-server open-copy
+  /// state. The event logs (segments/transfers) are observability, not
+  /// cost state, and restart empty after a restore.
+  void save_state(StateWriter& out) const {
+    out.i32(count_);
+    out.u64(static_cast<std::uint64_t>(transfer_count_));
+    out.u64(static_cast<std::uint64_t>(billed_transfer_count_));
+    out.f64(last_time_);
+    out.f64(initial_intended_);
+    out.f64(storage_cost_);
+    out.u64(static_cast<std::uint64_t>(holding_.size()));
+    for (std::size_t s = 0; s < holding_.size(); ++s) {
+      out.boolean(holding_[s]);
+      out.f64(open_begin_[s]);
+      out.f64(open_special_[s]);
     }
-    return total;
+  }
+
+  void load_state(StateReader& in) {
+    count_ = in.i32();
+    transfer_count_ = static_cast<std::size_t>(in.u64());
+    billed_transfer_count_ = static_cast<std::size_t>(in.u64());
+    last_time_ = in.f64();
+    initial_intended_ = in.f64();
+    storage_cost_ = in.f64();
+    if (in.u64() != holding_.size()) in.fail("recorder server count mismatch");
+    for (std::size_t s = 0; s < holding_.size(); ++s) {
+      holding_[s] = in.boolean();
+      open_begin_[s] = in.f64();
+      open_special_[s] = in.f64();
+    }
+    if (count_ < 1 || count_ > static_cast<int>(holding_.size())) {
+      in.fail("recorder copy count " + std::to_string(count_) +
+              " out of range");
+    }
+    segments_.clear();
+    transfers_.clear();
   }
 
  private:
@@ -129,8 +168,19 @@ class Recorder final : public EventSink {
 
   void close_segment(int server, double end) {
     const auto s = static_cast<std::size_t>(server);
-    segments_.push_back(CopySegment{server, open_begin_[s], open_special_[s],
-                                    end});
+    // Bill the segment's storage as it closes. `billing_horizon_` is +inf
+    // until finish() pins it, and every in-run close happens at or before
+    // the final request time, so capping here computes the same value the
+    // final horizon would — in the same operation order as a post-hoc
+    // sweep, keeping costs bit-identical to the pre-streaming code path.
+    const double capped = std::min(end, billing_horizon_);
+    if (capped > open_begin_[s]) {
+      storage_cost_ += config_.storage_rate(server) * (capped - open_begin_[s]);
+    }
+    if (record_events_) {
+      segments_.push_back(CopySegment{server, open_begin_[s],
+                                      open_special_[s], end});
+    }
     open_special_[s] = kInf;
   }
 
@@ -145,6 +195,7 @@ class Recorder final : public EventSink {
   int count_ = 0;
   std::size_t transfer_count_ = 0;
   std::size_t billed_transfer_count_ = 0;
+  double storage_cost_ = 0.0;
   double last_time_ = 0.0;
   double initial_intended_ = std::numeric_limits<double>::quiet_NaN();
 };
@@ -252,6 +303,64 @@ double OnlineSimulation::last_time() const {
   return impl_->last_request_time;
 }
 
+void OnlineSimulation::save_state(StateWriter& out) const {
+  const Impl& im = *impl_;
+  REPL_CHECK_MSG(!im.finished, "save_state after finish()");
+  out.str(im.policy.name());
+  out.str(im.predictor.name());
+  // Config cross-checks: every component below prices against the same
+  // SystemConfig, so a snapshot restored under a different λ, initial
+  // server, or storage-rate vector must be rejected, not silently
+  // continued with diverging durations/costs.
+  out.f64(im.config.transfer_cost);
+  out.i32(im.config.initial_server);
+  for (int s = 0; s < im.config.num_servers; ++s) {
+    out.f64(im.config.storage_rate(s));
+  }
+  out.u64(static_cast<std::uint64_t>(im.index));
+  out.f64(im.last_request_time);
+  out.u64(static_cast<std::uint64_t>(im.result.num_local));
+  out.boolean(im.result.initial_prediction.within_lambda);
+  im.recorder.save_state(out);
+  im.policy.save_state(out);
+  im.predictor.save_state(out);
+}
+
+void OnlineSimulation::load_state(StateReader& in) {
+  Impl& im = *impl_;
+  REPL_CHECK_MSG(!im.finished, "load_state after finish()");
+  REPL_CHECK_MSG(im.index == 0,
+                 "load_state requires a freshly constructed simulation");
+  const std::string policy_name = in.str();
+  if (policy_name != im.policy.name()) {
+    in.fail("policy mismatch: snapshot has '" + policy_name + "', have '" +
+            im.policy.name() + "'");
+  }
+  const std::string predictor_name = in.str();
+  if (predictor_name != im.predictor.name()) {
+    in.fail("predictor mismatch: snapshot has '" + predictor_name +
+            "', have '" + im.predictor.name() + "'");
+  }
+  if (in.f64() != im.config.transfer_cost) {
+    in.fail("transfer cost (lambda) mismatch");
+  }
+  if (in.i32() != im.config.initial_server) {
+    in.fail("initial server mismatch");
+  }
+  for (int s = 0; s < im.config.num_servers; ++s) {
+    if (in.f64() != im.config.storage_rate(s)) {
+      in.fail("storage rate mismatch at server " + std::to_string(s));
+    }
+  }
+  im.index = static_cast<std::size_t>(in.u64());
+  im.last_request_time = in.f64();
+  im.result.num_local = static_cast<std::size_t>(in.u64());
+  im.result.initial_prediction.within_lambda = in.boolean();
+  im.recorder.load_state(in);
+  im.policy.load_state(in);
+  im.predictor.load_state(in);
+}
+
 SimulationResult OnlineSimulation::finish() {
   Impl& im = *impl_;
   REPL_CHECK_MSG(!im.finished, "OnlineSimulation::finish() called twice");
@@ -280,7 +389,7 @@ SimulationResult OnlineSimulation::finish() {
 
   im.recorder.finish();
   im.result.horizon = horizon;
-  im.result.storage_cost = im.recorder.storage_cost(horizon);
+  im.result.storage_cost = im.recorder.storage_cost();
   im.result.num_transfers = im.recorder.billed_transfer_count();
   im.result.transfer_cost =
       lambda * static_cast<double>(im.result.num_transfers);

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "checkpoint/state_io.hpp"
 #include "core/policy.hpp"
 #include "core/types.hpp"
 #include "predictor/predictor.hpp"
@@ -120,6 +121,22 @@ class OnlineSimulation {
 
   /// Time of the last step; 0 before the first.
   double last_time() const;
+
+  /// Checkpoint protocol (see checkpoint/snapshot.hpp). save_state
+  /// serializes everything the remaining stream needs for bit-identical
+  /// costs — the request clock, the cost accumulators, and the policy's
+  /// and predictor's own state (delegated) — but NOT the per-event
+  /// observability logs (serves/segments/transfers), which can grow
+  /// without bound on a long-running serve. A restored simulation
+  /// therefore reports only post-restore events in those vectors, while
+  /// every scalar of its final SimulationResult (costs, counts, horizon)
+  /// is bit-identical to the uninterrupted run's.
+  ///
+  /// load_state must run on a freshly constructed simulation (no steps
+  /// yet) whose config, options, policy type, and predictor type match
+  /// the saved one; mismatches raise std::runtime_error.
+  void save_state(StateWriter& out) const;
+  void load_state(StateReader& in);
 
   SimulationResult finish();
 

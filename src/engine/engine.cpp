@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <filesystem>
 #include <limits>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 
+#include "checkpoint/snapshot.hpp"
+#include "checkpoint/state_io.hpp"
 #include "offline/opt_lower_bound.hpp"
 #include "run/parallel_runner.hpp"
 #include "run/thread_pool.hpp"
@@ -26,22 +29,6 @@ std::size_t shard_index(std::uint64_t object_id, std::size_t num_shards) {
                                   static_cast<std::uint64_t>(num_shards));
 }
 
-struct ObjectState {
-  ObjectState(const SystemConfig& config, const SimulationOptions& sim,
-              PolicyPtr pol, PredictorPtr pred, bool with_lower_bound)
-      : policy(std::move(pol)),
-        predictor(std::move(pred)),
-        simulation(config, sim, *policy, *predictor) {
-    if (with_lower_bound) lower_bound.emplace(config);
-  }
-
-  PolicyPtr policy;
-  PredictorPtr predictor;
-  OnlineSimulation simulation;
-  std::optional<StreamingLowerBound> lower_bound;
-  std::size_t events = 0;
-};
-
 /// One finalized object's contribution, carried to the global reduction.
 struct ObjectFinal {
   std::uint64_t id = 0;
@@ -54,10 +41,51 @@ struct ObjectFinal {
 
 }  // namespace
 
+struct StreamingEngine::ObjectState {
+  ObjectState(const SystemConfig& config, const SimulationOptions& sim,
+              PolicyPtr pol, PredictorPtr pred, bool with_lower_bound)
+      : policy(std::move(pol)),
+        predictor(std::move(pred)),
+        simulation(config, sim, *policy, *predictor) {
+    if (with_lower_bound) lower_bound.emplace(config);
+  }
+
+  void save_state(StateWriter& out) const {
+    out.u64(static_cast<std::uint64_t>(events));
+    out.boolean(lower_bound.has_value());
+    if (lower_bound) lower_bound->save_state(out);
+    simulation.save_state(out);
+  }
+
+  void load_state(StateReader& in) {
+    events = static_cast<std::size_t>(in.u64());
+    if (in.boolean() != lower_bound.has_value()) {
+      in.fail("lower-bound presence mismatch");
+    }
+    if (lower_bound) lower_bound->load_state(in);
+    simulation.load_state(in);
+    in.expect_end();
+  }
+
+  PolicyPtr policy;
+  PredictorPtr predictor;
+  OnlineSimulation simulation;
+  std::optional<StreamingLowerBound> lower_bound;
+  std::size_t events = 0;
+};
+
 struct StreamingEngine::Shard {
   std::unordered_map<std::uint64_t, std::unique_ptr<ObjectState>> objects;
   /// Events routed to this shard for the batch in flight, in stream order.
   std::vector<LogEvent> inbox;
+  /// Object records routed to this shard by restore(), decoded by the
+  /// shard task in parallel.
+  std::vector<std::pair<std::uint64_t, std::vector<unsigned char>>>
+      restore_inbox;
+  /// (id, payload) snapshots produced by checkpoint()'s shard tasks,
+  /// merged into canonical id order on the calling thread.
+  std::vector<std::pair<std::uint64_t, std::vector<unsigned char>>>
+      snapshots;
   /// Set by the shard task on failure; the lowest shard index wins.
   std::exception_ptr error;
   /// Filled by finish(), sorted by object id.
@@ -96,6 +124,20 @@ StreamingEngine::~StreamingEngine() = default;
 
 StreamingEngine::Shard& StreamingEngine::shard_for(std::uint64_t object_id) {
   return *shards_[shard_index(object_id, options_.num_shards)];
+}
+
+std::unique_ptr<StreamingEngine::ObjectState>
+StreamingEngine::make_object_state(std::uint64_t object_id) {
+  SimulationOptions sim_options;
+  sim_options.horizon = options_.horizon;
+  sim_options.record_events = false;
+  EngineObjectContext context;
+  context.object_id = object_id;
+  context.seed = ParallelRunner::object_seed(
+      options_.base_seed, static_cast<std::size_t>(object_id));
+  return std::make_unique<ObjectState>(
+      config_, sim_options, make_policy_(context), make_predictor_(context),
+      options_.compute_lower_bound);
 }
 
 void StreamingEngine::run_shard_tasks(
@@ -180,22 +222,10 @@ void StreamingEngine::ingest(const LogEvent* events, std::size_t count) {
   last_batch_time_ = prev;
   any_event_ = true;
 
-  SimulationOptions sim_options;
-  sim_options.horizon = options_.horizon;
-  sim_options.record_events = false;
-
   run_shard_tasks(active, [&](Shard& shard) {
     for (const LogEvent& event : shard.inbox) {
       std::unique_ptr<ObjectState>& slot = shard.objects[event.object];
-      if (!slot) {
-        EngineObjectContext context;
-        context.object_id = event.object;
-        context.seed = ParallelRunner::object_seed(
-            options_.base_seed, static_cast<std::size_t>(event.object));
-        slot = std::make_unique<ObjectState>(
-            config_, sim_options, make_policy_(context),
-            make_predictor_(context), options_.compute_lower_bound);
-      }
+      if (!slot) slot = make_object_state(event.object);
       slot->simulation.step(static_cast<int>(event.server), event.time);
       if (slot->lower_bound) {
         slot->lower_bound->step(static_cast<int>(event.server), event.time);
@@ -290,15 +320,181 @@ EngineMetrics StreamingEngine::finish() {
 }
 
 EngineMetrics StreamingEngine::serve(EventLogReader& reader,
-                                     std::size_t batch_events) {
+                                     const ServeOptions& options) {
+  // Invariant header state, validated and hoisted once — nothing in the
+  // read → ingest loop below consults the reader's header again.
+  const std::size_t batch_events = options.batch_events;
+  const std::uint64_t checkpoint_every = options.checkpoint_every;
   REPL_REQUIRE(batch_events >= 1);
+  REPL_REQUIRE_MSG(checkpoint_every == 0 || !options.checkpoint_path.empty(),
+                   "checkpoint_every requires a checkpoint_path");
   REPL_REQUIRE_MSG(reader.num_servers() == config_.num_servers,
                    "log has " << reader.num_servers()
                               << " servers, config expects "
                               << config_.num_servers);
+
+  // A restored engine resumes where the snapshot left off: seek the
+  // reader forward to the recorded event offset.
+  if (resume_events_ > 0) {
+    REPL_REQUIRE_MSG(reader.events_read() <= resume_events_,
+                     "reader is already past the checkpoint's position ("
+                         << reader.events_read() << " > " << resume_events_
+                         << " events)");
+    reader.skip_events(resume_events_ - reader.events_read());
+  }
+
+  std::uint64_t next_checkpoint =
+      checkpoint_every == 0
+          ? 0
+          : (stats_.events_ingested / checkpoint_every + 1) * checkpoint_every;
   std::vector<LogEvent> batch;
-  while (reader.read_batch(batch, batch_events) > 0) ingest(batch);
+  while (reader.read_batch(batch, batch_events) > 0) {
+    ingest(batch);
+    if (checkpoint_every > 0 && stats_.events_ingested >= next_checkpoint) {
+      // Atomic replace: seal the snapshot under a temporary name first,
+      // so a crash mid-write never clobbers the previous good one.
+      const auto started = std::chrono::steady_clock::now();
+      const std::string tmp = options.checkpoint_path + ".tmp";
+      checkpoint(tmp);
+      std::filesystem::rename(tmp, options.checkpoint_path);
+      // Make the replacement itself durable (the snapshot's bytes were
+      // synced before the rename, inside SnapshotWriter::close()).
+      sync_path_best_effort(
+          std::filesystem::path(options.checkpoint_path)
+              .parent_path()
+              .string());
+      ++stats_.checkpoints_written;
+      stats_.checkpoint_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        started)
+              .count();
+      while (next_checkpoint <= stats_.events_ingested) {
+        next_checkpoint += checkpoint_every;
+      }
+    }
+  }
   return finish();
+}
+
+void StreamingEngine::checkpoint(const std::string& path) {
+  REPL_CHECK_MSG(!finished_, "checkpoint after finish()");
+  REPL_CHECK_MSG(!failed_, "engine unusable after a prior failure");
+
+  // Serialize shard-parallel: each task snapshots its own objects into
+  // id-sorted (id, payload) pairs.
+  std::vector<std::size_t> active;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (!shards_[i]->objects.empty()) active.push_back(i);
+  }
+  run_shard_tasks(active, [](Shard& shard) {
+    shard.snapshots.clear();
+    shard.snapshots.reserve(shard.objects.size());
+    for (const auto& [id, state] : shard.objects) {
+      StateWriter writer;
+      state->save_state(writer);
+      shard.snapshots.emplace_back(id, writer.release());
+    }
+    std::sort(shard.snapshots.begin(), shard.snapshots.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  });
+
+  // Merge to canonical order: shards partition the id space, so a global
+  // id sort over the shard-sorted runs yields the snapshot's record
+  // order regardless of shard layout.
+  std::vector<const std::pair<std::uint64_t, std::vector<unsigned char>>*>
+      records;
+  records.reserve(object_count());
+  for (const std::size_t i : active) {
+    for (const auto& entry : shards_[i]->snapshots) records.push_back(&entry);
+  }
+  std::sort(records.begin(), records.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+
+  SnapshotHeader header;
+  header.num_servers = static_cast<std::uint32_t>(config_.num_servers);
+  header.num_objects = records.size();
+  header.events_ingested = stats_.events_ingested;
+  header.batches = stats_.batches;
+  header.base_seed = options_.base_seed;
+  header.last_batch_time = last_batch_time_;
+  header.flags = (any_event_ ? SnapshotHeader::kFlagAnyEvent : 0u) |
+                 (options_.compute_lower_bound ? SnapshotHeader::kFlagLowerBound
+                                               : 0u);
+  SnapshotWriter writer(path, header);
+  for (const auto* record : records) {
+    writer.add_object(record->first, record->second);
+  }
+  writer.close();
+  for (const std::size_t i : active) {
+    shards_[i]->snapshots.clear();
+    shards_[i]->snapshots.shrink_to_fit();
+  }
+}
+
+std::unique_ptr<StreamingEngine> StreamingEngine::restore(
+    const std::string& path, SystemConfig config, EngineOptions options,
+    EnginePolicyFactory make_policy, EnginePredictorFactory make_predictor) {
+  SnapshotReader reader(path);
+  const SnapshotHeader& header = reader.header();
+  REPL_REQUIRE_MSG(header.num_servers ==
+                       static_cast<std::uint32_t>(config.num_servers),
+                   "snapshot has " << header.num_servers
+                                   << " servers, config expects "
+                                   << config.num_servers);
+  const bool snapshot_lower_bound =
+      (header.flags & SnapshotHeader::kFlagLowerBound) != 0;
+  REPL_REQUIRE_MSG(snapshot_lower_bound == options.compute_lower_bound,
+                   "snapshot and options disagree on compute_lower_bound");
+  REPL_REQUIRE_MSG(header.base_seed == options.base_seed,
+                   "snapshot base_seed " << header.base_seed
+                                         << " != options.base_seed "
+                                         << options.base_seed
+                                         << " (object seed streams would "
+                                            "fork)");
+
+  auto engine = std::make_unique<StreamingEngine>(
+      std::move(config), options, std::move(make_policy),
+      std::move(make_predictor));
+  engine->any_event_ = (header.flags & SnapshotHeader::kFlagAnyEvent) != 0;
+  engine->last_batch_time_ = header.last_batch_time;
+  engine->stats_.events_ingested = header.events_ingested;
+  engine->stats_.batches = header.batches;
+  engine->resume_events_ = header.events_ingested;
+
+  // Rebuild the object table in bounded-memory chunks: route records to
+  // shard inboxes, then decode shard-parallel (object construction runs
+  // the factories + a fresh simulation reset before load_state overwrites
+  // the evolved fields — the expensive part, worth the fan-out).
+  constexpr std::size_t kChunkObjects = std::size_t{1} << 16;
+  bool more = true;
+  while (more) {
+    std::vector<std::size_t> active;
+    std::size_t routed = 0;
+    std::uint64_t id = 0;
+    std::vector<unsigned char> payload;
+    while (routed < kChunkObjects && (more = reader.next_object(id, payload))) {
+      Shard& shard = engine->shard_for(id);
+      if (shard.restore_inbox.empty()) {
+        active.push_back(shard_index(id, engine->options_.num_shards));
+      }
+      shard.restore_inbox.emplace_back(id, std::move(payload));
+      ++routed;
+    }
+    if (routed == 0) break;
+    engine->run_shard_tasks(active, [&engine](Shard& shard) {
+      for (auto& [object_id, bytes] : shard.restore_inbox) {
+        auto state = engine->make_object_state(object_id);
+        StateReader in(bytes.data(), bytes.size(),
+                       "object " + std::to_string(object_id));
+        state->load_state(in);
+        shard.objects.emplace(object_id, std::move(state));
+      }
+      shard.restore_inbox.clear();
+    });
+  }
+  REPL_CHECK(engine->object_count() ==
+             static_cast<std::size_t>(header.num_objects));
+  return engine;
 }
 
 std::size_t StreamingEngine::object_count() const {

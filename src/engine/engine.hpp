@@ -115,6 +115,23 @@ struct EngineStats {
   std::uint64_t steals = 0;
   double ingest_seconds = 0.0;
   double finish_seconds = 0.0;
+  /// Periodic checkpoints written by serve() and their cumulative cost.
+  std::size_t checkpoints_written = 0;
+  double checkpoint_seconds = 0.0;
+};
+
+/// Controls one serve() drain, including periodic crash-safe snapshots.
+struct ServeOptions {
+  /// Events per ingest batch.
+  std::size_t batch_events = std::size_t{1} << 16;
+  /// Write a checkpoint after roughly every this many ingested events
+  /// (snapshots land on the next batch boundary); 0 disables. Requires
+  /// `checkpoint_path`.
+  std::uint64_t checkpoint_every = 0;
+  /// Destination for periodic checkpoints. Written atomically: the
+  /// snapshot goes to "<path>.tmp" and is renamed over `path` only once
+  /// sealed, so a crash mid-checkpoint never corrupts the last good one.
+  std::string checkpoint_path;
 };
 
 class StreamingEngine {
@@ -141,10 +158,44 @@ class StreamingEngine {
     ingest(events.data(), events.size());
   }
 
-  /// Drains `reader` through ingest() in `batch_events`-sized batches and
-  /// returns finish(). The whole log never resides in memory.
+  /// Drains `reader` through ingest() in batch-sized chunks and returns
+  /// finish(). The whole log never resides in memory. Invariant header
+  /// state (server count, batch geometry) is validated and hoisted once,
+  /// before the read → ingest loop. On an engine restored from a
+  /// checkpoint, serve() first seeks the reader forward to the snapshot's
+  /// event offset, so passing the original log resumes mid-stream.
+  EngineMetrics serve(EventLogReader& reader, const ServeOptions& options);
   EngineMetrics serve(EventLogReader& reader,
-                      std::size_t batch_events = 1 << 16);
+                      std::size_t batch_events = 1 << 16) {
+    ServeOptions options;
+    options.batch_events = batch_events;
+    return serve(reader, options);
+  }
+
+  /// Freezes the full engine state — every object's policy, predictor,
+  /// simulation, and lower-bound accumulators, plus the stream position —
+  /// into a versioned snapshot at `path` (see checkpoint/snapshot.hpp).
+  /// Object records are written in ascending object id, so the snapshot
+  /// is canonical: independent of this engine's shard count and thread
+  /// count, and restorable into any other shard/thread geometry.
+  /// The engine remains serveable afterwards.
+  void checkpoint(const std::string& path);
+
+  /// Reconstructs an engine from a snapshot written by checkpoint().
+  /// `config`, `options.compute_lower_bound`, `options.base_seed`, and
+  /// the factories must match the checkpointing run (the snapshot
+  /// cross-checks what it can and fails with a diagnostic otherwise);
+  /// shard and thread counts are free to differ. Continue with serve()
+  /// on the original log — final aggregates are bit-identical to an
+  /// uninterrupted run.
+  static std::unique_ptr<StreamingEngine> restore(
+      const std::string& path, SystemConfig config, EngineOptions options,
+      EnginePolicyFactory make_policy, EnginePredictorFactory make_predictor);
+
+  /// Events already consumed from the driving log at the restore point
+  /// (0 for an engine that was never restored): the record offset
+  /// serve() seeks past before reading.
+  std::uint64_t resume_position() const { return resume_events_; }
 
   /// Finalizes every object (post-stream expiry flush, per-object cost
   /// extraction) and reduces the aggregates. No ingest() may follow.
@@ -158,10 +209,12 @@ class StreamingEngine {
 
  private:
   struct Shard;
+  struct ObjectState;
 
   Shard& shard_for(std::uint64_t object_id);
   void run_shard_tasks(const std::vector<std::size_t>& shard_ids,
                        const std::function<void(Shard&)>& work);
+  std::unique_ptr<ObjectState> make_object_state(std::uint64_t object_id);
 
   SystemConfig config_;
   EngineOptions options_;
@@ -175,6 +228,9 @@ class StreamingEngine {
   double last_batch_time_ = 0.0;
   bool any_event_ = false;
   bool finished_ = false;
+  /// Stream position recorded in the snapshot this engine was restored
+  /// from; 0 for a fresh engine.
+  std::uint64_t resume_events_ = 0;
   /// Set when a shard task failed (object state partially advanced);
   /// every later ingest()/finish() fails fast. A batch rejected by the
   /// pre-routing validation does NOT poison the engine — no state was

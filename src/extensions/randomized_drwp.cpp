@@ -24,6 +24,25 @@ double RandomizedDrwpPolicy::choose_duration(const Prediction& pred,
   return std::max(z, 1e-9 * alpha()) * lambda();
 }
 
+void RandomizedDrwpPolicy::save_state(StateWriter& out) const {
+  DrwpPolicy::save_state(out);
+  out.u64(seed_);
+  const Rng::State state = rng_.state();
+  for (const std::uint64_t word : state.s) out.u64(word);
+  out.boolean(state.have_cached_normal);
+  out.f64(state.cached_normal);
+}
+
+void RandomizedDrwpPolicy::load_state(StateReader& in) {
+  DrwpPolicy::load_state(in);
+  if (in.u64() != seed_) in.fail("randomized-drwp seed mismatch");
+  Rng::State state;
+  for (std::uint64_t& word : state.s) word = in.u64();
+  state.have_cached_normal = in.boolean();
+  state.cached_normal = in.f64();
+  rng_.set_state(state);
+}
+
 std::string RandomizedDrwpPolicy::name() const {
   std::ostringstream os;
   os << "randomized-drwp(alpha=" << alpha() << ")";

@@ -31,6 +31,11 @@ class RandomizedDrwpPolicy final : public DrwpPolicy {
   std::string name() const override;
   std::unique_ptr<ReplicationPolicy> clone() const override;
 
+  /// Base DRWP state plus the raw RNG stream position, so a restored
+  /// policy draws the same duration sequence the uninterrupted run would.
+  void save_state(StateWriter& out) const override;
+  void load_state(StateReader& in) override;
+
  protected:
   double choose_duration(const Prediction& pred,
                          const ServeContext& ctx) override;

@@ -50,6 +50,24 @@ StreamingLowerBound::StreamingLowerBound(const SystemConfig& config)
   last_at_server_[static_cast<std::size_t>(config.initial_server)] = 0.0;
 }
 
+void StreamingLowerBound::save_state(StateWriter& out) const {
+  out.f64(lambda_);
+  out.f64(prev_global_);
+  out.f64(bound_);
+  out.u64(static_cast<std::uint64_t>(last_at_server_.size()));
+  for (const double t : last_at_server_) out.f64(t);
+}
+
+void StreamingLowerBound::load_state(StateReader& in) {
+  if (in.f64() != lambda_) in.fail("lower bound lambda mismatch");
+  prev_global_ = in.f64();
+  bound_ = in.f64();
+  if (in.u64() != last_at_server_.size()) {
+    in.fail("lower bound server count mismatch");
+  }
+  for (double& t : last_at_server_) t = in.f64();
+}
+
 void StreamingLowerBound::step(int server, double time) {
   REPL_REQUIRE(server >= 0 &&
                static_cast<std::size_t>(server) < last_at_server_.size());

@@ -18,6 +18,7 @@
 
 #include <vector>
 
+#include "checkpoint/state_io.hpp"
 #include "core/types.hpp"
 #include "trace/trace.hpp"
 
@@ -37,6 +38,11 @@ class StreamingLowerBound {
   void step(int server, double time);
 
   double value() const { return bound_; }
+
+  /// Checkpoint protocol: the accumulator and per-server clocks; λ is
+  /// construction state and only cross-checked.
+  void save_state(StateWriter& out) const;
+  void load_state(StateReader& in);
 
  private:
   double lambda_;

@@ -60,6 +60,44 @@ Prediction EnsemblePredictor::predict(const PredictionQuery& query) {
   return Prediction{within_weight > beyond_weight};
 }
 
+void EnsemblePredictor::save_state(StateWriter& out) const {
+  out.u64(static_cast<std::uint64_t>(experts_.size()));
+  for (const double w : weights_) out.f64(w);
+  out.u64(static_cast<std::uint64_t>(pending_.size()));
+  for (const PendingVote& pending : pending_) {
+    out.f64(pending.time);
+    out.u64(static_cast<std::uint64_t>(pending.votes.size()));
+    for (const bool vote : pending.votes) out.boolean(vote);
+  }
+  for (const auto& expert : experts_) expert->save_state(out);
+}
+
+void EnsemblePredictor::load_state(StateReader& in) {
+  if (in.u64() != experts_.size()) {
+    in.fail("ensemble expert count mismatch");
+  }
+  for (double& w : weights_) w = in.f64();
+  pending_.assign(static_cast<std::size_t>(in.u64()), PendingVote{});
+  for (PendingVote& pending : pending_) {
+    pending.time = in.f64();
+    // A scored entry always carries one vote per expert; anything else is
+    // corruption, and predict() would index votes out of bounds.
+    const std::uint64_t num_votes = in.u64();
+    if (num_votes != 0 && num_votes != experts_.size()) {
+      in.fail("ensemble pending vote count " + std::to_string(num_votes) +
+              " != expert count " + std::to_string(experts_.size()));
+    }
+    if (pending.time >= 0.0 && num_votes != experts_.size()) {
+      in.fail("ensemble pending entry has a timestamp but no votes");
+    }
+    pending.votes.resize(static_cast<std::size_t>(num_votes));
+    for (std::size_t v = 0; v < pending.votes.size(); ++v) {
+      pending.votes[v] = in.boolean();
+    }
+  }
+  for (const auto& expert : experts_) expert->load_state(in);
+}
+
 std::string EnsemblePredictor::name() const {
   std::ostringstream os;
   os << "ensemble(" << experts_.size() << " experts";

@@ -34,6 +34,10 @@ class EnsemblePredictor final : public Predictor {
   void reset() override;
   Prediction predict(const PredictionQuery& query) override;
   std::string name() const override;
+  /// Weights, per-server pending votes, and each expert's own state (in
+  /// expert order) — restore requires the same expert lineup.
+  void save_state(StateWriter& out) const override;
+  void load_state(StateReader& in) override;
 
   const std::vector<double>& weights() const { return weights_; }
 

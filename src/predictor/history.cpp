@@ -32,6 +32,24 @@ Prediction HistoryPredictor::predict(const PredictionQuery& query) {
   return Prediction{st.ewma <= config_.margin * query.lambda};
 }
 
+void HistoryPredictor::save_state(StateWriter& out) const {
+  out.u32(static_cast<std::uint32_t>(num_servers_));
+  for (const ServerState& st : state_) {
+    out.f64(st.last_time);
+    out.f64(st.ewma);
+  }
+}
+
+void HistoryPredictor::load_state(StateReader& in) {
+  if (in.u32() != static_cast<std::uint32_t>(num_servers_)) {
+    in.fail("history predictor server count mismatch");
+  }
+  for (ServerState& st : state_) {
+    st.last_time = in.f64();
+    st.ewma = in.f64();
+  }
+}
+
 double HistoryPredictor::ewma(int server) const {
   REPL_REQUIRE(server >= 0 && server < num_servers_);
   return state_[static_cast<std::size_t>(server)].ewma;

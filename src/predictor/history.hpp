@@ -32,6 +32,8 @@ class HistoryPredictor final : public Predictor {
   void reset() override;
   Prediction predict(const PredictionQuery& query) override;
   std::string name() const override { return "history-ewma"; }
+  void save_state(StateWriter& out) const override;
+  void load_state(StateReader& in) override;
 
   /// EWMA currently held for `server`; negative if no observation yet.
   double ewma(int server) const;

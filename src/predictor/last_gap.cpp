@@ -14,6 +14,27 @@ void LastGapPredictor::reset() {
   state_.assign(static_cast<std::size_t>(num_servers_), ServerState{});
 }
 
+void LastGapPredictor::save_state(StateWriter& out) const {
+  out.u32(static_cast<std::uint32_t>(num_servers_));
+  for (const ServerState& st : state_) {
+    out.f64(st.last_time);
+    out.i32(st.last_class);
+  }
+}
+
+void LastGapPredictor::load_state(StateReader& in) {
+  if (in.u32() != static_cast<std::uint32_t>(num_servers_)) {
+    in.fail("last-gap predictor server count mismatch");
+  }
+  for (ServerState& st : state_) {
+    st.last_time = in.f64();
+    st.last_class = in.i32();
+    if (st.last_class < -1 || st.last_class > 1) {
+      in.fail("last-gap class out of range");
+    }
+  }
+}
+
 Prediction LastGapPredictor::predict(const PredictionQuery& query) {
   REPL_REQUIRE(query.server >= 0 && query.server < num_servers_);
   ServerState& st = state_[static_cast<std::size_t>(query.server)];

@@ -18,6 +18,8 @@ class LastGapPredictor final : public Predictor {
   void reset() override;
   Prediction predict(const PredictionQuery& query) override;
   std::string name() const override { return "last-gap"; }
+  void save_state(StateWriter& out) const override;
+  void load_state(StateReader& in) override;
 
  private:
   struct ServerState {

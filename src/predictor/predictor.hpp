@@ -11,6 +11,8 @@
 #include <memory>
 #include <string>
 
+#include "checkpoint/state_io.hpp"
+
 namespace repl {
 
 /// The binary forecast of Algorithm 1's input model.
@@ -47,6 +49,16 @@ class Predictor {
 
   /// Human-readable name for reports.
   virtual std::string name() const = 0;
+
+  /// Checkpoint protocol (see checkpoint/snapshot.hpp): serialize every
+  /// field that evolves across predict() calls, so a freshly constructed
+  /// predictor continues bit-identically after load_state(). The default
+  /// round-trips nothing, which is correct for the *stateless* predictors
+  /// (fixed, oracle, adversarial, accuracy — their output is a pure
+  /// function of the query); causal predictors with history must
+  /// override both.
+  virtual void save_state(StateWriter&) const {}
+  virtual void load_state(StateReader&) {}
 };
 
 using PredictorPtr = std::unique_ptr<Predictor>;

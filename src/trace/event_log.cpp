@@ -191,6 +191,34 @@ bool EventLogReader::next(LogEvent& event) {
   return true;
 }
 
+void EventLogReader::skip_events(std::uint64_t count) {
+  if (count == 0) return;
+  if (header_.num_events != EventLogHeader::kUnknownCount) {
+    REPL_REQUIRE_MSG(count <= header_.num_events - delivered_,
+                     "cannot skip " << count << " events: only "
+                                    << header_.num_events - delivered_
+                                    << " remain");
+  }
+  const std::uint64_t buffered =
+      static_cast<std::uint64_t>(buffer_len_ - buffer_pos_) /
+      EventLogHeader::kRecordSize;
+  if (count <= buffered) {
+    buffer_pos_ += static_cast<std::size_t>(count) *
+                   EventLogHeader::kRecordSize;
+    delivered_ += count;
+    return;
+  }
+  // Beyond the buffer: one absolute seek to the target record.
+  delivered_ += count;
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(
+      EventLogHeader::kSize + delivered_ * EventLogHeader::kRecordSize));
+  if (!in_) io_fail(path_, "seek failed while skipping events");
+  buffer_pos_ = 0;
+  buffer_len_ = 0;
+  eof_ = false;
+}
+
 std::size_t EventLogReader::read_batch(std::vector<LogEvent>& out,
                                        std::size_t max_events) {
   out.clear();

@@ -122,6 +122,14 @@ class EventLogReader {
   /// first). Returns the number read; 0 at a clean end-of-log.
   std::size_t read_batch(std::vector<LogEvent>& out, std::size_t max_events);
 
+  /// Skips forward over `count` events without decoding them — records
+  /// are fixed-width, so this is a seek, not a scan. Used to resume a
+  /// serve from a checkpoint's event offset. Rejects skips past the
+  /// header's event count when it is known; for streaming logs (unknown
+  /// count) an over-skip surfaces as a truncation error or early EOF on
+  /// the next read.
+  void skip_events(std::uint64_t count);
+
  private:
   void refill();
 

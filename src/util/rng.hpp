@@ -72,6 +72,20 @@ class Rng {
   /// Splits off an independent generator (jump-based substream).
   Rng split();
 
+  /// Raw engine state, exposed so checkpoints can round-trip a generator
+  /// mid-stream (xoshiro words plus the Box–Muller cache).
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    bool have_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+  State state() const { return {s_, have_cached_normal_, cached_normal_}; }
+  void set_state(const State& state) {
+    s_ = state.s;
+    have_cached_normal_ = state.have_cached_normal;
+    cached_normal_ = state.cached_normal;
+  }
+
  private:
   std::array<std::uint64_t, 4> s_;
   bool have_cached_normal_ = false;

@@ -1,0 +1,755 @@
+// Checkpoint/restore subsystem tests.
+//
+// The load-bearing properties:
+//  * round trip — for randomized traces, every policy×predictor
+//    combination snapshotted at a random request index and restored into
+//    fresh objects replays the remaining requests with bit-identical
+//    ServeRecords and a bit-identical final SimulationResult;
+//  * crash recovery — a snapshot truncated at any record boundary or
+//    random byte offset, or with tampered magic/version bytes, fails
+//    restore() cleanly with a diagnostic (no UB under ASan/UBSan),
+//    mirroring event_log_test's corruption coverage;
+//  * empty-state snapshots — zero-event and single-event logs serve and
+//    checkpoint correctly.
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "checkpoint/snapshot.hpp"
+#include "checkpoint/state_io.hpp"
+#include "core/adaptive_drwp.hpp"
+#include "core/drwp.hpp"
+#include "core/simulator.hpp"
+#include "engine/engine.hpp"
+#include "extensions/randomized_drwp.hpp"
+#include "predictor/ensemble.hpp"
+#include "predictor/fixed.hpp"
+#include "predictor/history.hpp"
+#include "predictor/last_gap.hpp"
+#include "predictor/noisy.hpp"
+#include "predictor/oracle.hpp"
+#include "trace/event_log.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace repl {
+namespace {
+
+constexpr int kServers = 5;
+constexpr double kLambda = 10.0;
+
+SystemConfig test_config() {
+  SystemConfig config;
+  config.num_servers = kServers;
+  config.transfer_cost = kLambda;
+  return config;
+}
+
+/// A random trace mixing short bursts and long gaps so policies exercise
+/// every branch (local serves, transfers, special copies, expiries).
+Trace random_trace(std::uint64_t seed, std::size_t num_requests) {
+  Rng rng(seed);
+  std::vector<Request> requests;
+  double t = 0.0;
+  for (std::size_t i = 0; i < num_requests; ++i) {
+    t += rng.bernoulli(0.6) ? rng.uniform(0.05, 0.5 * kLambda)
+                            : rng.uniform(kLambda, 5.0 * kLambda);
+    requests.push_back(
+        Request{t, static_cast<int>(rng.uniform_index(kServers))});
+  }
+  return Trace(kServers, std::move(requests));
+}
+
+using PolicyFactory = std::function<PolicyPtr()>;
+using PredictorFactory = std::function<PredictorPtr(const Trace&)>;
+
+std::vector<std::pair<std::string, PolicyFactory>> policy_factories() {
+  return {
+      {"drwp", [] { return std::make_unique<DrwpPolicy>(0.3); }},
+      {"conventional", [] { return std::make_unique<ConventionalPolicy>(); }},
+      {"adaptive",
+       [] {
+         AdaptiveDrwpPolicy::Options options;
+         options.beta = 0.25;
+         options.warmup_requests = 10;
+         return std::make_unique<AdaptiveDrwpPolicy>(0.3, options);
+       }},
+      {"randomized",
+       [] { return std::make_unique<RandomizedDrwpPolicy>(0.3, 99); }},
+  };
+}
+
+std::vector<std::pair<std::string, PredictorFactory>> predictor_factories() {
+  return {
+      {"last-gap",
+       [](const Trace&) { return std::make_unique<LastGapPredictor>(kServers); }},
+      {"history",
+       [](const Trace&) {
+         return std::make_unique<HistoryPredictor>(kServers);
+       }},
+      {"ensemble",
+       [](const Trace&) {
+         std::vector<std::shared_ptr<Predictor>> experts;
+         experts.push_back(std::make_shared<HistoryPredictor>(kServers));
+         experts.push_back(std::make_shared<LastGapPredictor>(kServers));
+         experts.push_back(std::make_shared<FixedPredictor>(true));
+         return std::make_unique<EnsemblePredictor>(std::move(experts));
+       }},
+      {"fixed",
+       [](const Trace&) { return std::make_unique<FixedPredictor>(false); }},
+      {"oracle",
+       [](const Trace& trace) {
+         return std::make_unique<OraclePredictor>(trace);
+       }},
+      {"noisy",
+       [](const Trace& trace) {
+         return std::make_unique<AccuracyPredictor>(trace, 0.8, 7);
+       }},
+  };
+}
+
+void expect_serves_equal(const ServeRecord& a, const ServeRecord& b) {
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(a.server, b.server);
+  EXPECT_EQ(a.time, b.time);
+  EXPECT_EQ(a.local, b.local);
+  EXPECT_EQ(a.source, b.source);
+  EXPECT_EQ(a.source_special, b.source_special);
+  EXPECT_EQ(a.special_since, b.special_since);
+  EXPECT_EQ(a.intended_duration, b.intended_duration);
+  EXPECT_EQ(a.prediction, b.prediction);
+}
+
+/// Snapshots a run at `cut`, restores into fresh components, and checks
+/// the resumed run against the uninterrupted one: remaining ServeRecords
+/// and every scalar of the final result bit-identical.
+void check_round_trip(const PolicyFactory& make_policy,
+                      const PredictorFactory& make_predictor,
+                      const Trace& trace, std::size_t cut) {
+  const SystemConfig config = test_config();
+  const SimulationOptions options;  // record_events on: serves compared
+
+  // Uninterrupted reference.
+  PolicyPtr ref_policy = make_policy();
+  PredictorPtr ref_predictor = make_predictor(trace);
+  OnlineSimulation reference(config, options, *ref_policy, *ref_predictor);
+  for (const Request& r : trace.requests()) reference.step(r.server, r.time);
+  const SimulationResult full = reference.finish();
+
+  // Prefix, snapshot.
+  PolicyPtr cut_policy = make_policy();
+  PredictorPtr cut_predictor = make_predictor(trace);
+  OnlineSimulation prefix(config, options, *cut_policy, *cut_predictor);
+  for (std::size_t i = 0; i < cut; ++i) {
+    prefix.step(trace[i].server, trace[i].time);
+  }
+  StateWriter snapshot;
+  prefix.save_state(snapshot);
+
+  // Restore into fresh objects, replay the remainder.
+  PolicyPtr resumed_policy = make_policy();
+  PredictorPtr resumed_predictor = make_predictor(trace);
+  OnlineSimulation resumed(config, options, *resumed_policy,
+                           *resumed_predictor);
+  StateReader in(snapshot.buffer().data(), snapshot.size(), "round trip");
+  resumed.load_state(in);
+  in.expect_end();
+  EXPECT_EQ(resumed.steps(), cut);
+  for (std::size_t i = cut; i < trace.size(); ++i) {
+    resumed.step(trace[i].server, trace[i].time);
+  }
+  const SimulationResult result = resumed.finish();
+
+  // Final aggregates: bit-identical to the uninterrupted run.
+  EXPECT_EQ(result.storage_cost, full.storage_cost);
+  EXPECT_EQ(result.transfer_cost, full.transfer_cost);
+  EXPECT_EQ(result.total_cost(), full.total_cost());
+  EXPECT_EQ(result.num_local, full.num_local);
+  EXPECT_EQ(result.num_transfers, full.num_transfers);
+  EXPECT_EQ(result.horizon, full.horizon);
+  EXPECT_EQ(result.initial_intended_duration, full.initial_intended_duration);
+  EXPECT_EQ(result.initial_prediction, full.initial_prediction);
+  EXPECT_EQ(result.policy_name, full.policy_name);
+  EXPECT_EQ(result.predictor_name, full.predictor_name);
+
+  // The restored run records exactly the remaining serves.
+  ASSERT_EQ(result.serves.size(), full.serves.size() - cut);
+  for (std::size_t i = 0; i < result.serves.size(); ++i) {
+    expect_serves_equal(result.serves[i], full.serves[cut + i]);
+  }
+}
+
+TEST(CheckpointStateIoTest, PrimitivesRoundTrip) {
+  StateWriter out;
+  out.u8(0xab);
+  out.u32(0xdeadbeefu);
+  out.u64(0x0123456789abcdefULL);
+  out.i32(-42);
+  out.f64(-0.0);
+  out.f64(std::numeric_limits<double>::infinity());
+  out.f64(std::numeric_limits<double>::quiet_NaN());
+  out.boolean(true);
+  out.str("checkpoint");
+
+  StateReader in(out.buffer().data(), out.size(), "primitives");
+  EXPECT_EQ(in.u8(), 0xab);
+  EXPECT_EQ(in.u32(), 0xdeadbeefu);
+  EXPECT_EQ(in.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(in.i32(), -42);
+  const double negzero = in.f64();
+  EXPECT_EQ(negzero, 0.0);
+  EXPECT_TRUE(std::signbit(negzero));  // -0.0 preserved bit-exactly
+  EXPECT_EQ(in.f64(), std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isnan(in.f64()));
+  EXPECT_TRUE(in.boolean());
+  EXPECT_EQ(in.str(), "checkpoint");
+  EXPECT_EQ(in.remaining(), 0u);
+  in.expect_end();
+}
+
+TEST(CheckpointStateIoTest, UnderflowAndTrailingBytesAreDiagnosed) {
+  StateWriter out;
+  out.u32(7);
+  StateReader in(out.buffer().data(), out.size(), "short payload");
+  EXPECT_THROW(in.u64(), std::runtime_error);
+
+  StateReader trailing(out.buffer().data(), out.size(), "trailing");
+  EXPECT_THROW(trailing.expect_end(), std::runtime_error);
+
+  StateWriter bad_bool;
+  bad_bool.u8(2);
+  StateReader bools(bad_bool.buffer().data(), bad_bool.size(), "bool");
+  EXPECT_THROW(bools.boolean(), std::runtime_error);
+
+  try {
+    StateReader named(out.buffer().data(), out.size(), "object 42");
+    named.u64();
+    FAIL() << "expected underflow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("object 42"), std::string::npos);
+  }
+}
+
+/// The satellite property test: every policy×predictor combination,
+/// randomized traces, random cut points.
+TEST(CheckpointRoundTripTest, AllPolicyPredictorCombinations) {
+  Rng cuts(0xc0ffee);
+  for (const auto& [policy_name, make_policy] : policy_factories()) {
+    for (const auto& [predictor_name, make_predictor] :
+         predictor_factories()) {
+      const Trace trace = random_trace(
+          0x5eed0000 + std::hash<std::string>{}(policy_name + predictor_name),
+          120);
+      for (int rep = 0; rep < 3; ++rep) {
+        const std::size_t cut =
+            static_cast<std::size_t>(cuts.uniform_index(trace.size() - 1)) + 1;
+        SCOPED_TRACE(policy_name + " × " + predictor_name + " cut=" +
+                     std::to_string(cut));
+        check_round_trip(make_policy, make_predictor, trace, cut);
+      }
+    }
+  }
+}
+
+TEST(CheckpointRoundTripTest, BoundaryCutsIncludingZeroAndAll) {
+  const Trace trace = random_trace(0xfeed, 60);
+  const auto make_policy = [] { return std::make_unique<DrwpPolicy>(0.3); };
+  const auto make_predictor = [](const Trace&) {
+    return std::make_unique<HistoryPredictor>(kServers);
+  };
+  for (const std::size_t cut :
+       {std::size_t{0}, std::size_t{1}, trace.size() - 1, trace.size()}) {
+    SCOPED_TRACE("cut=" + std::to_string(cut));
+    check_round_trip(make_policy, make_predictor, trace, cut);
+  }
+}
+
+TEST(CheckpointRoundTripTest, LoadRejectsComponentMismatch) {
+  const Trace trace = random_trace(0xd00d, 40);
+  const SystemConfig config = test_config();
+  DrwpPolicy policy(0.3);
+  LastGapPredictor predictor(kServers);
+  OnlineSimulation sim(config, SimulationOptions{}, policy, predictor);
+  for (std::size_t i = 0; i < 10; ++i) sim.step(trace[i].server, trace[i].time);
+  StateWriter snapshot;
+  sim.save_state(snapshot);
+
+  // Wrong policy type.
+  {
+    ConventionalPolicy other;
+    LastGapPredictor pred(kServers);
+    OnlineSimulation fresh(config, SimulationOptions{}, other, pred);
+    StateReader in(snapshot.buffer().data(), snapshot.size(), "mismatch");
+    EXPECT_THROW(fresh.load_state(in), std::runtime_error);
+  }
+  // Wrong predictor type.
+  {
+    DrwpPolicy same(0.3);
+    HistoryPredictor pred(kServers);
+    OnlineSimulation fresh(config, SimulationOptions{}, same, pred);
+    StateReader in(snapshot.buffer().data(), snapshot.size(), "mismatch");
+    EXPECT_THROW(fresh.load_state(in), std::runtime_error);
+  }
+  // Wrong alpha (same type): the policy's own cross-check fires.
+  {
+    DrwpPolicy other_alpha(0.7);
+    LastGapPredictor pred(kServers);
+    OnlineSimulation fresh(config, SimulationOptions{}, other_alpha, pred);
+    StateReader in(snapshot.buffer().data(), snapshot.size(), "mismatch");
+    EXPECT_THROW(fresh.load_state(in), std::runtime_error);
+  }
+  // Wrong transfer cost: the config cross-check fires even though every
+  // component type matches.
+  {
+    SystemConfig other_lambda = config;
+    other_lambda.transfer_cost = kLambda / 2.0;
+    DrwpPolicy same(0.3);
+    LastGapPredictor pred(kServers);
+    OnlineSimulation fresh(other_lambda, SimulationOptions{}, same, pred);
+    StateReader in(snapshot.buffer().data(), snapshot.size(), "mismatch");
+    EXPECT_THROW(fresh.load_state(in), std::runtime_error);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Engine-level checkpoint files: format validation and corruption paths.
+// ---------------------------------------------------------------------
+
+class CheckpointFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("repl_checkpoint_test_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string temp_path(const std::string& name) {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+EnginePolicyFactory engine_policy_factory() {
+  return [](const EngineObjectContext&) -> PolicyPtr {
+    return std::make_unique<DrwpPolicy>(0.3);
+  };
+}
+
+EnginePredictorFactory engine_predictor_factory() {
+  return [](const EngineObjectContext&) -> PredictorPtr {
+    return std::make_unique<LastGapPredictor>(kServers);
+  };
+}
+
+/// A deterministic interleaved multi-object batch.
+std::vector<LogEvent> interleaved_events(std::size_t count,
+                                         std::size_t num_objects,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LogEvent> events;
+  double t = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    t += rng.uniform(0.01, 2.0);
+    events.push_back(LogEvent{t, rng.uniform_index(num_objects),
+                              static_cast<std::uint32_t>(
+                                  rng.uniform_index(kServers))});
+  }
+  return events;
+}
+
+std::unique_ptr<StreamingEngine> fresh_engine(std::size_t shards,
+                                              int threads) {
+  EngineOptions options;
+  options.num_shards = shards;
+  options.num_threads = threads;
+  return std::make_unique<StreamingEngine>(test_config(), options,
+                                           engine_policy_factory(),
+                                           engine_predictor_factory());
+}
+
+TEST_F(CheckpointFileTest, EngineRoundTripAcrossShardGeometries) {
+  const std::vector<LogEvent> events = interleaved_events(4000, 50, 17);
+  const std::size_t cut = events.size() / 2;
+  const std::string path = temp_path("engine.ckpt");
+
+  // Uninterrupted reference.
+  auto reference = fresh_engine(8, 1);
+  reference->ingest(events);
+  const EngineMetrics full = reference->finish();
+
+  // First half, checkpoint with one geometry...
+  auto first = fresh_engine(8, 4);
+  first->ingest(events.data(), cut);
+  first->checkpoint(path);
+
+  // ...restore with a different geometry, serve the rest.
+  EngineOptions options;
+  options.num_shards = 3;
+  options.num_threads = 2;
+  auto resumed = StreamingEngine::restore(path, test_config(), options,
+                                          engine_policy_factory(),
+                                          engine_predictor_factory());
+  EXPECT_EQ(resumed->resume_position(), cut);
+  EXPECT_EQ(resumed->object_count(), 50u);
+  resumed->ingest(events.data() + cut, events.size() - cut);
+  const EngineMetrics metrics = resumed->finish();
+
+  EXPECT_EQ(metrics.objects, full.objects);
+  EXPECT_EQ(metrics.events, full.events);
+  EXPECT_EQ(metrics.num_local, full.num_local);
+  EXPECT_EQ(metrics.num_transfers, full.num_transfers);
+  EXPECT_EQ(metrics.online_cost, full.online_cost);  // bit-identical
+  EXPECT_EQ(metrics.lower_bound, full.lower_bound);  // bit-identical
+
+  // The checkpointed engine is still serveable afterwards.
+  first->ingest(events.data() + cut, events.size() - cut);
+  const EngineMetrics continued = first->finish();
+  EXPECT_EQ(continued.online_cost, full.online_cost);
+}
+
+TEST_F(CheckpointFileTest, RestoreRejectsMismatchedConfiguration) {
+  const std::vector<LogEvent> events = interleaved_events(500, 10, 3);
+  const std::string path = temp_path("mismatch.ckpt");
+  auto engine = fresh_engine(4, 1);
+  engine->ingest(events);
+  engine->checkpoint(path);
+
+  // Wrong server count.
+  {
+    SystemConfig config = test_config();
+    config.num_servers = kServers + 1;
+    EXPECT_THROW(StreamingEngine::restore(path, config, EngineOptions{},
+                                          engine_policy_factory(),
+                                          engine_predictor_factory()),
+                 std::invalid_argument);
+  }
+  // Wrong base seed.
+  {
+    EngineOptions options;
+    options.base_seed = 123;
+    EXPECT_THROW(StreamingEngine::restore(path, test_config(), options,
+                                          engine_policy_factory(),
+                                          engine_predictor_factory()),
+                 std::invalid_argument);
+  }
+  // Lower-bound accumulators missing from the restored options.
+  {
+    EngineOptions options;
+    options.compute_lower_bound = false;
+    EXPECT_THROW(StreamingEngine::restore(path, test_config(), options,
+                                          engine_policy_factory(),
+                                          engine_predictor_factory()),
+                 std::invalid_argument);
+  }
+  // Mismatched per-object components (different predictor type).
+  {
+    EXPECT_THROW(
+        StreamingEngine::restore(
+            path, test_config(), EngineOptions{}, engine_policy_factory(),
+            [](const EngineObjectContext&) -> PredictorPtr {
+              return std::make_unique<HistoryPredictor>(kServers);
+            }),
+        std::runtime_error);
+  }
+}
+
+/// Parses the record table of a snapshot file to find every record
+/// boundary (offsets where a record begins, plus the footer offset).
+std::vector<std::uintmax_t> record_boundaries(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  unsigned char header[SnapshotHeader::kSize];
+  in.read(reinterpret_cast<char*>(header), SnapshotHeader::kSize);
+  auto le64 = [](const unsigned char* p) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+    return v;
+  };
+  auto le32 = [](const unsigned char* p) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+    return v;
+  };
+  const std::uint64_t num_objects = le64(header + 16);
+  std::vector<std::uintmax_t> boundaries;
+  std::uintmax_t offset = SnapshotHeader::kSize;
+  for (std::uint64_t i = 0; i < num_objects; ++i) {
+    boundaries.push_back(offset);
+    unsigned char prefix[12];
+    in.seekg(static_cast<std::streamoff>(offset));
+    in.read(reinterpret_cast<char*>(prefix), sizeof(prefix));
+    offset += 12 + le32(prefix + 8);
+  }
+  boundaries.push_back(offset);  // footer position
+  return boundaries;
+}
+
+void expect_restore_fails(const std::string& path) {
+  try {
+    StreamingEngine::restore(path, test_config(), EngineOptions{},
+                             engine_policy_factory(),
+                             engine_predictor_factory());
+    FAIL() << "restore accepted a corrupt snapshot: " << path;
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("checkpoint"), std::string::npos)
+        << e.what();
+  }
+}
+
+/// The crash-recovery satellite: every record boundary, random byte
+/// offsets, and tampered header bytes must all fail cleanly.
+TEST_F(CheckpointFileTest, TruncationAndTamperingAreRejected) {
+  const std::vector<LogEvent> events = interleaved_events(800, 12, 29);
+  const std::string path = temp_path("corrupt.ckpt");
+  auto engine = fresh_engine(4, 1);
+  engine->ingest(events);
+  engine->checkpoint(path);
+
+  // Sanity: the intact snapshot restores.
+  ASSERT_NE(StreamingEngine::restore(path, test_config(), EngineOptions{},
+                                     engine_policy_factory(),
+                                     engine_predictor_factory()),
+            nullptr);
+
+  const auto full_size = std::filesystem::file_size(path);
+  const std::vector<std::uintmax_t> boundaries = record_boundaries(path);
+  ASSERT_EQ(boundaries.size(), 13u);  // 12 objects + footer
+  ASSERT_EQ(boundaries.back() + 8, full_size);
+
+  const auto copy_to = [&](const std::string& name) {
+    const std::string dst = temp_path(name);
+    std::filesystem::copy_file(path, dst,
+                               std::filesystem::copy_options::overwrite_existing);
+    return dst;
+  };
+
+  // Truncation at every record boundary — including boundaries.back(),
+  // a snapshot cut exactly before the footer, which only the footer
+  // check can catch.
+  for (std::size_t i = 0; i < boundaries.size(); ++i) {
+    const std::string trunc = copy_to("trunc_" + std::to_string(i) + ".ckpt");
+    std::filesystem::resize_file(trunc, boundaries[i]);
+    SCOPED_TRACE("record boundary " + std::to_string(i));
+    expect_restore_fails(trunc);
+  }
+
+  // Truncation at random byte offsets (mid-header, mid-record, mid-footer).
+  Rng rng(0xbad);
+  for (int i = 0; i < 20; ++i) {
+    const auto offset = rng.uniform_index(full_size - 1);
+    const std::string trunc = copy_to("rand_" + std::to_string(i) + ".ckpt");
+    std::filesystem::resize_file(trunc, offset);
+    SCOPED_TRACE("random offset " + std::to_string(offset));
+    expect_restore_fails(trunc);
+  }
+
+  const auto flip_byte = [&](const std::string& name, std::uintmax_t offset,
+                             unsigned char value) {
+    const std::string dst = copy_to(name);
+    std::fstream f(dst, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(reinterpret_cast<const char*>(&value), 1);
+    f.close();
+    return dst;
+  };
+
+  // Header magic, version, and footer magic tampering.
+  expect_restore_fails(flip_byte("bad_magic.ckpt", 0, 'X'));
+  expect_restore_fails(flip_byte("bad_version.ckpt", 8, 99));
+  expect_restore_fails(flip_byte("bad_footer.ckpt", boundaries.back(), 'X'));
+  // Zeroed server count.
+  {
+    const std::string dst = copy_to("zero_servers.ckpt");
+    std::fstream f(dst, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(12);
+    const char zeros[4] = {0, 0, 0, 0};
+    f.write(zeros, 4);
+    f.close();
+    expect_restore_fails(dst);
+  }
+  // Trailing garbage after the footer.
+  {
+    const std::string dst = copy_to("trailing.ckpt");
+    std::ofstream f(dst, std::ios::binary | std::ios::app);
+    f << "junk";
+    f.close();
+    expect_restore_fails(dst);
+  }
+}
+
+/// Regression for the serve-loop fix: zero-event and single-event logs
+/// serve and checkpoint correctly (empty-state snapshots restore).
+TEST_F(CheckpointFileTest, EmptyAndSingleEventLogsServeAndCheckpoint) {
+  // Zero events.
+  {
+    const std::string log = temp_path("empty.evlog");
+    EventLogWriter writer(log, kServers);
+    writer.close();
+
+    EventLogReader reader(log);
+    auto engine = fresh_engine(4, 1);
+    const std::string ckpt = temp_path("empty.ckpt");
+    engine->checkpoint(ckpt);  // empty-state snapshot
+    auto restored = StreamingEngine::restore(ckpt, test_config(),
+                                             EngineOptions{},
+                                             engine_policy_factory(),
+                                             engine_predictor_factory());
+    EXPECT_EQ(restored->object_count(), 0u);
+    EXPECT_EQ(restored->resume_position(), 0u);
+    const EngineMetrics metrics = restored->serve(reader);
+    EXPECT_EQ(metrics.objects, 0u);
+    EXPECT_EQ(metrics.events, 0u);
+    EXPECT_EQ(metrics.online_cost, 0.0);
+  }
+  // One event.
+  {
+    const std::string log = temp_path("single.evlog");
+    {
+      EventLogWriter writer(log, kServers);
+      writer.write(1.5, 7, 2);
+      writer.close();
+    }
+    auto engine = fresh_engine(4, 1);
+    {
+      EventLogReader reader(log);
+      std::vector<LogEvent> batch;
+      ASSERT_EQ(reader.read_batch(batch, 16), 1u);
+      engine->ingest(batch);
+    }
+    const std::string ckpt = temp_path("single.ckpt");
+    engine->checkpoint(ckpt);
+    auto restored = StreamingEngine::restore(ckpt, test_config(),
+                                             EngineOptions{},
+                                             engine_policy_factory(),
+                                             engine_predictor_factory());
+    EXPECT_EQ(restored->object_count(), 1u);
+    EXPECT_EQ(restored->resume_position(), 1u);
+    EventLogReader reader(log);
+    const EngineMetrics metrics = restored->serve(reader);
+    EXPECT_EQ(metrics.objects, 1u);
+    EXPECT_EQ(metrics.events, 1u);
+
+    auto uninterrupted = fresh_engine(4, 1);
+    EventLogReader again(log);
+    const EngineMetrics reference = uninterrupted->serve(again);
+    EXPECT_EQ(metrics.online_cost, reference.online_cost);
+    EXPECT_EQ(metrics.lower_bound, reference.lower_bound);
+  }
+}
+
+/// serve() with periodic checkpoints: the last snapshot resumes to the
+/// same aggregates, and the .tmp staging file never survives.
+TEST_F(CheckpointFileTest, PeriodicCheckpointsDuringServeResume) {
+  const std::vector<LogEvent> events = interleaved_events(5000, 40, 41);
+  const std::string log = temp_path("serve.evlog");
+  {
+    EventLogWriter writer(log, kServers);
+    for (const LogEvent& e : events) writer.write(e);
+    writer.close();
+  }
+  const std::string ckpt = temp_path("serve.ckpt");
+
+  // Reference: plain serve.
+  EngineMetrics full;
+  {
+    EventLogReader reader(log);
+    auto engine = fresh_engine(8, 2);
+    full = engine->serve(reader);
+  }
+
+  // Serve with periodic checkpoints; capture the penultimate snapshot by
+  // stopping the drain manually at 3/4 of the log.
+  const std::uint64_t stop_at = 3 * events.size() / 4;
+  {
+    EventLogReader reader(log);
+    auto engine = fresh_engine(8, 2);
+    ServeOptions options;
+    options.batch_events = 512;
+    options.checkpoint_every = 1000;
+    options.checkpoint_path = ckpt;
+    std::vector<LogEvent> batch;
+    std::uint64_t next_mark = options.checkpoint_every;
+    while (engine->stats().events_ingested < stop_at &&
+           reader.read_batch(batch, options.batch_events) > 0) {
+      engine->ingest(batch);
+      if (engine->stats().events_ingested >= next_mark) {
+        engine->checkpoint(ckpt);
+        while (next_mark <= engine->stats().events_ingested) {
+          next_mark += options.checkpoint_every;
+        }
+      }
+    }
+    // Crash here: the engine is dropped without finish().
+  }
+
+  // Resume from the last on-disk snapshot and drain to the end.
+  auto resumed = StreamingEngine::restore(
+      ckpt, test_config(),
+      [] {
+        EngineOptions options;
+        options.num_shards = 16;  // different geometry across the restart
+        options.num_threads = 1;
+        return options;
+      }(),
+      engine_policy_factory(), engine_predictor_factory());
+  EXPECT_GT(resumed->resume_position(), 0u);
+  EXPECT_LE(resumed->resume_position(), stop_at + 512);
+  EventLogReader reader(log);
+  const EngineMetrics metrics = resumed->serve(reader);
+
+  EXPECT_EQ(metrics.objects, full.objects);
+  EXPECT_EQ(metrics.events, full.events);
+  EXPECT_EQ(metrics.online_cost, full.online_cost);
+  EXPECT_EQ(metrics.lower_bound, full.lower_bound);
+  EXPECT_EQ(metrics.num_transfers, full.num_transfers);
+
+  // The ServeOptions path writes through the .tmp staging name and
+  // renames; the staging file must not remain.
+  {
+    EventLogReader again(log);
+    auto engine = fresh_engine(4, 1);
+    ServeOptions options;
+    options.batch_events = 512;
+    options.checkpoint_every = 1500;
+    options.checkpoint_path = temp_path("staged.ckpt");
+    const EngineMetrics staged = engine->serve(again, options);
+    EXPECT_EQ(staged.online_cost, full.online_cost);
+    EXPECT_GE(engine->stats().checkpoints_written, 1u);
+    EXPECT_TRUE(std::filesystem::exists(options.checkpoint_path));
+    EXPECT_FALSE(std::filesystem::exists(options.checkpoint_path + ".tmp"));
+  }
+}
+
+TEST_F(CheckpointFileTest, ServeRequiresPathWithCheckpointEvery) {
+  const std::string log = temp_path("nopath.evlog");
+  {
+    EventLogWriter writer(log, kServers);
+    writer.write(1.0, 0, 0);
+    writer.close();
+  }
+  EventLogReader reader(log);
+  auto engine = fresh_engine(2, 1);
+  ServeOptions options;
+  options.checkpoint_every = 10;
+  EXPECT_THROW(engine->serve(reader, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace repl
