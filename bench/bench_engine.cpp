@@ -5,27 +5,39 @@
 // events/sec. Per-object traces are never materialized — the stream goes
 // binary log → batcher → shards.
 //
+// Components are spec-driven (api/registry.hpp): --policy/--predictor
+// select any registered causal combination, and a comparison grid
+// additionally benches adaptive DRWP and ensemble predictors against
+// the default wiring on the same log. An object_zipf_s skew sweep
+// (--zipf) reports per-shard event-count spread under hot objects.
+//
 //   ./build/bench/bench_engine                  # 10^4..10^6 objects, 10^7 events
 //   ./build/bench/bench_engine --smoke          # CI-sized run + parity check
+//   ./build/bench/bench_engine --policy "adaptive(alpha=0.3)"
+//       --predictor "ensemble(last_gap,history(ewma=0.3))"
 //
 // At smoke scale (or with --verify) the engine aggregates are checked
 // bit-for-bit against a serial per-object Simulator sweep over the same
-// log. A machine-readable BENCH_engine.json accompanies the table.
+// log, with components built from the same specs. A machine-readable
+// BENCH_engine.json accompanies the table.
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
-#include "core/drwp.hpp"
+#include "api/experiment.hpp"
+#include "api/registry.hpp"
 #include "core/simulator.hpp"
 #include "engine/engine.hpp"
 #include "offline/opt_lower_bound.hpp"
-#include "predictor/last_gap.hpp"
+#include "run/parallel_runner.hpp"
 #include "trace/event_log.hpp"
 #include "trace/stream_gen.hpp"
 #include "trace/trace.hpp"
@@ -56,10 +68,23 @@ struct RowResult {
   bool identical = true;
 };
 
+/// One policy×predictor grid point served over the reference log.
+struct ComparisonResult {
+  std::string policy;
+  std::string predictor;
+  std::uint64_t events = 0;
+  double events_per_sec = 0.0;
+  double online_cost = 0.0;
+  double ratio = 1.0;
+  bool verified = false;
+  bool identical = true;
+};
+
 /// Mid-stream snapshot cost at one object count: write the checkpoint at
 /// half the log, restore it, finish the serve, and require the resumed
 /// aggregates to be bit-identical to an uninterrupted run.
 struct CheckpointResult {
+  std::string policy;
   std::uint64_t objects = 0;
   std::uint64_t at_events = 0;
   std::uint64_t bytes = 0;
@@ -68,23 +93,38 @@ struct CheckpointResult {
   bool identical = true;
 };
 
-EnginePolicyFactory policy_factory(double alpha) {
-  return [alpha](const EngineObjectContext&) -> PolicyPtr {
-    return std::make_unique<DrwpPolicy>(alpha);
-  };
-}
+/// Per-shard event spread under one object-popularity skew.
+struct ZipfResult {
+  double zipf_s = 0.0;
+  std::uint64_t objects = 0;
+  std::uint64_t events = 0;
+  std::size_t shards = 0;
+  std::uint64_t shard_events_min = 0;
+  std::uint64_t shard_events_max = 0;
+  double shard_events_mean = 0.0;
+  double shard_events_stddev = 0.0;
+  /// max/mean — 1.0 is perfect balance.
+  double spread = 0.0;
+};
 
-EnginePredictorFactory predictor_factory(int num_servers) {
-  return [num_servers](const EngineObjectContext&) -> PredictorPtr {
-    return std::make_unique<LastGapPredictor>(num_servers);
-  };
+EngineBuilder make_builder(const SystemConfig& config,
+                           const EngineOptions& options,
+                           const std::string& policy_spec,
+                           const std::string& predictor_spec) {
+  EngineBuilder builder;
+  builder.config(config).options(options);
+  builder.policy(policy_spec).predictor(predictor_spec);
+  return builder;
 }
 
 /// Serial reference for the parity check: per-object Simulator + OPTL
-/// sweep in object-id order (materializes the traces, so only run at
-/// verification scale).
+/// sweep in object-id order, components built from the same specs with
+/// the same per-object seeds the engine uses (materializes the traces,
+/// so only run at verification scale).
 bool matches_serial(const std::string& log_path, const SystemConfig& config,
-                    double alpha, const EngineMetrics& metrics) {
+                    const std::string& policy_spec,
+                    const std::string& predictor_spec,
+                    std::uint64_t base_seed, const EngineMetrics& metrics) {
   std::map<std::uint64_t, std::vector<Request>> per_object;
   {
     EventLogReader reader(log_path);
@@ -97,14 +137,26 @@ bool matches_serial(const std::string& log_path, const SystemConfig& config,
   SimulationOptions options;
   options.record_events = false;
   const Simulator simulator(config, options);
+  ComponentRegistry& registry = ComponentRegistry::instance();
+  const ComponentSpec policy_ast = registry.canonicalize(
+      ComponentKind::kPolicy, parse_component_spec(policy_spec));
+  const ComponentSpec predictor_ast = registry.canonicalize(
+      ComponentKind::kPredictor, parse_component_spec(predictor_spec));
   double online_cost = 0.0;
   double lower_bound = 0.0;
   std::size_t transfers = 0;
   for (auto& [id, requests] : per_object) {
     Trace trace(config.num_servers, std::move(requests));
-    DrwpPolicy policy(alpha);
-    LastGapPredictor predictor(config.num_servers);
-    const SimulationResult result = simulator.run(policy, trace, predictor);
+    BuildContext build;
+    build.config = config;
+    build.seed = ParallelRunner::object_seed(
+        base_seed, static_cast<std::size_t>(id));
+    build.trace = &trace;
+    const PolicyPtr policy = registry.build_policy(policy_ast, build);
+    const PredictorPtr predictor =
+        registry.build_predictor(predictor_ast, build);
+    const SimulationResult result =
+        simulator.run(*policy, trace, *predictor);
     online_cost += result.total_cost();
     transfers += result.num_transfers;
     lower_bound += opt_lower_bound(config, trace);
@@ -115,32 +167,38 @@ bool matches_serial(const std::string& log_path, const SystemConfig& config,
          per_object.size() == metrics.objects;
 }
 
-/// Measures checkpoint write + restore throughput on `log_path`, and
-/// verifies the resumed serve reproduces `reference` bit for bit.
+/// Measures checkpoint write + restore throughput on `log_path` under
+/// the given specs, and verifies the resumed serve reproduces
+/// `reference` bit for bit (restore goes through EngineBuilder, so the
+/// snapshot's recorded specs are also cross-checked).
 CheckpointResult measure_checkpoint(const std::string& log_path,
                                     const SystemConfig& config,
                                     const EngineOptions& options,
-                                    double alpha,
+                                    const std::string& policy_spec,
+                                    const std::string& predictor_spec,
                                     const EngineMetrics& reference) {
   const std::string ckpt_path = log_path + ".ckpt";
+  const EngineBuilder builder =
+      make_builder(config, options, policy_spec, predictor_spec);
   CheckpointResult result;
+  result.policy = builder.policy_spec();
   {
     EventLogReader reader(log_path);
-    StreamingEngine engine(config, options, policy_factory(alpha),
-                           predictor_factory(config.num_servers));
+    auto engine = builder.build();
+    engine->bind_log(reader.header());
     // Drain half the log, snapshot, abandon (the simulated crash).
     const std::uint64_t half =
         reader.header().num_events == EventLogHeader::kUnknownCount
             ? 0
             : reader.header().num_events / 2;
     std::vector<LogEvent> batch;
-    while (engine.stats().events_ingested < half &&
+    while (engine->stats().events_ingested < half &&
            reader.read_batch(batch, std::size_t{1} << 16) > 0) {
-      engine.ingest(batch);
+      engine->ingest(batch);
     }
-    result.at_events = engine.stats().events_ingested;
+    result.at_events = engine->stats().events_ingested;
     const auto write_start = std::chrono::steady_clock::now();
-    engine.checkpoint(ckpt_path);
+    engine->checkpoint(ckpt_path);
     result.write_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       write_start)
@@ -149,10 +207,7 @@ CheckpointResult measure_checkpoint(const std::string& log_path,
   result.bytes = std::filesystem::file_size(ckpt_path);
 
   const auto restore_start = std::chrono::steady_clock::now();
-  auto resumed = StreamingEngine::restore(ckpt_path, config, options,
-                                          policy_factory(alpha),
-                                          predictor_factory(
-                                              config.num_servers));
+  auto resumed = builder.restore(ckpt_path);
   result.restore_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     restore_start)
@@ -172,6 +227,37 @@ CheckpointResult measure_checkpoint(const std::string& log_path,
   return result;
 }
 
+ZipfResult shard_spread(double zipf_s, const EngineMetrics& metrics) {
+  ZipfResult result;
+  result.zipf_s = zipf_s;
+  result.objects = metrics.objects;
+  result.events = metrics.events;
+  result.shards = metrics.shards.size();
+  if (metrics.shards.empty()) return result;
+  std::uint64_t min = ~std::uint64_t{0};
+  std::uint64_t max = 0;
+  double sum = 0.0;
+  for (const EngineShardMetrics& shard : metrics.shards) {
+    const std::uint64_t events = shard.events;
+    min = std::min(min, events);
+    max = std::max(max, events);
+    sum += static_cast<double>(events);
+  }
+  const double mean = sum / static_cast<double>(metrics.shards.size());
+  double var = 0.0;
+  for (const EngineShardMetrics& shard : metrics.shards) {
+    const double d = static_cast<double>(shard.events) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(metrics.shards.size());
+  result.shard_events_min = min;
+  result.shard_events_max = max;
+  result.shard_events_mean = mean;
+  result.shard_events_stddev = std::sqrt(var);
+  result.spread = mean > 0.0 ? static_cast<double>(max) / mean : 1.0;
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -186,16 +272,27 @@ int main(int argc, char** argv) {
   cli.add_flag("threads", "1,2,4,8", "comma-separated thread counts "
                "(0 = all hardware threads)");
   cli.add_flag("lambda", "10", "transfer cost λ");
-  cli.add_flag("alpha", "0.3", "DRWP α");
+  cli.add_flag("alpha", "0.3", "DRWP α (used when --policy is not given)");
+  cli.add_flag("policy", "",
+               "policy component spec for the main sweep "
+               "(default: drwp(alpha=<alpha>))");
+  cli.add_flag("predictor", "",
+               "predictor component spec for the main sweep "
+               "(default: last_gap)");
+  cli.add_flag("zipf", "0,0.8,1.2",
+               "object_zipf_s skew sweep at the smallest object count "
+               "(per-shard event spread; empty disables)");
   cli.add_flag("seed", "42", "workload seed");
   cli.add_flag("json", "BENCH_engine.json", "machine-readable output path");
   cli.add_bool_flag("verify", "also run the serial per-object Simulator "
                     "sweep and require bit-identical aggregates");
   cli.add_bool_flag("checkpoint", "also measure checkpoint write/restore "
                     "throughput at half of each log (resume parity checked)");
+  cli.add_bool_flag("compare", "also bench a spec grid (adaptive DRWP, "
+                    "ensemble predictors, ...) on the smallest log");
   cli.add_bool_flag("keep-logs", "keep the generated event logs on disk");
   cli.add_bool_flag("smoke", "CI-sized run: 2·10^3 objects, 2·10^5 events, "
-                    "threads 1 and 4, verification on");
+                    "threads 1 and 4, verification + comparison grid on");
   if (!cli.parse(argc, argv)) return 0;
 
   // Bounds-checked count flags (no narrowing casts from get_int).
@@ -206,14 +303,18 @@ int main(int argc, char** argv) {
   const std::size_t batch = cli.get_size_t("batch", 1);
   const int servers = static_cast<int>(cli.get_size_t("servers", 1, 4096));
   const double lambda = cli.get_double("lambda");
-  const double alpha = cli.get_double("alpha");
   const std::uint64_t seed = cli.get_uint64("seed");
   const bool smoke = cli.get_bool("smoke");
   bool verify = cli.get_bool("verify") || smoke;
   const bool checkpointing = cli.get_bool("checkpoint") || smoke;
+  const bool comparing = cli.get_bool("compare") || smoke;
   std::vector<int> thread_counts;
   for (const double t : cli.get_double_list("threads")) {
     thread_counts.push_back(static_cast<int>(t));
+  }
+  std::vector<double> zipf_values;
+  if (!cli.get_string("zipf").empty()) {
+    zipf_values = cli.get_double_list("zipf");
   }
   if (smoke) {
     min_objects = 2000;
@@ -227,15 +328,58 @@ int main(int argc, char** argv) {
     return EXIT_FAILURE;
   }
 
+  std::string policy_spec = cli.get_string("policy");
+  if (policy_spec.empty()) {
+    policy_spec = "drwp(alpha=" + cli.get_string("alpha") + ")";
+  }
+  std::string predictor_spec = cli.get_string("predictor");
+  if (predictor_spec.empty()) predictor_spec = "last_gap";
+
   SystemConfig config;
   config.num_servers = servers;
   config.transfer_cost = lambda;
+
+  // Fail on a bad spec before generating gigabytes of workload; also
+  // canonicalizes the strings used in reports and JSON.
+  try {
+    ComponentRegistry& registry = ComponentRegistry::instance();
+    policy_spec = registry.canonical_string(ComponentKind::kPolicy,
+                                            policy_spec);
+    predictor_spec = registry.canonical_string(ComponentKind::kPredictor,
+                                               predictor_spec);
+    EngineBuilder probe;
+    probe.config(config);
+    probe.policy(policy_spec).predictor(predictor_spec);
+  } catch (const SpecError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "components: " << policy_spec << " x " << predictor_spec
+            << "\n";
+
+  // The grid the ROADMAP asks for: adaptive DRWP and ensemble
+  // predictors wired through the registry, against the sweep's own
+  // combination and the prediction-free baseline.
+  std::vector<ExperimentSpec> grid;
+  if (comparing) {
+    const std::string alpha_arg = "(alpha=" + cli.get_string("alpha") + ")";
+    grid.push_back(ExperimentSpec{policy_spec, predictor_spec});
+    grid.push_back(ExperimentSpec{"adaptive" + alpha_arg, "last_gap"});
+    grid.push_back(ExperimentSpec{
+        "adaptive" + alpha_arg, "ensemble(last_gap,history(ewma=0.3))"});
+    grid.push_back(ExperimentSpec{
+        "drwp" + alpha_arg, "ensemble(last_gap,history(ewma=0.3))"});
+    grid.push_back(ExperimentSpec{"drwp" + alpha_arg, "history(ewma=0.3)"});
+    grid.push_back(ExperimentSpec{"conventional", "fixed(within=true)"});
+  }
 
   Table table({"objects", "events", "threads", "used", "events/s",
                "ingest_s", "finish_s", "steals", "cost", "ratio",
                "identical"});
   std::vector<RowResult> rows;
+  std::vector<ComparisonResult> comparison_rows;
   std::vector<CheckpointResult> checkpoint_rows;
+  std::vector<ZipfResult> zipf_rows;
   bool all_identical = true;
 
   for (std::size_t objects = min_objects;;) {
@@ -262,10 +406,11 @@ int main(int argc, char** argv) {
       options.base_seed = seed;
 
       EventLogReader reader(log_path);
-      StreamingEngine engine(config, options, policy_factory(alpha),
-                             predictor_factory(servers));
-      const EngineMetrics metrics = engine.serve(reader, batch);
-      const EngineStats& stats = engine.stats();
+      auto engine = make_builder(config, options, policy_spec,
+                                 predictor_spec)
+                        .build();
+      const EngineMetrics metrics = engine->serve(reader, batch);
+      const EngineStats& stats = engine->stats();
       last_metrics = metrics;
       last_options = options;
 
@@ -284,7 +429,8 @@ int main(int argc, char** argv) {
       row.ratio = metrics.ratio();
       if (verify) {
         row.verified = true;
-        row.identical = matches_serial(log_path, config, alpha, metrics);
+        row.identical = matches_serial(log_path, config, policy_spec,
+                                       predictor_spec, seed, metrics);
         all_identical = all_identical && row.identical;
       }
       rows.push_back(row);
@@ -301,9 +447,57 @@ int main(int argc, char** argv) {
                      row.verified ? (row.identical ? "yes" : "NO") : "-"});
     }
 
-    if (checkpointing) {
+    // Comparison grid runs once, on the smallest log (cost scales with
+    // the grid, not the sweep). Its first point is the main sweep's own
+    // combination, so its checkpoint measurement doubles as that log's
+    // checkpoint row — no duplicate half-log serve.
+    const bool grid_here = objects == min_objects && !grid.empty();
+    if (grid_here) {
+      for (const ExperimentSpec& point : grid) {
+        const EngineBuilder builder = make_builder(
+            config, last_options, point.policy, point.predictor);
+        const bool is_default = builder.policy_spec() == policy_spec &&
+                                builder.predictor_spec() == predictor_spec;
+        EventLogReader reader(log_path);
+        auto engine = builder.build();
+        const EngineMetrics metrics = engine->serve(reader, batch);
+        const EngineStats& stats = engine->stats();
+        ComparisonResult comparison;
+        comparison.policy = builder.policy_spec();
+        comparison.predictor = builder.predictor_spec();
+        comparison.events = stats.events_ingested;
+        const double wall = stats.ingest_seconds + stats.finish_seconds;
+        comparison.events_per_sec =
+            wall > 0.0 ? static_cast<double>(comparison.events) / wall
+                       : 0.0;
+        comparison.online_cost = metrics.online_cost;
+        comparison.ratio = metrics.ratio();
+        if (verify) {
+          comparison.verified = true;
+          // The main sweep already ran the serial reference for its own
+          // combination on this log — reuse that verdict.
+          comparison.identical =
+              is_default ? rows.back().identical
+                         : matches_serial(log_path, config, point.policy,
+                                          point.predictor, seed, metrics);
+          all_identical = all_identical && comparison.identical;
+        }
+        if (checkpointing) {
+          // Engine-level snapshot coverage for the non-default wirings:
+          // every grid point must resume bit-identically.
+          const CheckpointResult ck = measure_checkpoint(
+              log_path, config, last_options, point.policy,
+              point.predictor, metrics);
+          all_identical = all_identical && ck.identical;
+          comparison.identical = comparison.identical && ck.identical;
+          checkpoint_rows.push_back(ck);
+        }
+        comparison_rows.push_back(comparison);
+      }
+    } else if (checkpointing) {
       const CheckpointResult ck = measure_checkpoint(
-          log_path, config, last_options, alpha, last_metrics);
+          log_path, config, last_options, policy_spec, predictor_spec,
+          last_metrics);
       all_identical = all_identical && ck.identical;
       checkpoint_rows.push_back(ck);
     }
@@ -316,15 +510,59 @@ int main(int argc, char** argv) {
     objects = std::min(objects * 10, max_objects);
   }
 
+  // Skew sweep: same event budget, increasingly hot objects; reports
+  // how unevenly events land across shards (the load-balance risk of
+  // popularity skew).
+  for (const double zipf_s : zipf_values) {
+    StreamWorkloadConfig workload;
+    workload.num_objects = min_objects;
+    workload.num_servers = servers;
+    workload.rate = static_cast<double>(min_objects) / 64.0;
+    workload.max_events = events;
+    workload.object_zipf_s = zipf_s;
+    std::ostringstream name;
+    name << "bench_engine_zipf_" << zipf_s << ".evlog";
+    const std::string log_path =
+        (std::filesystem::temp_directory_path() / name.str()).string();
+    std::cerr << "generating zipf s=" << zipf_s << " log -> " << log_path
+              << "\n";
+    generate_event_log(workload, seed + 1, log_path);
+    EngineOptions options;
+    options.num_shards = shards;
+    options.num_threads = thread_counts.back();
+    options.base_seed = seed;
+    EventLogReader reader(log_path);
+    auto engine =
+        make_builder(config, options, policy_spec, predictor_spec).build();
+    const EngineMetrics metrics = engine->serve(reader, batch);
+    zipf_rows.push_back(shard_spread(zipf_s, metrics));
+    if (!cli.get_bool("keep-logs")) {
+      std::error_code ec;
+      std::filesystem::remove(log_path, ec);
+    }
+  }
+
   std::cout << table.str() << "\n";
 
+  if (!comparison_rows.empty()) {
+    Table cmp_table({"policy", "predictor", "events/s", "cost", "ratio",
+                     "identical"});
+    for (const ComparisonResult& row : comparison_rows) {
+      cmp_table.add_row(
+          {row.policy, row.predictor, Table::cell(row.events_per_sec, 0),
+           Table::cell(row.online_cost, 1), Table::cell(row.ratio, 4),
+           row.verified ? (row.identical ? "yes" : "NO") : "-"});
+    }
+    std::cout << cmp_table.str() << "\n";
+  }
+
   if (!checkpoint_rows.empty()) {
-    Table ck_table({"objects", "ckpt@events", "bytes", "write_s",
+    Table ck_table({"policy", "objects", "ckpt@events", "bytes", "write_s",
                     "write_MB/s", "restore_s", "restore_MB/s", "identical"});
     for (const CheckpointResult& ck : checkpoint_rows) {
       const double mb = static_cast<double>(ck.bytes) / (1024.0 * 1024.0);
       ck_table.add_row(
-          {Table::cell(ck.objects), Table::cell(ck.at_events),
+          {ck.policy, Table::cell(ck.objects), Table::cell(ck.at_events),
            Table::cell(ck.bytes),
            Table::cell(ck.write_seconds, 3),
            Table::cell(ck.write_seconds > 0.0 ? mb / ck.write_seconds : 0.0,
@@ -337,6 +575,22 @@ int main(int argc, char** argv) {
     std::cout << ck_table.str() << "\n";
   }
 
+  if (!zipf_rows.empty()) {
+    Table z_table({"zipf_s", "objects", "events", "shards", "min", "max",
+                   "mean", "stddev", "max/mean"});
+    for (const ZipfResult& z : zipf_rows) {
+      z_table.add_row({Table::cell(z.zipf_s, 2), Table::cell(z.objects),
+                       Table::cell(z.events),
+                       Table::cell(static_cast<std::uint64_t>(z.shards)),
+                       Table::cell(z.shard_events_min),
+                       Table::cell(z.shard_events_max),
+                       Table::cell(z.shard_events_mean, 1),
+                       Table::cell(z.shard_events_stddev, 1),
+                       Table::cell(z.spread, 3)});
+    }
+    std::cout << z_table.str() << "\n";
+  }
+
   JsonWriter json;
   json.begin_object();
   json.key("bench").value("bench_engine");
@@ -345,7 +599,8 @@ int main(int argc, char** argv) {
   json.key("servers").value(servers);
   json.key("shards").value(static_cast<std::uint64_t>(shards));
   json.key("lambda").value(lambda);
-  json.key("alpha").value(alpha);
+  json.key("policy").value(policy_spec);
+  json.key("predictor").value(predictor_spec);
   json.key("rows").begin_array();
   for (const RowResult& row : rows) {
     json.begin_object();
@@ -364,15 +619,45 @@ int main(int argc, char** argv) {
     json.end_object();
   }
   json.end_array();
+  json.key("comparison").begin_array();
+  for (const ComparisonResult& row : comparison_rows) {
+    json.begin_object();
+    json.key("policy").value(row.policy);
+    json.key("predictor").value(row.predictor);
+    json.key("events").value(row.events);
+    json.key("events_per_second").value(row.events_per_sec);
+    json.key("online_cost").value(row.online_cost);
+    json.key("ratio").value(row.ratio);
+    json.key("verified").value(row.verified);
+    json.key("identical").value(row.identical);
+    json.end_object();
+  }
+  json.end_array();
   json.key("checkpoints").begin_array();
   for (const CheckpointResult& ck : checkpoint_rows) {
     json.begin_object();
+    json.key("policy").value(ck.policy);
     json.key("objects").value(ck.objects);
     json.key("at_events").value(ck.at_events);
     json.key("bytes").value(ck.bytes);
     json.key("write_seconds").value(ck.write_seconds);
     json.key("restore_seconds").value(ck.restore_seconds);
     json.key("identical").value(ck.identical);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("zipf_sweep").begin_array();
+  for (const ZipfResult& z : zipf_rows) {
+    json.begin_object();
+    json.key("zipf_s").value(z.zipf_s);
+    json.key("objects").value(z.objects);
+    json.key("events").value(z.events);
+    json.key("shards").value(static_cast<std::uint64_t>(z.shards));
+    json.key("shard_events_min").value(z.shard_events_min);
+    json.key("shard_events_max").value(z.shard_events_max);
+    json.key("shard_events_mean").value(z.shard_events_mean);
+    json.key("shard_events_stddev").value(z.shard_events_stddev);
+    json.key("spread").value(z.spread);
     json.end_object();
   }
   json.end_array();
@@ -395,7 +680,7 @@ int main(int argc, char** argv) {
   }
   if (verify) {
     std::cout << "engine aggregates bit-identical to the serial "
-                 "per-object sweep\n";
+                 "per-object sweep (every spec combination)\n";
   }
   if (checkpointing) {
     std::cout << "checkpoint resume aggregates bit-identical to the "

@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "analysis/ratio.hpp"
+#include "api/registry.hpp"
 #include "baselines/naive.hpp"
 #include "baselines/wang2021.hpp"
 #include "core/adaptive_drwp.hpp"
@@ -62,6 +63,12 @@ int main(int argc, char** argv) {
   cli.add_flag("objects", "500", "objects in the multi-object fleet pass");
   cli.add_flag("fleet-threads", "0",
                "worker threads for the fleet pass (0 = all cores)");
+  cli.add_flag("policy", "",
+               "fleet policy component spec (default: drwp(alpha=<alpha>))");
+  cli.add_flag("predictor", "",
+               "fleet predictor component spec (default: history; "
+               "clairvoyant specs like oracle are allowed here — the "
+               "fleet pass is offline)");
   if (!cli.parse(argc, argv)) return 0;
 
   const int servers = static_cast<int>(cli.get_int("servers"));
@@ -142,24 +149,37 @@ int main(int argc, char** argv) {
   const repl::MultiObjectWorkload fleet_workload =
       repl::generate_multi_object_workload(fleet, cli.get_uint64("seed") + 1);
 
-  repl::RunnerOptions runner_options;
-  runner_options.num_threads =
-      static_cast<int>(cli.get_int("fleet-threads"));
-  runner_options.simulation.record_events = false;
-  const repl::ParallelRunner runner(runner_options);
-  const repl::MultiObjectResult fleet_result = runner.run(
-      fleet_workload, config,
-      [alpha](const repl::ObjectContext&) -> repl::PolicyPtr {
-        return std::make_unique<repl::DrwpPolicy>(alpha);
-      },
-      [servers](const repl::ObjectContext&) -> repl::PredictorPtr {
-        return std::make_unique<repl::HistoryPredictor>(servers);
-      });
-  const repl::RunnerStats& stats = runner.last_stats();
-  std::cout << "fleet: " << objects << " objects, "
-            << stats.requests_simulated << " requests on "
-            << stats.threads_used << " threads in " << stats.wall_seconds
-            << " s (" << stats.steals << " steals)\n"
+  // Spec-driven: any registered policy×predictor pair — including the
+  // clairvoyant predictors, since each object's trace is materialized
+  // here — is one CLI flag away.
+  std::string fleet_policy = cli.get_string("policy");
+  if (fleet_policy.empty()) {
+    fleet_policy = "drwp(alpha=" + cli.get_string("alpha") + ")";
+  }
+  std::string fleet_predictor = cli.get_string("predictor");
+  if (fleet_predictor.empty()) fleet_predictor = "history";
+  repl::ComponentRegistry& registry = repl::ComponentRegistry::instance();
+  repl::MultiObjectResult fleet_result;
+  repl::RunnerStats fleet_stats;
+  try {
+    fleet_policy = registry.canonical_string(repl::ComponentKind::kPolicy,
+                                             fleet_policy);
+    fleet_predictor = registry.canonical_string(
+        repl::ComponentKind::kPredictor, fleet_predictor);
+    fleet_result = repl::run_multi_object_spec(
+        fleet_workload, config, fleet_policy, fleet_predictor,
+        static_cast<int>(cli.get_int("fleet-threads")),
+        0x5eed5eed5eed5eedULL, &fleet_stats);
+  } catch (const repl::SpecError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  std::cout << "fleet: " << objects << " objects under " << fleet_policy
+            << " x " << fleet_predictor << "\n"
+            << "fleet: " << fleet_stats.requests_simulated
+            << " requests on " << fleet_stats.threads_used << " threads in "
+            << fleet_stats.wall_seconds << " s (" << fleet_stats.steals
+            << " steals)\n"
             << "fleet aggregate cost " << fleet_result.online_cost
             << ", offline optimum " << fleet_result.opt_cost
             << ", ratio " << fleet_result.ratio() << "\n";

@@ -25,15 +25,31 @@
 #include <string>
 #include <vector>
 
-#include "core/drwp.hpp"
+#include "api/experiment.hpp"
+#include "api/registry.hpp"
+#include "checkpoint/snapshot.hpp"
 #include "engine/engine.hpp"
-#include "predictor/last_gap.hpp"
 #include "trace/event_log.hpp"
 #include "trace/stream_gen.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 using namespace repl;
+
+namespace {
+
+/// Prints one runnable canonical spec per line for every engine-safe
+/// (causal) component of `kind` — the machine-readable list CI loops
+/// over.
+void list_components(ComponentKind kind) {
+  ComponentRegistry& registry = ComponentRegistry::instance();
+  for (const ComponentInfo* info : registry.components(kind)) {
+    if (info->requires_trace) continue;  // online serving has no trace
+    std::cout << registry.canonical_string(kind, info->example) << "\n";
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   CliParser cli("engine_serve",
@@ -46,7 +62,19 @@ int main(int argc, char** argv) {
   cli.add_flag("shards", "64", "object-table shards");
   cli.add_flag("threads", "0", "worker threads (0 = all hardware threads)");
   cli.add_flag("lambda", "10", "transfer cost λ");
-  cli.add_flag("alpha", "0.3", "DRWP α");
+  cli.add_flag("alpha", "0.3", "DRWP α (used when --policy is not given)");
+  cli.add_flag("policy", "",
+               "policy component spec, e.g. \"adaptive(alpha=0.3)\" "
+               "(default: drwp(alpha=<alpha>); on --resume-from, default "
+               "is the snapshot's recorded spec)");
+  cli.add_flag("predictor", "",
+               "predictor component spec, e.g. "
+               "\"ensemble(last_gap,history(ewma=0.3))\" (default: "
+               "last_gap; on --resume-from, the snapshot's spec)");
+  cli.add_bool_flag("list-policies",
+                    "print every engine-safe policy spec and exit");
+  cli.add_bool_flag("list-predictors",
+                    "print every engine-safe predictor spec and exit");
   cli.add_flag("seed", "1", "workload seed");
   cli.add_bool_flag("keep-log", "keep the generated log on disk");
   cli.add_flag("checkpoint-every", "0",
@@ -59,11 +87,19 @@ int main(int argc, char** argv) {
                "simulates a crash for resume testing");
   if (!cli.parse(argc, argv)) return 0;
 
+  if (cli.get_bool("list-policies")) {
+    list_components(ComponentKind::kPolicy);
+    return EXIT_SUCCESS;
+  }
+  if (cli.get_bool("list-predictors")) {
+    list_components(ComponentKind::kPredictor);
+    return EXIT_SUCCESS;
+  }
+
   const std::size_t objects = cli.get_size_t("objects", 1, 100000000);
   const std::size_t shards = cli.get_size_t("shards", 1, 1 << 20);
   const std::size_t events = cli.get_size_t("events", 1);
   int servers = static_cast<int>(cli.get_size_t("servers", 1, 4096));
-  const double alpha = cli.get_double("alpha");
 
   std::string log_path = cli.get_string("log");
   bool generated = false;
@@ -118,34 +154,61 @@ int main(int argc, char** argv) {
   std::string checkpoint_path = cli.get_string("checkpoint-path");
   if (checkpoint_path.empty()) checkpoint_path = log_path + ".ckpt";
 
-  const EnginePolicyFactory make_policy =
-      [alpha](const EngineObjectContext&) -> PolicyPtr {
-    return std::make_unique<DrwpPolicy>(alpha);
-  };
-  const EnginePredictorFactory make_predictor =
-      [servers](const EngineObjectContext&) -> PredictorPtr {
-    return std::make_unique<LastGapPredictor>(servers);
-  };
+  // Components come from the registry via EngineBuilder: any registered
+  // causal policy×predictor combination is one CLI flag away, a bad
+  // spec fails here with a positioned diagnostic, and the canonical
+  // specs ride into every checkpoint the serve writes.
+  EngineBuilder builder;
+  builder.config(config).options(options);
+  try {
+    if (!cli.get_string("policy").empty()) {
+      builder.policy(cli.get_string("policy"));
+    } else if (resume_from.empty()) {
+      builder.policy("drwp(alpha=" + cli.get_string("alpha") + ")");
+    }
+    if (!cli.get_string("predictor").empty()) {
+      builder.predictor(cli.get_string("predictor"));
+    } else if (resume_from.empty()) {
+      builder.predictor("last_gap");
+    }
+  } catch (const SpecError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
 
   std::unique_ptr<StreamingEngine> engine;
-  if (!resume_from.empty()) {
-    engine = StreamingEngine::restore(resume_from, config, options,
-                                      make_policy, make_predictor);
-    std::cout << "resumed " << resume_from << ": " << engine->object_count()
-              << " objects at event offset " << engine->resume_position()
-              << "\n";
-  } else {
-    engine = std::make_unique<StreamingEngine>(config, options, make_policy,
-                                               make_predictor);
+  try {
+    if (!resume_from.empty()) {
+      // Specs left unset self-construct from the snapshot's recorded
+      // ones; explicit specs are cross-checked against them.
+      engine = builder.restore(resume_from);
+      std::cout << "resumed " << resume_from << ": "
+                << engine->object_count() << " objects at event offset "
+                << engine->resume_position() << "\n";
+    } else {
+      engine = builder.build();
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return EXIT_FAILURE;
   }
+  std::cout << "policy: " << engine->options().policy_spec
+            << "\npredictor: " << engine->options().predictor_spec << "\n";
 
   if (stop_after > 0) {
     // Crash simulation: drain part of the log — honoring the periodic
     // --checkpoint-every cadence, like a real serve would — then write a
     // final snapshot and abandon the serve without finishing. The log is
     // kept so a later --resume-from can pick up where this run stopped.
-    if (engine->resume_position() > reader.events_read()) {
-      reader.skip_events(engine->resume_position() - reader.events_read());
+    // Manual ingest path: bind the log identity (recorded in the
+    // snapshots) and do the hash-verified resume seek ourselves, the
+    // way serve() would.
+    try {
+      engine->bind_log(reader.header());
+      engine->seek_to_resume(reader);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return EXIT_FAILURE;
     }
     std::vector<LogEvent> batch;
     std::uint64_t next_mark =
@@ -166,7 +229,17 @@ int main(int argc, char** argv) {
         }
       }
     }
-    engine->checkpoint(checkpoint_path);
+    // The final snapshot replaces the last periodic one atomically too:
+    // a crash mid-write (the very scenario this flag simulates) must
+    // never clobber a good checkpoint with a truncated file.
+    {
+      const std::string tmp = checkpoint_path + ".tmp";
+      engine->checkpoint(tmp);
+      std::filesystem::rename(tmp, checkpoint_path);
+      sync_path_best_effort(std::filesystem::path(checkpoint_path)
+                                .parent_path()
+                                .string());
+    }
     std::cout << "stopped after " << engine->stats().events_ingested
               << " events; snapshot -> " << checkpoint_path
               << "\nresume with: --log=" << log_path
@@ -177,7 +250,15 @@ int main(int argc, char** argv) {
   ServeOptions serve_options;
   serve_options.checkpoint_every = checkpoint_every;
   if (checkpoint_every > 0) serve_options.checkpoint_path = checkpoint_path;
-  const EngineMetrics metrics = engine->serve(reader, serve_options);
+  EngineMetrics metrics;
+  try {
+    metrics = engine->serve(reader, serve_options);
+  } catch (const std::exception& e) {
+    // Typically the snapshot↔log cross-check: resuming against a log
+    // that is not the one the checkpoint was taken from.
+    std::cerr << "error: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
   const EngineStats& stats = engine->stats();
   const double wall = stats.ingest_seconds + stats.finish_seconds;
 

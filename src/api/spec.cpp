@@ -1,0 +1,169 @@
+#include "api/spec.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace repl {
+
+namespace {
+
+bool is_name_start(char c) {
+  return (c >= 'a' && c <= 'z') || c == '_';
+}
+
+bool is_name_char(char c) {
+  return is_name_start(c) || (c >= '0' && c <= '9');
+}
+
+bool is_value_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '.' || c == '+' || c == '-';
+}
+
+/// Recursive-descent parser over the spec text. Positions in diagnostics
+/// are 0-based byte offsets into the original input.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  ComponentSpec parse() {
+    ComponentSpec spec = parse_spec();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after the spec");
+    }
+    return spec;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    std::ostringstream os;
+    os << "bad component spec \"" << text_ << "\": " << what
+       << " at position " << pos_;
+    throw SpecError(os.str());
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  std::string parse_name(const char* what) {
+    skip_ws();
+    if (pos_ >= text_.size() || !is_name_start(text_[pos_])) {
+      fail(std::string("expected ") + what +
+           " ([a-z_][a-z0-9_]*; names are lowercase)");
+    }
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && is_name_char(text_[pos_])) ++pos_;
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::string parse_value() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && is_value_char(text_[pos_])) ++pos_;
+    if (pos_ == start) {
+      fail("expected a parameter value after '='");
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  ComponentSpec parse_spec() {
+    ComponentSpec spec;
+    spec.name = parse_name("a component name");
+    skip_ws();
+    if (peek() == '(') {
+      ++pos_;  // consume '('
+      parse_args(spec);
+    }
+    return spec;
+  }
+
+  /// Parses the argument list after its opening '(' through the ')'.
+  void parse_args(ComponentSpec& spec) {
+    skip_ws();
+    if (peek() == ')') {
+      ++pos_;
+      return;  // empty argument list: `name()` == `name`
+    }
+    for (;;) {
+      parse_arg(spec);
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ')') {
+        ++pos_;
+        return;
+      }
+      fail("expected ',' or ')' in the argument list");
+    }
+  }
+
+  void parse_arg(ComponentSpec& spec) {
+    const std::string name = parse_name("a parameter name or component");
+    skip_ws();
+    if (peek() == '=') {
+      ++pos_;  // consume '='
+      for (const auto& [key, value] : spec.params) {
+        if (key == name) {
+          fail("duplicate parameter '" + name + "'");
+        }
+      }
+      spec.params.emplace_back(name, parse_value());
+      return;
+    }
+    // A nested component: bare name, or name followed by its own
+    // argument list.
+    ComponentSpec child;
+    child.name = name;
+    if (peek() == '(') {
+      ++pos_;
+      parse_args(child);
+    }
+    spec.children.push_back(std::move(child));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void print_to(const ComponentSpec& spec, std::string& out) {
+  out += spec.name;
+  if (spec.children.empty() && spec.params.empty()) return;
+  out += '(';
+  bool first = true;
+  for (const ComponentSpec& child : spec.children) {
+    if (!first) out += ',';
+    first = false;
+    print_to(child, out);
+  }
+  for (const auto& [key, value] : spec.params) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += '=';
+    out += value;
+  }
+  out += ')';
+}
+
+}  // namespace
+
+ComponentSpec parse_component_spec(std::string_view text) {
+  return Parser(text).parse();
+}
+
+std::string print_component_spec(const ComponentSpec& spec) {
+  std::string out;
+  print_to(spec, out);
+  return out;
+}
+
+}  // namespace repl

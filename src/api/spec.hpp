@@ -1,0 +1,65 @@
+// Declarative component specs: the string syntax every driver in the
+// repo uses to name a policy or predictor plus its parameters.
+//
+//   drwp(alpha=0.3)
+//   adaptive(alpha=0.3,beta=0.1,warmup=100)
+//   ensemble(last_gap,history(ewma=0.3),penalty=0.5)
+//
+// Grammar (whitespace is insignificant everywhere):
+//
+//   spec   := name [ '(' args ')' ]
+//   args   := arg ( ',' arg )*
+//   arg    := key '=' value        -- a named scalar parameter
+//           | spec                 -- a nested component (e.g. an
+//                                     ensemble expert), position matters
+//   name   := [a-z_][a-z0-9_]*     -- also the syntax of `key`
+//   value  := [A-Za-z0-9_.+-]+     -- scalar token; typing is the
+//                                     registry's concern, not the parser's
+//
+// The parser produces a ComponentSpec AST and is exact about failure:
+// every SpecError names the offending position in the input. Printing is
+// the inverse of parsing — parse(print(spec)) == spec for every spec the
+// parser accepts — with nested components first (in their original
+// order, which is semantic for ensembles) and named parameters after, in
+// the order written. Canonicalization (defaults filled in, parameters
+// sorted, values normalized) happens in the registry, which knows each
+// component's parameter schema.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace repl {
+
+/// Raised on any syntax error; the message embeds the spec text and the
+/// byte position of the failure.
+class SpecError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// One parsed component: its name, named scalar parameters (written
+/// order, duplicates rejected by the parser), and nested component
+/// arguments (written order — semantic for ensemble experts).
+struct ComponentSpec {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> params;
+  std::vector<ComponentSpec> children;
+
+  bool operator==(const ComponentSpec&) const = default;
+};
+
+/// Parses `text` into an AST. Throws SpecError with a positioned
+/// diagnostic on malformed input (including trailing garbage).
+ComponentSpec parse_component_spec(std::string_view text);
+
+/// Prints the spec back to its string form: `name` when there are no
+/// arguments, else `name(child1,...,key1=v1,...)`. The exact inverse of
+/// parse_component_spec on every parser-accepted input modulo
+/// whitespace and argument interleaving (children always print first).
+std::string print_component_spec(const ComponentSpec& spec);
+
+}  // namespace repl

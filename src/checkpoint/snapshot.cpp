@@ -35,6 +35,10 @@ std::uint64_t load_le64(const unsigned char* p) {
   return v;
 }
 
+/// Sanity cap on the spec strings: a corrupt length field must not turn
+/// into a multi-GB allocation.
+constexpr std::size_t kMaxSpecBytes = std::size_t{1} << 16;
+
 }  // namespace
 
 void sync_path_best_effort(const std::string& path) {
@@ -58,6 +62,7 @@ SnapshotWriter::SnapshotWriter(const std::string& path,
     throw std::runtime_error("checkpoint " + path_ +
                              ": cannot open for writing");
   }
+  header_.version = SnapshotHeader::kVersion;  // writers always emit v2
   unsigned char raw[SnapshotHeader::kSize] = {};
   store_le64(raw, SnapshotHeader::kMagic);
   store_le32(raw + 8, SnapshotHeader::kVersion);
@@ -69,8 +74,25 @@ SnapshotWriter::SnapshotWriter(const std::string& path,
   store_le64(raw + 48, std::bit_cast<std::uint64_t>(header_.last_batch_time));
   store_le32(raw + 56, header_.flags);
   out_.write(reinterpret_cast<const char*>(raw), SnapshotHeader::kSize);
+
+  // Version-2 extension: log binding + component specs.
+  unsigned char ext[SnapshotHeader::kExtensionSize];
+  store_le64(ext, header_.log_hash);
+  store_le64(ext + 8, header_.log_num_objects);
+  store_le64(ext + 16, header_.log_num_events);
+  out_.write(reinterpret_cast<const char*>(ext), sizeof(ext));
+  const auto write_string = [this](const std::string& s) {
+    REPL_REQUIRE(s.size() <= kMaxSpecBytes);
+    unsigned char len[4];
+    store_le32(len, static_cast<std::uint32_t>(s.size()));
+    out_.write(reinterpret_cast<const char*>(len), sizeof(len));
+    out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+  };
+  write_string(header_.policy_spec);
+  write_string(header_.predictor_spec);
+
   if (!out_) throw std::runtime_error("checkpoint " + path_ + ": header write failed");
-  bytes_written_ = SnapshotHeader::kSize;
+  bytes_written_ = header_.encoded_size();
   open_ = true;
 }
 
@@ -133,7 +155,7 @@ SnapshotReader::SnapshotReader(const std::string& path)
     fail("bad magic (not a checkpoint)");
   }
   header_.version = load_le32(raw + 8);
-  if (header_.version != SnapshotHeader::kVersion) {
+  if (header_.version == 0 || header_.version > SnapshotHeader::kVersion) {
     fail("unsupported version " + std::to_string(header_.version));
   }
   header_.num_servers = load_le32(raw + 12);
@@ -144,6 +166,41 @@ SnapshotReader::SnapshotReader(const std::string& path)
   header_.base_seed = load_le64(raw + 40);
   header_.last_batch_time = std::bit_cast<double>(load_le64(raw + 48));
   header_.flags = load_le32(raw + 56);
+  if (header_.version >= 2) {
+    unsigned char ext[SnapshotHeader::kExtensionSize];
+    in_.read(reinterpret_cast<char*>(ext), sizeof(ext));
+    if (in_.gcount() != static_cast<std::streamsize>(sizeof(ext))) {
+      fail("truncated header extension");
+    }
+    header_.log_hash = load_le64(ext);
+    header_.log_num_objects = load_le64(ext + 8);
+    header_.log_num_events = load_le64(ext + 16);
+    const auto read_string = [this](std::string& s, const char* what) {
+      unsigned char len_raw[4];
+      in_.read(reinterpret_cast<char*>(len_raw), sizeof(len_raw));
+      if (in_.gcount() != static_cast<std::streamsize>(sizeof(len_raw))) {
+        fail(std::string("truncated ") + what + " length");
+      }
+      const std::uint32_t len = load_le32(len_raw);
+      if (len > kMaxSpecBytes) {
+        fail(std::string("implausible ") + what + " length " +
+             std::to_string(len));
+      }
+      s.resize(len);
+      if (len > 0) {
+        in_.read(s.data(), static_cast<std::streamsize>(len));
+        if (in_.gcount() != static_cast<std::streamsize>(len)) {
+          fail(std::string("truncated ") + what);
+        }
+      }
+    };
+    read_string(header_.policy_spec, "policy spec");
+    read_string(header_.predictor_spec, "predictor spec");
+  }
+}
+
+SnapshotHeader read_snapshot_header(const std::string& path) {
+  return SnapshotReader(path).header();
 }
 
 void SnapshotReader::fail(const std::string& what) const {

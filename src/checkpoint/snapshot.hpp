@@ -9,7 +9,7 @@
 //
 //   offset  size  field
 //   0       8     magic        "REPLCKPT"
-//   8       4     version      currently 1
+//   8       4     version      currently 2
 //   12      4     num_servers
 //   16      8     num_objects        (object records that follow)
 //   24      8     events_ingested    (== the event-log resume offset in
@@ -21,8 +21,23 @@
 //   48      8     last_batch_time    IEEE-754 binary64
 //   56      4     flags              bit 0: any_event
 //                                    bit 1: compute_lower_bound
+//                                    bit 2: log binding fields meaningful
 //   60      4     reserved, 0
-//   64      --    object records, ascending object id:
+//   --- version 2 extension (absent in version-1 files) ---
+//   64      8     log_hash           rolling hash over every ingested
+//                                     event (event_stream_hash), the
+//                                     snapshot↔log binding checked on
+//                                     resume
+//   72      8     log_num_objects    driving log's header value (0 when
+//                                     unknown / not bound)
+//   80      8     log_num_events     driving log's header value
+//                                     (kUnknownLogEvents when unknown)
+//   88      4+n   policy_spec        length-prefixed canonical component
+//                                     spec (empty: unknown, legacy
+//                                     factory construction)
+//   ...     4+n   predictor_spec     likewise
+//   ---
+//   then    --    object records, ascending object id:
 //                   0   8   object id
 //                   8   4   payload length in bytes
 //                   12  --  payload (StateWriter stream)
@@ -33,6 +48,10 @@
 // would miss for the final record. Writers therefore emit to a temporary
 // path and rename into place (see StreamingEngine::serve) so a partial
 // file never shadows a good snapshot.
+//
+// Version 1 files (no extension block) still read: their specs decode
+// empty and their log binding as unknown, which downgrades the resume
+// cross-checks to the version-1 behavior.
 #pragma once
 
 #include <cstdint>
@@ -51,11 +70,21 @@ struct SnapshotHeader {
   static constexpr std::uint64_t kMagic = 0x54504b434c504552ULL;  // "REPLCKPT"
   static constexpr std::uint64_t kFooterMagic =
       0x444e4b434c504552ULL;  // "REPLCKND"
-  static constexpr std::uint32_t kVersion = 1;
-  static constexpr std::size_t kSize = 64;  // bytes on disk
+  static constexpr std::uint32_t kVersion = 2;
+  static constexpr std::size_t kSize = 64;  // fixed part, bytes on disk
+  /// Fixed-width portion of the v2 extension (before the spec strings).
+  static constexpr std::size_t kExtensionSize = 24;
+  /// "Unknown" sentinel for log_num_events (mirrors
+  /// EventLogHeader::kUnknownCount without including trace/event_log.hpp).
+  static constexpr std::uint64_t kUnknownLogEvents = ~std::uint64_t{0};
 
   static constexpr std::uint32_t kFlagAnyEvent = 1u << 0;
   static constexpr std::uint32_t kFlagLowerBound = 1u << 1;
+  static constexpr std::uint32_t kFlagLogBound = 1u << 2;
+  /// log_hash covers the engine's whole ingest history. Clear only when
+  /// the snapshotting engine was itself restored from a pre-v2 snapshot
+  /// (its prefix hash is unknown).
+  static constexpr std::uint32_t kFlagLogHash = 1u << 3;
 
   std::uint32_t version = kVersion;
   std::uint32_t num_servers = 0;
@@ -65,7 +94,28 @@ struct SnapshotHeader {
   std::uint64_t base_seed = 0;
   double last_batch_time = 0.0;
   std::uint32_t flags = 0;
+  /// Rolling hash over every event the snapshotted engine ingested.
+  std::uint64_t log_hash = 0;
+  /// Driving log identity at bind time; meaningful iff kFlagLogBound.
+  std::uint64_t log_num_objects = 0;
+  std::uint64_t log_num_events = kUnknownLogEvents;
+  /// Canonical component specs of the snapshotted engine (empty when the
+  /// engine was built from raw factories rather than specs).
+  std::string policy_spec;
+  std::string predictor_spec;
+
+  /// Total on-disk header size: where the first object record begins.
+  std::size_t encoded_size() const {
+    if (version < 2) return kSize;
+    return kSize + kExtensionSize + 4 + policy_spec.size() + 4 +
+           predictor_spec.size();
+  }
 };
+
+/// Opens `path`, validates and returns just the header — the cheap way
+/// to inspect a snapshot's specs and log binding without decoding any
+/// object records.
+SnapshotHeader read_snapshot_header(const std::string& path);
 
 /// Writes a snapshot file. The object count is fixed up front (the engine
 /// knows its table size before serializing), so close() can verify every

@@ -12,8 +12,13 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 }
 
 DrwpPolicy::DrwpPolicy(double alpha) : alpha_(alpha) {
-  REPL_REQUIRE_MSG(alpha > 0.0 && alpha <= 1.0,
-                   "alpha must be in (0, 1], got " << alpha);
+  // The paper's guarantees hold for alpha in (0, 1] (alpha = 1 is the
+  // conventional policy). Larger values are still well-defined automata
+  // — the "beyond" branch just holds copies longer than λ — and the
+  // experiment grid sweeps them to map the regime beyond the analysis,
+  // so only positivity (and finiteness) is required here.
+  REPL_REQUIRE_MSG(alpha > 0.0 && std::isfinite(alpha),
+                   "alpha must be positive and finite, got " << alpha);
 }
 
 void DrwpPolicy::reset(const SystemConfig& config, const Prediction& pred0,

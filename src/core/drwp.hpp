@@ -29,8 +29,11 @@ namespace repl {
 
 class DrwpPolicy : public ReplicationPolicy {
  public:
-  /// `alpha` in (0, 1]. alpha -> 0 trusts predictions fully; alpha = 1
-  /// ignores them (both branches give duration λ).
+  /// `alpha` > 0. alpha -> 0 trusts predictions fully; alpha = 1 ignores
+  /// them (both branches give duration λ); the proven bounds assume
+  /// alpha in (0, 1], but larger values run fine (copies on "beyond"
+  /// predictions are held longer than λ) and the experiment grid sweeps
+  /// them.
   explicit DrwpPolicy(double alpha);
 
   void reset(const SystemConfig& config, const Prediction& pred0,

@@ -195,6 +195,7 @@ void StreamingEngine::ingest(const LogEvent* events, std::size_t count) {
   // OnlineSimulation::step (a violation there poisons the engine).
   double prev = any_event_ ? last_batch_time_
                            : -std::numeric_limits<double>::infinity();
+  std::uint64_t hash = log_hash_;
   for (std::size_t i = 0; i < count; ++i) {
     REPL_REQUIRE_MSG(events[i].time > 0.0,
                      "event times must be strictly positive: "
@@ -207,6 +208,7 @@ void StreamingEngine::ingest(const LogEvent* events, std::size_t count) {
         "event server " << events[i].server << " out of range [0, "
                         << config_.num_servers << ")");
     prev = events[i].time;
+    hash = event_stream_hash(hash, events[i]);
   }
 
   // Route to shard inboxes in stream order.
@@ -221,6 +223,7 @@ void StreamingEngine::ingest(const LogEvent* events, std::size_t count) {
   }
   last_batch_time_ = prev;
   any_event_ = true;
+  log_hash_ = hash;  // committed only once the whole batch validated
 
   run_shard_tasks(active, [&](Shard& shard) {
     for (const LogEvent& event : shard.inbox) {
@@ -328,20 +331,12 @@ EngineMetrics StreamingEngine::serve(EventLogReader& reader,
   REPL_REQUIRE(batch_events >= 1);
   REPL_REQUIRE_MSG(checkpoint_every == 0 || !options.checkpoint_path.empty(),
                    "checkpoint_every requires a checkpoint_path");
-  REPL_REQUIRE_MSG(reader.num_servers() == config_.num_servers,
-                   "log has " << reader.num_servers()
-                              << " servers, config expects "
-                              << config_.num_servers);
 
-  // A restored engine resumes where the snapshot left off: seek the
-  // reader forward to the recorded event offset.
-  if (resume_events_ > 0) {
-    REPL_REQUIRE_MSG(reader.events_read() <= resume_events_,
-                     "reader is already past the checkpoint's position ("
-                         << reader.events_read() << " > " << resume_events_
-                         << " events)");
-    reader.skip_events(resume_events_ - reader.events_read());
-  }
+  // Bind to (and cross-check) the log's identity, then seek a restored
+  // engine forward to the snapshot's position, verifying the skipped
+  // prefix against the snapshot's rolling event hash.
+  bind_log(reader.header());
+  seek_to_resume(reader);
 
   std::uint64_t next_checkpoint =
       checkpoint_every == 0
@@ -374,6 +369,66 @@ EngineMetrics StreamingEngine::serve(EventLogReader& reader,
     }
   }
   return finish();
+}
+
+void StreamingEngine::bind_log(const EventLogHeader& header) {
+  REPL_REQUIRE_MSG(static_cast<int>(header.num_servers) ==
+                       config_.num_servers,
+                   "log has " << header.num_servers
+                              << " servers, config expects "
+                              << config_.num_servers);
+  if (log_bound_) {
+    // Cross-check against the previously bound (possibly
+    // snapshot-recorded) identity; "unknown" on either side matches
+    // anything and is refined below.
+    REPL_REQUIRE_MSG(
+        log_num_objects_ == 0 || header.num_objects == 0 ||
+            log_num_objects_ == header.num_objects,
+        "engine is bound to a log with " << log_num_objects_
+                                         << " objects, this log has "
+                                         << header.num_objects
+                                         << " (wrong log?)");
+    REPL_REQUIRE_MSG(
+        log_num_events_ == EventLogHeader::kUnknownCount ||
+            header.num_events == EventLogHeader::kUnknownCount ||
+            log_num_events_ == header.num_events,
+        "engine is bound to a log with " << log_num_events_
+                                         << " events, this log has "
+                                         << header.num_events
+                                         << " (wrong log?)");
+    if (log_num_objects_ == 0) log_num_objects_ = header.num_objects;
+    if (log_num_events_ == EventLogHeader::kUnknownCount) {
+      log_num_events_ = header.num_events;
+    }
+    return;
+  }
+  log_bound_ = true;
+  log_num_objects_ = header.num_objects;
+  log_num_events_ = header.num_events;
+}
+
+void StreamingEngine::seek_to_resume(EventLogReader& reader) {
+  REPL_REQUIRE_MSG(reader.events_read() <= resume_events_,
+                   "reader is already past the checkpoint's position ("
+                       << reader.events_read() << " > " << resume_events_
+                       << " events)");
+  const std::uint64_t remaining = resume_events_ - reader.events_read();
+  if (remaining == 0) return;
+  if (resume_hash_valid_ && reader.events_read() == 0) {
+    // Verified seek: hash the whole skipped prefix and require it to
+    // match the snapshot's. Sequential decode at memory bandwidth —
+    // cheap relative to serving, and it turns "resumed against the
+    // wrong log" from silent garbage into a diagnostic.
+    const std::uint64_t hash =
+        reader.hash_events(remaining, kEventStreamHashSeed);
+    REPL_REQUIRE_MSG(hash == resume_hash_,
+                     "this log does not match the snapshot: the first "
+                         << remaining
+                         << " events hash differently from the prefix the "
+                            "checkpointed engine ingested (wrong log?)");
+  } else {
+    reader.skip_events(remaining);
+  }
 }
 
 void StreamingEngine::checkpoint(const std::string& path) {
@@ -419,7 +474,15 @@ void StreamingEngine::checkpoint(const std::string& path) {
   header.last_batch_time = last_batch_time_;
   header.flags = (any_event_ ? SnapshotHeader::kFlagAnyEvent : 0u) |
                  (options_.compute_lower_bound ? SnapshotHeader::kFlagLowerBound
-                                               : 0u);
+                                               : 0u) |
+                 (log_bound_ ? SnapshotHeader::kFlagLogBound : 0u) |
+                 (log_hash_valid_ ? SnapshotHeader::kFlagLogHash : 0u);
+  header.log_hash = log_hash_;
+  header.log_num_objects = log_bound_ ? log_num_objects_ : 0;
+  header.log_num_events = log_bound_ ? log_num_events_
+                                     : SnapshotHeader::kUnknownLogEvents;
+  header.policy_spec = options_.policy_spec;
+  header.predictor_spec = options_.predictor_spec;
   SnapshotWriter writer(path, header);
   for (const auto* record : records) {
     writer.add_object(record->first, record->second);
@@ -451,6 +514,30 @@ std::unique_ptr<StreamingEngine> StreamingEngine::restore(
                                          << options.base_seed
                                          << " (object seed streams would "
                                             "fork)");
+  // Spec-level self-validation: when both the snapshot and the caller
+  // name their components, they must agree — a mismatched restore would
+  // decode one policy's state into another's fields (or fail later with
+  // a byte-level diagnostic that names no component). A side with no
+  // spec (raw factory lambdas) is trusted unchecked, as before v2.
+  REPL_REQUIRE_MSG(options.policy_spec.empty() ||
+                       header.policy_spec.empty() ||
+                       options.policy_spec == header.policy_spec,
+                   "snapshot was written with policy '"
+                       << header.policy_spec << "' but restore requested '"
+                       << options.policy_spec << "'");
+  REPL_REQUIRE_MSG(options.predictor_spec.empty() ||
+                       header.predictor_spec.empty() ||
+                       options.predictor_spec == header.predictor_spec,
+                   "snapshot was written with predictor '"
+                       << header.predictor_spec
+                       << "' but restore requested '"
+                       << options.predictor_spec << "'");
+  // Preserve the snapshot's specs across spec-less restores, so a later
+  // checkpoint of this engine still names its components.
+  if (options.policy_spec.empty()) options.policy_spec = header.policy_spec;
+  if (options.predictor_spec.empty()) {
+    options.predictor_spec = header.predictor_spec;
+  }
 
   auto engine = std::make_unique<StreamingEngine>(
       std::move(config), options, std::move(make_policy),
@@ -460,6 +547,16 @@ std::unique_ptr<StreamingEngine> StreamingEngine::restore(
   engine->stats_.events_ingested = header.events_ingested;
   engine->stats_.batches = header.batches;
   engine->resume_events_ = header.events_ingested;
+  engine->log_hash_ = header.log_hash;
+  engine->log_hash_valid_ =
+      (header.flags & SnapshotHeader::kFlagLogHash) != 0;
+  engine->resume_hash_ = header.log_hash;
+  engine->resume_hash_valid_ = engine->log_hash_valid_;
+  if ((header.flags & SnapshotHeader::kFlagLogBound) != 0) {
+    engine->log_bound_ = true;
+    engine->log_num_objects_ = header.log_num_objects;
+    engine->log_num_events_ = header.log_num_events;
+  }
 
   // Rebuild the object table in bounded-memory chunks: route records to
   // shard inboxes, then decode shard-parallel (object construction runs

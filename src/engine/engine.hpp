@@ -77,6 +77,14 @@ struct EngineOptions {
   bool compute_lower_bound = true;
   /// Root of the per-object seed streams.
   std::uint64_t base_seed = 0x5eed5eed5eed5eedULL;
+  /// Canonical component specs of the factories (api/registry.hpp),
+  /// recorded in checkpoints so restore() can cross-check the resuming
+  /// components — or reconstruct them from the snapshot alone (see
+  /// EngineBuilder::restore). Empty when the engine was built from raw
+  /// factory lambdas: the snapshot then carries no spec and restore()
+  /// trusts the caller's factories unchecked.
+  std::string policy_spec;
+  std::string predictor_spec;
 };
 
 /// Per-shard aggregate, reduced in ascending object id within the shard.
@@ -197,6 +205,23 @@ class StreamingEngine {
   /// serve() seeks past before reading.
   std::uint64_t resume_position() const { return resume_events_; }
 
+  /// Binds the engine to the identity of the log it is serving. serve()
+  /// calls this automatically; manual ingest() loops should call it once
+  /// before reading so checkpoints record the log fingerprint. On an
+  /// engine restored from a snapshot that was bound, a mismatching
+  /// header (different object/event counts) fails with a diagnostic —
+  /// the cheap first line of the wrong-log defense.
+  void bind_log(const EventLogHeader& header);
+
+  /// Seeks `reader` forward to the snapshot's resume position. When the
+  /// reader is still at the log start and the snapshot carries a rolling
+  /// event hash (format v2), the skipped prefix is read and verified
+  /// against it, so resuming against the wrong log fails with a
+  /// diagnostic; otherwise this degrades to a positional skip. serve()
+  /// calls this automatically; manual ingest() loops should call it
+  /// after bind_log(). No-op on a fresh engine.
+  void seek_to_resume(EventLogReader& reader);
+
   /// Finalizes every object (post-stream expiry flush, per-object cost
   /// extraction) and reduces the aggregates. No ingest() may follow.
   EngineMetrics finish();
@@ -231,6 +256,19 @@ class StreamingEngine {
   /// Stream position recorded in the snapshot this engine was restored
   /// from; 0 for a fresh engine.
   std::uint64_t resume_events_ = 0;
+  /// Rolling hash over every ingested event (event_stream_hash), the
+  /// snapshot↔log binding. Continues from the snapshot's value across a
+  /// restore; invalid only when restored from a pre-v2 snapshot.
+  std::uint64_t log_hash_ = kEventStreamHashSeed;
+  bool log_hash_valid_ = true;
+  /// Hash of the consumed prefix at the restore point, verified by
+  /// seek_to_resume.
+  std::uint64_t resume_hash_ = 0;
+  bool resume_hash_valid_ = false;
+  /// Identity of the bound log (bind_log / restored snapshot).
+  bool log_bound_ = false;
+  std::uint64_t log_num_objects_ = 0;  // 0 = unknown
+  std::uint64_t log_num_events_ = EventLogHeader::kUnknownCount;
   /// Set when a shard task failed (object state partially advanced);
   /// every later ingest()/finish() fails fast. A batch rejected by the
   /// pre-routing validation does NOT poison the engine — no state was

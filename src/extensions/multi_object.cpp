@@ -1,5 +1,6 @@
 #include "extensions/multi_object.hpp"
 
+#include "api/experiment.hpp"
 #include "run/parallel_runner.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -71,6 +72,25 @@ MultiObjectResult run_multi_object_parallel(
     const PredictorFactory& make_predictor, int num_threads) {
   return run_with_threads(workload, base_config, make_policy,
                           make_predictor, num_threads);
+}
+
+MultiObjectResult run_multi_object_spec(
+    const MultiObjectWorkload& workload, const SystemConfig& base_config,
+    const std::string& policy_spec, const std::string& predictor_spec,
+    int num_threads, std::uint64_t base_seed, RunnerStats* stats) {
+  RunnerOptions options;
+  options.num_threads = num_threads;
+  options.base_seed = base_seed;
+  options.simulation.record_events = false;
+  const ParallelRunner runner(options);
+  // The adapters validate (and canonicalize) the specs before any
+  // object runs, then build per object with its seed and trace.
+  const MultiObjectResult result = runner.run(
+      workload, base_config,
+      spec_object_policy_factory(base_config, policy_spec),
+      spec_object_predictor_factory(base_config, predictor_spec));
+  if (stats != nullptr) *stats = runner.last_stats();
+  return result;
 }
 
 }  // namespace repl

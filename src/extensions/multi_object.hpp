@@ -72,4 +72,21 @@ MultiObjectResult run_multi_object_parallel(
     const PolicyFactory& make_policy,
     const PredictorFactory& make_predictor, int num_threads = 0);
 
+struct RunnerStats;
+
+/// Spec-driven twin: each object's components are built by the
+/// ComponentRegistry (api/registry.hpp) from the given spec strings,
+/// seeded deterministically per object and supplied the object's trace
+/// (so clairvoyant predictors like `oracle` or `noisy(accuracy=0.8)`
+/// work here, unlike in the online engine). Throws SpecError on a bad
+/// spec before any simulation starts. `base_seed` roots the per-object
+/// seed streams of randomized components; `stats`, when non-null,
+/// receives the runner's diagnostics (threads used, steals, wall time).
+MultiObjectResult run_multi_object_spec(
+    const MultiObjectWorkload& workload, const SystemConfig& base_config,
+    const std::string& policy_spec, const std::string& predictor_spec,
+    int num_threads = 0,
+    std::uint64_t base_seed = 0x5eed5eed5eed5eedULL,
+    RunnerStats* stats = nullptr);
+
 }  // namespace repl

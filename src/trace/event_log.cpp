@@ -55,6 +55,23 @@ LogEvent decode_record(const unsigned char* p) {
 
 }  // namespace
 
+std::uint64_t event_stream_hash(std::uint64_t hash, const LogEvent& event) {
+  // SplitMix64-style finalizer chained over the record's three fields:
+  // order-sensitive (h enters each round) and sensitive to every bit of
+  // (time, object, server), including the sign/payload bits of odd
+  // doubles.
+  const auto mix = [](std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  hash = mix(hash + 0x9e3779b97f4a7c15ULL +
+             std::bit_cast<std::uint64_t>(event.time));
+  hash = mix(hash + 0x9e3779b97f4a7c15ULL + event.object);
+  hash = mix(hash + 0x9e3779b97f4a7c15ULL + std::uint64_t{event.server});
+  return hash;
+}
+
 EventLogWriter::EventLogWriter(const std::string& path, int num_servers,
                                std::uint64_t num_objects)
     : out_(path, std::ios::binary | std::ios::trunc), path_(path) {
@@ -217,6 +234,21 @@ void EventLogReader::skip_events(std::uint64_t count) {
   buffer_pos_ = 0;
   buffer_len_ = 0;
   eof_ = false;
+}
+
+std::uint64_t EventLogReader::hash_events(std::uint64_t count,
+                                          std::uint64_t hash) {
+  LogEvent event;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!next(event)) {
+      io_fail(path_, "ends after " + std::to_string(delivered_) +
+                         " events while verifying a resume prefix of " +
+                         std::to_string(delivered_ + (count - i)) +
+                         " events (wrong or truncated log?)");
+    }
+    hash = event_stream_hash(hash, event);
+  }
+  return hash;
 }
 
 std::size_t EventLogReader::read_batch(std::vector<LogEvent>& out,

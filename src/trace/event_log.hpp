@@ -45,6 +45,17 @@ struct LogEvent {
   friend bool operator==(const LogEvent&, const LogEvent&) = default;
 };
 
+/// Rolling, order-sensitive hash over an event stream: chain every event
+/// through `event_stream_hash` starting from kEventStreamHashSeed. The
+/// engine maintains this hash over ingested events and records it in
+/// checkpoints; resuming cross-checks the log prefix against it, so a
+/// snapshot restored against the wrong log fails with a diagnostic
+/// instead of silently producing garbage aggregates.
+inline constexpr std::uint64_t kEventStreamHashSeed =
+    0x5245504c48415348ULL;  // "REPLHASH"
+
+std::uint64_t event_stream_hash(std::uint64_t hash, const LogEvent& event);
+
 struct EventLogHeader {
   static constexpr std::uint64_t kMagic = 0x474f4c454c504552ULL;  // "REPLELOG"
   static constexpr std::uint32_t kVersion = 1;
@@ -129,6 +140,13 @@ class EventLogReader {
   /// count) an over-skip surfaces as a truncation error or early EOF on
   /// the next read.
   void skip_events(std::uint64_t count);
+
+  /// The verified twin of skip_events: reads the next `count` events and
+  /// chains them through event_stream_hash starting from `hash`. Used by
+  /// the engine's resume path to cross-check a snapshot's log binding.
+  /// Throws if the log ends before `count` events (wrong or truncated
+  /// log).
+  std::uint64_t hash_events(std::uint64_t count, std::uint64_t hash);
 
  private:
   void refill();

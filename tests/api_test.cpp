@@ -1,0 +1,410 @@
+// EngineBuilder / ExperimentSpec facade tests: spec-built engines match
+// direct-factory engines bit for bit, snapshots record canonical specs
+// and the event-log binding, restores cross-check or self-construct
+// from them, and the spec-driven multi-object runner matches the
+// factory-driven one.
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/experiment.hpp"
+#include "api/registry.hpp"
+#include "checkpoint/snapshot.hpp"
+#include "core/drwp.hpp"
+#include "engine/engine.hpp"
+#include "extensions/multi_object.hpp"
+#include "predictor/last_gap.hpp"
+#include "trace/event_log.hpp"
+#include "util/rng.hpp"
+
+namespace repl {
+namespace {
+
+constexpr int kServers = 6;
+constexpr double kLambda = 12.0;
+
+SystemConfig test_config() {
+  SystemConfig config;
+  config.num_servers = kServers;
+  config.transfer_cost = kLambda;
+  return config;
+}
+
+std::vector<LogEvent> interleaved_events(std::size_t count,
+                                         std::size_t num_objects,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LogEvent> events;
+  double t = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    t += rng.uniform(0.01, 2.0);
+    events.push_back(LogEvent{t, rng.uniform_index(num_objects),
+                              static_cast<std::uint32_t>(
+                                  rng.uniform_index(kServers))});
+  }
+  return events;
+}
+
+/// Writes `events` to a fresh event log at `path`.
+void write_log(const std::string& path, const std::vector<LogEvent>& events) {
+  EventLogWriter writer(path, kServers);
+  for (const LogEvent& e : events) writer.write(e);
+  writer.close();
+}
+
+class ApiEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("repl_api_test_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string temp_path(const std::string& name) {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+EngineBuilder default_builder() {
+  EngineOptions options;
+  options.num_shards = 8;
+  options.num_threads = 1;
+  EngineBuilder builder;
+  builder.config(test_config()).options(options);
+  return builder;
+}
+
+TEST_F(ApiEngineTest, SpecBuiltEngineMatchesDirectFactoriesBitForBit) {
+  const std::vector<LogEvent> events = interleaved_events(3000, 40, 11);
+
+  EngineOptions options;
+  options.num_shards = 8;
+  options.num_threads = 1;
+  StreamingEngine direct(
+      test_config(), options,
+      [](const EngineObjectContext&) -> PolicyPtr {
+        return std::make_unique<DrwpPolicy>(0.3);
+      },
+      [](const EngineObjectContext&) -> PredictorPtr {
+        return std::make_unique<LastGapPredictor>(kServers);
+      });
+  direct.ingest(events);
+  const EngineMetrics reference = direct.finish();
+
+  EngineBuilder builder = default_builder();
+  builder.policy("drwp(alpha=0.3)").predictor("last_gap");
+  auto engine = builder.build();
+  engine->ingest(events);
+  const EngineMetrics metrics = engine->finish();
+
+  EXPECT_EQ(metrics.online_cost, reference.online_cost);
+  EXPECT_EQ(metrics.lower_bound, reference.lower_bound);
+  EXPECT_EQ(metrics.num_transfers, reference.num_transfers);
+  EXPECT_EQ(metrics.objects, reference.objects);
+}
+
+TEST_F(ApiEngineTest, BuilderRejectsClairvoyantSpecsUpFront) {
+  EngineBuilder builder = default_builder();
+  EXPECT_THROW(builder.predictor("oracle"), SpecError);
+  EXPECT_THROW(builder.predictor("ensemble(last_gap,oracle)"), SpecError);
+  EXPECT_THROW(builder.policy("offline_plan"), SpecError);
+  EXPECT_THROW(builder.policy("drpw"), SpecError);  // typo diagnostics too
+}
+
+TEST_F(ApiEngineTest, CheckpointRecordsCanonicalSpecsAndLogBinding) {
+  const std::string log = temp_path("bind.evlog");
+  write_log(log, interleaved_events(2000, 30, 23));
+  const std::string ckpt = temp_path("bind.ckpt");
+
+  EngineBuilder builder = default_builder();
+  builder.policy("adaptive(alpha=1.5)")
+      .predictor("ensemble(last_gap,history(ewma=0.3))");
+  auto engine = builder.build();
+  EventLogReader reader(log);
+  engine->bind_log(reader.header());
+  std::vector<LogEvent> batch;
+  while (engine->stats().events_ingested < 1000 &&
+         reader.read_batch(batch, 256) > 0) {
+    engine->ingest(batch);
+  }
+  engine->checkpoint(ckpt);
+
+  const SnapshotHeader header = read_snapshot_header(ckpt);
+  EXPECT_EQ(header.version, 2u);
+  EXPECT_EQ(header.policy_spec, "adaptive(alpha=1.5,beta=0.1,warmup=100)");
+  EXPECT_EQ(header.predictor_spec,
+            "ensemble(last_gap(within=false),"
+            "history(ewma=0.3,margin=1,within=false),penalty=0.5)");
+  EXPECT_NE(header.flags & SnapshotHeader::kFlagLogBound, 0u);
+  EXPECT_NE(header.flags & SnapshotHeader::kFlagLogHash, 0u);
+  EXPECT_EQ(header.log_num_objects, EventLogReader(log).header().num_objects);
+  EXPECT_EQ(header.log_num_events, 2000u);
+}
+
+TEST_F(ApiEngineTest, MismatchedSpecsFailRestoreWithANamingDiagnostic) {
+  const std::string log = temp_path("mismatch.evlog");
+  write_log(log, interleaved_events(1500, 20, 31));
+  const std::string ckpt = temp_path("mismatch.ckpt");
+
+  {
+    EngineBuilder builder = default_builder();
+    builder.policy("adaptive(alpha=1.5)").predictor("last_gap");
+    auto engine = builder.build();
+    EventLogReader reader(log);
+    std::vector<LogEvent> batch;
+    reader.read_batch(batch, 700);
+    engine->ingest(batch);
+    engine->checkpoint(ckpt);
+  }
+
+  // Builder-level: the diagnostic names both canonical specs.
+  EngineBuilder wrong = default_builder();
+  wrong.policy("drwp(alpha=0.3)");
+  try {
+    wrong.restore(ckpt);
+    FAIL() << "mismatched policy spec restored";
+  } catch (const SpecError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("adaptive(alpha=1.5,beta=0.1,warmup=100)"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("drwp(alpha=0.3)"), std::string::npos) << what;
+  }
+  // Mismatched predictor too.
+  EngineBuilder wrong_pred = default_builder();
+  wrong_pred.predictor("history(ewma=0.5)");
+  EXPECT_THROW(wrong_pred.restore(ckpt), SpecError);
+
+  // Engine-level (raw restore with spec-carrying options) cross-checks
+  // as well.
+  EngineOptions options;
+  options.num_shards = 8;
+  options.num_threads = 1;
+  options.policy_spec = "drwp(alpha=0.3)";
+  EXPECT_THROW(StreamingEngine::restore(
+                   ckpt, test_config(), options,
+                   [](const EngineObjectContext&) -> PolicyPtr {
+                     return std::make_unique<DrwpPolicy>(0.3);
+                   },
+                   [](const EngineObjectContext&) -> PredictorPtr {
+                     return std::make_unique<LastGapPredictor>(kServers);
+                   }),
+               std::invalid_argument);
+}
+
+TEST_F(ApiEngineTest, SpeclessRestoreSelfConstructsAndMatchesBitForBit) {
+  const std::string log = temp_path("selfc.evlog");
+  const std::vector<LogEvent> events = interleaved_events(4000, 50, 43);
+  write_log(log, events);
+  const std::string ckpt = temp_path("selfc.ckpt");
+
+  // Uninterrupted reference under the same specs.
+  EngineBuilder builder = default_builder();
+  builder.policy("adaptive(alpha=0.4,beta=0.2,warmup=10)")
+      .predictor("ensemble(last_gap,history(ewma=0.25))");
+  EngineMetrics reference;
+  {
+    EventLogReader reader(log);
+    auto engine = builder.build();
+    reference = engine->serve(reader);
+  }
+
+  // Crash mid-serve: checkpoint at ~half.
+  {
+    EventLogReader reader(log);
+    auto engine = builder.build();
+    engine->bind_log(reader.header());
+    std::vector<LogEvent> batch;
+    while (engine->stats().events_ingested < events.size() / 2 &&
+           reader.read_batch(batch, 512) > 0) {
+      engine->ingest(batch);
+    }
+    engine->checkpoint(ckpt);
+  }
+
+  // Spec-less builder: factories reconstructed from the snapshot alone,
+  // different shard/thread geometry, aggregates bit-identical.
+  EngineOptions geometry;
+  geometry.num_shards = 3;
+  geometry.num_threads = 2;
+  EngineBuilder specless;
+  specless.config(test_config()).options(geometry);
+  auto resumed = specless.restore(ckpt);
+  EXPECT_EQ(resumed->options().policy_spec,
+            "adaptive(alpha=0.4,beta=0.2,warmup=10)");
+  EventLogReader reader(log);
+  const EngineMetrics metrics = resumed->serve(reader);
+  EXPECT_EQ(metrics.online_cost, reference.online_cost);
+  EXPECT_EQ(metrics.lower_bound, reference.lower_bound);
+  EXPECT_EQ(metrics.num_transfers, reference.num_transfers);
+  EXPECT_EQ(metrics.events, reference.events);
+  EXPECT_EQ(metrics.objects, reference.objects);
+
+  // A spec-less restore of a spec-less snapshot is refused: there is
+  // nothing to self-construct from.
+  const std::string bare_ckpt = temp_path("bare.ckpt");
+  {
+    EngineOptions options;
+    options.num_shards = 4;
+    options.num_threads = 1;
+    StreamingEngine bare(
+        test_config(), options,
+        [](const EngineObjectContext&) -> PolicyPtr {
+          return std::make_unique<DrwpPolicy>(0.3);
+        },
+        [](const EngineObjectContext&) -> PredictorPtr {
+          return std::make_unique<LastGapPredictor>(kServers);
+        });
+    bare.ingest(events.data(), 100);
+    bare.checkpoint(bare_ckpt);
+  }
+  EngineBuilder no_specs;
+  no_specs.config(test_config());
+  EXPECT_THROW(no_specs.restore(bare_ckpt), SpecError);
+}
+
+TEST_F(ApiEngineTest, ResumingAgainstTheWrongLogFailsTheBindingChecks) {
+  const std::string log = temp_path("right.evlog");
+  const std::vector<LogEvent> events = interleaved_events(2000, 25, 5);
+  write_log(log, events);
+  const std::string ckpt = temp_path("right.ckpt");
+
+  EngineBuilder builder = default_builder();
+  builder.policy("drwp(alpha=0.3)").predictor("last_gap");
+  {
+    EventLogReader reader(log);
+    auto engine = builder.build();
+    engine->bind_log(reader.header());
+    std::vector<LogEvent> batch;
+    while (engine->stats().events_ingested < 1000 &&
+           reader.read_batch(batch, 256) > 0) {
+      engine->ingest(batch);
+    }
+    engine->checkpoint(ckpt);
+  }
+
+  // Same shape, different content: caught by the rolling-hash check.
+  {
+    std::vector<LogEvent> other = events;
+    other[100].server = (other[100].server + 1) % kServers;
+    const std::string wrong = temp_path("wrong.evlog");
+    write_log(wrong, other);
+    auto resumed = builder.restore(ckpt);
+    EventLogReader reader(wrong);
+    try {
+      resumed->serve(reader);
+      FAIL() << "resume against a content-mismatched log succeeded";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("hash"), std::string::npos)
+          << e.what();
+    }
+  }
+  // Different shape: caught by the header binding before any read.
+  {
+    const std::string shorter = temp_path("short.evlog");
+    write_log(shorter, interleaved_events(1200, 25, 5));
+    auto resumed = builder.restore(ckpt);
+    EventLogReader reader(shorter);
+    EXPECT_THROW(resumed->serve(reader), std::invalid_argument);
+  }
+  // The right log still resumes fine (and bit-identically).
+  {
+    auto resumed = builder.restore(ckpt);
+    EventLogReader reader(log);
+    const EngineMetrics metrics = resumed->serve(reader);
+    EngineBuilder fresh = default_builder();
+    fresh.policy("drwp(alpha=0.3)").predictor("last_gap");
+    auto reference_engine = fresh.build();
+    EventLogReader again(log);
+    const EngineMetrics reference = reference_engine->serve(again);
+    EXPECT_EQ(metrics.online_cost, reference.online_cost);
+  }
+}
+
+TEST(ApiExperimentTest, RunExperimentMatchesManualSimulation) {
+  std::vector<Request> requests;
+  Rng rng(0x11);
+  double t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    t += rng.uniform(0.1, 3.0 * kLambda);
+    requests.push_back(Request{t, static_cast<int>(rng.uniform_index(
+                                      kServers))});
+  }
+  const Trace trace(kServers, std::move(requests));
+  const SystemConfig config = test_config();
+
+  ExperimentSpec experiment;
+  experiment.policy = "drwp(alpha=0.3)";
+  experiment.predictor = "last_gap";
+  const SimulationResult via_spec = run_experiment(experiment, config, trace);
+
+  DrwpPolicy policy(0.3);
+  LastGapPredictor predictor(kServers);
+  const Simulator simulator(config, SimulationOptions{});
+  const SimulationResult manual = simulator.run(policy, trace, predictor);
+
+  EXPECT_EQ(via_spec.total_cost(), manual.total_cost());
+  EXPECT_EQ(via_spec.num_transfers, manual.num_transfers);
+
+  // Clairvoyant components are fine here — the trace is supplied.
+  experiment.predictor = "oracle";
+  experiment.policy = "offline_plan";
+  const SimulationResult plan = run_experiment(experiment, config, trace);
+  EXPECT_GT(plan.total_cost(), 0.0);
+}
+
+TEST(ApiMultiObjectTest, SpecRunnerMatchesFactoryRunnerAndIsDeterministic) {
+  MultiObjectConfig workload_config;
+  workload_config.num_objects = 30;
+  workload_config.num_servers = kServers;
+  workload_config.request_rate = 0.05;
+  workload_config.horizon = 20000.0;
+  const MultiObjectWorkload workload =
+      generate_multi_object_workload(workload_config, 0x99);
+  const SystemConfig config = test_config();
+
+  const MultiObjectResult via_factories = run_multi_object(
+      workload, config,
+      [] { return std::make_unique<DrwpPolicy>(0.3); },
+      [](const Trace&) {
+        return std::make_unique<LastGapPredictor>(kServers);
+      });
+  const MultiObjectResult via_spec = run_multi_object_spec(
+      workload, config, "drwp(alpha=0.3)", "last_gap", /*num_threads=*/2);
+  EXPECT_EQ(via_spec.online_cost, via_factories.online_cost);
+  EXPECT_EQ(via_spec.opt_cost, via_factories.opt_cost);
+
+  // Randomized policies draw from per-object seed streams: the spec
+  // runner is deterministic across runs and thread counts.
+  const MultiObjectResult random_a = run_multi_object_spec(
+      workload, config, "randomized(alpha=0.5)", "history", 1);
+  const MultiObjectResult random_b = run_multi_object_spec(
+      workload, config, "randomized(alpha=0.5)", "history", 4);
+  EXPECT_EQ(random_a.online_cost, random_b.online_cost);
+
+  // Clairvoyant predictors work offline (per-object traces exist).
+  const MultiObjectResult oracle = run_multi_object_spec(
+      workload, config, "drwp(alpha=0.3)", "oracle", 2);
+  EXPECT_LE(oracle.online_cost, random_a.online_cost * 2.0);
+
+  // Bad specs fail before any simulation.
+  EXPECT_THROW(run_multi_object_spec(workload, config, "nope", "last_gap"),
+               SpecError);
+}
+
+}  // namespace
+}  // namespace repl

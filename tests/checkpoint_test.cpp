@@ -473,23 +473,19 @@ TEST_F(CheckpointFileTest, RestoreRejectsMismatchedConfiguration) {
 
 /// Parses the record table of a snapshot file to find every record
 /// boundary (offsets where a record begins, plus the footer offset).
+/// The v2 header is variable-length (log binding + spec strings), so
+/// the walk starts at header.encoded_size().
 std::vector<std::uintmax_t> record_boundaries(const std::string& path) {
+  const SnapshotHeader header = read_snapshot_header(path);
   std::ifstream in(path, std::ios::binary);
-  unsigned char header[SnapshotHeader::kSize];
-  in.read(reinterpret_cast<char*>(header), SnapshotHeader::kSize);
-  auto le64 = [](const unsigned char* p) {
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
-    return v;
-  };
   auto le32 = [](const unsigned char* p) {
     std::uint32_t v = 0;
     for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
     return v;
   };
-  const std::uint64_t num_objects = le64(header + 16);
+  const std::uint64_t num_objects = header.num_objects;
   std::vector<std::uintmax_t> boundaries;
-  std::uintmax_t offset = SnapshotHeader::kSize;
+  std::uintmax_t offset = header.encoded_size();
   for (std::uint64_t i = 0; i < num_objects; ++i) {
     boundaries.push_back(offset);
     unsigned char prefix[12];

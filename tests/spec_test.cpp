@@ -1,0 +1,494 @@
+// Component-spec API tests: grammar round-trip (including a randomized
+// property test over every registered component), precise error
+// diagnostics, and registry completeness — every concrete
+// ReplicationPolicy/Predictor in src/ must be constructible through the
+// registry.
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/registry.hpp"
+#include "api/spec.hpp"
+#include "baselines/naive.hpp"
+#include "baselines/wang2021.hpp"
+#include "core/adaptive_drwp.hpp"
+#include "core/drwp.hpp"
+#include "extensions/randomized_drwp.hpp"
+#include "extensions/weighted_drwp.hpp"
+#include "offline/planned_policy.hpp"
+#include "predictor/ensemble.hpp"
+#include "predictor/fixed.hpp"
+#include "predictor/history.hpp"
+#include "predictor/last_gap.hpp"
+#include "predictor/noisy.hpp"
+#include "predictor/oracle.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace repl {
+namespace {
+
+ComponentRegistry& registry() { return ComponentRegistry::instance(); }
+
+BuildContext offline_context(const Trace& trace) {
+  BuildContext ctx;
+  ctx.config.num_servers = trace.num_servers();
+  ctx.config.transfer_cost = 10.0;
+  ctx.seed = 0xfeedULL;
+  ctx.trace = &trace;
+  return ctx;
+}
+
+Trace small_trace() {
+  std::vector<Request> requests;
+  double t = 0.0;
+  Rng rng(0x7ace);
+  for (int i = 0; i < 12; ++i) {
+    t += rng.uniform(0.5, 30.0);
+    requests.push_back(Request{t, static_cast<int>(rng.uniform_index(4))});
+  }
+  return Trace(4, std::move(requests));
+}
+
+// ---------------------------------------------------------------------
+// Grammar
+// ---------------------------------------------------------------------
+
+TEST(SpecParserTest, ParsesBareNameParamsAndNesting) {
+  const ComponentSpec bare = parse_component_spec("drwp");
+  EXPECT_EQ(bare.name, "drwp");
+  EXPECT_TRUE(bare.params.empty());
+  EXPECT_TRUE(bare.children.empty());
+
+  const ComponentSpec params = parse_component_spec("drwp(alpha=0.5)");
+  ASSERT_EQ(params.params.size(), 1u);
+  EXPECT_EQ(params.params[0].first, "alpha");
+  EXPECT_EQ(params.params[0].second, "0.5");
+
+  const ComponentSpec nested = parse_component_spec(
+      "ensemble(last_gap,history(ewma=0.3),penalty=0.25)");
+  ASSERT_EQ(nested.children.size(), 2u);
+  EXPECT_EQ(nested.children[0].name, "last_gap");
+  EXPECT_EQ(nested.children[1].name, "history");
+  ASSERT_EQ(nested.children[1].params.size(), 1u);
+  EXPECT_EQ(nested.children[1].params[0].first, "ewma");
+  ASSERT_EQ(nested.params.size(), 1u);
+  EXPECT_EQ(nested.params[0].first, "penalty");
+}
+
+TEST(SpecParserTest, WhitespaceIsInsignificant) {
+  EXPECT_EQ(parse_component_spec("  drwp ( alpha = 0.5 ) "),
+            parse_component_spec("drwp(alpha=0.5)"));
+  EXPECT_EQ(parse_component_spec("ensemble( last_gap , history )"),
+            parse_component_spec("ensemble(last_gap,history)"));
+}
+
+TEST(SpecParserTest, EmptyArgumentListEqualsBareName) {
+  EXPECT_EQ(parse_component_spec("conventional()"),
+            parse_component_spec("conventional"));
+}
+
+TEST(SpecParserTest, PrintParsesBackToTheSameSpec) {
+  for (const char* text :
+       {"drwp", "drwp(alpha=0.5)", "adaptive(alpha=0.3,beta=0.1,warmup=50)",
+        "ensemble(last_gap,history(ewma=0.3),penalty=0.25)",
+        "ensemble(ensemble(fixed(within=true),last_gap),history)",
+        "noisy(accuracy=0.75)"}) {
+    const ComponentSpec spec = parse_component_spec(text);
+    const std::string printed = print_component_spec(spec);
+    EXPECT_EQ(parse_component_spec(printed), spec) << text;
+    // Printing is canonical w.r.t. itself: a second round trip is the
+    // identity on the string too.
+    EXPECT_EQ(print_component_spec(parse_component_spec(printed)), printed);
+  }
+}
+
+/// Randomized property test: generate specs from every registered
+/// component's schema (random parameter subsets, random valid values,
+/// random expert nesting for ensembles) and require parse ∘ print ==
+/// identity plus canonicalization idempotence.
+class SpecGenerator {
+ public:
+  explicit SpecGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  ComponentSpec random_spec(ComponentKind kind, int depth = 0) {
+    const std::vector<const ComponentInfo*> infos =
+        registry().components(kind);
+    const ComponentInfo* info;
+    do {
+      info = infos[rng_.uniform_index(infos.size())];
+      // Nested components only where allowed; avoid deep recursion.
+    } while (info->min_children > 0 && depth >= 2);
+    ComponentSpec spec;
+    spec.name = info->name;
+    for (const ParamInfo& param : info->params) {
+      if (!rng_.bernoulli(0.6)) continue;  // random subset
+      spec.params.emplace_back(param.key, random_value(param));
+    }
+    if (info->max_children > 0) {
+      const std::size_t count =
+          info->min_children +
+          rng_.uniform_index(3 - info->min_children + 1);
+      for (std::size_t i = 0; i < count; ++i) {
+        spec.children.push_back(random_spec(kind, depth + 1));
+      }
+    }
+    return spec;
+  }
+
+ private:
+  std::string random_value(const ParamInfo& param) {
+    switch (param.type) {
+      case ParamType::kDouble: {
+        // Stay inside the parameter's declared range (alpha > 0,
+        // ewma/penalty in (0, 1], accuracy in [0, 1], ...).
+        const double lo = std::max(param.min_value, 0.01);
+        const double hi = std::min(param.max_value, 2.0);
+        const double v = rng_.uniform(lo, hi);
+        char buffer[32];
+        const int n = std::snprintf(buffer, sizeof(buffer), "%.3f", v);
+        return std::string(buffer, static_cast<std::size_t>(n));
+      }
+      case ParamType::kUint:
+        return std::to_string(rng_.uniform_index(500));
+      case ParamType::kBool:
+        return rng_.bernoulli(0.5) ? "true" : "false";
+    }
+    return "0";
+  }
+
+  Rng rng_;
+};
+
+TEST(SpecParserTest, RoundTripPropertyOverAllRegisteredComponents) {
+  SpecGenerator generator(0x5eed);
+  for (int i = 0; i < 200; ++i) {
+    for (const ComponentKind kind :
+         {ComponentKind::kPolicy, ComponentKind::kPredictor}) {
+      const ComponentSpec spec = generator.random_spec(kind);
+      const std::string printed = print_component_spec(spec);
+      SCOPED_TRACE(printed);
+      EXPECT_EQ(parse_component_spec(printed), spec);
+
+      // Canonicalization is validated, deterministic, and idempotent:
+      // canonical(parse(print(canonical(s)))) == canonical(s).
+      const ComponentSpec canonical = registry().canonicalize(kind, spec);
+      const std::string canonical_text = print_component_spec(canonical);
+      EXPECT_EQ(registry().canonical_string(kind, canonical_text),
+                canonical_text);
+      // And every declared parameter appears in the canonical form.
+      EXPECT_EQ(canonical.params.size(),
+                registry().info(kind, spec.name).params.size());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------
+
+void expect_spec_error(const std::function<void()>& action,
+                       const std::string& needle) {
+  try {
+    action();
+    FAIL() << "expected SpecError containing \"" << needle << "\"";
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SpecErrorTest, SyntaxErrorsNamePositionAndCause) {
+  expect_spec_error([] { parse_component_spec(""); }, "component name");
+  expect_spec_error([] { parse_component_spec("Drwp"); }, "lowercase");
+  expect_spec_error([] { parse_component_spec("drwp(alpha=0.5"); },
+                    "expected ',' or ')'");
+  expect_spec_error([] { parse_component_spec("drwp(alpha=)"); },
+                    "value after '='");
+  expect_spec_error([] { parse_component_spec("drwp)trailing"); },
+                    "trailing characters");
+  expect_spec_error(
+      [] { parse_component_spec("drwp(alpha=1,alpha=2)"); },
+      "duplicate parameter 'alpha'");
+}
+
+TEST(SpecErrorTest, UnknownComponentListsRegisteredOnes) {
+  expect_spec_error(
+      [] {
+        registry().canonical_string(ComponentKind::kPolicy, "drpw");
+      },
+      "unknown policy 'drpw'");
+  expect_spec_error(
+      [] {
+        registry().canonical_string(ComponentKind::kPolicy, "drpw");
+      },
+      "registered policies");
+  expect_spec_error(
+      [] {
+        registry().canonical_string(ComponentKind::kPredictor, "lastgap");
+      },
+      "registered predictors");
+}
+
+TEST(SpecErrorTest, UnknownParameterNamesTheComponentAndItsParameters) {
+  expect_spec_error(
+      [] {
+        registry().canonical_string(ComponentKind::kPolicy,
+                                    "drwp(gamma=1)");
+      },
+      "no parameter 'gamma'");
+  expect_spec_error(
+      [] {
+        registry().canonical_string(ComponentKind::kPolicy,
+                                    "drwp(gamma=1)");
+      },
+      "alpha");
+  expect_spec_error(
+      [] {
+        registry().canonical_string(ComponentKind::kPolicy,
+                                    "conventional(alpha=1)");
+      },
+      "it takes none");
+}
+
+TEST(SpecErrorTest, IllTypedValuesAreDiagnosedPerDeclaredType) {
+  expect_spec_error(
+      [] {
+        registry().canonical_string(ComponentKind::kPolicy,
+                                    "drwp(alpha=abc)");
+      },
+      "not a finite number");
+  expect_spec_error(
+      [] {
+        registry().canonical_string(ComponentKind::kPolicy,
+                                    "adaptive(warmup=1.5)");
+      },
+      "not a non-negative integer");
+  expect_spec_error(
+      [] {
+        registry().canonical_string(ComponentKind::kPredictor,
+                                    "fixed(within=maybe)");
+      },
+      "not a boolean");
+}
+
+TEST(SpecErrorTest, OutOfRangeValuesFailAtTheSpecBoundary) {
+  // Range checks mirror the component constructors' REQUIREs, so a bad
+  // value dies here — with the parameter named — instead of deep inside
+  // a serve after gigabytes of workload generation.
+  expect_spec_error(
+      [] {
+        registry().canonical_string(ComponentKind::kPolicy,
+                                    "drwp(alpha=0)");
+      },
+      "out of range");
+  expect_spec_error(
+      [] {
+        registry().canonical_string(ComponentKind::kPolicy,
+                                    "drwp(alpha=-1)");
+      },
+      "out of range");
+  expect_spec_error(
+      [] {
+        registry().canonical_string(ComponentKind::kPolicy,
+                                    "drwp(alpha=inf)");
+      },
+      "not a finite number");
+  expect_spec_error(
+      [] {
+        registry().canonical_string(ComponentKind::kPredictor,
+                                    "history(ewma=1.5)");
+      },
+      "out of range");
+  expect_spec_error(
+      [] {
+        registry().canonical_string(ComponentKind::kPredictor,
+                                    "noisy(accuracy=1.1)");
+      },
+      "out of range");
+  expect_spec_error(
+      [] {
+        registry().canonical_string(
+            ComponentKind::kPredictor,
+            "ensemble(last_gap,penalty=0)");
+      },
+      "out of range");
+}
+
+TEST(SpecErrorTest, ChildCountIsEnforced) {
+  expect_spec_error(
+      [] {
+        registry().canonical_string(ComponentKind::kPolicy,
+                                    "drwp(conventional)");
+      },
+      "takes no nested components");
+  expect_spec_error(
+      [] {
+        registry().canonical_string(ComponentKind::kPredictor, "ensemble");
+      },
+      "nested components, got 0");
+}
+
+TEST(SpecErrorTest, ClairvoyantComponentsNeedATrace) {
+  BuildContext online;
+  online.config.num_servers = 4;
+  online.config.transfer_cost = 10.0;
+  expect_spec_error(
+      [&] { registry().build_predictor("oracle", online); }, "clairvoyant");
+  // Recursively: an ensemble is clairvoyant iff any expert is.
+  expect_spec_error(
+      [&] {
+        registry().build_predictor("ensemble(last_gap,oracle)", online);
+      },
+      "clairvoyant");
+  EXPECT_TRUE(registry().requires_trace(
+      ComponentKind::kPredictor,
+      parse_component_spec("ensemble(last_gap,noisy(accuracy=0.5))")));
+  EXPECT_FALSE(registry().requires_trace(
+      ComponentKind::kPredictor,
+      parse_component_spec("ensemble(last_gap,history)")));
+  // With a trace they construct fine.
+  const Trace trace = small_trace();
+  EXPECT_NE(registry().build_predictor("oracle", offline_context(trace)),
+            nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Canonicalization
+// ---------------------------------------------------------------------
+
+TEST(SpecCanonicalTest, FillsDefaultsSortsParamsAndNormalizesValues) {
+  EXPECT_EQ(registry().canonical_string(ComponentKind::kPolicy, "drwp"),
+            "drwp(alpha=0.3)");
+  EXPECT_EQ(registry().canonical_string(ComponentKind::kPolicy,
+                                        "drwp(alpha=0.50)"),
+            "drwp(alpha=0.5)");
+  EXPECT_EQ(registry().canonical_string(
+                ComponentKind::kPolicy,
+                "adaptive(warmup=007,alpha=1.5)"),
+            "adaptive(alpha=1.5,beta=0.1,warmup=7)");
+  EXPECT_EQ(registry().canonical_string(ComponentKind::kPredictor,
+                                        "fixed(within=1)"),
+            "fixed(within=true)");
+  // Semantically equal specs canonicalize to the same string.
+  EXPECT_EQ(registry().canonical_string(ComponentKind::kPolicy,
+                                        "adaptive(alpha=0.30)"),
+            registry().canonical_string(ComponentKind::kPolicy,
+                                        "adaptive(beta=0.1,alpha=0.3)"));
+}
+
+// ---------------------------------------------------------------------
+// Registry completeness
+// ---------------------------------------------------------------------
+
+TEST(RegistryCompletenessTest, ExactComponentLists) {
+  std::set<std::string> policies;
+  for (const ComponentInfo* info :
+       registry().components(ComponentKind::kPolicy)) {
+    policies.insert(info->name);
+  }
+  EXPECT_EQ(policies, (std::set<std::string>{
+                          "adaptive", "conventional", "drwp",
+                          "full_replication", "offline_plan", "randomized",
+                          "single_copy_chase", "static_single", "wang2021",
+                          "weighted"}));
+
+  std::set<std::string> predictors;
+  for (const ComponentInfo* info :
+       registry().components(ComponentKind::kPredictor)) {
+    predictors.insert(info->name);
+  }
+  EXPECT_EQ(predictors, (std::set<std::string>{
+                            "adversarial", "ensemble", "fixed", "history",
+                            "last_gap", "noisy", "oracle"}));
+}
+
+/// Every concrete ReplicationPolicy in src/ is reachable from the
+/// registry, with the expected dynamic type (a newly added policy class
+/// must be registered — and added here).
+TEST(RegistryCompletenessTest, EveryConcretePolicyClassIsRegistered) {
+  const Trace trace = small_trace();
+  const BuildContext ctx = offline_context(trace);
+  const auto build = [&](const std::string& spec) {
+    return registry().build_policy(spec, ctx);
+  };
+  EXPECT_NE(dynamic_cast<DrwpPolicy*>(build("drwp").get()), nullptr);
+  EXPECT_NE(dynamic_cast<ConventionalPolicy*>(build("conventional").get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<AdaptiveDrwpPolicy*>(
+                build("adaptive(alpha=0.4,beta=0.2,warmup=5)").get()),
+            nullptr);
+  EXPECT_NE(
+      dynamic_cast<RandomizedDrwpPolicy*>(build("randomized").get()),
+      nullptr);
+  EXPECT_NE(dynamic_cast<WeightedDrwpPolicy*>(build("weighted").get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<Wang2021Policy*>(build("wang2021").get()),
+            nullptr);
+  EXPECT_NE(
+      dynamic_cast<FullReplicationPolicy*>(build("full_replication").get()),
+      nullptr);
+  EXPECT_NE(dynamic_cast<StaticPolicy*>(build("static_single").get()),
+            nullptr);
+  EXPECT_NE(
+      dynamic_cast<SingleCopyChasePolicy*>(build("single_copy_chase").get()),
+      nullptr);
+  EXPECT_NE(dynamic_cast<PlannedPolicy*>(build("offline_plan").get()),
+            nullptr);
+}
+
+/// And likewise for every concrete Predictor.
+TEST(RegistryCompletenessTest, EveryConcretePredictorClassIsRegistered) {
+  const Trace trace = small_trace();
+  const BuildContext ctx = offline_context(trace);
+  const auto build = [&](const std::string& spec) {
+    return registry().build_predictor(spec, ctx);
+  };
+  EXPECT_NE(dynamic_cast<LastGapPredictor*>(build("last_gap").get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<HistoryPredictor*>(build("history").get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<EnsemblePredictor*>(
+                build("ensemble(last_gap,history)").get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<FixedPredictor*>(build("fixed").get()), nullptr);
+  EXPECT_NE(dynamic_cast<OraclePredictor*>(build("oracle").get()), nullptr);
+  EXPECT_NE(
+      dynamic_cast<AdversarialPredictor*>(build("adversarial").get()),
+      nullptr);
+  EXPECT_NE(
+      dynamic_cast<AccuracyPredictor*>(build("noisy(accuracy=0.7)").get()),
+      nullptr);
+}
+
+/// Every registered component's example spec builds successfully in the
+/// offline context (the trace satisfies the clairvoyant ones). Catches
+/// a factory that compiles but throws at construction.
+TEST(RegistryCompletenessTest, EveryExampleSpecConstructs) {
+  const Trace trace = small_trace();
+  const BuildContext ctx = offline_context(trace);
+  for (const ComponentInfo* info :
+       registry().components(ComponentKind::kPolicy)) {
+    SCOPED_TRACE(info->example);
+    const PolicyPtr policy = registry().build_policy(info->example, ctx);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_FALSE(policy->name().empty());
+  }
+  for (const ComponentInfo* info :
+       registry().components(ComponentKind::kPredictor)) {
+    SCOPED_TRACE(info->example);
+    const PredictorPtr predictor =
+        registry().build_predictor(info->example, ctx);
+    ASSERT_NE(predictor, nullptr);
+    EXPECT_FALSE(predictor->name().empty());
+  }
+}
+
+}  // namespace
+}  // namespace repl
