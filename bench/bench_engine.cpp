@@ -28,6 +28,7 @@
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -82,7 +83,11 @@ struct ComparisonResult {
 
 /// Mid-stream snapshot cost at one object count: write the checkpoint at
 /// half the log, restore it, finish the serve, and require the resumed
-/// aggregates to be bit-identical to an uninterrupted run.
+/// aggregates to be bit-identical to an uninterrupted run. Both restore
+/// paths are measured: the explicit-spec restore (the builder names its
+/// components, the snapshot cross-checks) and the spec-less one (the
+/// components self-construct from the snapshot's recorded specs — the
+/// `engine_serve --resume-from` path with no component flags).
 struct CheckpointResult {
   std::string policy;
   std::uint64_t objects = 0;
@@ -90,7 +95,54 @@ struct CheckpointResult {
   std::uint64_t bytes = 0;
   double write_seconds = 0.0;
   double restore_seconds = 0.0;
+  double specless_restore_seconds = 0.0;
   bool identical = true;
+};
+
+/// One wire format's cost/benefit on the same workload: bytes on disk,
+/// transcode (encode) and scan (decode) throughput, and the end-to-end
+/// serve rate — with the aggregates cross-checked bit-for-bit between
+/// formats.
+struct CompressionResult {
+  std::uint64_t events = 0;
+  std::uint64_t raw_bytes = 0;
+  std::uint64_t compressed_bytes = 0;
+  double encode_seconds = 0.0;   // raw -> compressed transcode
+  double decode_seconds = 0.0;   // full scan of the compressed log
+  double raw_events_per_sec = 0.0;
+  double compressed_events_per_sec = 0.0;
+  bool identical = true;
+
+  double raw_bytes_per_event() const {
+    return events > 0 ? static_cast<double>(raw_bytes) /
+                            static_cast<double>(events)
+                      : 0.0;
+  }
+  double compressed_bytes_per_event() const {
+    return events > 0 ? static_cast<double>(compressed_bytes) /
+                            static_cast<double>(events)
+                      : 0.0;
+  }
+  double ratio() const {
+    return compressed_bytes > 0
+               ? static_cast<double>(raw_bytes) /
+                     static_cast<double>(compressed_bytes)
+               : 0.0;
+  }
+  /// Encode rate over the raw bytes consumed; decode over the
+  /// compressed bytes scanned.
+  double encode_mb_per_sec() const {
+    return encode_seconds > 0.0
+               ? static_cast<double>(raw_bytes) / (1024.0 * 1024.0) /
+                     encode_seconds
+               : 0.0;
+  }
+  double decode_mb_per_sec() const {
+    return decode_seconds > 0.0
+               ? static_cast<double>(compressed_bytes) / (1024.0 * 1024.0) /
+                     decode_seconds
+               : 0.0;
+  }
 };
 
 /// Per-shard event spread under one object-popularity skew.
@@ -206,6 +258,14 @@ CheckpointResult measure_checkpoint(const std::string& log_path,
   }
   result.bytes = std::filesystem::file_size(ckpt_path);
 
+  const auto identical_to_reference = [&reference](const EngineMetrics& m) {
+    return m.online_cost == reference.online_cost &&
+           m.lower_bound == reference.lower_bound &&
+           m.num_transfers == reference.num_transfers &&
+           m.num_local == reference.num_local &&
+           m.events == reference.events && m.objects == reference.objects;
+  };
+
   const auto restore_start = std::chrono::steady_clock::now();
   auto resumed = builder.restore(ckpt_path);
   result.restore_seconds =
@@ -213,17 +273,103 @@ CheckpointResult measure_checkpoint(const std::string& log_path,
                                     restore_start)
           .count();
   result.objects = resumed->object_count();
+  {
+    EventLogReader reader(log_path);
+    const EngineMetrics metrics = resumed->serve(reader);
+    result.identical = identical_to_reference(metrics);
+  }
 
-  EventLogReader reader(log_path);
-  const EngineMetrics metrics = resumed->serve(reader);
-  result.identical = metrics.online_cost == reference.online_cost &&
-                     metrics.lower_bound == reference.lower_bound &&
-                     metrics.num_transfers == reference.num_transfers &&
-                     metrics.num_local == reference.num_local &&
-                     metrics.events == reference.events &&
-                     metrics.objects == reference.objects;
+  // The spec-less path: a builder with no component specs reconstructs
+  // the factories from the snapshot's recorded canonical specs alone.
+  {
+    EngineBuilder specless;
+    specless.config(config).options(options);
+    const auto specless_start = std::chrono::steady_clock::now();
+    auto self_constructed = specless.restore(ckpt_path);
+    result.specless_restore_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      specless_start)
+            .count();
+    EventLogReader reader(log_path);
+    const EngineMetrics metrics = self_constructed->serve(reader);
+    result.identical =
+        result.identical && identical_to_reference(metrics) &&
+        self_constructed->options().policy_spec == builder.policy_spec();
+  }
   std::error_code ec;
   std::filesystem::remove(ckpt_path, ec);
+  return result;
+}
+
+/// Measures the wire-format trade on `log_path` (a raw log): transcode
+/// to the compressed format, scan it, and serve both formats end-to-end
+/// under the same specs, requiring bit-identical aggregates.
+CompressionResult measure_compression(const std::string& log_path,
+                                      const SystemConfig& config,
+                                      const EngineOptions& options,
+                                      const std::string& policy_spec,
+                                      const std::string& predictor_spec,
+                                      std::size_t batch, bool keep) {
+  const std::string compressed_path = log_path + ".z";
+  CompressionResult result;
+  {
+    const auto start = std::chrono::steady_clock::now();
+    result.events = event_log_transcode(log_path, compressed_path,
+                                        EventLogFormat::kCompressed);
+    result.encode_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+  }
+  result.raw_bytes = std::filesystem::file_size(log_path);
+  result.compressed_bytes = std::filesystem::file_size(compressed_path);
+  {
+    // Pure decode scan, no engine: the format's read throughput.
+    const auto start = std::chrono::steady_clock::now();
+    EventLogReader reader(compressed_path);
+    LogEvent event;
+    while (reader.next(event)) {
+    }
+    result.decode_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+  }
+
+  // Wall-clock around the whole serve: with double-buffered ingestion
+  // the decode happens on the prefetcher thread, and time the serve loop
+  // spends *blocked on it* shows up in neither ingest_seconds nor
+  // finish_seconds — only wall time can expose a decode bottleneck,
+  // which is exactly what this raw-vs-compressed comparison is for.
+  const auto serve_once = [&](const std::string& path,
+                              EngineMetrics& metrics) {
+    EventLogReader reader(path);
+    auto engine =
+        make_builder(config, options, policy_spec, predictor_spec).build();
+    const auto start = std::chrono::steady_clock::now();
+    metrics = engine->serve(reader, batch);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return wall > 0.0 ? static_cast<double>(metrics.events) / wall : 0.0;
+  };
+  EngineMetrics raw_metrics;
+  EngineMetrics compressed_metrics;
+  result.raw_events_per_sec = serve_once(log_path, raw_metrics);
+  result.compressed_events_per_sec =
+      serve_once(compressed_path, compressed_metrics);
+  result.identical =
+      raw_metrics.online_cost == compressed_metrics.online_cost &&
+      raw_metrics.lower_bound == compressed_metrics.lower_bound &&
+      raw_metrics.num_transfers == compressed_metrics.num_transfers &&
+      raw_metrics.num_local == compressed_metrics.num_local &&
+      raw_metrics.events == compressed_metrics.events &&
+      raw_metrics.objects == compressed_metrics.objects;
+  if (!keep) {
+    std::error_code ec;
+    std::filesystem::remove(compressed_path, ec);
+  }
   return result;
 }
 
@@ -284,10 +430,17 @@ int main(int argc, char** argv) {
                "(per-shard event spread; empty disables)");
   cli.add_flag("seed", "42", "workload seed");
   cli.add_flag("json", "BENCH_engine.json", "machine-readable output path");
+  cli.add_flag("log-format", "raw",
+               "wire format of the generated sweep logs: raw|compressed");
+  cli.add_bool_flag("compress", "write snapshots with compressed object "
+                    "records, and bench the compressed wire format "
+                    "(bytes/event, encode/decode MB/s, end-to-end "
+                    "events/sec vs raw) on the smallest log");
   cli.add_bool_flag("verify", "also run the serial per-object Simulator "
                     "sweep and require bit-identical aggregates");
   cli.add_bool_flag("checkpoint", "also measure checkpoint write/restore "
-                    "throughput at half of each log (resume parity checked)");
+                    "throughput at half of each log (resume parity checked, "
+                    "explicit-spec and spec-less restore paths)");
   cli.add_bool_flag("compare", "also bench a spec grid (adaptive DRWP, "
                     "ensemble predictors, ...) on the smallest log");
   cli.add_bool_flag("keep-logs", "keep the generated event logs on disk");
@@ -308,6 +461,14 @@ int main(int argc, char** argv) {
   bool verify = cli.get_bool("verify") || smoke;
   const bool checkpointing = cli.get_bool("checkpoint") || smoke;
   const bool comparing = cli.get_bool("compare") || smoke;
+  const bool compressing = cli.get_bool("compress") || smoke;
+  EventLogFormat log_format = EventLogFormat::kRaw;
+  try {
+    log_format = parse_event_log_format(cli.get_string("log-format"));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
   std::vector<int> thread_counts;
   for (const double t : cli.get_double_list("threads")) {
     thread_counts.push_back(static_cast<int>(t));
@@ -380,6 +541,7 @@ int main(int argc, char** argv) {
   std::vector<ComparisonResult> comparison_rows;
   std::vector<CheckpointResult> checkpoint_rows;
   std::vector<ZipfResult> zipf_rows;
+  std::optional<CompressionResult> compression;
   bool all_identical = true;
 
   for (std::size_t objects = min_objects;;) {
@@ -394,8 +556,9 @@ int main(int argc, char** argv) {
          ("bench_engine_" + std::to_string(objects) + ".evlog"))
             .string();
     std::cerr << "generating " << events << " events over " << objects
-              << " objects -> " << log_path << "\n";
-    generate_event_log(workload, seed, log_path);
+              << " objects -> " << log_path << " ("
+              << event_log_format_name(log_format) << ")\n";
+    generate_event_log(workload, seed, log_path, log_format);
 
     EngineMetrics last_metrics;
     EngineOptions last_options;
@@ -404,6 +567,7 @@ int main(int argc, char** argv) {
       options.num_shards = shards;
       options.num_threads = threads;
       options.base_seed = seed;
+      options.compress_checkpoints = cli.get_bool("compress");
 
       EventLogReader reader(log_path);
       auto engine = make_builder(config, options, policy_spec,
@@ -502,6 +666,26 @@ int main(int argc, char** argv) {
       checkpoint_rows.push_back(ck);
     }
 
+    // Wire-format trade on the smallest log: the compression section's
+    // transcode needs a raw source, so a compressed sweep first decodes
+    // back to a raw twin.
+    if (objects == min_objects && compressing) {
+      std::string raw_path = log_path;
+      if (log_format != EventLogFormat::kRaw) {
+        raw_path = log_path + ".raw";
+        event_log_transcode(log_path, raw_path, EventLogFormat::kRaw);
+      }
+      std::cerr << "measuring wire-format trade on " << raw_path << "\n";
+      compression = measure_compression(raw_path, config, last_options,
+                                        policy_spec, predictor_spec, batch,
+                                        cli.get_bool("keep-logs"));
+      all_identical = all_identical && compression->identical;
+      if (raw_path != log_path && !cli.get_bool("keep-logs")) {
+        std::error_code ec;
+        std::filesystem::remove(raw_path, ec);
+      }
+    }
+
     if (!cli.get_bool("keep-logs")) {
       std::error_code ec;
       std::filesystem::remove(log_path, ec);
@@ -558,7 +742,8 @@ int main(int argc, char** argv) {
 
   if (!checkpoint_rows.empty()) {
     Table ck_table({"policy", "objects", "ckpt@events", "bytes", "write_s",
-                    "write_MB/s", "restore_s", "restore_MB/s", "identical"});
+                    "write_MB/s", "restore_s", "restore_MB/s", "specless_s",
+                    "identical"});
     for (const CheckpointResult& ck : checkpoint_rows) {
       const double mb = static_cast<double>(ck.bytes) / (1024.0 * 1024.0);
       ck_table.add_row(
@@ -570,9 +755,29 @@ int main(int argc, char** argv) {
            Table::cell(ck.restore_seconds, 3),
            Table::cell(
                ck.restore_seconds > 0.0 ? mb / ck.restore_seconds : 0.0, 1),
+           Table::cell(ck.specless_restore_seconds, 3),
            ck.identical ? "yes" : "NO"});
     }
     std::cout << ck_table.str() << "\n";
+  }
+
+  if (compression) {
+    Table z_table({"format", "bytes", "bytes/event", "encode_MB/s",
+                   "decode_MB/s", "serve_events/s", "identical"});
+    z_table.add_row({"raw", Table::cell(compression->raw_bytes),
+                     Table::cell(compression->raw_bytes_per_event(), 2), "-",
+                     "-", Table::cell(compression->raw_events_per_sec, 0),
+                     "-"});
+    z_table.add_row(
+        {"compressed", Table::cell(compression->compressed_bytes),
+         Table::cell(compression->compressed_bytes_per_event(), 2),
+         Table::cell(compression->encode_mb_per_sec(), 1),
+         Table::cell(compression->decode_mb_per_sec(), 1),
+         Table::cell(compression->compressed_events_per_sec, 0),
+         compression->identical ? "yes" : "NO"});
+    std::cout << z_table.str();
+    std::cout << "compression: " << compression->ratio()
+              << "x smaller than raw\n\n";
   }
 
   if (!zipf_rows.empty()) {
@@ -642,10 +847,31 @@ int main(int argc, char** argv) {
     json.key("bytes").value(ck.bytes);
     json.key("write_seconds").value(ck.write_seconds);
     json.key("restore_seconds").value(ck.restore_seconds);
+    json.key("specless_restore_seconds").value(ck.specless_restore_seconds);
     json.key("identical").value(ck.identical);
     json.end_object();
   }
   json.end_array();
+  if (compression) {
+    json.key("compression").begin_object();
+    json.key("events").value(compression->events);
+    json.key("raw_bytes").value(compression->raw_bytes);
+    json.key("compressed_bytes").value(compression->compressed_bytes);
+    json.key("raw_bytes_per_event").value(compression->raw_bytes_per_event());
+    json.key("compressed_bytes_per_event")
+        .value(compression->compressed_bytes_per_event());
+    json.key("ratio").value(compression->ratio());
+    json.key("encode_seconds").value(compression->encode_seconds);
+    json.key("decode_seconds").value(compression->decode_seconds);
+    json.key("encode_mb_per_second").value(compression->encode_mb_per_sec());
+    json.key("decode_mb_per_second").value(compression->decode_mb_per_sec());
+    json.key("raw_serve_events_per_second")
+        .value(compression->raw_events_per_sec);
+    json.key("compressed_serve_events_per_second")
+        .value(compression->compressed_events_per_sec);
+    json.key("identical").value(compression->identical);
+    json.end_object();
+  }
   json.key("zipf_sweep").begin_array();
   for (const ZipfResult& z : zipf_rows) {
     json.begin_object();
@@ -674,8 +900,18 @@ int main(int argc, char** argv) {
   std::cout << "wrote " << json_path << "\n";
 
   if (!all_identical) {
-    std::cerr << "FAIL: engine aggregates diverged (serial-sweep parity or "
-                 "checkpoint resume parity)\n";
+    std::cerr << "FAIL: engine aggregates diverged (serial-sweep parity, "
+                 "checkpoint resume parity, or wire-format parity)\n";
+    return EXIT_FAILURE;
+  }
+  // Size-regression gate: the dense-id smoke workload must stay well
+  // under the raw 20 bytes/event — a coding change that bloats the
+  // compressed format fails CI here.
+  if (smoke && compression &&
+      compression->compressed_bytes_per_event() > 12.0) {
+    std::cerr << "FAIL: compressed format spent "
+              << compression->compressed_bytes_per_event()
+              << " bytes/event on the dense-id smoke workload (cap: 12)\n";
     return EXIT_FAILURE;
   }
   if (verify) {

@@ -76,6 +76,15 @@ int main(int argc, char** argv) {
   cli.add_bool_flag("list-predictors",
                     "print every engine-safe predictor spec and exit");
   cli.add_flag("seed", "1", "workload seed");
+  cli.add_flag("log-format", "raw",
+               "wire format of the generated log: raw|compressed (an "
+               "existing --log is read in whatever format it is)");
+  cli.add_bool_flag("compress",
+                    "write snapshots with compressed object records "
+                    "(format v3, word codec)");
+  cli.add_bool_flag("sync-ingest",
+                    "disable double-buffered ingestion (decode batches "
+                    "on the serving thread, the pre-codec behaviour)");
   cli.add_bool_flag("keep-log", "keep the generated log on disk");
   cli.add_flag("checkpoint-every", "0",
                "snapshot the engine every N events (0 = never)");
@@ -121,10 +130,17 @@ int main(int argc, char** argv) {
     log_path = (std::filesystem::temp_directory_path() /
                 "engine_serve_demo.evlog")
                    .string();
+    EventLogFormat format = EventLogFormat::kRaw;
+    try {
+      format = parse_event_log_format(cli.get_string("log-format"));
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return EXIT_FAILURE;
+    }
     std::cout << "synthesizing " << events << " " << arrivals
               << " events over " << objects << " objects -> " << log_path
-              << "\n";
-    generate_event_log(workload, cli.get_uint64("seed"), log_path);
+              << " (" << event_log_format_name(format) << ")\n";
+    generate_event_log(workload, cli.get_uint64("seed"), log_path, format);
     generated = true;
   }
 
@@ -140,6 +156,7 @@ int main(int argc, char** argv) {
   EngineOptions options;
   options.num_shards = shards;
   options.num_threads = static_cast<int>(cli.get_size_t("threads", 0, 4096));
+  options.compress_checkpoints = cli.get_bool("compress");
 
   std::cout << "serving " << log_path << " ("
             << (reader.header().num_events == EventLogHeader::kUnknownCount
@@ -250,6 +267,7 @@ int main(int argc, char** argv) {
   ServeOptions serve_options;
   serve_options.checkpoint_every = checkpoint_every;
   if (checkpoint_every > 0) serve_options.checkpoint_path = checkpoint_path;
+  serve_options.async_ingest = !cli.get_bool("sync-ingest");
   EngineMetrics metrics;
   try {
     metrics = engine->serve(reader, serve_options);

@@ -183,3 +183,43 @@ std::string normalize_param_value(const std::string& component,
                                   const std::string& value);
 
 }  // namespace repl
+
+// ---------------------------------------------------------------------
+// Out-of-tree self-registration
+// ---------------------------------------------------------------------
+//
+// An external component needs exactly one new .cpp: define the class,
+// then register it at namespace scope with one of these macros — the
+// registration runs before main() via a file-local static, so the
+// component is immediately reachable from every spec-driven driver
+// (`engine_serve --policy my_policy(...)`, checkpoints record and
+// cross-check its canonical spec, etc.). No registry of registrations
+// to edit, nothing else to recompile.
+//
+//   REPL_REGISTER_POLICY(my_policy, [] {
+//     repl::ComponentInfo info;
+//     info.name = "my_policy";
+//     info.summary = "…";
+//     return info;
+//   }(), [](const repl::ComponentSpec&, const repl::BuildContext&)
+//       -> repl::PolicyPtr { return std::make_unique<MyPolicy>(); });
+//
+// `token` only names the file-local static (one registration per token
+// per translation unit). Link the .cpp into the executable target
+// itself (or an OBJECT library): a classic static archive may drop a TU
+// nothing references, and then the initializer never runs.
+//
+// Thread safety: registration happens during static initialization,
+// before threads exist; ComponentRegistry::instance() itself is a
+// thread-safe magic static, so builtins are always registered first.
+
+#define REPL_REGISTER_POLICY(token, ...)                                     \
+  [[maybe_unused]] static const bool repl_registered_policy_##token =        \
+      (::repl::ComponentRegistry::instance().register_policy(__VA_ARGS__),   \
+       true)
+
+#define REPL_REGISTER_PREDICTOR(token, ...)                                  \
+  [[maybe_unused]] static const bool repl_registered_predictor_##token =     \
+      (::repl::ComponentRegistry::instance().register_predictor(             \
+           __VA_ARGS__),                                                     \
+       true)

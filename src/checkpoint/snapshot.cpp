@@ -4,6 +4,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "codec/crc32.hpp"
+#include "codec/endian.hpp"
+#include "codec/word_codec.hpp"
 #include "util/check.hpp"
 
 #ifdef __unix__
@@ -14,26 +17,6 @@
 namespace repl {
 
 namespace {
-
-void store_le32(unsigned char* p, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
-}
-
-void store_le64(unsigned char* p, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
-}
-
-std::uint32_t load_le32(const unsigned char* p) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
-  return v;
-}
-
-std::uint64_t load_le64(const unsigned char* p) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
-  return v;
-}
 
 /// Sanity cap on the spec strings: a corrupt length field must not turn
 /// into a multi-GB allocation.
@@ -62,7 +45,10 @@ SnapshotWriter::SnapshotWriter(const std::string& path,
     throw std::runtime_error("checkpoint " + path_ +
                              ": cannot open for writing");
   }
-  header_.version = SnapshotHeader::kVersion;  // writers always emit v2
+  header_.version = SnapshotHeader::kVersion;  // writers always emit v3
+  REPL_REQUIRE_MSG(header_.codec == SnapshotHeader::kCodecRaw ||
+                       header_.codec == SnapshotHeader::kCodecWord,
+                   "unknown snapshot codec " << header_.codec);
   unsigned char raw[SnapshotHeader::kSize] = {};
   store_le64(raw, SnapshotHeader::kMagic);
   store_le32(raw + 8, SnapshotHeader::kVersion);
@@ -91,6 +77,11 @@ SnapshotWriter::SnapshotWriter(const std::string& path,
   write_string(header_.policy_spec);
   write_string(header_.predictor_spec);
 
+  // Version-3 extension: the object-record payload codec.
+  unsigned char codec_raw[4];
+  store_le32(codec_raw, header_.codec);
+  out_.write(reinterpret_cast<const char*>(codec_raw), sizeof(codec_raw));
+
   if (!out_) throw std::runtime_error("checkpoint " + path_ + ": header write failed");
   bytes_written_ = header_.encoded_size();
   open_ = true;
@@ -105,21 +96,35 @@ void SnapshotWriter::add_object(std::uint64_t object_id,
                  "more object records than the header promises");
   REPL_CHECK_MSG(objects_written_ == 0 || object_id > last_id_,
                  "object records must have strictly increasing ids");
-  REPL_REQUIRE(payload.size() <=
-               std::numeric_limits<std::uint32_t>::max());
+  REPL_REQUIRE_MSG(payload.size() <= SnapshotHeader::kMaxRecordBytes,
+                   "object record of " << payload.size()
+                                       << " bytes exceeds the record cap");
   last_id_ = object_id;
   ++objects_written_;
 
-  unsigned char prefix[12];
+  const std::vector<unsigned char>* encoded = &payload;
+  std::vector<unsigned char> packed;
+  if (header_.codec == SnapshotHeader::kCodecWord) {
+    packed = word_pack(payload);
+    encoded = &packed;
+  }
+  // Guaranteed by the codec's expansion bound given the raw cap above;
+  // anything this writer emits must pass the reader's length checks.
+  REPL_CHECK(encoded->size() <= SnapshotHeader::kMaxEncodedRecordBytes);
+  unsigned char prefix[20];
   store_le64(prefix, object_id);
-  store_le32(prefix + 8, static_cast<std::uint32_t>(payload.size()));
+  store_le32(prefix + 8, static_cast<std::uint32_t>(encoded->size()));
+  store_le32(prefix + 12, static_cast<std::uint32_t>(payload.size()));
+  std::uint32_t crc = crc32c_update(crc32c_init(), prefix, 16);
+  crc = crc32c_final(crc32c_update(crc, encoded->data(), encoded->size()));
+  store_le32(prefix + 16, crc);
   out_.write(reinterpret_cast<const char*>(prefix), sizeof(prefix));
-  out_.write(reinterpret_cast<const char*>(payload.data()),
-             static_cast<std::streamsize>(payload.size()));
+  out_.write(reinterpret_cast<const char*>(encoded->data()),
+             static_cast<std::streamsize>(encoded->size()));
   if (!out_) {
     throw std::runtime_error("checkpoint " + path_ + ": record write failed");
   }
-  bytes_written_ += sizeof(prefix) + payload.size();
+  bytes_written_ += sizeof(prefix) + encoded->size();
 }
 
 void SnapshotWriter::close() {
@@ -197,6 +202,20 @@ SnapshotReader::SnapshotReader(const std::string& path)
     read_string(header_.policy_spec, "policy spec");
     read_string(header_.predictor_spec, "predictor spec");
   }
+  if (header_.version >= 3) {
+    unsigned char codec_raw[4];
+    in_.read(reinterpret_cast<char*>(codec_raw), sizeof(codec_raw));
+    if (in_.gcount() != static_cast<std::streamsize>(sizeof(codec_raw))) {
+      fail("truncated codec field");
+    }
+    header_.codec = load_le32(codec_raw);
+    if (header_.codec != SnapshotHeader::kCodecRaw &&
+        header_.codec != SnapshotHeader::kCodecWord) {
+      fail("unknown object-record codec " + std::to_string(header_.codec));
+    }
+  } else {
+    header_.codec = SnapshotHeader::kCodecRaw;
+  }
 }
 
 SnapshotHeader read_snapshot_header(const std::string& path) {
@@ -234,7 +253,28 @@ bool SnapshotReader::next_object(std::uint64_t& object_id,
     }
     return false;
   }
-  unsigned char prefix[12];
+  if (header_.version < 3) {
+    unsigned char prefix[12];
+    read_exact(prefix, sizeof(prefix), "record prefix");
+    object_id = load_le64(prefix);
+    if (objects_read_ > 0 && object_id <= prev_id_) {
+      fail("object ids out of order at record " +
+           std::to_string(objects_read_));
+    }
+    prev_id_ = object_id;
+    const std::uint32_t len = load_le32(prefix + 8);
+    if (len > SnapshotHeader::kMaxRecordBytes) {
+      fail("implausible record length in record " +
+           std::to_string(objects_read_) + " (object " +
+           std::to_string(object_id) + ")");
+    }
+    payload.resize(len);
+    if (len > 0) read_exact(payload.data(), len, "record payload");
+    ++objects_read_;
+    return true;
+  }
+
+  unsigned char prefix[20];
   read_exact(prefix, sizeof(prefix), "record prefix");
   object_id = load_le64(prefix);
   if (objects_read_ > 0 && object_id <= prev_id_) {
@@ -242,9 +282,41 @@ bool SnapshotReader::next_object(std::uint64_t& object_id,
          std::to_string(objects_read_));
   }
   prev_id_ = object_id;
-  const std::uint32_t len = load_le32(prefix + 8);
-  payload.resize(len);
-  if (len > 0) read_exact(payload.data(), len, "record payload");
+  const std::uint32_t encoded_len = load_le32(prefix + 8);
+  const std::uint32_t raw_len = load_le32(prefix + 12);
+  const std::uint32_t expected_crc = load_le32(prefix + 16);
+  // Reject implausible lengths before any allocation: a corrupt length
+  // field must surface as this diagnostic, not a multi-GB resize (the
+  // CRC check that would catch it runs after the payload is read).
+  if (encoded_len > SnapshotHeader::kMaxEncodedRecordBytes ||
+      raw_len > SnapshotHeader::kMaxRecordBytes) {
+    fail("implausible record length in record " +
+         std::to_string(objects_read_) + " (object " +
+         std::to_string(object_id) + ")");
+  }
+  // Raw records decode straight into the caller's buffer; only the word
+  // codec needs the encoded scratch (restore is a hot path — no copy).
+  const bool packed = header_.codec == SnapshotHeader::kCodecWord;
+  std::vector<unsigned char>& target = packed ? encoded_ : payload;
+  target.resize(encoded_len);
+  if (encoded_len > 0) {
+    read_exact(target.data(), encoded_len, "record payload");
+  }
+  std::uint32_t crc = crc32c_update(crc32c_init(), prefix, 16);
+  crc = crc32c_final(crc32c_update(crc, target.data(), target.size()));
+  if (crc != expected_crc) {
+    fail("CRC mismatch in record " + std::to_string(objects_read_) +
+         " (object " + std::to_string(object_id) + ")");
+  }
+  if (packed) {
+    payload = word_unpack(encoded_.data(), encoded_.size(), raw_len,
+                          "checkpoint " + path_ + ": record " +
+                              std::to_string(objects_read_) + " (object " +
+                              std::to_string(object_id) + ")");
+  } else if (raw_len != encoded_len) {
+    fail("raw record " + std::to_string(objects_read_) +
+         " declares mismatched lengths");
+  }
   ++objects_read_;
   return true;
 }

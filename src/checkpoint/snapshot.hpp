@@ -9,12 +9,11 @@
 //
 //   offset  size  field
 //   0       8     magic        "REPLCKPT"
-//   8       4     version      currently 2
+//   8       4     version      currently 3
 //   12      4     num_servers
 //   16      8     num_objects        (object records that follow)
-//   24      8     events_ingested    (== the event-log resume offset in
-//                                     records; byte offset is
-//                                     EventLogHeader::kSize + 20·N)
+//   24      8     events_ingested    (the event-log resume offset in
+//                                     records)
 //   32      8     batches            (ingest batches so far, diagnostics)
 //   40      8     base_seed          (per-object seed root; must match on
 //                                     restore or object RNG streams fork)
@@ -36,11 +35,22 @@
 //                                     spec (empty: unknown, legacy
 //                                     factory construction)
 //   ...     4+n   predictor_spec     likewise
+//   --- version 3 extension ---
+//   ...     4     codec              per-record payload codec: 0 raw,
+//                                     1 word codec (codec/word_codec.hpp)
 //   ---
-//   then    --    object records, ascending object id:
+//   then    --    object records, ascending object id.
+//                 Version <= 2:
 //                   0   8   object id
 //                   8   4   payload length in bytes
 //                   12  --  payload (StateWriter stream)
+//                 Version 3:
+//                   0   8   object id
+//                   8   4   encoded length in bytes
+//                   12  4   raw (decoded) length in bytes
+//                   16  4   CRC-32C over the 16 prefix bytes + encoded
+//                           payload
+//                   20  --  encoded payload
 //   end     8     footer magic "REPLCKND"
 //
 // The trailing footer makes truncation at an exact record boundary — a
@@ -49,9 +59,14 @@
 // path and rename into place (see StreamingEngine::serve) so a partial
 // file never shadows a good snapshot.
 //
-// Version 1 files (no extension block) still read: their specs decode
-// empty and their log binding as unknown, which downgrades the resume
-// cross-checks to the version-1 behavior.
+// Version 3 records carry a per-record CRC whether or not they are
+// compressed, so a flipped bit anywhere in a record fails with a
+// diagnostic naming the record; the word codec shrinks the double-heavy
+// payloads (repeated NaN/inf sentinels, near-constant accumulators).
+// Version 1 files (no extension block) and version 2 files (no codec
+// field, bare records) still read: v1 specs decode empty and the log
+// binding as unknown, which downgrades the resume cross-checks to the
+// version-1 behavior.
 #pragma once
 
 #include <cstdint>
@@ -70,10 +85,24 @@ struct SnapshotHeader {
   static constexpr std::uint64_t kMagic = 0x54504b434c504552ULL;  // "REPLCKPT"
   static constexpr std::uint64_t kFooterMagic =
       0x444e4b434c504552ULL;  // "REPLCKND"
-  static constexpr std::uint32_t kVersion = 2;
+  static constexpr std::uint32_t kVersion = 3;
   static constexpr std::size_t kSize = 64;  // fixed part, bytes on disk
   /// Fixed-width portion of the v2 extension (before the spec strings).
   static constexpr std::size_t kExtensionSize = 24;
+
+  /// Object-record payload codecs (version >= 3).
+  static constexpr std::uint32_t kCodecRaw = 0;
+  static constexpr std::uint32_t kCodecWord = 1;
+
+  /// Sanity cap on one object record's raw payload: a corrupt length
+  /// must fail with a diagnostic, not a multi-GB allocation. Object
+  /// state is typically a few hundred bytes.
+  static constexpr std::uint32_t kMaxRecordBytes = 1u << 26;
+  /// Cap on the encoded payload: the word codec's bounded worst case
+  /// over a kMaxRecordBytes input (one control byte per two words plus
+  /// slack), so everything the writer can legally emit reads back.
+  static constexpr std::uint32_t kMaxEncodedRecordBytes =
+      kMaxRecordBytes + kMaxRecordBytes / 16 + 16;
   /// "Unknown" sentinel for log_num_events (mirrors
   /// EventLogHeader::kUnknownCount without including trace/event_log.hpp).
   static constexpr std::uint64_t kUnknownLogEvents = ~std::uint64_t{0};
@@ -103,13 +132,18 @@ struct SnapshotHeader {
   /// engine was built from raw factories rather than specs).
   std::string policy_spec;
   std::string predictor_spec;
+  /// Object-record payload codec (kCodecRaw for versions < 3).
+  std::uint32_t codec = kCodecRaw;
 
   /// Total on-disk header size: where the first object record begins.
   std::size_t encoded_size() const {
     if (version < 2) return kSize;
     return kSize + kExtensionSize + 4 + policy_spec.size() + 4 +
-           predictor_spec.size();
+           predictor_spec.size() + (version >= 3 ? 4 : 0);
   }
+
+  /// Object-record prefix bytes for this version (id + lengths [+ crc]).
+  std::size_t record_prefix_size() const { return version >= 3 ? 20 : 12; }
 };
 
 /// Opens `path`, validates and returns just the header — the cheap way
@@ -175,6 +209,8 @@ class SnapshotReader {
   std::ifstream in_;
   std::string path_;
   SnapshotHeader header_;
+  /// Reusable scratch for encoded (pre-codec) record payloads.
+  std::vector<unsigned char> encoded_;
   std::uint64_t objects_read_ = 0;
   std::uint64_t prev_id_ = 0;
   bool footer_checked_ = false;

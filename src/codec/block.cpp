@@ -1,0 +1,121 @@
+#include "codec/block.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "codec/crc32.hpp"
+#include "codec/endian.hpp"
+
+namespace repl {
+
+namespace {
+
+constexpr std::size_t kFrameBytes = 16;
+
+}  // namespace
+
+BlockWriter::BlockWriter(std::ostream& out, std::string name)
+    : out_(out), name_(std::move(name)) {}
+
+void BlockWriter::write_block(std::uint32_t aux, const unsigned char* payload,
+                              std::size_t size) {
+  if (size > kMaxBlockBytes) {
+    throw std::runtime_error(name_ + ": block payload of " +
+                             std::to_string(size) + " bytes exceeds the " +
+                             std::to_string(kMaxBlockBytes) + "-byte cap");
+  }
+  unsigned char frame[kFrameBytes];
+  store_le32(frame, static_cast<std::uint32_t>(size));
+  store_le32(frame + 4, aux);
+  store_le32(frame + 8, crc32c(payload, size));
+  store_le32(frame + 12, crc32c(frame, 12));  // covers len, aux, body_crc
+  out_.write(reinterpret_cast<const char*>(frame), kFrameBytes);
+  out_.write(reinterpret_cast<const char*>(payload),
+             static_cast<std::streamsize>(size));
+  if (!out_) {
+    throw std::runtime_error(name_ + ": block write failed at block " +
+                             std::to_string(blocks_));
+  }
+  ++blocks_;
+}
+
+BlockReader::BlockReader(std::istream& in, std::string name,
+                         std::uint64_t base_offset)
+    : in_(in), name_(std::move(name)), offset_(base_offset) {}
+
+void BlockReader::fail(const std::string& what) const {
+  throw std::runtime_error(name_ + ": " + what + " (block " +
+                           std::to_string(blocks_) + ", byte offset " +
+                           std::to_string(offset_) + ")");
+}
+
+bool BlockReader::next_frame(std::uint32_t& aux) {
+  if (have_frame_) {
+    aux = frame_[1];
+    return true;
+  }
+  unsigned char raw[kFrameBytes];
+  in_.read(reinterpret_cast<char*>(raw), kFrameBytes);
+  const auto got = static_cast<std::size_t>(in_.gcount());
+  if (in_.bad()) fail("read failed");
+  if (got == 0) return false;  // clean EOF between blocks
+  if (got != kFrameBytes) fail("truncated block frame");
+  frame_[0] = load_le32(raw);       // body_len
+  frame_[1] = load_le32(raw + 4);   // aux
+  frame_[2] = load_le32(raw + 8);   // body_crc
+  frame_[3] = load_le32(raw + 12);  // frame_crc
+  // Verify the frame before anything steers by it: skip paths seek by
+  // body_len and count items by aux without ever touching the payload.
+  if (crc32c(raw, 12) != frame_[3]) {
+    fail("frame CRC mismatch (corrupt block header)");
+  }
+  if (frame_[0] > kMaxBlockBytes) {
+    fail("implausible block length " + std::to_string(frame_[0]));
+  }
+  have_frame_ = true;
+  aux = frame_[1];
+  return true;
+}
+
+void BlockReader::read_payload(std::vector<unsigned char>& payload) {
+  if (!have_frame_) fail("read_payload without a pending frame");
+  payload.resize(frame_[0]);
+  if (frame_[0] > 0) {
+    in_.read(reinterpret_cast<char*>(payload.data()), frame_[0]);
+    if (in_.gcount() != static_cast<std::streamsize>(frame_[0])) {
+      fail("truncated block payload (" + std::to_string(in_.gcount()) +
+           " of " + std::to_string(frame_[0]) + " bytes)");
+    }
+  }
+  if (crc32c(payload.data(), payload.size()) != frame_[2]) {
+    fail("CRC mismatch (corrupt block)");
+  }
+  offset_ += kFrameBytes + frame_[0];
+  ++blocks_;
+  have_frame_ = false;
+}
+
+void BlockReader::skip_payload() {
+  if (!have_frame_) fail("skip_payload without a pending frame");
+  in_.seekg(static_cast<std::streamoff>(frame_[0]), std::ios::cur);
+  if (!in_) fail("seek past block payload failed");
+  offset_ += kFrameBytes + frame_[0];
+  ++blocks_;
+  have_frame_ = false;
+}
+
+bool BlockReader::read_block(std::uint32_t& aux,
+                             std::vector<unsigned char>& payload) {
+  if (!next_frame(aux)) return false;
+  read_payload(payload);
+  return true;
+}
+
+bool BlockReader::skip_block(std::uint32_t& aux) {
+  if (!next_frame(aux)) return false;
+  skip_payload();
+  return true;
+}
+
+}  // namespace repl

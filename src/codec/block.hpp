@@ -1,0 +1,122 @@
+// Block-framed container: the streaming envelope of the codec subsystem.
+//
+// A framed stream is a sequence of self-delimiting blocks appended to an
+// underlying std::iostream position:
+//
+//   offset  size  field
+//   0       4     body_len    payload bytes that follow the 16-byte frame
+//   4       4     aux         caller-defined (e.g. events in the block)
+//   8       4     body_crc    CRC-32C over the payload
+//   12      4     frame_crc   CRC-32C over the 12 frame bytes above
+//   16      --    payload
+//
+// Two CRCs on purpose: the frame fields get their own, verifiable
+// without touching the payload, because skip paths *steer by them* —
+// body_len decides how far to seek and aux how many logical items the
+// seek covered. A flipped bit in a skipped block's frame would
+// otherwise silently misposition every later read (e.g. an event-log
+// resume landing N events off its checkpoint offset). So: a bit flip
+// anywhere in any frame, or in the payload of a block that is read, is
+// detected with a positioned diagnostic (block index + byte offset);
+// only the payload bytes of wholly *skipped* blocks go unverified —
+// and nothing decodes from those. Truncation inside a frame or payload
+// is likewise positioned; a stream that ends exactly at a block
+// boundary reads as a clean EOF (whether that is acceptable is the
+// caller's protocol decision — the event log cross-checks its header's
+// event count).
+//
+// skip_block() reads only the 16-byte frame (verified) and seeks past
+// the payload: consumers that know how many logical items each block
+// holds (the aux field) can skip N items in O(blocks) seeks without
+// decoding — the contract EventLogReader::skip_events keeps on
+// compressed logs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace repl {
+
+/// Sanity cap on one block's payload: a corrupt length field must fail
+/// with a diagnostic, not a multi-GB allocation.
+inline constexpr std::size_t kMaxBlockBytes = std::size_t{1} << 26;
+
+/// Appends framed blocks to `out`. The writer does not own the stream
+/// and never seeks it; callers interleave their own header writes.
+class BlockWriter {
+ public:
+  /// `name` labels the destination (a path) in error messages.
+  BlockWriter(std::ostream& out, std::string name);
+
+  BlockWriter(const BlockWriter&) = delete;
+  BlockWriter& operator=(const BlockWriter&) = delete;
+
+  /// Frames and writes one block. Throws std::runtime_error on I/O
+  /// failure or a payload over kMaxBlockBytes.
+  void write_block(std::uint32_t aux, const unsigned char* payload,
+                   std::size_t size);
+  void write_block(std::uint32_t aux,
+                   const std::vector<unsigned char>& payload) {
+    write_block(aux, payload.data(), payload.size());
+  }
+
+  std::uint64_t blocks_written() const { return blocks_; }
+
+ private:
+  std::ostream& out_;
+  std::string name_;
+  std::uint64_t blocks_ = 0;
+};
+
+/// Reads framed blocks from `in`, starting at its current position.
+/// Corruption (bad CRC, implausible length, truncation mid-frame or
+/// mid-payload) throws std::runtime_error naming the source, the block
+/// index, and the byte offset.
+class BlockReader {
+ public:
+  /// `name` labels the source (a path) in error messages; `base_offset`
+  /// is the stream position of block 0 (for diagnostics only).
+  BlockReader(std::istream& in, std::string name,
+              std::uint64_t base_offset = 0);
+
+  BlockReader(const BlockReader&) = delete;
+  BlockReader& operator=(const BlockReader&) = delete;
+
+  /// Reads the next frame without consuming its payload; returns false
+  /// at a clean EOF (stream ends exactly between blocks). `aux` is the
+  /// frame's caller-defined field — enough for a consumer to decide
+  /// between read_payload() (decode) and skip_payload() (seek), which
+  /// must follow before the next frame. Calling next_frame() again
+  /// before consuming returns the same frame.
+  bool next_frame(std::uint32_t& aux);
+
+  /// Consumes the pending frame's payload into `payload` (replaced) and
+  /// verifies the CRC.
+  void read_payload(std::vector<unsigned char>& payload);
+
+  /// Consumes the pending frame's payload with a seek — the payload
+  /// bytes are not read or verified (nothing decodes from them; the
+  /// frame itself was CRC-verified by next_frame).
+  void skip_payload();
+
+  /// Conveniences: next_frame + read_payload / skip_payload.
+  bool read_block(std::uint32_t& aux, std::vector<unsigned char>& payload);
+  bool skip_block(std::uint32_t& aux);
+
+  std::uint64_t blocks_read() const { return blocks_; }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const;
+
+  std::istream& in_;
+  std::string name_;
+  std::uint64_t offset_;  // stream offset of the pending/next frame
+  std::uint64_t blocks_ = 0;
+  bool have_frame_ = false;
+  std::uint32_t frame_[4] = {0, 0, 0, 0};
+};
+
+}  // namespace repl

@@ -1,0 +1,68 @@
+#include "codec/crc32.hpp"
+
+#include <array>
+
+namespace repl {
+
+namespace {
+
+/// Reflected CRC-32C polynomial.
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+/// Slicing-by-4 tables, built once at first use. table[0] is the plain
+/// byte-at-a-time table; table[k] advances a byte through k extra zero
+/// bytes, letting the hot loop fold 4 input bytes per iteration.
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 4> t{};
+
+  Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = t[0][i];
+      for (std::size_t k = 1; k < 4; ++k) {
+        crc = t[0][crc & 0xFFu] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables instance;
+  return instance;
+}
+
+}  // namespace
+
+std::uint32_t crc32c_update(std::uint32_t state, const void* data,
+                            std::size_t size) {
+  const auto& t = tables().t;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = state;
+  while (size >= 4) {
+    crc ^= std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+           (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+    crc = t[3][crc & 0xFFu] ^ t[2][(crc >> 8) & 0xFFu] ^
+          t[1][(crc >> 16) & 0xFFu] ^ t[0][crc >> 24];
+    p += 4;
+    size -= 4;
+  }
+  while (size > 0) {
+    crc = t[0][(crc ^ *p) & 0xFFu] ^ (crc >> 8);
+    ++p;
+    --size;
+  }
+  return crc;
+}
+
+std::uint32_t crc32c(const void* data, std::size_t size) {
+  return crc32c_final(crc32c_update(crc32c_init(), data, size));
+}
+
+}  // namespace repl

@@ -1,0 +1,28 @@
+// CRC-32C (Castagnoli) checksum, the per-block integrity check of the
+// codec subsystem's framed containers.
+//
+// Software slicing-by-4 implementation (no SSE4.2 dependency), reflected
+// polynomial 0x1EDC6F41, init and final xor 0xFFFFFFFF — the same
+// parameterization as iSCSI/ext4, so the values are checkable against
+// any standard CRC-32C tool. An incremental interface is exposed for
+// framing layers that checksum a header and a payload in one value.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace repl {
+
+/// One-shot CRC-32C of `size` bytes.
+std::uint32_t crc32c(const void* data, std::size_t size);
+
+/// Incremental form: feed `crc32c_update` the previous return value
+/// (starting from crc32c_init()) and finish with crc32c_final().
+inline constexpr std::uint32_t crc32c_init() { return 0xFFFFFFFFu; }
+std::uint32_t crc32c_update(std::uint32_t state, const void* data,
+                            std::size_t size);
+inline constexpr std::uint32_t crc32c_final(std::uint32_t state) {
+  return state ^ 0xFFFFFFFFu;
+}
+
+}  // namespace repl

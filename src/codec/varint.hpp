@@ -1,0 +1,66 @@
+// Variable-width integer primitives for the codec subsystem.
+//
+// LEB128 unsigned varints (7 payload bits per byte, little-endian groups,
+// high bit = continuation; a u64 takes at most 10 bytes) plus the zigzag
+// mapping that folds signed deltas into small unsigned values
+// (0, -1, 1, -2, ... -> 0, 1, 2, 3, ...). Encoders append to a byte
+// vector; decoders consume from a bounded span and report malformed
+// input (underflow, overlong encodings past the 10th byte) by returning
+// 0 consumed bytes, so framing layers can turn it into a positioned
+// diagnostic instead of reading out of bounds.
+//
+// These are the building blocks of the compressed event-log format
+// (delta-encoded times, varint object/server ids); see codec/delta.hpp
+// and trace/event_log.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace repl {
+
+inline constexpr std::size_t kMaxUvarintBytes = 10;
+
+/// Appends `v` to `out` as a LEB128 varint (1..10 bytes).
+inline void put_uvarint(std::vector<unsigned char>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<unsigned char>(v) | 0x80u);
+    v >>= 7;
+  }
+  out.push_back(static_cast<unsigned char>(v));
+}
+
+/// Decodes one varint from [p, end). Returns the number of bytes
+/// consumed, or 0 when the input is truncated, overlong (more than 10
+/// bytes), or overflows 64 bits. `v` is untouched on failure.
+inline std::size_t get_uvarint(const unsigned char* p,
+                               const unsigned char* end, std::uint64_t& v) {
+  std::uint64_t value = 0;
+  std::size_t i = 0;
+  for (; p + i != end && i < kMaxUvarintBytes; ++i) {
+    const unsigned char byte = p[i];
+    // The 10th byte holds bits 63.. only: anything above bit 0 would
+    // shift past the u64 and silently alias another value — reject.
+    if (i == kMaxUvarintBytes - 1 && byte > 1) return 0;
+    value |= std::uint64_t{byte & 0x7Fu} << (7 * i);
+    if ((byte & 0x80u) == 0) {
+      v = value;
+      return i + 1;
+    }
+  }
+  return 0;  // ran off the span, or 10 bytes all with continuation bits
+}
+
+/// Zigzag: interleaves the sign so small-magnitude signed values map to
+/// small unsigned ones.
+inline std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace repl

@@ -11,6 +11,7 @@
 
 #include "checkpoint/snapshot.hpp"
 #include "checkpoint/state_io.hpp"
+#include "engine/prefetch.hpp"
 #include "offline/opt_lower_bound.hpp"
 #include "run/parallel_runner.hpp"
 #include "run/thread_pool.hpp"
@@ -342,8 +343,19 @@ EngineMetrics StreamingEngine::serve(EventLogReader& reader,
       checkpoint_every == 0
           ? 0
           : (stats_.events_ingested / checkpoint_every + 1) * checkpoint_every;
+
+  // Double-buffered ingestion: the prefetcher's reader thread decodes
+  // the next batch while the shards execute this one. It delivers the
+  // exact batches the synchronous loop would, so aggregates are
+  // unchanged bit for bit.
+  std::optional<BatchPrefetcher> prefetch;
+  if (options.async_ingest) prefetch.emplace(reader, batch_events);
   std::vector<LogEvent> batch;
-  while (reader.read_batch(batch, batch_events) > 0) {
+  const auto next_batch = [&] {
+    return prefetch ? prefetch->next(batch)
+                    : reader.read_batch(batch, batch_events) > 0;
+  };
+  while (next_batch()) {
     ingest(batch);
     if (checkpoint_every > 0 && stats_.events_ingested >= next_checkpoint) {
       // Atomic replace: seal the snapshot under a temporary name first,
@@ -483,6 +495,8 @@ void StreamingEngine::checkpoint(const std::string& path) {
                                      : SnapshotHeader::kUnknownLogEvents;
   header.policy_spec = options_.policy_spec;
   header.predictor_spec = options_.predictor_spec;
+  header.codec = options_.compress_checkpoints ? SnapshotHeader::kCodecWord
+                                               : SnapshotHeader::kCodecRaw;
   SnapshotWriter writer(path, header);
   for (const auto* record : records) {
     writer.add_object(record->first, record->second);

@@ -77,6 +77,11 @@ struct EngineOptions {
   bool compute_lower_bound = true;
   /// Root of the per-object seed streams.
   std::uint64_t base_seed = 0x5eed5eed5eed5eedULL;
+  /// Write snapshots with word-codec-compressed object records
+  /// (checkpoint/snapshot.hpp format v3, codec 1). Purely an on-disk
+  /// choice: restore() reads either transparently and the engine state
+  /// is bit-identical.
+  bool compress_checkpoints = false;
   /// Canonical component specs of the factories (api/registry.hpp),
   /// recorded in checkpoints so restore() can cross-check the resuming
   /// components — or reconstruct them from the snapshot alone (see
@@ -140,6 +145,13 @@ struct ServeOptions {
   /// snapshot goes to "<path>.tmp" and is renamed over `path` only once
   /// sealed, so a crash mid-checkpoint never corrupts the last good one.
   std::string checkpoint_path;
+  /// Double-buffered ingestion: a reader thread decodes batch N+1 while
+  /// the shards execute batch N (engine/prefetch.hpp), overlapping log
+  /// decode — significant for compressed logs — with serving. Delivers
+  /// exactly the synchronous read order, so aggregates stay
+  /// bit-identical; disable to keep serve() strictly single-threaded
+  /// beyond the shard pool.
+  bool async_ingest = true;
 };
 
 class StreamingEngine {

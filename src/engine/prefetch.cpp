@@ -1,0 +1,79 @@
+#include "engine/prefetch.hpp"
+
+#include "util/check.hpp"
+
+namespace repl {
+
+BatchPrefetcher::BatchPrefetcher(EventLogReader& reader,
+                                 std::size_t batch_events, std::size_t depth)
+    : reader_(reader), batch_events_(batch_events), depth_(depth) {
+  REPL_REQUIRE(batch_events_ >= 1);
+  REPL_REQUIRE(depth_ >= 1);
+  thread_ = std::thread([this] { run(); });
+}
+
+BatchPrefetcher::~BatchPrefetcher() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  space_cv_.notify_all();
+  thread_.join();
+}
+
+void BatchPrefetcher::run() {
+  for (;;) {
+    // Grab a recycled buffer if one is waiting; otherwise allocate.
+    std::vector<LogEvent> batch;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!free_.empty()) {
+        batch = std::move(free_.back());
+        free_.pop_back();
+      }
+    }
+    bool end = false;
+    std::exception_ptr error;
+    try {
+      end = reader_.read_batch(batch, batch_events_) == 0;
+    } catch (...) {
+      error = std::current_exception();
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (error != nullptr || end) {
+      error_ = error;
+      done_ = true;
+      ready_cv_.notify_all();
+      return;
+    }
+    ready_.push_back(std::move(batch));
+    ready_cv_.notify_all();
+    space_cv_.wait(lock, [this] { return ready_.size() < depth_ || stop_; });
+    if (stop_) return;
+  }
+}
+
+bool BatchPrefetcher::next(std::vector<LogEvent>& out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_cv_.wait(lock, [this] { return !ready_.empty() || done_; });
+  if (ready_.empty()) {
+    // Drained: surface the reader's fate — clean EOF or its exception.
+    if (error_ != nullptr) {
+      // Rethrow once; a caller retrying next() after the throw sees a
+      // clean end instead of a stuck loop.
+      const std::exception_ptr error = error_;
+      error_ = nullptr;
+      std::rethrow_exception(error);
+    }
+    return false;
+  }
+  out.clear();
+  free_.push_back(std::move(out));
+  out = std::move(ready_.front());
+  ready_.pop_front();
+  lock.unlock();
+  space_cv_.notify_all();
+  return true;
+}
+
+}  // namespace repl

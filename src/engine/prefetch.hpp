@@ -1,0 +1,73 @@
+// Double-buffered event-log ingestion.
+//
+// Decoding an event log costs CPU — especially the compressed format,
+// whose blocks are delta- and varint-coded — and StreamingEngine::serve
+// historically alternated read → ingest on one thread, leaving the
+// decode on the serving critical path. BatchPrefetcher moves the reads
+// to a dedicated thread: while the shards execute batch N, the reader
+// thread decodes batch N+1 (up to `depth` batches ahead, default 2 —
+// classic double buffering).
+//
+// Correctness: the prefetcher delivers exactly the batches a synchronous
+// read_batch loop would, in the same order — it only changes *when* the
+// decode happens — so the engine's bit-identical determinism contract is
+// untouched. A reader exception (truncation, CRC mismatch, wrong-log
+// hash failure) is captured and rethrown from next() at the position
+// where the synchronous loop would have hit it, after all the batches
+// read before the failure were delivered.
+//
+// Batch buffers are recycled through a free list, so steady state does
+// no allocation.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "trace/event_log.hpp"
+
+namespace repl {
+
+class BatchPrefetcher {
+ public:
+  /// Starts the reader thread. `reader` must outlive the prefetcher and
+  /// must not be touched by the caller until the prefetcher is
+  /// destroyed (its position is owned by the reader thread).
+  BatchPrefetcher(EventLogReader& reader, std::size_t batch_events,
+                  std::size_t depth = 2);
+  /// Stops the reader thread and joins it. Batches not yet consumed are
+  /// dropped (used only on error/early-exit paths).
+  ~BatchPrefetcher();
+
+  BatchPrefetcher(const BatchPrefetcher&) = delete;
+  BatchPrefetcher& operator=(const BatchPrefetcher&) = delete;
+
+  /// Blocks for the next batch, moving it into `out` (replaced; `out`'s
+  /// old buffer is recycled). Returns false at the end of the stream.
+  /// Rethrows the reader thread's exception once every batch before the
+  /// failure has been delivered.
+  bool next(std::vector<LogEvent>& out);
+
+ private:
+  void run();
+
+  EventLogReader& reader_;
+  const std::size_t batch_events_;
+  const std::size_t depth_;
+
+  std::mutex mutex_;
+  std::condition_variable ready_cv_;  // consumer waits: batch or EOF/error
+  std::condition_variable space_cv_;  // producer waits: queue below depth
+  std::deque<std::vector<LogEvent>> ready_;
+  std::vector<std::vector<LogEvent>> free_;
+  std::exception_ptr error_;
+  bool done_ = false;   // producer finished (EOF or error)
+  bool stop_ = false;   // destructor asked the producer to quit
+  std::thread thread_;
+};
+
+}  // namespace repl

@@ -6,6 +6,8 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "codec/endian.hpp"
+#include "codec/varint.hpp"
 #include "util/check.hpp"
 #include "util/csv.hpp"
 
@@ -14,26 +16,6 @@ namespace repl {
 namespace {
 
 constexpr std::size_t kBufferBytes = std::size_t{1} << 20;
-
-void store_le32(unsigned char* p, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
-}
-
-void store_le64(unsigned char* p, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
-}
-
-std::uint32_t load_le32(const unsigned char* p) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
-  return v;
-}
-
-std::uint64_t load_le64(const unsigned char* p) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
-  return v;
-}
 
 void encode_record(unsigned char* p, const LogEvent& e) {
   store_le64(p, std::bit_cast<std::uint64_t>(e.time));
@@ -55,6 +37,23 @@ LogEvent decode_record(const unsigned char* p) {
 
 }  // namespace
 
+const char* event_log_format_name(EventLogFormat format) {
+  switch (format) {
+    case EventLogFormat::kRaw:
+      return "raw";
+    case EventLogFormat::kCompressed:
+      return "compressed";
+  }
+  return "?";
+}
+
+EventLogFormat parse_event_log_format(const std::string& name) {
+  if (name == "raw") return EventLogFormat::kRaw;
+  if (name == "compressed") return EventLogFormat::kCompressed;
+  throw std::invalid_argument("unknown event-log format '" + name +
+                              "' (expected raw or compressed)");
+}
+
 std::uint64_t event_stream_hash(std::uint64_t hash, const LogEvent& event) {
   // SplitMix64-style finalizer chained over the record's three fields:
   // order-sensitive (h enters each round) and sensitive to every bit of
@@ -73,17 +72,28 @@ std::uint64_t event_stream_hash(std::uint64_t hash, const LogEvent& event) {
 }
 
 EventLogWriter::EventLogWriter(const std::string& path, int num_servers,
-                               std::uint64_t num_objects)
-    : out_(path, std::ios::binary | std::ios::trunc), path_(path) {
+                               std::uint64_t num_objects,
+                               EventLogFormat format,
+                               std::size_t block_events)
+    : out_(path, std::ios::binary | std::ios::trunc),
+      path_(path),
+      format_(format),
+      block_events_(block_events) {
   REPL_REQUIRE(num_servers >= 1);
+  REPL_REQUIRE(block_events >= 1);
   if (!out_) io_fail(path_, "cannot open for writing");
   num_servers_ = static_cast<std::uint32_t>(num_servers);
   num_objects_ = num_objects;
-  buffer_.reserve(kBufferBytes);
+  if (format_ == EventLogFormat::kRaw) {
+    buffer_.reserve(kBufferBytes);
+  } else {
+    pending_.reserve(block_events_);
+    blocks_ = std::make_unique<BlockWriter>(out_, "event log " + path_);
+  }
 
   unsigned char header[EventLogHeader::kSize];
   store_le64(header, EventLogHeader::kMagic);
-  store_le32(header + 8, EventLogHeader::kVersion);
+  store_le32(header + 8, static_cast<std::uint32_t>(format_));
   store_le32(header + 12, num_servers_);
   store_le64(header + 16, num_objects_);
   store_le64(header + 24, EventLogHeader::kUnknownCount);
@@ -114,12 +124,17 @@ void EventLogWriter::write(const LogEvent& event) {
                        << event.time << " after " << last_time_);
   last_time_ = event.time;
   if (event.object > max_object_) max_object_ = event.object;
-
-  const std::size_t pos = buffer_.size();
-  buffer_.resize(pos + EventLogHeader::kRecordSize);
-  encode_record(buffer_.data() + pos, event);
   ++count_;
-  if (buffer_.size() >= kBufferBytes) flush_buffer();
+
+  if (format_ == EventLogFormat::kRaw) {
+    const std::size_t pos = buffer_.size();
+    buffer_.resize(pos + EventLogHeader::kRecordSize);
+    encode_record(buffer_.data() + pos, event);
+    if (buffer_.size() >= kBufferBytes) flush_buffer();
+  } else {
+    pending_.push_back(event);
+    if (pending_.size() >= block_events_) flush_block();
+  }
 }
 
 void EventLogWriter::flush_buffer() {
@@ -130,10 +145,27 @@ void EventLogWriter::flush_buffer() {
   buffer_.clear();
 }
 
+void EventLogWriter::flush_block() {
+  if (pending_.empty()) return;
+  body_.clear();
+  TimeDeltaEncoder times;
+  for (const LogEvent& event : pending_) {
+    times.encode(event.time, body_);
+    put_uvarint(body_, event.object);
+    put_uvarint(body_, event.server);
+  }
+  blocks_->write_block(static_cast<std::uint32_t>(pending_.size()), body_);
+  pending_.clear();
+}
+
 void EventLogWriter::close() {
   REPL_CHECK_MSG(open_, "close() called twice");
   open_ = false;
-  flush_buffer();
+  if (format_ == EventLogFormat::kRaw) {
+    flush_buffer();
+  } else {
+    flush_block();
+  }
   if (num_objects_ == 0 && count_ > 0) num_objects_ = max_object_ + 1;
   unsigned char patch[16];
   store_le64(patch, num_objects_);
@@ -158,14 +190,20 @@ EventLogReader::EventLogReader(const std::string& path)
     io_fail(path_, "bad magic (not an event log)");
   }
   header_.version = load_le32(header + 8);
-  if (header_.version != EventLogHeader::kVersion) {
+  if (header_.version != EventLogHeader::kVersionRaw &&
+      header_.version != EventLogHeader::kVersionCompressed) {
     io_fail(path_, "unsupported version " + std::to_string(header_.version));
   }
   header_.num_servers = load_le32(header + 12);
   if (header_.num_servers == 0) io_fail(path_, "zero num_servers");
   header_.num_objects = load_le64(header + 16);
   header_.num_events = load_le64(header + 24);
-  buffer_.resize(kBufferBytes);
+  if (header_.version == EventLogHeader::kVersionRaw) {
+    buffer_.resize(kBufferBytes);
+  } else {
+    blocks_ = std::make_unique<BlockReader>(in_, "event log " + path_,
+                                            EventLogHeader::kSize);
+  }
 }
 
 void EventLogReader::refill() {
@@ -186,10 +224,69 @@ void EventLogReader::refill() {
   }
 }
 
+void EventLogReader::decode_block(std::uint32_t count,
+                                  const std::vector<unsigned char>& body) {
+  // Every event takes at least 3 body bytes (three 1-byte varints), so
+  // an implausible count is rejected before the reserve, not after a
+  // giant allocation. CRC passed already; this guards writer bugs.
+  const std::string at =
+      " (block " + std::to_string(blocks_->blocks_read() - 1) + ")";
+  if (count > body.size() / 3) {
+    io_fail(path_, "block event count " + std::to_string(count) +
+                       " exceeds its payload" + at);
+  }
+  block_.clear();
+  block_.reserve(count);
+  block_pos_ = 0;
+  TimeDeltaDecoder times;
+  const unsigned char* p = body.data();
+  const unsigned char* const end = p + body.size();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    LogEvent event;
+    std::size_t used = 0;
+    std::uint64_t server = 0;
+    if (!times.decode(&p, end, event.time) ||
+        (used = get_uvarint(p, end, event.object)) == 0) {
+      io_fail(path_, "malformed event encoding" + at);
+    }
+    p += used;
+    if ((used = get_uvarint(p, end, server)) == 0 ||
+        server > std::numeric_limits<std::uint32_t>::max()) {
+      io_fail(path_, "malformed event encoding" + at);
+    }
+    p += used;
+    event.server = static_cast<std::uint32_t>(server);
+    block_.push_back(event);
+  }
+  if (p != end) io_fail(path_, "trailing bytes in block" + at);
+}
+
+bool EventLogReader::load_block() {
+  std::uint32_t count = 0;
+  if (!blocks_->read_block(count, body_)) return false;
+  decode_block(count, body_);
+  return true;
+}
+
 bool EventLogReader::next(LogEvent& event) {
   if (header_.num_events != EventLogHeader::kUnknownCount &&
       delivered_ == header_.num_events) {
     return false;
+  }
+  if (header_.version == EventLogHeader::kVersionCompressed) {
+    while (block_pos_ == block_.size()) {
+      if (!load_block()) {
+        if (header_.num_events != EventLogHeader::kUnknownCount) {
+          io_fail(path_, "truncated: " + std::to_string(delivered_) +
+                             " events read, header promises " +
+                             std::to_string(header_.num_events));
+        }
+        return false;  // unknown count: clean EOF at a block boundary
+      }
+    }
+    event = block_[block_pos_++];
+    ++delivered_;
+    return true;
   }
   if (buffer_len_ - buffer_pos_ < EventLogHeader::kRecordSize) {
     if (!eof_) refill();
@@ -215,6 +312,41 @@ void EventLogReader::skip_events(std::uint64_t count) {
                      "cannot skip " << count << " events: only "
                                     << header_.num_events - delivered_
                                     << " remain");
+  }
+  if (header_.version == EventLogHeader::kVersionCompressed) {
+    // Drain the already-decoded block, then walk frames: wholly skipped
+    // blocks are seeked over (their event count rides in the frame),
+    // only the block containing the target is decoded — O(blocks).
+    const std::uint64_t buffered =
+        static_cast<std::uint64_t>(block_.size() - block_pos_);
+    if (count <= buffered) {
+      block_pos_ += static_cast<std::size_t>(count);
+      delivered_ += count;
+      return;
+    }
+    delivered_ += buffered;
+    count -= buffered;
+    block_.clear();
+    block_pos_ = 0;
+    while (count > 0) {
+      std::uint32_t events = 0;
+      if (!blocks_->next_frame(events)) {
+        io_fail(path_, "log ends while skipping events (" +
+                           std::to_string(count) + " short)");
+      }
+      if (events <= count) {
+        blocks_->skip_payload();
+        delivered_ += events;
+        count -= events;
+      } else {
+        blocks_->read_payload(body_);
+        decode_block(events, body_);
+        block_pos_ = static_cast<std::size_t>(count);
+        delivered_ += count;
+        count = 0;
+      }
+    }
+    return;
   }
   const std::uint64_t buffered =
       static_cast<std::uint64_t>(buffer_len_ - buffer_pos_) /
@@ -258,6 +390,35 @@ std::size_t EventLogReader::read_batch(std::vector<LogEvent>& out,
   LogEvent event;
   while (out.size() < max_events && next(event)) out.push_back(event);
   return out.size();
+}
+
+std::uint64_t event_log_transcode(const std::string& src,
+                                  const std::string& dst,
+                                  EventLogFormat format) {
+  {
+    // The writer truncates dst on open; transcoding a log onto itself
+    // would destroy the source before a single event is copied.
+    std::error_code ec;
+    if (std::filesystem::exists(dst, ec) &&
+        std::filesystem::equivalent(src, dst, ec)) {
+      io_fail(src, "transcode source and destination are the same file");
+    }
+  }
+  EventLogReader reader(src);
+  try {
+    EventLogWriter writer(dst, reader.num_servers(),
+                          reader.header().num_objects, format);
+    LogEvent event;
+    while (reader.next(event)) writer.write(event);
+    writer.close();
+    return writer.events_written();
+  } catch (...) {
+    // Never leave a partial log that a later close() would have patched
+    // into a self-consistent-looking file.
+    std::error_code ec;
+    std::filesystem::remove(dst, ec);
+    throw;
+  }
 }
 
 std::uint64_t event_log_to_csv(const std::string& log_path,
@@ -310,7 +471,7 @@ bool parse_event_row(const std::string& line, std::size_t row_index,
 
 std::uint64_t event_log_from_csv(const std::string& csv_path,
                                  const std::string& log_path,
-                                 int num_servers) {
+                                 int num_servers, EventLogFormat format) {
   if (num_servers == 0) {
     // Inference pass: scan for max server id without writing anything.
     std::ifstream csv(csv_path);
@@ -333,7 +494,7 @@ std::uint64_t event_log_from_csv(const std::string& csv_path,
   std::ifstream csv(csv_path);
   if (!csv) throw std::runtime_error("cannot open: " + csv_path);
   try {
-    EventLogWriter writer(log_path, num_servers);
+    EventLogWriter writer(log_path, num_servers, /*num_objects=*/0, format);
     std::string line;
     bool allow_header = true;
     for (std::size_t row = 0; std::getline(csv, line); ++row) {

@@ -115,8 +115,9 @@ std::uint64_t generate_event_stream(const StreamWorkloadConfig& config,
 }
 
 std::uint64_t generate_event_log(const StreamWorkloadConfig& config,
-                                 std::uint64_t seed, const std::string& path) {
-  EventLogWriter writer(path, config.num_servers, config.num_objects);
+                                 std::uint64_t seed, const std::string& path,
+                                 EventLogFormat format) {
+  EventLogWriter writer(path, config.num_servers, config.num_objects, format);
   const std::uint64_t emitted = generate_event_stream(config, seed, writer);
   writer.close();
   return emitted;

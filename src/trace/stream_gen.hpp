@@ -55,9 +55,12 @@ struct StreamWorkloadConfig {
 std::uint64_t generate_event_stream(const StreamWorkloadConfig& config,
                                     std::uint64_t seed, EventLogWriter& out);
 
-/// Convenience wrapper: creates the log file at `path`, streams the
-/// workload into it, and closes it. Returns the number of events.
+/// Convenience wrapper: creates the log file at `path` (in `format`),
+/// streams the workload into it, and closes it. Returns the number of
+/// events. The event sequence depends only on (config, seed), never on
+/// the format — the same workload encodes bit-identically either way.
 std::uint64_t generate_event_log(const StreamWorkloadConfig& config,
-                                 std::uint64_t seed, const std::string& path);
+                                 std::uint64_t seed, const std::string& path,
+                                 EventLogFormat format = EventLogFormat::kRaw);
 
 }  // namespace repl

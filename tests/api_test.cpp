@@ -144,7 +144,7 @@ TEST_F(ApiEngineTest, CheckpointRecordsCanonicalSpecsAndLogBinding) {
   engine->checkpoint(ckpt);
 
   const SnapshotHeader header = read_snapshot_header(ckpt);
-  EXPECT_EQ(header.version, 2u);
+  EXPECT_EQ(header.version, SnapshotHeader::kVersion);
   EXPECT_EQ(header.policy_spec, "adaptive(alpha=1.5,beta=0.1,warmup=100)");
   EXPECT_EQ(header.predictor_spec,
             "ensemble(last_gap(within=false),"

@@ -484,14 +484,16 @@ std::vector<std::uintmax_t> record_boundaries(const std::string& path) {
     return v;
   };
   const std::uint64_t num_objects = header.num_objects;
+  const std::size_t prefix_size = header.record_prefix_size();
   std::vector<std::uintmax_t> boundaries;
   std::uintmax_t offset = header.encoded_size();
   for (std::uint64_t i = 0; i < num_objects; ++i) {
     boundaries.push_back(offset);
-    unsigned char prefix[12];
+    unsigned char prefix[20];
     in.seekg(static_cast<std::streamoff>(offset));
-    in.read(reinterpret_cast<char*>(prefix), sizeof(prefix));
-    offset += 12 + le32(prefix + 8);
+    in.read(reinterpret_cast<char*>(prefix), static_cast<std::streamsize>(
+                                                 prefix_size));
+    offset += prefix_size + le32(prefix + 8);  // +8: encoded length
   }
   boundaries.push_back(offset);  // footer position
   return boundaries;

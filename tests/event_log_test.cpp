@@ -64,7 +64,7 @@ TEST_F(EventLogTest, RoundTripPreservesEventsAndHeader) {
   }
 
   EventLogReader reader(path);
-  EXPECT_EQ(reader.header().version, EventLogHeader::kVersion);
+  EXPECT_EQ(reader.header().version, EventLogHeader::kVersionRaw);
   EXPECT_EQ(reader.num_servers(), 3);
   EXPECT_EQ(reader.header().num_events, events.size());
   EXPECT_EQ(reader.header().num_objects, 8u);  // max id 7, inferred +1
