@@ -1,0 +1,97 @@
+// Load client for repl_server: stream an existing event log over TCP or
+// a unix-domain socket.
+//
+//   ./build/examples/repl_client --log=trace.evlog --connect=127.0.0.1:9410
+//   ./build/examples/repl_client --log=trace.evlog --unix=/tmp/repl.sock
+//       --block-events=512 --chunk-bytes=64 --pace-ms=5   # a slow client
+//   ./build/examples/repl_client --log=trace.evlog --connect=...:9410
+//       --disconnect-after-bytes=10000   # drop mid-frame (server hardening)
+//
+// The handshake returns the server's resume offset (non-zero when it
+// restored from a checkpoint); the client skips that many events before
+// streaming, so a resumed session continues the logical stream instead
+// of replaying it.
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "net/client.hpp"
+#include "net/socket.hpp"
+#include "trace/event_log.hpp"
+#include "util/cli.hpp"
+
+using namespace repl;
+
+int main(int argc, char** argv) {
+  CliParser cli("repl_client", "stream an event log to a repl_server");
+  cli.add_flag("log", "", "event log to stream (required; any format)");
+  cli.add_flag("connect", "", "server TCP address, host:port");
+  cli.add_flag("unix", "", "server unix-domain socket path");
+  cli.add_flag("block-events", "4096", "events per wire frame");
+  cli.add_flag("chunk-bytes", "0",
+               "write frames in chunks of at most this many bytes "
+               "(0 = whole frames)");
+  cli.add_flag("pace-ms", "0", "sleep between chunks (milliseconds)");
+  cli.add_flag("disconnect-after-bytes", "0",
+               "drop the connection abruptly after this many stream bytes "
+               "(0 = stream everything and close cleanly)");
+  cli.add_flag("limit", "0", "stream at most N events (0 = the whole log)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::string log_path = cli.get_string("log");
+  const std::string connect = cli.get_string("connect");
+  const std::string unix_path = cli.get_string("unix");
+  if (log_path.empty() || (connect.empty() == unix_path.empty())) {
+    std::cerr << "error: --log plus exactly one of --connect/--unix is "
+                 "required\n";
+    return EXIT_FAILURE;
+  }
+
+  try {
+    EventLogReader reader(log_path);
+
+    Socket sock;
+    if (!connect.empty()) {
+      const std::size_t colon = connect.rfind(':');
+      if (colon == std::string::npos) {
+        std::cerr << "error: --connect expects host:port\n";
+        return EXIT_FAILURE;
+      }
+      sock = connect_tcp(connect.substr(0, colon),
+                         std::stoi(connect.substr(colon + 1)));
+    } else {
+      sock = connect_unix(unix_path);
+    }
+
+    EventStreamClientOptions options;
+    options.block_events = cli.get_size_t("block-events", 1);
+    options.chunk_bytes = cli.get_size_t("chunk-bytes");
+    options.pace_seconds = cli.get_double("pace-ms") / 1000.0;
+    options.abort_after_bytes = cli.get_uint64("disconnect-after-bytes");
+
+    EventStreamClient client(std::move(sock), options);
+    const std::uint64_t resume = client.handshake(
+        static_cast<std::uint32_t>(reader.num_servers()));
+    if (resume > 0) {
+      std::cout << "server resumes at event " << resume << "; skipping\n";
+      reader.skip_events(resume);
+    }
+
+    const std::uint64_t limit = cli.get_uint64("limit");
+    LogEvent event;
+    while (reader.next(event)) {
+      if (!client.send(event)) break;  // hit the disconnect budget
+      if (limit > 0 && client.events_sent() >= limit) break;
+    }
+    client.finish();
+    std::cout << (client.aborted() ? "dropped connection after "
+                                   : "streamed ")
+              << client.bytes_sent() << " bytes ("
+              << client.events_sent() << " events queued)\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}

@@ -9,11 +9,33 @@
 
 namespace repl {
 
-namespace {
+void encode_block_frame(unsigned char* out, std::uint32_t aux,
+                        const unsigned char* payload, std::size_t size) {
+  store_le32(out, static_cast<std::uint32_t>(size));
+  store_le32(out + 4, aux);
+  store_le32(out + 8, crc32c(payload, size));
+  store_le32(out + 12, crc32c(out, 12));  // covers len, aux, body_crc
+}
 
-constexpr std::size_t kFrameBytes = 16;
+BlockFrameStatus parse_block_frame(const unsigned char* raw,
+                                   BlockFrameHeader& frame,
+                                   std::size_t max_body_bytes) {
+  if (crc32c(raw, 12) != load_le32(raw + 12)) {
+    return BlockFrameStatus::kBadFrameCrc;
+  }
+  frame.body_len = load_le32(raw);
+  frame.aux = load_le32(raw + 4);
+  frame.body_crc = load_le32(raw + 8);
+  if (frame.body_len > max_body_bytes) {
+    return BlockFrameStatus::kImplausibleLength;
+  }
+  return BlockFrameStatus::kOk;
+}
 
-}  // namespace
+bool verify_block_payload(const BlockFrameHeader& frame,
+                          const unsigned char* payload, std::size_t size) {
+  return size == frame.body_len && crc32c(payload, size) == frame.body_crc;
+}
 
 BlockWriter::BlockWriter(std::ostream& out, std::string name)
     : out_(out), name_(std::move(name)) {}
@@ -25,12 +47,9 @@ void BlockWriter::write_block(std::uint32_t aux, const unsigned char* payload,
                              std::to_string(size) + " bytes exceeds the " +
                              std::to_string(kMaxBlockBytes) + "-byte cap");
   }
-  unsigned char frame[kFrameBytes];
-  store_le32(frame, static_cast<std::uint32_t>(size));
-  store_le32(frame + 4, aux);
-  store_le32(frame + 8, crc32c(payload, size));
-  store_le32(frame + 12, crc32c(frame, 12));  // covers len, aux, body_crc
-  out_.write(reinterpret_cast<const char*>(frame), kFrameBytes);
+  unsigned char frame[kBlockFrameBytes];
+  encode_block_frame(frame, aux, payload, size);
+  out_.write(reinterpret_cast<const char*>(frame), kBlockFrameBytes);
   out_.write(reinterpret_cast<const char*>(payload),
              static_cast<std::streamsize>(size));
   if (!out_) {
@@ -55,24 +74,26 @@ bool BlockReader::next_frame(std::uint32_t& aux) {
     aux = frame_[1];
     return true;
   }
-  unsigned char raw[kFrameBytes];
-  in_.read(reinterpret_cast<char*>(raw), kFrameBytes);
+  unsigned char raw[kBlockFrameBytes];
+  in_.read(reinterpret_cast<char*>(raw), kBlockFrameBytes);
   const auto got = static_cast<std::size_t>(in_.gcount());
   if (in_.bad()) fail("read failed");
   if (got == 0) return false;  // clean EOF between blocks
-  if (got != kFrameBytes) fail("truncated block frame");
-  frame_[0] = load_le32(raw);       // body_len
-  frame_[1] = load_le32(raw + 4);   // aux
-  frame_[2] = load_le32(raw + 8);   // body_crc
-  frame_[3] = load_le32(raw + 12);  // frame_crc
+  if (got != kBlockFrameBytes) fail("truncated block frame");
   // Verify the frame before anything steers by it: skip paths seek by
   // body_len and count items by aux without ever touching the payload.
-  if (crc32c(raw, 12) != frame_[3]) {
-    fail("frame CRC mismatch (corrupt block header)");
+  BlockFrameHeader frame;
+  switch (parse_block_frame(raw, frame)) {
+    case BlockFrameStatus::kBadFrameCrc:
+      fail("frame CRC mismatch (corrupt block header)");
+    case BlockFrameStatus::kImplausibleLength:
+      fail("implausible block length " + std::to_string(load_le32(raw)));
+    case BlockFrameStatus::kOk:
+      break;
   }
-  if (frame_[0] > kMaxBlockBytes) {
-    fail("implausible block length " + std::to_string(frame_[0]));
-  }
+  frame_[0] = frame.body_len;
+  frame_[1] = frame.aux;
+  frame_[2] = frame.body_crc;
   have_frame_ = true;
   aux = frame_[1];
   return true;
@@ -91,7 +112,7 @@ void BlockReader::read_payload(std::vector<unsigned char>& payload) {
   if (crc32c(payload.data(), payload.size()) != frame_[2]) {
     fail("CRC mismatch (corrupt block)");
   }
-  offset_ += kFrameBytes + frame_[0];
+  offset_ += kBlockFrameBytes + frame_[0];
   ++blocks_;
   have_frame_ = false;
 }
@@ -100,7 +121,7 @@ void BlockReader::skip_payload() {
   if (!have_frame_) fail("skip_payload without a pending frame");
   in_.seekg(static_cast<std::streamoff>(frame_[0]), std::ios::cur);
   if (!in_) fail("seek past block payload failed");
-  offset_ += kFrameBytes + frame_[0];
+  offset_ += kBlockFrameBytes + frame_[0];
   ++blocks_;
   have_frame_ = false;
 }

@@ -44,6 +44,42 @@ namespace repl {
 /// with a diagnostic, not a multi-GB allocation.
 inline constexpr std::size_t kMaxBlockBytes = std::size_t{1} << 26;
 
+/// Bytes of the frame that precedes every block payload.
+inline constexpr std::size_t kBlockFrameBytes = 16;
+
+/// The steering fields of one parsed frame (the frame CRC is consumed by
+/// verification and not carried).
+struct BlockFrameHeader {
+  std::uint32_t body_len = 0;
+  std::uint32_t aux = 0;
+  std::uint32_t body_crc = 0;
+};
+
+/// Outcome of parse_block_frame: the frame is usable only on kOk.
+enum class BlockFrameStatus { kOk, kBadFrameCrc, kImplausibleLength };
+
+/// Encodes the 16-byte frame (including both CRCs) for `payload` into
+/// `out`. The shared producer half of the wire format: BlockWriter and
+/// the network client emit identical bytes.
+void encode_block_frame(unsigned char* out, std::uint32_t aux,
+                        const unsigned char* payload, std::size_t size);
+
+/// Parses and verifies a 16-byte frame. This is the incremental
+/// validation entry point: consumers that receive frames in arbitrary
+/// byte chunks (the socket front-end) validate each frame the moment its
+/// 16 bytes are assembled, before a single payload byte is trusted —
+/// exactly the check BlockReader::next_frame applies on files. Returns
+/// kOk and fills `frame`, or names what is wrong; `max_body_bytes` caps
+/// the advertised payload length.
+BlockFrameStatus parse_block_frame(const unsigned char* raw,
+                                   BlockFrameHeader& frame,
+                                   std::size_t max_body_bytes =
+                                       kMaxBlockBytes);
+
+/// Verifies a fully assembled payload against its frame's body CRC.
+bool verify_block_payload(const BlockFrameHeader& frame,
+                          const unsigned char* payload, std::size_t size);
+
 /// Appends framed blocks to `out`. The writer does not own the stream
 /// and never seeks it; callers interleave their own header writes.
 class BlockWriter {

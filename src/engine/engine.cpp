@@ -11,7 +11,7 @@
 
 #include "checkpoint/snapshot.hpp"
 #include "checkpoint/state_io.hpp"
-#include "engine/prefetch.hpp"
+#include "engine/event_source.hpp"
 #include "offline/opt_lower_bound.hpp"
 #include "run/parallel_runner.hpp"
 #include "run/thread_pool.hpp"
@@ -323,39 +323,27 @@ EngineMetrics StreamingEngine::finish() {
   return metrics;
 }
 
-EngineMetrics StreamingEngine::serve(EventLogReader& reader,
+EngineMetrics StreamingEngine::serve(EventSource& source,
                                      const ServeOptions& options) {
-  // Invariant header state, validated and hoisted once — nothing in the
-  // read → ingest loop below consults the reader's header again.
-  const std::size_t batch_events = options.batch_events;
+  // Invariant geometry, validated and hoisted once — nothing in the
+  // drain loop below re-validates it.
   const std::uint64_t checkpoint_every = options.checkpoint_every;
-  REPL_REQUIRE(batch_events >= 1);
+  REPL_REQUIRE(options.batch_events >= 1);
   REPL_REQUIRE_MSG(checkpoint_every == 0 || !options.checkpoint_path.empty(),
                    "checkpoint_every requires a checkpoint_path");
 
-  // Bind to (and cross-check) the log's identity, then seek a restored
-  // engine forward to the snapshot's position, verifying the skipped
-  // prefix against the snapshot's rolling event hash.
-  bind_log(reader.header());
-  seek_to_resume(reader);
+  // Bind to (and cross-check) the stream's identity, and position the
+  // source past a restored engine's consumed prefix (for file replay,
+  // a hash-verified seek over the snapshot's rolling event hash).
+  source.attach(*this);
 
   std::uint64_t next_checkpoint =
       checkpoint_every == 0
           ? 0
           : (stats_.events_ingested / checkpoint_every + 1) * checkpoint_every;
 
-  // Double-buffered ingestion: the prefetcher's reader thread decodes
-  // the next batch while the shards execute this one. It delivers the
-  // exact batches the synchronous loop would, so aggregates are
-  // unchanged bit for bit.
-  std::optional<BatchPrefetcher> prefetch;
-  if (options.async_ingest) prefetch.emplace(reader, batch_events);
   std::vector<LogEvent> batch;
-  const auto next_batch = [&] {
-    return prefetch ? prefetch->next(batch)
-                    : reader.read_batch(batch, batch_events) > 0;
-  };
-  while (next_batch()) {
+  while (source.next_batch(batch)) {
     ingest(batch);
     if (checkpoint_every > 0 && stats_.events_ingested >= next_checkpoint) {
       // Atomic replace: seal the snapshot under a temporary name first,
@@ -375,12 +363,23 @@ EngineMetrics StreamingEngine::serve(EventLogReader& reader,
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         started)
               .count();
+      if (options.on_checkpoint) options.on_checkpoint();
       while (next_checkpoint <= stats_.events_ingested) {
         next_checkpoint += checkpoint_every;
       }
     }
   }
   return finish();
+}
+
+EngineMetrics StreamingEngine::serve(EventLogReader& reader,
+                                     const ServeOptions& options) {
+  // Double-buffered ingestion (async_ingest): the prefetcher's reader
+  // thread decodes the next batch while the shards execute this one. It
+  // delivers the exact batches the synchronous loop would, so aggregates
+  // are unchanged bit for bit.
+  LogReplaySource source(reader, options.batch_events, options.async_ingest);
+  return serve(source, options);
 }
 
 void StreamingEngine::bind_log(const EventLogHeader& header) {

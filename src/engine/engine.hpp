@@ -43,6 +43,7 @@
 
 namespace repl {
 
+class EventSource;
 class ThreadPool;
 
 /// Everything the factories get to build one object's components. There
@@ -150,8 +151,12 @@ struct ServeOptions {
   /// decode — significant for compressed logs — with serving. Delivers
   /// exactly the synchronous read order, so aggregates stay
   /// bit-identical; disable to keep serve() strictly single-threaded
-  /// beyond the shard pool.
+  /// beyond the shard pool. File replay only — a network source does its
+  /// own decode on its connection threads.
   bool async_ingest = true;
+  /// Invoked after each periodic checkpoint has been renamed into place.
+  /// Live-serving front-ends hang checkpoint-age reporting off this.
+  std::function<void()> on_checkpoint;
 };
 
 class StreamingEngine {
@@ -177,6 +182,15 @@ class StreamingEngine {
   void ingest(const std::vector<LogEvent>& events) {
     ingest(events.data(), events.size());
   }
+
+  /// Drains any EventSource (engine/event_source.hpp) through ingest()
+  /// and returns finish(). One ingestion path for every producer: file
+  /// replay and live network ingest both land here. The source is
+  /// attach()ed first — it binds the stream identity and positions
+  /// itself past a restored engine's consumed prefix — then batches flow
+  /// until the source ends, with periodic atomic checkpoints per
+  /// `options`.
+  EngineMetrics serve(EventSource& source, const ServeOptions& options);
 
   /// Drains `reader` through ingest() in batch-sized chunks and returns
   /// finish(). The whole log never resides in memory. Invariant header

@@ -1,0 +1,35 @@
+#include "engine/event_source.hpp"
+
+#include "engine/engine.hpp"
+#include "util/check.hpp"
+
+namespace repl {
+
+LogReplaySource::LogReplaySource(EventLogReader& reader,
+                                 std::size_t batch_events, bool async_ingest)
+    : reader_(reader), batch_events_(batch_events), async_(async_ingest) {
+  REPL_REQUIRE(batch_events_ >= 1);
+}
+
+void LogReplaySource::attach(StreamingEngine& engine) {
+  engine.bind_log(reader_.header());
+  engine.seek_to_resume(reader_);
+  if (async_) prefetch_.emplace(reader_, batch_events_);
+}
+
+bool LogReplaySource::next_batch(std::vector<LogEvent>& out) {
+  if (error_ != nullptr) std::rethrow_exception(error_);
+  if (prefetch_) return prefetch_->next(out);
+  try {
+    return reader_.read_batch(out, batch_events_) > 0;
+  } catch (...) {
+    // read_batch appends as it decodes, so `out` holds every event that
+    // precedes the failure. Deliver that prefix now — identical to what
+    // the prefetcher does — and surface the error on the next call.
+    if (out.empty()) throw;
+    error_ = std::current_exception();
+    return true;
+  }
+}
+
+}  // namespace repl

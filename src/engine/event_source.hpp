@@ -1,0 +1,76 @@
+// EventSource: where the engine's events come from.
+//
+// StreamingEngine::serve historically drove one hard-wired producer — an
+// EventLogReader over a finished file. Live network ingest needs the same
+// drain loop (validation, sharded execution, periodic checkpoints) over a
+// source that is not a file, so the producer side is abstracted here:
+// serve() drains any EventSource, and file replay and socket ingest are
+// two implementations of the same two-call contract.
+//
+// Contract: attach() is called exactly once, before the first
+// next_batch(), with the engine that will consume the stream — the source
+// binds/cross-checks the stream identity (StreamingEngine::bind_log) and
+// positions itself past a restored engine's consumed prefix
+// (resume_position()). next_batch() then blocks for the next batch;
+// batches must be internally and mutually time-ordered, exactly what
+// StreamingEngine::ingest demands. A source that fails mid-stream first
+// delivers every event it produced before the failure, then throws from
+// next_batch() — and keeps throwing on retry (sticky), so a caller can
+// never mistake a failed stream for a drained one.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <optional>
+#include <vector>
+
+#include "engine/prefetch.hpp"
+#include "trace/event_log.hpp"
+
+namespace repl {
+
+class StreamingEngine;
+
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+
+  /// Binds the stream's identity to `engine` and seeks past a restored
+  /// engine's consumed prefix. serve() calls this once before the drain.
+  virtual void attach(StreamingEngine& engine) = 0;
+
+  /// Blocks for the next time-ordered batch, replaced into `out`.
+  /// Returns false at the end of the stream. Events decoded before a
+  /// failure are delivered before the failure is thrown; the error is
+  /// sticky across calls.
+  virtual bool next_batch(std::vector<LogEvent>& out) = 0;
+};
+
+/// File replay: serves a finished event log, optionally double-buffered
+/// through BatchPrefetcher (decode batch N+1 while the shards execute
+/// batch N). attach() performs the log binding and the hash-verified
+/// resume seek, then starts the reader thread — the prefetcher must not
+/// exist while the resume seek still owns the reader's position.
+class LogReplaySource final : public EventSource {
+ public:
+  /// `reader` must outlive the source and must not be touched by the
+  /// caller until the source is destroyed.
+  LogReplaySource(EventLogReader& reader, std::size_t batch_events,
+                  bool async_ingest);
+
+  void attach(StreamingEngine& engine) override;
+  bool next_batch(std::vector<LogEvent>& out) override;
+
+ private:
+  EventLogReader& reader_;
+  const std::size_t batch_events_;
+  const bool async_;
+  std::optional<BatchPrefetcher> prefetch_;
+  /// Sync path twin of the prefetcher's partial-batch handling: a
+  /// read_batch that throws mid-batch already decoded a prefix into the
+  /// caller's buffer; deliver it, park the error here, rethrow on every
+  /// later call.
+  std::exception_ptr error_;
+};
+
+}  // namespace repl

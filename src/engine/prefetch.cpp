@@ -41,6 +41,14 @@ void BatchPrefetcher::run() {
     }
     std::unique_lock<std::mutex> lock(mutex_);
     if (error != nullptr || end) {
+      // A reader that throws mid-batch has already decoded a prefix of
+      // events into `batch` (read_batch appends as it goes). Those
+      // events precede the failure position, so they must reach the
+      // consumer — dropping them would make the async aggregate prefix
+      // diverge from a synchronous read of the same log.
+      if (error != nullptr && !batch.empty()) {
+        ready_.push_back(std::move(batch));
+      }
       error_ = error;
       done_ = true;
       ready_cv_.notify_all();
@@ -58,13 +66,10 @@ bool BatchPrefetcher::next(std::vector<LogEvent>& out) {
   ready_cv_.wait(lock, [this] { return !ready_.empty() || done_; });
   if (ready_.empty()) {
     // Drained: surface the reader's fate — clean EOF or its exception.
-    if (error_ != nullptr) {
-      // Rethrow once; a caller retrying next() after the throw sees a
-      // clean end instead of a stuck loop.
-      const std::exception_ptr error = error_;
-      error_ = nullptr;
-      std::rethrow_exception(error);
-    }
+    // The error is sticky: a caller that retries next() after the throw
+    // gets the same failure again, never a fake clean EOF that would let
+    // a retry loop mistake a corrupt log for a complete one.
+    if (error_ != nullptr) std::rethrow_exception(error_);
     return false;
   }
   out.clear();

@@ -14,7 +14,10 @@
 // untouched. A reader exception (truncation, CRC mismatch, wrong-log
 // hash failure) is captured and rethrown from next() at the position
 // where the synchronous loop would have hit it, after all the batches
-// read before the failure were delivered.
+// read before the failure — including the partial batch the reader had
+// decoded when it threw — were delivered. The error is sticky: every
+// next() after the first rethrow throws again rather than reporting a
+// clean EOF.
 //
 // Batch buffers are recycled through a free list, so steady state does
 // no allocation.
@@ -48,8 +51,9 @@ class BatchPrefetcher {
 
   /// Blocks for the next batch, moving it into `out` (replaced; `out`'s
   /// old buffer is recycled). Returns false at the end of the stream.
-  /// Rethrows the reader thread's exception once every batch before the
-  /// failure has been delivered.
+  /// Rethrows the reader thread's exception once every event decoded
+  /// before the failure (including a partial final batch) has been
+  /// delivered; the error then sticks across repeated calls.
   bool next(std::vector<LogEvent>& out);
 
  private:

@@ -1,0 +1,443 @@
+#include "net/ingest_server.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "engine/engine.hpp"
+#include "net/wire.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace repl {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t)
+      .count();
+}
+
+}  // namespace
+
+struct NetIngestServer::Connection {
+  enum class State { kHandshake, kStreaming, kClosed, kFailed };
+
+  std::size_t id = 0;
+  std::string name;
+  Socket sock;
+  std::thread thread;
+
+  // Everything below is guarded by NetIngestServer::mu_.
+  State state = State::kHandshake;
+  std::deque<LogEvent> queue;
+  /// Newest enqueued event time: the connection's watermark floor while
+  /// its queue is empty (future events cannot be earlier).
+  double last_time = 0.0;
+  std::uint64_t events_received = 0;
+  std::uint64_t bytes_received = 0;
+  std::string error;
+};
+
+namespace {
+
+const char* connection_state_name(int state) {
+  switch (state) {
+    case 0:
+      return "handshake";
+    case 1:
+      return "streaming";
+    case 2:
+      return "closed";
+    default:
+      return "failed";
+  }
+}
+
+}  // namespace
+
+NetIngestServer::NetIngestServer(NetServerOptions options)
+    : options_(std::move(options)) {
+  REPL_REQUIRE_MSG(options_.batch_events > 0, "batch_events must be positive");
+  REPL_REQUIRE_MSG(options_.max_connection_events > 0,
+               "max_connection_events must be positive");
+  REPL_REQUIRE_MSG(options_.max_total_events >= options_.max_connection_events,
+               "max_total_events must be at least max_connection_events");
+  REPL_REQUIRE_MSG(options_.tcp_port >= 0 || !options_.unix_path.empty(),
+               "a TCP port or a unix socket path is required");
+}
+
+NetIngestServer::~NetIngestServer() {
+  stop();
+  for (std::thread& t : accept_threads_) {
+    if (t.joinable()) t.join();
+  }
+  if (metrics_thread_.joinable()) metrics_thread_.join();
+  for (auto& conn : connections_) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+void NetIngestServer::start(std::uint32_t num_servers,
+                            std::uint64_t resume_events) {
+  REPL_REQUIRE_MSG(!started_, "server already started");
+  REPL_REQUIRE_MSG(num_servers > 0, "num_servers must be positive");
+  num_servers_ = num_servers;
+  resume_events_ = resume_events;
+  start_time_ = std::chrono::steady_clock::now();
+  if (options_.tcp_port >= 0) {
+    tcp_ = std::make_unique<Listener>(
+        Listener::tcp(options_.tcp_host, options_.tcp_port));
+  }
+  if (!options_.unix_path.empty()) {
+    unix_ = std::make_unique<Listener>(
+        Listener::unix_domain(options_.unix_path));
+  }
+  if (options_.metrics_port >= 0) {
+    metrics_ = std::make_unique<Listener>(
+        Listener::tcp(options_.tcp_host, options_.metrics_port));
+    metrics_thread_ = std::thread([this] { metrics_loop(); });
+  }
+  started_ = true;
+  if (tcp_) {
+    accept_threads_.emplace_back([this] { accept_loop(*tcp_, "tcp"); });
+  }
+  if (unix_) {
+    accept_threads_.emplace_back([this] { accept_loop(*unix_, "unix"); });
+  }
+}
+
+void NetIngestServer::accept_loop(Listener& listener, const char* kind) {
+  for (;;) {
+    Socket sock = listener.accept();
+    if (!sock.valid()) return;  // listener shut down
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    auto conn = std::make_unique<Connection>();
+    conn->id = connections_.size();
+    conn->name = std::string(kind) + " client #" + std::to_string(conn->id);
+    conn->sock = std::move(sock);
+    Connection& ref = *conn;
+    connections_.push_back(std::move(conn));
+    ref.thread = std::thread([this, &ref] { connection_main(ref); });
+  }
+}
+
+void NetIngestServer::connection_main(Connection& conn) {
+  try {
+    FrameAssembler assembler(conn.name);
+    std::vector<LogEvent> decoded;
+    unsigned char header[EventLogHeader::kSize];
+    if (!conn.sock.read_exact(header, sizeof(header))) {
+      throw std::runtime_error(conn.name +
+                               ": disconnected before completing handshake");
+    }
+    assembler.feed(header, sizeof(header), decoded);
+    if (assembler.header().num_servers != num_servers_) {
+      throw std::runtime_error(
+          conn.name + ": stream declares " +
+          std::to_string(assembler.header().num_servers) +
+          " servers, this system serves " + std::to_string(num_servers_));
+    }
+    unsigned char ack[kNetAckBytes];
+    encode_net_ack(ack, resume_events_);
+    conn.sock.write_all(ack, sizeof(ack));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      conn.bytes_received += sizeof(header);
+      conn.state = Connection::State::kStreaming;
+    }
+
+    std::vector<unsigned char> buf(std::size_t{64} << 10);
+    for (;;) {
+      const std::size_t n = conn.sock.read_some(buf.data(), buf.size());
+      if (n == 0) {
+        if (!assembler.at_boundary()) {
+          throw std::runtime_error(
+              conn.name + ": disconnected mid-frame (frame " +
+              std::to_string(assembler.frames_completed()) +
+              ", byte offset " + std::to_string(assembler.bytes_consumed()) +
+              ")");
+        }
+        break;  // clean close at a frame boundary
+      }
+      decoded.clear();
+      assembler.feed(buf.data(), n, decoded);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        conn.bytes_received += n;
+      }
+      if (!decoded.empty()) enqueue(conn, decoded);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    conn.state = Connection::State::kClosed;
+    conn.sock.close();
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (conn.state != Connection::State::kClosed) {
+      conn.state = Connection::State::kFailed;
+      conn.error = e.what();
+      ++failed_connections_;
+    }
+    conn.sock.close();
+  }
+  consumer_cv_.notify_all();
+  space_cv_.notify_all();
+}
+
+void NetIngestServer::enqueue(Connection& conn,
+                              const std::vector<LogEvent>& events) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (const LogEvent& event : events) {
+    if (event.time < emitted_time_) {
+      // This connection joined after the merged stream moved past its
+      // times; admitting it would regress the engine's global order.
+      throw std::runtime_error(
+          conn.name + ": time-regressed stream (event at t=" +
+          std::to_string(event.time) + " behind admitted watermark t=" +
+          std::to_string(emitted_time_) + ")");
+    }
+    space_cv_.wait(lock, [&] {
+      return stopping_ ||
+             (conn.queue.size() < options_.max_connection_events &&
+              total_queued_ < options_.max_total_events);
+    });
+    if (stopping_) return;
+    conn.queue.push_back(event);
+    conn.last_time = event.time;
+    ++conn.events_received;
+    ++total_queued_;
+    consumer_cv_.notify_one();
+  }
+}
+
+double NetIngestServer::watermark_locked() const {
+  double mark = std::numeric_limits<double>::infinity();
+  for (const auto& conn : connections_) {
+    switch (conn->state) {
+      case Connection::State::kHandshake:
+        // An open connection that has sent nothing might still send
+        // anything (> 0); last_time is 0, so it blocks all admission.
+        mark = std::min(mark, conn->last_time);
+        break;
+      case Connection::State::kStreaming:
+        mark = std::min(mark, conn->queue.empty() ? conn->last_time
+                                                  : conn->queue.front().time);
+        break;
+      case Connection::State::kClosed:
+      case Connection::State::kFailed:
+        break;  // no future events: no constraint
+    }
+  }
+  return mark;
+}
+
+bool NetIngestServer::idle_end_locked() const {
+  if (!options_.stop_when_idle) return false;
+  if (connections_.size() < options_.min_connections) return false;
+  if (total_queued_ > 0) return false;
+  for (const auto& conn : connections_) {
+    if (conn->state == Connection::State::kHandshake ||
+        conn->state == Connection::State::kStreaming) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool NetIngestServer::next_batch(std::vector<LogEvent>& out) {
+  out.clear();
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (stopping_) return false;
+    const double mark = watermark_locked();
+    while (out.size() < options_.batch_events) {
+      Connection* best = nullptr;
+      for (const auto& conn : connections_) {
+        if (conn->queue.empty()) continue;
+        if (best == nullptr ||
+            conn->queue.front().time < best->queue.front().time) {
+          best = conn.get();
+        }
+      }
+      if (best == nullptr || best->queue.front().time > mark) break;
+      out.push_back(best->queue.front());
+      best->queue.pop_front();
+      --total_queued_;
+      emitted_time_ = out.back().time;
+      ++admitted_events_;
+    }
+    if (!out.empty()) {
+      space_cv_.notify_all();
+      return true;
+    }
+    if (idle_end_locked()) return false;
+    consumer_cv_.wait(lock);
+  }
+}
+
+void NetIngestServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    for (auto& conn : connections_) conn->sock.shutdown_both();
+  }
+  if (tcp_) tcp_->shutdown();
+  if (unix_) unix_->shutdown();
+  if (metrics_) metrics_->shutdown();
+  consumer_cv_.notify_all();
+  space_cv_.notify_all();
+}
+
+void NetIngestServer::note_checkpoint(std::uint64_t events_ingested) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++checkpoints_;
+  checkpoint_events_ = events_ingested;
+  checkpoint_time_ = std::chrono::steady_clock::now();
+}
+
+int NetIngestServer::tcp_port() const { return tcp_ ? tcp_->port() : -1; }
+
+int NetIngestServer::metrics_port() const {
+  return metrics_ ? metrics_->port() : -1;
+}
+
+std::uint64_t NetIngestServer::events_admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_events_;
+}
+
+std::size_t NetIngestServer::connections_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return connections_.size();
+}
+
+std::size_t NetIngestServer::connections_failed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failed_connections_;
+}
+
+std::string NetIngestServer::metrics_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double uptime = started_ ? seconds_since(start_time_) : 0.0;
+  std::size_t open = 0;
+  for (const auto& conn : connections_) {
+    if (conn->state == Connection::State::kHandshake ||
+        conn->state == Connection::State::kStreaming) {
+      ++open;
+    }
+  }
+  JsonWriter json;
+  json.begin_object();
+  json.key("uptime_seconds").value(uptime);
+  json.key("events_admitted").value(admitted_events_);
+  json.key("events_per_second")
+      .value(uptime > 0.0 ? static_cast<double>(admitted_events_) / uptime
+                          : 0.0);
+  json.key("queued_events").value(static_cast<std::uint64_t>(total_queued_));
+  json.key("admitted_time").value(emitted_time_);
+  json.key("connections").begin_object();
+  json.key("total").value(static_cast<std::uint64_t>(connections_.size()));
+  json.key("open").value(static_cast<std::uint64_t>(open));
+  json.key("failed")
+      .value(static_cast<std::uint64_t>(failed_connections_));
+  json.end_object();
+  json.key("checkpoint").begin_object();
+  json.key("count").value(static_cast<std::uint64_t>(checkpoints_));
+  json.key("events").value(checkpoint_events_);
+  json.key("age_seconds")
+      .value(checkpoints_ > 0 ? seconds_since(checkpoint_time_) : -1.0);
+  json.end_object();
+  json.key("per_connection").begin_array();
+  for (const auto& conn : connections_) {
+    json.begin_object();
+    json.key("name").value(conn->name);
+    json.key("state").value(
+        connection_state_name(static_cast<int>(conn->state)));
+    json.key("queued").value(static_cast<std::uint64_t>(conn->queue.size()));
+    json.key("events").value(conn->events_received);
+    json.key("bytes").value(conn->bytes_received);
+    json.key("last_time").value(conn->last_time);
+    if (!conn->error.empty()) json.key("error").value(conn->error);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+void NetIngestServer::metrics_loop() {
+  for (;;) {
+    Socket sock = metrics_->accept();
+    if (!sock.valid()) return;
+    try {
+      handle_metrics_request(std::move(sock));
+    } catch (const std::exception&) {
+      // A broken metrics scrape must never touch the ingest path.
+    }
+  }
+}
+
+void NetIngestServer::handle_metrics_request(Socket sock) {
+  std::string request;
+  unsigned char buf[1024];
+  while (request.size() < (std::size_t{8} << 10) &&
+         request.find("\r\n") == std::string::npos) {
+    const std::size_t n = sock.read_some(buf, sizeof(buf));
+    if (n == 0) break;
+    request.append(reinterpret_cast<const char*>(buf), n);
+  }
+  const std::size_t eol = request.find("\r\n");
+  const std::string line =
+      eol == std::string::npos ? request : request.substr(0, eol);
+
+  std::string body;
+  const char* status = "200 OK";
+  if (line.rfind("GET /metrics", 0) == 0) {
+    body = metrics_json();
+  } else if (line.rfind("GET /healthz", 0) == 0) {
+    JsonWriter json;
+    json.begin_object();
+    json.key("status").value("ok");
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      json.key("uptime_seconds")
+          .value(started_ ? seconds_since(start_time_) : 0.0);
+      json.key("stopping").value(stopping_);
+    }
+    json.end_object();
+    body = json.str();
+  } else {
+    status = "404 Not Found";
+    body = "{\"error\":\"unknown path (try /metrics or /healthz)\"}";
+  }
+
+  const std::string response = "HTTP/1.0 " + std::string(status) +
+                               "\r\nContent-Type: application/json\r\n"
+                               "Content-Length: " +
+                               std::to_string(body.size()) +
+                               "\r\nConnection: close\r\n\r\n" + body;
+  sock.write_all(reinterpret_cast<const unsigned char*>(response.data()),
+                 response.size());
+}
+
+void NetIngestSource::attach(StreamingEngine& engine) {
+  if (attached_) return;
+  attached_ = true;
+  EventLogHeader header;
+  header.version = EventLogHeader::kVersionCompressed;
+  header.num_servers = num_servers_;
+  header.num_objects = 0;
+  header.num_events = EventLogHeader::kUnknownCount;
+  engine.bind_log(header);
+  server_.start(num_servers_, engine.resume_position());
+}
+
+bool NetIngestSource::next_batch(std::vector<LogEvent>& out) {
+  return server_.next_batch(out);
+}
+
+}  // namespace repl

@@ -1,0 +1,185 @@
+// Live network ingest: the socket front-end for StreamingEngine.
+//
+// NetIngestServer accepts concurrent client connections — TCP and/or a
+// unix-domain socket — each speaking the v2 block-framed wire format
+// (net/wire.hpp). One reader thread per connection validates frames at
+// the socket boundary and enqueues decoded events into a bounded
+// per-connection queue; the serving thread merges those queues into
+// globally time-ordered batches via a watermark rule and feeds them to
+// StreamingEngine::serve through NetIngestSource (engine/event_source.hpp)
+// — the same ingestion path file replay uses.
+//
+// Admission order (the watermark rule): an event is admitted only once
+// its time is ≤ the watermark, the minimum over all open connections of
+// what that connection could still produce — its queue front if it has
+// events queued, else the newest time it has decoded (0 before its
+// first event, which blocks admission: an open connection that has sent
+// nothing might still send anything). Admitted output is therefore
+// globally non-decreasing in time regardless of how client streams
+// interleave on the wire; per-connection order is preserved, so every
+// object's subsequence is exactly as its producer sent it — the
+// engine's determinism contract needs nothing more. A connection whose
+// events arrive below the already-admitted watermark (a late joiner
+// replaying old times) is killed with a diagnostic, never reordered.
+//
+// Backpressure: each connection's queue is bounded, and a global bound
+// caps the sum. A reader that cannot enqueue stops reading its socket,
+// so the peer's TCP window closes and the slow consumer's pressure
+// propagates to the producers — no unbounded buffering anywhere.
+//
+// Failure containment: a malformed frame (CRC, length, time order), a
+// mid-frame disconnect, or a handshake mismatch kills that connection
+// with a positioned diagnostic and counts it in metrics; the server and
+// every other connection keep running. Events the dead connection
+// delivered in complete validated frames stay admitted — the stream
+// that survives is exactly the prefix a file replay of those frames
+// would produce.
+//
+// The optional metrics endpoint serves GET /metrics and GET /healthz
+// (HTTP/1.0, JSON via util/json.hpp) from a separate listener:
+// events/sec, queue depths, per-connection state, checkpoint age.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/event_source.hpp"
+#include "net/socket.hpp"
+#include "trace/event_log.hpp"
+
+#include <condition_variable>
+
+namespace repl {
+
+struct NetServerOptions {
+  /// TCP listen address; port -1 disables TCP, 0 binds an ephemeral port
+  /// (read it back via tcp_port()).
+  std::string tcp_host = "127.0.0.1";
+  int tcp_port = -1;
+  /// Unix-domain socket path; empty disables.
+  std::string unix_path;
+  /// Metrics/health HTTP endpoint port on tcp_host; -1 disables, 0 binds
+  /// an ephemeral port (metrics_port()).
+  int metrics_port = -1;
+  /// Events per admitted batch handed to the engine.
+  std::size_t batch_events = std::size_t{1} << 16;
+  /// Bounded queue sizes (events): per connection, and summed across all
+  /// connections. A reader that cannot enqueue stops reading its socket.
+  std::size_t max_connection_events = std::size_t{1} << 16;
+  std::size_t max_total_events = std::size_t{1} << 20;
+  /// The serve ends once at least this many connections have been
+  /// accepted in total AND all connections have closed AND every queue
+  /// has drained (with stop_when_idle). Lets a test or batch job say
+  /// "serve exactly these N clients, then finalize".
+  std::size_t min_connections = 1;
+  /// When false the server never ends on idle — it runs until stop().
+  bool stop_when_idle = true;
+};
+
+/// Accepts client event streams and merges them into time-ordered
+/// batches. Use through NetIngestSource for engine serving; the raw
+/// next_batch() interface exists for tests.
+class NetIngestServer {
+ public:
+  explicit NetIngestServer(NetServerOptions options);
+  ~NetIngestServer();
+
+  NetIngestServer(const NetIngestServer&) = delete;
+  NetIngestServer& operator=(const NetIngestServer&) = delete;
+
+  /// Binds listeners and starts accepting. `num_servers` is the serving
+  /// system's server count — client streams declaring a different count
+  /// are rejected at handshake. `resume_events` is returned to every
+  /// client in the handshake ACK (how many events of the logical stream
+  /// are already ingested; clients skip that many).
+  void start(std::uint32_t num_servers, std::uint64_t resume_events);
+
+  /// Blocks for the next admitted, time-ordered batch (appended to the
+  /// cleared `out`). Returns false at end of serve: stop() was called,
+  /// or the idle end condition held. Rethrows nothing — connection
+  /// failures are contained and reported via metrics.
+  bool next_batch(std::vector<LogEvent>& out);
+
+  /// Shuts down listeners and all connections and wakes next_batch.
+  /// Idempotent; the destructor calls it too.
+  void stop();
+
+  /// Record that a checkpoint just landed (drives checkpoint-age
+  /// metrics). Wire into ServeOptions::on_checkpoint.
+  void note_checkpoint(std::uint64_t events_ingested);
+
+  /// Kernel-assigned ports (valid after start()); -1 when disabled.
+  int tcp_port() const;
+  int metrics_port() const;
+
+  /// The full metrics document (also what GET /metrics serves).
+  std::string metrics_json() const;
+
+  std::uint64_t events_admitted() const;
+  std::size_t connections_total() const;
+  std::size_t connections_failed() const;
+
+ private:
+  struct Connection;
+
+  void accept_loop(Listener& listener, const char* kind);
+  void connection_main(Connection& conn);
+  void enqueue(Connection& conn, const std::vector<LogEvent>& events);
+  void metrics_loop();
+  void handle_metrics_request(Socket sock);
+  /// The watermark under mu_: +inf when no open connection constrains it.
+  double watermark_locked() const;
+  bool idle_end_locked() const;
+
+  NetServerOptions options_;
+  std::unique_ptr<Listener> tcp_;
+  std::unique_ptr<Listener> unix_;
+  std::unique_ptr<Listener> metrics_;
+  std::vector<std::thread> accept_threads_;
+  std::thread metrics_thread_;
+
+  mutable std::mutex mu_;
+  std::condition_variable consumer_cv_;  // next_batch waits here
+  std::condition_variable space_cv_;     // readers wait for queue room
+  std::vector<std::unique_ptr<Connection>> connections_;
+  bool started_ = false;
+  bool stopping_ = false;
+  std::uint32_t num_servers_ = 0;
+  std::uint64_t resume_events_ = 0;
+  std::size_t total_queued_ = 0;
+  std::uint64_t admitted_events_ = 0;
+  double emitted_time_ = 0.0;
+  std::size_t failed_connections_ = 0;
+  std::chrono::steady_clock::time_point start_time_;
+  std::size_t checkpoints_ = 0;
+  std::uint64_t checkpoint_events_ = 0;
+  std::chrono::steady_clock::time_point checkpoint_time_;
+};
+
+/// EventSource adapter: serve(source, options) over a NetIngestServer.
+/// attach() binds the engine to a synthetic streaming-log identity and
+/// starts the server with the engine's resume position, so a restart
+/// from a checkpoint tells reconnecting clients how much to skip.
+/// Idempotent per engine: a front-end may attach early (to learn the
+/// bound ports before serve() blocks) and serve() re-attaches harmlessly.
+class NetIngestSource final : public EventSource {
+ public:
+  NetIngestSource(NetIngestServer& server, std::uint32_t num_servers)
+      : server_(server), num_servers_(num_servers) {}
+
+  void attach(StreamingEngine& engine) override;
+  bool next_batch(std::vector<LogEvent>& out) override;
+
+ private:
+  NetIngestServer& server_;
+  std::uint32_t num_servers_;
+  bool attached_ = false;
+};
+
+}  // namespace repl

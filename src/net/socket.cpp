@@ -1,0 +1,196 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+namespace repl {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+std::size_t Socket::read_some(unsigned char* data, std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::recv(fd_, data, size, 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    sys_fail("socket read failed");
+  }
+}
+
+bool Socket::read_exact(unsigned char* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const std::size_t n = read_some(data + got, size - got);
+    if (n == 0) {
+      if (got == 0) return false;
+      throw std::runtime_error("socket closed mid-read (" +
+                               std::to_string(got) + " of " +
+                               std::to_string(size) + " bytes)");
+    }
+    got += n;
+  }
+  return true;
+}
+
+void Socket::write_all(const unsigned char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a vanished peer must surface as an EPIPE error on
+    // this connection's thread, never as a process-wide SIGPIPE.
+    const ssize_t n = ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("socket write failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void Socket::shutdown_write() { ::shutdown(fd_, SHUT_WR); }
+
+void Socket::shutdown_both() { ::shutdown(fd_, SHUT_RDWR); }
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener Listener::tcp(const std::string& host, int port) {
+  Listener listener;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("cannot create TCP socket");
+  listener.sock_ = Socket(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("bad listen address: " + host);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    sys_fail("cannot bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd, SOMAXCONN) != 0) sys_fail("listen failed");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    sys_fail("getsockname failed");
+  }
+  listener.port_ = static_cast<int>(ntohs(bound.sin_port));
+  listener.describe_ = "tcp:" + host + ":" + std::to_string(listener.port_);
+  return listener;
+}
+
+Listener Listener::unix_domain(const std::string& path) {
+  Listener listener;
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("unix socket path too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("cannot create unix socket");
+  listener.sock_ = Socket(fd);
+  listener.unix_path_ = path;
+  {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);  // stale socket from a crashed run
+  }
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    sys_fail("cannot bind unix socket " + path);
+  }
+  if (::listen(fd, SOMAXCONN) != 0) sys_fail("listen failed");
+  listener.describe_ = "unix:" + path;
+  return listener;
+}
+
+Listener::~Listener() {
+  if (!unix_path_.empty() && sock_.valid()) {
+    std::error_code ec;
+    std::filesystem::remove(unix_path_, ec);
+  }
+}
+
+Socket Listener::accept() {
+  for (;;) {
+    const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    // EINVAL/others after shutdown(): the orderly "listener closed"
+    // signal for the accept loop.
+    return Socket();
+  }
+}
+
+void Listener::shutdown() { sock_.shutdown_both(); }
+
+Socket connect_tcp(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("cannot create TCP socket");
+  Socket sock(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("bad connect address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    sys_fail("cannot connect to " + host + ":" + std::to_string(port));
+  }
+  return sock;
+}
+
+Socket connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("unix socket path too long: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) sys_fail("cannot create unix socket");
+  Socket sock(fd);
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    sys_fail("cannot connect to unix socket " + path);
+  }
+  return sock;
+}
+
+}  // namespace repl

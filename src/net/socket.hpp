@@ -1,0 +1,105 @@
+// Thin RAII wrappers over POSIX stream sockets.
+//
+// The net layer needs exactly four things from the OS: listen (TCP on a
+// host:port, or a unix-domain socket at a path), accept, connect, and
+// blocking read/write with sane error behavior (EINTR retried, SIGPIPE
+// suppressed, partial writes looped). This header provides those and
+// nothing else — no event loop, no non-blocking modes; concurrency is
+// thread-per-connection in the layer above, which is plenty for
+// thousands of connections and keeps every code path exercisable by
+// deterministic tests.
+//
+// Failure model: OS-level errors throw std::runtime_error naming the
+// operation and errno text. An orderly peer close is not an error —
+// read_some returns 0 and read_exact returns false at a clean boundary.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace repl {
+
+/// Move-only owner of one socket file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Reads up to `size` bytes. Returns the count read, or 0 when the
+  /// peer closed its write side. Retries EINTR; throws on other errors.
+  std::size_t read_some(unsigned char* data, std::size_t size);
+
+  /// Reads exactly `size` bytes. Returns false when the peer closed
+  /// cleanly before the first byte; throws when the stream ends
+  /// mid-read (the caller's framing told us more bytes were promised).
+  bool read_exact(unsigned char* data, std::size_t size);
+
+  /// Writes all of `data`, looping over partial writes. Throws on error
+  /// (a vanished peer surfaces as EPIPE/ECONNRESET here, not SIGPIPE).
+  void write_all(const unsigned char* data, std::size_t size);
+
+  /// Half-closes the write side: the peer reads EOF after draining what
+  /// was sent. The read side stays open for its reply.
+  void shutdown_write();
+
+  /// Shuts down both directions without closing the descriptor — wakes
+  /// any thread blocked in read/accept on this socket.
+  void shutdown_both();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A bound, listening socket. TCP listeners may bind port 0 and read the
+/// kernel-assigned port back via port(); unix-domain listeners unlink
+/// their path on destruction.
+class Listener {
+ public:
+  /// Binds and listens on `host:port` (port 0 = ephemeral).
+  static Listener tcp(const std::string& host, int port);
+  /// Binds and listens on a unix-domain socket at `path` (any stale
+  /// socket file there is removed first).
+  static Listener unix_domain(const std::string& path);
+
+  ~Listener();
+  Listener(Listener&&) noexcept = default;
+  Listener& operator=(Listener&&) noexcept = default;
+
+  /// Blocks for the next connection. Returns an invalid Socket once the
+  /// listener has been shut down (the accept-loop exit signal).
+  Socket accept();
+
+  /// Wakes any blocked accept(); later accepts return invalid sockets.
+  void shutdown();
+
+  /// Kernel-assigned port for TCP listeners; -1 for unix-domain ones.
+  int port() const { return port_; }
+
+  /// "tcp:host:port" or "unix:path" — for logs and metrics.
+  const std::string& describe() const { return describe_; }
+
+ private:
+  Listener() = default;
+
+  Socket sock_;
+  std::string unix_path_;
+  std::string describe_;
+  int port_ = -1;
+};
+
+/// Blocking connect; throws std::runtime_error on failure.
+Socket connect_tcp(const std::string& host, int port);
+Socket connect_unix(const std::string& path);
+
+}  // namespace repl

@@ -1,0 +1,146 @@
+#include "net/wire.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "codec/endian.hpp"
+
+namespace repl {
+
+void encode_stream_header(unsigned char* out, std::uint32_t num_servers) {
+  store_le64(out, EventLogHeader::kMagic);
+  store_le32(out + 8, EventLogHeader::kVersionCompressed);
+  store_le32(out + 12, num_servers);
+  store_le64(out + 16, 0);  // num_objects: unknown while streaming
+  store_le64(out + 24, EventLogHeader::kUnknownCount);
+}
+
+void encode_net_ack(unsigned char* out, std::uint64_t resume_events) {
+  store_le64(out, kNetAckMagic);
+  store_le64(out + 8, resume_events);
+}
+
+std::uint64_t decode_net_ack(const unsigned char* raw) {
+  if (load_le64(raw) != kNetAckMagic) {
+    throw std::runtime_error(
+        "bad handshake ACK from server (wrong magic — not a repl ingest "
+        "server?)");
+  }
+  return load_le64(raw + 8);
+}
+
+FrameAssembler::FrameAssembler(std::string name, std::size_t max_body_bytes)
+    : name_(std::move(name)), max_body_bytes_(max_body_bytes) {
+  buffer_.resize(EventLogHeader::kSize);
+}
+
+void FrameAssembler::fail(const std::string& what) {
+  dead_ = true;
+  throw std::runtime_error(name_ + ": " + what + " (frame " +
+                           std::to_string(frames_) + ", byte offset " +
+                           std::to_string(offset_) + ")");
+}
+
+void FrameAssembler::feed(const unsigned char* data, std::size_t size,
+                          std::vector<LogEvent>& out) {
+  if (dead_) {
+    throw std::runtime_error(name_ + ": stream already failed");
+  }
+  try {
+    while (size > 0) {
+      const std::size_t take = std::min(target_ - pending_, size);
+      std::memcpy(buffer_.data() + pending_, data, take);
+      pending_ += take;
+      data += take;
+      size -= take;
+      offset_ += take;
+      if (pending_ < target_) return;
+      switch (state_) {
+        case State::kHeader:
+          finish_header();
+          break;
+        case State::kFrame:
+          finish_frame();
+          // A zero-length body completes instantly — without this, an
+          // empty trailing frame would leave at_boundary() false until
+          // bytes that never come.
+          if (state_ == State::kBody && target_ == 0) finish_body(out);
+          break;
+        case State::kBody:
+          finish_body(out);
+          break;
+      }
+    }
+  } catch (...) {
+    dead_ = true;
+    throw;
+  }
+}
+
+void FrameAssembler::finish_header() {
+  if (load_le64(buffer_.data()) != EventLogHeader::kMagic) {
+    fail("bad stream header magic");
+  }
+  header_.version = load_le32(buffer_.data() + 8);
+  if (header_.version != EventLogHeader::kVersionCompressed) {
+    fail("unsupported stream version " + std::to_string(header_.version) +
+         " (live ingest speaks the compressed v2 format only)");
+  }
+  header_.num_servers = load_le32(buffer_.data() + 12);
+  if (header_.num_servers == 0) fail("stream header declares 0 servers");
+  header_.num_objects = load_le64(buffer_.data() + 16);
+  header_.num_events = load_le64(buffer_.data() + 24);
+  state_ = State::kFrame;
+  pending_ = 0;
+  target_ = kBlockFrameBytes;
+}
+
+void FrameAssembler::finish_frame() {
+  switch (parse_block_frame(buffer_.data(), frame_, max_body_bytes_)) {
+    case BlockFrameStatus::kOk:
+      break;
+    case BlockFrameStatus::kBadFrameCrc:
+      fail("frame CRC mismatch (corrupt frame header)");
+    case BlockFrameStatus::kImplausibleLength:
+      fail("implausible frame length " + std::to_string(frame_.body_len));
+  }
+  state_ = State::kBody;
+  pending_ = 0;
+  target_ = frame_.body_len;
+  if (buffer_.size() < target_) buffer_.resize(target_);
+}
+
+void FrameAssembler::finish_body(std::vector<LogEvent>& out) {
+  if (!verify_block_payload(frame_, buffer_.data(), pending_)) {
+    fail("block payload CRC mismatch");
+  }
+  // Decode into scratch and validate the whole frame before publishing:
+  // a frame that fails any check must contribute nothing to `out`, so
+  // the caller's delivered prefix is exactly the complete valid frames.
+  scratch_.clear();
+  decode_event_block(frame_.aux, buffer_.data(), pending_, scratch_,
+                     name_ + " frame " + std::to_string(frames_));
+  for (const LogEvent& event : scratch_) {
+    const double t = event.time;
+    // The engine rejects non-positive times; catching them here turns an
+    // engine-poisoning batch into a single killed connection.
+    if (!std::isfinite(t) || t <= 0.0) {
+      fail("non-positive or non-finite event time in frame payload");
+    }
+    if (t < last_time_) {
+      fail("event time " + std::to_string(t) +
+           " regresses below stream time " + std::to_string(last_time_));
+    }
+    last_time_ = t;
+  }
+  out.insert(out.end(), scratch_.begin(), scratch_.end());
+  events_ += frame_.aux;
+  ++frames_;
+  state_ = State::kFrame;
+  pending_ = 0;
+  target_ = kBlockFrameBytes;
+}
+
+}  // namespace repl

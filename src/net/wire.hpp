@@ -1,0 +1,117 @@
+// The live-ingest wire protocol.
+//
+// A client stream is byte-identical to a version-2 (compressed) event
+// log: the 32-byte REPLELOG header, then codec/block.hpp frames of
+// delta/varint-coded events. That identity is the point — `stream_gen`
+// output can be piped onto a socket unmodified, every corruption the
+// file reader detects is detected at the socket boundary by the same
+// checks, and the engine cannot tell replay from live traffic.
+//
+//   client → server   32-byte stream header (REPLELOG, version 2,
+//                     num_servers; counts unknown)
+//   server → client   16-byte ACK: u64 magic "REPLNACK", u64
+//                     resume_events — how many events of the logical
+//                     stream the server has already ingested (non-zero
+//                     when it restored from a checkpoint; the client
+//                     must skip that many events before streaming)
+//   client → server   block frames until the client half-closes its
+//                     write side at a frame boundary (clean end)
+//
+// FrameAssembler is the server-side decoder: it accepts arbitrary byte
+// chunks (whatever recv returned) and emits fully validated events.
+// Validation is incremental and positioned — each 16-byte frame is CRC-
+// verified the moment it is assembled (before a single payload byte is
+// trusted), payloads are CRC-verified before decode, and event times
+// must be positive, finite, and non-decreasing within the stream (the
+// engine's own precondition, enforced per connection). Any violation
+// throws with the frame index and stream byte offset; the server kills
+// that connection, never the process.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codec/block.hpp"
+#include "trace/event_log.hpp"
+
+namespace repl {
+
+/// "REPLNACK": the server's handshake reply magic.
+inline constexpr std::uint64_t kNetAckMagic = 0x4b43414e4c504552ULL;
+inline constexpr std::size_t kNetAckBytes = 16;
+
+/// Encodes the 32-byte client stream header (a v2 event-log header with
+/// unknown counts) into `out`.
+void encode_stream_header(unsigned char* out, std::uint32_t num_servers);
+
+/// Encodes the 16-byte handshake ACK into `out`.
+void encode_net_ack(unsigned char* out, std::uint64_t resume_events);
+
+/// Decodes an ACK; throws std::runtime_error on a bad magic.
+std::uint64_t decode_net_ack(const unsigned char* raw);
+
+/// Incremental decoder for one client's byte stream. Feed bytes in any
+/// chunking; completed events are appended to the caller's buffer.
+class FrameAssembler {
+ public:
+  /// `name` labels the peer in diagnostics. `max_body_bytes` caps one
+  /// frame's advertised payload (a corrupt length must fail, not
+  /// allocate gigabytes).
+  explicit FrameAssembler(std::string name,
+                          std::size_t max_body_bytes = kMaxBlockBytes);
+
+  /// Consumes `size` bytes, appending every event they complete to
+  /// `out`. Throws std::runtime_error with a positioned diagnostic on
+  /// any protocol violation; the assembler is unusable afterwards.
+  void feed(const unsigned char* data, std::size_t size,
+            std::vector<LogEvent>& out);
+
+  /// True once the 32-byte stream header has been consumed+validated.
+  bool header_done() const { return state_ != State::kHeader; }
+  /// Valid once header_done(): version/num_servers of this stream.
+  const EventLogHeader& header() const { return header_; }
+
+  /// True when the stream position is exactly between frames — the only
+  /// place a peer may close cleanly. False mid-header, mid-frame, or
+  /// mid-payload: a close there is a mid-frame disconnect.
+  bool at_boundary() const {
+    return state_ == State::kFrame && pending_ == 0;
+  }
+
+  std::uint64_t bytes_consumed() const { return offset_; }
+  std::uint64_t frames_completed() const { return frames_; }
+  std::uint64_t events_decoded() const { return events_; }
+  /// Newest decoded event time (0 before the first event).
+  double last_time() const { return last_time_; }
+
+ private:
+  enum class State { kHeader, kFrame, kBody };
+
+  [[noreturn]] void fail(const std::string& what);
+  void finish_header();
+  void finish_frame();
+  void finish_body(std::vector<LogEvent>& out);
+
+  std::string name_;
+  std::size_t max_body_bytes_;
+  State state_ = State::kHeader;
+  /// Bytes accumulated toward the current header/frame/payload.
+  std::vector<unsigned char> buffer_;
+  /// Decode staging: a frame's events are validated here in full before
+  /// they are published to the caller, so a failing frame delivers
+  /// nothing.
+  std::vector<LogEvent> scratch_;
+  std::size_t pending_ = 0;  // bytes in buffer_
+  std::size_t target_ = EventLogHeader::kSize;  // bytes needed to advance
+  BlockFrameHeader frame_;
+  EventLogHeader header_;
+  std::uint64_t offset_ = 0;
+  std::uint64_t frames_ = 0;
+  std::uint64_t events_ = 0;
+  double last_time_ = 0.0;
+  bool dead_ = false;
+};
+
+}  // namespace repl

@@ -54,6 +54,53 @@ EventLogFormat parse_event_log_format(const std::string& name) {
                               "' (expected raw or compressed)");
 }
 
+void encode_event_block(const LogEvent* events, std::size_t count,
+                        std::vector<unsigned char>& body) {
+  TimeDeltaEncoder times;
+  for (std::size_t i = 0; i < count; ++i) {
+    times.encode(events[i].time, body);
+    put_uvarint(body, events[i].object);
+    put_uvarint(body, events[i].server);
+  }
+}
+
+void decode_event_block(std::uint32_t count, const unsigned char* body,
+                        std::size_t size, std::vector<LogEvent>& out,
+                        const std::string& context) {
+  // Every event takes at least 3 body bytes (three 1-byte varints), so
+  // an implausible count is rejected before the reserve, not after a
+  // giant allocation. Any frame CRC passed already; this guards writer
+  // bugs and hand-crafted frames whose CRCs are self-consistent.
+  if (count > size / 3) {
+    throw std::runtime_error(context + ": block event count " +
+                             std::to_string(count) + " exceeds its payload");
+  }
+  out.reserve(out.size() + count);
+  TimeDeltaDecoder times;
+  const unsigned char* p = body;
+  const unsigned char* const end = p + size;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    LogEvent event;
+    std::size_t used = 0;
+    std::uint64_t server = 0;
+    if (!times.decode(&p, end, event.time) ||
+        (used = get_uvarint(p, end, event.object)) == 0) {
+      throw std::runtime_error(context + ": malformed event encoding");
+    }
+    p += used;
+    if ((used = get_uvarint(p, end, server)) == 0 ||
+        server > std::numeric_limits<std::uint32_t>::max()) {
+      throw std::runtime_error(context + ": malformed event encoding");
+    }
+    p += used;
+    event.server = static_cast<std::uint32_t>(server);
+    out.push_back(event);
+  }
+  if (p != end) {
+    throw std::runtime_error(context + ": trailing bytes in block");
+  }
+}
+
 std::uint64_t event_stream_hash(std::uint64_t hash, const LogEvent& event) {
   // SplitMix64-style finalizer chained over the record's three fields:
   // order-sensitive (h enters each round) and sensitive to every bit of
@@ -148,12 +195,7 @@ void EventLogWriter::flush_buffer() {
 void EventLogWriter::flush_block() {
   if (pending_.empty()) return;
   body_.clear();
-  TimeDeltaEncoder times;
-  for (const LogEvent& event : pending_) {
-    times.encode(event.time, body_);
-    put_uvarint(body_, event.object);
-    put_uvarint(body_, event.server);
-  }
+  encode_event_block(pending_.data(), pending_.size(), body_);
   blocks_->write_block(static_cast<std::uint32_t>(pending_.size()), body_);
   pending_.clear();
 }
@@ -226,39 +268,11 @@ void EventLogReader::refill() {
 
 void EventLogReader::decode_block(std::uint32_t count,
                                   const std::vector<unsigned char>& body) {
-  // Every event takes at least 3 body bytes (three 1-byte varints), so
-  // an implausible count is rejected before the reserve, not after a
-  // giant allocation. CRC passed already; this guards writer bugs.
-  const std::string at =
-      " (block " + std::to_string(blocks_->blocks_read() - 1) + ")";
-  if (count > body.size() / 3) {
-    io_fail(path_, "block event count " + std::to_string(count) +
-                       " exceeds its payload" + at);
-  }
   block_.clear();
-  block_.reserve(count);
   block_pos_ = 0;
-  TimeDeltaDecoder times;
-  const unsigned char* p = body.data();
-  const unsigned char* const end = p + body.size();
-  for (std::uint32_t i = 0; i < count; ++i) {
-    LogEvent event;
-    std::size_t used = 0;
-    std::uint64_t server = 0;
-    if (!times.decode(&p, end, event.time) ||
-        (used = get_uvarint(p, end, event.object)) == 0) {
-      io_fail(path_, "malformed event encoding" + at);
-    }
-    p += used;
-    if ((used = get_uvarint(p, end, server)) == 0 ||
-        server > std::numeric_limits<std::uint32_t>::max()) {
-      io_fail(path_, "malformed event encoding" + at);
-    }
-    p += used;
-    event.server = static_cast<std::uint32_t>(server);
-    block_.push_back(event);
-  }
-  if (p != end) io_fail(path_, "trailing bytes in block" + at);
+  decode_event_block(count, body.data(), body.size(), block_,
+                     "event log " + path_ + " (block " +
+                         std::to_string(blocks_->blocks_read() - 1) + ")");
 }
 
 bool EventLogReader::load_block() {
@@ -307,6 +321,7 @@ bool EventLogReader::next(LogEvent& event) {
 
 void EventLogReader::skip_events(std::uint64_t count) {
   if (count == 0) return;
+  const std::uint64_t requested = count;
   if (header_.num_events != EventLogHeader::kUnknownCount) {
     REPL_REQUIRE_MSG(count <= header_.num_events - delivered_,
                      "cannot skip " << count << " events: only "
@@ -331,8 +346,15 @@ void EventLogReader::skip_events(std::uint64_t count) {
     while (count > 0) {
       std::uint32_t events = 0;
       if (!blocks_->next_frame(events)) {
-        io_fail(path_, "log ends while skipping events (" +
-                           std::to_string(count) + " short)");
+        // Over-skip against a truncated or streaming (unknown-count) log:
+        // a resume offset past the data must fail loudly — the caller is
+        // about to trust the position — naming what was asked for and
+        // what the log actually holds.
+        io_fail(path_, "cannot skip " + std::to_string(requested) +
+                           " events: only " +
+                           std::to_string(requested - count) +
+                           " available before end of log (truncated log, "
+                           "or a resume offset past its end?)");
       }
       if (events <= count) {
         blocks_->skip_payload();
@@ -357,9 +379,30 @@ void EventLogReader::skip_events(std::uint64_t count) {
     delivered_ += count;
     return;
   }
-  // Beyond the buffer: one absolute seek to the target record.
-  delivered_ += count;
+  // Beyond the buffer: one absolute seek to the target record. seekg
+  // past EOF "succeeds" on most implementations, and for a streaming
+  // (unknown-count) header the subsequent reads would then surface as a
+  // clean empty log — silently resuming at the wrong place. Measure the
+  // file instead and reject a skip the records on disk cannot cover.
+  const std::uint64_t target = delivered_ + count;
   in_.clear();
+  in_.seekg(0, std::ios::end);
+  if (!in_) io_fail(path_, "seek failed while skipping events");
+  const auto end_pos = static_cast<std::uint64_t>(in_.tellg());
+  const std::uint64_t available_records =
+      end_pos <= EventLogHeader::kSize
+          ? 0
+          : (end_pos - EventLogHeader::kSize) / EventLogHeader::kRecordSize;
+  if (target > available_records) {
+    io_fail(path_, "cannot skip " + std::to_string(requested) +
+                       " events: only " +
+                       std::to_string(available_records > delivered_
+                                          ? available_records - delivered_
+                                          : 0) +
+                       " available before end of log (truncated log, or a "
+                       "resume offset past its end?)");
+  }
+  delivered_ = target;
   in_.seekg(static_cast<std::streamoff>(
       EventLogHeader::kSize + delivered_ * EventLogHeader::kRecordSize));
   if (!in_) io_fail(path_, "seek failed while skipping events");

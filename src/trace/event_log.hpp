@@ -94,6 +94,22 @@ inline constexpr std::uint64_t kEventStreamHashSeed =
 
 std::uint64_t event_stream_hash(std::uint64_t hash, const LogEvent& event);
 
+/// Encodes `count` events into the v2 block-body layout (appended to
+/// `body`): per event a zigzag varint of the IEEE-754 time delta, then
+/// object and server varints. The shared producer half of the wire body —
+/// EventLogWriter and the network client emit identical bytes.
+void encode_event_block(const LogEvent* events, std::size_t count,
+                        std::vector<unsigned char>& body);
+
+/// Decodes a v2 block body holding `count` events, appending them to
+/// `out`. The shared consumer half of the wire body: the file reader and
+/// the socket front-end apply identical validation. Throws
+/// std::runtime_error prefixed with `context` when the count cannot fit
+/// the payload, a varint is malformed, or trailing bytes remain.
+void decode_event_block(std::uint32_t count, const unsigned char* body,
+                        std::size_t size, std::vector<LogEvent>& out,
+                        const std::string& context);
+
 struct EventLogHeader {
   static constexpr std::uint64_t kMagic = 0x474f4c454c504552ULL;  // "REPLELOG"
   static constexpr std::uint32_t kVersionRaw = 1;

@@ -41,6 +41,20 @@ bool CliParser::parse(int argc, const char* const* argv) {
     if (eq != std::string::npos) {
       name = arg.substr(0, eq);
       value = arg.substr(eq + 1);
+      const auto it = flags_.find(name);
+      if (it == flags_.end()) {
+        throw std::invalid_argument("unknown flag: --" + name);
+      }
+      // Boolean flags take only the canonical literals through `=`, the
+      // same constraint the space-separated path enforces by never
+      // consuming a value at all; "--verify=yes" silently parsing as a
+      // string would make get_bool throw far from the command line.
+      if (it->second.boolean && value != "true" && value != "false") {
+        throw std::invalid_argument("flag --" + name +
+                                    ": boolean flags accept only "
+                                    "'true' or 'false', got '" +
+                                    value + "'");
+      }
     } else {
       name = arg;
       const auto it = flags_.find(name);
@@ -56,8 +70,11 @@ bool CliParser::parse(int argc, const char* const* argv) {
         value = argv[++i];
       }
     }
-    if (flags_.find(name) == flags_.end()) {
-      throw std::invalid_argument("unknown flag: --" + name);
+    // Last-wins on a repeated flag hides typos in long command lines
+    // (a forgotten flag earlier in a script silently loses); demand one
+    // occurrence per flag.
+    if (values_.find(name) != values_.end()) {
+      throw std::invalid_argument("duplicate flag: --" + name);
     }
     values_[name] = value;
   }

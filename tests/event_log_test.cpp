@@ -2,6 +2,7 @@
 // corruption error paths (bad magic, bad version, truncation), the
 // CSV twin conversions, and the streaming workload generator.
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
@@ -152,6 +153,92 @@ TEST_F(EventLogTest, TruncatedFileIsDetected) {
         }
       },
       std::runtime_error);
+}
+
+/// Simulates a crashed writer: the header's num_events (offset 24) is
+/// still the kUnknownCount sentinel, so readers cannot bounds-check a
+/// skip against the header.
+void patch_unknown_count(const std::string& path) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.is_open());
+  unsigned char unknown[8];
+  std::memset(unknown, 0xFF, sizeof(unknown));
+  f.seekp(24);
+  f.write(reinterpret_cast<const char*>(unknown), sizeof(unknown));
+}
+
+TEST_F(EventLogTest, SkipPastEndOfStreamingRawLogFailsLoudly) {
+  // seekg past EOF "succeeds", so without an explicit file-size check a
+  // resume offset beyond a crashed v1 log would silently read as a clean
+  // empty log. It must throw, naming requested and available counts.
+  const std::string path = temp_path("stream_v1.evlog");
+  {
+    EventLogWriter writer(path, 2);
+    for (int i = 1; i <= 50; ++i) {
+      writer.write(static_cast<double>(i), 0, 0);
+    }
+    writer.close();
+  }
+  patch_unknown_count(path);
+  // Drop the last 20 records too (the crash lost them).
+  std::filesystem::resize_file(
+      path, EventLogHeader::kSize + 30 * EventLogHeader::kRecordSize);
+
+  EventLogReader reader(path);
+  try {
+    reader.skip_events(40);
+    FAIL() << "over-skip must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cannot skip 40"), std::string::npos) << what;
+    EXPECT_NE(what.find("only 30 available"), std::string::npos) << what;
+  }
+}
+
+TEST_F(EventLogTest, SkipPastEndOfStreamingCompressedLogFailsLoudly) {
+  const std::string path = temp_path("stream_v2.evlog");
+  {
+    EventLogWriter writer(path, 2, 0, EventLogFormat::kCompressed,
+                          /*block_events=*/64);
+    for (int i = 1; i <= 320; ++i) {
+      writer.write(static_cast<double>(i), static_cast<std::uint64_t>(i % 7),
+                   0);
+    }
+    writer.close();
+  }
+  patch_unknown_count(path);
+
+  EventLogReader reader(path);
+  // A skip within the data still works on a streaming log...
+  reader.skip_events(100);
+  LogEvent event;
+  ASSERT_TRUE(reader.next(event));
+  EXPECT_EQ(event.time, 101.0);
+  // ...but past the end it must throw with requested/available counts.
+  try {
+    reader.skip_events(300);
+    FAIL() << "over-skip must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cannot skip 300"), std::string::npos) << what;
+    EXPECT_NE(what.find("only 219 available"), std::string::npos) << what;
+  }
+}
+
+TEST_F(EventLogTest, SkipPastHeaderCountStaysAnArgumentError) {
+  // On a finished log the header knows the count, so an over-skip is a
+  // caller bug (std::invalid_argument), distinct from the runtime
+  // truncation diagnosis above.
+  const std::string path = temp_path("finished.evlog");
+  {
+    EventLogWriter writer(path, 2, 0, EventLogFormat::kCompressed);
+    for (int i = 1; i <= 10; ++i) {
+      writer.write(static_cast<double>(i), 0, 0);
+    }
+    writer.close();
+  }
+  EventLogReader reader(path);
+  EXPECT_THROW(reader.skip_events(11), std::invalid_argument);
 }
 
 TEST_F(EventLogTest, TruncatedHeaderIsDetected) {

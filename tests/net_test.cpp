@@ -1,0 +1,700 @@
+// Net-layer tests: the wire protocol (FrameAssembler against every
+// corruption and chunking), and socket-level integration — concurrent
+// interleaved clients whose merged serve is bit-identical to file
+// replay, mid-frame disconnects surviving as the validated prefix,
+// backpressure under tiny queues, live checkpoint/resume, and the
+// metrics endpoint.
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "codec/block.hpp"
+#include "codec/crc32.hpp"
+#include "codec/endian.hpp"
+#include "core/drwp.hpp"
+#include "engine/engine.hpp"
+#include "net/client.hpp"
+#include "net/ingest_server.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "predictor/last_gap.hpp"
+#include "trace/event_log.hpp"
+
+namespace repl {
+namespace {
+
+constexpr double kAlpha = 0.3;
+constexpr int kServers = 5;
+
+SystemConfig net_config() {
+  SystemConfig config;
+  config.num_servers = kServers;
+  config.transfer_cost = 10.0;
+  return config;
+}
+
+EnginePolicyFactory drwp_factory() {
+  return [](const EngineObjectContext&) -> PolicyPtr {
+    return std::make_unique<DrwpPolicy>(kAlpha);
+  };
+}
+
+EnginePredictorFactory last_gap_factory() {
+  return [](const EngineObjectContext&) -> PredictorPtr {
+    return std::make_unique<LastGapPredictor>(kServers);
+  };
+}
+
+std::unique_ptr<StreamingEngine> make_engine() {
+  return std::make_unique<StreamingEngine>(net_config(), EngineOptions{},
+                                           drwp_factory(),
+                                           last_gap_factory());
+}
+
+/// A deterministic interleaved stream: `count` events over `objects`
+/// objects with strictly increasing times.
+std::vector<LogEvent> make_events(std::size_t count, std::uint64_t objects) {
+  std::vector<LogEvent> events;
+  events.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    events.push_back(LogEvent{0.25 * static_cast<double>(i + 1),
+                              (i * 7919) % objects,
+                              static_cast<std::uint32_t>((i * 31) % kServers)});
+  }
+  return events;
+}
+
+/// Reference aggregates: ingest `events` directly (no sockets).
+EngineMetrics reference_metrics(const std::vector<LogEvent>& events) {
+  auto engine = make_engine();
+  EventLogHeader header;
+  header.version = EventLogHeader::kVersionCompressed;
+  header.num_servers = kServers;
+  header.num_events = EventLogHeader::kUnknownCount;
+  engine->bind_log(header);
+  engine->ingest(events);
+  return engine->finish();
+}
+
+void expect_same(const EngineMetrics& a, const EngineMetrics& b) {
+  EXPECT_EQ(a.objects, b.objects);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.num_local, b.num_local);
+  EXPECT_EQ(a.num_transfers, b.num_transfers);
+  EXPECT_EQ(a.online_cost, b.online_cost);
+  EXPECT_EQ(a.lower_bound, b.lower_bound);
+}
+
+/// Encodes one wire frame (header + payload) for raw-socket tests.
+std::vector<unsigned char> encode_frame(const std::vector<LogEvent>& events) {
+  std::vector<unsigned char> body;
+  encode_event_block(events.data(), events.size(), body);
+  std::vector<unsigned char> frame(kBlockFrameBytes + body.size());
+  encode_block_frame(frame.data(), static_cast<std::uint32_t>(events.size()),
+                     body.data(), body.size());
+  std::copy(body.begin(), body.end(), frame.begin() + kBlockFrameBytes);
+  return frame;
+}
+
+std::vector<unsigned char> encode_stream(const std::vector<LogEvent>& events,
+                                         std::size_t block_events) {
+  std::vector<unsigned char> stream(EventLogHeader::kSize);
+  encode_stream_header(stream.data(), kServers);
+  for (std::size_t i = 0; i < events.size(); i += block_events) {
+    const std::size_t n = std::min(block_events, events.size() - i);
+    const auto at = static_cast<std::ptrdiff_t>(i);
+    const std::vector<LogEvent> block(
+        events.begin() + at, events.begin() + at + static_cast<std::ptrdiff_t>(n));
+    const std::vector<unsigned char> frame = encode_frame(block);
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+  return stream;
+}
+
+// ---------------------------------------------------------------------
+// FrameAssembler
+
+TEST(FrameAssemblerTest, RoundTripsWholeStreamAndByteAtATime) {
+  const std::vector<LogEvent> events = make_events(1000, 37);
+  const std::vector<unsigned char> stream = encode_stream(events, 128);
+
+  FrameAssembler whole("whole");
+  std::vector<LogEvent> out;
+  whole.feed(stream.data(), stream.size(), out);
+  EXPECT_EQ(out, events);
+  EXPECT_TRUE(whole.at_boundary());
+  EXPECT_EQ(whole.events_decoded(), events.size());
+  EXPECT_EQ(whole.frames_completed(), (events.size() + 127) / 128);
+  EXPECT_EQ(whole.header().num_servers,
+            static_cast<std::uint32_t>(kServers));
+
+  // The chunking must be invisible: one byte at a time decodes the same
+  // events, and at_boundary() is false everywhere except between frames.
+  FrameAssembler trickle("trickle");
+  std::vector<LogEvent> dribble;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    trickle.feed(stream.data() + i, 1, dribble);
+  }
+  EXPECT_EQ(dribble, events);
+  EXPECT_TRUE(trickle.at_boundary());
+}
+
+TEST(FrameAssemblerTest, MidFrameIsNotABoundary) {
+  const std::vector<LogEvent> events = make_events(10, 3);
+  const std::vector<unsigned char> stream = encode_stream(events, 16);
+  FrameAssembler assembler("partial");
+  std::vector<LogEvent> out;
+  // Header + frame header + half the payload: mid-frame.
+  const std::size_t cut = EventLogHeader::kSize + kBlockFrameBytes + 5;
+  assembler.feed(stream.data(), cut, out);
+  EXPECT_FALSE(assembler.at_boundary());
+  EXPECT_TRUE(out.empty());
+  // The rest completes the frame.
+  assembler.feed(stream.data() + cut, stream.size() - cut, out);
+  EXPECT_EQ(out, events);
+  EXPECT_TRUE(assembler.at_boundary());
+}
+
+TEST(FrameAssemblerTest, FrameHeaderCorruptionIsPositionedAndSticky) {
+  const std::vector<LogEvent> events = make_events(64, 5);
+  std::vector<unsigned char> stream = encode_stream(events, 32);
+  stream[EventLogHeader::kSize + 3] ^= 0x40;  // inside the first frame header
+
+  FrameAssembler assembler("peer");
+  std::vector<LogEvent> out;
+  try {
+    assembler.feed(stream.data(), stream.size(), out);
+    FAIL() << "corrupt frame header must throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("frame CRC mismatch"), std::string::npos) << what;
+    EXPECT_NE(what.find("peer"), std::string::npos) << what;
+    EXPECT_NE(what.find("frame 0"), std::string::npos) << what;
+  }
+  EXPECT_TRUE(out.empty());
+  // Dead after a failure: even clean bytes are refused.
+  EXPECT_THROW(assembler.feed(stream.data(), 1, out), std::runtime_error);
+}
+
+TEST(FrameAssemblerTest, PayloadCorruptionFailsTheBodyCrc) {
+  const std::vector<LogEvent> events = make_events(64, 5);
+  std::vector<unsigned char> stream = encode_stream(events, 64);
+  stream[EventLogHeader::kSize + kBlockFrameBytes + 7] ^= 0x01;
+
+  FrameAssembler assembler("peer");
+  std::vector<LogEvent> out;
+  try {
+    assembler.feed(stream.data(), stream.size(), out);
+    FAIL() << "corrupt payload must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("payload CRC mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FrameAssemblerTest, ImplausibleLengthRejectedBeforeAllocation) {
+  // A frame header advertising a body beyond the cap, with a valid frame
+  // CRC (so only the length check can reject it).
+  std::vector<unsigned char> stream(EventLogHeader::kSize);
+  encode_stream_header(stream.data(), kServers);
+  unsigned char frame[kBlockFrameBytes];
+  const unsigned char none = 0;
+  encode_block_frame(frame, 1, &none, 0);
+  store_le32(frame, 1 << 20);                    // huge body_len...
+  store_le32(frame + 12, crc32c(frame, 12));     // ...with a valid CRC
+  stream.insert(stream.end(), frame, frame + kBlockFrameBytes);
+
+  FrameAssembler assembler("peer", /*max_body_bytes=*/4096);
+  std::vector<LogEvent> out;
+  try {
+    assembler.feed(stream.data(), stream.size(), out);
+    FAIL() << "implausible length must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("implausible frame length"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FrameAssemblerTest, RejectsBadMagicWrongVersionAndZeroServers) {
+  std::vector<LogEvent> out;
+  {
+    unsigned char header[EventLogHeader::kSize];
+    encode_stream_header(header, kServers);
+    header[0] ^= 0xFF;
+    FrameAssembler assembler("peer");
+    EXPECT_THROW(assembler.feed(header, sizeof(header), out),
+                 std::runtime_error);
+  }
+  {
+    unsigned char header[EventLogHeader::kSize];
+    encode_stream_header(header, kServers);
+    store_le32(header + 8, 1);  // raw format cannot be streamed
+    FrameAssembler assembler("peer");
+    EXPECT_THROW(assembler.feed(header, sizeof(header), out),
+                 std::runtime_error);
+  }
+  {
+    unsigned char header[EventLogHeader::kSize];
+    encode_stream_header(header, 0);
+    FrameAssembler assembler("peer");
+    EXPECT_THROW(assembler.feed(header, sizeof(header), out),
+                 std::runtime_error);
+  }
+}
+
+TEST(FrameAssemblerTest, RejectsNonPositiveAndRegressingTimes) {
+  {
+    std::vector<LogEvent> events = make_events(4, 2);
+    events[2].time = 0.0;
+    const std::vector<unsigned char> stream = encode_stream(events, 8);
+    FrameAssembler assembler("peer");
+    std::vector<LogEvent> out;
+    EXPECT_THROW(assembler.feed(stream.data(), stream.size(), out),
+                 std::runtime_error);
+  }
+  {
+    // Regression across a frame boundary: frame 2 rewinds the stream.
+    std::vector<LogEvent> events = make_events(8, 2);
+    events[6].time = events[1].time;
+    events[7].time = events[1].time;
+    const std::vector<unsigned char> stream = encode_stream(events, 6);
+    FrameAssembler assembler("peer");
+    std::vector<LogEvent> out;
+    try {
+      assembler.feed(stream.data(), stream.size(), out);
+      FAIL() << "regressing time must throw";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("regresses"), std::string::npos)
+          << e.what();
+    }
+    EXPECT_EQ(out.size(), 6u);  // the first frame was delivered
+  }
+}
+
+TEST(NetWireTest, AckRoundTripsAndRejectsBadMagic) {
+  unsigned char ack[kNetAckBytes];
+  encode_net_ack(ack, 123456789ULL);
+  EXPECT_EQ(decode_net_ack(ack), 123456789ULL);
+  ack[1] ^= 0x10;
+  EXPECT_THROW(decode_net_ack(ack), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// Socket integration
+
+class NetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("repl_net_test_" + std::string(::testing::UnitTest::GetInstance()
+                                               ->current_test_info()
+                                               ->name()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string temp_path(const std::string& name) {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+/// Streams `events` through a connected client; swallows socket errors
+/// (tests that kill connections expect the peer to see EPIPE).
+void stream_events(Socket sock, const std::vector<LogEvent>& events,
+                   EventStreamClientOptions options = {}) {
+  try {
+    EventStreamClient client(std::move(sock), options);
+    client.handshake(kServers);
+    for (const LogEvent& event : events) {
+      if (!client.send(event)) return;
+    }
+    client.finish();
+  } catch (const std::exception&) {
+  }
+}
+
+TEST_F(NetTest, InterleavedClientsMatchFileReplayBitForBit) {
+  // Three concurrent clients — one of them slow (tiny chunks with pauses)
+  // — each streaming a round-robin share of one logical stream over TCP.
+  // The merged serve must equal a direct ingest of the whole stream.
+  const std::vector<LogEvent> all = make_events(6000, 41);
+  const EngineMetrics reference = reference_metrics(all);
+
+  NetServerOptions options;
+  options.tcp_port = 0;
+  options.min_connections = 3;
+  options.batch_events = 256;
+  NetIngestServer server(options);
+  auto engine = make_engine();
+  NetIngestSource source(server, kServers);
+  source.attach(*engine);
+  const int port = server.tcp_port();
+  ASSERT_GT(port, 0);
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    std::vector<LogEvent> share;
+    for (std::size_t i = static_cast<std::size_t>(c); i < all.size(); i += 3) {
+      share.push_back(all[i]);
+    }
+    EventStreamClientOptions client_options;
+    client_options.block_events = static_cast<std::size_t>(100 + 37 * c);
+    if (c == 1) {  // the slow client: dribbles bytes with pauses
+      client_options.chunk_bytes = 64;
+      client_options.pace_seconds = 0.0002;
+    }
+    clients.emplace_back([port, share = std::move(share), client_options] {
+      stream_events(connect_tcp("127.0.0.1", port), share, client_options);
+    });
+  }
+
+  const EngineMetrics metrics = engine->serve(*&source, ServeOptions{});
+  for (std::thread& t : clients) t.join();
+
+  expect_same(metrics, reference);
+  EXPECT_EQ(server.connections_total(), 3u);
+  EXPECT_EQ(server.connections_failed(), 0u);
+}
+
+TEST_F(NetTest, MidFrameDisconnectKeepsExactlyTheValidatedPrefix) {
+  // Client A streams its share completely; client B drops the connection
+  // mid-frame. The serve must finish cleanly with aggregates equal to a
+  // file replay of A's events plus B's fully-framed prefix.
+  const std::vector<LogEvent> all = make_events(4000, 29);
+  std::vector<LogEvent> share_a, share_b;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    ((all[i].object % 2 == 0) ? share_a : share_b).push_back(all[i]);
+  }
+
+  // Choose an abort budget that lands strictly inside a frame, and
+  // compute the surviving prefix by replaying the client's own framing.
+  const std::size_t kBlock = 64;
+  std::uint64_t abort_bytes = 0;
+  std::size_t surviving = 0;
+  {
+    std::uint64_t bytes = 0;
+    std::vector<std::uint64_t> frame_ends;
+    for (std::size_t i = 0; i < share_b.size(); i += kBlock) {
+      const std::size_t n = std::min(kBlock, share_b.size() - i);
+      const auto at = static_cast<std::ptrdiff_t>(i);
+      const std::vector<LogEvent> block(
+          share_b.begin() + at,
+          share_b.begin() + at + static_cast<std::ptrdiff_t>(n));
+      bytes += encode_frame(block).size();
+      frame_ends.push_back(bytes);
+    }
+    ASSERT_GE(frame_ends.size(), 4u);
+    abort_bytes = frame_ends[2] + 7;  // 7 bytes into the fourth frame
+    surviving = 3 * kBlock;
+  }
+
+  std::vector<LogEvent> expected = share_a;
+  expected.insert(expected.end(), share_b.begin(),
+                  share_b.begin() + static_cast<std::ptrdiff_t>(surviving));
+  std::sort(expected.begin(), expected.end(),
+            [](const LogEvent& x, const LogEvent& y) {
+              return x.time < y.time;
+            });
+  const EngineMetrics reference = reference_metrics(expected);
+
+  NetServerOptions options;
+  options.tcp_port = -1;
+  options.unix_path = temp_path("ingest.sock");
+  options.min_connections = 2;
+  NetIngestServer server(options);
+  auto engine = make_engine();
+  NetIngestSource source(server, kServers);
+  source.attach(*engine);
+
+  std::thread a([&] {
+    stream_events(connect_unix(options.unix_path), share_a, {});
+  });
+  std::thread b([&] {
+    EventStreamClientOptions dropper;
+    dropper.block_events = kBlock;
+    dropper.abort_after_bytes = abort_bytes;
+    stream_events(connect_unix(options.unix_path), share_b, dropper);
+  });
+
+  const EngineMetrics metrics = engine->serve(source, ServeOptions{});
+  a.join();
+  b.join();
+
+  expect_same(metrics, reference);
+  EXPECT_EQ(server.connections_failed(), 1u);
+  EXPECT_NE(server.metrics_json().find("disconnected mid-frame"),
+            std::string::npos);
+}
+
+TEST_F(NetTest, CorruptFrameKillsTheConnectionNotTheServer) {
+  const std::vector<LogEvent> all = make_events(2000, 17);
+  std::vector<LogEvent> share_a, share_b;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    ((all[i].object % 2 == 0) ? share_a : share_b).push_back(all[i]);
+  }
+  const EngineMetrics reference = reference_metrics(share_a);
+
+  NetServerOptions options;
+  options.unix_path = temp_path("ingest.sock");
+  options.tcp_port = -1;
+  options.min_connections = 2;
+  NetIngestServer server(options);
+  auto engine = make_engine();
+  NetIngestSource source(server, kServers);
+  source.attach(*engine);
+
+  std::thread a([&] {
+    stream_events(connect_unix(options.unix_path), share_a, {});
+  });
+  std::thread b([&] {
+    // Raw socket: valid handshake, then a payload with a flipped bit.
+    try {
+      Socket sock = connect_unix(options.unix_path);
+      unsigned char header[EventLogHeader::kSize];
+      encode_stream_header(header, kServers);
+      sock.write_all(header, sizeof(header));
+      unsigned char ack[kNetAckBytes];
+      ASSERT_TRUE(sock.read_exact(ack, sizeof(ack)));
+      std::vector<unsigned char> frame = encode_frame(share_b);
+      frame[kBlockFrameBytes + 11] ^= 0x08;
+      sock.write_all(frame.data(), frame.size());
+      sock.shutdown_write();
+      // Wait for the server to close on us (kill observed).
+      unsigned char sink;
+      sock.read_exact(&sink, 1);
+    } catch (const std::exception&) {
+    }
+  });
+
+  const EngineMetrics metrics = engine->serve(source, ServeOptions{});
+  a.join();
+  b.join();
+
+  // Only the clean client's events were served; the corrupt one is a
+  // diagnosed failure, not a crash.
+  expect_same(metrics, reference);
+  EXPECT_EQ(server.connections_failed(), 1u);
+  EXPECT_NE(server.metrics_json().find("CRC mismatch"), std::string::npos);
+}
+
+TEST_F(NetTest, LateJoinerBehindTheWatermarkIsKilled) {
+  const std::vector<LogEvent> early = make_events(500, 7);
+
+  NetServerOptions options;
+  options.unix_path = temp_path("ingest.sock");
+  options.tcp_port = -1;
+  options.min_connections = 2;
+  NetIngestServer server(options);
+  auto engine = make_engine();
+  NetIngestSource source(server, kServers);
+  source.attach(*engine);
+
+  std::thread clients([&] {
+    // First client streams and closes; its events are fully admitted
+    // once it is the only open connection.
+    stream_events(connect_unix(options.unix_path), early, {});
+    // Poll until the serve has admitted everything the first client sent.
+    while (server.events_admitted() < early.size()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // The second client replays old times — behind the watermark.
+    stream_events(connect_unix(options.unix_path), early, {});
+  });
+
+  const EngineMetrics metrics = engine->serve(source, ServeOptions{});
+  clients.join();
+
+  EXPECT_EQ(metrics.events, early.size());
+  EXPECT_EQ(server.connections_failed(), 1u);
+  EXPECT_NE(server.metrics_json().find("time-regressed"), std::string::npos);
+}
+
+TEST_F(NetTest, TinyQueuesBackpressureWithoutLossOrDeadlock) {
+  const std::vector<LogEvent> all = make_events(5000, 13);
+  const EngineMetrics reference = reference_metrics(all);
+
+  NetServerOptions options;
+  options.unix_path = temp_path("ingest.sock");
+  options.tcp_port = -1;
+  options.max_connection_events = 8;  // absurdly small on purpose
+  options.max_total_events = 8;
+  options.batch_events = 4;
+  NetIngestServer server(options);
+  auto engine = make_engine();
+  NetIngestSource source(server, kServers);
+  source.attach(*engine);
+
+  std::thread client([&] {
+    EventStreamClientOptions small;
+    small.block_events = 32;
+    stream_events(connect_unix(options.unix_path), all, small);
+  });
+
+  const EngineMetrics metrics = engine->serve(source, ServeOptions{});
+  client.join();
+  expect_same(metrics, reference);
+  EXPECT_EQ(server.connections_failed(), 0u);
+}
+
+TEST_F(NetTest, ZeroEventClientEndsTheServeCleanly) {
+  NetServerOptions options;
+  options.unix_path = temp_path("ingest.sock");
+  options.tcp_port = -1;
+  NetIngestServer server(options);
+  auto engine = make_engine();
+  NetIngestSource source(server, kServers);
+  source.attach(*engine);
+
+  std::thread client([&] {
+    stream_events(connect_unix(options.unix_path), {}, {});
+  });
+  const EngineMetrics metrics = engine->serve(source, ServeOptions{});
+  client.join();
+  EXPECT_EQ(metrics.events, 0u);
+  EXPECT_EQ(server.connections_failed(), 0u);
+}
+
+TEST_F(NetTest, HandshakeRejectsMismatchedServerCount) {
+  NetServerOptions options;
+  options.unix_path = temp_path("ingest.sock");
+  options.tcp_port = -1;
+  NetIngestServer server(options);
+  server.start(kServers, 0);
+
+  EventStreamClient client(connect_unix(options.unix_path));
+  EXPECT_THROW(client.handshake(kServers + 1), std::runtime_error);
+  server.stop();
+  EXPECT_EQ(server.connections_failed(), 1u);
+}
+
+TEST_F(NetTest, KillAndResumeFromCheckpointReproducesUninterruptedRun) {
+  // The crash drill: serve part of the stream with periodic checkpoints,
+  // "crash" (abandon engine and server), restore from the snapshot, let
+  // the client reconnect — the handshake tells it how much to skip — and
+  // finish. Final aggregates must equal an uninterrupted run.
+  const std::vector<LogEvent> all = make_events(4000, 23);
+  const EngineMetrics reference = reference_metrics(all);
+  const std::string ckpt = temp_path("live.ckpt");
+
+  std::uint64_t resume_offset = 0;
+  {
+    NetServerOptions options;
+    options.unix_path = temp_path("ingest.sock");
+    options.tcp_port = -1;
+    options.batch_events = 256;  // keep the kill point mid-stream
+    NetIngestServer server(options);
+    auto engine = make_engine();
+    NetIngestSource source(server, kServers);
+    source.attach(*engine);
+
+    std::thread client([&] {
+      EventStreamClientOptions small;
+      small.block_events = 64;
+      stream_events(connect_unix(options.unix_path), all, small);
+    });
+
+    // Manual drain (the serve loop minus finish): ingest until we are
+    // past 1500 events, checkpoint, and abandon everything mid-session.
+    std::vector<LogEvent> batch;
+    while (engine->stats().events_ingested < 1500 &&
+           source.next_batch(batch)) {
+      engine->ingest(batch);
+    }
+    engine->checkpoint(ckpt);
+    resume_offset = engine->stats().events_ingested;
+    ASSERT_GT(resume_offset, 0u);
+    ASSERT_LT(resume_offset, all.size());
+    server.stop();
+    client.join();
+  }
+
+  // Restart: restore the snapshot, serve the remainder of the stream.
+  auto engine = StreamingEngine::restore(ckpt, net_config(), EngineOptions{},
+                                         drwp_factory(), last_gap_factory());
+  ASSERT_EQ(engine->resume_position(), resume_offset);
+
+  NetServerOptions options;
+  options.unix_path = temp_path("ingest2.sock");
+  options.tcp_port = -1;
+  NetIngestServer server(options);
+  NetIngestSource source(server, kServers);
+  source.attach(*engine);
+
+  std::thread client([&] {
+    try {
+      EventStreamClient client_conn(connect_unix(options.unix_path));
+      const std::uint64_t skip = client_conn.handshake(kServers);
+      EXPECT_EQ(skip, resume_offset);
+      for (std::size_t i = static_cast<std::size_t>(skip); i < all.size();
+           ++i) {
+        client_conn.send(all[i]);
+      }
+      client_conn.finish();
+    } catch (const std::exception&) {
+    }
+  });
+
+  const EngineMetrics metrics = engine->serve(source, ServeOptions{});
+  client.join();
+  expect_same(metrics, reference);
+}
+
+TEST_F(NetTest, MetricsEndpointServesJsonOverHttp) {
+  NetServerOptions options;
+  options.unix_path = temp_path("ingest.sock");
+  options.tcp_port = -1;
+  options.metrics_port = 0;
+  NetIngestServer server(options);
+  server.start(kServers, 42);
+  server.note_checkpoint(1000);
+  const int port = server.metrics_port();
+  ASSERT_GT(port, 0);
+
+  const auto get = [port](const std::string& path) {
+    Socket sock = connect_tcp("127.0.0.1", port);
+    const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+    sock.write_all(reinterpret_cast<const unsigned char*>(request.data()),
+                   request.size());
+    std::string response;
+    unsigned char buf[512];
+    for (;;) {
+      const std::size_t n = sock.read_some(buf, sizeof(buf));
+      if (n == 0) break;
+      response.append(reinterpret_cast<const char*>(buf), n);
+    }
+    return response;
+  };
+
+  const std::string metrics = get("/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("application/json"), std::string::npos);
+  EXPECT_NE(metrics.find("\"events_admitted\":0"), std::string::npos);
+  EXPECT_NE(metrics.find("\"checkpoint\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"events\":1000"), std::string::npos);
+  EXPECT_NE(metrics.find("\"per_connection\""), std::string::npos);
+
+  const std::string health = get("/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos);
+
+  EXPECT_NE(get("/bogus").find("404"), std::string::npos);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace repl

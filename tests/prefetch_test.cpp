@@ -1,0 +1,241 @@
+// BatchPrefetcher and LogReplaySource contracts: shutdown without a
+// consumer, zero-event streams at every depth, partial-batch delivery
+// when the reader fails mid-batch, sticky errors, and bit-identical
+// async/sync parity on a corrupt log.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "codec/endian.hpp"
+#include "core/drwp.hpp"
+#include "engine/engine.hpp"
+#include "engine/event_source.hpp"
+#include "engine/prefetch.hpp"
+#include "predictor/last_gap.hpp"
+#include "trace/event_log.hpp"
+
+namespace repl {
+namespace {
+
+constexpr int kServers = 5;
+constexpr double kAlpha = 0.3;
+
+class PrefetchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("repl_prefetch_test_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string temp_path(const std::string& name) {
+    return (dir_ / name).string();
+  }
+
+  /// Writes `count` events with strictly increasing times as a
+  /// compressed log with `block_events` per block.
+  std::string make_log(const std::string& name, std::size_t count,
+                       std::size_t block_events) {
+    const std::string path = temp_path(name);
+    EventLogWriter writer(path, kServers, 0, EventLogFormat::kCompressed,
+                          block_events);
+    for (std::size_t i = 0; i < count; ++i) {
+      writer.write(0.5 * static_cast<double>(i + 1), (i * 13) % 97,
+                   static_cast<std::uint32_t>(i % kServers));
+    }
+    writer.close();
+    return path;
+  }
+
+  std::filesystem::path dir_;
+};
+
+/// Flips one payload byte inside block `target` of a compressed log.
+void corrupt_block_payload(const std::string& path, std::size_t target) {
+  std::fstream file(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(file.is_open());
+  std::uint64_t offset = EventLogHeader::kSize;
+  for (std::size_t block = 0;; ++block) {
+    unsigned char frame[kBlockFrameBytes];
+    file.seekg(static_cast<std::streamoff>(offset));
+    file.read(reinterpret_cast<char*>(frame), sizeof(frame));
+    ASSERT_TRUE(file.good()) << "log has no block " << target;
+    const std::uint32_t body_len = load_le32(frame);
+    if (block == target) {
+      const std::uint64_t victim = offset + kBlockFrameBytes + body_len / 2;
+      file.seekg(static_cast<std::streamoff>(victim));
+      char byte = 0;
+      file.read(&byte, 1);
+      byte = static_cast<char>(byte ^ 0x20);
+      file.seekp(static_cast<std::streamoff>(victim));
+      file.write(&byte, 1);
+      return;
+    }
+    offset += kBlockFrameBytes + body_len;
+  }
+}
+
+std::unique_ptr<StreamingEngine> make_engine() {
+  SystemConfig config;
+  config.num_servers = kServers;
+  config.transfer_cost = 10.0;
+  return std::make_unique<StreamingEngine>(
+      config, EngineOptions{},
+      [](const EngineObjectContext&) -> PolicyPtr {
+        return std::make_unique<DrwpPolicy>(kAlpha);
+      },
+      [](const EngineObjectContext&) -> PredictorPtr {
+        return std::make_unique<LastGapPredictor>(kServers);
+      });
+}
+
+TEST_F(PrefetchTest, DestructorJoinsWhenConsumerNeverDrains) {
+  // Enough batches that the reader thread fills its depth and blocks on
+  // space; destroying the prefetcher with everything still queued must
+  // wake it and join, not deadlock or leak the thread.
+  const std::string path = make_log("undrained.evlog", 10000, 64);
+  {
+    EventLogReader reader(path);
+    BatchPrefetcher prefetch(reader, 64, 2);
+    // No next() at all.
+  }
+  {
+    EventLogReader reader(path);
+    BatchPrefetcher prefetch(reader, 64, 4);
+    std::vector<LogEvent> batch;
+    ASSERT_TRUE(prefetch.next(batch));  // consume one, abandon the rest
+    EXPECT_EQ(batch.size(), 64u);
+  }
+}
+
+TEST_F(PrefetchTest, ZeroEventLogAtEveryDepth) {
+  const std::string path = make_log("empty.evlog", 0, 64);
+  for (std::size_t depth = 1; depth <= 4; ++depth) {
+    EventLogReader reader(path);
+    BatchPrefetcher prefetch(reader, 128, depth);
+    std::vector<LogEvent> batch;
+    EXPECT_FALSE(prefetch.next(batch)) << "depth " << depth;
+    EXPECT_TRUE(batch.empty());
+    // EOF is stable, not a one-shot.
+    EXPECT_FALSE(prefetch.next(batch)) << "depth " << depth;
+  }
+}
+
+TEST_F(PrefetchTest, PartialBatchDeliveredBeforeStickyError) {
+  // Blocks of 64, corruption in block 2: a 256-event batch spans four
+  // blocks, so the reader throws mid-batch with 128 events already
+  // decoded. Those 128 must arrive as a partial batch before the error,
+  // and the error must stick.
+  const std::string path = make_log("corrupt.evlog", 320, 64);
+  corrupt_block_payload(path, 2);
+
+  EventLogReader reader(path);
+  BatchPrefetcher prefetch(reader, 256, 2);
+  std::vector<LogEvent> batch;
+  ASSERT_TRUE(prefetch.next(batch));
+  EXPECT_EQ(batch.size(), 128u);  // blocks 0 and 1, then the failure
+  EXPECT_EQ(batch.front().time, 0.5);
+
+  try {
+    prefetch.next(batch);
+    FAIL() << "corrupt block must throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos)
+        << e.what();
+  }
+  // Sticky: a retry is an error, never a clean EOF.
+  EXPECT_THROW(prefetch.next(batch), std::runtime_error);
+  EXPECT_THROW(prefetch.next(batch), std::runtime_error);
+}
+
+TEST_F(PrefetchTest, AsyncAndSyncReplayAgreeOnACorruptLog) {
+  // The async prefetch path and the synchronous read_batch path must be
+  // indistinguishable to the engine: same delivered prefix, same error,
+  // same (bit-identical) aggregates over the surviving events.
+  const std::string path = make_log("parity.evlog", 500, 64);
+  corrupt_block_payload(path, 4);
+
+  struct Outcome {
+    std::uint64_t events = 0;
+    std::string error;
+    EngineMetrics metrics;
+  };
+  const auto run = [&](bool async_ingest) {
+    Outcome outcome;
+    auto engine = make_engine();
+    EventLogReader reader(path);
+    LogReplaySource source(reader, 256, async_ingest);
+    source.attach(*engine);
+    std::vector<LogEvent> batch;
+    try {
+      while (source.next_batch(batch)) {
+        engine->ingest(batch);
+      }
+      ADD_FAILURE() << "corrupt log must throw";
+    } catch (const std::runtime_error& e) {
+      outcome.error = e.what();
+    }
+    // Sticky on both paths.
+    EXPECT_THROW(source.next_batch(batch), std::runtime_error);
+    outcome.events = engine->stats().events_ingested;
+    outcome.metrics = engine->finish();
+    return outcome;
+  };
+
+  const Outcome sync_run = run(false);
+  const Outcome async_run = run(true);
+  EXPECT_EQ(sync_run.events, 256u);  // blocks 0-3 survive, block 4 fails
+  EXPECT_EQ(async_run.events, sync_run.events);
+  EXPECT_EQ(async_run.error, sync_run.error);
+  EXPECT_NE(sync_run.error.find("CRC"), std::string::npos) << sync_run.error;
+  EXPECT_EQ(async_run.metrics.objects, sync_run.metrics.objects);
+  EXPECT_EQ(async_run.metrics.events, sync_run.metrics.events);
+  EXPECT_EQ(async_run.metrics.num_local, sync_run.metrics.num_local);
+  EXPECT_EQ(async_run.metrics.num_transfers, sync_run.metrics.num_transfers);
+  EXPECT_EQ(async_run.metrics.online_cost, sync_run.metrics.online_cost);
+  EXPECT_EQ(async_run.metrics.lower_bound, sync_run.metrics.lower_bound);
+}
+
+TEST_F(PrefetchTest, CleanLogDeliversIdenticalBatchesToSyncRead) {
+  // Same-order equivalence on the happy path: the prefetcher yields the
+  // exact batch sequence a synchronous read_batch loop produces.
+  const std::string path = make_log("clean.evlog", 1000, 64);
+
+  std::vector<std::vector<LogEvent>> sync_batches;
+  {
+    EventLogReader reader(path);
+    std::vector<LogEvent> batch;
+    while (reader.read_batch(batch, 192) > 0) {
+      sync_batches.push_back(batch);
+    }
+  }
+
+  EventLogReader reader(path);
+  BatchPrefetcher prefetch(reader, 192, 3);
+  std::vector<LogEvent> batch;
+  std::size_t index = 0;
+  while (prefetch.next(batch)) {
+    ASSERT_LT(index, sync_batches.size());
+    EXPECT_EQ(batch, sync_batches[index]);
+    ++index;
+  }
+  EXPECT_EQ(index, sync_batches.size());
+  EXPECT_FALSE(prefetch.next(batch));
+}
+
+}  // namespace
+}  // namespace repl

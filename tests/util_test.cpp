@@ -368,6 +368,59 @@ TEST(Cli, RejectsUnknownFlagAndBadValues) {
   EXPECT_THROW(cli2.get_double("alpha"), std::invalid_argument);
 }
 
+TEST(Cli, BoolFlagEqualsFormValidatesItsValue) {
+  // `--verbose=yes` used to parse as true silently; only the two literal
+  // spellings are legal.
+  CliParser cli("prog", "test");
+  cli.add_bool_flag("verbose", "chatty");
+  const char* yes[] = {"prog", "--verbose=yes"};
+  try {
+    cli.parse(2, yes);
+    FAIL() << "--verbose=yes must be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("'true' or 'false'"),
+              std::string::npos)
+        << e.what();
+  }
+
+  CliParser explicit_true("prog", "test");
+  explicit_true.add_bool_flag("verbose", "chatty");
+  const char* on[] = {"prog", "--verbose=true"};
+  ASSERT_TRUE(explicit_true.parse(2, on));
+  EXPECT_TRUE(explicit_true.get_bool("verbose"));
+
+  CliParser explicit_false("prog", "test");
+  explicit_false.add_bool_flag("verbose", "chatty");
+  const char* off[] = {"prog", "--verbose=false"};
+  ASSERT_TRUE(explicit_false.parse(2, off));
+  EXPECT_FALSE(explicit_false.get_bool("verbose"));
+}
+
+TEST(Cli, RejectsDuplicateFlags) {
+  // A repeated flag is a typo'd command line, not a last-one-wins merge.
+  CliParser cli("prog", "test");
+  cli.add_flag("alpha", "0.5", "distrust");
+  const char* twice[] = {"prog", "--alpha=0.1", "--alpha=0.2"};
+  try {
+    cli.parse(3, twice);
+    FAIL() << "duplicate value flag must be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate flag: --alpha"),
+              std::string::npos)
+        << e.what();
+  }
+
+  CliParser mixed("prog", "test");
+  mixed.add_flag("alpha", "0.5", "distrust");
+  const char* spaced[] = {"prog", "--alpha", "0.1", "--alpha=0.2"};
+  EXPECT_THROW(mixed.parse(4, spaced), std::invalid_argument);
+
+  CliParser flags("prog", "test");
+  flags.add_bool_flag("verbose", "chatty");
+  const char* twice_bool[] = {"prog", "--verbose", "--verbose"};
+  EXPECT_THROW(flags.parse(3, twice_bool), std::invalid_argument);
+}
+
 TEST(Cli, HelpReturnsFalse) {
   CliParser cli("prog", "test");
   const char* argv[] = {"prog", "--help"};
