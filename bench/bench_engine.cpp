@@ -543,6 +543,10 @@ int main(int argc, char** argv) {
   std::vector<ZipfResult> zipf_rows;
   std::optional<CompressionResult> compression;
   bool all_identical = true;
+  // Pipeline stage breakdown of the last sweep serve (largest log,
+  // last thread count) — where the serve's wall time actually went.
+  EngineStats stage_stats;
+  bool have_stage_stats = false;
 
   for (std::size_t objects = min_objects;;) {
     // One log per object count; every thread count serves the same file.
@@ -577,6 +581,8 @@ int main(int argc, char** argv) {
       const EngineStats& stats = engine->stats();
       last_metrics = metrics;
       last_options = options;
+      stage_stats = stats;
+      have_stage_stats = true;
 
       RowResult row;
       row.objects = objects;
@@ -780,6 +786,23 @@ int main(int argc, char** argv) {
               << "x smaller than raw\n\n";
   }
 
+  if (have_stage_stats) {
+    const double wall = stage_stats.source_wait_seconds +
+                        stage_stats.ingest_seconds +
+                        stage_stats.finish_seconds;
+    Table st_table({"stage", "seconds", "share"});
+    const auto stage_row = [&](const char* name, double s) {
+      st_table.add_row({name, Table::cell(s, 3),
+                        Table::cell(wall > 0.0 ? s / wall : 0.0, 3)});
+    };
+    stage_row("source_wait", stage_stats.source_wait_seconds);
+    stage_row("route", stage_stats.route_seconds);
+    stage_row("execute", stage_stats.execute_seconds);
+    stage_row("reduce", stage_stats.finish_seconds);
+    stage_row("checkpoint_write", stage_stats.checkpoint_seconds);
+    std::cout << st_table.str() << "\n";
+  }
+
   if (!zipf_rows.empty()) {
     Table z_table({"zipf_s", "objects", "events", "shards", "min", "max",
                    "mean", "stddev", "max/mean"});
@@ -870,6 +893,28 @@ int main(int argc, char** argv) {
     json.key("compressed_serve_events_per_second")
         .value(compression->compressed_events_per_sec);
     json.key("identical").value(compression->identical);
+    json.end_object();
+  }
+  if (have_stage_stats) {
+    // Where the last sweep serve's wall time went, per pipeline stage.
+    // route + execute == ingest_seconds; checkpoint_write overlaps the
+    // serve loop, so its share is informational, not additive.
+    const double wall = stage_stats.source_wait_seconds +
+                        stage_stats.ingest_seconds +
+                        stage_stats.finish_seconds;
+    json.key("stage_timings").begin_object();
+    json.key("wall_seconds").value(wall);
+    const auto stage = [&json, wall](const char* name, double s) {
+      json.key(name).begin_object();
+      json.key("seconds").value(s);
+      json.key("share").value(wall > 0.0 ? s / wall : 0.0);
+      json.end_object();
+    };
+    stage("source_wait", stage_stats.source_wait_seconds);
+    stage("route", stage_stats.route_seconds);
+    stage("execute", stage_stats.execute_seconds);
+    stage("reduce", stage_stats.finish_seconds);
+    stage("checkpoint_write", stage_stats.checkpoint_seconds);
     json.end_object();
   }
   json.key("zipf_sweep").begin_array();

@@ -29,6 +29,8 @@
 #include "api/registry.hpp"
 #include "checkpoint/snapshot.hpp"
 #include "engine/engine.hpp"
+#include "obs/http_exporter.hpp"
+#include "obs/metrics.hpp"
 #include "trace/event_log.hpp"
 #include "trace/stream_gen.hpp"
 #include "util/cli.hpp"
@@ -94,6 +96,11 @@ int main(int argc, char** argv) {
   cli.add_flag("stop-after", "0",
                "abandon the serve after ~N events (with a final snapshot); "
                "simulates a crash for resume testing");
+  cli.add_flag("stats-every", "0",
+               "print a one-line serve report every N seconds (0 = off)");
+  cli.add_flag("metrics-port", "-1",
+               "serve GET /metrics (Prometheus text / JSON) and /healthz "
+               "on 127.0.0.1:PORT; 0 binds an ephemeral port (-1 = off)");
   if (!cli.parse(argc, argv)) return 0;
 
   if (cli.get_bool("list-policies")) {
@@ -157,6 +164,21 @@ int main(int argc, char** argv) {
   options.num_shards = shards;
   options.num_threads = static_cast<int>(cli.get_size_t("threads", 0, 4096));
   options.compress_checkpoints = cli.get_bool("compress");
+
+  // Telemetry: one registry feeds the optional HTTP endpoint and gives
+  // the stats reporter real histograms. Declared here so it outlives the
+  // engine built below.
+  obs::MetricsRegistry registry;
+  std::unique_ptr<obs::MetricsHttpServer> metrics_http;
+  if (cli.get_int("metrics-port") >= 0) {
+    options.metrics = &registry;
+    obs::MetricsHttpOptions http;
+    http.port = static_cast<int>(cli.get_int("metrics-port"));
+    metrics_http = std::make_unique<obs::MetricsHttpServer>(registry, http);
+    metrics_http->start();
+    std::cout << "metrics: http://127.0.0.1:" << metrics_http->port()
+              << "/metrics\n";
+  }
 
   std::cout << "serving " << log_path << " ("
             << (reader.header().num_events == EventLogHeader::kUnknownCount
@@ -268,6 +290,7 @@ int main(int argc, char** argv) {
   serve_options.checkpoint_every = checkpoint_every;
   if (checkpoint_every > 0) serve_options.checkpoint_path = checkpoint_path;
   serve_options.async_ingest = !cli.get_bool("sync-ingest");
+  serve_options.stats_every = cli.get_double("stats-every");
   EngineMetrics metrics;
   try {
     metrics = engine->serve(reader, serve_options);

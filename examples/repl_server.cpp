@@ -27,6 +27,7 @@
 #include "api/experiment.hpp"
 #include "engine/engine.hpp"
 #include "net/ingest_server.hpp"
+#include "obs/metrics.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -68,6 +69,8 @@ int main(int argc, char** argv) {
   cli.add_flag("resume-from", "",
                "restore this snapshot; reconnecting clients are told to "
                "skip the already-ingested prefix");
+  cli.add_flag("stats-every", "0",
+               "print a one-line serve report every N seconds (0 = off)");
   if (!cli.parse(argc, argv)) return 0;
 
   const int servers = static_cast<int>(cli.get_size_t("servers", 1, 4096));
@@ -80,6 +83,13 @@ int main(int argc, char** argv) {
   options.num_shards = cli.get_size_t("shards", 1, 1 << 20);
   options.num_threads = static_cast<int>(cli.get_size_t("threads", 0, 4096));
   options.compress_checkpoints = cli.get_bool("compress");
+
+  // One registry for the whole process: the engine's pipeline telemetry
+  // and the net server's ingest counters land in the same store, so the
+  // --metrics-port endpoint scrapes everything in one GET. Declared
+  // before the engine so it outlives it.
+  obs::MetricsRegistry registry;
+  options.metrics = &registry;
 
   const std::string resume_from = cli.get_string("resume-from");
   EngineBuilder builder;
@@ -118,12 +128,14 @@ int main(int argc, char** argv) {
   net.max_connection_events = cli.get_size_t("max-queue", 1);
   net.max_total_events = cli.get_size_t("max-total-queue", 1);
   net.min_connections = cli.get_size_t("min-clients", 1);
+  net.metrics = &registry;
 
   ServeOptions serve_options;
   serve_options.batch_events = net.batch_events;
   serve_options.checkpoint_every = cli.get_uint64("checkpoint-every");
   serve_options.checkpoint_path = cli.get_string("checkpoint-path");
   serve_options.async_ingest = false;  // the net source decodes off-thread
+  serve_options.stats_every = cli.get_double("stats-every");
 
   EngineMetrics metrics;
   try {
@@ -132,6 +144,11 @@ int main(int argc, char** argv) {
                            static_cast<std::uint32_t>(servers));
     serve_options.on_checkpoint = [&server, &engine] {
       server.note_checkpoint(engine->stats().events_ingested);
+    };
+    serve_options.stats_extra = [&server] {
+      return "queued=" + std::to_string(server.events_queued()) + " conns=" +
+             std::to_string(server.connections_total()) + "/" +
+             std::to_string(server.connections_failed()) + "f";
     };
     // Attach now (serve()'s own attach is a no-op on an attached source)
     // so the READY line can carry the kernel-assigned ports before

@@ -144,6 +144,11 @@ class BlockReader {
 
   std::uint64_t blocks_read() const { return blocks_; }
 
+  /// Stream offset of the next unconsumed frame — i.e. the bytes
+  /// consumed so far, counted from stream position 0 (the base_offset
+  /// prefix included). Feeds decode-rate metrics.
+  std::uint64_t bytes_consumed() const { return offset_; }
+
  private:
   [[noreturn]] void fail(const std::string& what) const;
 

@@ -9,9 +9,14 @@
 #include <unordered_map>
 #include <utility>
 
+#include <cstdio>
+#include <iostream>
+
 #include "checkpoint/snapshot.hpp"
 #include "checkpoint/state_io.hpp"
 #include "engine/event_source.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stage_timer.hpp"
 #include "offline/opt_lower_bound.hpp"
 #include "run/parallel_runner.hpp"
 #include "run/thread_pool.hpp"
@@ -41,6 +46,67 @@ struct ObjectFinal {
 };
 
 }  // namespace
+
+/// The engine's registry-backed instruments. Counters/histograms are
+/// sharded-atomic (obs/metrics.hpp), so updating them from the serving
+/// thread while a scraper reads is race-free; all pointers live as long
+/// as the registry, which EngineOptions::metrics requires to outlive the
+/// engine.
+struct StreamingEngine::Telemetry {
+  explicit Telemetry(obs::MetricsRegistry& registry)
+      : events_ingested(registry.counter(
+            "repl_events_ingested_total",
+            "Events ingested into the engine across all batches")),
+        batches(registry.counter("repl_batches_total",
+                                 "Ingest batches executed")),
+        checkpoint_writes(registry.counter(
+            "repl_checkpoint_writes_total",
+            "Snapshots sealed by checkpoint(), periodic or manual")),
+        checkpoint_bytes(registry.counter(
+            "repl_checkpoint_bytes_total",
+            "Bytes written into sealed snapshots (encode side)")),
+        source_bytes(registry.gauge(
+            "repl_source_bytes_read",
+            "Encoded bytes consumed from the event source (decode side); "
+            "0 when the source has no byte-level view")),
+        objects_active(registry.gauge(
+            "repl_objects_active",
+            "Objects instantiated in the engine's sharded table")),
+        batch_seconds(registry.histogram(
+            "repl_batch_seconds", "Wall seconds per ingest batch",
+            obs::Histogram::default_latency_bounds())),
+        source_wait(stage(registry, "source_wait")),
+        route(stage(registry, "route")),
+        execute(stage(registry, "execute")),
+        reduce(stage(registry, "reduce")),
+        checkpoint_write(stage(registry, "checkpoint_write")),
+        checkpoint_restore(stage(registry, "checkpoint_restore")) {}
+
+  static obs::Histogram& stage(obs::MetricsRegistry& registry,
+                               const std::string& name) {
+    return registry.histogram(
+        "repl_stage_seconds",
+        "Wall seconds per serve-pipeline stage, labeled by stage: "
+        "source_wait (prefetch decode / admission wait), route "
+        "(validate + shard routing), execute (parallel shard tasks), "
+        "reduce (finish), checkpoint_write / checkpoint_restore",
+        obs::Histogram::default_latency_bounds(), {{"stage", name}});
+  }
+
+  obs::Counter& events_ingested;
+  obs::Counter& batches;
+  obs::Counter& checkpoint_writes;
+  obs::Counter& checkpoint_bytes;
+  obs::Gauge& source_bytes;
+  obs::Gauge& objects_active;
+  obs::Histogram& batch_seconds;
+  obs::Histogram& source_wait;
+  obs::Histogram& route;
+  obs::Histogram& execute;
+  obs::Histogram& reduce;
+  obs::Histogram& checkpoint_write;
+  obs::Histogram& checkpoint_restore;
+};
 
 struct StreamingEngine::ObjectState {
   ObjectState(const SystemConfig& config, const SimulationOptions& sim,
@@ -118,6 +184,9 @@ StreamingEngine::StreamingEngine(SystemConfig config, EngineOptions options,
   shards_.reserve(options_.num_shards);
   for (std::size_t i = 0; i < options_.num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+  }
+  if (options_.metrics != nullptr) {
+    telemetry_ = std::make_unique<Telemetry>(*options_.metrics);
   }
 }
 
@@ -225,6 +294,7 @@ void StreamingEngine::ingest(const LogEvent* events, std::size_t count) {
   last_batch_time_ = prev;
   any_event_ = true;
   log_hash_ = hash;  // committed only once the whole batch validated
+  const auto routed = std::chrono::steady_clock::now();
 
   run_shard_tasks(active, [&](Shard& shard) {
     for (const LogEvent& event : shard.inbox) {
@@ -241,10 +311,19 @@ void StreamingEngine::ingest(const LogEvent* events, std::size_t count) {
 
   ++stats_.batches;
   stats_.events_ingested += count;
-  stats_.ingest_seconds +=
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    started)
-          .count();
+  const auto ended = std::chrono::steady_clock::now();
+  const double route_s = std::chrono::duration<double>(routed - started).count();
+  const double execute_s = std::chrono::duration<double>(ended - routed).count();
+  stats_.route_seconds += route_s;
+  stats_.execute_seconds += execute_s;
+  stats_.ingest_seconds += route_s + execute_s;
+  if (telemetry_) {
+    telemetry_->events_ingested.inc(count);
+    telemetry_->batches.inc();
+    telemetry_->batch_seconds.observe(route_s + execute_s);
+    telemetry_->route.observe(route_s);
+    telemetry_->execute.observe(execute_s);
+  }
 }
 
 EngineMetrics StreamingEngine::finish() {
@@ -320,6 +399,10 @@ EngineMetrics StreamingEngine::finish() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     started)
           .count();
+  if (telemetry_) {
+    telemetry_->reduce.observe(stats_.finish_seconds);
+    telemetry_->objects_active.set(0.0);  // table released above
+  }
   return metrics;
 }
 
@@ -342,9 +425,74 @@ EngineMetrics StreamingEngine::serve(EventSource& source,
           ? 0
           : (stats_.events_ingested / checkpoint_every + 1) * checkpoint_every;
 
+  // Periodic stats reporting. The batch-latency percentiles come from
+  // the registry histogram when telemetry is on; otherwise a serve-local
+  // histogram (same buckets, never registered) fills in, so
+  // --stats-every works standalone.
+  const bool report = options.stats_every > 0.0;
+  std::optional<obs::Histogram> local_batch_hist;
+  if (report && !telemetry_) {
+    local_batch_hist.emplace(obs::Histogram::default_latency_bounds());
+  }
+  const auto serve_start = std::chrono::steady_clock::now();
+  auto last_report = serve_start;
+  std::uint64_t last_events = stats_.events_ingested;
+  const auto emit_stats = [&](std::chrono::steady_clock::time_point now) {
+    const double t =
+        std::chrono::duration<double>(now - serve_start).count();
+    const double interval =
+        std::chrono::duration<double>(now - last_report).count();
+    const double rate =
+        interval > 0.0
+            ? static_cast<double>(stats_.events_ingested - last_events) /
+                  interval
+            : 0.0;
+    obs::Histogram& hist =
+        telemetry_ ? telemetry_->batch_seconds : *local_batch_hist;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "[serve] t=%.1fs events=%llu rate=%.0f/s batches=%zu "
+                  "p50_batch=%.1fms p99_batch=%.1fms ckpt=%zu",
+                  t,
+                  static_cast<unsigned long long>(stats_.events_ingested),
+                  rate, stats_.batches, hist.quantile(0.5) * 1e3,
+                  hist.quantile(0.99) * 1e3, stats_.checkpoints_written);
+    std::string text(line);
+    if (options.stats_extra) {
+      text.push_back(' ');
+      text += options.stats_extra();
+    }
+    if (options.stats_sink) {
+      options.stats_sink(text);
+    } else {
+      std::cerr << text << '\n' << std::flush;
+    }
+    last_report = now;
+    last_events = stats_.events_ingested;
+  };
+
   std::vector<LogEvent> batch;
-  while (source.next_batch(batch)) {
+  for (;;) {
+    bool more;
+    {
+      obs::StageTimer wait(&stats_.source_wait_seconds,
+                           telemetry_ ? &telemetry_->source_wait : nullptr);
+      more = source.next_batch(batch);
+    }
+    if (!more) break;
+    const auto batch_start = std::chrono::steady_clock::now();
     ingest(batch);
+    if (local_batch_hist) {
+      local_batch_hist->observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        batch_start)
+              .count());
+    }
+    if (telemetry_) {
+      telemetry_->objects_active.set(static_cast<double>(object_count()));
+      telemetry_->source_bytes.set(
+          static_cast<double>(source.bytes_consumed()));
+    }
     if (checkpoint_every > 0 && stats_.events_ingested >= next_checkpoint) {
       // Atomic replace: seal the snapshot under a temporary name first,
       // so a crash mid-write never clobbers the previous good one.
@@ -359,15 +507,27 @@ EngineMetrics StreamingEngine::serve(EventSource& source,
               .parent_path()
               .string());
       ++stats_.checkpoints_written;
-      stats_.checkpoint_seconds +=
+      const double checkpoint_s =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         started)
               .count();
+      stats_.checkpoint_seconds += checkpoint_s;
+      if (telemetry_) telemetry_->checkpoint_write.observe(checkpoint_s);
       if (options.on_checkpoint) options.on_checkpoint();
       while (next_checkpoint <= stats_.events_ingested) {
         next_checkpoint += checkpoint_every;
       }
     }
+    if (report) {
+      const auto now = std::chrono::steady_clock::now();
+      if (std::chrono::duration<double>(now - last_report).count() >=
+          options.stats_every) {
+        emit_stats(now);
+      }
+    }
+  }
+  if (report && stats_.events_ingested != last_events) {
+    emit_stats(std::chrono::steady_clock::now());
   }
   return finish();
 }
@@ -501,6 +661,11 @@ void StreamingEngine::checkpoint(const std::string& path) {
     writer.add_object(record->first, record->second);
   }
   writer.close();
+  stats_.checkpoint_bytes += writer.bytes_written();
+  if (telemetry_) {
+    telemetry_->checkpoint_writes.inc();
+    telemetry_->checkpoint_bytes.inc(writer.bytes_written());
+  }
   for (const std::size_t i : active) {
     shards_[i]->snapshots.clear();
     shards_[i]->snapshots.shrink_to_fit();
@@ -552,6 +717,7 @@ std::unique_ptr<StreamingEngine> StreamingEngine::restore(
     options.predictor_spec = header.predictor_spec;
   }
 
+  const auto restore_start = std::chrono::steady_clock::now();
   auto engine = std::make_unique<StreamingEngine>(
       std::move(config), options, std::move(make_policy),
       std::move(make_predictor));
@@ -604,6 +770,14 @@ std::unique_ptr<StreamingEngine> StreamingEngine::restore(
   }
   REPL_CHECK(engine->object_count() ==
              static_cast<std::size_t>(header.num_objects));
+  if (engine->telemetry_) {
+    engine->telemetry_->checkpoint_restore.observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      restore_start)
+            .count());
+    engine->telemetry_->objects_active.set(
+        static_cast<double>(engine->object_count()));
+  }
   return engine;
 }
 

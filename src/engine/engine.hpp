@@ -43,6 +43,10 @@
 
 namespace repl {
 
+namespace obs {
+class MetricsRegistry;
+}
+
 class EventSource;
 class ThreadPool;
 
@@ -91,6 +95,13 @@ struct EngineOptions {
   /// trusts the caller's factories unchecked.
   std::string policy_spec;
   std::string predictor_spec;
+  /// Publish engine telemetry (event/batch/checkpoint counters, per-stage
+  /// latency histograms, the active-object gauge) into this registry.
+  /// Null (the default) disables telemetry entirely: the hot path then
+  /// pays nothing beyond the EngineStats accumulators it always kept.
+  /// Telemetry is observational only — aggregates are bit-identical with
+  /// it on or off. The registry must outlive the engine.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Per-shard aggregate, reduced in ascending object id within the shard.
@@ -129,9 +140,19 @@ struct EngineStats {
   std::uint64_t steals = 0;
   double ingest_seconds = 0.0;
   double finish_seconds = 0.0;
+  /// Stage split of ingest_seconds: batch validation + shard routing on
+  /// the calling thread vs. parallel shard execution.
+  double route_seconds = 0.0;
+  double execute_seconds = 0.0;
+  /// serve() time spent waiting on the source for the next batch — file
+  /// decode (what the prefetcher hides) or network admission.
+  double source_wait_seconds = 0.0;
   /// Periodic checkpoints written by serve() and their cumulative cost.
   std::size_t checkpoints_written = 0;
   double checkpoint_seconds = 0.0;
+  /// Bytes sealed into snapshots by checkpoint() (encode side of the
+  /// codec; the decode side is the source's bytes_consumed).
+  std::uint64_t checkpoint_bytes = 0;
 };
 
 /// Controls one serve() drain, including periodic crash-safe snapshots.
@@ -157,6 +178,16 @@ struct ServeOptions {
   /// Invoked after each periodic checkpoint has been renamed into place.
   /// Live-serving front-ends hang checkpoint-age reporting off this.
   std::function<void()> on_checkpoint;
+  /// Print one progress line roughly every this many seconds of serve()
+  /// wall time (events/sec since the last line, p50/p99 batch latency,
+  /// checkpoint count); 0 disables. Purely observational — aggregates
+  /// are bit-identical with reporting on or off.
+  double stats_every = 0.0;
+  /// Where stats lines go; stderr when unset.
+  std::function<void(const std::string&)> stats_sink;
+  /// Extra text appended to each stats line (queue depths, connection
+  /// counts — whatever the front-end knows and the engine does not).
+  std::function<std::string()> stats_extra;
 };
 
 class StreamingEngine {
@@ -261,6 +292,7 @@ class StreamingEngine {
  private:
   struct Shard;
   struct ObjectState;
+  struct Telemetry;
 
   Shard& shard_for(std::uint64_t object_id);
   void run_shard_tasks(const std::vector<std::size_t>& shard_ids,
@@ -275,6 +307,8 @@ class StreamingEngine {
   /// Lazily created on the first multi-threaded batch; reused across
   /// batches so ingestion does not pay spawn/join churn.
   std::unique_ptr<ThreadPool> pool_;
+  /// Registry-backed instruments, created iff options_.metrics is set.
+  std::unique_ptr<Telemetry> telemetry_;
   EngineStats stats_;
   double last_batch_time_ = 0.0;
   bool any_event_ = false;

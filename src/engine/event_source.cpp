@@ -17,6 +17,12 @@ void LogReplaySource::attach(StreamingEngine& engine) {
   if (async_) prefetch_.emplace(reader_, batch_events_);
 }
 
+std::uint64_t LogReplaySource::bytes_consumed() const {
+  // Async: the prefetcher owns the reader's position; report the byte
+  // mark of the last batch it handed over. Sync: the reader is ours.
+  return prefetch_ ? prefetch_->bytes_delivered() : reader_.bytes_read();
+}
+
 bool LogReplaySource::next_batch(std::vector<LogEvent>& out) {
   if (error_ != nullptr) std::rethrow_exception(error_);
   if (prefetch_) return prefetch_->next(out);

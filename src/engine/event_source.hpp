@@ -44,6 +44,13 @@ class EventSource {
   /// failure are delivered before the failure is thrown; the error is
   /// sticky across calls.
   virtual bool next_batch(std::vector<LogEvent>& out) = 0;
+
+  /// Encoded bytes consumed by the source so far, as of the last
+  /// delivered batch (0 when the source has no byte-level view — a
+  /// network source counts its bytes on its connection threads). Feeds
+  /// the engine's decode-bytes telemetry; only called between
+  /// next_batch() calls, on the serving thread.
+  virtual std::uint64_t bytes_consumed() const { return 0; }
 };
 
 /// File replay: serves a finished event log, optionally double-buffered
@@ -60,6 +67,7 @@ class LogReplaySource final : public EventSource {
 
   void attach(StreamingEngine& engine) override;
   bool next_batch(std::vector<LogEvent>& out) override;
+  std::uint64_t bytes_consumed() const override;
 
  private:
   EventLogReader& reader_;

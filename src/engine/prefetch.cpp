@@ -39,6 +39,8 @@ void BatchPrefetcher::run() {
     } catch (...) {
       error = std::current_exception();
     }
+    // Safe off-lock: this thread owns the reader's position.
+    const std::uint64_t bytes = reader_.bytes_read();
     std::unique_lock<std::mutex> lock(mutex_);
     if (error != nullptr || end) {
       // A reader that throws mid-batch has already decoded a prefix of
@@ -48,6 +50,7 @@ void BatchPrefetcher::run() {
       // diverge from a synchronous read of the same log.
       if (error != nullptr && !batch.empty()) {
         ready_.push_back(std::move(batch));
+        ready_bytes_.push_back(bytes);
       }
       error_ = error;
       done_ = true;
@@ -55,6 +58,7 @@ void BatchPrefetcher::run() {
       return;
     }
     ready_.push_back(std::move(batch));
+    ready_bytes_.push_back(bytes);
     ready_cv_.notify_all();
     space_cv_.wait(lock, [this] { return ready_.size() < depth_ || stop_; });
     if (stop_) return;
@@ -76,9 +80,16 @@ bool BatchPrefetcher::next(std::vector<LogEvent>& out) {
   free_.push_back(std::move(out));
   out = std::move(ready_.front());
   ready_.pop_front();
+  bytes_delivered_ = ready_bytes_.front();
+  ready_bytes_.pop_front();
   lock.unlock();
   space_cv_.notify_all();
   return true;
+}
+
+std::uint64_t BatchPrefetcher::bytes_delivered() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_delivered_;
 }
 
 }  // namespace repl

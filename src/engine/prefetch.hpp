@@ -56,6 +56,12 @@ class BatchPrefetcher {
   /// delivered; the error then sticks across repeated calls.
   bool next(std::vector<LogEvent>& out);
 
+  /// Reader byte position (EventLogReader::bytes_read) as of the last
+  /// batch *delivered* by next() — not the decode thread's live
+  /// position, so the value only moves at batch handoffs and never races
+  /// the reader thread.
+  std::uint64_t bytes_delivered() const;
+
  private:
   void run();
 
@@ -63,10 +69,14 @@ class BatchPrefetcher {
   const std::size_t batch_events_;
   const std::size_t depth_;
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable ready_cv_;  // consumer waits: batch or EOF/error
   std::condition_variable space_cv_;  // producer waits: queue below depth
   std::deque<std::vector<LogEvent>> ready_;
+  /// Reader byte position captured when the matching ready_ batch was
+  /// enqueued (parallel deque).
+  std::deque<std::uint64_t> ready_bytes_;
+  std::uint64_t bytes_delivered_ = 0;
   std::vector<std::vector<LogEvent>> free_;
   std::exception_ptr error_;
   bool done_ = false;   // producer finished (EOF or error)

@@ -8,6 +8,9 @@
 
 #include "engine/engine.hpp"
 #include "net/wire.hpp"
+#include "obs/exposition.hpp"
+#include "obs/http_exporter.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/json.hpp"
 
@@ -39,6 +42,79 @@ struct NetIngestServer::Connection {
   std::uint64_t events_received = 0;
   std::uint64_t bytes_received = 0;
   std::string error;
+
+  /// Completed-frame count already published to the frames counter.
+  /// Touched only by this connection's reader thread — not under mu_.
+  std::uint64_t frames_published = 0;
+};
+
+/// The registry series this server publishes. Counters are incremented
+/// on the hot paths (reader threads, the admission thread); the gauges
+/// mirror state under mu_ and are refreshed by a collect hook, so they
+/// are exact as of each scrape.
+struct NetIngestServer::Instruments {
+  explicit Instruments(obs::MetricsRegistry& r)
+      : events_admitted(r.counter(
+            "repl_net_events_admitted_total",
+            "Events of the logical stream admitted to the engine in "
+            "time-ordered batches, including the resumed prefix")),
+        events_received(r.counter(
+            "repl_net_events_received_total",
+            "Events decoded from validated frames across all connections "
+            "this process lifetime (excludes any resumed prefix)")),
+        bytes_received(r.counter("repl_net_bytes_received_total",
+                                 "Bytes read off client sockets")),
+        frames(r.counter("repl_net_frames_total",
+                         "Wire frames completed and validated")),
+        crc_rejects(r.counter(
+            "repl_net_crc_rejects_total",
+            "Connections killed by a CRC mismatch (frame header or block "
+            "payload)")),
+        backpressure_stalls(r.counter(
+            "repl_net_backpressure_stalls_total",
+            "Times a reader thread blocked because a bounded queue was "
+            "full (one per stall episode, not per event)")),
+        connections_opened_tcp(
+            r.counter("repl_net_connections_opened_total",
+                      "Client connections accepted", {{"kind", "tcp"}})),
+        connections_opened_unix(
+            r.counter("repl_net_connections_opened_total",
+                      "Client connections accepted", {{"kind", "unix"}})),
+        connections_failed(r.counter(
+            "repl_net_connections_failed_total",
+            "Connections killed by a protocol, order, or transport error")),
+        connections_open(r.gauge("repl_net_connections_open",
+                                 "Connections in handshake or streaming")),
+        queued_events(r.gauge(
+            "repl_net_queued_events",
+            "Events decoded but not yet admitted, summed over queues")),
+        watermark_lag(r.gauge(
+            "repl_net_watermark_lag",
+            "Stream-time distance between the newest decoded event and "
+            "the admitted watermark (0 when fully drained)")),
+        checkpoint_age(r.gauge(
+            "repl_checkpoint_age_seconds",
+            "Seconds since the last checkpoint landed; -1 before the "
+            "first")),
+        checkpoint_events(r.gauge(
+            "repl_checkpoint_events",
+            "Events of the logical stream covered by the last checkpoint")) {
+  }
+
+  obs::Counter& events_admitted;
+  obs::Counter& events_received;
+  obs::Counter& bytes_received;
+  obs::Counter& frames;
+  obs::Counter& crc_rejects;
+  obs::Counter& backpressure_stalls;
+  obs::Counter& connections_opened_tcp;
+  obs::Counter& connections_opened_unix;
+  obs::Counter& connections_failed;
+  obs::Gauge& connections_open;
+  obs::Gauge& queued_events;
+  obs::Gauge& watermark_lag;
+  obs::Gauge& checkpoint_age;
+  obs::Gauge& checkpoint_events;
 };
 
 namespace {
@@ -67,14 +143,25 @@ NetIngestServer::NetIngestServer(NetServerOptions options)
                "max_total_events must be at least max_connection_events");
   REPL_REQUIRE_MSG(options_.tcp_port >= 0 || !options_.unix_path.empty(),
                "a TCP port or a unix socket path is required");
+  if (options_.metrics != nullptr) {
+    registry_ = options_.metrics;
+  } else {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry_ = owned_registry_.get();
+  }
+  inst_ = std::make_unique<Instruments>(*registry_);
+  hook_id_ = registry_->add_collect_hook([this] { refresh_gauges(); });
 }
 
 NetIngestServer::~NetIngestServer() {
   stop();
+  // A shared registry outlives us: drop the hook before our state dies.
+  // (The caller must not scrape a shared registry concurrently with this
+  // destructor — same lifetime rule as any raw-pointer option.)
+  registry_->remove_collect_hook(hook_id_);
   for (std::thread& t : accept_threads_) {
     if (t.joinable()) t.join();
   }
-  if (metrics_thread_.joinable()) metrics_thread_.join();
   for (auto& conn : connections_) {
     if (conn->thread.joinable()) conn->thread.join();
   }
@@ -96,10 +183,24 @@ void NetIngestServer::start(std::uint32_t num_servers,
         Listener::unix_domain(options_.unix_path));
   }
   if (options_.metrics_port >= 0) {
-    metrics_ = std::make_unique<Listener>(
-        Listener::tcp(options_.tcp_host, options_.metrics_port));
-    metrics_thread_ = std::thread([this] { metrics_loop(); });
+    obs::MetricsHttpOptions http;
+    http.host = options_.tcp_host;
+    http.port = options_.metrics_port;
+    http_ = std::make_unique<obs::MetricsHttpServer>(*registry_, http);
+    http_->set_json_extra([this](JsonWriter& json) { append_extra_json(json); });
+    http_->set_health_extra([this](JsonWriter& json) {
+      std::lock_guard<std::mutex> lock(mu_);
+      json.key("uptime_seconds")
+          .value(started_ ? seconds_since(start_time_) : 0.0);
+      json.key("stopping").value(stopping_);
+    });
+    http_->start();
   }
+  // The admitted counter speaks logical-stream positions, like the
+  // handshake ACK: a restart that resumes at N starts the counter at N,
+  // so a scrape after recovery is never below one taken before the
+  // crash.
+  inst_->events_admitted.inc(resume_events);
   started_ = true;
   if (tcp_) {
     accept_threads_.emplace_back([this] { accept_loop(*tcp_, "tcp"); });
@@ -115,6 +216,9 @@ void NetIngestServer::accept_loop(Listener& listener, const char* kind) {
     if (!sock.valid()) return;  // listener shut down
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) return;
+    (kind[0] == 't' ? inst_->connections_opened_tcp
+                    : inst_->connections_opened_unix)
+        .inc();
     auto conn = std::make_unique<Connection>();
     conn->id = connections_.size();
     conn->name = std::string(kind) + " client #" + std::to_string(conn->id);
@@ -144,6 +248,7 @@ void NetIngestServer::connection_main(Connection& conn) {
     unsigned char ack[kNetAckBytes];
     encode_net_ack(ack, resume_events_);
     conn.sock.write_all(ack, sizeof(ack));
+    inst_->bytes_received.inc(sizeof(header));
     {
       std::lock_guard<std::mutex> lock(mu_);
       conn.bytes_received += sizeof(header);
@@ -165,6 +270,13 @@ void NetIngestServer::connection_main(Connection& conn) {
       }
       decoded.clear();
       assembler.feed(buf.data(), n, decoded);
+      inst_->bytes_received.inc(n);
+      const std::uint64_t frames_done = assembler.frames_completed();
+      if (frames_done > conn.frames_published) {
+        inst_->frames.inc(frames_done - conn.frames_published);
+        conn.frames_published = frames_done;
+      }
+      if (!decoded.empty()) inst_->events_received.inc(decoded.size());
       {
         std::lock_guard<std::mutex> lock(mu_);
         conn.bytes_received += n;
@@ -180,6 +292,10 @@ void NetIngestServer::connection_main(Connection& conn) {
       conn.state = Connection::State::kFailed;
       conn.error = e.what();
       ++failed_connections_;
+      inst_->connections_failed.inc();
+      if (conn.error.find("CRC mismatch") != std::string::npos) {
+        inst_->crc_rejects.inc();
+      }
     }
     conn.sock.close();
   }
@@ -199,11 +315,15 @@ void NetIngestServer::enqueue(Connection& conn,
           std::to_string(event.time) + " behind admitted watermark t=" +
           std::to_string(emitted_time_) + ")");
     }
-    space_cv_.wait(lock, [&] {
+    const auto room = [&] {
       return stopping_ ||
              (conn.queue.size() < options_.max_connection_events &&
               total_queued_ < options_.max_total_events);
-    });
+    };
+    if (!room()) {
+      inst_->backpressure_stalls.inc();
+      space_cv_.wait(lock, room);
+    }
     if (stopping_) return;
     conn.queue.push_back(event);
     conn.last_time = event.time;
@@ -270,6 +390,7 @@ bool NetIngestServer::next_batch(std::vector<LogEvent>& out) {
       ++admitted_events_;
     }
     if (!out.empty()) {
+      inst_->events_admitted.inc(out.size());
       space_cv_.notify_all();
       return true;
     }
@@ -287,7 +408,7 @@ void NetIngestServer::stop() {
   }
   if (tcp_) tcp_->shutdown();
   if (unix_) unix_->shutdown();
-  if (metrics_) metrics_->shutdown();
+  if (http_) http_->stop();
   consumer_cv_.notify_all();
   space_cv_.notify_all();
 }
@@ -302,7 +423,7 @@ void NetIngestServer::note_checkpoint(std::uint64_t events_ingested) {
 int NetIngestServer::tcp_port() const { return tcp_ ? tcp_->port() : -1; }
 
 int NetIngestServer::metrics_port() const {
-  return metrics_ ? metrics_->port() : -1;
+  return http_ ? http_->port() : -1;
 }
 
 std::uint64_t NetIngestServer::events_admitted() const {
@@ -320,37 +441,38 @@ std::size_t NetIngestServer::connections_failed() const {
   return failed_connections_;
 }
 
-std::string NetIngestServer::metrics_json() const {
+std::size_t NetIngestServer::events_queued() const {
   std::lock_guard<std::mutex> lock(mu_);
-  const double uptime = started_ ? seconds_since(start_time_) : 0.0;
+  return total_queued_;
+}
+
+void NetIngestServer::refresh_gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::size_t open = 0;
+  double newest = 0.0;
   for (const auto& conn : connections_) {
     if (conn->state == Connection::State::kHandshake ||
         conn->state == Connection::State::kStreaming) {
       ++open;
+      newest = std::max(newest, conn->last_time);
     }
   }
-  JsonWriter json;
-  json.begin_object();
+  inst_->connections_open.set(static_cast<double>(open));
+  inst_->queued_events.set(static_cast<double>(total_queued_));
+  inst_->watermark_lag.set(std::max(0.0, newest - emitted_time_));
+  inst_->checkpoint_age.set(checkpoints_ > 0 ? seconds_since(checkpoint_time_)
+                                             : -1.0);
+  inst_->checkpoint_events.set(static_cast<double>(checkpoint_events_));
+}
+
+void NetIngestServer::append_extra_json(JsonWriter& json) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double uptime = started_ ? seconds_since(start_time_) : 0.0;
   json.key("uptime_seconds").value(uptime);
-  json.key("events_admitted").value(admitted_events_);
   json.key("events_per_second")
       .value(uptime > 0.0 ? static_cast<double>(admitted_events_) / uptime
                           : 0.0);
-  json.key("queued_events").value(static_cast<std::uint64_t>(total_queued_));
   json.key("admitted_time").value(emitted_time_);
-  json.key("connections").begin_object();
-  json.key("total").value(static_cast<std::uint64_t>(connections_.size()));
-  json.key("open").value(static_cast<std::uint64_t>(open));
-  json.key("failed")
-      .value(static_cast<std::uint64_t>(failed_connections_));
-  json.end_object();
-  json.key("checkpoint").begin_object();
-  json.key("count").value(static_cast<std::uint64_t>(checkpoints_));
-  json.key("events").value(checkpoint_events_);
-  json.key("age_seconds")
-      .value(checkpoints_ > 0 ? seconds_since(checkpoint_time_) : -1.0);
-  json.end_object();
   json.key("per_connection").begin_array();
   for (const auto& conn : connections_) {
     json.begin_object();
@@ -365,63 +487,11 @@ std::string NetIngestServer::metrics_json() const {
     json.end_object();
   }
   json.end_array();
-  json.end_object();
-  return json.str();
 }
 
-void NetIngestServer::metrics_loop() {
-  for (;;) {
-    Socket sock = metrics_->accept();
-    if (!sock.valid()) return;
-    try {
-      handle_metrics_request(std::move(sock));
-    } catch (const std::exception&) {
-      // A broken metrics scrape must never touch the ingest path.
-    }
-  }
-}
-
-void NetIngestServer::handle_metrics_request(Socket sock) {
-  std::string request;
-  unsigned char buf[1024];
-  while (request.size() < (std::size_t{8} << 10) &&
-         request.find("\r\n") == std::string::npos) {
-    const std::size_t n = sock.read_some(buf, sizeof(buf));
-    if (n == 0) break;
-    request.append(reinterpret_cast<const char*>(buf), n);
-  }
-  const std::size_t eol = request.find("\r\n");
-  const std::string line =
-      eol == std::string::npos ? request : request.substr(0, eol);
-
-  std::string body;
-  const char* status = "200 OK";
-  if (line.rfind("GET /metrics", 0) == 0) {
-    body = metrics_json();
-  } else if (line.rfind("GET /healthz", 0) == 0) {
-    JsonWriter json;
-    json.begin_object();
-    json.key("status").value("ok");
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      json.key("uptime_seconds")
-          .value(started_ ? seconds_since(start_time_) : 0.0);
-      json.key("stopping").value(stopping_);
-    }
-    json.end_object();
-    body = json.str();
-  } else {
-    status = "404 Not Found";
-    body = "{\"error\":\"unknown path (try /metrics or /healthz)\"}";
-  }
-
-  const std::string response = "HTTP/1.0 " + std::string(status) +
-                               "\r\nContent-Type: application/json\r\n"
-                               "Content-Length: " +
-                               std::to_string(body.size()) +
-                               "\r\nConnection: close\r\n\r\n" + body;
-  sock.write_all(reinterpret_cast<const unsigned char*>(response.data()),
-                 response.size());
+std::string NetIngestServer::metrics_json() const {
+  return obs::metrics_json_text(
+      *registry_, [this](JsonWriter& json) { append_extra_json(json); });
 }
 
 void NetIngestSource::attach(StreamingEngine& engine) {

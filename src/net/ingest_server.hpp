@@ -35,9 +35,14 @@
 // that survives is exactly the prefix a file replay of those frames
 // would produce.
 //
-// The optional metrics endpoint serves GET /metrics and GET /healthz
-// (HTTP/1.0, JSON via util/json.hpp) from a separate listener:
-// events/sec, queue depths, per-connection state, checkpoint age.
+// Telemetry: the server publishes its counters and gauges into an
+// obs::MetricsRegistry — the one passed in NetServerOptions::metrics
+// (shared with the engine, so one scrape covers the whole process) or a
+// private one otherwise — and the optional metrics endpoint is an
+// obs::MetricsHttpServer over that registry: GET /metrics serves
+// Prometheus text (JSON via Accept: application/json or /metrics.json,
+// with per-connection detail appended), GET /healthz a small JSON
+// health document.
 #pragma once
 
 #include <chrono>
@@ -56,6 +61,13 @@
 #include <condition_variable>
 
 namespace repl {
+
+class JsonWriter;
+
+namespace obs {
+class MetricsRegistry;
+class MetricsHttpServer;
+}
 
 struct NetServerOptions {
   /// TCP listen address; port -1 disables TCP, 0 binds an ephemeral port
@@ -80,6 +92,11 @@ struct NetServerOptions {
   std::size_t min_connections = 1;
   /// When false the server never ends on idle — it runs until stop().
   bool stop_when_idle = true;
+  /// Publish net telemetry into this registry — pass the engine's
+  /// (EngineOptions::metrics) so one endpoint scrapes the whole process.
+  /// Null: the server owns a private registry, so the metrics endpoint
+  /// works standalone. Must outlive the server when set.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Accepts client event streams and merges them into time-ordered
@@ -118,31 +135,46 @@ class NetIngestServer {
   int tcp_port() const;
   int metrics_port() const;
 
-  /// The full metrics document (also what GET /metrics serves).
+  /// The JSON metrics document (what GET /metrics.json serves): the
+  /// registry's series plus per-connection detail.
   std::string metrics_json() const;
+
+  /// The registry this server publishes into (the one from options, or
+  /// the server-owned fallback). For scraping without the HTTP endpoint.
+  obs::MetricsRegistry& registry() const { return *registry_; }
 
   std::uint64_t events_admitted() const;
   std::size_t connections_total() const;
   std::size_t connections_failed() const;
+  /// Events sitting in connection queues, not yet admitted.
+  std::size_t events_queued() const;
 
  private:
   struct Connection;
+  struct Instruments;
 
   void accept_loop(Listener& listener, const char* kind);
   void connection_main(Connection& conn);
   void enqueue(Connection& conn, const std::vector<LogEvent>& events);
-  void metrics_loop();
-  void handle_metrics_request(Socket sock);
+  /// Appends the non-registry members of the JSON document (uptime,
+  /// admission state, per-connection detail). Locks mu_.
+  void append_extra_json(JsonWriter& json) const;
+  /// Refreshes the registry gauges that mirror state under mu_; runs as
+  /// a registry collect hook on the scraping thread.
+  void refresh_gauges() const;
   /// The watermark under mu_: +inf when no open connection constrains it.
   double watermark_locked() const;
   bool idle_end_locked() const;
 
   NetServerOptions options_;
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_ = nullptr;  // options' or owned_
+  std::unique_ptr<Instruments> inst_;
+  std::size_t hook_id_ = 0;
   std::unique_ptr<Listener> tcp_;
   std::unique_ptr<Listener> unix_;
-  std::unique_ptr<Listener> metrics_;
+  std::unique_ptr<obs::MetricsHttpServer> http_;
   std::vector<std::thread> accept_threads_;
-  std::thread metrics_thread_;
 
   mutable std::mutex mu_;
   std::condition_variable consumer_cv_;  // next_batch waits here

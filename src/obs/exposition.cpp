@@ -1,0 +1,157 @@
+#include "obs/exposition.hpp"
+
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace repl::obs {
+namespace {
+
+const char* type_text(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+/// Escaping for HELP docstrings: backslash and newline.
+std::string escape_help(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+/// Escaping for label values: backslash, double-quote, newline.
+std::string escape_label(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+/// `{k="v",...}` or empty; `extra` appends one more pair (used for `le`).
+std::string label_block(const Labels& labels, const std::string& extra_key = {},
+                        const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key.empty()) return {};
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) os << ',';
+    first = false;
+    os << k << "=\"" << escape_label(v) << '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) os << ',';
+    os << extra_key << "=\"" << escape_label(extra_value) << '"';
+  }
+  os << '}';
+  return os.str();
+}
+
+/// Series key used in the JSON document: name plus selector-style labels.
+std::string series_name(const Sample& s) {
+  return s.name + label_block(s.labels);
+}
+
+}  // namespace
+
+std::string prometheus_text(MetricsRegistry& registry) {
+  const std::vector<Sample> samples = registry.collect();
+  std::ostringstream os;
+  std::string last_family;
+  for (const Sample& s : samples) {
+    if (s.name != last_family) {
+      last_family = s.name;
+      if (!s.help.empty())
+        os << "# HELP " << s.name << ' ' << escape_help(s.help) << '\n';
+      os << "# TYPE " << s.name << ' ' << type_text(s.type) << '\n';
+    }
+    switch (s.type) {
+      case MetricType::kCounter:
+        os << s.name << label_block(s.labels) << ' ' << s.counter_value
+           << '\n';
+        break;
+      case MetricType::kGauge:
+        os << s.name << label_block(s.labels) << ' ' << format_double(s.value)
+           << '\n';
+        break;
+      case MetricType::kHistogram: {
+        for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+          os << s.name << "_bucket"
+             << label_block(s.labels, "le", format_double(s.bounds[i])) << ' '
+             << s.cumulative[i] << '\n';
+        }
+        os << s.name << "_bucket" << label_block(s.labels, "le", "+Inf") << ' '
+           << s.count << '\n';
+        os << s.name << "_sum" << label_block(s.labels) << ' '
+           << format_double(s.sum) << '\n';
+        os << s.name << "_count" << label_block(s.labels) << ' ' << s.count
+           << '\n';
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+const char* prometheus_content_type() {
+  return "text/plain; version=0.0.4; charset=utf-8";
+}
+
+std::string metrics_json_text(
+    MetricsRegistry& registry,
+    const std::function<void(JsonWriter&)>& extra) {
+  const std::vector<Sample> samples = registry.collect();
+  JsonWriter w;
+  w.begin_object();
+  w.key("metrics").begin_object();
+  for (const Sample& s : samples) {
+    w.key(series_name(s)).begin_object();
+    w.key("type").value(type_text(s.type));
+    switch (s.type) {
+      case MetricType::kCounter:
+        w.key("value").value(s.counter_value);
+        break;
+      case MetricType::kGauge:
+        w.key("value").value(s.value);
+        break;
+      case MetricType::kHistogram: {
+        w.key("count").value(s.count);
+        w.key("sum").value(s.sum);
+        w.key("buckets").begin_array();
+        for (std::size_t i = 0; i < s.bounds.size(); ++i) {
+          w.begin_object();
+          w.key("le").value(s.bounds[i]);
+          w.key("count").value(s.cumulative[i]);
+          w.end_object();
+        }
+        w.begin_object();
+        w.key("le").value("+Inf");
+        w.key("count").value(s.count);
+        w.end_object();
+        w.end_array();
+        break;
+      }
+    }
+    w.end_object();
+  }
+  w.end_object();
+  if (extra) extra(w);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace repl::obs

@@ -1,0 +1,34 @@
+// Renders a MetricsRegistry into wire formats: Prometheus text
+// exposition format 0.0.4 and a JSON document. Both render from the same
+// collect() snapshot, so the two formats always describe the same scrape.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+
+namespace repl::obs {
+
+/// Prometheus text exposition (content type
+/// "text/plain; version=0.0.4; charset=utf-8"): one `# HELP` / `# TYPE`
+/// pair per family, cumulative `_bucket{le=...}` / `_sum` / `_count`
+/// series for histograms, escaped help strings and label values,
+/// deterministic (name, labels) order.
+std::string prometheus_text(MetricsRegistry& registry);
+
+/// The MIME type `prometheus_text` should be served under.
+const char* prometheus_content_type();
+
+/// JSON exposition: `{"metrics": {"<series>": {"type", "value"| "count"/
+/// "sum"/"buckets"}, ...}, ...extra}`. Series keys carry their labels in
+/// Prometheus selector syntax (`repl_stage_seconds{stage="route"}`).
+/// `extra`, when set, appends additional top-level members after
+/// "metrics" (e.g. per-connection detail) into the still-open root
+/// object.
+std::string metrics_json_text(
+    MetricsRegistry& registry,
+    const std::function<void(JsonWriter&)>& extra = nullptr);
+
+}  // namespace repl::obs

@@ -1,0 +1,186 @@
+#include "obs/http_exporter.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "obs/exposition.hpp"
+#include "util/check.hpp"
+
+namespace repl::obs {
+namespace {
+
+/// Hard cap on a request head; scrape requests are a few hundred bytes.
+constexpr std::size_t kMaxRequestBytes = 16 * 1024;
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return {};
+  std::size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Internal Server Error";
+  }
+}
+
+}  // namespace
+
+std::string HttpRequest::header(const std::string& name) const {
+  const std::string lowered = to_lower(name);
+  for (const auto& [key, value] : headers) {
+    if (key == lowered) return value;
+  }
+  return {};
+}
+
+HttpRequest parse_http_request(const std::string& raw) {
+  HttpRequest req;
+  const std::size_t line_end = raw.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? raw : raw.substr(0, line_end);
+  // Request line: METHOD SP target [SP HTTP/x.y]. A missing version
+  // (ancient or hand-rolled clients) is tolerated; a missing target is
+  // not.
+  std::istringstream parts(line);
+  std::string target;
+  parts >> req.method >> target >> req.version;
+  if (req.method.empty() || target.empty() || target[0] != '/') return req;
+  const std::size_t qmark = target.find('?');
+  req.path = target.substr(0, qmark);
+  if (qmark != std::string::npos) req.query = target.substr(qmark + 1);
+  if (!req.version.empty() && req.version.rfind("HTTP/", 0) != 0) return req;
+  req.valid = true;
+
+  std::size_t pos = line_end == std::string::npos ? raw.size() : line_end + 2;
+  while (pos < raw.size()) {
+    const std::size_t next = raw.find("\r\n", pos);
+    const std::string header_line =
+        next == std::string::npos ? raw.substr(pos) : raw.substr(pos, next - pos);
+    if (header_line.empty()) break;
+    const std::size_t colon = header_line.find(':');
+    if (colon != std::string::npos) {
+      req.headers.emplace_back(to_lower(trim(header_line.substr(0, colon))),
+                               trim(header_line.substr(colon + 1)));
+    }
+    if (next == std::string::npos) break;
+    pos = next + 2;
+  }
+  return req;
+}
+
+std::string http_response(int status, const std::string& content_type,
+                          const std::string& body) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << status << ' ' << status_text(status) << "\r\n"
+     << "Content-Type: " << content_type << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << body;
+  return os.str();
+}
+
+MetricsHttpServer::MetricsHttpServer(MetricsRegistry& registry,
+                                     MetricsHttpOptions options)
+    : registry_(registry), options_(std::move(options)) {}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+void MetricsHttpServer::set_json_extra(std::function<void(JsonWriter&)> extra) {
+  REPL_CHECK_MSG(!started_, "set_json_extra after start");
+  json_extra_ = std::move(extra);
+}
+
+void MetricsHttpServer::set_health_extra(
+    std::function<void(JsonWriter&)> extra) {
+  REPL_CHECK_MSG(!started_, "set_health_extra after start");
+  health_extra_ = std::move(extra);
+}
+
+void MetricsHttpServer::start() {
+  REPL_CHECK_MSG(!started_, "MetricsHttpServer started twice");
+  listener_ = std::make_unique<Listener>(
+      Listener::tcp(options_.host, options_.port));
+  port_ = listener_->port();
+  started_ = true;
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+void MetricsHttpServer::stop() {
+  if (!started_) return;
+  listener_->shutdown();
+  if (thread_.joinable()) thread_.join();
+  listener_.reset();
+  started_ = false;
+}
+
+void MetricsHttpServer::serve_loop() {
+  while (true) {
+    Socket client = listener_->accept();
+    if (!client.valid()) return;
+    try {
+      handle_connection(std::move(client));
+    } catch (const std::exception&) {
+      // A broken scraper connection must never take the exporter down.
+    }
+  }
+}
+
+void MetricsHttpServer::handle_connection(Socket client) {
+  std::string raw;
+  unsigned char buf[1024];
+  while (raw.size() < kMaxRequestBytes &&
+         raw.find("\r\n\r\n") == std::string::npos) {
+    const std::size_t n = client.read_some(buf, sizeof(buf));
+    if (n == 0) break;  // client sent its head and half-closed
+    raw.append(reinterpret_cast<const char*>(buf), n);
+  }
+  const std::string response = respond(parse_http_request(raw));
+  client.write_all(reinterpret_cast<const unsigned char*>(response.data()),
+                   response.size());
+  client.shutdown_write();
+}
+
+std::string MetricsHttpServer::respond(const HttpRequest& request) {
+  if (!request.valid) {
+    return http_response(400, "text/plain; charset=utf-8", "bad request\n");
+  }
+  if (request.method != "GET") {
+    return http_response(405, "text/plain; charset=utf-8",
+                         "method not allowed\n");
+  }
+  const bool wants_json =
+      request.header("accept").find("application/json") != std::string::npos;
+  if (request.path == "/metrics" && !wants_json) {
+    return http_response(200, prometheus_content_type(),
+                         prometheus_text(registry_));
+  }
+  if (request.path == "/metrics" || request.path == "/metrics.json") {
+    return http_response(200, "application/json",
+                         metrics_json_text(registry_, json_extra_));
+  }
+  if (request.path == "/healthz") {
+    JsonWriter w;
+    w.begin_object();
+    w.key("status").value("ok");
+    if (health_extra_) health_extra_(w);
+    w.end_object();
+    return http_response(200, "application/json", w.str());
+  }
+  return http_response(404, "text/plain; charset=utf-8", "not found\n");
+}
+
+}  // namespace repl::obs

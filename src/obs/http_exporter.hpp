@@ -1,0 +1,94 @@
+// Minimal HTTP/1.x exporter for a MetricsRegistry.
+//
+// One accept thread, one short-lived handler per connection (requests are
+// tiny and scrapers are few — thread-per-request keeps it simple and
+// testable). Routes:
+//
+//   GET /metrics        Prometheus text by default; JSON when the client
+//                       sends `Accept: application/json`.
+//   GET /metrics.json   always JSON.
+//   GET /healthz        small JSON health document.
+//
+// Query strings are stripped before routing, HTTP/1.0 and version-less
+// request lines are accepted, and every response — including 400/404/405
+// — carries `Connection: close` and a correct `Content-Length`.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+
+namespace repl::obs {
+
+/// Decomposed HTTP request head. Exposed for unit tests.
+struct HttpRequest {
+  bool valid = false;      ///< request line parsed
+  std::string method;      ///< "GET"
+  std::string path;        ///< "/metrics" (query stripped)
+  std::string query;       ///< "x=1" (no leading '?')
+  std::string version;     ///< "HTTP/1.1"; empty for version-less lines
+  /// Lowercased header names paired with trimmed values.
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  /// First value of a (lowercased) header name, or "" when absent.
+  std::string header(const std::string& name) const;
+};
+
+/// Parses a raw request head (through the blank line; body ignored).
+HttpRequest parse_http_request(const std::string& raw);
+
+/// Serializes a full response with Content-Length and Connection: close.
+std::string http_response(int status, const std::string& content_type,
+                          const std::string& body);
+
+struct MetricsHttpOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 = kernel-assigned; read back via port().
+};
+
+class MetricsHttpServer {
+ public:
+  MetricsHttpServer(MetricsRegistry& registry, MetricsHttpOptions options);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Extra top-level members appended to the JSON exposition document
+  /// (e.g. per-connection detail). Set before start().
+  void set_json_extra(std::function<void(JsonWriter&)> extra);
+
+  /// Extra members appended to the /healthz document. Set before start().
+  void set_health_extra(std::function<void(JsonWriter&)> extra);
+
+  void start();
+  void stop();
+
+  int port() const { return port_; }
+
+  /// Pure request -> response routing, exposed for tests.
+  std::string respond(const HttpRequest& request);
+
+ private:
+  void serve_loop();
+  void handle_connection(Socket client);
+
+  MetricsRegistry& registry_;
+  MetricsHttpOptions options_;
+  std::function<void(JsonWriter&)> json_extra_;
+  std::function<void(JsonWriter&)> health_extra_;
+
+  std::unique_ptr<Listener> listener_;
+  std::thread thread_;
+  bool started_ = false;
+  int port_ = -1;
+};
+
+}  // namespace repl::obs

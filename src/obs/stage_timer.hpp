@@ -1,0 +1,52 @@
+// RAII span timer for pipeline stages.
+//
+// Measures wall time from construction to stop()/destruction and records
+// it into an optional seconds accumulator (EngineStats-style) and an
+// optional obs::Histogram — either may be null, in which case that sink is
+// skipped; with both null the timer never reads the clock, so an
+// uninstrumented hot path pays nothing but two pointer compares.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace repl::obs {
+
+class StageTimer {
+ public:
+  explicit StageTimer(double* accumulator, Histogram* histogram = nullptr)
+      : accumulator_(accumulator), histogram_(histogram) {
+    if (armed()) start_ = std::chrono::steady_clock::now();
+  }
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  ~StageTimer() { stop(); }
+
+  /// Records the span once and disarms; returns the elapsed seconds
+  /// (0 if disarmed or never armed).
+  double stop() {
+    if (!armed()) return 0.0;
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    const double seconds = elapsed.count();
+    if (accumulator_ != nullptr) *accumulator_ += seconds;
+    if (histogram_ != nullptr) histogram_->observe(seconds);
+    accumulator_ = nullptr;
+    histogram_ = nullptr;
+    return seconds;
+  }
+
+ private:
+  bool armed() const {
+    return accumulator_ != nullptr || histogram_ != nullptr;
+  }
+
+  double* accumulator_;
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace repl::obs

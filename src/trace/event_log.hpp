@@ -199,6 +199,17 @@ class EventLogReader {
   /// Events delivered so far.
   std::uint64_t events_read() const { return delivered_; }
 
+  /// Bytes of the log file consumed so far, header included: the file
+  /// position of the next unread record (raw) or unread frame
+  /// (compressed — a partially delivered block counts in full once its
+  /// frame and payload were read). Feeds decode-rate metrics.
+  std::uint64_t bytes_read() const {
+    if (header_.version == EventLogHeader::kVersionCompressed) {
+      return blocks_ ? blocks_->bytes_consumed() : EventLogHeader::kSize;
+    }
+    return EventLogHeader::kSize + delivered_ * EventLogHeader::kRecordSize;
+  }
+
   /// Reads the next event into `event`; returns false at a clean
   /// end-of-log.
   bool next(LogEvent& event);

@@ -1,0 +1,663 @@
+// Telemetry subsystem tests: metrics primitives (sharded counters,
+// gauges, fixed-bucket histograms), the registry's get-or-create and
+// type-conflict contracts, Prometheus/JSON exposition (including a
+// grammar validator for the text format), the HTTP exporter's request
+// parsing and content negotiation, a multi-threaded scrape-while-writing
+// hammer (run under TSan in CI), and the engine-level invariant that
+// telemetry-on serving produces bit-identical aggregates.
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/drwp.hpp"
+#include "engine/engine.hpp"
+#include "engine/event_source.hpp"
+#include "net/socket.hpp"
+#include "obs/exposition.hpp"
+#include "obs/http_exporter.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stage_timer.hpp"
+#include "predictor/last_gap.hpp"
+#include "util/histogram.hpp"
+
+namespace repl {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::HttpRequest;
+using obs::MetricsRegistry;
+using obs::Sample;
+
+// ---------------------------------------------------------------------
+// Primitives
+
+TEST(ObsMetricsTest, CounterSumsAcrossCellsAndIsMonotone) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(ObsMetricsTest, GaugeSetAndAdd) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(2.5);
+  EXPECT_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_EQ(g.value(), 1.5);
+  g.set(-1.0);
+  EXPECT_EQ(g.value(), -1.0);
+}
+
+TEST(ObsMetricsTest, HistogramBucketsAreCumulativeAndCountDerived) {
+  Histogram h({0.1, 1.0, 10.0});
+  h.observe(0.05);   // bucket le=0.1
+  h.observe(0.5);    // le=1
+  h.observe(0.5);    // le=1
+  h.observe(100.0);  // +Inf
+  const Histogram::Snapshot snap = h.snapshot();
+  ASSERT_EQ(snap.cumulative.size(), 4u);
+  EXPECT_EQ(snap.cumulative[0], 1u);
+  EXPECT_EQ(snap.cumulative[1], 3u);
+  EXPECT_EQ(snap.cumulative[2], 3u);
+  EXPECT_EQ(snap.cumulative[3], 4u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.05 + 0.5 + 0.5 + 100.0);
+}
+
+TEST(ObsMetricsTest, HistogramBoundInclusivityMatchesPrometheus) {
+  // `le` is an inclusive upper edge: an observation exactly on a bound
+  // lands in that bound's bucket.
+  Histogram h({1.0, 2.0});
+  h.observe(1.0);
+  h.observe(2.0);
+  const Histogram::Snapshot snap = h.snapshot();
+  EXPECT_EQ(snap.cumulative[0], 1u);
+  EXPECT_EQ(snap.cumulative[1], 2u);
+  EXPECT_EQ(snap.cumulative[2], 2u);
+}
+
+TEST(ObsMetricsTest, HistogramQuantileInterpolates) {
+  Histogram h({1.0, 2.0, 4.0});
+  for (int i = 0; i < 100; ++i) h.observe(1.5);  // all in (1, 2]
+  // Every observation sits in the (1,2] bucket: quantiles interpolate
+  // inside it.
+  EXPECT_GT(h.quantile(0.5), 1.0);
+  EXPECT_LE(h.quantile(0.5), 2.0);
+  EXPECT_LE(h.quantile(0.5), h.quantile(0.99));
+  EXPECT_EQ(Histogram({1.0}).quantile(0.5), 0.0);  // empty
+}
+
+TEST(ObsMetricsTest, HistogramRejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(ObsMetricsTest, HistogramQuantileFreeFunction) {
+  const std::vector<double> bounds{1.0, 2.0, 4.0};
+  // 10 below 1, 10 in (1,2], none above.
+  const std::vector<std::uint64_t> cumulative{10, 20, 20, 20};
+  EXPECT_LE(histogram_quantile(bounds, cumulative, 0.25), 1.0);
+  const double p75 = histogram_quantile(bounds, cumulative, 0.75);
+  EXPECT_GT(p75, 1.0);
+  EXPECT_LE(p75, 2.0);
+  EXPECT_THROW(histogram_quantile(bounds, {1, 2}, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(histogram_quantile(bounds, cumulative, 1.5),
+               std::invalid_argument);
+}
+
+TEST(ObsStageTimerTest, RecordsIntoAccumulatorAndHistogram) {
+  double acc = 0.0;
+  Histogram h(Histogram::default_latency_bounds());
+  {
+    obs::StageTimer t(&acc, &h);
+  }
+  EXPECT_GT(acc, 0.0);
+  EXPECT_EQ(h.snapshot().count, 1u);
+
+  // stop() records once; the destructor must not double-record.
+  double acc2 = 0.0;
+  obs::StageTimer t2(&acc2);
+  const double s = t2.stop();
+  EXPECT_EQ(acc2, s);
+  EXPECT_EQ(t2.stop(), 0.0);
+  EXPECT_EQ(acc2, s);
+
+  // Fully disarmed: never touches the clock, records nothing.
+  obs::StageTimer disarmed(nullptr, nullptr);
+  EXPECT_EQ(disarmed.stop(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Registry
+
+TEST(ObsRegistryTest, GetOrCreateReturnsSameInstrument) {
+  MetricsRegistry r;
+  Counter& a = r.counter("x_total", "help");
+  Counter& b = r.counter("x_total", "help");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+
+  // Distinct label sets are distinct series; label order is normalized.
+  Counter& l1 = r.counter("y_total", "", {{"a", "1"}, {"b", "2"}});
+  Counter& l2 = r.counter("y_total", "", {{"b", "2"}, {"a", "1"}});
+  Counter& l3 = r.counter("y_total", "", {{"a", "1"}, {"b", "3"}});
+  EXPECT_EQ(&l1, &l2);
+  EXPECT_NE(&l1, &l3);
+}
+
+TEST(ObsRegistryTest, TypeConflictAndBadNamesThrow) {
+  MetricsRegistry r;
+  r.counter("x_total", "");
+  EXPECT_THROW(r.gauge("x_total", ""), std::invalid_argument);
+  EXPECT_THROW(r.histogram("x_total", "", {1.0}), std::invalid_argument);
+  EXPECT_THROW(r.counter("0bad", ""), std::invalid_argument);
+  EXPECT_THROW(r.counter("has space", ""), std::invalid_argument);
+  EXPECT_THROW(r.counter("x2_total", "", {{"0bad", "v"}}),
+               std::invalid_argument);
+  r.histogram("h", "", {1.0, 2.0});
+  EXPECT_THROW(r.histogram("h", "", {1.0, 3.0}), std::invalid_argument);
+}
+
+TEST(ObsRegistryTest, CollectIsSortedAndHooksRun) {
+  MetricsRegistry r;
+  r.counter("b_total", "").inc();
+  r.counter("a_total", "").inc(2);
+  int hook_runs = 0;
+  const std::size_t id = r.add_collect_hook([&] {
+    ++hook_runs;
+    r.gauge("hooked", "registered lazily by a hook").set(1.0);
+  });
+  const std::vector<Sample> samples = r.collect();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].name, "a_total");
+  EXPECT_EQ(samples[1].name, "b_total");
+  EXPECT_EQ(samples[2].name, "hooked");
+  EXPECT_EQ(hook_runs, 1);
+  r.remove_collect_hook(id);
+  r.collect();
+  EXPECT_EQ(hook_runs, 1);
+}
+
+// ---------------------------------------------------------------------
+// Prometheus text grammar
+
+/// Validates exposition text against the 0.0.4 grammar the way a
+/// Prometheus scraper would: well-formed comment and sample lines, legal
+/// metric/label names, parseable values, TYPE-before-samples per family,
+/// and cumulative histogram buckets with `_count` equal to the +Inf
+/// bucket. Returns "" when valid, else a diagnostic.
+std::string validate_prometheus(const std::string& text) {
+  const auto valid_name = [](const std::string& name, bool label) {
+    if (name.empty()) return false;
+    for (std::size_t i = 0; i < name.size(); ++i) {
+      const char c = name[i];
+      const bool alpha = std::isalpha(static_cast<unsigned char>(c)) != 0 ||
+                         c == '_' || (!label && c == ':');
+      if (!(alpha || (i > 0 && std::isdigit(static_cast<unsigned char>(c)))))
+        return false;
+    }
+    return true;
+  };
+  if (text.empty() || text.back() != '\n') return "must end with newline";
+
+  std::map<std::string, std::string> typed;  // family -> type
+  // Histogram bookkeeping: family -> (last cumulative count, inf count,
+  // declared _count value).
+  struct HistState {
+    std::uint64_t last_bucket = 0;
+    bool saw_inf = false;
+    std::uint64_t inf_count = 0;
+  };
+  std::map<std::string, HistState> hists;
+
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) return "blank line";
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash, kind, family;
+      ls >> hash >> kind >> family;
+      if (kind != "HELP" && kind != "TYPE") return "bad comment: " + line;
+      if (!valid_name(family, false)) return "bad family name: " + line;
+      if (kind == "TYPE") {
+        std::string type;
+        ls >> type;
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return "bad type: " + line;
+        }
+        if (typed.count(family) != 0) return "duplicate TYPE: " + line;
+        typed[family] = type;
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value
+    std::size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos) return "no value: " + line;
+    const std::string name = line.substr(0, name_end);
+    if (!valid_name(name, false)) return "bad metric name: " + line;
+    std::string le;          // the le label, when present
+    std::string series_key;  // non-le labels: one series per key
+    std::size_t pos = name_end;
+    if (line[pos] == '{') {
+      const std::size_t close = line.find('}', pos);
+      if (close == std::string::npos) return "unterminated labels: " + line;
+      std::string labels = line.substr(pos + 1, close - pos - 1);
+      while (!labels.empty()) {
+        const std::size_t eq = labels.find('=');
+        if (eq == std::string::npos) return "bad label pair: " + line;
+        const std::string lname = labels.substr(0, eq);
+        if (!valid_name(lname, true)) return "bad label name: " + line;
+        if (eq + 1 >= labels.size() || labels[eq + 1] != '"')
+          return "unquoted label value: " + line;
+        std::size_t end = eq + 2;
+        std::string lvalue;
+        while (end < labels.size() && labels[end] != '"') {
+          if (labels[end] == '\\') ++end;  // escaped char
+          if (end < labels.size()) lvalue.push_back(labels[end]);
+          ++end;
+        }
+        if (end >= labels.size()) return "unterminated value: " + line;
+        if (lname == "le") {
+          le = lvalue;
+        } else {
+          series_key += lname + "=" + lvalue + ",";
+        }
+        labels.erase(0, end + 1);
+        if (!labels.empty()) {
+          if (labels[0] != ',') return "bad label separator: " + line;
+          labels.erase(0, 1);
+        }
+      }
+      pos = close + 1;
+    }
+    if (pos >= line.size() || line[pos] != ' ') return "no value: " + line;
+    const std::string value = line.substr(pos + 1);
+    char* end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') return "bad value: " + line;
+
+    // The family of a histogram series drops the _bucket/_sum/_count
+    // suffix; its TYPE must have been declared before any sample.
+    std::string family = name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s(suffix);
+      if (family.size() > s.size() &&
+          family.compare(family.size() - s.size(), s.size(), s) == 0 &&
+          typed.count(family.substr(0, family.size() - s.size())) != 0) {
+        family = family.substr(0, family.size() - s.size());
+        break;
+      }
+    }
+    if (typed.count(family) == 0) return "sample before TYPE: " + line;
+    if (typed[family] == "histogram") {
+      // One bucket ladder per series: the family may carry many label
+      // sets (repl_stage_seconds{stage=...}), each cumulative on its own.
+      HistState& h = hists[family + "{" + series_key + "}"];
+      if (name == family + "_bucket") {
+        if (le.empty()) return "bucket without le: " + line;
+        const auto count = static_cast<std::uint64_t>(v);
+        if (count < h.last_bucket) return "non-cumulative bucket: " + line;
+        h.last_bucket = count;
+        if (le == "+Inf") {
+          h.saw_inf = true;
+          h.inf_count = count;
+        }
+      } else if (name == family + "_count") {
+        if (!h.saw_inf || static_cast<std::uint64_t>(v) != h.inf_count) {
+          return "_count != +Inf bucket: " + line;
+        }
+      }
+    }
+  }
+  return "";
+}
+
+TEST(ObsPrometheusTest, ExpositionPassesGrammarValidator) {
+  MetricsRegistry r;
+  r.counter("repl_events_total", "Events ingested").inc(12345);
+  r.gauge("repl_queue_depth", "Queued events").set(7.5);
+  Histogram& h = r.histogram("repl_batch_seconds", "Batch latency",
+                             Histogram::default_latency_bounds());
+  h.observe(0.001);
+  h.observe(0.5);
+  r.counter("repl_stage_total", "Labelled \"counter\"\nwith escapes",
+            {{"stage", "route\\x"}})
+      .inc();
+  const std::string text = obs::prometheus_text(r);
+  EXPECT_EQ(validate_prometheus(text), "") << text;
+  EXPECT_NE(text.find("# TYPE repl_batch_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("repl_batch_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("repl_events_total 12345"), std::string::npos);
+  EXPECT_NE(text.find("{stage=\"route\\\\x\"}"), std::string::npos);
+}
+
+TEST(ObsPrometheusTest, ValidatorCatchesMalformedText) {
+  EXPECT_NE(validate_prometheus("x_total 1\n"), "");  // sample before TYPE
+  EXPECT_NE(validate_prometheus("# TYPE x_total counter\nx_total one\n"),
+            "");
+  EXPECT_NE(validate_prometheus("# TYPE 0bad counter\n"), "");
+  EXPECT_NE(validate_prometheus("# TYPE x_total counter\nx_total 1"),
+            "");  // no trailing newline
+  EXPECT_EQ(validate_prometheus("# TYPE x_total counter\nx_total 1\n"), "");
+}
+
+TEST(ObsJsonTest, JsonExpositionCarriesSeriesAndExtra) {
+  MetricsRegistry r;
+  r.counter("c_total", "").inc(5);
+  r.histogram("h_seconds", "", {1.0}).observe(0.5);
+  const std::string text = obs::metrics_json_text(r, [](JsonWriter& w) {
+    w.key("extra").value("yes");
+  });
+  EXPECT_NE(text.find("\"c_total\":{\"type\":\"counter\",\"value\":5"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"h_seconds\":{\"type\":\"histogram\",\"count\":1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"extra\":\"yes\""), std::string::npos) << text;
+}
+
+// ---------------------------------------------------------------------
+// HTTP request parsing + content negotiation
+
+TEST(ObsHttpParseTest, ParsesVariants) {
+  HttpRequest r = obs::parse_http_request(
+      "GET /metrics?x=1&y=2 HTTP/1.0\r\nAccept: application/json\r\n"
+      "X-Custom:  padded  \r\n\r\n");
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(r.method, "GET");
+  EXPECT_EQ(r.path, "/metrics");
+  EXPECT_EQ(r.query, "x=1&y=2");
+  EXPECT_EQ(r.version, "HTTP/1.0");
+  EXPECT_EQ(r.header("accept"), "application/json");
+  EXPECT_EQ(r.header("x-custom"), "padded");
+  EXPECT_EQ(r.header("missing"), "");
+
+  // Version-less request line (HTTP/0.9 style) still routes.
+  EXPECT_TRUE(obs::parse_http_request("GET /metrics\r\n\r\n").valid);
+  // Bare LF instead of CRLF.
+  EXPECT_TRUE(obs::parse_http_request("GET /metrics HTTP/1.1\n\n").valid);
+
+  EXPECT_FALSE(obs::parse_http_request("").valid);
+  EXPECT_FALSE(obs::parse_http_request("\r\n").valid);
+  EXPECT_FALSE(obs::parse_http_request("GET\r\n").valid);
+  EXPECT_FALSE(obs::parse_http_request("GET metrics HTTP/1.1\r\n").valid);
+  EXPECT_FALSE(obs::parse_http_request("GET /x FTP/9\r\n").valid);
+}
+
+TEST(ObsHttpTest, ContentNegotiationAndStatusBranches) {
+  MetricsRegistry r;
+  r.counter("neg_total", "").inc(9);
+  obs::MetricsHttpServer server(r, {});
+
+  const auto request = [](const std::string& raw) {
+    return obs::parse_http_request(raw);
+  };
+  // Default: Prometheus text.
+  std::string resp = server.respond(request("GET /metrics HTTP/1.1\r\n\r\n"));
+  EXPECT_NE(resp.find("200 OK"), std::string::npos);
+  EXPECT_NE(resp.find(obs::prometheus_content_type()), std::string::npos);
+  EXPECT_NE(resp.find("neg_total 9"), std::string::npos);
+
+  // Accept: application/json and /metrics.json negotiate JSON.
+  for (const char* raw :
+       {"GET /metrics HTTP/1.1\r\nAccept: application/json\r\n\r\n",
+        "GET /metrics.json HTTP/1.1\r\n\r\n",
+        "GET /metrics.json?pretty=1 HTTP/1.0\r\n\r\n"}) {
+    resp = server.respond(request(raw));
+    EXPECT_NE(resp.find("application/json"), std::string::npos) << raw;
+    EXPECT_NE(resp.find("\"neg_total\""), std::string::npos) << raw;
+  }
+
+  // A query string on /metrics must not break the default route.
+  resp = server.respond(request("GET /metrics?x=1 HTTP/1.0\r\n\r\n"));
+  EXPECT_NE(resp.find("neg_total 9"), std::string::npos);
+
+  resp = server.respond(request("GET /healthz HTTP/1.1\r\n\r\n"));
+  EXPECT_NE(resp.find("\"status\":\"ok\""), std::string::npos);
+
+  // Every branch closes the connection and sizes the body.
+  for (const char* raw :
+       {"GET /metrics HTTP/1.1\r\n\r\n", "GET /nope HTTP/1.1\r\n\r\n",
+        "POST /metrics HTTP/1.1\r\n\r\n", "garbage\r\n\r\n"}) {
+    resp = server.respond(request(raw));
+    EXPECT_NE(resp.find("Connection: close"), std::string::npos) << raw;
+    const std::size_t cl = resp.find("Content-Length: ");
+    ASSERT_NE(cl, std::string::npos) << raw;
+    const std::size_t body = resp.find("\r\n\r\n");
+    ASSERT_NE(body, std::string::npos) << raw;
+    EXPECT_EQ(static_cast<std::size_t>(
+                  std::stoul(resp.substr(cl + 16))),
+              resp.size() - body - 4)
+        << raw;
+  }
+  EXPECT_NE(server.respond(request("POST /metrics HTTP/1.1\r\n\r\n"))
+                .find("405"),
+            std::string::npos);
+  EXPECT_NE(server.respond(request("GET /nope HTTP/1.1\r\n\r\n")).find("404"),
+            std::string::npos);
+  EXPECT_NE(server.respond(request("garbage\r\n\r\n")).find("400"),
+            std::string::npos);
+}
+
+TEST(ObsHttpTest, ServesOverRealSockets) {
+  MetricsRegistry r;
+  r.counter("sock_total", "").inc(3);
+  obs::MetricsHttpServer server(r, {});
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  Socket sock = connect_tcp("127.0.0.1", server.port());
+  const std::string request = "GET /metrics HTTP/1.1\r\n\r\n";
+  sock.write_all(reinterpret_cast<const unsigned char*>(request.data()),
+                 request.size());
+  std::string response;
+  unsigned char buf[512];
+  for (;;) {
+    const std::size_t n = sock.read_some(buf, sizeof(buf));
+    if (n == 0) break;
+    response.append(reinterpret_cast<const char*>(buf), n);
+  }
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("sock_total 3"), std::string::npos);
+  server.stop();
+}
+
+// ---------------------------------------------------------------------
+// Concurrency: writers hammer while a scraper reads (TSan coverage)
+
+TEST(ObsConcurrencyTest, ScrapesStayMonotoneUnderConcurrentWriters) {
+  MetricsRegistry r;
+  Counter& counter = r.counter("hammer_total", "");
+  Histogram& hist = r.histogram("hammer_seconds", "", {0.25, 0.5, 0.75});
+  Gauge& gauge = r.gauge("hammer_gauge", "");
+
+  constexpr int kWriters = 8;
+  constexpr std::uint64_t kPerWriter = 20000;
+  std::atomic<int> done{0};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        counter.inc();
+        hist.observe(static_cast<double>((i + static_cast<std::uint64_t>(w)) %
+                                         10) /
+                     10.0);
+        gauge.set(static_cast<double>(i));
+      }
+      done.fetch_add(1);
+    });
+  }
+
+  // Scrape continuously until every writer finished: counters must be
+  // monotone scrape-over-scrape, and a histogram's count must equal its
+  // +Inf bucket in every snapshot — no torn totals, ever.
+  std::uint64_t last_count = 0;
+  std::uint64_t last_hist = 0;
+  while (done.load() < kWriters) {
+    const std::uint64_t now = counter.value();
+    EXPECT_GE(now, last_count);
+    last_count = now;
+    const Histogram::Snapshot snap = hist.snapshot();
+    EXPECT_EQ(snap.count, snap.cumulative.back());
+    for (std::size_t i = 1; i < snap.cumulative.size(); ++i) {
+      EXPECT_GE(snap.cumulative[i], snap.cumulative[i - 1]);
+    }
+    EXPECT_GE(snap.count, last_hist);
+    last_hist = snap.count;
+    obs::prometheus_text(r);  // full exposition under fire
+  }
+  for (std::thread& t : writers) t.join();
+
+  EXPECT_EQ(counter.value(), kWriters * kPerWriter);
+  const Histogram::Snapshot final_snap = hist.snapshot();
+  EXPECT_EQ(final_snap.count, kWriters * kPerWriter);
+}
+
+// ---------------------------------------------------------------------
+// Engine parity: telemetry on == telemetry off, bit for bit
+
+EnginePolicyFactory obs_policy_factory() {
+  return [](const EngineObjectContext&) -> PolicyPtr {
+    return std::make_unique<DrwpPolicy>(0.3);
+  };
+}
+
+EnginePredictorFactory obs_predictor_factory(int servers) {
+  return [servers](const EngineObjectContext&) -> PredictorPtr {
+    return std::make_unique<LastGapPredictor>(servers);
+  };
+}
+
+constexpr int kObsServers = 5;
+
+std::vector<LogEvent> obs_events(std::size_t count) {
+  std::vector<LogEvent> events;
+  events.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    events.push_back(
+        LogEvent{0.5 * static_cast<double>(i + 1), (i * 131) % 97,
+                 static_cast<std::uint32_t>((i * 17) % kObsServers)});
+  }
+  return events;
+}
+
+/// In-memory EventSource: serves pre-chunked batches of a fixed stream
+/// (binds the same synthetic identity the net source uses).
+class VectorSource final : public EventSource {
+ public:
+  VectorSource(std::vector<LogEvent> events, std::size_t batch)
+      : events_(std::move(events)), batch_(batch) {}
+
+  void attach(StreamingEngine& engine) override {
+    EventLogHeader header;
+    header.version = EventLogHeader::kVersionCompressed;
+    header.num_servers = kObsServers;
+    header.num_events = EventLogHeader::kUnknownCount;
+    engine.bind_log(header);
+  }
+
+  bool next_batch(std::vector<LogEvent>& out) override {
+    out.clear();
+    if (at_ >= events_.size()) return false;
+    const std::size_t n = std::min(batch_, events_.size() - at_);
+    out.assign(events_.begin() + static_cast<std::ptrdiff_t>(at_),
+               events_.begin() + static_cast<std::ptrdiff_t>(at_ + n));
+    at_ += n;
+    return true;
+  }
+
+ private:
+  std::vector<LogEvent> events_;
+  std::size_t batch_;
+  std::size_t at_ = 0;
+};
+
+EngineMetrics obs_serve(MetricsRegistry* registry, ServeOptions serve_options,
+                        std::size_t count) {
+  SystemConfig config;
+  config.num_servers = kObsServers;
+  config.transfer_cost = 10.0;
+  EngineOptions options;
+  options.metrics = registry;
+  StreamingEngine engine(config, options, obs_policy_factory(),
+                         obs_predictor_factory(kObsServers));
+  VectorSource source(obs_events(count), 256);
+  return engine.serve(source, serve_options);
+}
+
+TEST(ObsEngineParityTest, TelemetryOnAggregatesAreBitIdentical) {
+  const EngineMetrics off = obs_serve(nullptr, ServeOptions{}, 5000);
+  MetricsRegistry registry;
+  const EngineMetrics on = obs_serve(&registry, ServeOptions{}, 5000);
+
+  EXPECT_EQ(off.objects, on.objects);
+  EXPECT_EQ(off.events, on.events);
+  EXPECT_EQ(off.num_local, on.num_local);
+  EXPECT_EQ(off.num_transfers, on.num_transfers);
+  EXPECT_EQ(off.online_cost, on.online_cost);
+  EXPECT_EQ(off.lower_bound, on.lower_bound);
+
+  // The registry actually observed the serve.
+  bool saw_ingested = false;
+  bool saw_stage = false;
+  for (const Sample& s : registry.collect()) {
+    if (s.name == "repl_events_ingested_total") {
+      saw_ingested = true;
+      EXPECT_EQ(s.counter_value, 5000u);
+    }
+    // Stages that ran (route/execute/reduce) have observations; the
+    // checkpoint stages legitimately stay empty in this serve.
+    if (s.name == "repl_stage_seconds" && s.count > 0) saw_stage = true;
+  }
+  EXPECT_TRUE(saw_ingested);
+  EXPECT_TRUE(saw_stage);
+  EXPECT_EQ(validate_prometheus(obs::prometheus_text(registry)), "");
+}
+
+TEST(ObsEngineParityTest, StatsReporterEmitsLines) {
+  std::vector<std::string> lines;
+  ServeOptions serve_options;
+  serve_options.stats_every = 1e-9;  // every batch
+  serve_options.stats_sink = [&lines](const std::string& line) {
+    lines.push_back(line);
+  };
+  serve_options.stats_extra = [] { return std::string("extra=1"); };
+  const EngineMetrics metrics = obs_serve(nullptr, serve_options, 5000);
+  EXPECT_EQ(metrics.events, 5000u);
+  ASSERT_FALSE(lines.empty());
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.rfind("[serve]", 0), 0u) << line;
+    EXPECT_NE(line.find("events="), std::string::npos) << line;
+    EXPECT_NE(line.find("p50_batch="), std::string::npos) << line;
+    EXPECT_NE(line.find("p99_batch="), std::string::npos) << line;
+    EXPECT_NE(line.find("extra=1"), std::string::npos) << line;
+  }
+  // The final line reports the full drain.
+  EXPECT_NE(lines.back().find("events=5000"), std::string::npos)
+      << lines.back();
+}
+
+}  // namespace
+}  // namespace repl
