@@ -1,0 +1,503 @@
+// fixture_tool — the capture-to-regression-test workbench.
+//
+// Subcommands:
+//   capture   serve an event log through a spec-built engine and record
+//             the session as a parity fixture (spec, slice, checkpoint
+//             cuts, bit-exact aggregates)
+//   replay    re-run a fixture and diff the outcome against what it
+//             recorded; exit status is the verdict
+//   show      print a fixture's metadata without running anything
+//   fuzz      run the structured format fuzzer against one decoder,
+//             optionally saving every escape as a replayable fixture
+//   minimize  shrink a failing fixture while preserving its failure
+//             signature, then write the minimized fixture
+//   resign    re-record a failure fixture's signature from the current
+//             decoder (the post-bugfix step that turns a fuzz escape
+//             into a permanent regression test)
+//   gen-corpus  regenerate the checked-in regression corpus: build each
+//             known decoder-rejection artifact deterministically, sign
+//             it against the current decoders, minimize, and write
+//             fixtures/ + MANIFEST
+//
+// The loop this closes: `fuzz --save` turns a decoder escape into a
+// fixture, the decoder gets fixed, `resign` pins the new diagnostic,
+// `minimize` shrinks the input, and the result is checked into
+// fixtures/ where ctest replays it forever.
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/experiment.hpp"
+#include "net/wire.hpp"
+#include "replay/fixture.hpp"
+#include "replay/fixture_run.hpp"
+#include "replay/fuzz.hpp"
+#include "replay/minimize.hpp"
+#include "replay/structure.hpp"
+#include "trace/event_log.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace repl;
+
+int cmd_capture(int argc, const char* const* argv) {
+  CliParser cli("fixture_tool capture",
+                "Serve an event log and record the session as a fixture.");
+  cli.add_flag("log", "", "event log to serve (required)");
+  cli.add_flag("out", "", "fixture file to write (required)");
+  cli.add_flag("policy", "drwp(alpha=0.3)", "policy spec");
+  cli.add_flag("predictor", "last_gap", "predictor spec");
+  cli.add_flag("lambda", "1", "transfer cost");
+  cli.add_flag("shards", "0", "engine shards (0 = default)");
+  cli.add_flag("threads", "1", "engine threads");
+  cli.add_flag("batch", "16384", "events per ingest batch");
+  cli.add_flag("seed", "0", "base seed for per-object RNG streams");
+  cli.add_flag("checkpoint-every", "0",
+               "record a checkpoint cut every N events (0 = none)");
+  cli.add_flag("slice-format", "compressed",
+               "embedded slice encoding: raw or compressed");
+  cli.add_bool_flag("no-lower-bound", "skip the OPTL lower bound");
+  if (!cli.parse(argc, argv)) return EXIT_SUCCESS;
+  const std::string log_path = cli.get_string("log");
+  const std::string out = cli.get_string("out");
+  if (log_path.empty() || out.empty()) {
+    std::cerr << "error: --log and --out are required\n";
+    return EXIT_FAILURE;
+  }
+
+  EventLogReader reader(log_path);
+  SystemConfig config;
+  config.num_servers = reader.num_servers();
+  config.transfer_cost = cli.get_double("lambda");
+
+  EngineOptions options;
+  if (cli.get_size_t("shards") > 0) {
+    options.num_shards = cli.get_size_t("shards", 1, 1 << 16);
+  }
+  options.num_threads = static_cast<int>(cli.get_size_t("threads", 0, 4096));
+  options.base_seed = cli.get_uint64("seed");
+  options.compute_lower_bound = !cli.get_bool("no-lower-bound");
+
+  EngineBuilder builder;
+  builder.config(config)
+      .options(options)
+      .policy(cli.get_string("policy"))
+      .predictor(cli.get_string("predictor"));
+  auto engine = builder.build();
+
+  ServeOptions serve;
+  serve.batch_events = cli.get_size_t("batch", 1, std::size_t{1} << 24);
+  serve.checkpoint_every = cli.get_uint64("checkpoint-every");
+  if (serve.checkpoint_every > 0) serve.checkpoint_path = out + ".ckpt";
+  CaptureOptions capture;
+  capture.path = out;
+  capture.log_format = parse_event_log_format(cli.get_string("slice-format"));
+  capture.source_name = log_path;
+  serve.capture = capture;
+
+  const EngineMetrics metrics = engine->serve(reader, serve);
+  const Fixture fixture = read_fixture(out);
+  std::cout << "captured " << fixture.slice_events << " events ("
+            << fixture.blob.size() << " slice bytes, " << fixture.cuts.size()
+            << " cuts) -> " << out << "\n"
+            << "aggregates: cost=" << metrics.online_cost
+            << " lb=" << metrics.lower_bound
+            << " transfers=" << metrics.num_transfers << "\n";
+  return EXIT_SUCCESS;
+}
+
+FixtureRunOptions run_options_from(const CliParser& cli) {
+  FixtureRunOptions run;
+  run.num_shards = cli.get_size_t("shards", 0, 1 << 16);
+  run.num_threads = static_cast<int>(cli.get_size_t("threads", 0, 4096));
+  run.verify_cuts = cli.get_bool("verify-cuts");
+  return run;
+}
+
+int cmd_replay(int argc, const char* const* argv) {
+  CliParser cli("fixture_tool replay",
+                "Replay a fixture and diff the outcome.");
+  cli.add_flag("fixture", "", "fixture file (required)");
+  cli.add_flag("shards", "0", "engine shards (0 = fixture default)");
+  cli.add_flag("threads", "1", "engine threads");
+  cli.add_bool_flag("verify-cuts",
+                    "also restart from every recorded checkpoint cut");
+  if (!cli.parse(argc, argv)) return EXIT_SUCCESS;
+  const std::string path = cli.get_string("fixture");
+  if (path.empty()) {
+    std::cerr << "error: --fixture is required\n";
+    return EXIT_FAILURE;
+  }
+  const FixtureRunResult result = fixture_run(path, run_options_from(cli));
+  if (result.pass) {
+    std::cout << "PASS " << path << "\n";
+    return EXIT_SUCCESS;
+  }
+  std::cout << "FAIL " << path << "\n  " << result.detail << "\n";
+  if (!result.signature.empty()) {
+    std::cout << "  observed signature: " << result.signature << "\n";
+  }
+  return EXIT_FAILURE;
+}
+
+int cmd_show(int argc, const char* const* argv) {
+  CliParser cli("fixture_tool show", "Print a fixture's metadata.");
+  cli.add_flag("fixture", "", "fixture file (required)");
+  if (!cli.parse(argc, argv)) return EXIT_SUCCESS;
+  const std::string path = cli.get_string("fixture");
+  if (path.empty()) {
+    std::cerr << "error: --fixture is required\n";
+    return EXIT_FAILURE;
+  }
+  const Fixture f = read_fixture(path);
+  std::cout << "target:    " << fixture_target_name(f.target) << "\n"
+            << "expect:    "
+            << (f.expect == FixtureExpect::kParity ? "parity" : "failure")
+            << "\n"
+            << "source:    " << f.source_name << "\n"
+            << "specs:     policy=" << f.policy_spec
+            << " predictor=" << f.predictor_spec << "\n"
+            << "system:    servers=" << f.num_servers
+            << " lambda=" << f.transfer_cost << " seed=" << f.base_seed
+            << "\n"
+            << "slice:     " << f.slice_events << " events, "
+            << f.blob.size() << " bytes, byte range [" << f.slice_begin_byte
+            << ", " << f.slice_end_byte << ")\n"
+            << "cuts:      " << f.cuts.size() << "\n";
+  if (f.expect == FixtureExpect::kParity) {
+    std::cout << "recorded:  cost=" << f.aggregates.online_cost
+              << " lb=" << f.aggregates.lower_bound
+              << " events=" << f.aggregates.events
+              << " transfers=" << f.aggregates.num_transfers << "\n";
+  } else {
+    std::cout << "signature: "
+              << (f.signature.empty() ? "(unset — escape-class fixture)"
+                                      : f.signature)
+              << "\n";
+  }
+  return EXIT_SUCCESS;
+}
+
+int cmd_fuzz(int argc, const char* const* argv) {
+  CliParser cli("fixture_tool fuzz",
+                "Structured fuzzing of one decoder format.");
+  cli.add_flag("target", "log", "decoder to fuzz: log, snapshot, or wire");
+  cli.add_flag("seed", "1", "fuzz seed");
+  cli.add_flag("cases", "256", "mutated inputs to try");
+  cli.add_flag("save", "", "directory for escape fixtures (optional)");
+  cli.add_flag("max-failures", "16", "stop after this many escapes (0=all)");
+  cli.add_bool_flag("trace", "print the per-case mutation trace");
+  if (!cli.parse(argc, argv)) return EXIT_SUCCESS;
+  FuzzOptions options;
+  options.seed = cli.get_uint64("seed");
+  options.cases = cli.get_size_t("cases", 1, std::size_t{1} << 24);
+  options.save_dir = cli.get_string("save");
+  options.max_failures = cli.get_size_t("max-failures");
+  const FuzzTarget target = parse_fuzz_target(cli.get_string("target"));
+
+  const FuzzReport report = fuzz_format(target, options);
+  if (cli.get_bool("trace")) std::cout << report.trace;
+  std::cout << fuzz_target_name(target) << ": " << report.cases << " cases, "
+            << report.rejected << " rejected, " << report.accepted
+            << " accepted, " << report.failures.size() << " escapes\n";
+  for (const FuzzFailure& failure : report.failures) {
+    std::cout << "  ESCAPE case " << failure.case_index << " ["
+              << failure.mutation << "]\n    " << failure.detail << "\n";
+    if (!failure.fixture_path.empty()) {
+      std::cout << "    saved: " << failure.fixture_path << "\n";
+    }
+  }
+  return report.ok() ? EXIT_SUCCESS : EXIT_FAILURE;
+}
+
+int cmd_minimize(int argc, const char* const* argv) {
+  CliParser cli("fixture_tool minimize",
+                "Shrink a failing fixture, preserving its signature.");
+  cli.add_flag("fixture", "", "failing fixture to shrink (required)");
+  cli.add_flag("out", "", "where to write the minimized fixture (required)");
+  cli.add_flag("rounds", "8", "max fixed-point rounds");
+  cli.add_flag("shards", "0", "engine shards for probe replays");
+  cli.add_flag("threads", "1", "engine threads for probe replays");
+  cli.add_bool_flag("verify-cuts", "probe with cut verification too");
+  if (!cli.parse(argc, argv)) return EXIT_SUCCESS;
+  const std::string path = cli.get_string("fixture");
+  const std::string out = cli.get_string("out");
+  if (path.empty() || out.empty()) {
+    std::cerr << "error: --fixture and --out are required\n";
+    return EXIT_FAILURE;
+  }
+  MinimizeOptions options;
+  options.max_rounds = cli.get_size_t("rounds", 1, 64);
+  options.run = run_options_from(cli);
+  const MinimizeResult result = minimize_fixture(read_fixture(path), options);
+  write_fixture(out, result.fixture);
+  std::cout << "minimized " << path << ": " << result.original_bytes
+            << " -> " << result.minimized_bytes << " bytes ("
+            << result.fixture.slice_events << " events, " << result.probes
+            << " probe replays) -> " << out << "\n"
+            << "signature: " << result.signature << "\n";
+  return EXIT_SUCCESS;
+}
+
+int cmd_resign(int argc, const char* const* argv) {
+  CliParser cli("fixture_tool resign",
+                "Re-record a failure fixture's signature from the current "
+                "decoder.");
+  cli.add_flag("fixture", "", "fixture to update (required)");
+  cli.add_flag("out", "", "output path (defaults to --fixture, in place)");
+  if (!cli.parse(argc, argv)) return EXIT_SUCCESS;
+  const std::string path = cli.get_string("fixture");
+  if (path.empty()) {
+    std::cerr << "error: --fixture is required\n";
+    return EXIT_FAILURE;
+  }
+  std::string out = cli.get_string("out");
+  if (out.empty()) out = path;
+  Fixture fixture = read_fixture(path);
+  fixture.expect = FixtureExpect::kFailure;
+  fixture.signature = "";
+  const FixtureRunResult result = fixture_run(fixture);
+  if (result.signature.empty()) {
+    std::cerr << "error: replay does not fail — the decoder accepts this "
+                 "input, so there is no signature to record (is the bug "
+                 "actually fixed... or still present?)\n";
+    return EXIT_FAILURE;
+  }
+  fixture.signature = result.signature;
+  write_fixture(out, fixture);
+  std::cout << "recorded signature -> " << out << "\n  " << fixture.signature
+            << "\n";
+  return EXIT_SUCCESS;
+}
+
+// ---------------------------------------------------------------------------
+// gen-corpus: the deterministic regression corpus
+// ---------------------------------------------------------------------------
+
+std::vector<LogEvent> corpus_events(std::size_t n) {
+  std::vector<LogEvent> events;
+  events.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    events.push_back(LogEvent{0.25 * static_cast<double>(i + 1),
+                              (i * 7) % 13, static_cast<std::uint32_t>(i % 3)});
+  }
+  return events;
+}
+
+std::vector<unsigned char> corpus_log(const ScratchDir& scratch,
+                                      EventLogFormat format,
+                                      std::size_t block_events,
+                                      std::size_t count) {
+  const std::string path = scratch.file("base.evlog");
+  EventLogWriter writer(path, /*num_servers=*/3, /*num_objects=*/0, format,
+                        block_events);
+  for (const LogEvent& event : corpus_events(count)) writer.write(event);
+  writer.close();
+  return read_bytes(path);
+}
+
+Fixture corpus_fixture(FixtureTarget target, const std::string& name,
+                       std::vector<unsigned char> blob) {
+  Fixture fixture;
+  fixture.target = target;
+  fixture.expect = FixtureExpect::kFailure;
+  fixture.num_servers = 3;
+  if (target == FixtureTarget::kServe) {
+    fixture.policy_spec = "drwp(alpha=0.3)";
+    fixture.predictor_spec = "last_gap";
+  }
+  fixture.source_name = "gen-corpus:" + name;
+  fixture.blob = std::move(blob);
+  return fixture;
+}
+
+int cmd_gen_corpus(int argc, const char* const* argv) {
+  CliParser cli("fixture_tool gen-corpus",
+                "Regenerate the checked-in regression-fixture corpus.");
+  cli.add_flag("dir", "fixtures", "output directory");
+  cli.add_flag("rounds", "6", "max minimize rounds per fixture");
+  if (!cli.parse(argc, argv)) return EXIT_SUCCESS;
+  const std::string dir = cli.get_string("dir");
+  std::filesystem::create_directories(dir);
+  ScratchDir scratch;
+
+  struct Entry {
+    std::string name;
+    Fixture fixture;
+  };
+  std::vector<Entry> entries;
+
+  // Each artifact reproduces one decoder defect class that fuzzing or
+  // auditing surfaced; the replay must keep rejecting it with the same
+  // digit-stripped diagnostic forever.
+  {
+    // A duplicated final block past a consistent header count: the
+    // trailing-data bug class (the reader once stopped at the count and
+    // silently ignored the surplus).
+    std::vector<unsigned char> bytes =
+        corpus_log(scratch, EventLogFormat::kCompressed, 4, 10);
+    const LogImage image = walk_log_image(bytes);
+    const SegmentSpan& last = image.segments.back();
+    const std::vector<unsigned char> dup(
+        bytes.begin() + static_cast<std::ptrdiff_t>(last.offset),
+        bytes.begin() + static_cast<std::ptrdiff_t>(last.end()));
+    bytes.insert(bytes.end(), dup.begin(), dup.end());
+    entries.push_back(
+        {"log-trailing-block",
+         corpus_fixture(FixtureTarget::kServe, "log-trailing-block", bytes)});
+  }
+  {
+    // Same bug class on the raw format: a whole surplus record appended
+    // past the header's count.
+    std::vector<unsigned char> bytes =
+        corpus_log(scratch, EventLogFormat::kRaw, 4, 5);
+    const std::vector<unsigned char> dup(
+        bytes.end() -
+            static_cast<std::ptrdiff_t>(EventLogHeader::kRecordSize),
+        bytes.end());
+    bytes.insert(bytes.end(), dup.begin(), dup.end());
+    entries.push_back(
+        {"log-trailing-record",
+         corpus_fixture(FixtureTarget::kServe, "log-trailing-record", bytes)});
+  }
+  {
+    // A partial trailing record on a streaming (unknown-count) raw log,
+    // with no whole record before it: the first refill swallows the
+    // stray tail in one read, so only the end-of-log check (not a
+    // second zero-byte refill) can catch it — the exact shape the
+    // fuzzer escaped with.
+    std::vector<unsigned char> bytes =
+        corpus_log(scratch, EventLogFormat::kRaw, 4, 0);
+    patch_log_event_count(bytes, EventLogHeader::kUnknownCount);
+    bytes.insert(bytes.end(), 7, 0x5a);
+    entries.push_back({"log-stray-tail-streaming",
+                       corpus_fixture(FixtureTarget::kServe,
+                                      "log-stray-tail-streaming", bytes)});
+  }
+  {
+    // The final block's payload cut short.
+    std::vector<unsigned char> bytes =
+        corpus_log(scratch, EventLogFormat::kCompressed, 4, 10);
+    bytes.resize(bytes.size() - 3);
+    entries.push_back({"log-truncated-payload",
+                       corpus_fixture(FixtureTarget::kServe,
+                                      "log-truncated-payload", bytes)});
+  }
+  {
+    // A whole block missing against a known header count.
+    std::vector<unsigned char> bytes =
+        corpus_log(scratch, EventLogFormat::kCompressed, 4, 10);
+    const LogImage image = walk_log_image(bytes);
+    bytes.resize(image.segments.back().offset);
+    entries.push_back(
+        {"log-missing-block",
+         corpus_fixture(FixtureTarget::kServe, "log-missing-block", bytes)});
+  }
+  {
+    // One flipped bit in a block payload (body CRC must catch it).
+    std::vector<unsigned char> bytes =
+        corpus_log(scratch, EventLogFormat::kCompressed, 4, 10);
+    const LogImage image = walk_log_image(bytes);
+    const SegmentSpan& last = image.segments.back();
+    bytes[last.payload_offset + (last.size - kBlockFrameBytes) / 2] ^= 0x10;
+    entries.push_back(
+        {"log-bitflip-payload",
+         corpus_fixture(FixtureTarget::kServe, "log-bitflip-payload", bytes)});
+  }
+  {
+    // A wire stream that ends mid-frame (peer died or truncated send):
+    // the close-time protocol error, never a clean end.
+    const std::vector<LogEvent> events = corpus_events(6);
+    std::vector<unsigned char> body;
+    encode_event_block(events.data(), events.size(), body);
+    std::vector<unsigned char> bytes(EventLogHeader::kSize);
+    encode_stream_header(bytes.data(), 3);
+    const std::vector<unsigned char> block =
+        frame_block(static_cast<std::uint32_t>(events.size()), body);
+    bytes.insert(bytes.end(), block.begin(), block.end());
+    bytes.insert(bytes.end(), block.begin(), block.end());
+    bytes.resize(bytes.size() - 5);
+    entries.push_back(
+        {"wire-midframe-close",
+         corpus_fixture(FixtureTarget::kWire, "wire-midframe-close", bytes)});
+  }
+  {
+    // Garbage appended after a snapshot's footer.
+    SystemConfig config;
+    config.num_servers = 3;
+    EngineBuilder builder;
+    builder.config(config).policy("drwp(alpha=0.3)").predictor("last_gap");
+    auto engine = builder.build();
+    engine->ingest(corpus_events(12));
+    const std::string path = scratch.file("base.ckpt");
+    engine->checkpoint(path);
+    std::vector<unsigned char> bytes = read_bytes(path);
+    bytes.insert(bytes.end(), 16, 0xa5);
+    entries.push_back({"snapshot-trailing-garbage",
+                       corpus_fixture(FixtureTarget::kSnapshot,
+                                      "snapshot-trailing-garbage", bytes)});
+  }
+
+  MinimizeOptions options;
+  options.max_rounds = cli.get_size_t("rounds", 1, 64);
+  std::string manifest =
+      "# Minimized decoder-regression fixtures, replayed by "
+      "fixture_regression_test.\n"
+      "# Regenerate: fixture_tool gen-corpus --dir fixtures\n";
+  for (const Entry& entry : entries) {
+    const MinimizeResult result = minimize_fixture(entry.fixture, options);
+    const std::string path = dir + "/" + entry.name + ".replfixt";
+    write_fixture(path, result.fixture);
+    manifest += entry.name + ".replfixt\n";
+    std::cout << entry.name << ": " << result.original_bytes << " -> "
+              << result.minimized_bytes << " bytes\n  " << result.signature
+              << "\n";
+  }
+  std::ofstream out(dir + "/MANIFEST", std::ios::trunc);
+  out << manifest;
+  out.flush();
+  if (!out) {
+    std::cerr << "error: cannot write " << dir << "/MANIFEST\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << entries.size() << " fixtures -> " << dir << "/MANIFEST\n";
+  return EXIT_SUCCESS;
+}
+
+void usage() {
+  std::cout << "usage: fixture_tool <capture|replay|show|fuzz|minimize|"
+               "resign|gen-corpus> [flags]\n"
+               "       fixture_tool <subcommand> --help for flags\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return EXIT_FAILURE;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "capture") return cmd_capture(argc - 1, argv + 1);
+    if (cmd == "replay") return cmd_replay(argc - 1, argv + 1);
+    if (cmd == "show") return cmd_show(argc - 1, argv + 1);
+    if (cmd == "fuzz") return cmd_fuzz(argc - 1, argv + 1);
+    if (cmd == "minimize") return cmd_minimize(argc - 1, argv + 1);
+    if (cmd == "resign") return cmd_resign(argc - 1, argv + 1);
+    if (cmd == "gen-corpus") return cmd_gen_corpus(argc - 1, argv + 1);
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+      usage();
+      return EXIT_SUCCESS;
+    }
+    std::cerr << "error: unknown subcommand '" << cmd << "'\n";
+    usage();
+    return EXIT_FAILURE;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+}

@@ -119,9 +119,30 @@ void BlockReader::read_payload(std::vector<unsigned char>& payload) {
 
 void BlockReader::skip_payload() {
   if (!have_frame_) fail("skip_payload without a pending frame");
+  const std::uint64_t target = offset_ + kBlockFrameBytes + frame_[0];
+  // A relative seek past EOF "succeeds" on common istream
+  // implementations — nothing fails until the next read, which then
+  // looks like a clean EOF between blocks. On a truncated final payload
+  // that would silently shorten the log (and misposition a resume that
+  // skipped over it). Measure the stream end and reject a skip the
+  // bytes cannot cover; re-measure when the cached end looks too short,
+  // so a log still being appended to is not falsely rejected.
+  if (end_offset_ == kUnknownEnd || target > end_offset_) {
+    const std::streampos here = in_.tellg();
+    in_.seekg(0, std::ios::end);
+    if (!in_) fail("seek failed while measuring stream end");
+    end_offset_ = static_cast<std::uint64_t>(in_.tellg());
+    in_.seekg(here);
+    if (!in_) fail("seek failed while measuring stream end");
+  }
+  if (target > end_offset_) {
+    fail("truncated block payload (" +
+         std::to_string(end_offset_ - offset_ - kBlockFrameBytes) + " of " +
+         std::to_string(frame_[0]) + " bytes before end of stream)");
+  }
   in_.seekg(static_cast<std::streamoff>(frame_[0]), std::ios::cur);
   if (!in_) fail("seek past block payload failed");
-  offset_ += kBlockFrameBytes + frame_[0];
+  offset_ = target;
   ++blocks_;
   have_frame_ = false;
 }

@@ -135,7 +135,9 @@ class BlockReader {
 
   /// Consumes the pending frame's payload with a seek — the payload
   /// bytes are not read or verified (nothing decodes from them; the
-  /// frame itself was CRC-verified by next_frame).
+  /// frame itself was CRC-verified by next_frame). A payload the stream
+  /// cannot cover (truncated final block) throws a positioned error
+  /// rather than seeking past EOF.
   void skip_payload();
 
   /// Conveniences: next_frame + read_payload / skip_payload.
@@ -152,9 +154,13 @@ class BlockReader {
  private:
   [[noreturn]] void fail(const std::string& what) const;
 
+  /// Sentinel: the stream end has not been measured yet.
+  static constexpr std::uint64_t kUnknownEnd = ~std::uint64_t{0};
+
   std::istream& in_;
   std::string name_;
   std::uint64_t offset_;  // stream offset of the pending/next frame
+  std::uint64_t end_offset_ = kUnknownEnd;  // lazily measured stream end
   std::uint64_t blocks_ = 0;
   bool have_frame_ = false;
   std::uint32_t frame_[4] = {0, 0, 0, 0};

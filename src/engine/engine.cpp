@@ -17,6 +17,7 @@
 #include "engine/event_source.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stage_timer.hpp"
+#include "replay/fixture.hpp"
 #include "offline/opt_lower_bound.hpp"
 #include "run/parallel_runner.hpp"
 #include "run/thread_pool.hpp"
@@ -420,6 +421,17 @@ EngineMetrics StreamingEngine::serve(EventSource& source,
   // a hash-verified seek over the snapshot's rolling event hash).
   source.attach(*this);
 
+  // Session capture: every ingested batch is re-encoded into the fixture
+  // in ingest order, so the capture works identically for file replay
+  // and live socket traffic.
+  std::unique_ptr<SessionCapture> capture;
+  std::uint64_t capture_begin_byte = 0;
+  if (options.capture) {
+    capture = std::make_unique<SessionCapture>(*options.capture, config_,
+                                               options_, resume_events_);
+    capture_begin_byte = source.bytes_consumed();
+  }
+
   std::uint64_t next_checkpoint =
       checkpoint_every == 0
           ? 0
@@ -482,6 +494,7 @@ EngineMetrics StreamingEngine::serve(EventSource& source,
     if (!more) break;
     const auto batch_start = std::chrono::steady_clock::now();
     ingest(batch);
+    if (capture) capture->record(batch);
     if (local_batch_hist) {
       local_batch_hist->observe(
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -513,6 +526,7 @@ EngineMetrics StreamingEngine::serve(EventSource& source,
               .count();
       stats_.checkpoint_seconds += checkpoint_s;
       if (telemetry_) telemetry_->checkpoint_write.observe(checkpoint_s);
+      if (capture) capture->record_cut(stats_.events_ingested);
       if (options.on_checkpoint) options.on_checkpoint();
       while (next_checkpoint <= stats_.events_ingested) {
         next_checkpoint += checkpoint_every;
@@ -529,7 +543,12 @@ EngineMetrics StreamingEngine::serve(EventSource& source,
   if (report && stats_.events_ingested != last_events) {
     emit_stats(std::chrono::steady_clock::now());
   }
-  return finish();
+  EngineMetrics metrics = finish();
+  if (capture) {
+    capture->set_byte_range(capture_begin_byte, source.bytes_consumed());
+    capture->finish(metrics);
+  }
+  return metrics;
 }
 
 EngineMetrics StreamingEngine::serve(EventLogReader& reader,

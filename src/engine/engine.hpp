@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -155,6 +156,21 @@ struct EngineStats {
   std::uint64_t checkpoint_bytes = 0;
 };
 
+/// Records one serve() session into a self-contained REPLFIXT fixture
+/// (replay/fixture.hpp): the component specs, the served event slice
+/// (re-encoded, so live network sessions capture too), every checkpoint
+/// cut point, and the final aggregates. fixture_run() replays the file
+/// and diffs aggregates bit-exactly — the capture-to-test workflow.
+struct CaptureOptions {
+  /// Fixture destination. Written only after finish() succeeds.
+  std::string path;
+  /// Wire format of the embedded event slice.
+  EventLogFormat log_format = EventLogFormat::kCompressed;
+  /// Label recorded in the fixture (the driving log path, a peer name —
+  /// whatever identifies the source for humans).
+  std::string source_name;
+};
+
 /// Controls one serve() drain, including periodic crash-safe snapshots.
 struct ServeOptions {
   /// Events per ingest batch.
@@ -188,6 +204,12 @@ struct ServeOptions {
   /// Extra text appended to each stats line (queue depths, connection
   /// counts — whatever the front-end knows and the engine does not).
   std::function<std::string()> stats_extra;
+  /// When set, serve() records this session as a replay fixture. Capture
+  /// requires a fresh engine (resume_position() == 0): a restored
+  /// engine's aggregates depend on state the fixture would not embed.
+  /// Observational only — aggregates are bit-identical with capture on
+  /// or off.
+  std::optional<CaptureOptions> capture;
 };
 
 class StreamingEngine {

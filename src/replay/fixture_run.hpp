@@ -1,0 +1,57 @@
+// Replaying fixtures: run the embedded artifact, diff the outcome.
+//
+// fixture_run() is the single verdict function of the capture-to-test
+// workflow: the regression suite, the minimizer, and the fixture_tool
+// CLI all call it and trust its pass/fail. For parity fixtures the
+// embedded slice is re-served through a spec-built StreamingEngine (or
+// drained through SnapshotReader / FrameAssembler for the other
+// targets) and the aggregates must match the recorded ones *bit for
+// bit* — doubles compared as u64 patterns, so a single ULP of drift
+// fails. For failure fixtures the replay must throw, and the
+// diagnostic's digit-stripped signature must equal the recorded one:
+// the input keeps failing the same way, positioned, never a crash or a
+// silent wrong answer.
+#pragma once
+
+#include <string>
+
+#include "replay/fixture.hpp"
+
+namespace repl {
+
+struct FixtureRunOptions {
+  /// Engine geometry for the serve target; 0 keeps the engine defaults.
+  /// Aggregates are geometry-independent by the determinism contract,
+  /// so sweeps over these must not change the verdict.
+  std::size_t num_shards = 0;
+  int num_threads = 1;
+  std::size_t batch_events = std::size_t{1} << 14;
+  /// Also exercise every recorded checkpoint cut: serve to the cut,
+  /// snapshot, restore into a fresh engine, finish on the original
+  /// slice — aggregates must stay bit-identical (serve target only).
+  bool verify_cuts = false;
+  /// Where scratch files (the extracted slice, cut snapshots) go; a
+  /// fresh directory under the system temp dir when empty. Always
+  /// removed afterwards.
+  std::string scratch_dir;
+};
+
+struct FixtureRunResult {
+  bool pass = false;
+  /// Human-readable verdict: empty on pass, the mismatch or the
+  /// unexpected outcome otherwise.
+  std::string detail;
+  /// Digit-stripped signature of the replay failure ("" when the replay
+  /// succeeded). Valid whether or not the fixture expected a failure —
+  /// the minimizer steers by it.
+  std::string signature;
+  /// Aggregates observed when the replay succeeded.
+  FixtureAggregates aggregates;
+};
+
+FixtureRunResult fixture_run(const Fixture& fixture,
+                             const FixtureRunOptions& options = {});
+FixtureRunResult fixture_run(const std::string& path,
+                             const FixtureRunOptions& options = {});
+
+}  // namespace repl

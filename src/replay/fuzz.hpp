@@ -1,0 +1,89 @@
+// Structured, deterministic fuzzing of the three untrusted-input
+// decoders: event-log files (EventLogReader), snapshot files
+// (SnapshotReader), and the wire protocol (FrameAssembler).
+//
+// Unlike blind byte fuzzing, the mutator *speaks the formats*: every
+// case starts from a freshly generated well-formed artifact, then
+// applies one structure-aware mutation — truncate at or inside a
+// frame/record boundary, flip a bit in a CRC-covered or CRC-exempt
+// region, splice valid frames across two logs, overflow a
+// length/aux/count steering field (with or without fixing the frame CRC
+// so both the CRC check and the plausibility check get exercised),
+// insert a zero-event frame, duplicate or reorder records. Each
+// mutation carries its own oracle: the decoder must either reject with
+// a diagnostic (every std::runtime_error / std::invalid_argument with a
+// message counts — never a crash, hang, or CheckFailure) or accept and
+// produce exactly the events/records the mutation's semantics dictate,
+// having consumed the entire input. Anything else — an accepted
+// corruption, a silently ignored tail, a wrong decode — is an escape
+// and becomes a FuzzFailure (and, when `save_dir` is set, a replayable
+// failure fixture for the minimizer).
+//
+// Determinism: case i of a run is fully determined by (seed, i). The
+// report's `trace` logs every case's mutation and outcome, so two runs
+// with the same seed are comparable line by line.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace repl {
+
+enum class FuzzTarget : std::uint32_t {
+  kLog = 0,
+  kSnapshot = 1,
+  kWire = 2,
+};
+
+const char* fuzz_target_name(FuzzTarget target);
+FuzzTarget parse_fuzz_target(const std::string& name);
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  /// Mutated inputs to try.
+  std::size_t cases = 256;
+  /// Scratch directory for staged artifacts ("" = fresh temp dir).
+  std::string scratch_dir;
+  /// When set, every escape is saved here as a replayable fixture
+  /// (<target>-<seed>-<case>.replfixt).
+  std::string save_dir;
+  /// Stop early after this many escapes (0 = never).
+  std::size_t max_failures = 16;
+};
+
+/// One decoder escape: a mutated input the decoder mishandled.
+struct FuzzFailure {
+  std::size_t case_index = 0;
+  /// The mutation that produced the input (deterministic description).
+  std::string mutation;
+  /// What went wrong: the escape class and the evidence.
+  std::string detail;
+  /// Saved reproducer fixture ("" unless FuzzOptions::save_dir is set).
+  std::string fixture_path;
+};
+
+struct FuzzReport {
+  FuzzTarget target = FuzzTarget::kLog;
+  std::uint64_t seed = 0;
+  std::size_t cases = 0;
+  /// Mutated inputs the decoder accepted (and the oracle agreed).
+  std::size_t accepted = 0;
+  /// Mutated inputs the decoder rejected with a diagnostic.
+  std::size_t rejected = 0;
+  std::vector<FuzzFailure> failures;
+  /// One line per case: "<index> <mutation> => <outcome>". Identical
+  /// across runs with the same (target, seed, cases) — the determinism
+  /// contract the tests pin.
+  std::string trace;
+
+  bool ok() const { return failures.empty(); }
+};
+
+/// Runs `options.cases` structured mutations against `target`'s decoder.
+/// Throws only on harness I/O failure; decoder behavior — good or bad —
+/// is reported, not thrown.
+FuzzReport fuzz_format(FuzzTarget target, const FuzzOptions& options);
+
+}  // namespace repl

@@ -1,0 +1,57 @@
+// Format-aware fixture minimization: shrink a failing input while
+// preserving its failure signature.
+//
+// A fuzz-found failure is rarely small — the mutated artifact carries
+// every block and record of the generated base. The minimizer performs
+// delta debugging (ddmin) over the input's *structure* rather than its
+// bytes: whole frames/records are removed first, then events inside
+// still-well-formed compressed blocks are re-encoded in shrinking
+// subsets (with correct CRCs — re-framing is only applied to segments
+// whose CRCs were valid to begin with, so the corruption under test is
+// never accidentally "repaired"). The header's event/object count is
+// patched along only when it was consistent in the original (if the
+// count mismatch IS the bug, patching would erase it). After every
+// candidate shrink the fixture is replayed; the candidate is kept only
+// when the digit-stripped failure signature is unchanged. The result is
+// a minimal fixture ready to check in as a permanent regression test.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "replay/fixture.hpp"
+#include "replay/fixture_run.hpp"
+
+namespace repl {
+
+struct MinimizeOptions {
+  /// Outer fixed-point rounds: each round runs a full segment-level and
+  /// event-level pass; minimization stops early once a round changes
+  /// nothing.
+  std::size_t max_rounds = 8;
+  /// Replay geometry for the probe runs.
+  FixtureRunOptions run;
+};
+
+struct MinimizeResult {
+  /// The minimized fixture: expect=kFailure, the preserved signature
+  /// recorded, blob shrunken. Ready for write_fixture().
+  Fixture fixture;
+  /// The failure signature every kept candidate reproduced.
+  std::string signature;
+  std::size_t original_bytes = 0;
+  std::size_t minimized_bytes = 0;
+  /// Replays performed while probing candidates.
+  std::size_t probes = 0;
+};
+
+/// Minimizes `input`, which must currently fail its replay (any
+/// signature; the fixture's recorded one is ignored — the observed
+/// failure is re-derived first, so stale fixtures minimize fine).
+/// Throws std::invalid_argument when the input does not fail at all
+/// (nothing to preserve).
+MinimizeResult minimize_fixture(const Fixture& input,
+                                const MinimizeOptions& options = {});
+
+}  // namespace repl

@@ -282,9 +282,51 @@ bool EventLogReader::load_block() {
   return true;
 }
 
+void EventLogReader::check_clean_end() {
+  if (tail_checked_) return;
+  tail_checked_ = true;
+  const std::string promised = std::to_string(header_.num_events);
+  if (header_.version == EventLogHeader::kVersionCompressed) {
+    if (block_pos_ < block_.size()) {
+      io_fail(path_, "trailing data: final block holds " +
+                         std::to_string(block_.size() - block_pos_) +
+                         " events past the header's count of " + promised +
+                         " (byte offset " +
+                         std::to_string(blocks_->bytes_consumed()) + ")");
+    }
+    // Zero-event frames are legal padding mid-stream (load_block walks
+    // over them transparently), so they are equally tolerated here; any
+    // frame carrying events past the promised count is trailing data.
+    // load_block itself throws positioned errors for truncated or
+    // corrupt trailing frames, which is equally a rejection.
+    while (load_block()) {
+      if (!block_.empty()) {
+        io_fail(path_, "trailing data: block of " +
+                           std::to_string(block_.size()) +
+                           " events found past the header's count of " +
+                           promised + " (byte offset " +
+                           std::to_string(blocks_->bytes_consumed()) + ")");
+      }
+    }
+    return;
+  }
+  const std::size_t leftover = buffer_len_ - buffer_pos_;
+  const bool file_continues =
+      !eof_ && in_.peek() != std::ifstream::traits_type::eof();
+  if (leftover > 0 || file_continues) {
+    io_fail(path_, "trailing data past the header's count of " + promised +
+                       " events (byte offset " +
+                       std::to_string(EventLogHeader::kSize +
+                                      delivered_ *
+                                          EventLogHeader::kRecordSize) +
+                       ")");
+  }
+}
+
 bool EventLogReader::next(LogEvent& event) {
   if (header_.num_events != EventLogHeader::kUnknownCount &&
       delivered_ == header_.num_events) {
+    check_clean_end();
     return false;
   }
   if (header_.version == EventLogHeader::kVersionCompressed) {
@@ -309,6 +351,17 @@ bool EventLogReader::next(LogEvent& event) {
         io_fail(path_, "truncated: " + std::to_string(delivered_) +
                            " events read, header promises " +
                            std::to_string(header_.num_events));
+      }
+      // A partial trailing record must fail even when the count is
+      // unknown. refill() catches it only when the partial bytes carry
+      // over into a read that returns nothing — when a single refill
+      // swallowed both the last whole records and the stray tail, EOF
+      // would otherwise read as clean here.
+      if (buffer_len_ - buffer_pos_ > 0) {
+        io_fail(path_, "truncated record at end of log (" +
+                           std::to_string(buffer_len_ - buffer_pos_) +
+                           " stray bytes after " +
+                           std::to_string(delivered_) + " events)");
       }
       return false;  // unknown count: clean EOF ends the log
     }

@@ -187,8 +187,11 @@ class EventLogWriter {
 /// deliver events in file order — transparently across wire formats —
 /// and throw std::runtime_error on truncation (fewer events than the
 /// header promises, or a partial trailing record/frame when the count is
-/// unknown) and, for compressed logs, on any block whose CRC does not
-/// match (the diagnostic names the block and byte offset).
+/// unknown), on trailing data past a known header count (records,
+/// frames, or surplus events in the final block — a corrupt count or a
+/// spliced log must not silently drop events), and, for compressed logs,
+/// on any block whose CRC does not match (the diagnostic names the block
+/// and byte offset).
 class EventLogReader {
  public:
   explicit EventLogReader(const std::string& path);
@@ -236,6 +239,13 @@ class EventLogReader {
 
  private:
   void refill();
+  /// Verifies the stream actually ends once the header's event count has
+  /// been delivered. Without it, a log whose count field reads smaller
+  /// than its contents (spliced frames, a duplicated block, a corrupt
+  /// count) would be accepted with the surplus silently ignored — the
+  /// aggregates would be wrong with no diagnostic. Runs once; throws a
+  /// positioned std::runtime_error on trailing data.
+  void check_clean_end();
   /// Loads and decodes the next compressed block into block_; returns
   /// false at a clean end-of-blocks.
   bool load_block();
@@ -256,6 +266,7 @@ class EventLogReader {
   std::size_t block_pos_ = 0;
   std::uint64_t delivered_ = 0;
   bool eof_ = false;
+  bool tail_checked_ = false;
 };
 
 /// Streams the log at `src` into `dst` re-encoded as `format` (either

@@ -315,6 +315,121 @@ TEST(BlockContainerTest, SkipPathDetectsFrameCorruption) {
   }
 }
 
+TEST(BlockContainerTest, SkipRejectsTruncatedFinalPayload) {
+  // seekg past EOF "succeeds" on common istream implementations, so an
+  // unchecked relative seek over a truncated final payload would read as
+  // a clean EOF at the next frame — a silently shortened stream and a
+  // mispositioned resume. skip_payload must throw, positioned, at every
+  // truncation point inside the final payload.
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  BlockWriter writer(stream, "mem");
+  writer.write_block(1, random_bytes(40, 3));
+  writer.write_block(2, random_bytes(30, 4));
+  const std::string bytes = stream.str();
+  const std::size_t last_payload = bytes.size() - 30;
+
+  for (std::size_t keep = 0; keep < 30; ++keep) {
+    std::stringstream in(bytes.substr(0, last_payload + keep),
+                         std::ios::in | std::ios::binary);
+    BlockReader reader(in, "mem");
+    std::uint32_t aux = 0;
+    ASSERT_TRUE(reader.skip_block(aux));
+    EXPECT_EQ(aux, 1u);
+    try {
+      reader.skip_block(aux);
+      FAIL() << "skip over payload truncated to " << keep
+             << " bytes went undetected";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("truncated block payload"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+
+  // The untruncated stream skips both blocks and ends cleanly.
+  std::stringstream in(bytes, std::ios::in | std::ios::binary);
+  BlockReader reader(in, "mem");
+  std::uint32_t aux = 0;
+  ASSERT_TRUE(reader.skip_block(aux));
+  ASSERT_TRUE(reader.skip_block(aux));
+  EXPECT_EQ(aux, 2u);
+  EXPECT_FALSE(reader.skip_block(aux));
+}
+
+TEST(BlockContainerTest, FrameSplitAtHeaderBoundaryIsPositioned) {
+  // A stream that ends exactly after a frame whose payload never
+  // follows: both the read and the skip path must report a positioned
+  // truncation (0 of N bytes), not loop or mis-seek. A stream ending
+  // mid-frame is equally positioned.
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  BlockWriter writer(stream, "mem");
+  writer.write_block(5, random_bytes(25, 9));
+  const std::string bytes = stream.str();
+  const std::string frame_only = bytes.substr(0, kBlockFrameBytes);
+
+  for (const bool skip : {false, true}) {
+    std::stringstream in(frame_only, std::ios::in | std::ios::binary);
+    BlockReader reader(in, "mem");
+    std::uint32_t aux = 0;
+    std::vector<unsigned char> payload;
+    try {
+      if (skip) {
+        reader.skip_block(aux);
+      } else {
+        reader.read_block(aux, payload);
+      }
+      FAIL() << "frame with absent payload went undetected (skip=" << skip
+             << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("truncated block payload"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+
+  for (std::size_t cut = 1; cut < kBlockFrameBytes; ++cut) {
+    std::stringstream in(bytes.substr(0, cut),
+                         std::ios::in | std::ios::binary);
+    BlockReader reader(in, "mem");
+    std::uint32_t aux = 0;
+    EXPECT_THROW(reader.next_frame(aux), std::runtime_error) << cut;
+  }
+}
+
+TEST(BlockContainerTest, ZeroLengthPayloadReadsSkipsAndEndsCleanly) {
+  // Zero-payload blocks in every position: read and skip both consume
+  // them without a stall, and a stream ending exactly after one is a
+  // clean EOF.
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  BlockWriter writer(stream, "mem");
+  writer.write_block(0, std::vector<unsigned char>{});
+  writer.write_block(3, random_bytes(10, 5));
+  writer.write_block(0, std::vector<unsigned char>{});
+  const std::string bytes = stream.str();
+
+  std::stringstream read_in(bytes, std::ios::in | std::ios::binary);
+  BlockReader read_reader(read_in, "mem");
+  std::uint32_t aux = 9;
+  std::vector<unsigned char> payload;
+  ASSERT_TRUE(read_reader.read_block(aux, payload));
+  EXPECT_EQ(aux, 0u);
+  EXPECT_TRUE(payload.empty());
+  ASSERT_TRUE(read_reader.read_block(aux, payload));
+  EXPECT_EQ(payload.size(), 10u);
+  ASSERT_TRUE(read_reader.read_block(aux, payload));
+  EXPECT_TRUE(payload.empty());
+  EXPECT_FALSE(read_reader.read_block(aux, payload));
+
+  std::stringstream skip_in(bytes, std::ios::in | std::ios::binary);
+  BlockReader skip_reader(skip_in, "mem");
+  ASSERT_TRUE(skip_reader.skip_block(aux));
+  ASSERT_TRUE(skip_reader.skip_block(aux));
+  ASSERT_TRUE(skip_reader.skip_block(aux));
+  EXPECT_EQ(aux, 0u);
+  EXPECT_FALSE(skip_reader.skip_block(aux));
+  EXPECT_EQ(skip_reader.blocks_read(), 3u);
+}
+
 // ---------------------------------------------------------------------
 // Compressed event logs
 // ---------------------------------------------------------------------

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "replay/structure.hpp"
 #include "trace/event_log.hpp"
 #include "trace/stream_gen.hpp"
 
@@ -329,6 +330,186 @@ TEST_F(EventLogTest, GeneratorIsDeterministicAndOrdered) {
     return read_all(c);
   }();
   EXPECT_NE(events, other);  // seed matters
+}
+
+std::vector<LogEvent> sweep_events(std::size_t n) {
+  std::vector<LogEvent> events;
+  for (std::size_t i = 0; i < n; ++i) {
+    events.push_back(LogEvent{0.5 * static_cast<double>(i + 1),
+                              (3 * i) % 11, static_cast<std::uint32_t>(i % 4)});
+  }
+  return events;
+}
+
+void write_log(const std::string& path, const std::vector<LogEvent>& events,
+               EventLogFormat format, std::size_t block_events) {
+  EventLogWriter writer(path, /*num_servers=*/4, /*num_objects=*/0, format,
+                        block_events);
+  for (const LogEvent& event : events) writer.write(event);
+  writer.close();
+}
+
+TEST_F(EventLogTest, SkipEventsLandsOnEveryCutAcrossBlockBoundaries) {
+  // Every possible resume cut of a 3-block compressed log (block_events
+  // = 4, 12 events): cuts inside blocks, exactly on both block
+  // boundaries, and at the full count. After the skip, the remainder
+  // must be exactly the reference tail and the log must end cleanly.
+  const std::vector<LogEvent> events = sweep_events(12);
+  const std::string path = temp_path("sweep.evlog");
+  write_log(path, events, EventLogFormat::kCompressed, 4);
+
+  for (std::uint64_t cut = 0; cut <= events.size(); ++cut) {
+    EventLogReader reader(path);
+    reader.skip_events(cut);
+    EXPECT_EQ(reader.events_read(), cut);
+    std::vector<LogEvent> rest;
+    LogEvent event;
+    while (reader.next(event)) rest.push_back(event);
+    ASSERT_EQ(rest.size(), events.size() - cut) << "cut " << cut;
+    for (std::size_t i = 0; i < rest.size(); ++i) {
+      EXPECT_EQ(rest[i], events[cut + i]) << "cut " << cut << " event " << i;
+    }
+  }
+
+  // Two-step skips that cross a block boundary mid-way land identically.
+  for (std::uint64_t first : {std::uint64_t{3}, std::uint64_t{4}}) {
+    EventLogReader reader(path);
+    reader.skip_events(first);
+    reader.skip_events(6);
+    LogEvent event;
+    ASSERT_TRUE(reader.next(event));
+    EXPECT_EQ(event, events[first + 6]);
+  }
+}
+
+TEST_F(EventLogTest, SkipOverTruncatedFinalPayloadFails) {
+  // A resume skip across a final block whose payload was cut short must
+  // throw a positioned error, never seek past EOF and read a clean end
+  // (which would resume at the wrong position). Exercised with both a
+  // known and an unknown header count.
+  const std::vector<LogEvent> events = sweep_events(12);
+  const std::string path = temp_path("skiptrunc.evlog");
+  write_log(path, events, EventLogFormat::kCompressed, 4);
+  std::vector<unsigned char> bytes = read_bytes(path);
+  bytes.resize(bytes.size() - 3);
+
+  const std::string known = temp_path("skiptrunc_known.evlog");
+  write_bytes(known, bytes);
+  {
+    EventLogReader reader(known);
+    EXPECT_THROW(reader.skip_events(12), std::runtime_error);
+  }
+
+  patch_log_event_count(bytes, EventLogHeader::kUnknownCount);
+  const std::string streaming = temp_path("skiptrunc_stream.evlog");
+  write_bytes(streaming, bytes);
+  {
+    EventLogReader reader(streaming);
+    try {
+      reader.skip_events(12);
+      FAIL() << "skip over a truncated payload went undetected";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("truncated block payload"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST_F(EventLogTest, RejectsTrailingBlockPastHeaderCount) {
+  // A duplicated final block past a consistent header count once slipped
+  // through: the reader stopped at the count and ignored the surplus.
+  const std::vector<LogEvent> events = sweep_events(10);
+  const std::string path = temp_path("trailing.evlog");
+  write_log(path, events, EventLogFormat::kCompressed, 4);
+  std::vector<unsigned char> bytes = read_bytes(path);
+  const LogImage image = walk_log_image(bytes);
+  const SegmentSpan& last = image.segments.back();
+  bytes.insert(bytes.end(),
+               bytes.begin() + static_cast<std::ptrdiff_t>(last.offset),
+               bytes.begin() + static_cast<std::ptrdiff_t>(last.end()));
+  const std::string corrupt = temp_path("trailing_dup.evlog");
+  write_bytes(corrupt, bytes);
+
+  EventLogReader reader(corrupt);
+  LogEvent event;
+  try {
+    while (reader.next(event)) {
+    }
+    FAIL() << "trailing block went undetected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("trailing data"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(EventLogTest, RejectsTrailingRecordPastHeaderCount) {
+  const std::vector<LogEvent> events = sweep_events(5);
+  const std::string path = temp_path("trailing_rec.evlog");
+  write_log(path, events, EventLogFormat::kRaw, 4);
+  std::vector<unsigned char> bytes = read_bytes(path);
+  bytes.insert(bytes.end(),
+               bytes.end() -
+                   static_cast<std::ptrdiff_t>(EventLogHeader::kRecordSize),
+               bytes.end());
+  const std::string corrupt = temp_path("trailing_rec_dup.evlog");
+  write_bytes(corrupt, bytes);
+
+  EventLogReader reader(corrupt);
+  LogEvent event;
+  try {
+    while (reader.next(event)) {
+    }
+    FAIL() << "trailing record went undetected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("trailing data"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(EventLogTest, RejectsStrayTailOnStreamingLog) {
+  // Unknown-count log whose only content past the header is a partial
+  // record: the first refill swallows it whole, so only the end-of-log
+  // check can reject it (the shape the fuzzer escaped with).
+  const std::string path = temp_path("stray.evlog");
+  write_log(path, {}, EventLogFormat::kRaw, 4);
+  std::vector<unsigned char> bytes = read_bytes(path);
+  patch_log_event_count(bytes, EventLogHeader::kUnknownCount);
+  bytes.insert(bytes.end(), 6, 0x5a);
+  const std::string corrupt = temp_path("stray_tail.evlog");
+  write_bytes(corrupt, bytes);
+
+  EventLogReader reader(corrupt);
+  LogEvent event;
+  try {
+    while (reader.next(event)) {
+    }
+    FAIL() << "stray tail went undetected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated record"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(EventLogTest, ZeroEventPaddingFramesAreTolerated) {
+  // Zero-event frames are legal padding: mid-stream and trailing ones
+  // decode to nothing and must not trip the trailing-data check.
+  const std::vector<LogEvent> events = sweep_events(8);
+  const std::string path = temp_path("padding.evlog");
+  write_log(path, events, EventLogFormat::kCompressed, 4);
+  std::vector<unsigned char> bytes = read_bytes(path);
+  const LogImage image = walk_log_image(bytes);
+  const std::vector<unsigned char> pad = frame_block(0, {});
+  // One padding frame between the blocks, one at the end.
+  bytes.insert(bytes.end(), pad.begin(), pad.end());
+  bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(
+                                   image.segments[1].offset),
+               pad.begin(), pad.end());
+  const std::string padded = temp_path("padded.evlog");
+  write_bytes(padded, bytes);
+
+  EXPECT_EQ(read_all(padded), events);
 }
 
 TEST_F(EventLogTest, GeneratorCoversAllArrivalProcesses) {

@@ -1,0 +1,52 @@
+// Replays every checked-in regression fixture from fixtures/MANIFEST.
+//
+// Each fixture is a minimized artifact that once exposed a decoder
+// defect (or pins a rejection the decoders must keep making): the
+// replay must fail with the recorded digit-stripped signature — never
+// crash, hang, or quietly accept. The corpus is regenerated with
+// `fixture_tool gen-corpus --dir fixtures` after intentional diagnostic
+// changes.
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "replay/fixture.hpp"
+#include "replay/fixture_run.hpp"
+
+#ifndef REPL_FIXTURES_DIR
+#error "REPL_FIXTURES_DIR must point at the checked-in fixtures directory"
+#endif
+
+namespace repl {
+namespace {
+
+TEST(FixtureRegressionTest, ManifestFixturesKeepTheirSignatures) {
+  const std::string dir = REPL_FIXTURES_DIR;
+  std::ifstream manifest(dir + "/MANIFEST");
+  ASSERT_TRUE(manifest.is_open()) << "missing " << dir << "/MANIFEST";
+
+  std::size_t replayed = 0;
+  std::string line;
+  while (std::getline(manifest, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::string path = dir + "/" + line;
+    const Fixture fixture = read_fixture(path);
+    EXPECT_EQ(fixture.expect, FixtureExpect::kFailure) << line;
+    EXPECT_FALSE(fixture.signature.empty()) << line;
+
+    const FixtureRunResult result = fixture_run(fixture);
+    EXPECT_TRUE(result.pass)
+        << line << ": " << result.detail
+        << (result.signature.empty()
+                ? ""
+                : "\n  observed signature: " + result.signature);
+    ++replayed;
+  }
+  // The corpus covers (at least) the trailing-data, truncation, CRC,
+  // wire mid-frame, and snapshot trailing-garbage classes.
+  EXPECT_GE(replayed, 8u);
+}
+
+}  // namespace
+}  // namespace repl

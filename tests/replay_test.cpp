@@ -1,0 +1,295 @@
+// Replay subsystem tests: fixture format round trip and corruption
+// rejection, failure-signature normalization, capture → replay
+// bit-parity across slice formats and checkpointing, the structured
+// fuzzer's determinism and zero-escape invariant, and minimizer
+// convergence on a large failing input.
+#include <cstdint>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/experiment.hpp"
+#include "replay/fixture.hpp"
+#include "replay/fixture_run.hpp"
+#include "replay/fuzz.hpp"
+#include "replay/minimize.hpp"
+#include "replay/structure.hpp"
+#include "trace/event_log.hpp"
+
+namespace repl {
+namespace {
+
+class ReplayTest : public ::testing::Test {
+ protected:
+  std::string temp_path(const std::string& name) {
+    return (dir_ / name).string();
+  }
+
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("repl_replay_test_" + std::string(::testing::UnitTest::GetInstance()
+                                                  ->current_test_info()
+                                                  ->name()));
+    std::filesystem::create_directories(dir_);
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::filesystem::path dir_;
+};
+
+std::vector<LogEvent> make_events(std::size_t n) {
+  std::vector<LogEvent> events;
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += 0.125 * static_cast<double>(1 + (i % 5));
+    events.push_back(
+        LogEvent{t, (i * 13) % 29, static_cast<std::uint32_t>(i % 3)});
+  }
+  return events;
+}
+
+std::string write_event_log(const std::string& path,
+                            const std::vector<LogEvent>& events,
+                            EventLogFormat format,
+                            std::size_t block_events = kEventLogBlockEvents) {
+  EventLogWriter writer(path, /*num_servers=*/3, /*num_objects=*/0, format,
+                        block_events);
+  for (const LogEvent& event : events) writer.write(event);
+  writer.close();
+  return path;
+}
+
+TEST_F(ReplayTest, FixtureRoundTripsEveryField) {
+  Fixture fixture;
+  fixture.target = FixtureTarget::kServe;
+  fixture.expect = FixtureExpect::kFailure;
+  fixture.policy_spec = "drwp(alpha=0.3)";
+  fixture.predictor_spec = "last_gap";
+  fixture.source_name = "unit-test";
+  fixture.num_servers = 5;
+  fixture.transfer_cost = 2.5;
+  fixture.initial_server = 1;
+  fixture.storage_rates = {0.5, 1.0, 1.5, 2.0, 2.5};
+  fixture.base_seed = 42;
+  fixture.horizon = 99.5;
+  fixture.compute_lower_bound = false;
+  fixture.compress_checkpoints = true;
+  fixture.slice_first_event = 7;
+  fixture.slice_events = 123;
+  fixture.slice_begin_byte = 32;
+  fixture.slice_end_byte = 4096;
+  fixture.cuts = {10, 20, 30};
+  fixture.aggregates.objects = 29;
+  fixture.aggregates.events = 123;
+  fixture.aggregates.num_local = 60;
+  fixture.aggregates.num_transfers = 9;
+  fixture.aggregates.online_cost = 17.125;
+  fixture.aggregates.lower_bound = 11.0625;
+  fixture.signature = "event log slice.evlog: something # happened";
+  fixture.blob = {0x01, 0x02, 0x03, 0xff, 0x00, 0x7f};
+
+  const std::string path = temp_path("roundtrip.replfixt");
+  write_fixture(path, fixture);
+  const Fixture back = read_fixture(path);
+
+  EXPECT_EQ(back.target, fixture.target);
+  EXPECT_EQ(back.expect, fixture.expect);
+  EXPECT_EQ(back.policy_spec, fixture.policy_spec);
+  EXPECT_EQ(back.predictor_spec, fixture.predictor_spec);
+  EXPECT_EQ(back.source_name, fixture.source_name);
+  EXPECT_EQ(back.num_servers, fixture.num_servers);
+  EXPECT_EQ(back.transfer_cost, fixture.transfer_cost);
+  EXPECT_EQ(back.initial_server, fixture.initial_server);
+  EXPECT_EQ(back.storage_rates, fixture.storage_rates);
+  EXPECT_EQ(back.base_seed, fixture.base_seed);
+  EXPECT_EQ(back.horizon, fixture.horizon);
+  EXPECT_EQ(back.compute_lower_bound, fixture.compute_lower_bound);
+  EXPECT_EQ(back.compress_checkpoints, fixture.compress_checkpoints);
+  EXPECT_EQ(back.slice_first_event, fixture.slice_first_event);
+  EXPECT_EQ(back.slice_events, fixture.slice_events);
+  EXPECT_EQ(back.slice_begin_byte, fixture.slice_begin_byte);
+  EXPECT_EQ(back.slice_end_byte, fixture.slice_end_byte);
+  EXPECT_EQ(back.cuts, fixture.cuts);
+  EXPECT_EQ(back.aggregates.objects, fixture.aggregates.objects);
+  EXPECT_EQ(back.aggregates.events, fixture.aggregates.events);
+  EXPECT_EQ(back.aggregates.num_local, fixture.aggregates.num_local);
+  EXPECT_EQ(back.aggregates.num_transfers, fixture.aggregates.num_transfers);
+  EXPECT_EQ(back.aggregates.online_cost, fixture.aggregates.online_cost);
+  EXPECT_EQ(back.aggregates.lower_bound, fixture.aggregates.lower_bound);
+  EXPECT_EQ(back.signature, fixture.signature);
+  EXPECT_EQ(back.blob, fixture.blob);
+}
+
+TEST_F(ReplayTest, FixtureFileRejectsEveryFlippedByte) {
+  Fixture fixture;
+  fixture.target = FixtureTarget::kWire;
+  fixture.source_name = "flip";
+  fixture.blob = {1, 2, 3, 4, 5};
+  const std::string path = temp_path("flip.replfixt");
+  write_fixture(path, fixture);
+  const std::vector<unsigned char> bytes = read_bytes(path);
+
+  const std::string corrupt = temp_path("flip_corrupt.replfixt");
+  for (std::size_t offset = 0; offset < bytes.size(); ++offset) {
+    std::vector<unsigned char> mutated = bytes;
+    mutated[offset] ^= 0x20;
+    write_bytes(corrupt, mutated);
+    EXPECT_THROW(read_fixture(corrupt), std::runtime_error)
+        << "flipped byte " << offset << " went undetected";
+  }
+}
+
+TEST_F(ReplayTest, FailureSignatureNormalizesPathsAndDigits) {
+  EXPECT_EQ(failure_signature(
+                "event log /tmp/replfixt-123-4/slice.evlog: CRC mismatch "
+                "(corrupt block) (block 17, byte offset 4242)"),
+            "event log slice.evlog: CRC mismatch (corrupt block) (block #, "
+            "byte offset #)");
+  // Signatures are stable across scratch directories and positions.
+  EXPECT_EQ(failure_signature("log /a/b/x.evlog: bad 1 at 999"),
+            failure_signature("log /other/dir/x.evlog: bad 7 at 3"));
+}
+
+TEST_F(ReplayTest, CaptureReplayParityAcrossFormatsAndCheckpoints) {
+  const std::vector<LogEvent> events = make_events(600);
+  const std::string log_path = write_event_log(
+      temp_path("source.evlog"), events, EventLogFormat::kCompressed, 64);
+
+  for (const EventLogFormat slice_format :
+       {EventLogFormat::kRaw, EventLogFormat::kCompressed}) {
+    for (const std::uint64_t checkpoint_every : {std::uint64_t{0},
+                                                 std::uint64_t{150}}) {
+      const std::string label =
+          std::string(event_log_format_name(slice_format)) + "-ckpt" +
+          std::to_string(checkpoint_every);
+
+      SystemConfig config;
+      config.num_servers = 3;
+      EngineBuilder builder;
+      builder.config(config).policy("drwp(alpha=0.3)").predictor("last_gap");
+      auto engine = builder.build();
+
+      const std::string fixture_path = temp_path(label + ".replfixt");
+      ServeOptions serve;
+      serve.batch_events = 128;
+      serve.checkpoint_every = checkpoint_every;
+      if (checkpoint_every > 0) {
+        serve.checkpoint_path = temp_path(label + ".ckpt");
+      }
+      CaptureOptions capture;
+      capture.path = fixture_path;
+      capture.log_format = slice_format;
+      capture.source_name = log_path;
+      serve.capture = capture;
+
+      EventLogReader reader(log_path);
+      engine->serve(reader, serve);
+
+      const Fixture fixture = read_fixture(fixture_path);
+      EXPECT_EQ(fixture.slice_events, events.size()) << label;
+      EXPECT_EQ(fixture.cuts.size(), checkpoint_every > 0 ? 4u : 0u) << label;
+
+      // Replay must reproduce the aggregates bit-exactly — including
+      // when every recorded cut is checkpointed, restored, and finished.
+      FixtureRunOptions run;
+      run.verify_cuts = checkpoint_every > 0;
+      const FixtureRunResult result = fixture_run(fixture, run);
+      EXPECT_TRUE(result.pass) << label << ": " << result.detail;
+
+      // And the parity check has teeth: a single-ulp aggregate nudge
+      // fails the replay.
+      Fixture tampered = fixture;
+      tampered.aggregates.online_cost =
+          tampered.aggregates.online_cost * (1.0 + 1e-15) + 1e-300;
+      const FixtureRunResult mismatch = fixture_run(tampered);
+      EXPECT_FALSE(mismatch.pass) << label;
+      EXPECT_NE(mismatch.detail.find("aggregates differ"), std::string::npos)
+          << label << ": " << mismatch.detail;
+    }
+  }
+}
+
+TEST_F(ReplayTest, FuzzerIsDeterministicPerSeed) {
+  for (const FuzzTarget target :
+       {FuzzTarget::kLog, FuzzTarget::kSnapshot, FuzzTarget::kWire}) {
+    FuzzOptions options;
+    options.seed = 5;
+    options.cases = 40;
+    const FuzzReport first = fuzz_format(target, options);
+    const FuzzReport second = fuzz_format(target, options);
+    EXPECT_EQ(first.trace, second.trace) << fuzz_target_name(target);
+    EXPECT_EQ(first.accepted, second.accepted) << fuzz_target_name(target);
+    EXPECT_EQ(first.rejected, second.rejected) << fuzz_target_name(target);
+
+    options.seed = 6;
+    const FuzzReport other = fuzz_format(target, options);
+    EXPECT_NE(first.trace, other.trace) << fuzz_target_name(target);
+  }
+}
+
+TEST_F(ReplayTest, FuzzSmokeFindsNoEscapes) {
+  // The zero-escape invariant on a small budget: every mutation either
+  // decodes to the expected result or is rejected with a positioned
+  // diagnostic. (CI runs the same check with bigger budgets.)
+  for (const FuzzTarget target :
+       {FuzzTarget::kLog, FuzzTarget::kSnapshot, FuzzTarget::kWire}) {
+    FuzzOptions options;
+    options.seed = 11;
+    options.cases = 80;
+    const FuzzReport report = fuzz_format(target, options);
+    std::string escapes;
+    for (const FuzzFailure& failure : report.failures) {
+      escapes += failure.mutation + ": " + failure.detail + "\n";
+    }
+    EXPECT_TRUE(report.ok()) << fuzz_target_name(target) << " escapes:\n"
+                             << escapes;
+  }
+}
+
+TEST_F(ReplayTest, MinimizerConvergesOnLargeFailingInput) {
+  // A 10k-event compressed log with one corrupt block must shrink to a
+  // fixture of fewer than 100 events that still fails with the same
+  // signature.
+  const std::vector<LogEvent> events = make_events(10000);
+  const std::string log_path = write_event_log(
+      temp_path("big.evlog"), events, EventLogFormat::kCompressed, 64);
+  std::vector<unsigned char> bytes = read_bytes(log_path);
+  const LogImage image = walk_log_image(bytes);
+  ASSERT_GT(image.segments.size(), 100u);
+  const SegmentSpan& victim = image.segments[image.segments.size() / 2];
+  bytes[victim.payload_offset + 5] ^= 0x08;
+
+  Fixture fixture;
+  fixture.target = FixtureTarget::kServe;
+  fixture.expect = FixtureExpect::kFailure;
+  fixture.policy_spec = "drwp(alpha=0.3)";
+  fixture.predictor_spec = "last_gap";
+  fixture.num_servers = 3;
+  fixture.source_name = "minimizer-convergence";
+  fixture.blob = std::move(bytes);
+
+  const MinimizeResult result = minimize_fixture(fixture);
+  EXPECT_LT(result.fixture.slice_events, 100u);
+  EXPECT_LT(result.minimized_bytes, result.original_bytes / 10);
+  EXPECT_NE(result.signature.find("CRC mismatch"), std::string::npos)
+      << result.signature;
+
+  // The minimized fixture still fails with the preserved signature.
+  const FixtureRunResult replay = fixture_run(result.fixture);
+  EXPECT_TRUE(replay.pass) << replay.detail;
+
+  // A healthy input has nothing to minimize.
+  Fixture healthy = fixture;
+  healthy.blob = read_bytes(log_path);
+  EXPECT_THROW(minimize_fixture(healthy), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace repl
