@@ -20,6 +20,10 @@ constexpr std::uint32_t kFixtureVersion = 1;
 constexpr std::size_t kFixturePrefixBytes = 32;  // through meta_len
 /// Sanity cap on the whole fixture: these are test artifacts, not logs.
 constexpr std::uint64_t kMaxFixtureBytes = std::uint64_t{1} << 32;
+/// Sanity cap on the server count: SystemConfig stores an int, and the
+/// count sizes per-server state downstream, so an untrusted u32 must be
+/// bounded well below INT_MAX before it leaves the reader.
+constexpr std::uint32_t kMaxFixtureServers = 1u << 20;
 
 [[noreturn]] void fixture_fail(const std::string& path,
                                const std::string& what) {
@@ -166,10 +170,19 @@ Fixture read_fixture(const std::string& path) {
   fixture.predictor_spec = meta.str();
   fixture.source_name = meta.str();
   fixture.num_servers = meta.u32();
+  if (fixture.num_servers == 0 || fixture.num_servers > kMaxFixtureServers) {
+    meta.fail("implausible server count " +
+              std::to_string(fixture.num_servers));
+  }
   fixture.transfer_cost = meta.f64();
   fixture.initial_server = meta.i32();
   const std::uint32_t rates = meta.u32();
-  if (rates > fixture.num_servers) meta.fail("implausible storage-rate count");
+  // Bounded two ways: by the (already capped) server count, and by the
+  // bytes actually present (8 per f64) — so a crafted count fails with a
+  // diagnostic before it can drive a huge resize.
+  if (rates > fixture.num_servers || rates > meta.remaining() / 8) {
+    meta.fail("implausible storage-rate count");
+  }
   fixture.storage_rates.resize(rates);
   for (std::uint32_t i = 0; i < rates; ++i) {
     fixture.storage_rates[i] = meta.f64();

@@ -679,6 +679,8 @@ struct SnapCase {
   std::vector<unsigned char> base;
   std::vector<SnapRecord> records;
   SnapshotImage image;
+  /// Object-record payload codec the base was written with.
+  std::uint32_t codec = SnapshotHeader::kCodecRaw;
 };
 
 SnapCase make_snapshot_case(Rng& rng, const ScratchDir& scratch) {
@@ -717,6 +719,7 @@ SnapCase make_snapshot_case(Rng& rng, const ScratchDir& scratch) {
   }
   c.base = read_bytes(path);
   c.image = walk_snapshot_image(c.base);
+  c.codec = header.codec;
   return c;
 }
 
@@ -815,12 +818,29 @@ Mutation mutate_snapshot_overflow(const SnapCase& c, Rng& rng) {
                                    rng.uniform_index(1024)));
       refresh_record_crc(m.bytes, off);
       break;
-    default:  // raw_len lies (codec output won't match), recomputed CRC
-      store_le32(rec + 12, load_le32(rec + 12) + 1 +
-                               static_cast<std::uint32_t>(
-                                   rng.uniform_index(64)));
+    default: {  // raw_len lies (decode can't produce it), recomputed CRC
+      const std::uint32_t raw_len = load_le32(rec + 12);
+      std::uint32_t lied;
+      if (c.codec == SnapshotHeader::kCodecWord) {
+        // A raw_len that grows the word count can coincidentally
+        // re-parse as a *valid* encoding of different content (an
+        // unused high control nibble decodes as "repeat previous
+        // word"), which no decoder could reject. Lying within the same
+        // word count only changes the expected tail length, which the
+        // decoder's exact-tail check must always catch.
+        const std::uint32_t tail = raw_len % 8;
+        const std::uint32_t new_tail =
+            (tail + 1 + static_cast<std::uint32_t>(rng.uniform_index(7))) % 8;
+        lied = raw_len - tail + new_tail;
+      } else {
+        // Raw records: any mismatch against encoded_len must fail.
+        lied = raw_len + 1 +
+               static_cast<std::uint32_t>(rng.uniform_index(64));
+      }
+      store_le32(rec + 12, lied);
       refresh_record_crc(m.bytes, off);
       break;
+    }
   }
   m.name = "overflow:record=" + std::to_string(k) +
            ":variant=" + std::to_string(variant);

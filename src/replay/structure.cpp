@@ -94,7 +94,13 @@ SnapshotImage walk_snapshot_image(const std::vector<unsigned char>& bytes) {
   std::size_t header_bytes = SnapshotHeader::kSize;
   if (version >= 2) {
     header_bytes += SnapshotHeader::kExtensionSize;
+    // A snapshot truncated inside the extension must walk as
+    // header_ok=false; without this guard the subtractions below
+    // underflow and read past the buffer.
+    if (header_bytes > bytes.size()) return image;
     // Two length-prefixed spec strings, then (v3) the codec word.
+    // Each check below keeps header_bytes <= bytes.size(), so the
+    // size_t subtractions cannot underflow.
     for (int spec = 0; spec < 2; ++spec) {
       if (bytes.size() - header_bytes < 4) return image;
       const std::uint32_t len = load_le32(bytes.data() + header_bytes);

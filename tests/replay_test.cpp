@@ -12,6 +12,9 @@
 #include <gtest/gtest.h>
 
 #include "api/experiment.hpp"
+#include "checkpoint/snapshot.hpp"
+#include "codec/crc32.hpp"
+#include "codec/endian.hpp"
 #include "replay/fixture.hpp"
 #include "replay/fixture_run.hpp"
 #include "replay/fuzz.hpp"
@@ -144,6 +147,129 @@ TEST_F(ReplayTest, FixtureFileRejectsEveryFlippedByte) {
     EXPECT_THROW(read_fixture(corrupt), std::runtime_error)
         << "flipped byte " << offset << " went undetected";
   }
+}
+
+TEST_F(ReplayTest, SnapshotWalkSurvivesTruncationAtEveryByte) {
+  // Regression: a v2/v3 snapshot truncated inside the extension header
+  // (64..87 bytes) used to underflow the walker's size_t arithmetic and
+  // read past the buffer. Every prefix must walk cleanly, and a
+  // well-formed header claim must stay inside the bytes it was given.
+  SnapshotHeader header;
+  header.num_servers = 3;
+  header.num_objects = 2;
+  header.policy_spec = "drwp(alpha=0.3)";
+  header.predictor_spec = "last_gap";
+  const std::string path = temp_path("walk.ckpt");
+  {
+    SnapshotWriter writer(path, header);
+    writer.add_object(1, {0x10, 0x20, 0x30});
+    writer.add_object(4, {0x40});
+    writer.close();
+  }
+  const std::vector<unsigned char> bytes = read_bytes(path);
+  ASSERT_GT(bytes.size(), SnapshotHeader::kSize + SnapshotHeader::kExtensionSize);
+
+  for (std::size_t cut = 0; cut <= bytes.size(); ++cut) {
+    std::vector<unsigned char> prefix(
+        bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    for (const std::uint32_t version : {std::uint32_t{3}, std::uint32_t{2}}) {
+      if (version != 3) {
+        if (prefix.size() < 12) continue;
+        store_le32(prefix.data() + 8, version);
+      }
+      const SnapshotImage image = walk_snapshot_image(prefix);
+      EXPECT_LE(image.header_bytes, prefix.size()) << "cut " << cut;
+      EXPECT_LE(image.tail_offset, prefix.size()) << "cut " << cut;
+      if (cut < bytes.size()) {
+        EXPECT_FALSE(image.header_ok && image.records.size() == 2 &&
+                     image.footer_present)
+            << "cut " << cut << " walked as complete";
+      }
+    }
+  }
+
+  // End-to-end reachability from the review: minimizing a fixture whose
+  // blob is a snapshot cut mid-extension drives build_snapshot_model
+  // over exactly these truncated bytes.
+  Fixture fixture;
+  fixture.target = FixtureTarget::kSnapshot;
+  fixture.expect = FixtureExpect::kFailure;
+  fixture.source_name = "truncated-extension";
+  fixture.blob.assign(bytes.begin(), bytes.begin() + 70);
+  const MinimizeResult result = minimize_fixture(fixture);
+  EXPECT_FALSE(result.signature.empty());
+  const FixtureRunResult replay = fixture_run(result.fixture);
+  EXPECT_TRUE(replay.pass) << replay.detail;
+}
+
+// Overwrites the u32 at `at` and reseals the trailing CRC, so the
+// mutation reaches the metadata decoder instead of the CRC check.
+void patch_fixture_u32(std::vector<unsigned char>& bytes, std::size_t at,
+                       std::uint32_t value) {
+  ASSERT_LT(at + 4, bytes.size() - 12);
+  store_le32(bytes.data() + at, value);
+  const std::size_t crc_at = bytes.size() - 12;
+  store_le32(bytes.data() + crc_at, crc32c(bytes.data(), crc_at));
+}
+
+TEST_F(ReplayTest, FixtureRejectsImplausibleServerAndRateCounts) {
+  // Regression: num_servers and the storage-rate count are untrusted
+  // u32s; uncapped they drove an int overflow (SystemConfig) and a
+  // multi-GB resize respectively. Both must fail with a diagnostic.
+  Fixture fixture;
+  fixture.policy_spec = "p";
+  fixture.predictor_spec = "q";
+  fixture.source_name = "s";
+  fixture.num_servers = 2;
+  fixture.storage_rates = {1.0, 2.0};
+  const std::string path = temp_path("counts.replfixt");
+  write_fixture(path, fixture);
+  const std::vector<unsigned char> sealed = read_bytes(path);
+
+  // Meta field offsets (see write_fixture): three length-prefixed spec
+  // strings, then num_servers u32, transfer_cost f64, initial_server
+  // i32, rate count u32.
+  const std::size_t meta_at = 32;
+  const std::size_t servers_at = meta_at + (4 + fixture.policy_spec.size()) +
+                                 (4 + fixture.predictor_spec.size()) +
+                                 (4 + fixture.source_name.size());
+  const std::size_t rates_at = servers_at + 4 + 8 + 4;
+
+  const auto read_failure = [&](const std::vector<unsigned char>& bytes) {
+    const std::string corrupt = temp_path("counts_bad.replfixt");
+    write_bytes(corrupt, bytes);
+    try {
+      read_fixture(corrupt);
+    } catch (const std::runtime_error& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+
+  {
+    std::vector<unsigned char> mutated = sealed;
+    patch_fixture_u32(mutated, servers_at, 0xFFFFFFFFu);
+    EXPECT_NE(read_failure(mutated).find("implausible server count"),
+              std::string::npos);
+  }
+  {
+    std::vector<unsigned char> mutated = sealed;
+    patch_fixture_u32(mutated, servers_at, 0);
+    EXPECT_NE(read_failure(mutated).find("implausible server count"),
+              std::string::npos);
+  }
+  {
+    // A server count at the cap is fine, but a rate count claiming more
+    // doubles than the metadata holds must fail before any resize.
+    std::vector<unsigned char> mutated = sealed;
+    patch_fixture_u32(mutated, servers_at, 1u << 20);
+    patch_fixture_u32(mutated, rates_at, 1u << 20);
+    EXPECT_NE(read_failure(mutated).find("implausible storage-rate count"),
+              std::string::npos);
+  }
+
+  // The untouched fixture still reads back.
+  EXPECT_EQ(read_fixture(path).num_servers, 2u);
 }
 
 TEST_F(ReplayTest, FailureSignatureNormalizesPathsAndDigits) {
