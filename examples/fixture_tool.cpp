@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "api/experiment.hpp"
+#include "cluster/control.hpp"
 #include "net/wire.hpp"
 #include "replay/fixture.hpp"
 #include "replay/fixture_run.hpp"
@@ -184,7 +185,8 @@ int cmd_show(int argc, const char* const* argv) {
 int cmd_fuzz(int argc, const char* const* argv) {
   CliParser cli("fixture_tool fuzz",
                 "Structured fuzzing of one decoder format.");
-  cli.add_flag("target", "log", "decoder to fuzz: log, snapshot, or wire");
+  cli.add_flag("target", "log",
+               "decoder to fuzz: log, snapshot, wire, or cluster");
   cli.add_flag("seed", "1", "fuzz seed");
   cli.add_flag("cases", "256", "mutated inputs to try");
   cli.add_flag("save", "", "directory for escape fixtures (optional)");
@@ -423,6 +425,63 @@ int cmd_gen_corpus(int argc, const char* const* argv) {
     entries.push_back(
         {"wire-midframe-close",
          corpus_fixture(FixtureTarget::kWire, "wire-midframe-close", bytes)});
+  }
+  {
+    // A worker control stream that closes cleanly before its terminal
+    // summary: the mid-serve worker death the coordinator must treat as
+    // a failure, never as a finished partition.
+    ControlHello hello;
+    hello.partition_id = 1;
+    hello.num_partitions = 4;
+    hello.pf_version = 1;
+    hello.num_servers = 3;
+    hello.base_seed = 42;
+    std::vector<unsigned char> bytes;
+    encode_control_header(bytes);
+    encode_control_hello(hello, bytes);
+    encode_control_progress({4096, 1}, bytes);
+    entries.push_back({"cluster-no-summary",
+                       corpus_fixture(FixtureTarget::kCluster,
+                                      "cluster-no-summary", bytes)});
+  }
+  {
+    // Finals records out of id order inside one frame: the cross-
+    // partition reduce depends on the id-sorted invariant, so the
+    // decoder must reject, not silently merge out of order.
+    ControlHello hello;
+    hello.partition_id = 0;
+    hello.num_partitions = 2;
+    hello.pf_version = 1;
+    hello.num_servers = 3;
+    std::vector<unsigned char> bytes;
+    encode_control_header(bytes);
+    encode_control_hello(hello, bytes);
+    EngineObjectFinal finals[2];
+    finals[0].id = 7;
+    finals[0].events = 3;
+    finals[1].id = 3;
+    finals[1].events = 2;
+    encode_control_finals(finals, 2, bytes);
+    entries.push_back({"cluster-finals-unsorted",
+                       corpus_fixture(FixtureTarget::kCluster,
+                                      "cluster-finals-unsorted", bytes)});
+  }
+  {
+    // A progress counter that regresses: a respawned worker reporting
+    // from the wrong resume position must be caught at the decoder.
+    ControlHello hello;
+    hello.partition_id = 0;
+    hello.num_partitions = 2;
+    hello.pf_version = 1;
+    hello.num_servers = 3;
+    std::vector<unsigned char> bytes;
+    encode_control_header(bytes);
+    encode_control_hello(hello, bytes);
+    encode_control_progress({100, 1}, bytes);
+    encode_control_progress({50, 2}, bytes);
+    entries.push_back({"cluster-progress-regress",
+                       corpus_fixture(FixtureTarget::kCluster,
+                                      "cluster-progress-regress", bytes)});
   }
   {
     // Garbage appended after a snapshot's footer.

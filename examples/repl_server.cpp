@@ -62,6 +62,9 @@ int main(int argc, char** argv) {
   cli.add_flag("max-queue", "65536", "per-connection queue bound (events)");
   cli.add_flag("max-total-queue", "1048576",
                "global queue bound across connections (events)");
+  cli.add_flag("max-events-per-sec", "0",
+               "per-connection ingest rate cap, events/second (token "
+               "bucket with one second of burst; 0 = unlimited)");
   cli.add_bool_flag("compress", "write snapshots with compressed records");
   cli.add_flag("checkpoint-every", "0",
                "snapshot the engine every N events (0 = never)");
@@ -127,6 +130,7 @@ int main(int argc, char** argv) {
   net.batch_events = cli.get_size_t("batch-events", 1);
   net.max_connection_events = cli.get_size_t("max-queue", 1);
   net.max_total_events = cli.get_size_t("max-total-queue", 1);
+  net.max_events_per_sec = cli.get_double("max-events-per-sec");
   net.min_connections = cli.get_size_t("min-clients", 1);
   net.metrics = &registry;
 

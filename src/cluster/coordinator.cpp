@@ -1,0 +1,589 @@
+#include "cluster/coordinator.hpp"
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "checkpoint/partition_manifest.hpp"
+#include "cluster/partition.hpp"
+#include "obs/metrics.hpp"
+#include "trace/event_log.hpp"
+#include "util/check.hpp"
+
+namespace repl {
+
+namespace {
+
+/// Round-trip-exact double for a CLI argument.
+std::string format_double(double value) {
+  std::ostringstream out;
+  out << std::setprecision(17) << value;
+  return out.str();
+}
+
+}  // namespace
+
+struct ClusterCoordinator::Partition {
+  std::uint32_t id = 0;
+  pid_t pid = -1;
+  std::unique_ptr<ReconnectingEventStreamClient> client;
+  /// Partition-local events encountered in the log so far (1-based
+  /// position of the most recent one). Main serving thread only.
+  std::uint64_t seen = 0;
+  /// Events the worker already held at the initial handshake (restored
+  /// from a pre-existing checkpoint); positions <= this are skipped.
+  std::uint64_t send_from = 0;
+  std::size_t respawns = 0;
+
+  // Control-plane state, guarded by ClusterCoordinator::ctl_mu_.
+  std::uint64_t active_epoch = 0;
+  bool hello_seen = false;
+  ControlHello hello;
+  std::uint64_t progress_events = 0;
+  std::uint64_t checkpoint_events = 0;
+  std::vector<EngineObjectFinal> finals;
+  ControlSummary summary;
+  bool summary_seen = false;
+  bool control_failed = false;
+  std::string control_error;
+};
+
+struct ClusterCoordinator::Instruments {
+  Instruments(obs::MetricsRegistry& r, std::uint32_t num_partitions)
+      : workers_alive(r.gauge("repl_cluster_workers_alive",
+                              "Worker processes spawned and not yet "
+                              "reaped")) {
+    for (std::uint32_t p = 0; p < num_partitions; ++p) {
+      const obs::Labels labels{{"partition", std::to_string(p)}};
+      routed.push_back(&r.counter(
+          "repl_cluster_events_routed_total",
+          "Events sent to this partition's worker (skipped "
+          "already-ingested prefixes excluded; catch-up resends included)",
+          labels));
+      respawns.push_back(&r.counter(
+          "repl_cluster_worker_respawns_total",
+          "Times this partition's worker was killed and respawned",
+          labels));
+      checkpoints.push_back(&r.counter(
+          "repl_cluster_checkpoints_total",
+          "Per-partition checkpoints the worker reported", labels));
+      in_flight.push_back(&r.gauge(
+          "repl_cluster_events_in_flight",
+          "Partition lag: events routed but not yet reported ingested "
+          "by the worker's last progress message",
+          labels));
+    }
+  }
+
+  obs::Gauge& workers_alive;
+  std::vector<obs::Counter*> routed;
+  std::vector<obs::Counter*> respawns;
+  std::vector<obs::Counter*> checkpoints;
+  std::vector<obs::Gauge*> in_flight;
+};
+
+ClusterCoordinator::ClusterCoordinator(ClusterCoordinatorOptions options)
+    : options_(std::move(options)) {
+  REPL_REQUIRE_MSG(options_.num_partitions >= 1,
+                   "cluster needs at least one partition");
+  REPL_REQUIRE_MSG(!options_.worker_binary.empty(),
+                   "cluster needs a worker binary path");
+  REPL_REQUIRE_MSG(!options_.socket_dir.empty(),
+                   "cluster needs a socket directory");
+  options_.config.validate();
+  if (options_.metrics != nullptr) {
+    registry_ = options_.metrics;
+  } else {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry_ = owned_registry_.get();
+  }
+  inst_ = std::make_unique<Instruments>(*registry_, options_.num_partitions);
+  for (std::uint32_t p = 0; p < options_.num_partitions; ++p) {
+    auto part = std::make_unique<Partition>();
+    part->id = p;
+    parts_.push_back(std::move(part));
+  }
+}
+
+ClusterCoordinator::~ClusterCoordinator() {
+  for (std::uint32_t p = 0; p < options_.num_partitions; ++p) {
+    kill_worker(p);
+  }
+  stop_control_plane();
+}
+
+std::string ClusterCoordinator::event_socket_path(
+    std::uint32_t partition) const {
+  return options_.socket_dir + "/evt" + std::to_string(partition) + ".sock";
+}
+
+std::string ClusterCoordinator::control_socket_path() const {
+  return options_.socket_dir + "/ctl.sock";
+}
+
+std::string ClusterCoordinator::snapshot_path(std::uint32_t partition) const {
+  return options_.socket_dir + "/part" + std::to_string(partition) + ".ckpt";
+}
+
+int ClusterCoordinator::worker_pid(std::uint32_t partition) const {
+  REPL_REQUIRE_MSG(partition < parts_.size(), "partition out of range");
+  return static_cast<int>(parts_[partition]->pid);
+}
+
+void ClusterCoordinator::start_control_plane() {
+  control_listener_ = std::make_unique<Listener>(
+      Listener::unix_domain(control_socket_path()));
+  accept_thread_ = std::thread([this] { control_accept_loop(); });
+}
+
+void ClusterCoordinator::stop_control_plane() {
+  {
+    std::lock_guard<std::mutex> lock(ctl_mu_);
+    control_stopping_ = true;
+  }
+  if (control_listener_) control_listener_->shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& thread : control_threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  control_threads_.clear();
+  control_listener_.reset();
+}
+
+void ClusterCoordinator::control_accept_loop() {
+  for (;;) {
+    Socket sock = control_listener_->accept();
+    if (!sock.valid()) return;
+    std::lock_guard<std::mutex> lock(ctl_mu_);
+    if (control_stopping_) return;
+    const std::uint64_t epoch = ++next_epoch_;
+    control_threads_.emplace_back(
+        [this, epoch](Socket s) { control_connection_main(std::move(s), epoch); },
+        std::move(sock));
+  }
+}
+
+void ClusterCoordinator::control_connection_main(Socket sock,
+                                                 std::uint64_t epoch) {
+  ClusterControlAssembler assembler("control#" + std::to_string(epoch));
+  std::vector<ControlMessage> messages;
+  Partition* part = nullptr;
+  try {
+    std::vector<unsigned char> buf(std::size_t{64} << 10);
+    for (;;) {
+      const std::size_t n = sock.read_some(buf.data(), buf.size());
+      if (n == 0) {
+        if (!assembler.complete()) {
+          throw std::runtime_error(
+              "control stream closed before its summary (worker died)");
+        }
+        return;
+      }
+      messages.clear();
+      assembler.feed(buf.data(), n, messages);
+      if (messages.empty()) continue;
+      std::lock_guard<std::mutex> lock(ctl_mu_);
+      for (ControlMessage& msg : messages) {
+        if (msg.type == ControlType::kHello) {
+          // The assembler already validated internal consistency; check
+          // the hello against *this* cluster's geometry. Attribute the
+          // connection first so a mismatch lands on the right partition.
+          if (msg.hello.partition_id >= options_.num_partitions) {
+            throw std::runtime_error(
+                "hello from partition " +
+                std::to_string(msg.hello.partition_id) +
+                " but the cluster has " +
+                std::to_string(options_.num_partitions) + " partitions");
+          }
+          part = parts_[msg.hello.partition_id].get();
+          // Latest connection for a partition wins: a respawned worker's
+          // stream replaces its predecessor's, whose thread goes stale.
+          part->active_epoch = epoch;
+          part->hello_seen = true;
+          part->hello = msg.hello;
+          require_partition_function_version(msg.hello.pf_version);
+          REPL_REQUIRE_MSG(
+              msg.hello.num_partitions == options_.num_partitions,
+              "worker believes in " << msg.hello.num_partitions
+                                    << " partitions, cluster runs "
+                                    << options_.num_partitions);
+          REPL_REQUIRE_MSG(
+              msg.hello.num_servers ==
+                  static_cast<std::uint32_t>(options_.config.num_servers),
+              "worker serves " << msg.hello.num_servers
+                               << " servers, cluster serves "
+                               << options_.config.num_servers);
+          REPL_REQUIRE_MSG(msg.hello.base_seed == options_.base_seed,
+                           "worker base seed " << msg.hello.base_seed
+                                               << " != coordinator's "
+                                               << options_.base_seed);
+          continue;
+        }
+        // hello-first is assembler-enforced, so part is set here.
+        if (part == nullptr || part->active_epoch != epoch) return;
+        switch (msg.type) {
+          case ControlType::kProgress:
+            part->progress_events = msg.progress.events_ingested;
+            break;
+          case ControlType::kCheckpoint:
+            part->checkpoint_events = msg.checkpoint.events_ingested;
+            inst_->checkpoints[part->id]->inc();
+            break;
+          case ControlType::kFinals:
+            part->finals.insert(part->finals.end(), msg.finals.begin(),
+                                msg.finals.end());
+            break;
+          case ControlType::kSummary:
+            part->summary = msg.summary;
+            part->summary_seen = true;
+            break;
+          case ControlType::kHello:
+            break;  // handled above
+        }
+      }
+      ctl_cv_.notify_all();
+    }
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(ctl_mu_);
+    if (part != nullptr && part->active_epoch == epoch &&
+        !part->summary_seen) {
+      part->control_failed = true;
+      part->control_error = e.what();
+    }
+    ctl_cv_.notify_all();
+  }
+}
+
+void ClusterCoordinator::spawn_worker(std::uint32_t p) {
+  Partition& part = *parts_[p];
+  std::vector<std::string> args;
+  args.push_back(options_.worker_binary);
+  args.push_back("--role=worker");
+  args.push_back("--partition=" + std::to_string(p));
+  args.push_back("--partitions=" + std::to_string(options_.num_partitions));
+  args.push_back("--event-socket=" + event_socket_path(p));
+  args.push_back("--control-socket=" + control_socket_path());
+  args.push_back("--servers=" +
+                 std::to_string(options_.config.num_servers));
+  args.push_back("--lambda=" + format_double(options_.config.transfer_cost));
+  args.push_back("--initial-server=" +
+                 std::to_string(options_.config.initial_server));
+  args.push_back("--policy=" + options_.policy_spec);
+  args.push_back("--predictor=" + options_.predictor_spec);
+  args.push_back("--seed=" + std::to_string(options_.base_seed));
+  args.push_back("--shards=" + std::to_string(options_.worker_shards));
+  args.push_back("--threads=" + std::to_string(options_.worker_threads));
+  args.push_back("--batch-events=" + std::to_string(options_.batch_events));
+  if (options_.checkpoint_every > 0) {
+    args.push_back("--checkpoint-every=" +
+                   std::to_string(options_.checkpoint_every));
+    args.push_back("--checkpoint-path=" + snapshot_path(p));
+  }
+  if (options_.compress_checkpoints) args.push_back("--compress");
+  if (!options_.compute_lower_bound) args.push_back("--no-lower-bound");
+  // Resume from the partition's checkpoint when a manifest-bound one
+  // exists — which is exactly the respawn-after-kill case (and a cold
+  // start in a directory where a previous serve checkpointed).
+  const std::string snap = snapshot_path(p);
+  if (std::filesystem::exists(snap) &&
+      std::filesystem::exists(partition_manifest_path(snap))) {
+    args.push_back("--resume-from=" + snap);
+  }
+
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw std::runtime_error(std::string("fork failed: ") +
+                             std::strerror(errno));
+  }
+  if (pid == 0) {
+    ::execv(argv[0], argv.data());
+    ::_exit(127);  // exec failed; the parent sees a fast exit
+  }
+  part.pid = pid;
+  inst_->workers_alive.add(1.0);
+}
+
+void ClusterCoordinator::kill_worker(std::uint32_t p) {
+  Partition& part = *parts_[p];
+  if (part.pid < 0) return;
+  ::kill(part.pid, SIGKILL);
+  int status = 0;
+  while (::waitpid(part.pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  part.pid = -1;
+  inst_->workers_alive.add(-1.0);
+}
+
+void ClusterCoordinator::respawn_worker(std::uint32_t p) {
+  Partition& part = *parts_[p];
+  if (part.respawns >= options_.max_respawns) {
+    throw std::runtime_error(
+        "partition " + std::to_string(p) + ": respawn budget (" +
+        std::to_string(options_.max_respawns) + ") exhausted");
+  }
+  ++part.respawns;
+  ++total_respawns_;
+  inst_->respawns[p]->inc();
+  kill_worker(p);
+  part.client->drop();
+  {
+    // The dead worker's control stream is history: clear its partial
+    // state so the respawn's hello/finals/summary start clean. Its
+    // reader thread, if still draining, went stale when the new hello
+    // bumps active_epoch.
+    std::lock_guard<std::mutex> lock(ctl_mu_);
+    part.hello_seen = false;
+    part.summary_seen = false;
+    part.control_failed = false;
+    part.control_error.clear();
+    part.finals.clear();
+    part.progress_events = 0;
+  }
+  spawn_worker(p);
+  part.client->connect();
+}
+
+void ClusterCoordinator::catch_up(std::uint32_t p, std::uint64_t through) {
+  Partition& part = *parts_[p];
+  // What the respawned worker reported holding (its restored snapshot's
+  // cumulative event count; 0 when it started fresh).
+  const std::uint64_t resume = part.client->resume_events();
+  if (through <= resume) return;
+  // Re-read the source log, filter this partition, skip the prefix the
+  // worker holds, and resend up to (and including) position `through`.
+  // Linear, but only runs on a respawn — correctness over speed.
+  EventLogReader reader(log_path_);
+  std::vector<LogEvent> batch;
+  std::uint64_t pos = 0;
+  bool done = false;
+  while (!done && reader.read_batch(batch, options_.batch_events) > 0) {
+    for (const LogEvent& event : batch) {
+      if (partition_of(event.object, options_.num_partitions) != p) continue;
+      ++pos;
+      if (pos <= resume) continue;
+      part.client->send(event);
+      inst_->routed[p]->inc();
+      if (pos == through) {
+        done = true;
+        break;
+      }
+    }
+  }
+  REPL_CHECK_MSG(pos == through,
+                 "catch-up for partition " << p << " found only " << pos
+                                           << " of " << through
+                                           << " events in the log");
+  part.client->flush();
+}
+
+void ClusterCoordinator::recover(std::uint32_t p, std::uint64_t through) {
+  for (;;) {
+    respawn_worker(p);  // throws once the budget is exhausted
+    try {
+      catch_up(p, through);
+      return;
+    } catch (const CheckFailure&) {
+      throw;  // a short log is not survivable by respawning again
+    } catch (const std::exception&) {
+      // The fresh worker died mid-catch-up; go around (budget-capped).
+    }
+  }
+}
+
+void ClusterCoordinator::route_event(std::uint32_t p, const LogEvent& event) {
+  Partition& part = *parts_[p];
+  for (;;) {
+    try {
+      part.client->send(event);
+      inst_->routed[p]->inc();
+      return;
+    } catch (const std::exception&) {
+      // The worker is gone. Everything strictly before the current
+      // event either landed or is re-sent by catch_up; the current
+      // event retries on the fresh transport.
+      recover(p, part.seen - 1);
+    }
+  }
+}
+
+void ClusterCoordinator::finish_partition(std::uint32_t p) {
+  Partition& part = *parts_[p];
+  for (;;) {
+    try {
+      part.client->finish();
+      return;
+    } catch (const std::exception&) {
+      recover(p, part.seen);
+    }
+  }
+}
+
+void ClusterCoordinator::await_summary(std::uint32_t p) {
+  Partition& part = *parts_[p];
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(ctl_mu_);
+      ctl_cv_.wait(lock, [&] {
+        return part.summary_seen || part.control_failed;
+      });
+      if (part.summary_seen) return;
+    }
+    // The worker died between finishing its event stream and delivering
+    // its summary: respawn from its checkpoint, replay the tail, finish
+    // again, and wait for the fresh incarnation's summary.
+    recover(p, part.seen);
+    finish_partition(p);
+  }
+}
+
+ClusterServeResult ClusterCoordinator::serve_log(const std::string& log_path) {
+  REPL_REQUIRE_MSG(!served_, "serve_log is one-shot");
+  served_ = true;
+  log_path_ = log_path;
+  {
+    EventLogReader probe(log_path);
+    REPL_REQUIRE_MSG(probe.num_servers() == options_.config.num_servers,
+                     "log declares " << probe.num_servers()
+                                     << " servers, cluster serves "
+                                     << options_.config.num_servers);
+  }
+
+  start_control_plane();
+  for (std::uint32_t p = 0; p < options_.num_partitions; ++p) {
+    spawn_worker(p);
+  }
+  for (std::uint32_t p = 0; p < options_.num_partitions; ++p) {
+    Partition& part = *parts_[p];
+    EventStreamClientOptions copt;
+    copt.block_events = options_.batch_events;
+    ReconnectPolicy policy = options_.reconnect;
+    policy.seed += p;  // decorrelate the fleet's jitter
+    const std::string path = event_socket_path(p);
+    part.client = std::make_unique<ReconnectingEventStreamClient>(
+        [path] { return connect_unix(path); },
+        static_cast<std::uint32_t>(options_.config.num_servers), policy,
+        copt);
+    part.send_from = part.client->connect();
+  }
+
+  EventLogReader reader(log_path);
+  std::vector<LogEvent> batch;
+  while (reader.read_batch(batch, options_.batch_events) > 0) {
+    for (const LogEvent& event : batch) {
+      const std::uint32_t p =
+          partition_of(event.object, options_.num_partitions);
+      Partition& part = *parts_[p];
+      ++part.seen;
+      if (part.seen > part.send_from) route_event(p, event);
+      if (options_.on_progress) options_.on_progress(p, part.seen);
+    }
+    std::lock_guard<std::mutex> lock(ctl_mu_);
+    for (std::uint32_t p = 0; p < options_.num_partitions; ++p) {
+      const Partition& part = *parts_[p];
+      const std::uint64_t acked =
+          std::min(part.progress_events, part.seen);
+      inst_->in_flight[p]->set(static_cast<double>(part.seen - acked));
+    }
+  }
+
+  for (std::uint32_t p = 0; p < options_.num_partitions; ++p) {
+    finish_partition(p);
+  }
+  for (std::uint32_t p = 0; p < options_.num_partitions; ++p) {
+    await_summary(p);
+    inst_->in_flight[p]->set(0.0);
+  }
+
+  ClusterServeResult result;
+  result.respawns = total_respawns_;
+  result.summaries.resize(options_.num_partitions);
+  std::vector<std::vector<EngineObjectFinal>> finals(options_.num_partitions);
+  {
+    std::lock_guard<std::mutex> lock(ctl_mu_);
+    for (std::uint32_t p = 0; p < options_.num_partitions; ++p) {
+      finals[p] = std::move(parts_[p]->finals);
+      result.summaries[p] = parts_[p]->summary;
+    }
+  }
+
+  // The deterministic cross-partition reduce: ascending-id k-way merge
+  // of the per-partition finals (disjoint object spaces, each already
+  // id-sorted), accumulated through reduce_object_finals — the exact
+  // code path and floating-point order a single-process finish() uses.
+  std::size_t total = 0;
+  for (const auto& f : finals) total += f.size();
+  std::vector<EngineObjectFinal> merged;
+  merged.reserve(total);
+  std::vector<std::size_t> idx(options_.num_partitions, 0);
+  const std::size_t none = options_.num_partitions;
+  for (;;) {
+    std::size_t best = none;
+    for (std::size_t p = 0; p < options_.num_partitions; ++p) {
+      if (idx[p] >= finals[p].size()) continue;
+      if (best == none || finals[p][idx[p]].id < finals[best][idx[best]].id) {
+        best = p;
+      }
+    }
+    if (best == none) break;
+    merged.push_back(finals[best][idx[best]++]);
+  }
+  result.metrics = reduce_object_finals(merged);
+
+  // Cross-check the reduce against the workers' own summaries. Integer
+  // aggregates must agree exactly; the FP totals are intentionally
+  // accumulated in a different (global id) order, so they are not
+  // compared — the parity tests compare them against the single-process
+  // engine instead, which is the contract that matters.
+  std::uint64_t events = 0, objects = 0, local = 0, transfers = 0;
+  for (std::uint32_t p = 0; p < options_.num_partitions; ++p) {
+    const ControlSummary& s = result.summaries[p];
+    events += s.events;
+    objects += s.objects;
+    local += s.num_local;
+    transfers += s.num_transfers;
+    REPL_CHECK_MSG(s.events == parts_[p]->seen,
+                   "partition " << p << " summarized " << s.events
+                                << " events but the log holds "
+                                << parts_[p]->seen << " for it");
+  }
+  REPL_CHECK_MSG(objects == result.metrics.objects,
+                 "summary object total " << objects
+                                         << " != reduced "
+                                         << result.metrics.objects);
+  REPL_CHECK_MSG(events == result.metrics.events,
+                 "summary event total " << events << " != reduced "
+                                        << result.metrics.events);
+  REPL_CHECK_MSG(local == result.metrics.num_local &&
+                     transfers == result.metrics.num_transfers,
+                 "summary serve-mix totals disagree with the reduce");
+
+  // Workers exit on their own after the summary; reap them.
+  for (std::uint32_t p = 0; p < options_.num_partitions; ++p) {
+    Partition& part = *parts_[p];
+    if (part.pid < 0) continue;
+    int status = 0;
+    while (::waitpid(part.pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    part.pid = -1;
+    inst_->workers_alive.add(-1.0);
+  }
+  stop_control_plane();
+  return result;
+}
+
+}  // namespace repl

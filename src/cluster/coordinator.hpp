@@ -1,0 +1,171 @@
+// Cluster coordinator: distributed partitioned serving over worker
+// processes, with a deterministic cross-partition reduce.
+//
+// The coordinator owns the event source (a finished event log) and the
+// partition map (cluster/partition.hpp). It fork/execs one worker
+// process per partition, routes each event to its partition's worker
+// over the existing v2 event wire (each worker is a NetIngestServer on
+// a unix-domain socket; the coordinator is one reconnecting event-stream
+// client per worker), and listens on one control socket where workers
+// report progress, checkpoints, and — when their slice drains — the
+// id-sorted per-object finals plus a summary (cluster/control.hpp).
+//
+// Parity contract: the final aggregates are bit-identical to a
+// single-process StreamingEngine serve of the same log, at every
+// (partitions × shards × threads) geometry. The mechanism is shared
+// code, not luck: each worker's finals are the exact id-sorted records
+// its own finish() reduced, partitions are disjoint in object space, so
+// the coordinator's ascending-id k-way merge reproduces the global
+// id-sorted sweep, and reduce_object_finals — the same function
+// finish() reduces through — accumulates it in the same floating-point
+// order.
+//
+// Failure model: a worker death surfaces as a transport error on its
+// event stream (or a control-stream EOF without a summary). The
+// coordinator reaps the process, respawns it — from its per-partition
+// checkpoint when one exists, fresh otherwise — reconnects with capped
+// exponential backoff, replays the partition's tail from the worker's
+// reported resume offset by re-reading the source log, and continues.
+// Aggregates after any number of kill/respawn cycles are bit-identical
+// to an uninterrupted run, because the resume offset counts exactly the
+// events the snapshot covers and everything after is replayed.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/control.hpp"
+#include "core/types.hpp"
+#include "engine/engine.hpp"
+#include "net/client.hpp"
+#include "net/socket.hpp"
+
+namespace repl {
+
+namespace obs {
+class MetricsRegistry;
+}
+
+struct ClusterCoordinatorOptions {
+  /// Worker processes / object-space partitions. 1 is legal (and useful
+  /// as the degenerate parity case).
+  std::uint32_t num_partitions = 2;
+  /// Executable spawned per worker; must accept the repl_cluster
+  /// --role=worker flag set (examples/repl_cluster.cpp).
+  std::string worker_binary;
+  /// Directory for the cluster's unix-domain sockets and per-partition
+  /// checkpoints; must exist.
+  std::string socket_dir;
+
+  SystemConfig config;
+  std::string policy_spec = "drwp(alpha=0.3)";
+  std::string predictor_spec = "last_gap";
+  std::uint64_t base_seed = 0x5eed5eed5eed5eedULL;
+  /// Per-worker engine geometry (free for parity — the contract holds at
+  /// any shard/thread count).
+  std::size_t worker_shards = 64;
+  int worker_threads = 0;
+  bool compute_lower_bound = true;
+  bool compress_checkpoints = false;
+
+  /// Events per wire block / engine batch.
+  std::size_t batch_events = std::size_t{1} << 16;
+  /// Per-partition checkpoint cadence, in partition-local events;
+  /// 0 disables (a killed worker then replays its whole slice).
+  std::uint64_t checkpoint_every = 0;
+  /// Respawn budget per partition; exhausting it propagates the last
+  /// transport error out of serve_log.
+  std::size_t max_respawns = 3;
+
+  /// repl_cluster_* series land here; null = coordinator-private registry.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Backoff schedule for (re)connecting to worker event sockets.
+  ReconnectPolicy reconnect;
+
+  /// Test hook: invoked after each partition-p event is routed (or
+  /// skipped as already-ingested) with the running partition-local
+  /// count. Kill-matrix tests SIGKILL workers from here at exact cuts.
+  std::function<void(std::uint32_t partition, std::uint64_t routed)>
+      on_progress;
+};
+
+struct ClusterServeResult {
+  /// The cross-partition reduce — bit-identical to single-process serve.
+  EngineMetrics metrics;
+  /// Each worker's own summary, indexed by partition.
+  std::vector<ControlSummary> summaries;
+  /// Worker respawns across the serve (0 on an undisturbed run).
+  std::size_t respawns = 0;
+};
+
+class ClusterCoordinator {
+ public:
+  explicit ClusterCoordinator(ClusterCoordinatorOptions options);
+  ~ClusterCoordinator();
+
+  ClusterCoordinator(const ClusterCoordinator&) = delete;
+  ClusterCoordinator& operator=(const ClusterCoordinator&) = delete;
+
+  /// Serves one event log across the cluster to completion. One-shot.
+  ClusterServeResult serve_log(const std::string& log_path);
+
+  /// OS pid of partition p's current worker (-1 before spawn). For
+  /// kill/respawn tests.
+  int worker_pid(std::uint32_t partition) const;
+
+  /// The cluster's file layout under socket_dir.
+  std::string event_socket_path(std::uint32_t partition) const;
+  std::string control_socket_path() const;
+  std::string snapshot_path(std::uint32_t partition) const;
+
+ private:
+  struct Partition;
+  struct Instruments;
+
+  void start_control_plane();
+  void stop_control_plane();
+  void control_accept_loop();
+  void control_connection_main(Socket sock, std::uint64_t epoch);
+  void spawn_worker(std::uint32_t p);
+  /// SIGKILL + reap; idempotent, no-op when already reaped.
+  void kill_worker(std::uint32_t p);
+  /// kill + respawn + reconnect; throws once the respawn budget is gone.
+  void respawn_worker(std::uint32_t p);
+  /// Re-reads the log and re-sends partition-p events in positions
+  /// (resume offset, through] that the respawned worker is missing.
+  void catch_up(std::uint32_t p, std::uint64_t through);
+  /// respawn + catch_up until both succeed (budget-capped).
+  void recover(std::uint32_t p, std::uint64_t through);
+  void route_event(std::uint32_t p, const LogEvent& event);
+  void finish_partition(std::uint32_t p);
+  void await_summary(std::uint32_t p);
+
+  ClusterCoordinatorOptions options_;
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  std::unique_ptr<Instruments> inst_;
+  std::vector<std::unique_ptr<Partition>> parts_;
+  std::string log_path_;
+  bool served_ = false;
+  std::size_t total_respawns_ = 0;
+
+  /// Control plane: one listener, one accept thread, one reader thread
+  /// per worker control connection. Per-partition control state lives in
+  /// Partition, guarded by ctl_mu_; ctl_cv_ signals summary/failure.
+  std::unique_ptr<Listener> control_listener_;
+  std::thread accept_thread_;
+  std::vector<std::thread> control_threads_;
+  mutable std::mutex ctl_mu_;
+  std::condition_variable ctl_cv_;
+  std::uint64_t next_epoch_ = 0;
+  bool control_stopping_ = false;
+};
+
+}  // namespace repl

@@ -1,0 +1,30 @@
+#include "cluster/partition.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace repl {
+
+std::uint32_t partition_of(std::uint64_t object_id,
+                           std::uint32_t num_partitions) {
+  REPL_REQUIRE_MSG(num_partitions >= 1,
+                   "partition_of requires at least one partition");
+  // Version 1 mapping: SplitMix64 over the salted id. The salt keeps
+  // this stream independent of the engine's unsalted shard mix.
+  return static_cast<std::uint32_t>(
+      SplitMix64(object_id ^ kPartitionSalt).next() %
+      static_cast<std::uint64_t>(num_partitions));
+}
+
+void require_partition_function_version(std::uint32_t version) {
+  REPL_REQUIRE_MSG(version == kPartitionFunctionVersion,
+                   "partition function version mismatch: this build "
+                   "implements version "
+                       << kPartitionFunctionVersion << ", got version "
+                       << version
+                       << " (a snapshot or peer cut under a different "
+                          "object->partition mapping cannot be resumed "
+                          "here)");
+}
+
+}  // namespace repl

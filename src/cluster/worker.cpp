@@ -1,0 +1,204 @@
+#include "cluster/worker.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/experiment.hpp"
+#include "checkpoint/partition_manifest.hpp"
+#include "cluster/control.hpp"
+#include "cluster/partition.hpp"
+#include "engine/event_source.hpp"
+#include "net/ingest_server.hpp"
+#include "net/socket.hpp"
+#include "util/check.hpp"
+
+namespace repl {
+
+namespace {
+
+/// Wraps the worker's event source and validates that every event the
+/// coordinator routed here actually belongs to this partition. A
+/// misrouted event means the two sides disagree about the partition
+/// function — the exact bug the pf_version machinery exists to catch —
+/// and silently serving it would double-count the object somewhere, so
+/// the serve dies loudly instead.
+class PartitionGuardSource final : public EventSource {
+ public:
+  PartitionGuardSource(EventSource& inner, std::uint32_t partition_id,
+                       std::uint32_t num_partitions)
+      : inner_(inner), partition_(partition_id), partitions_(num_partitions) {}
+
+  void attach(StreamingEngine& engine) override { inner_.attach(engine); }
+
+  bool next_batch(std::vector<LogEvent>& out) override {
+    if (!inner_.next_batch(out)) return false;
+    for (const LogEvent& event : out) {
+      const std::uint32_t owner = partition_of(event.object, partitions_);
+      if (owner != partition_) {
+        throw std::runtime_error(
+            "misrouted event: object " + std::to_string(event.object) +
+            " belongs to partition " + std::to_string(owner) +
+            ", this worker serves partition " + std::to_string(partition_));
+      }
+    }
+    return true;
+  }
+
+  std::uint64_t bytes_consumed() const override {
+    return inner_.bytes_consumed();
+  }
+
+ private:
+  EventSource& inner_;
+  std::uint32_t partition_;
+  std::uint32_t partitions_;
+};
+
+void send_buffer(Socket& sock, std::vector<unsigned char>& buf) {
+  sock.write_all(buf.data(), buf.size());
+  buf.clear();
+}
+
+}  // namespace
+
+EngineMetrics run_cluster_worker(const ClusterWorkerOptions& options) {
+  REPL_REQUIRE_MSG(options.num_partitions >= 1,
+                   "worker needs at least one partition");
+  REPL_REQUIRE_MSG(options.partition_id < options.num_partitions,
+                   "partition id " << options.partition_id
+                                   << " out of range (cluster has "
+                                   << options.num_partitions
+                                   << " partitions)");
+  REPL_REQUIRE_MSG(!options.event_socket.empty(),
+                   "worker needs an event socket path");
+  REPL_REQUIRE_MSG(!options.control_socket.empty(),
+                   "worker needs a control socket path");
+  REPL_REQUIRE_MSG(options.checkpoint_every == 0 ||
+                       !options.snapshot_path.empty(),
+                   "checkpoint_every requires snapshot_path");
+  const auto num_servers =
+      static_cast<std::uint32_t>(options.config.num_servers);
+
+  EngineBuilder builder;
+  builder.config(options.config).options(options.engine);
+  if (!options.policy_spec.empty()) builder.policy(options.policy_spec);
+  if (!options.predictor_spec.empty()) {
+    builder.predictor(options.predictor_spec);
+  }
+
+  std::unique_ptr<StreamingEngine> engine;
+  if (options.resume_from.empty()) {
+    engine = builder.build();
+  } else {
+    // The manifest gate runs before the engine looks at the snapshot:
+    // wrong partition, wrong geometry, wrong partition-function version,
+    // wrong server count, or wrong seed root all fail here with a
+    // diagnostic naming both sides.
+    const PartitionManifest manifest = read_partition_manifest(
+        partition_manifest_path(options.resume_from));
+    require_manifest_matches(manifest, options.partition_id,
+                             options.num_partitions, num_servers);
+    REPL_REQUIRE_MSG(manifest.base_seed == options.engine.base_seed,
+                     "snapshot was cut under base seed "
+                         << manifest.base_seed << ", worker runs "
+                         << options.engine.base_seed);
+    engine = builder.restore(options.resume_from);
+    REPL_REQUIRE_MSG(manifest.events_ingested == engine->resume_position(),
+                     "partition manifest covers "
+                         << manifest.events_ingested
+                         << " events but the snapshot resumes at "
+                         << engine->resume_position());
+  }
+
+  // Dial the coordinator's control listener and identify ourselves. The
+  // resume position repeats what the event-plane handshake ACK will say;
+  // the hello adds the geometry + pf_version cross-check the event plane
+  // has no field for.
+  Socket control = connect_unix(options.control_socket);
+  std::vector<unsigned char> ctl;
+  encode_control_header(ctl);
+  ControlHello hello;
+  hello.partition_id = options.partition_id;
+  hello.num_partitions = options.num_partitions;
+  hello.pf_version = kPartitionFunctionVersion;
+  hello.num_servers = num_servers;
+  hello.resume_events = engine->resume_position();
+  hello.base_seed = options.engine.base_seed;
+  encode_control_hello(hello, ctl);
+  send_buffer(control, ctl);
+
+  NetServerOptions net;
+  net.tcp_port = -1;
+  net.unix_path = options.event_socket;
+  net.batch_events = options.batch_events;
+  net.min_connections = 1;
+  net.stop_when_idle = true;
+  net.metrics = options.engine.metrics;
+  NetIngestServer server(net);
+  NetIngestSource raw_source(server, num_servers);
+  PartitionGuardSource source(raw_source, options.partition_id,
+                              options.num_partitions);
+
+  ServeOptions serve;
+  serve.batch_events = options.batch_events;
+  serve.checkpoint_every = options.checkpoint_every;
+  serve.checkpoint_path = options.snapshot_path;
+  serve.async_ingest = false;  // the net source decodes off-thread
+  serve.on_checkpoint = [&] {
+    // The engine snapshot just landed atomically; bind it to this slice.
+    // stats().events_ingested is the cumulative stream position (it
+    // carries across restores), which is exactly what a respawn reports
+    // as its resume offset.
+    PartitionManifest manifest;
+    manifest.partition_id = options.partition_id;
+    manifest.num_partitions = options.num_partitions;
+    manifest.pf_version = kPartitionFunctionVersion;
+    manifest.num_servers = num_servers;
+    manifest.base_seed = options.engine.base_seed;
+    manifest.events_ingested = engine->stats().events_ingested;
+    write_partition_manifest(partition_manifest_path(options.snapshot_path),
+                             manifest);
+    server.note_checkpoint(manifest.events_ingested);
+    ControlCheckpoint note;
+    note.events_ingested = manifest.events_ingested;
+    encode_control_checkpoint(note, ctl);
+    send_buffer(control, ctl);
+  };
+  serve.on_batch = [&](const EngineStats& stats) {
+    ControlProgress progress;
+    progress.events_ingested = stats.events_ingested;
+    progress.batches = stats.batches;
+    encode_control_progress(progress, ctl);
+    send_buffer(control, ctl);
+  };
+  std::vector<EngineObjectFinal> finals;
+  serve.collect_finals = &finals;
+
+  const EngineMetrics metrics = engine->serve(source, serve);
+
+  // The slice has drained: ship the id-sorted finals in bounded chunks,
+  // then the summary that seals the stream.
+  for (std::size_t off = 0; off < finals.size();
+       off += kControlFinalsChunk) {
+    const std::size_t count =
+        std::min(kControlFinalsChunk, finals.size() - off);
+    encode_control_finals(finals.data() + off, count, ctl);
+    send_buffer(control, ctl);
+  }
+  ControlSummary summary;
+  summary.objects = metrics.objects;
+  summary.events = metrics.events;
+  summary.num_local = metrics.num_local;
+  summary.num_transfers = metrics.num_transfers;
+  summary.online_cost = metrics.online_cost;
+  summary.lower_bound = metrics.lower_bound;
+  encode_control_summary(summary, ctl);
+  send_buffer(control, ctl);
+  control.shutdown_write();
+  return metrics;
+}
+
+}  // namespace repl

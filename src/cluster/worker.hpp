@@ -1,0 +1,76 @@
+// Cluster worker runtime: one partition's slice of a distributed serve.
+//
+// A worker is a StreamingEngine wrapped in the two wire protocols the
+// cluster composes from existing parts. Its *event plane* is a
+// NetIngestServer on a unix-domain socket — the coordinator is just an
+// event-stream client, and the handshake ACK already tells a
+// reconnecting coordinator how many partition-local events a restored
+// worker holds. Its *control plane* is one outbound connection to the
+// coordinator speaking cluster/control.hpp: hello (identity + resume
+// position), per-batch progress, checkpoint notices, and — when the
+// slice drains — the id-sorted per-object finals and a summary for the
+// cross-partition reduce.
+//
+// Correctness guards:
+//   * every ingested event is checked against partition_of(): an event
+//     routed to the wrong worker fails the serve loudly instead of
+//     silently double-counting an object;
+//   * checkpoints are the ordinary engine snapshots plus a partition
+//     manifest (checkpoint/partition_manifest.hpp) binding the cut to
+//     (partition id, partition count, partition-function version, server
+//     count, base seed) — resuming the wrong slice fails loudly;
+//   * restore validates the manifest before the engine touches the
+//     snapshot.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/types.hpp"
+#include "engine/engine.hpp"
+
+namespace repl {
+
+struct ClusterWorkerOptions {
+  /// This worker's slice: objects with partition_of(id, num_partitions)
+  /// == partition_id.
+  std::uint32_t partition_id = 0;
+  std::uint32_t num_partitions = 1;
+
+  /// Unix-domain socket this worker listens on for the coordinator's
+  /// event stream.
+  std::string event_socket;
+  /// Unix-domain socket of the coordinator's control listener; the
+  /// worker dials it once at startup.
+  std::string control_socket;
+
+  /// Periodic crash-safe checkpoints: engine snapshot at snapshot_path
+  /// (+ ".pman" manifest) every checkpoint_every partition-local events;
+  /// 0 disables.
+  std::string snapshot_path;
+  std::uint64_t checkpoint_every = 0;
+  /// Restore from this snapshot (manifest-validated) instead of starting
+  /// fresh; the engine's resume position flows to the coordinator via
+  /// both the event-plane ACK and the control hello.
+  std::string resume_from;
+
+  SystemConfig config;
+  EngineOptions engine;
+  /// Component specs (empty on resume = self-construct from snapshot).
+  std::string policy_spec;
+  std::string predictor_spec;
+
+  /// Events per engine batch on the ingest side.
+  std::size_t batch_events = std::size_t{1} << 16;
+};
+
+/// Runs one worker to completion: build/restore the engine, say hello,
+/// serve the event socket until the coordinator finishes its stream,
+/// then ship finals + summary over the control socket. Returns the
+/// partition's aggregates (what the summary carried). Throws on any
+/// protocol, validation, or transport failure — the coordinator treats
+/// a dead worker uniformly, however it died.
+EngineMetrics run_cluster_worker(const ClusterWorkerOptions& options);
+
+}  // namespace repl

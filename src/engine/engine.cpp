@@ -36,17 +36,27 @@ std::size_t shard_index(std::uint64_t object_id, std::size_t num_shards) {
                                   static_cast<std::uint64_t>(num_shards));
 }
 
-/// One finalized object's contribution, carried to the global reduction.
-struct ObjectFinal {
-  std::uint64_t id = 0;
-  std::size_t events = 0;
-  std::size_t num_local = 0;
-  std::size_t num_transfers = 0;
-  double online_cost = 0.0;
-  double lower_bound = 0.0;
-};
-
 }  // namespace
+
+EngineMetrics reduce_object_finals(const std::vector<EngineObjectFinal>& finals) {
+  EngineMetrics metrics;
+  std::uint64_t prev_id = 0;
+  for (std::size_t i = 0; i < finals.size(); ++i) {
+    const EngineObjectFinal& final = finals[i];
+    REPL_REQUIRE_MSG(i == 0 || final.id > prev_id,
+                     "object finals must arrive in strictly increasing id "
+                     "order: id "
+                         << final.id << " after " << prev_id);
+    prev_id = final.id;
+    ++metrics.objects;
+    metrics.events += final.events;
+    metrics.num_local += final.num_local;
+    metrics.num_transfers += final.num_transfers;
+    metrics.online_cost += final.online_cost;
+    metrics.lower_bound += final.lower_bound;
+  }
+  return metrics;
+}
 
 /// The engine's registry-backed instruments. Counters/histograms are
 /// sharded-atomic (obs/metrics.hpp), so updating them from the serving
@@ -157,7 +167,7 @@ struct StreamingEngine::Shard {
   /// Set by the shard task on failure; the lowest shard index wins.
   std::exception_ptr error;
   /// Filled by finish(), sorted by object id.
-  std::vector<ObjectFinal> finals;
+  std::vector<EngineObjectFinal> finals;
   EngineShardMetrics metrics;
 };
 
@@ -327,7 +337,7 @@ void StreamingEngine::ingest(const LogEvent* events, std::size_t count) {
   }
 }
 
-EngineMetrics StreamingEngine::finish() {
+EngineMetrics StreamingEngine::finish(std::vector<EngineObjectFinal>* finals) {
   REPL_CHECK_MSG(!finished_, "finish() called twice");
   REPL_CHECK_MSG(!failed_, "engine unusable after a prior failure");
   finished_ = true;
@@ -340,7 +350,7 @@ EngineMetrics StreamingEngine::finish() {
     shard.finals.reserve(shard.objects.size());
     for (auto& [id, state] : shard.objects) {
       const SimulationResult result = state->simulation.finish();
-      ObjectFinal final;
+      EngineObjectFinal final;
       final.id = id;
       final.events = state->events;
       final.num_local = result.num_local;
@@ -353,11 +363,11 @@ EngineMetrics StreamingEngine::finish() {
     }
     shard.objects.clear();
     std::sort(shard.finals.begin(), shard.finals.end(),
-              [](const ObjectFinal& a, const ObjectFinal& b) {
+              [](const EngineObjectFinal& a, const EngineObjectFinal& b) {
                 return a.id < b.id;
               });
     // Shard-local reduction in ascending object id.
-    for (const ObjectFinal& final : shard.finals) {
+    for (const EngineObjectFinal& final : shard.finals) {
       ++shard.metrics.objects;
       shard.metrics.events += final.events;
       shard.metrics.num_local += final.num_local;
@@ -370,7 +380,7 @@ EngineMetrics StreamingEngine::finish() {
   // Global reduction: id-sorted across every shard, on the calling
   // thread — the exact order of a serial per-object sweep, which is what
   // makes the totals bit-identical for any shard/thread configuration.
-  std::vector<ObjectFinal> all;
+  std::vector<EngineObjectFinal> all;
   std::size_t total_objects = 0;
   for (const auto& shard : shards_) total_objects += shard->finals.size();
   all.reserve(total_objects);
@@ -380,19 +390,11 @@ EngineMetrics StreamingEngine::finish() {
     shard->finals.shrink_to_fit();
   }
   std::sort(all.begin(), all.end(),
-            [](const ObjectFinal& a, const ObjectFinal& b) {
+            [](const EngineObjectFinal& a, const EngineObjectFinal& b) {
               return a.id < b.id;
             });
 
-  EngineMetrics metrics;
-  for (const ObjectFinal& final : all) {
-    ++metrics.objects;
-    metrics.events += final.events;
-    metrics.num_local += final.num_local;
-    metrics.num_transfers += final.num_transfers;
-    metrics.online_cost += final.online_cost;
-    metrics.lower_bound += final.lower_bound;
-  }
+  EngineMetrics metrics = reduce_object_finals(all);
   metrics.shards.reserve(shards_.size());
   for (const auto& shard : shards_) metrics.shards.push_back(shard->metrics);
 
@@ -404,6 +406,7 @@ EngineMetrics StreamingEngine::finish() {
     telemetry_->reduce.observe(stats_.finish_seconds);
     telemetry_->objects_active.set(0.0);  // table released above
   }
+  if (finals != nullptr) *finals = std::move(all);
   return metrics;
 }
 
@@ -495,6 +498,7 @@ EngineMetrics StreamingEngine::serve(EventSource& source,
     const auto batch_start = std::chrono::steady_clock::now();
     ingest(batch);
     if (capture) capture->record(batch);
+    if (options.on_batch) options.on_batch(stats_);
     if (local_batch_hist) {
       local_batch_hist->observe(
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -543,7 +547,7 @@ EngineMetrics StreamingEngine::serve(EventSource& source,
   if (report && stats_.events_ingested != last_events) {
     emit_stats(std::chrono::steady_clock::now());
   }
-  EngineMetrics metrics = finish();
+  EngineMetrics metrics = finish(options.collect_finals);
   if (capture) {
     capture->set_byte_range(capture_begin_byte, source.bytes_consumed());
     capture->finish(metrics);

@@ -105,6 +105,20 @@ struct EngineOptions {
   obs::MetricsRegistry* metrics = nullptr;
 };
 
+/// One finalized object's contribution to the global reduction. Public
+/// so distributed serving can ship per-object finals across process
+/// boundaries and reduce them with reduce_object_finals — the same code
+/// path finish() uses, which is what keeps a cross-partition reduce
+/// bit-identical to a single-process serve.
+struct EngineObjectFinal {
+  std::uint64_t id = 0;
+  std::size_t events = 0;
+  std::size_t num_local = 0;
+  std::size_t num_transfers = 0;
+  double online_cost = 0.0;
+  double lower_bound = 0.0;
+};
+
 /// Per-shard aggregate, reduced in ascending object id within the shard.
 struct EngineShardMetrics {
   std::size_t objects = 0;
@@ -132,6 +146,14 @@ struct EngineMetrics {
 
   std::vector<EngineShardMetrics> shards;
 };
+
+/// Accumulates id-sorted per-object finals into global aggregates — the
+/// exact floating-point order of the determinism contract (a serial
+/// per-object sweep in ascending object id). finish() reduces through
+/// this, and a distributed coordinator reduces its id-merged
+/// cross-partition finals through the same function, so the two paths
+/// cannot drift. Requires strictly increasing ids.
+EngineMetrics reduce_object_finals(const std::vector<EngineObjectFinal>& finals);
 
 /// Diagnostics accumulated across ingest()/finish().
 struct EngineStats {
@@ -210,6 +232,15 @@ struct ServeOptions {
   /// Observational only — aggregates are bit-identical with capture on
   /// or off.
   std::optional<CaptureOptions> capture;
+  /// Invoked after every ingested batch with the engine's running stats —
+  /// the per-batch partial-aggregate hook distributed workers use to
+  /// stream progress back to their coordinator. Observational only:
+  /// aggregates are bit-identical with the hook set or not.
+  std::function<void(const EngineStats&)> on_batch;
+  /// When set, serve() moves the id-sorted per-object finals here at
+  /// finish() time (see finish(finals)) — how a partition worker extracts
+  /// the records the coordinator's cross-partition reduce consumes.
+  std::vector<EngineObjectFinal>* collect_finals = nullptr;
 };
 
 class StreamingEngine {
@@ -303,7 +334,10 @@ class StreamingEngine {
 
   /// Finalizes every object (post-stream expiry flush, per-object cost
   /// extraction) and reduces the aggregates. No ingest() may follow.
-  EngineMetrics finish();
+  /// When `finals` is non-null the id-sorted per-object finals are moved
+  /// into it — exactly the records the returned metrics were reduced
+  /// from, so reduce_object_finals(*finals) reproduces them bit for bit.
+  EngineMetrics finish(std::vector<EngineObjectFinal>* finals = nullptr);
 
   /// Objects instantiated so far.
   std::size_t object_count() const;

@@ -255,6 +255,15 @@ void NetIngestServer::connection_main(Connection& conn) {
       conn.state = Connection::State::kStreaming;
     }
 
+    // Token bucket for the per-connection rate cap: starts full (one
+    // second of burst), refills from elapsed wall time, and a deficit is
+    // slept off on this reader thread — which stops the socket reads, so
+    // the cap propagates to the peer as a closed TCP window, the same
+    // pressure path as a full queue.
+    const double rate = options_.max_events_per_sec;
+    double tokens = rate;
+    auto last_refill = std::chrono::steady_clock::now();
+
     std::vector<unsigned char> buf(std::size_t{64} << 10);
     for (;;) {
       const std::size_t n = conn.sock.read_some(buf.data(), buf.size());
@@ -280,6 +289,20 @@ void NetIngestServer::connection_main(Connection& conn) {
       {
         std::lock_guard<std::mutex> lock(mu_);
         conn.bytes_received += n;
+      }
+      if (rate > 0.0 && !decoded.empty()) {
+        const auto now = std::chrono::steady_clock::now();
+        tokens = std::min(
+            rate, tokens + std::chrono::duration<double>(now - last_refill)
+                                   .count() *
+                               rate);
+        last_refill = now;
+        tokens -= static_cast<double>(decoded.size());
+        if (tokens < 0.0) {
+          inst_->backpressure_stalls.inc();
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(-tokens / rate));
+        }
       }
       if (!decoded.empty()) enqueue(conn, decoded);
     }

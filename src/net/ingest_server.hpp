@@ -85,6 +85,12 @@ struct NetServerOptions {
   /// connections. A reader that cannot enqueue stops reading its socket.
   std::size_t max_connection_events = std::size_t{1} << 16;
   std::size_t max_total_events = std::size_t{1} << 20;
+  /// Per-connection ingest rate cap, events/second; 0 disables. A token
+  /// bucket with one second of burst: a reader that decodes faster than
+  /// the cap sleeps off the debt before enqueueing, so the peer's TCP
+  /// window closes exactly as under queue backpressure. Stalls count in
+  /// repl_net_backpressure_stalls_total (one per stall episode).
+  double max_events_per_sec = 0.0;
   /// The serve ends once at least this many connections have been
   /// accepted in total AND all connections have closed AND every queue
   /// has drained (with stop_when_idle). Lets a test or batch job say

@@ -40,6 +40,8 @@ const char* fixture_target_name(FixtureTarget target) {
       return "snapshot";
     case FixtureTarget::kWire:
       return "wire";
+    case FixtureTarget::kCluster:
+      return "cluster";
   }
   return "?";
 }
@@ -48,8 +50,10 @@ FixtureTarget parse_fixture_target(const std::string& name) {
   if (name == "serve") return FixtureTarget::kServe;
   if (name == "snapshot") return FixtureTarget::kSnapshot;
   if (name == "wire") return FixtureTarget::kWire;
+  if (name == "cluster") return FixtureTarget::kCluster;
   throw std::invalid_argument("unknown fixture target '" + name +
-                              "' (expected serve, snapshot, or wire)");
+                              "' (expected serve, snapshot, wire, or "
+                              "cluster)");
 }
 
 SystemConfig Fixture::system_config() const {
@@ -150,7 +154,7 @@ Fixture read_fixture(const std::string& path) {
 
   Fixture fixture;
   const std::uint32_t target = load_le32(raw.data() + 12);
-  if (target > static_cast<std::uint32_t>(FixtureTarget::kWire)) {
+  if (target > static_cast<std::uint32_t>(FixtureTarget::kCluster)) {
     fixture_fail(path, "unknown target " + std::to_string(target));
   }
   fixture.target = static_cast<FixtureTarget>(target);

@@ -14,7 +14,7 @@
 //   offset  size  field
 //   0       8     magic       "REPLFIXT"
 //   8       4     version     1
-//   12      4     target      0 serve, 1 snapshot, 2 wire
+//   12      4     target      0 serve, 1 snapshot, 2 wire, 3 cluster
 //   16      4     expect      0 parity (replay must succeed and match
 //                             the recorded aggregates bit-exactly),
 //                             1 failure (replay must fail with the
@@ -29,11 +29,13 @@
 //   --      4     CRC-32C over every byte above
 //   end     8     footer      "REPLFXND"
 //
-// The three targets cover the three untrusted-input formats: `serve`
+// The four targets cover the four untrusted-input formats: `serve`
 // replays the embedded log through a spec-built StreamingEngine (the
 // full decode→shard→reduce pipeline), `snapshot` drains the embedded
 // bytes through SnapshotReader, `wire` feeds them through a
-// FrameAssembler in varying chunk sizes. Failure fixtures — what the
+// FrameAssembler in varying chunk sizes, and `cluster` feeds them
+// through a ClusterControlAssembler (the coordinator's worker
+// control-stream decoder) the same way. Failure fixtures — what the
 // structured fuzzer emits and the minimizer shrinks — assert that a
 // malformed input keeps producing the same *positioned diagnostic*
 // (compared shape-wise: digits are stripped, so block indices and byte
@@ -55,6 +57,7 @@ enum class FixtureTarget : std::uint32_t {
   kServe = 0,
   kSnapshot = 1,
   kWire = 2,
+  kCluster = 3,
 };
 
 /// What replaying the fixture must produce.

@@ -8,6 +8,7 @@
 
 #include "api/experiment.hpp"
 #include "checkpoint/snapshot.hpp"
+#include "cluster/control.hpp"
 #include "net/wire.hpp"
 #include "replay/structure.hpp"
 #include "util/check.hpp"
@@ -177,6 +178,42 @@ FixtureAggregates replay_wire(const Fixture& fixture) {
   return a;
 }
 
+/// Feeds the embedded control-stream bytes through a
+/// ClusterControlAssembler under the same chunk-boundary torture as the
+/// wire replay. Unlike the event wire, a clean close is only legal
+/// after the terminal summary, so an incomplete stream is a failure
+/// even at a frame boundary.
+FixtureAggregates replay_cluster(const Fixture& fixture) {
+  ClusterControlAssembler assembler("cluster fixture");
+  std::vector<ControlMessage> messages;
+  static constexpr std::size_t kChunks[] = {1, 3, 16, 7, 4096, 2};
+  std::size_t at = 0;
+  std::size_t turn = 0;
+  while (at < fixture.blob.size()) {
+    const std::size_t take =
+        std::min(kChunks[turn++ % std::size(kChunks)],
+                 fixture.blob.size() - at);
+    assembler.feed(fixture.blob.data() + at, take, messages);
+    at += take;
+  }
+  if (!assembler.at_boundary()) {
+    throw std::runtime_error(
+        "control stream ends mid-frame after " +
+        std::to_string(assembler.frames_completed()) + " frames, byte " +
+        std::to_string(assembler.bytes_consumed()));
+  }
+  if (!assembler.complete()) {
+    throw std::runtime_error(
+        "control stream closed before its terminal summary (" +
+        std::to_string(assembler.frames_completed()) +
+        " frames — the coordinator would fail this worker)");
+  }
+  FixtureAggregates a;
+  a.objects = assembler.messages_decoded();
+  a.events = assembler.finals_records();
+  return a;
+}
+
 }  // namespace
 
 FixtureRunResult fixture_run(const Fixture& fixture,
@@ -196,6 +233,9 @@ FixtureRunResult fixture_run(const Fixture& fixture,
         break;
       case FixtureTarget::kWire:
         got = replay_wire(fixture);
+        break;
+      case FixtureTarget::kCluster:
+        got = replay_cluster(fixture);
         break;
     }
   } catch (const std::exception& e) {

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "checkpoint/snapshot.hpp"
+#include "cluster/control.hpp"
 #include "codec/block.hpp"
 #include "net/wire.hpp"
 #include "replay/fixture.hpp"
@@ -50,6 +51,8 @@ struct Mutation {
   std::vector<LogEvent> expected_events;
   std::uint64_t expected_count = 0;
   std::vector<SnapRecord> expected_records;
+  /// Cluster target: control messages an accepted stream must decode.
+  std::uint64_t expected_messages = 0;
 };
 
 struct DecodeOutcome {
@@ -59,6 +62,9 @@ struct DecodeOutcome {
   std::string detail;
   std::vector<LogEvent> events;
   std::vector<SnapRecord> records;
+  /// Cluster target: decoded message / finals-record counts.
+  std::uint64_t cluster_messages = 0;
+  std::uint64_t cluster_finals = 0;
 };
 
 /// Classifies an in-flight exception the way the fuzz oracle sees it:
@@ -907,6 +913,431 @@ DecodeOutcome decode_snapshot_file(const std::string& path) {
 }
 
 // ---------------------------------------------------------------------------
+// Cluster control-protocol cases
+// ---------------------------------------------------------------------------
+
+/// A well-formed worker control session: hello, progress/checkpoints,
+/// chunked id-sorted finals, terminal summary — kept as parts so the
+/// protocol mutations can rebuild the stream with one rule broken.
+struct ClusterCase {
+  ControlHello hello;
+  std::vector<ControlProgress> progress;
+  std::vector<std::uint64_t> checkpoints;
+  std::vector<EngineObjectFinal> finals;
+  ControlSummary summary;
+  std::size_t finals_chunk = 3;
+  std::vector<unsigned char> base;
+  ControlImage image;
+  /// Frames in `base` (hello + progress + checkpoints + chunks + summary).
+  std::uint64_t messages = 0;
+};
+
+void append_finals_chunks(const std::vector<EngineObjectFinal>& finals,
+                          std::size_t chunk,
+                          std::vector<unsigned char>& out) {
+  for (std::size_t i = 0; i < finals.size(); i += chunk) {
+    encode_control_finals(finals.data() + i,
+                          std::min(chunk, finals.size() - i), out);
+  }
+}
+
+std::vector<unsigned char> encode_cluster_stream(const ClusterCase& c) {
+  std::vector<unsigned char> out;
+  encode_control_header(out);
+  encode_control_hello(c.hello, out);
+  for (const ControlProgress& p : c.progress) {
+    encode_control_progress(p, out);
+  }
+  for (std::uint64_t events : c.checkpoints) {
+    encode_control_checkpoint({events}, out);
+  }
+  append_finals_chunks(c.finals, c.finals_chunk, out);
+  encode_control_summary(c.summary, out);
+  return out;
+}
+
+ClusterCase make_cluster_case(Rng& rng) {
+  ClusterCase c;
+  c.hello.num_partitions = 1 + static_cast<std::uint32_t>(rng.uniform_index(4));
+  c.hello.partition_id =
+      static_cast<std::uint32_t>(rng.uniform_index(c.hello.num_partitions));
+  c.hello.pf_version = 1;
+  c.hello.num_servers = 1 + static_cast<std::uint32_t>(rng.uniform_index(4));
+  c.hello.resume_events = rng.bernoulli(0.5) ? rng.uniform_index(100000) : 0;
+  c.hello.base_seed = rng.next_u64();
+
+  // At least one progress strictly past the resume floor (the regress
+  // mutation needs headroom to regress into).
+  std::uint64_t events = c.hello.resume_events;
+  std::uint64_t batches = 0;
+  const std::size_t np = 1 + rng.uniform_index(5);
+  for (std::size_t i = 0; i < np; ++i) {
+    events += 1 + rng.uniform_index(5000);
+    batches += 1 + rng.uniform_index(3);
+    c.progress.push_back({events, batches});
+  }
+  std::uint64_t ck = c.hello.resume_events;
+  const std::size_t nc = 1 + rng.uniform_index(2);
+  for (std::size_t i = 0; i < nc; ++i) {
+    ck += 1 + rng.uniform_index(4000);
+    c.checkpoints.push_back(ck);
+  }
+  const std::size_t n = 2 + rng.uniform_index(40);
+  std::uint64_t id = rng.uniform_index(5);
+  for (std::size_t i = 0; i < n; ++i) {
+    EngineObjectFinal final;
+    final.id = id;
+    id += 1 + rng.uniform_index(9);
+    final.events = rng.uniform_index(500);
+    final.num_local = rng.uniform_index(400);
+    final.num_transfers = rng.uniform_index(100);
+    final.online_cost = rng.uniform(0.0, 1000.0);
+    final.lower_bound = rng.uniform(0.0, 500.0);
+    c.finals.push_back(final);
+  }
+  c.finals_chunk = 1 + rng.uniform_index(7);
+  c.summary.objects = n;
+  c.summary.events = events;
+  c.summary.num_local = rng.uniform_index(100000);
+  c.summary.num_transfers = rng.uniform_index(10000);
+  c.summary.online_cost = rng.uniform(0.0, 100000.0);
+  c.summary.lower_bound = rng.uniform(0.0, 50000.0);
+  c.base = encode_cluster_stream(c);
+  c.image = walk_control_image(c.base);
+  c.messages = c.image.segments.size();
+  return c;
+}
+
+/// Truncations: a control stream may only end after its summary, so
+/// every proper prefix — boundary or mid-frame — must be rejected.
+Mutation mutate_cluster_truncate(const ClusterCase& c, Rng& rng) {
+  Mutation m;
+  m.expect = Expect::kReject;
+  const std::size_t segs = c.image.segments.size();
+  if (rng.bernoulli(0.5)) {
+    const std::size_t keep = rng.uniform_index(segs);  // proper prefix
+    const std::size_t cut =
+        keep == 0 ? c.image.header_bytes : c.image.segments[keep - 1].end();
+    m.bytes.assign(c.base.begin(),
+                   c.base.begin() + static_cast<std::ptrdiff_t>(cut));
+    m.name = "truncate:boundary:keep=" + std::to_string(keep);
+    return m;
+  }
+  std::size_t cut;
+  if (rng.bernoulli(0.15)) {
+    cut = 1 + rng.uniform_index(std::min(c.base.size(), std::size_t{15}));
+    m.name = "truncate:mid-header:cut=" + std::to_string(cut);
+  } else {
+    const std::size_t k = rng.uniform_index(segs);
+    const SegmentSpan& span = c.image.segments[k];
+    cut = span.offset + 1 + rng.uniform_index(span.size - 1);
+    m.name = "truncate:mid-frame:" + std::to_string(k) +
+             ":cut=" + std::to_string(cut);
+  }
+  m.bytes.assign(c.base.begin(),
+                 c.base.begin() + static_cast<std::ptrdiff_t>(cut));
+  return m;
+}
+
+/// Bit flips: every byte of a control stream is covered — header fields
+/// are checked verbatim, frames by the frame CRC, bodies by the payload
+/// CRC — so a single flip anywhere must be rejected.
+Mutation mutate_cluster_flip(const ClusterCase& c, Rng& rng) {
+  Mutation m;
+  m.bytes = c.base;
+  m.expect = Expect::kReject;
+  const std::size_t byte = rng.uniform_index(c.base.size());
+  const std::size_t bit = rng.uniform_index(8);
+  flip_bit(m.bytes, byte, bit);
+  m.name = "flip:byte=" + std::to_string(byte) + ":bit=" + std::to_string(bit);
+  return m;
+}
+
+/// Steering-field tampering with the frame CRC recomputed, so the
+/// plausibility / type / size checks (not the CRC) must fire.
+Mutation mutate_cluster_overflow(const ClusterCase& c, Rng& rng) {
+  Mutation m;
+  m.bytes = c.base;
+  m.expect = Expect::kReject;
+  const std::size_t k = rng.uniform_index(c.image.segments.size());
+  const std::size_t off = c.image.segments[k].offset;
+  const std::size_t variant = rng.uniform_index(5);
+  unsigned char* frame = m.bytes.data() + off;
+  switch (variant) {
+    case 0:  // implausible length, stale frame CRC
+      store_le32(frame, static_cast<std::uint32_t>(kMaxControlBodyBytes) + 1 +
+                            static_cast<std::uint32_t>(rng.uniform_index(1024)));
+      break;
+    case 1:  // implausible length, *valid* frame CRC
+      store_le32(frame, static_cast<std::uint32_t>(kMaxControlBodyBytes) + 1 +
+                            static_cast<std::uint32_t>(rng.uniform_index(1024)));
+      refresh_frame_crc(m.bytes, off);
+      break;
+    case 2:  // item count raised: body size no longer matches
+      store_le32(frame + 4, load_le32(frame + 4) + 1 +
+                                static_cast<std::uint32_t>(
+                                    rng.uniform_index(1 << 16)));
+      refresh_frame_crc(m.bytes, off);
+      break;
+    case 3:  // type zeroed: below the valid range
+      store_le32(frame + 4, load_le32(frame + 4) & 0x00ffffffu);
+      refresh_frame_crc(m.bytes, off);
+      break;
+    default:  // type past kSummary: unknown message
+      store_le32(frame + 4, (load_le32(frame + 4) & 0x00ffffffu) |
+                                ((6u + static_cast<std::uint32_t>(
+                                           rng.uniform_index(200)))
+                                 << 24));
+      refresh_frame_crc(m.bytes, off);
+      break;
+  }
+  m.name = "overflow:frame=" + std::to_string(k) +
+           ":variant=" + std::to_string(variant);
+  return m;
+}
+
+/// Protocol-rule violations: each variant rebuilds the stream with one
+/// state-machine rule broken; the decoder must reject at the violation.
+Mutation mutate_cluster_protocol(const ClusterCase& c, Rng& rng) {
+  Mutation m;
+  m.expect = Expect::kReject;
+  std::vector<unsigned char>& out = m.bytes;
+  encode_control_header(out);
+  const auto emit_progress = [&] {
+    for (const ControlProgress& p : c.progress) {
+      encode_control_progress(p, out);
+    }
+  };
+  const std::size_t variant = rng.uniform_index(11);
+  switch (variant) {
+    case 0: {  // duplicate hello
+      encode_control_hello(c.hello, out);
+      encode_control_hello(c.hello, out);
+      m.name = "protocol:dup-hello";
+      break;
+    }
+    case 1: {  // hello missing: progress opens the stream
+      emit_progress();
+      m.name = "protocol:missing-hello";
+      break;
+    }
+    case 2: {  // progress regresses below the last report
+      encode_control_hello(c.hello, out);
+      emit_progress();
+      encode_control_progress({c.hello.resume_events, 0}, out);
+      m.name = "protocol:progress-regress";
+      break;
+    }
+    case 3: {  // checkpoint position regresses
+      encode_control_hello(c.hello, out);
+      encode_control_checkpoint({c.checkpoints.back()}, out);
+      encode_control_checkpoint({c.hello.resume_events}, out);
+      m.name = "protocol:checkpoint-regress";
+      break;
+    }
+    case 4: {  // finals ids out of order (adjacent swap)
+      encode_control_hello(c.hello, out);
+      std::vector<EngineObjectFinal> finals = c.finals;
+      const std::size_t at = rng.uniform_index(finals.size() - 1);
+      std::swap(finals[at], finals[at + 1]);
+      append_finals_chunks(finals, c.finals_chunk, out);
+      m.name = "protocol:finals-unsorted:at=" + std::to_string(at);
+      break;
+    }
+    case 5: {  // duplicated finals id (strictly increasing required)
+      encode_control_hello(c.hello, out);
+      std::vector<EngineObjectFinal> finals = c.finals;
+      const std::size_t at = rng.uniform_index(finals.size());
+      finals.insert(finals.begin() + static_cast<std::ptrdiff_t>(at),
+                    finals[at]);
+      append_finals_chunks(finals, c.finals_chunk, out);
+      m.name = "protocol:finals-dup-id:at=" + std::to_string(at);
+      break;
+    }
+    case 6: {  // summary object count disagrees with streamed finals
+      encode_control_hello(c.hello, out);
+      append_finals_chunks(c.finals, c.finals_chunk, out);
+      ControlSummary summary = c.summary;
+      summary.objects = c.finals.size() + 1;
+      encode_control_summary(summary, out);
+      m.name = "protocol:summary-count-mismatch";
+      break;
+    }
+    case 7: {  // progress after finals began
+      encode_control_hello(c.hello, out);
+      encode_control_finals(c.finals.data(), 1, out);
+      encode_control_progress(c.progress.front(), out);
+      m.name = "protocol:progress-after-finals";
+      break;
+    }
+    case 8: {  // message after the terminal summary
+      encode_control_hello(c.hello, out);
+      append_finals_chunks(c.finals, c.finals_chunk, out);
+      encode_control_summary(c.summary, out);
+      encode_control_progress(c.progress.back(), out);
+      m.name = "protocol:message-after-summary";
+      break;
+    }
+    case 9: {  // zero-record finals frame
+      encode_control_hello(c.hello, out);
+      const std::vector<unsigned char> frame = frame_block(
+          static_cast<std::uint32_t>(ControlType::kFinals) << 24, {});
+      out.insert(out.end(), frame.begin(), frame.end());
+      m.name = "protocol:empty-finals-frame";
+      break;
+    }
+    default: {  // non-finals frame claiming an item count
+      encode_control_hello(c.hello, out);
+      std::vector<unsigned char> framed;
+      encode_control_progress(c.progress.front(), framed);
+      const std::uint32_t aux = load_le32(framed.data() + 4);
+      store_le32(framed.data() + 4,
+                 aux | (1u + static_cast<std::uint32_t>(
+                                 rng.uniform_index(100))));
+      refresh_frame_crc(framed, 0);
+      out.insert(out.end(), framed.begin(), framed.end());
+      m.name = "protocol:count-on-progress";
+      break;
+    }
+  }
+  return m;
+}
+
+/// Well-formed variations the decoder must accept in full.
+Mutation mutate_cluster_accept(const ClusterCase& c, Rng& rng) {
+  Mutation m;
+  m.expect = Expect::kAccept;
+  const std::size_t variant = rng.uniform_index(4);
+  switch (variant) {
+    case 0:  // the untouched baseline
+      m.bytes = c.base;
+      m.expected_messages = c.messages;
+      m.expected_count = c.finals.size();
+      m.name = "accept:baseline";
+      return m;
+    case 1: {  // every progress repeated verbatim (equal is not regress)
+      ClusterCase dup = c;
+      dup.progress.clear();
+      for (const ControlProgress& p : c.progress) {
+        dup.progress.push_back(p);
+        dup.progress.push_back(p);
+      }
+      m.bytes = encode_cluster_stream(dup);
+      m.expected_messages = c.messages + c.progress.size();
+      m.expected_count = c.finals.size();
+      m.name = "accept:dup-progress";
+      return m;
+    }
+    case 2: {  // checkpoint repeated at the same position
+      ClusterCase dup = c;
+      dup.checkpoints.push_back(dup.checkpoints.back());
+      m.bytes = encode_cluster_stream(dup);
+      m.expected_messages = c.messages + 1;
+      m.expected_count = c.finals.size();
+      m.name = "accept:dup-checkpoint";
+      return m;
+    }
+    default: {  // minimal session: hello straight to an empty summary
+      encode_control_header(m.bytes);
+      encode_control_hello(c.hello, m.bytes);
+      ControlSummary summary = c.summary;
+      summary.objects = 0;
+      encode_control_summary(summary, m.bytes);
+      m.expected_messages = 2;
+      m.expected_count = 0;
+      m.name = "accept:empty-partition";
+      return m;
+    }
+  }
+}
+
+Mutation make_cluster_mutation(const ClusterCase& c, Rng& rng) {
+  switch (rng.uniform_index(8)) {
+    case 0:
+      return mutate_cluster_truncate(c, rng);
+    case 1:
+      return mutate_cluster_flip(c, rng);
+    case 2:
+      return mutate_cluster_overflow(c, rng);
+    case 3:
+    case 4:
+    case 5:
+      return mutate_cluster_protocol(c, rng);
+    case 6:
+      return mutate_cluster_accept(c, rng);
+    default:
+      return mutate_cluster_flip(c, rng);
+  }
+}
+
+DecodeOutcome decode_cluster_stream(const std::vector<unsigned char>& bytes,
+                                    Rng& rng) {
+  DecodeOutcome out;
+  try {
+    ClusterControlAssembler assembler("fuzz.cluster");
+    std::vector<ControlMessage> messages;
+    std::size_t at = 0;
+    while (at < bytes.size()) {
+      const std::size_t take =
+          std::min(std::size_t{1} + rng.uniform_index(97), bytes.size() - at);
+      assembler.feed(bytes.data() + at, take, messages);
+      at += take;
+    }
+    out.cluster_messages = assembler.messages_decoded();
+    out.cluster_finals = assembler.finals_records();
+    if (!assembler.at_boundary()) {
+      out.kind = DecodeOutcome::Kind::kRejected;
+      out.detail = "stream ends mid-frame (close would be rejected)";
+      return out;
+    }
+    if (!assembler.complete()) {
+      // The coordinator treats EOF before the summary as a failed
+      // worker, so the oracle counts it as a detected rejection.
+      out.kind = DecodeOutcome::Kind::kRejected;
+      out.detail = "stream closed before the terminal summary";
+      return out;
+    }
+    out.kind = DecodeOutcome::Kind::kAccepted;
+  } catch (...) {
+    out = classify_throw();
+  }
+  return out;
+}
+
+/// Cluster verdict: acceptance must reproduce the exact message and
+/// finals-record counts the mutation's semantics dictate.
+std::string judge_cluster(const Mutation& m, const DecodeOutcome& o) {
+  if (o.kind == DecodeOutcome::Kind::kEscape) return o.detail;
+  if (o.kind == DecodeOutcome::Kind::kRejected) {
+    if (m.expect == Expect::kAccept) {
+      return "rejected a well-formed input: " + o.detail;
+    }
+    return "";
+  }
+  switch (m.expect) {
+    case Expect::kReject:
+      return "accepted malformed input and decoded " +
+             std::to_string(o.cluster_messages) + " control messages";
+    case Expect::kAccept:
+    case Expect::kEither:
+      if (o.cluster_messages != m.expected_messages) {
+        return "silent wrong decode: " + std::to_string(o.cluster_messages) +
+               " messages, expected " + std::to_string(m.expected_messages);
+      }
+      if (o.cluster_finals != m.expected_count) {
+        return "silent wrong decode: " + std::to_string(o.cluster_finals) +
+               " finals records, expected " +
+               std::to_string(m.expected_count);
+      }
+      return "";
+    case Expect::kEitherCount:
+    case Expect::kFree:
+      return "";
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
 // Escape fixtures + the driver
 // ---------------------------------------------------------------------------
 
@@ -927,6 +1358,9 @@ std::string save_escape_fixture(const FuzzOptions& options, FuzzTarget target,
       break;
     case FuzzTarget::kWire:
       fixture.target = FixtureTarget::kWire;
+      break;
+    case FuzzTarget::kCluster:
+      fixture.target = FixtureTarget::kCluster;
       break;
   }
   fixture.expect = FixtureExpect::kFailure;
@@ -959,6 +1393,8 @@ const char* fuzz_target_name(FuzzTarget target) {
       return "snapshot";
     case FuzzTarget::kWire:
       return "wire";
+    case FuzzTarget::kCluster:
+      return "cluster";
   }
   return "?";
 }
@@ -967,8 +1403,9 @@ FuzzTarget parse_fuzz_target(const std::string& name) {
   if (name == "log") return FuzzTarget::kLog;
   if (name == "snapshot") return FuzzTarget::kSnapshot;
   if (name == "wire") return FuzzTarget::kWire;
+  if (name == "cluster") return FuzzTarget::kCluster;
   throw std::invalid_argument("unknown fuzz target '" + name +
-                              "' (expected log, snapshot, or wire)");
+                              "' (expected log, snapshot, wire, or cluster)");
 }
 
 FuzzReport fuzz_format(FuzzTarget target, const FuzzOptions& options) {
@@ -986,6 +1423,7 @@ FuzzReport fuzz_format(FuzzTarget target, const FuzzOptions& options) {
     Mutation mutation;
     DecodeOutcome outcome;
     bool snapshot = false;
+    bool cluster = false;
     std::uint32_t num_servers = 1;
 
     switch (target) {
@@ -1016,10 +1454,20 @@ FuzzReport fuzz_format(FuzzTarget target, const FuzzOptions& options) {
         outcome = decode_snapshot_file(path);
         break;
       }
+      case FuzzTarget::kCluster: {
+        cluster = true;
+        const ClusterCase c = make_cluster_case(rng);
+        num_servers = c.hello.num_servers;
+        mutation = make_cluster_mutation(c, rng);
+        outcome = decode_cluster_stream(mutation.bytes, rng);
+        break;
+      }
     }
 
     ++report.cases;
-    const std::string escape = judge(mutation, outcome, snapshot);
+    const std::string escape = cluster
+                                   ? judge_cluster(mutation, outcome)
+                                   : judge(mutation, outcome, snapshot);
     if (!escape.empty()) {
       FuzzFailure failure;
       failure.case_index = i;

@@ -1,6 +1,7 @@
-// Structured, deterministic fuzzing of the three untrusted-input
+// Structured, deterministic fuzzing of the four untrusted-input
 // decoders: event-log files (EventLogReader), snapshot files
-// (SnapshotReader), and the wire protocol (FrameAssembler).
+// (SnapshotReader), the event wire protocol (FrameAssembler), and the
+// cluster control protocol (ClusterControlAssembler).
 //
 // Unlike blind byte fuzzing, the mutator *speaks the formats*: every
 // case starts from a freshly generated well-formed artifact, then
@@ -35,6 +36,7 @@ enum class FuzzTarget : std::uint32_t {
   kLog = 0,
   kSnapshot = 1,
   kWire = 2,
+  kCluster = 3,
 };
 
 const char* fuzz_target_name(FuzzTarget target);

@@ -86,6 +86,33 @@ Model build_log_model(const Fixture& fixture) {
   return model;
 }
 
+Model build_cluster_model(const Fixture& fixture) {
+  // Control frames travel as opaque bytes: each is a protocol message
+  // whose meaning depends on stream position, so the minimizer only
+  // deletes whole frames (and the undecodable tail) — the protocol
+  // state machine decides whether the failure survives.
+  Model model;
+  const std::vector<unsigned char>& blob = fixture.blob;
+  const ControlImage image = walk_control_image(blob);
+  const std::size_t header_bytes =
+      image.header_ok ? image.header_bytes : std::min(blob.size(),
+                                                      std::size_t{16});
+  model.header.assign(blob.begin(),
+                      blob.begin() + static_cast<std::ptrdiff_t>(header_bytes));
+  for (const SegmentSpan& span : image.segments) {
+    Piece piece;
+    piece.items = span.items;
+    piece.raw.assign(blob.begin() + static_cast<std::ptrdiff_t>(span.offset),
+                     blob.begin() + static_cast<std::ptrdiff_t>(span.end()));
+    model.pieces.push_back(std::move(piece));
+  }
+  model.tail.assign(blob.begin() + static_cast<std::ptrdiff_t>(
+                                       std::max(image.tail_offset,
+                                                header_bytes)),
+                    blob.end());
+  return model;
+}
+
 Model build_snapshot_model(const Fixture& fixture) {
   Model model;
   model.snapshot = true;
@@ -277,6 +304,8 @@ MinimizeResult minimize_fixture(const Fixture& input,
 
   Model model = input.target == FixtureTarget::kSnapshot
                     ? build_snapshot_model(input)
+                : input.target == FixtureTarget::kCluster
+                    ? build_cluster_model(input)
                     : build_log_model(input);
   Probe probe(input, signature, options.run);
 

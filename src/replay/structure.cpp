@@ -152,6 +152,40 @@ SnapshotImage walk_snapshot_image(const std::vector<unsigned char>& bytes) {
   return image;
 }
 
+ControlImage walk_control_image(const std::vector<unsigned char>& bytes) {
+  // Layout re-derived from cluster/control.hpp: magic "REPLCCTL",
+  // version 1, 4 reserved bytes, then v2-style block frames.
+  constexpr std::uint64_t kControlMagic = 0x4c5443434c504552ULL;
+  constexpr std::size_t kControlHeaderBytes = 16;
+  ControlImage image;
+  if (bytes.size() < kControlHeaderBytes) return image;
+  if (load_le64(bytes.data()) != kControlMagic ||
+      load_le32(bytes.data() + 8) != 1) {
+    return image;
+  }
+  image.header_ok = true;
+  image.header_bytes = kControlHeaderBytes;
+  std::size_t at = image.header_bytes;
+  while (bytes.size() - at >= kBlockFrameBytes) {
+    BlockFrameHeader frame;
+    if (parse_block_frame(bytes.data() + at, frame) != BlockFrameStatus::kOk) {
+      break;
+    }
+    if (bytes.size() - at - kBlockFrameBytes < frame.body_len) break;
+    SegmentSpan span;
+    span.offset = at;
+    span.size = kBlockFrameBytes + frame.body_len;
+    span.payload_offset = at + kBlockFrameBytes;
+    span.items = frame.aux & 0x00ffffffu;
+    span.well_formed = verify_block_payload(
+        frame, bytes.data() + span.payload_offset, frame.body_len);
+    image.segments.push_back(span);
+    at += span.size;
+  }
+  image.tail_offset = at;
+  return image;
+}
+
 void patch_log_event_count(std::vector<unsigned char>& bytes,
                            std::uint64_t num_events) {
   if (bytes.size() < EventLogHeader::kSize) return;

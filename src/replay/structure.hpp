@@ -87,6 +87,21 @@ struct SnapshotImage {
 
 SnapshotImage walk_snapshot_image(const std::vector<unsigned char>& bytes);
 
+/// Walk of a cluster control stream image (REPLCCTL v1: 16-byte header
+/// then block frames — the same frame envelope as the v2 event wire,
+/// with aux = (message type << 24) | finals-record count).
+struct ControlImage {
+  /// Header parsed (magic/version recognized, 16 bytes present).
+  bool header_ok = false;
+  std::size_t header_bytes = 0;
+  /// One span per complete frame; items = the frame's declared
+  /// finals-record count (0 for every non-finals message type).
+  std::vector<SegmentSpan> segments;
+  std::size_t tail_offset = 0;
+};
+
+ControlImage walk_control_image(const std::vector<unsigned char>& bytes);
+
 /// Rewrites the num_events field of a log/wire image header in place
 /// (no-op on images too short to hold a header).
 void patch_log_event_count(std::vector<unsigned char>& bytes,

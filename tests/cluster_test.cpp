@@ -1,0 +1,815 @@
+// Cluster tests: the deterministic partition function, the control
+// protocol codec and its state machine, the per-partition checkpoint
+// manifest, and — when the repl_cluster launcher is built — true
+// multi-process serving: coordinator + N workers over unix sockets,
+// bit-identical to single-process serve, including after SIGKILLing
+// workers at every point of the kill matrix and respawning them from
+// their per-partition checkpoints.
+#include <signal.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/experiment.hpp"
+#include "checkpoint/partition_manifest.hpp"
+#include "cluster/control.hpp"
+#include "cluster/coordinator.hpp"
+#include "cluster/partition.hpp"
+#include "codec/block.hpp"
+#include "codec/crc32.hpp"
+#include "codec/endian.hpp"
+#include "engine/engine.hpp"
+#include "trace/event_log.hpp"
+
+namespace repl {
+namespace {
+
+constexpr int kServers = 5;
+constexpr std::uint64_t kSeed = 0x5eed5eed5eed5eedULL;
+
+#ifdef REPL_CLUSTER_BIN
+constexpr const char* kClusterBin = REPL_CLUSTER_BIN;
+#else
+constexpr const char* kClusterBin = nullptr;
+#endif
+
+SystemConfig cluster_config() {
+  SystemConfig config;
+  config.num_servers = kServers;
+  config.transfer_cost = 10.0;
+  return config;
+}
+
+/// A deterministic interleaved stream: `count` events over `objects`
+/// objects with strictly increasing times (the net_test generator).
+std::vector<LogEvent> make_events(std::size_t count, std::uint64_t objects) {
+  std::vector<LogEvent> events;
+  events.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    events.push_back(LogEvent{0.25 * static_cast<double>(i + 1),
+                              (i * 7919) % objects,
+                              static_cast<std::uint32_t>((i * 31) % kServers)});
+  }
+  return events;
+}
+
+void expect_same(const EngineMetrics& a, const EngineMetrics& b) {
+  EXPECT_EQ(a.objects, b.objects);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.num_local, b.num_local);
+  EXPECT_EQ(a.num_transfers, b.num_transfers);
+  EXPECT_EQ(a.online_cost, b.online_cost);
+  EXPECT_EQ(a.lower_bound, b.lower_bound);
+}
+
+/// Asserts `fn` throws a std::exception whose message contains `needle`.
+template <typename Fn>
+void expect_throws_with(Fn&& fn, const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected an exception containing \"" << needle << "\"";
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "diagnostic was: " << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------
+// Partition function
+
+TEST(PartitionFunction, GoldenValuesPinTheMapping) {
+  // kPartitionFunctionVersion = 1 IS these outputs. If this test fails,
+  // the mapping changed: every existing manifest and cross-version
+  // cluster would resume the wrong slice. Bump the version, don't
+  // repin silently.
+  struct Golden {
+    std::uint64_t id;
+    std::uint32_t p2, p4, p7;
+  };
+  constexpr Golden kGolden[] = {
+      {0ULL, 1, 1, 2},
+      {1ULL, 0, 0, 4},
+      {2ULL, 0, 0, 5},
+      {3ULL, 0, 0, 5},
+      {42ULL, 0, 0, 1},
+      {7919ULL, 1, 1, 6},
+      {123456789ULL, 0, 2, 5},
+      {18446744073709551615ULL, 1, 1, 5},
+  };
+  for (const Golden& g : kGolden) {
+    EXPECT_EQ(partition_of(g.id, 2), g.p2) << "id " << g.id;
+    EXPECT_EQ(partition_of(g.id, 4), g.p4) << "id " << g.id;
+    EXPECT_EQ(partition_of(g.id, 7), g.p7) << "id " << g.id;
+  }
+  EXPECT_EQ(kPartitionFunctionVersion, 1u);
+}
+
+TEST(PartitionFunction, StableInRangeAndDegenerate) {
+  for (std::uint32_t n : {1u, 2u, 3u, 4u, 7u, 64u}) {
+    for (std::uint64_t id = 0; id < 4096; ++id) {
+      const std::uint32_t p = partition_of(id, n);
+      ASSERT_LT(p, n);
+      // Pure function: repeated evaluation must agree.
+      ASSERT_EQ(partition_of(id, n), p);
+    }
+  }
+  // One partition degenerates to the single-process stream.
+  for (std::uint64_t id = 0; id < 4096; ++id) {
+    ASSERT_EQ(partition_of(id * 0x9e3779b97f4a7c15ULL, 1), 0u);
+  }
+}
+
+TEST(PartitionFunction, SpreadsObjectsRoughlyEvenly) {
+  constexpr std::uint32_t kPartitions = 4;
+  constexpr std::uint64_t kIds = 100000;
+  std::uint64_t counts[kPartitions] = {0, 0, 0, 0};
+  for (std::uint64_t id = 0; id < kIds; ++id) {
+    ++counts[partition_of(id, kPartitions)];
+  }
+  for (std::uint32_t p = 0; p < kPartitions; ++p) {
+    // Uniform expectation is 25000; a mixed 64-bit hash stays well
+    // inside +-20% at this sample size.
+    EXPECT_GT(counts[p], kIds / kPartitions * 8 / 10) << "partition " << p;
+    EXPECT_LT(counts[p], kIds / kPartitions * 12 / 10) << "partition " << p;
+  }
+}
+
+TEST(PartitionFunction, VersionGuardFailsLoudly) {
+  EXPECT_NO_THROW(
+      require_partition_function_version(kPartitionFunctionVersion));
+  EXPECT_THROW(
+      require_partition_function_version(kPartitionFunctionVersion + 1),
+      std::invalid_argument);
+  EXPECT_THROW(require_partition_function_version(0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Control protocol codec
+
+ControlHello test_hello() {
+  ControlHello hello;
+  hello.partition_id = 1;
+  hello.num_partitions = 4;
+  hello.pf_version = kPartitionFunctionVersion;
+  hello.num_servers = kServers;
+  hello.resume_events = 77;
+  hello.base_seed = kSeed;
+  return hello;
+}
+
+/// Stream header + hello — the prefix every legal control stream shares.
+std::vector<unsigned char> control_prefix(
+    const ControlHello& hello = test_hello()) {
+  std::vector<unsigned char> bytes;
+  encode_control_header(bytes);
+  encode_control_hello(hello, bytes);
+  return bytes;
+}
+
+/// Feeds `bytes` in `chunk`-sized pieces through `assembler`.
+std::vector<ControlMessage> feed_all(const std::vector<unsigned char>& bytes,
+                                     std::size_t chunk,
+                                     ClusterControlAssembler& assembler) {
+  std::vector<ControlMessage> out;
+  for (std::size_t at = 0; at < bytes.size();) {
+    const std::size_t take = std::min(chunk, bytes.size() - at);
+    assembler.feed(bytes.data() + at, take, out);
+    at += take;
+  }
+  return out;
+}
+
+/// Asserts a fresh assembler rejects `bytes` with `needle` in the
+/// diagnostic, at a few different chunkings.
+void expect_control_rejects(const std::vector<unsigned char>& bytes,
+                            const std::string& needle) {
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{7}, bytes.size()}) {
+    ClusterControlAssembler assembler("test");
+    expect_throws_with([&] { feed_all(bytes, chunk, assembler); }, needle);
+  }
+}
+
+std::vector<EngineObjectFinal> make_finals(std::size_t count,
+                                           std::uint64_t first_id) {
+  std::vector<EngineObjectFinal> finals(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    finals[i].id = first_id + 3 * i;
+    finals[i].events = 10 + i;
+    finals[i].num_local = 7 + i;
+    finals[i].num_transfers = 3;
+    finals[i].online_cost = 1.25 * static_cast<double>(i + 1);
+    finals[i].lower_bound = 0.5 * static_cast<double>(i + 1);
+  }
+  return finals;
+}
+
+TEST(ControlCodec, RoundTripsAFullSessionAtEveryChunking) {
+  const ControlHello hello = test_hello();
+  const std::vector<EngineObjectFinal> finals = make_finals(10, 100);
+  ControlSummary summary;
+  summary.objects = 10;
+  summary.events = 145;
+  summary.num_local = 115;
+  summary.num_transfers = 30;
+  summary.online_cost = 68.75;
+  summary.lower_bound = 27.5;
+
+  std::vector<unsigned char> bytes = control_prefix(hello);
+  encode_control_progress(ControlProgress{100, 1}, bytes);
+  encode_control_checkpoint(ControlCheckpoint{100}, bytes);
+  encode_control_finals(finals.data(), 6, bytes);
+  encode_control_finals(finals.data() + 6, 4, bytes);
+  encode_control_summary(summary, bytes);
+
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{5}, bytes.size()}) {
+    ClusterControlAssembler assembler("test");
+    const std::vector<ControlMessage> messages =
+        feed_all(bytes, chunk, assembler);
+    ASSERT_EQ(messages.size(), 6u) << "chunk " << chunk;
+    EXPECT_TRUE(assembler.at_boundary());
+    EXPECT_TRUE(assembler.complete());
+    EXPECT_EQ(assembler.messages_decoded(), 6u);
+    EXPECT_EQ(assembler.finals_records(), 10u);
+    EXPECT_EQ(assembler.bytes_consumed(), bytes.size());
+
+    EXPECT_EQ(messages[0].type, ControlType::kHello);
+    EXPECT_EQ(messages[0].hello.partition_id, hello.partition_id);
+    EXPECT_EQ(messages[0].hello.num_partitions, hello.num_partitions);
+    EXPECT_EQ(messages[0].hello.pf_version, hello.pf_version);
+    EXPECT_EQ(messages[0].hello.num_servers, hello.num_servers);
+    EXPECT_EQ(messages[0].hello.resume_events, hello.resume_events);
+    EXPECT_EQ(messages[0].hello.base_seed, hello.base_seed);
+
+    EXPECT_EQ(messages[1].type, ControlType::kProgress);
+    EXPECT_EQ(messages[1].progress.events_ingested, 100u);
+    EXPECT_EQ(messages[1].progress.batches, 1u);
+    EXPECT_EQ(messages[2].type, ControlType::kCheckpoint);
+    EXPECT_EQ(messages[2].checkpoint.events_ingested, 100u);
+
+    ASSERT_EQ(messages[3].type, ControlType::kFinals);
+    ASSERT_EQ(messages[4].type, ControlType::kFinals);
+    std::vector<EngineObjectFinal> got = messages[3].finals;
+    got.insert(got.end(), messages[4].finals.begin(),
+               messages[4].finals.end());
+    ASSERT_EQ(got.size(), finals.size());
+    for (std::size_t i = 0; i < finals.size(); ++i) {
+      EXPECT_EQ(got[i].id, finals[i].id);
+      EXPECT_EQ(got[i].events, finals[i].events);
+      EXPECT_EQ(got[i].num_local, finals[i].num_local);
+      EXPECT_EQ(got[i].num_transfers, finals[i].num_transfers);
+      EXPECT_EQ(got[i].online_cost, finals[i].online_cost);
+      EXPECT_EQ(got[i].lower_bound, finals[i].lower_bound);
+    }
+
+    EXPECT_EQ(messages[5].type, ControlType::kSummary);
+    EXPECT_EQ(messages[5].summary.objects, summary.objects);
+    EXPECT_EQ(messages[5].summary.events, summary.events);
+    EXPECT_EQ(messages[5].summary.online_cost, summary.online_cost);
+    EXPECT_EQ(messages[5].summary.lower_bound, summary.lower_bound);
+  }
+}
+
+TEST(ControlCodec, RejectsBadStreamHeader) {
+  std::vector<unsigned char> bad_magic = control_prefix();
+  bad_magic[0] ^= 0xff;
+  expect_control_rejects(bad_magic, "bad control stream magic");
+
+  std::vector<unsigned char> bad_version = control_prefix();
+  bad_version[8] = 9;
+  expect_control_rejects(bad_version, "unsupported control stream version 9");
+
+  std::vector<unsigned char> bad_reserved = control_prefix();
+  bad_reserved[12] = 1;
+  expect_control_rejects(bad_reserved,
+                         "control stream header reserved field is not zero");
+}
+
+TEST(ControlCodec, HelloMustOpenTheStreamExactlyOnce) {
+  std::vector<unsigned char> no_hello;
+  encode_control_header(no_hello);
+  encode_control_progress(ControlProgress{10, 1}, no_hello);
+  expect_control_rejects(no_hello,
+                         "progress before hello (hello must open the stream)");
+
+  std::vector<unsigned char> twice = control_prefix();
+  encode_control_hello(test_hello(), twice);
+  expect_control_rejects(twice, "duplicate hello");
+}
+
+TEST(ControlCodec, RejectsInvalidHelloGeometry) {
+  ControlHello zero_parts = test_hello();
+  zero_parts.partition_id = 0;
+  zero_parts.num_partitions = 0;
+  expect_control_rejects(control_prefix(zero_parts),
+                         "hello declares 0 partitions");
+
+  ControlHello out_of_range = test_hello();
+  out_of_range.partition_id = 4;
+  expect_control_rejects(control_prefix(out_of_range),
+                         "hello partition id 4 out of range [0, 4)");
+
+  ControlHello zero_servers = test_hello();
+  zero_servers.num_servers = 0;
+  expect_control_rejects(control_prefix(zero_servers),
+                         "hello declares 0 servers");
+}
+
+TEST(ControlCodec, CountersMustNotRegress) {
+  // The hello's resume position is the floor both counters start from.
+  std::vector<unsigned char> below_resume = control_prefix();
+  encode_control_progress(ControlProgress{50, 1}, below_resume);
+  expect_control_rejects(below_resume, "progress regressed");
+
+  std::vector<unsigned char> events_back = control_prefix();
+  encode_control_progress(ControlProgress{200, 2}, events_back);
+  encode_control_progress(ControlProgress{100, 3}, events_back);
+  expect_control_rejects(events_back, "progress regressed: 100 events after");
+
+  std::vector<unsigned char> batches_back = control_prefix();
+  encode_control_progress(ControlProgress{200, 2}, batches_back);
+  encode_control_progress(ControlProgress{300, 1}, batches_back);
+  expect_control_rejects(batches_back,
+                         "progress batch count regressed: 1 after");
+
+  std::vector<unsigned char> ckpt_back = control_prefix();
+  encode_control_checkpoint(ControlCheckpoint{500}, ckpt_back);
+  encode_control_checkpoint(ControlCheckpoint{400}, ckpt_back);
+  expect_control_rejects(ckpt_back,
+                         "checkpoint position regressed: 400 events after");
+
+  // Equal repeats are legal (non-strict monotonicity): a worker may
+  // re-announce its position.
+  std::vector<unsigned char> equal = control_prefix();
+  encode_control_progress(ControlProgress{200, 2}, equal);
+  encode_control_progress(ControlProgress{200, 2}, equal);
+  encode_control_checkpoint(ControlCheckpoint{200}, equal);
+  encode_control_checkpoint(ControlCheckpoint{200}, equal);
+  ClusterControlAssembler assembler("test");
+  EXPECT_EQ(feed_all(equal, 13, assembler).size(), 5u);
+}
+
+TEST(ControlCodec, FinalsMustBeSortedAndSummaryMustAccount) {
+  const std::vector<EngineObjectFinal> seven = make_finals(1, 7);
+  const std::vector<EngineObjectFinal> three = make_finals(1, 3);
+
+  std::vector<unsigned char> unsorted = control_prefix();
+  encode_control_finals(seven.data(), 1, unsorted);
+  encode_control_finals(three.data(), 1, unsorted);
+  expect_control_rejects(unsorted,
+                         "finals id 3 does not increase past 7 (finals must "
+                         "be id-sorted)");
+
+  std::vector<unsigned char> duplicate = control_prefix();
+  encode_control_finals(seven.data(), 1, duplicate);
+  encode_control_finals(seven.data(), 1, duplicate);
+  expect_control_rejects(duplicate, "does not increase past 7");
+
+  const std::vector<EngineObjectFinal> finals = make_finals(2, 10);
+  std::vector<unsigned char> short_count = control_prefix();
+  encode_control_finals(finals.data(), 2, short_count);
+  ControlSummary summary;
+  summary.objects = 3;
+  encode_control_summary(summary, short_count);
+  expect_control_rejects(short_count,
+                         "summary claims 3 objects but 2 finals records "
+                         "were streamed");
+
+  std::vector<unsigned char> progress_after = control_prefix();
+  encode_control_finals(finals.data(), 2, progress_after);
+  encode_control_progress(ControlProgress{900, 9}, progress_after);
+  expect_control_rejects(
+      progress_after,
+      "progress after finals began (only finals/summary may follow)");
+}
+
+TEST(ControlCodec, SummaryIsTerminal) {
+  const std::vector<EngineObjectFinal> finals = make_finals(2, 10);
+  std::vector<unsigned char> bytes = control_prefix();
+  encode_control_finals(finals.data(), 2, bytes);
+  ControlSummary summary;
+  summary.objects = 2;
+  encode_control_summary(summary, bytes);
+  encode_control_progress(ControlProgress{900, 9}, bytes);
+  expect_control_rejects(bytes,
+                         "progress after summary (summary is terminal)");
+}
+
+/// A raw control frame: aux = (type << 24) | count over `body`.
+std::vector<unsigned char> raw_control_frame(
+    std::uint32_t type, std::uint32_t count,
+    const std::vector<unsigned char>& body) {
+  std::vector<unsigned char> frame(kBlockFrameBytes + body.size());
+  encode_block_frame(frame.data(), (type << 24) | count, body.data(),
+                     body.size());
+  std::copy(body.begin(), body.end(), frame.begin() + kBlockFrameBytes);
+  return frame;
+}
+
+TEST(ControlCodec, RejectsMalformedFrames) {
+  const auto append = [](std::vector<unsigned char>& out,
+                         const std::vector<unsigned char>& frame) {
+    out.insert(out.end(), frame.begin(), frame.end());
+  };
+
+  // Flipped payload byte: hello body starts at 16 (header) + 16 (frame).
+  std::vector<unsigned char> bad_payload = control_prefix();
+  bad_payload[kControlHeaderBytes + kBlockFrameBytes] ^= 0x01;
+  expect_control_rejects(bad_payload, "control payload CRC mismatch");
+
+  // Flipped frame-header byte.
+  std::vector<unsigned char> bad_frame = control_prefix();
+  bad_frame[kControlHeaderBytes] ^= 0x01;
+  expect_control_rejects(bad_frame, "frame CRC mismatch");
+
+  // An implausible body length with a freshly valid frame CRC must be
+  // refused before any allocation.
+  std::vector<unsigned char> huge = control_prefix();
+  {
+    unsigned char header[kBlockFrameBytes];
+    store_le32(header, static_cast<std::uint32_t>(kMaxControlBodyBytes + 1));
+    store_le32(header + 4,
+               static_cast<std::uint32_t>(ControlType::kProgress) << 24);
+    store_le32(header + 8, 0);
+    store_le32(header + 12, crc32c(header, 12));
+    huge.insert(huge.end(), header, header + kBlockFrameBytes);
+  }
+  expect_control_rejects(huge, "implausible frame length");
+
+  // Unknown message type.
+  std::vector<unsigned char> unknown = control_prefix();
+  append(unknown, raw_control_frame(6, 0, std::vector<unsigned char>(8)));
+  expect_control_rejects(unknown, "unknown control message type 6");
+
+  // A finals frame with no records.
+  std::vector<unsigned char> empty_finals = control_prefix();
+  append(empty_finals,
+         raw_control_frame(static_cast<std::uint32_t>(ControlType::kFinals),
+                           0, {}));
+  expect_control_rejects(empty_finals, "finals frame holds no records");
+
+  // Item counts belong to finals frames only.
+  std::vector<unsigned char> counted_progress = control_prefix();
+  append(counted_progress,
+         raw_control_frame(static_cast<std::uint32_t>(ControlType::kProgress),
+                           1, std::vector<unsigned char>(16)));
+  expect_control_rejects(counted_progress,
+                         "progress frame declares item count 1 (only finals "
+                         "frames carry items)");
+
+  // Wrong body size for the declared type.
+  std::vector<unsigned char> short_body = control_prefix();
+  append(short_body,
+         raw_control_frame(static_cast<std::uint32_t>(ControlType::kProgress),
+                           0, std::vector<unsigned char>(12)));
+  expect_control_rejects(short_body, "progress body is 12 bytes, expected 16");
+}
+
+TEST(ControlCodec, DeadAfterFailureAndTruncationIsVisible) {
+  std::vector<unsigned char> bad = control_prefix();
+  bad[0] ^= 0xff;
+  ClusterControlAssembler assembler("test");
+  std::vector<ControlMessage> out;
+  EXPECT_THROW(assembler.feed(bad.data(), bad.size(), out),
+               std::runtime_error);
+  expect_throws_with([&] { assembler.feed(bad.data(), 1, out); },
+                     "control stream already failed");
+
+  // A truncated-but-clean prefix never throws; it is visibly incomplete.
+  std::vector<unsigned char> whole = control_prefix();
+  encode_control_progress(ControlProgress{100, 1}, whole);
+  for (std::size_t cut :
+       {std::size_t{8}, kControlHeaderBytes, kControlHeaderBytes + 5,
+        kControlHeaderBytes + kBlockFrameBytes + 32, whole.size() - 1,
+        whole.size()}) {
+    ClusterControlAssembler partial("test");
+    std::vector<ControlMessage> messages;
+    partial.feed(whole.data(), cut, messages);
+    EXPECT_FALSE(partial.complete()) << "cut " << cut;
+    const bool boundary =
+        cut == kControlHeaderBytes ||
+        cut == kControlHeaderBytes + kBlockFrameBytes + 32 ||
+        cut == whole.size();
+    EXPECT_EQ(partial.at_boundary(), boundary) << "cut " << cut;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Partition manifest
+
+class ManifestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("repl_pman_test_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string file(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+PartitionManifest test_manifest() {
+  PartitionManifest m;
+  m.partition_id = 2;
+  m.num_partitions = 4;
+  m.pf_version = kPartitionFunctionVersion;
+  m.num_servers = kServers;
+  m.base_seed = kSeed;
+  m.events_ingested = 123456;
+  return m;
+}
+
+TEST_F(ManifestTest, RoundTripsAndNamesItself) {
+  EXPECT_EQ(partition_manifest_path("/x/part2.ckpt"), "/x/part2.ckpt.pman");
+
+  const std::string path = file("part2.ckpt.pman");
+  const PartitionManifest want = test_manifest();
+  write_partition_manifest(path, want);
+  const PartitionManifest got = read_partition_manifest(path);
+  EXPECT_EQ(got.partition_id, want.partition_id);
+  EXPECT_EQ(got.num_partitions, want.num_partitions);
+  EXPECT_EQ(got.pf_version, want.pf_version);
+  EXPECT_EQ(got.num_servers, want.num_servers);
+  EXPECT_EQ(got.base_seed, want.base_seed);
+  EXPECT_EQ(got.events_ingested, want.events_ingested);
+}
+
+TEST_F(ManifestTest, WrongSliceFailsLoudly) {
+  const PartitionManifest m = test_manifest();
+  EXPECT_NO_THROW(require_manifest_matches(m, 2, 4, kServers));
+  EXPECT_THROW(require_manifest_matches(m, 1, 4, kServers),
+               std::invalid_argument);
+  EXPECT_THROW(require_manifest_matches(m, 2, 8, kServers),
+               std::invalid_argument);
+  EXPECT_THROW(require_manifest_matches(m, 2, 4, kServers + 1),
+               std::invalid_argument);
+  PartitionManifest wrong_pf = m;
+  wrong_pf.pf_version = kPartitionFunctionVersion + 1;
+  EXPECT_THROW(require_manifest_matches(wrong_pf, 2, 4, kServers),
+               std::invalid_argument);
+}
+
+TEST_F(ManifestTest, RejectsMissingTruncatedAndCorruptFiles) {
+  EXPECT_THROW(read_partition_manifest(file("absent.pman")),
+               std::runtime_error);
+
+  const std::string path = file("m.pman");
+  write_partition_manifest(path, test_manifest());
+
+  // Truncation.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    ASSERT_EQ(bytes.size(), PartitionManifest::kSize);
+    std::ofstream out(file("short.pman"), std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 4));
+  }
+  EXPECT_THROW(read_partition_manifest(file("short.pman")),
+               std::runtime_error);
+
+  // A flipped payload byte must trip the CRC.
+  {
+    std::fstream io(path, std::ios::binary | std::ios::in | std::ios::out);
+    char byte = 0;
+    io.seekg(40);  // events_ingested
+    io.get(byte);
+    byte = static_cast<char>(byte ^ 0x01);
+    io.seekp(40);
+    io.put(byte);
+  }
+  EXPECT_THROW(read_partition_manifest(path), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// Multi-process cluster serving (needs the repl_cluster launcher)
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (kClusterBin == nullptr) {
+      GTEST_SKIP() << "repl_cluster launcher not built "
+                      "(REPL_BUILD_EXAMPLES=OFF)";
+    }
+    dir_ = std::filesystem::temp_directory_path() /
+           ("repl_clu_" + std::string(::testing::UnitTest::GetInstance()
+                                          ->current_test_info()
+                                          ->name()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    if (dir_.empty()) return;
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string write_log(const std::vector<LogEvent>& events) const {
+    const std::string path = (dir_ / "stream.evlog").string();
+    EventLogWriter writer(path, kServers, 0, EventLogFormat::kCompressed);
+    for (const LogEvent& event : events) writer.write(event);
+    writer.close();
+    return path;
+  }
+
+  /// A fresh subdirectory per cluster run, so one run's sockets and
+  /// checkpoints cannot leak into the next.
+  std::string run_dir(const std::string& name) const {
+    const std::filesystem::path sub = dir_ / name;
+    std::filesystem::create_directories(sub);
+    return sub.string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+/// The single-process ground truth: the same engine stack serving the
+/// same log in one process.
+EngineMetrics single_reference(const std::string& log_path) {
+  EngineOptions options;
+  options.base_seed = kSeed;
+  options.compute_lower_bound = true;
+  EngineBuilder builder;
+  builder.config(cluster_config())
+      .options(options)
+      .policy("drwp(alpha=0.3)")
+      .predictor("last_gap");
+  auto engine = builder.build();
+  EventLogReader reader(log_path);
+  return engine->serve(reader, ServeOptions{});
+}
+
+/// SIGKILLs one worker once, at an exact partition-local routed count,
+/// from the coordinator's progress hook.
+struct KillPlan {
+  std::uint32_t partition = 0;
+  std::uint64_t at = 0;
+  ClusterCoordinator* coordinator = nullptr;
+  std::atomic<bool> fired{false};
+};
+
+ClusterServeResult run_cluster(const std::string& log_path,
+                               const std::string& socket_dir,
+                               std::uint32_t partitions,
+                               std::uint64_t checkpoint_every,
+                               std::size_t batch_events,
+                               KillPlan* kill = nullptr) {
+  ClusterCoordinatorOptions options;
+  options.num_partitions = partitions;
+  options.worker_binary = kClusterBin == nullptr ? "" : kClusterBin;
+  options.socket_dir = socket_dir;
+  options.config = cluster_config();
+  options.base_seed = kSeed;
+  // Deliberately a different geometry from the reference serve: parity
+  // must hold at any shard/thread count.
+  options.worker_shards = 8;
+  options.checkpoint_every = checkpoint_every;
+  options.batch_events = batch_events;
+  if (kill != nullptr) {
+    options.on_progress = [kill](std::uint32_t partition,
+                                 std::uint64_t routed) {
+      if (partition != kill->partition || routed < kill->at) return;
+      if (kill->fired.exchange(true)) return;
+      const int pid = kill->coordinator->worker_pid(partition);
+      if (pid > 0) ::kill(pid, SIGKILL);
+    };
+  }
+  ClusterCoordinator coordinator(options);
+  if (kill != nullptr) kill->coordinator = &coordinator;
+  return coordinator.serve_log(log_path);
+}
+
+/// Partition-local event counts — the denominators for kill cuts.
+std::vector<std::uint64_t> slice_counts(const std::vector<LogEvent>& events,
+                                        std::uint32_t partitions) {
+  std::vector<std::uint64_t> counts(partitions, 0);
+  for (const LogEvent& event : events) {
+    ++counts[partition_of(event.object, partitions)];
+  }
+  return counts;
+}
+
+TEST_F(ClusterTest, MultiPartitionServeIsBitIdenticalToSingleProcess) {
+  const std::vector<LogEvent> events = make_events(20000, 257);
+  const std::string log = write_log(events);
+  const EngineMetrics want = single_reference(log);
+  ASSERT_EQ(want.events, events.size());
+
+  for (std::uint32_t partitions : {1u, 2u, 4u}) {
+    SCOPED_TRACE("partitions=" + std::to_string(partitions));
+    const ClusterServeResult result =
+        run_cluster(log, run_dir("p" + std::to_string(partitions)),
+                    partitions, /*checkpoint_every=*/0,
+                    /*batch_events=*/1024);
+    expect_same(want, result.metrics);
+    EXPECT_EQ(result.respawns, 0u);
+    ASSERT_EQ(result.summaries.size(), partitions);
+    std::uint64_t events_sum = 0;
+    std::uint64_t objects_sum = 0;
+    for (const ControlSummary& summary : result.summaries) {
+      events_sum += summary.events;
+      objects_sum += summary.objects;
+    }
+    EXPECT_EQ(events_sum, want.events);
+    EXPECT_EQ(objects_sum, want.objects);
+  }
+}
+
+TEST_F(ClusterTest, KillRespawnMatrixStaysBitIdentical) {
+  // The satellite matrix: SIGKILL one worker at 1/4, 1/2, and 3/4 of its
+  // slice, at 2 and 4 partitions, with periodic per-partition
+  // checkpoints; the respawned worker resumes from its snapshot, the
+  // coordinator replays the tail, and the aggregates must not notice.
+  const std::vector<LogEvent> events = make_events(20000, 257);
+  const std::string log = write_log(events);
+  const EngineMetrics want = single_reference(log);
+
+  for (std::uint32_t partitions : {2u, 4u}) {
+    const std::vector<std::uint64_t> counts =
+        slice_counts(events, partitions);
+    const std::uint32_t victim = partitions - 1;
+    for (int quarter : {1, 2, 3}) {
+      SCOPED_TRACE("partitions=" + std::to_string(partitions) +
+                   " cut=" + std::to_string(quarter) + "/4");
+      KillPlan plan;
+      plan.partition = victim;
+      plan.at = std::max<std::uint64_t>(
+          1, counts[victim] * static_cast<std::uint64_t>(quarter) / 4);
+      const ClusterServeResult result = run_cluster(
+          log,
+          run_dir("k" + std::to_string(partitions) + "q" +
+                  std::to_string(quarter)),
+          partitions, /*checkpoint_every=*/1024, /*batch_events=*/512,
+          &plan);
+      EXPECT_TRUE(plan.fired.load());
+      EXPECT_GE(result.respawns, 1u);
+      expect_same(want, result.metrics);
+    }
+  }
+}
+
+TEST_F(ClusterTest, WorkerDeathMidBatchWithoutCheckpointReplaysTheSlice) {
+  // No checkpoints at all: the respawned worker restarts from zero and
+  // the coordinator must replay its whole slice. Small batches put the
+  // kill mid-stream with frames in flight.
+  const std::vector<LogEvent> events = make_events(12000, 101);
+  const std::string log = write_log(events);
+  const EngineMetrics want = single_reference(log);
+
+  const std::uint32_t partitions = 4;
+  const std::vector<std::uint64_t> counts = slice_counts(events, partitions);
+  KillPlan plan;
+  plan.partition = 1;
+  plan.at = std::max<std::uint64_t>(1, counts[1] / 2 + 1);
+  const ClusterServeResult result =
+      run_cluster(log, run_dir("midbatch"), partitions,
+                  /*checkpoint_every=*/0, /*batch_events=*/256, &plan);
+  EXPECT_TRUE(plan.fired.load());
+  EXPECT_GE(result.respawns, 1u);
+  expect_same(want, result.metrics);
+}
+
+TEST_F(ClusterTest, MillionObjectSmokeParityWithKillAndRespawn) {
+  // The acceptance workload: ~1.2M events over 10^6 objects, served at
+  // 4 partitions with one worker SIGKILLed mid-serve and respawned from
+  // its per-partition checkpoint — bit-identical to one process.
+  const std::vector<LogEvent> events = make_events(1200000, 1000000);
+  const std::string log = write_log(events);
+  const EngineMetrics want = single_reference(log);
+  ASSERT_EQ(want.objects, 1000000u);
+
+  const std::uint32_t partitions = 4;
+  const std::vector<std::uint64_t> counts = slice_counts(events, partitions);
+  KillPlan plan;
+  plan.partition = 2;
+  plan.at = std::max<std::uint64_t>(1, counts[2] / 2);
+  const ClusterServeResult result =
+      run_cluster(log, run_dir("smoke"), partitions,
+                  /*checkpoint_every=*/50000,
+                  /*batch_events=*/std::size_t{1} << 16, &plan);
+  EXPECT_TRUE(plan.fired.load());
+  EXPECT_GE(result.respawns, 1u);
+  expect_same(want, result.metrics);
+}
+
+}  // namespace
+}  // namespace repl

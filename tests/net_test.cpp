@@ -5,6 +5,7 @@
 // backpressure under tiny queues, live checkpoint/resume, and the
 // metrics endpoint.
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
@@ -784,6 +785,125 @@ TEST_F(NetTest, RegistryAgreesWithServerCountersEndToEnd) {
     }
   }
   EXPECT_TRUE(saw_admitted);
+}
+
+// ---------------------------------------------------------------------
+// Reconnect-with-backoff client
+
+TEST_F(NetTest, ReconnectBackoffExhaustsAttemptsAndPropagates) {
+  // No server ever listens: every dial fails, the backoff schedule runs
+  // between attempts, and the last error propagates out of connect().
+  std::vector<double> delays;
+  ReconnectPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_seconds = 0.001;
+  policy.max_backoff_seconds = 0.004;
+  policy.on_retry = [&](std::size_t attempt, double delay) {
+    EXPECT_EQ(attempt, delays.size());
+    EXPECT_GT(delay, 0.0);
+    delays.push_back(delay);
+  };
+  const std::string path = temp_path("never.sock");
+  ReconnectingEventStreamClient client([&] { return connect_unix(path); },
+                                       kServers, policy);
+  EXPECT_THROW(client.connect(), std::exception);
+  EXPECT_EQ(client.attempts(), 3u);
+  EXPECT_EQ(client.connects(), 0u);
+  EXPECT_FALSE(client.connected());
+  // on_retry fires between attempts, not after the final failure.
+  EXPECT_EQ(delays.size(), 2u);
+}
+
+TEST_F(NetTest, ReconnectingClientSurvivesLateServerAndMidStreamDrop) {
+  // The coordinator's client loop in miniature: the client starts
+  // dialing before the server exists (backoff carries it), streams half
+  // the events, loses its transport at a frame boundary, reconnects,
+  // and finishes. The merged serve equals a direct ingest.
+  const std::vector<LogEvent> all = make_events(4000, 31);
+  const EngineMetrics reference = reference_metrics(all);
+
+  NetServerOptions options;
+  options.unix_path = temp_path("ingest.sock");
+  options.tcp_port = -1;
+  options.batch_events = 128;
+  options.min_connections = 2;  // the serve must outlive the drop
+
+  std::size_t attempts = 0;
+  std::size_t connects = 0;
+  std::thread client([&] {
+    ReconnectPolicy policy;
+    policy.max_attempts = 500;
+    policy.initial_backoff_seconds = 0.002;
+    policy.max_backoff_seconds = 0.02;
+    ReconnectingEventStreamClient rc(
+        [&] { return connect_unix(options.unix_path); }, kServers, policy);
+    EXPECT_EQ(rc.connect(), 0u);
+    for (std::size_t i = 0; i < all.size() / 2; ++i) rc.send(all[i]);
+    rc.flush();
+    rc.drop();  // simulated transport loss at a frame boundary
+    EXPECT_FALSE(rc.connected());
+    EXPECT_EQ(rc.reconnect(), 0u);
+    for (std::size_t i = all.size() / 2; i < all.size(); ++i) rc.send(all[i]);
+    rc.finish();
+    attempts = rc.attempts();
+    connects = rc.connects();
+  });
+
+  // Bring the server up only after the client has begun dialing.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  NetIngestServer server(options);
+  auto engine = make_engine();
+  NetIngestSource source(server, kServers);
+  source.attach(*engine);
+  const EngineMetrics metrics = engine->serve(source, ServeOptions{});
+  client.join();
+
+  expect_same(metrics, reference);
+  EXPECT_EQ(connects, 2u);
+  EXPECT_GE(attempts, connects);
+  EXPECT_EQ(server.connections_total(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Per-connection ingest rate limiting
+
+TEST_F(NetTest, RateLimitBoundsIngestWithoutLossAndCountsStalls) {
+  // 6000 events against a 4000/s cap with one second of burst: the
+  // bucket admits 4000 immediately and meters the remaining 2000, so
+  // the serve cannot finish faster than ~0.5s — and no event is lost
+  // or reordered by the throttle.
+  const std::vector<LogEvent> all = make_events(6000, 17);
+  const EngineMetrics reference = reference_metrics(all);
+
+  obs::MetricsRegistry registry;
+  NetServerOptions options;
+  options.unix_path = temp_path("ingest.sock");
+  options.tcp_port = -1;
+  options.batch_events = 256;
+  options.max_events_per_sec = 4000.0;
+  options.metrics = &registry;
+  NetIngestServer server(options);
+  auto engine = make_engine();
+  NetIngestSource source(server, kServers);
+  source.attach(*engine);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::thread client([&] {
+    EventStreamClientOptions small;
+    small.block_events = 512;
+    stream_events(connect_unix(options.unix_path), all, small);
+  });
+  const EngineMetrics metrics = engine->serve(source, ServeOptions{});
+  client.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  expect_same(metrics, reference);
+  EXPECT_EQ(server.connections_failed(), 0u);
+  EXPECT_GE(elapsed, 0.4);
+  EXPECT_GE(registry.counter("repl_net_backpressure_stalls_total", "").value(),
+            1u);
 }
 
 }  // namespace
