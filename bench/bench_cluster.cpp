@@ -28,6 +28,7 @@
 #include "cluster/coordinator.hpp"
 #include "cluster/partition.hpp"
 #include "engine/engine.hpp"
+#include "obs/trace.hpp"
 #include "trace/event_log.hpp"
 #include "trace/stream_gen.hpp"
 #include "util/cli.hpp"
@@ -47,6 +48,7 @@ using namespace repl;
 struct ClusterRow {
   std::uint32_t partitions = 0;
   bool killed = false;
+  bool traced = false;
   std::uint64_t events = 0;
   double seconds = 0.0;
   double events_per_sec = 0.0;
@@ -139,10 +141,12 @@ int main(int argc, char** argv) {
 
   bench::ShapeChecks checks;
   std::vector<ClusterRow> rows;
-  const auto run = [&](std::uint32_t partitions, bool kill_one) {
+  const auto run = [&](std::uint32_t partitions, bool kill_one,
+                       bool traced = false) {
     std::string name("p");
     name += std::to_string(partitions);
     if (kill_one) name += "k";
+    if (traced) name += "t";
     const std::string dir = (work / name).string();
     std::filesystem::create_directories(dir);
 
@@ -152,6 +156,11 @@ int main(int argc, char** argv) {
     options.socket_dir = dir;
     options.config = bench_config(servers);
     options.checkpoint_every = kill_one ? events / 16 : 0;
+    const std::string coord_part = dir + "/trace.coord.jsonl";
+    if (traced) {
+      options.trace_dir = dir;
+      obs::Tracer::global().start(coord_part, "bench-coordinator");
+    }
     ClusterCoordinator* live = nullptr;
     bool fired = false;
     if (kill_one) {
@@ -171,10 +180,19 @@ int main(int argc, char** argv) {
     const double seconds = std::chrono::duration<double>(
                                std::chrono::steady_clock::now() - start)
                                .count();
+    std::size_t trace_events = 0;
+    if (traced) {
+      obs::Tracer::global().stop();
+      std::vector<std::string> parts = coordinator.trace_parts();
+      parts.push_back(coord_part);
+      trace_events =
+          obs::merge_trace_parts(parts, (work / (name + ".trace.json")).string());
+    }
 
     ClusterRow row;
     row.partitions = partitions;
     row.killed = kill_one;
+    row.traced = traced;
     row.events = result.metrics.events;
     row.seconds = seconds;
     row.events_per_sec =
@@ -184,14 +202,18 @@ int main(int argc, char** argv) {
     row.identical = same_aggregates(result.metrics, single_metrics);
     rows.push_back(row);
 
-    const std::string label =
-        std::to_string(partitions) + "-partition serve" +
-        (kill_one ? " with kill/respawn" : "");
+    std::string label = std::to_string(partitions) + "-partition serve";
+    if (kill_one) label += " with kill/respawn";
+    if (traced) label += " with tracing";
     checks.expect(row.identical,
                   label + " is bit-identical to single-process");
     if (kill_one) {
       checks.expect(fired && result.respawns >= 1,
                     label + " actually killed and respawned a worker");
+    }
+    if (traced) {
+      checks.expect(trace_events > 0,
+                    label + " produced a non-empty merged trace");
     }
   };
 
@@ -199,12 +221,16 @@ int main(int argc, char** argv) {
     run(partitions, /*kill_one=*/false);
   }
   run(4, /*kill_one=*/true);
+  // Tracing is observability, not control flow: a traced serve must stay
+  // bit-identical to the untraced (and single-process) serve.
+  run(2, /*kill_one=*/false, /*traced=*/true);
 
-  Table table({"partitions", "killed", "events", "seconds", "ev/s",
+  Table table({"partitions", "killed", "traced", "events", "seconds", "ev/s",
                "vs single", "respawns", "identical"});
   for (const ClusterRow& row : rows) {
     table.add_row(
         {std::to_string(row.partitions), row.killed ? "yes" : "no",
+         row.traced ? "yes" : "no",
          Table::cell(row.events), Table::cell(row.seconds, 3),
          Table::cell(row.events_per_sec, 0),
          Table::cell(single_rate > 0.0 ? row.events_per_sec / single_rate
@@ -229,6 +255,7 @@ int main(int argc, char** argv) {
     json.begin_object();
     json.key("partitions").value(static_cast<std::uint64_t>(row.partitions));
     json.key("killed").value(row.killed);
+    json.key("traced").value(row.traced);
     json.key("events").value(row.events);
     json.key("seconds").value(row.seconds);
     json.key("events_per_sec").value(row.events_per_sec);

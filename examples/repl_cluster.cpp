@@ -34,7 +34,9 @@
 #include "cluster/worker.hpp"
 #include "engine/engine.hpp"
 #include "obs/http_exporter.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "trace/event_log.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -88,7 +90,20 @@ int main(int argc, char** argv) {
   cli.add_bool_flag("no-lower-bound", "skip the OPTL lower bound");
   cli.add_flag("metrics-port", "-1",
                "(coordinator) GET /metrics endpoint on 127.0.0.1:PORT "
-               "(0 = ephemeral, -1 = off)");
+               "(0 = ephemeral, -1 = off); serves the federated cluster "
+               "view plus /healthz with per-partition state");
+  cli.add_flag("trace-out", "",
+               "coordinator: merge the whole cluster serve into one "
+               "Chrome trace_event JSON here; worker: this process's "
+               "trace part file (JSONL, coordinator-assigned); single: "
+               "one-process trace JSONL");
+  cli.add_flag("log-level", "",
+               "structured-log spec, e.g. 'info' or 'warn,net=debug,"
+               "cluster=debug' (default: warn)");
+  cli.add_bool_flag("log-json", "emit log lines as JSON objects");
+  cli.add_flag("stats-every", "0",
+               "periodic progress lines every N seconds (0 = off); the "
+               "coordinator also forwards this to workers");
   // Worker-role plumbing (the coordinator passes these).
   cli.add_flag("partition", "0", "(worker) partition id");
   cli.add_flag("event-socket", "", "(worker) unix socket to serve events on");
@@ -108,6 +123,16 @@ int main(int argc, char** argv) {
   const std::string role = cli.get_string("role");
   const auto partitions =
       static_cast<std::uint32_t>(cli.get_size_t("partitions", 1, 1024));
+
+  // Logs go to stderr (stdout carries the AGGREGATE/table contract
+  // lines); the spec/json flags reach workers via the coordinator's
+  // pass-through, so one invocation configures the whole cluster.
+  if (!cli.get_string("log-level").empty()) {
+    obs::Logger::global().configure(cli.get_string("log-level"));
+  }
+  if (cli.get_bool("log-json")) obs::Logger::global().set_json(true);
+  const std::string trace_out = cli.get_string("trace-out");
+  const double stats_every = cli.get_double("stats-every");
 
   SystemConfig config;
   config.num_servers = static_cast<int>(cli.get_size_t("servers", 1, 4096));
@@ -141,7 +166,13 @@ int main(int argc, char** argv) {
         worker.predictor_spec = cli.get_string("predictor");
       }
       worker.batch_events = cli.get_size_t("batch-events", 1);
+      worker.stats_every = stats_every;
+      if (!trace_out.empty()) {
+        obs::Tracer::global().start(
+            trace_out, "worker-p" + std::to_string(worker.partition_id));
+      }
       run_cluster_worker(worker);
+      obs::Tracer::global().stop();
       return EXIT_SUCCESS;
     }
 
@@ -161,7 +192,12 @@ int main(int argc, char** argv) {
       EventLogReader reader(log_path);
       ServeOptions serve;
       serve.batch_events = cli.get_size_t("batch-events", 1);
+      serve.stats_every = stats_every;
+      if (!trace_out.empty()) {
+        obs::Tracer::global().start(trace_out, "single");
+      }
       const EngineMetrics metrics = engine->serve(reader, serve);
+      obs::Tracer::global().stop();
       print_aggregate(metrics);
       return EXIT_SUCCESS;
     }
@@ -180,16 +216,6 @@ int main(int argc, char** argv) {
     std::filesystem::create_directories(socket_dir);
 
     obs::MetricsRegistry registry;
-    std::unique_ptr<obs::MetricsHttpServer> metrics_http;
-    if (cli.get_int("metrics-port") >= 0) {
-      obs::MetricsHttpOptions http;
-      http.port = static_cast<int>(cli.get_int("metrics-port"));
-      metrics_http = std::make_unique<obs::MetricsHttpServer>(registry, http);
-      metrics_http->start();
-      std::cout << "metrics: http://127.0.0.1:" << metrics_http->port()
-                << "/metrics" << std::endl;
-    }
-
     ClusterCoordinatorOptions opts;
     opts.num_partitions = partitions;
     opts.worker_binary = cli.get_string("worker-binary").empty()
@@ -208,6 +234,17 @@ int main(int argc, char** argv) {
     opts.checkpoint_every = cli.get_uint64("checkpoint-every");
     opts.max_respawns = cli.get_size_t("max-respawns");
     opts.metrics = &registry;
+    opts.log_spec = cli.get_string("log-level");
+    opts.log_json = cli.get_bool("log-json");
+    opts.stats_every = stats_every;
+    // Trace parts collect next to the sockets; the merged timeline goes
+    // wherever --trace-out points.
+    std::string coord_trace_part;
+    if (!trace_out.empty()) {
+      opts.trace_dir = socket_dir;
+      coord_trace_part = socket_dir + "/trace.coord.jsonl";
+      obs::Tracer::global().start(coord_trace_part, "coordinator");
+    }
 
     // Staged failure injection: kill our own worker (a real SIGKILL of a
     // real process) once its routed-event count crosses the threshold —
@@ -231,10 +268,40 @@ int main(int argc, char** argv) {
 
     ClusterCoordinator coordinator(opts);
     coordinator_ptr = &coordinator;
+
+    // The coordinator's /metrics is the whole cluster's: its own
+    // repl_cluster_* series plus every worker's federated snapshot, and
+    // /healthz reports per-partition liveness. Hooks go in before
+    // start() — the server reads them from its handler thread.
+    std::unique_ptr<obs::MetricsHttpServer> metrics_http;
+    if (cli.get_int("metrics-port") >= 0) {
+      obs::MetricsHttpOptions http;
+      http.port = static_cast<int>(cli.get_int("metrics-port"));
+      metrics_http = std::make_unique<obs::MetricsHttpServer>(registry, http);
+      metrics_http->set_extra_samples(
+          [&coordinator] { return coordinator.federated_samples(); });
+      metrics_http->set_health_extra(
+          [&coordinator](JsonWriter& w) { coordinator.health_json(w); });
+      metrics_http->start();
+      std::cout << "metrics: http://127.0.0.1:" << metrics_http->port()
+                << "/metrics" << std::endl;
+    }
+
     std::cout << "serving " << log_path << " across " << partitions
               << " worker processes (sockets in " << socket_dir << ")"
               << std::endl;
     const ClusterServeResult result = coordinator.serve_log(log_path);
+
+    if (!trace_out.empty()) {
+      // Workers have exited (serve_log reaps them), so every part file
+      // that will ever exist does; stitch them into one timeline.
+      obs::Tracer::global().stop();
+      std::vector<std::string> parts = coordinator.trace_parts();
+      parts.push_back(coord_trace_part);
+      const std::size_t events = obs::merge_trace_parts(parts, trace_out);
+      std::cout << "trace: " << trace_out << " (" << events << " events from "
+                << parts.size() << " part files)" << std::endl;
+    }
 
     Table table({"partition", "objects", "events", "local", "transfers"});
     for (std::uint32_t p = 0; p < partitions; ++p) {

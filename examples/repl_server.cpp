@@ -27,7 +27,9 @@
 #include "api/experiment.hpp"
 #include "engine/engine.hpp"
 #include "net/ingest_server.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -74,7 +76,22 @@ int main(int argc, char** argv) {
                "skip the already-ingested prefix");
   cli.add_flag("stats-every", "0",
                "print a one-line serve report every N seconds (0 = off)");
+  cli.add_flag("trace-out", "",
+               "write this process's spans as trace_event JSONL here "
+               "(flushed at each checkpoint and at exit)");
+  cli.add_flag("log-level", "",
+               "structured-log spec, e.g. 'info' or 'warn,net=debug' "
+               "(default: warn)");
+  cli.add_bool_flag("log-json", "emit log lines as JSON objects");
   if (!cli.parse(argc, argv)) return 0;
+
+  if (!cli.get_string("log-level").empty()) {
+    obs::Logger::global().configure(cli.get_string("log-level"));
+  }
+  if (cli.get_bool("log-json")) obs::Logger::global().set_json(true);
+  if (!cli.get_string("trace-out").empty()) {
+    obs::Tracer::global().start(cli.get_string("trace-out"), "repl_server");
+  }
 
   const int servers = static_cast<int>(cli.get_size_t("servers", 1, 4096));
 
@@ -149,6 +166,9 @@ int main(int argc, char** argv) {
     serve_options.on_checkpoint = [&server, &engine] {
       server.note_checkpoint(engine->stats().events_ingested);
     };
+    // Ingest spans adopt the newest trace context any client announced
+    // on the wire, so a tracing client's timeline reaches into ours.
+    serve_options.trace_parent = [&server] { return server.latest_trace(); };
     serve_options.stats_extra = [&server] {
       return "queued=" + std::to_string(server.events_queued()) + " conns=" +
              std::to_string(server.connections_total()) + "/" +
@@ -169,6 +189,7 @@ int main(int argc, char** argv) {
     }
     std::cout << std::endl;  // flushed: drivers wait for this line
     metrics = engine->serve(source, serve_options);
+    obs::Tracer::global().stop();
     std::cout << "clients: " << server.connections_total() << " total, "
               << server.connections_failed() << " failed\n";
   } catch (const std::exception& e) {

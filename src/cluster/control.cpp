@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "codec/endian.hpp"
+#include "obs/federation.hpp"
 #include "util/check.hpp"
 
 namespace repl {
@@ -16,6 +17,7 @@ constexpr std::size_t kHelloBytes = 32;
 constexpr std::size_t kProgressBytes = 16;
 constexpr std::size_t kCheckpointBytes = 8;
 constexpr std::size_t kSummaryBytes = 48;
+constexpr std::size_t kMetricsPrefixBytes = 16;  // trace_id + span_id
 
 std::uint32_t pack_aux(ControlType type, std::uint32_t count) {
   return (static_cast<std::uint32_t>(type) << 24) | count;
@@ -52,6 +54,8 @@ const char* control_type_name(ControlType type) {
       return "finals";
     case ControlType::kSummary:
       return "summary";
+    case ControlType::kMetrics:
+      return "metrics";
   }
   return "unknown";
 }
@@ -120,6 +124,20 @@ void encode_control_summary(const ControlSummary& summary,
   store_f64(body.data() + 32, summary.online_cost);
   store_f64(body.data() + 40, summary.lower_bound);
   append_frame(ControlType::kSummary, 0, body, out);
+}
+
+void encode_control_metrics(const ControlMetrics& metrics,
+                            std::vector<unsigned char>& out) {
+  std::vector<unsigned char> body(kMetricsPrefixBytes);
+  store_le64(body.data() + 0, metrics.trace_id);
+  store_le64(body.data() + 8, metrics.span_id);
+  obs::encode_samples(metrics.samples, body);
+  REPL_REQUIRE_MSG(body.size() <= kMaxControlBodyBytes,
+                   "encoded metrics snapshot is "
+                       << body.size() << " bytes, the control frame cap is "
+                       << kMaxControlBodyBytes);
+  append_frame(ControlType::kMetrics,
+               static_cast<std::uint32_t>(metrics.samples.size()), body, out);
 }
 
 ClusterControlAssembler::ClusterControlAssembler(std::string name,
@@ -210,7 +228,7 @@ void ClusterControlAssembler::finish_body(std::vector<ControlMessage>& out) {
   const std::uint32_t raw_type = frame_.aux >> 24;
   const std::uint32_t count = frame_.aux & 0x00ffffffu;
   if (raw_type < 1 ||
-      raw_type > static_cast<std::uint32_t>(ControlType::kSummary)) {
+      raw_type > static_cast<std::uint32_t>(ControlType::kMetrics)) {
     fail("unknown control message type " + std::to_string(raw_type));
   }
   decode_message(static_cast<ControlType>(raw_type), count, out);
@@ -359,6 +377,21 @@ void ClusterControlAssembler::decode_message(ControlType type,
       }
       summary_seen_ = true;
       message.summary = summary;
+      break;
+    }
+    case ControlType::kMetrics: {
+      if (size < kMetricsPrefixBytes) {
+        fail("metrics body is " + std::to_string(size) +
+             " bytes, the trace prefix alone is " +
+             std::to_string(kMetricsPrefixBytes));
+      }
+      ControlMetrics metrics;
+      metrics.trace_id = load_le64(body + 0);
+      metrics.span_id = load_le64(body + 8);
+      metrics.samples =
+          obs::decode_samples(body + kMetricsPrefixBytes,
+                              size - kMetricsPrefixBytes, count, name_);
+      message.metrics = std::move(metrics);
       break;
     }
   }

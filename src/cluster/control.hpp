@@ -31,9 +31,16 @@
 //                      f64 lower_bound (doubles as IEEE-754 bit patterns)
 //   kSummary (48 B)    u64 objects, u64 events, u64 num_local,
 //                      u64 num_transfers, f64 online_cost, f64 lower_bound
+//   kMetrics (>= 16 B) u64 trace_id, u64 span_id (0 when no trace is
+//                      active), then `count` obs::Sample records in the
+//                      obs/federation.hpp sample codec — the worker's
+//                      metrics snapshot the coordinator federates.
+//                      Unlike every other type, count is the sample
+//                      count, not 0.
 //
 // Protocol state machine, enforced by the assembler: kHello first and
-// exactly once; kProgress/kCheckpoint counters never regress; once the
+// exactly once; kProgress/kCheckpoint counters never regress; kMetrics
+// is only valid between hello and the first kFinals; once the
 // first kFinals frame arrives only kFinals/kSummary may follow, with
 // record ids strictly increasing across the whole finals sequence;
 // kSummary exactly once, terminal, and its object count must equal the
@@ -50,6 +57,7 @@
 
 #include "codec/block.hpp"
 #include "engine/engine.hpp"
+#include "obs/metrics.hpp"
 
 namespace repl {
 
@@ -75,6 +83,7 @@ enum class ControlType : std::uint32_t {
   kCheckpoint = 3,
   kFinals = 4,
   kSummary = 5,
+  kMetrics = 6,
 };
 
 /// "hello" / "progress" / ... for diagnostics.
@@ -107,6 +116,12 @@ struct ControlSummary {
   double lower_bound = 0.0;
 };
 
+struct ControlMetrics {
+  std::uint64_t trace_id = 0;  ///< active trace, 0 when tracing is off
+  std::uint64_t span_id = 0;   ///< worker span the snapshot was taken under
+  std::vector<obs::Sample> samples;
+};
+
 /// One decoded control message; `type` selects the live member.
 struct ControlMessage {
   ControlType type = ControlType::kHello;
@@ -115,6 +130,7 @@ struct ControlMessage {
   ControlCheckpoint checkpoint;
   std::vector<EngineObjectFinal> finals;
   ControlSummary summary;
+  ControlMetrics metrics;
 };
 
 /// Encoders append the stream header / one framed message to `out`.
@@ -131,6 +147,10 @@ void encode_control_checkpoint(const ControlCheckpoint& checkpoint,
 void encode_control_finals(const EngineObjectFinal* finals, std::size_t count,
                            std::vector<unsigned char>& out);
 void encode_control_summary(const ControlSummary& summary,
+                            std::vector<unsigned char>& out);
+/// Requires samples.size() <= obs::kMaxEncodedSamples and every sample
+/// within the sample codec's caps (obs/federation.hpp).
+void encode_control_metrics(const ControlMetrics& metrics,
                             std::vector<unsigned char>& out);
 
 /// Incremental decoder for one worker's control stream, fed the raw

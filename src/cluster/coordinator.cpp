@@ -16,9 +16,12 @@
 
 #include "checkpoint/partition_manifest.hpp"
 #include "cluster/partition.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "trace/event_log.hpp"
 #include "util/check.hpp"
+#include "util/json.hpp"
 
 namespace repl {
 
@@ -56,6 +59,12 @@ struct ClusterCoordinator::Partition {
   bool summary_seen = false;
   bool control_failed = false;
   std::string control_error;
+  /// When the last checkpoint message landed (for /healthz age).
+  std::chrono::steady_clock::time_point last_checkpoint_at{};
+  /// Snapshots of the serving thread's `seen`/`respawns`, re-published
+  /// under ctl_mu_ so the health/metrics threads can read them.
+  std::uint64_t seen_published = 0;
+  std::size_t respawns_published = 0;
 };
 
 struct ClusterCoordinator::Instruments {
@@ -133,6 +142,93 @@ std::string ClusterCoordinator::control_socket_path() const {
 
 std::string ClusterCoordinator::snapshot_path(std::uint32_t partition) const {
   return options_.socket_dir + "/part" + std::to_string(partition) + ".ckpt";
+}
+
+std::string ClusterCoordinator::trace_part_path(
+    std::uint32_t partition, std::size_t incarnation) const {
+  return options_.trace_dir + "/trace.p" + std::to_string(partition) + ".i" +
+         std::to_string(incarnation) + ".jsonl";
+}
+
+std::vector<std::string> ClusterCoordinator::trace_parts() const {
+  std::vector<std::string> out;
+  if (options_.trace_dir.empty()) return out;
+  for (const auto& part : parts_) {
+    for (std::size_t i = 0; i <= part->respawns; ++i) {
+      out.push_back(trace_part_path(part->id, i));
+    }
+  }
+  return out;
+}
+
+std::vector<obs::Sample> ClusterCoordinator::federated_samples() const {
+  std::vector<obs::Sample> out = fed_.collect();
+  // Derived cluster gauges, computed at scrape time from the federated
+  // counters plus the routing thread's published watermarks.
+  std::lock_guard<std::mutex> lock(ctl_mu_);
+  bool any = false;
+  std::uint64_t slowest = 0;
+  for (const auto& part : parts_) {
+    const std::uint64_t admitted =
+        fed_.counter_value(part->id, "repl_net_events_admitted_total");
+    obs::Sample lag;
+    lag.name = "repl_cluster_admitted_lag";
+    lag.help =
+        "Events this partition has been sent (log watermark) minus "
+        "events its worker last reported admitted";
+    lag.type = obs::MetricType::kGauge;
+    lag.labels = {{"partition", std::to_string(part->id)}};
+    lag.value = part->seen_published > admitted
+                    ? static_cast<double>(part->seen_published - admitted)
+                    : 0.0;
+    out.push_back(std::move(lag));
+    const std::uint64_t progress = part->progress_events;
+    if (!any || progress < slowest) slowest = progress;
+    any = true;
+  }
+  obs::Sample floor;
+  floor.name = "repl_cluster_slowest_partition_events";
+  floor.help =
+      "Smallest per-partition ingested-events watermark — the cluster's "
+      "progress floor";
+  floor.type = obs::MetricType::kGauge;
+  floor.value = static_cast<double>(any ? slowest : 0);
+  out.push_back(std::move(floor));
+  obs::sort_samples(out);
+  return out;
+}
+
+std::uint64_t ClusterCoordinator::federated_counter(
+    std::uint32_t partition, const std::string& name) const {
+  return fed_.counter_value(partition, name);
+}
+
+void ClusterCoordinator::health_json(JsonWriter& w) const {
+  std::lock_guard<std::mutex> lock(ctl_mu_);
+  const auto now = std::chrono::steady_clock::now();
+  w.key("partitions").begin_array();
+  for (const auto& part : parts_) {
+    w.begin_object();
+    w.key("partition").value(static_cast<std::uint64_t>(part->id));
+    // A partition is "alive" once its current incarnation said hello and
+    // its control stream has not failed; between a death and the next
+    // hello it reads "respawning".
+    const bool alive = part->hello_seen && !part->control_failed;
+    w.key("state").value(alive ? "alive" : "respawning");
+    w.key("respawns").value(
+        static_cast<std::uint64_t>(part->respawns_published));
+    w.key("events_routed").value(part->seen_published);
+    w.key("events_ingested").value(part->progress_events);
+    w.key("checkpoint_events").value(part->checkpoint_events);
+    if (part->last_checkpoint_at.time_since_epoch().count() != 0) {
+      w.key("last_checkpoint_age_seconds")
+          .value(std::chrono::duration<double>(now - part->last_checkpoint_at)
+                     .count());
+    }
+    w.key("summary_seen").value(part->summary_seen);
+    w.end_object();
+  }
+  w.end_array();
 }
 
 int ClusterCoordinator::worker_pid(std::uint32_t partition) const {
@@ -237,7 +333,15 @@ void ClusterCoordinator::control_connection_main(Socket sock,
             break;
           case ControlType::kCheckpoint:
             part->checkpoint_events = msg.checkpoint.events_ingested;
+            part->last_checkpoint_at = std::chrono::steady_clock::now();
             inst_->checkpoints[part->id]->inc();
+            break;
+          case ControlType::kMetrics:
+            // Stale epochs never reach here (gate above), so this is
+            // always the live worker's latest snapshot. FederatedMetrics
+            // locks internally and clamps counters monotone across
+            // respawns.
+            fed_.update(part->id, msg.metrics.samples);
             break;
           case ControlType::kFinals:
             part->finals.insert(part->finals.end(), msg.finals.begin(),
@@ -291,6 +395,19 @@ void ClusterCoordinator::spawn_worker(std::uint32_t p) {
   }
   if (options_.compress_checkpoints) args.push_back("--compress");
   if (!options_.compute_lower_bound) args.push_back("--no-lower-bound");
+  // Observability pass-through. Each incarnation gets its own trace part
+  // file: a SIGKILLed worker leaves its last flushed prefix behind, and
+  // the respawn must not clobber it.
+  if (!options_.trace_dir.empty()) {
+    args.push_back("--trace-out=" + trace_part_path(p, part.respawns));
+  }
+  if (!options_.log_spec.empty()) {
+    args.push_back("--log-level=" + options_.log_spec);
+  }
+  if (options_.log_json) args.push_back("--log-json");
+  if (options_.stats_every > 0) {
+    args.push_back("--stats-every=" + format_double(options_.stats_every));
+  }
   // Resume from the partition's checkpoint when a manifest-bound one
   // exists — which is exactly the respawn-after-kill case (and a cold
   // start in a directory where a previous serve checkpointed).
@@ -316,6 +433,9 @@ void ClusterCoordinator::spawn_worker(std::uint32_t p) {
   }
   part.pid = pid;
   inst_->workers_alive.add(1.0);
+  REPL_LOG_INFO("cluster", "spawned worker partition="
+                               << p << " pid=" << pid << " incarnation="
+                               << part.respawns);
 }
 
 void ClusterCoordinator::kill_worker(std::uint32_t p) {
@@ -339,6 +459,9 @@ void ClusterCoordinator::respawn_worker(std::uint32_t p) {
   ++part.respawns;
   ++total_respawns_;
   inst_->respawns[p]->inc();
+  REPL_LOG_WARN("cluster", "respawning worker partition="
+                               << p << " attempt=" << part.respawns << "/"
+                               << options_.max_respawns);
   kill_worker(p);
   part.client->drop();
   {
@@ -353,6 +476,7 @@ void ClusterCoordinator::respawn_worker(std::uint32_t p) {
     part.control_error.clear();
     part.finals.clear();
     part.progress_events = 0;
+    part.respawns_published = part.respawns;
   }
   spawn_worker(p);
   part.client->connect();
@@ -481,9 +605,28 @@ ClusterServeResult ClusterCoordinator::serve_log(const std::string& log_path) {
     part.send_from = part.client->connect();
   }
 
+  serve_start_ = std::chrono::steady_clock::now();
+  auto last_stats = serve_start_;
+  const bool tracing = obs::Tracer::global().enabled();
   EventLogReader reader(log_path);
   std::vector<LogEvent> batch;
   while (reader.read_batch(batch, options_.batch_events) > 0) {
+    // Each routed batch gets a root span; its context rides a wire trace
+    // frame to every worker ahead of the batch's events, so worker-side
+    // ingest spans link back here across process boundaries. Best-effort
+    // by design: a dead worker's frame is dropped (route_event recovers
+    // the events; the trace just loses one edge).
+    obs::Span route_span("route.batch");
+    route_span.set_arg("events", batch.size());
+    if (tracing) {
+      const obs::TraceContext ctx = route_span.context();
+      for (std::uint32_t p = 0; p < options_.num_partitions; ++p) {
+        try {
+          parts_[p]->client->send_trace(ctx.trace_id, ctx.span_id);
+        } catch (const std::exception&) {
+        }
+      }
+    }
     for (const LogEvent& event : batch) {
       const std::uint32_t p =
           partition_of(event.object, options_.num_partitions);
@@ -492,13 +635,40 @@ ClusterServeResult ClusterCoordinator::serve_log(const std::string& log_path) {
       if (part.seen > part.send_from) route_event(p, event);
       if (options_.on_progress) options_.on_progress(p, part.seen);
     }
-    std::lock_guard<std::mutex> lock(ctl_mu_);
-    for (std::uint32_t p = 0; p < options_.num_partitions; ++p) {
-      const Partition& part = *parts_[p];
-      const std::uint64_t acked =
-          std::min(part.progress_events, part.seen);
-      inst_->in_flight[p]->set(static_cast<double>(part.seen - acked));
+    bool emit_stats = false;
+    if (options_.stats_every > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (std::chrono::duration<double>(now - last_stats).count() >=
+          options_.stats_every) {
+        last_stats = now;
+        emit_stats = true;
+      }
     }
+    std::ostringstream stats_line;
+    {
+      std::lock_guard<std::mutex> lock(ctl_mu_);
+      std::uint64_t total_seen = 0;
+      for (std::uint32_t p = 0; p < options_.num_partitions; ++p) {
+        Partition& part = *parts_[p];
+        part.seen_published = part.seen;
+        total_seen += part.seen;
+        const std::uint64_t acked =
+            std::min(part.progress_events, part.seen);
+        inst_->in_flight[p]->set(static_cast<double>(part.seen - acked));
+        if (emit_stats) {
+          stats_line << " p" << p << "=" << part.progress_events << "/"
+                     << part.seen;
+        }
+      }
+      if (emit_stats) {
+        std::ostringstream head;
+        head << "cluster progress events=" << total_seen
+             << " respawns=" << total_respawns_ << " ingested/seen:";
+        stats_line.str(head.str() + stats_line.str());
+      }
+    }
+    // Log outside the lock: sinks do I/O.
+    if (emit_stats) REPL_LOG_INFO("cluster", stats_line.str());
   }
 
   for (std::uint32_t p = 0; p < options_.num_partitions; ++p) {

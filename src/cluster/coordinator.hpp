@@ -31,6 +31,7 @@
 // events the snapshot covers and everything after is replayed.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -46,8 +47,11 @@
 #include "engine/engine.hpp"
 #include "net/client.hpp"
 #include "net/socket.hpp"
+#include "obs/federation.hpp"
 
 namespace repl {
+
+class JsonWriter;
 
 namespace obs {
 class MetricsRegistry;
@@ -89,6 +93,21 @@ struct ClusterCoordinatorOptions {
   /// Backoff schedule for (re)connecting to worker event sockets.
   ReconnectPolicy reconnect;
 
+  /// Directory for per-process trace part files. Non-empty: every worker
+  /// incarnation gets --trace-out=<dir>/trace.p<P>.i<N>.jsonl, the
+  /// coordinator mints a root span per routed batch and announces it to
+  /// every worker with a wire trace frame. The coordinator's own Tracer
+  /// is the caller's to start (examples/repl_cluster does). Empty
+  /// disables the worker flags.
+  std::string trace_dir;
+  /// --log-level spec forwarded to workers; empty keeps their default.
+  std::string log_spec;
+  /// Forward --log-json to workers (JSON log lines on stderr).
+  bool log_json = false;
+  /// Coordinator progress line cadence in seconds (0 disables); also
+  /// forwarded to workers as --stats-every.
+  double stats_every = 0.0;
+
   /// Test hook: invoked after each partition-p event is routed (or
   /// skipped as already-ingested) with the running partition-local
   /// count. Kill-matrix tests SIGKILL workers from here at exact cuts.
@@ -124,6 +143,34 @@ class ClusterCoordinator {
   std::string event_socket_path(std::uint32_t partition) const;
   std::string control_socket_path() const;
   std::string snapshot_path(std::uint32_t partition) const;
+  /// Part file for one incarnation of one worker (under trace_dir).
+  std::string trace_part_path(std::uint32_t partition,
+                              std::size_t incarnation) const;
+  /// Every worker part file this serve may have produced (one per
+  /// incarnation per partition; the coordinator's own part is the
+  /// caller's Tracer path). Some may not exist — a SIGKILLed worker
+  /// might never have flushed; merge_trace_parts skips those.
+  std::vector<std::string> trace_parts() const;
+
+  /// Registry the repl_cluster_* series land in.
+  obs::MetricsRegistry& registry() const { return *registry_; }
+
+  /// The federated metrics view: every worker's latest control-plane
+  /// snapshot, `partition`-labeled, plus cluster-derived gauges
+  /// (per-partition admitted lag, slowest-partition watermark). Wire
+  /// into MetricsHttpServer::set_extra_samples for a one-stop cluster
+  /// /metrics.
+  std::vector<obs::Sample> federated_samples() const;
+
+  /// Latest federated value of an unlabeled counter for one partition
+  /// (0 when the worker has not reported it). For tests and probes.
+  std::uint64_t federated_counter(std::uint32_t partition,
+                                  const std::string& name) const;
+
+  /// Appends per-partition health members (state, respawns, progress,
+  /// checkpoint age) to an open JSON object — the coordinator /healthz
+  /// body. Thread-safe.
+  void health_json(JsonWriter& w) const;
 
  private:
   struct Partition;
@@ -151,10 +198,12 @@ class ClusterCoordinator {
   std::unique_ptr<obs::MetricsRegistry> owned_registry_;
   obs::MetricsRegistry* registry_ = nullptr;
   std::unique_ptr<Instruments> inst_;
+  obs::FederatedMetrics fed_;
   std::vector<std::unique_ptr<Partition>> parts_;
   std::string log_path_;
   bool served_ = false;
   std::size_t total_respawns_ = 0;
+  std::chrono::steady_clock::time_point serve_start_{};
 
   /// Control plane: one listener, one accept thread, one reader thread
   /// per worker control connection. Per-partition control state lives in

@@ -13,6 +13,9 @@
 #include "engine/event_source.hpp"
 #include "net/ingest_server.hpp"
 #include "net/socket.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace repl {
@@ -82,8 +85,18 @@ EngineMetrics run_cluster_worker(const ClusterWorkerOptions& options) {
   const auto num_servers =
       static_cast<std::uint32_t>(options.config.num_servers);
 
+  // The worker always runs with telemetry on: its registry snapshot is
+  // what the coordinator federates into the cluster /metrics view. Use
+  // the caller's registry when provided, else a worker-owned one.
+  obs::MetricsRegistry owned_registry;
+  EngineOptions engine_options = options.engine;
+  if (engine_options.metrics == nullptr) {
+    engine_options.metrics = &owned_registry;
+  }
+  obs::MetricsRegistry& registry = *engine_options.metrics;
+
   EngineBuilder builder;
-  builder.config(options.config).options(options.engine);
+  builder.config(options.config).options(engine_options);
   if (!options.policy_spec.empty()) builder.policy(options.policy_spec);
   if (!options.predictor_spec.empty()) {
     builder.predictor(options.predictor_spec);
@@ -136,7 +149,7 @@ EngineMetrics run_cluster_worker(const ClusterWorkerOptions& options) {
   net.batch_events = options.batch_events;
   net.min_connections = 1;
   net.stop_when_idle = true;
-  net.metrics = options.engine.metrics;
+  net.metrics = engine_options.metrics;
   NetIngestServer server(net);
   NetIngestSource raw_source(server, num_servers);
   PartitionGuardSource source(raw_source, options.partition_id,
@@ -144,6 +157,7 @@ EngineMetrics run_cluster_worker(const ClusterWorkerOptions& options) {
 
   ServeOptions serve;
   serve.batch_events = options.batch_events;
+  serve.stats_every = options.stats_every;
   serve.checkpoint_every = options.checkpoint_every;
   serve.checkpoint_path = options.snapshot_path;
   serve.async_ingest = false;  // the net source decodes off-thread
@@ -167,17 +181,40 @@ EngineMetrics run_cluster_worker(const ClusterWorkerOptions& options) {
     encode_control_checkpoint(note, ctl);
     send_buffer(control, ctl);
   };
+  // Each metrics message carries the full registry snapshot plus the
+  // newest wire trace context, so the coordinator's federated view and
+  // the merged timeline both know which batch the numbers belong to.
+  const auto send_metrics = [&] {
+    ControlMetrics snapshot;
+    const obs::TraceContext trace = server.latest_trace();
+    snapshot.trace_id = trace.trace_id;
+    snapshot.span_id = trace.span_id;
+    snapshot.samples = registry.collect();
+    encode_control_metrics(snapshot, ctl);
+    send_buffer(control, ctl);
+  };
   serve.on_batch = [&](const EngineStats& stats) {
     ControlProgress progress;
     progress.events_ingested = stats.events_ingested;
     progress.batches = stats.batches;
     encode_control_progress(progress, ctl);
     send_buffer(control, ctl);
+    send_metrics();
   };
+  serve.trace_parent = [&server] { return server.latest_trace(); };
   std::vector<EngineObjectFinal> finals;
   serve.collect_finals = &finals;
 
+  REPL_LOG_INFO("cluster", "worker serving partition="
+                               << options.partition_id << "/"
+                               << options.num_partitions << " resume_events="
+                               << engine->resume_position());
   const EngineMetrics metrics = engine->serve(source, serve);
+
+  // One last snapshot after the drain, so the coordinator's federated
+  // counters settle at the partition's final totals before finals begin
+  // (metrics frames are rejected once the finals sequence starts).
+  send_metrics();
 
   // The slice has drained: ship the id-sorted finals in bounded chunks,
   // then the summary that seals the stream.
@@ -198,6 +235,10 @@ EngineMetrics run_cluster_worker(const ClusterWorkerOptions& options) {
   encode_control_summary(summary, ctl);
   send_buffer(control, ctl);
   control.shutdown_write();
+  REPL_LOG_INFO("cluster", "worker finished partition="
+                               << options.partition_id
+                               << " events=" << metrics.events
+                               << " objects=" << metrics.objects);
   return metrics;
 }
 

@@ -63,6 +63,10 @@ struct ClusterWorkerOptions {
 
   /// Events per engine batch on the ingest side.
   std::size_t batch_events = std::size_t{1} << 16;
+
+  /// Periodic engine stats lines (seconds; 0 disables). Emitted through
+  /// the structured logger, component "engine".
+  double stats_every = 0.0;
 };
 
 /// Runs one worker to completion: build/restore the engine, say hello,

@@ -15,8 +15,10 @@
 #include "checkpoint/snapshot.hpp"
 #include "checkpoint/state_io.hpp"
 #include "engine/event_source.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stage_timer.hpp"
+#include "obs/trace.hpp"
 #include "replay/fixture.hpp"
 #include "offline/opt_lower_bound.hpp"
 #include "run/parallel_runner.hpp"
@@ -480,23 +482,40 @@ EngineMetrics StreamingEngine::serve(EventSource& source,
     if (options.stats_sink) {
       options.stats_sink(text);
     } else {
-      std::cerr << text << '\n' << std::flush;
+      REPL_LOG_INFO("engine", text);
     }
     last_report = now;
     last_events = stats_.events_ingested;
   };
 
+  // Per-batch tracing: the wait span covers blocking on the source (its
+  // parent — the context the batch rode in with — is only known after
+  // next_batch returns, hence set_parent), the ingest span covers
+  // route + execute. With the process Tracer disabled every span call
+  // is a no-op and trace_parent is never invoked.
   std::vector<LogEvent> batch;
   for (;;) {
+    const bool tracing = obs::Tracer::global().enabled();
     bool more;
+    obs::TraceContext batch_parent;
     {
+      obs::Span wait_span("serve.wait");
       obs::StageTimer wait(&stats_.source_wait_seconds,
                            telemetry_ ? &telemetry_->source_wait : nullptr);
       more = source.next_batch(batch);
+      if (tracing && options.trace_parent) {
+        batch_parent = options.trace_parent();
+        wait_span.set_parent(batch_parent);
+      }
+      wait_span.set_arg("events", batch.size());
     }
     if (!more) break;
     const auto batch_start = std::chrono::steady_clock::now();
-    ingest(batch);
+    {
+      obs::Span ingest_span("engine.ingest", batch_parent);
+      ingest_span.set_arg("events", batch.size());
+      ingest(batch);
+    }
     if (capture) capture->record(batch);
     if (options.on_batch) options.on_batch(stats_);
     if (local_batch_hist) {
@@ -514,6 +533,8 @@ EngineMetrics StreamingEngine::serve(EventSource& source,
       // Atomic replace: seal the snapshot under a temporary name first,
       // so a crash mid-write never clobbers the previous good one.
       const auto started = std::chrono::steady_clock::now();
+      obs::Span ckpt_span("engine.checkpoint", batch_parent);
+      ckpt_span.set_arg("events", stats_.events_ingested);
       const std::string tmp = options.checkpoint_path + ".tmp";
       checkpoint(tmp);
       std::filesystem::rename(tmp, options.checkpoint_path);
@@ -532,6 +553,10 @@ EngineMetrics StreamingEngine::serve(EventSource& source,
       if (telemetry_) telemetry_->checkpoint_write.observe(checkpoint_s);
       if (capture) capture->record_cut(stats_.events_ingested);
       if (options.on_checkpoint) options.on_checkpoint();
+      // Flush spans at every checkpoint, so a SIGKILLed process leaves a
+      // trace prefix at least as fresh as its last durable snapshot.
+      ckpt_span.end();
+      if (obs::Tracer::global().enabled()) obs::Tracer::global().flush();
       while (next_checkpoint <= stats_.events_ingested) {
         next_checkpoint += checkpoint_every;
       }
@@ -800,6 +825,11 @@ std::unique_ptr<StreamingEngine> StreamingEngine::restore(
             .count());
     engine->telemetry_->objects_active.set(
         static_cast<double>(engine->object_count()));
+    // Like the net admitted counter, the ingested counter speaks
+    // logical-stream positions: a restore at N seeds it to N, so sums
+    // federated across a respawn match an uninterrupted process.
+    engine->telemetry_->events_ingested.inc(header.events_ingested);
+    engine->telemetry_->batches.inc(header.batches);
   }
   return engine;
 }

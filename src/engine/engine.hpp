@@ -39,6 +39,7 @@
 
 #include "core/policy.hpp"
 #include "core/simulator.hpp"
+#include "obs/trace.hpp"
 #include "predictor/predictor.hpp"
 #include "trace/event_log.hpp"
 
@@ -241,6 +242,12 @@ struct ServeOptions {
   /// finish() time (see finish(finals)) — how a partition worker extracts
   /// the records the coordinator's cross-partition reduce consumes.
   std::vector<EngineObjectFinal>* collect_finals = nullptr;
+  /// Distributed-tracing parent lookup: called per batch (only while the
+  /// process Tracer is enabled) for the TraceContext the batch's spans
+  /// should join — a net front-end returns its latest wire trace frame.
+  /// Unset or invalid context ⇒ spans root a fresh local trace.
+  /// Observational only: aggregates are bit-identical either way.
+  std::function<obs::TraceContext()> trace_parent;
 };
 
 class StreamingEngine {

@@ -65,6 +65,15 @@ bool EventStreamClient::flush() {
   return write_paced(frame_.data(), frame_.size());
 }
 
+bool EventStreamClient::send_trace(std::uint64_t trace_id,
+                                   std::uint64_t span_id) {
+  REPL_REQUIRE_MSG(handshaken_, "handshake must precede send_trace");
+  if (!flush()) return false;  // keep queued events ahead of the context
+  frame_.clear();
+  encode_trace_frame(frame_, trace_id, span_id);
+  return write_paced(frame_.data(), frame_.size());
+}
+
 void EventStreamClient::finish() {
   if (finished_) return;
   finished_ = true;
@@ -160,6 +169,12 @@ bool ReconnectingEventStreamClient::send(const LogEvent& event) {
 bool ReconnectingEventStreamClient::flush() {
   REPL_REQUIRE_MSG(client_ != nullptr, "flush on a disconnected client");
   return client_->flush();
+}
+
+bool ReconnectingEventStreamClient::send_trace(std::uint64_t trace_id,
+                                               std::uint64_t span_id) {
+  REPL_REQUIRE_MSG(client_ != nullptr, "send_trace on a disconnected client");
+  return client_->send_trace(trace_id, span_id);
 }
 
 void ReconnectingEventStreamClient::finish() {

@@ -60,6 +60,11 @@ class EventStreamClient {
   /// Flushes any partial block as a short frame.
   bool flush();
 
+  /// Flushes pending events, then sends a trace-context frame: every
+  /// event that follows is attributed to (trace_id, span_id) by the
+  /// server. Requires a nonzero trace_id. Returns false after an abort.
+  bool send_trace(std::uint64_t trace_id, std::uint64_t span_id);
+
   /// Flushes and half-closes the write side at a frame boundary — the
   /// clean end-of-stream the server expects. No-op after an abort.
   void finish();
@@ -145,6 +150,7 @@ class ReconnectingEventStreamClient {
   /// Errors propagate — call reconnect() and resume from its offset.
   bool send(const LogEvent& event);
   bool flush();
+  bool send_trace(std::uint64_t trace_id, std::uint64_t span_id);
   void finish();
 
  private:

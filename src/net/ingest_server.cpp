@@ -9,6 +9,7 @@
 #include "engine/engine.hpp"
 #include "net/wire.hpp"
 #include "obs/exposition.hpp"
+#include "obs/log.hpp"
 #include "obs/http_exporter.hpp"
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
@@ -46,6 +47,8 @@ struct NetIngestServer::Connection {
   /// Completed-frame count already published to the frames counter.
   /// Touched only by this connection's reader thread — not under mu_.
   std::uint64_t frames_published = 0;
+  /// Trace frames already published to latest_trace_. Reader thread only.
+  std::uint64_t trace_frames_published = 0;
 };
 
 /// The registry series this server publishes. Counters are incremented
@@ -202,6 +205,11 @@ void NetIngestServer::start(std::uint32_t num_servers,
   // crash.
   inst_->events_admitted.inc(resume_events);
   started_ = true;
+  REPL_LOG_INFO("net", "ingest server started num_servers="
+                           << num_servers << " resume_events=" << resume_events
+                           << " tcp_port=" << (tcp_ ? tcp_->port() : -1)
+                           << " metrics_port="
+                           << (http_ ? http_->port() : -1));
   if (tcp_) {
     accept_threads_.emplace_back([this] { accept_loop(*tcp_, "tcp"); });
   }
@@ -225,6 +233,7 @@ void NetIngestServer::accept_loop(Listener& listener, const char* kind) {
     conn->sock = std::move(sock);
     Connection& ref = *conn;
     connections_.push_back(std::move(conn));
+    REPL_LOG_DEBUG("net", "accepted " << ref.name);
     ref.thread = std::thread([this, &ref] { connection_main(ref); });
   }
 }
@@ -289,6 +298,10 @@ void NetIngestServer::connection_main(Connection& conn) {
       {
         std::lock_guard<std::mutex> lock(mu_);
         conn.bytes_received += n;
+        if (assembler.trace_frames() > conn.trace_frames_published) {
+          conn.trace_frames_published = assembler.trace_frames();
+          latest_trace_ = assembler.latest_trace();
+        }
       }
       if (rate > 0.0 && !decoded.empty()) {
         const auto now = std::chrono::steady_clock::now();
@@ -306,21 +319,33 @@ void NetIngestServer::connection_main(Connection& conn) {
       }
       if (!decoded.empty()) enqueue(conn, decoded);
     }
-    std::lock_guard<std::mutex> lock(mu_);
-    conn.state = Connection::State::kClosed;
-    conn.sock.close();
-  } catch (const std::exception& e) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (conn.state != Connection::State::kClosed) {
-      conn.state = Connection::State::kFailed;
-      conn.error = e.what();
-      ++failed_connections_;
-      inst_->connections_failed.inc();
-      if (conn.error.find("CRC mismatch") != std::string::npos) {
-        inst_->crc_rejects.inc();
-      }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      conn.state = Connection::State::kClosed;
+      conn.sock.close();
     }
-    conn.sock.close();
+    REPL_LOG_DEBUG("net", conn.name << " closed cleanly events="
+                                    << conn.events_received
+                                    << " bytes=" << conn.bytes_received);
+  } catch (const std::exception& e) {
+    bool newly_failed = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (conn.state != Connection::State::kClosed) {
+        conn.state = Connection::State::kFailed;
+        conn.error = e.what();
+        ++failed_connections_;
+        inst_->connections_failed.inc();
+        if (conn.error.find("CRC mismatch") != std::string::npos) {
+          inst_->crc_rejects.inc();
+        }
+        newly_failed = true;
+      }
+      conn.sock.close();
+    }
+    if (newly_failed) {
+      REPL_LOG_WARN("net", "connection killed: " << e.what());
+    }
   }
   consumer_cv_.notify_all();
   space_cv_.notify_all();
@@ -447,6 +472,11 @@ int NetIngestServer::tcp_port() const { return tcp_ ? tcp_->port() : -1; }
 
 int NetIngestServer::metrics_port() const {
   return http_ ? http_->port() : -1;
+}
+
+obs::TraceContext NetIngestServer::latest_trace() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latest_trace_;
 }
 
 std::uint64_t NetIngestServer::events_admitted() const {

@@ -56,6 +56,7 @@
 
 #include "engine/event_source.hpp"
 #include "net/socket.hpp"
+#include "obs/trace.hpp"
 #include "trace/event_log.hpp"
 
 #include <condition_variable>
@@ -149,6 +150,11 @@ class NetIngestServer {
   /// the server-owned fallback). For scraping without the HTTP endpoint.
   obs::MetricsRegistry& registry() const { return *registry_; }
 
+  /// Trace context announced by the most recent trace frame on any
+  /// connection (invalid before the first). Wire into
+  /// ServeOptions::trace_parent so engine spans join the sender's trace.
+  obs::TraceContext latest_trace() const;
+
   std::uint64_t events_admitted() const;
   std::size_t connections_total() const;
   std::size_t connections_failed() const;
@@ -192,6 +198,7 @@ class NetIngestServer {
   std::uint64_t resume_events_ = 0;
   std::size_t total_queued_ = 0;
   std::uint64_t admitted_events_ = 0;
+  obs::TraceContext latest_trace_{};
   double emitted_time_ = 0.0;
   std::size_t failed_connections_ = 0;
   std::chrono::steady_clock::time_point start_time_;

@@ -31,6 +31,21 @@ std::uint64_t decode_net_ack(const unsigned char* raw) {
   return load_le64(raw + 8);
 }
 
+void encode_trace_frame(std::vector<unsigned char>& out,
+                        std::uint64_t trace_id, std::uint64_t span_id) {
+  if (trace_id == 0) {
+    throw std::invalid_argument("trace frames require a nonzero trace id");
+  }
+  unsigned char body[kTraceFrameBodyBytes];
+  store_le64(body + 0, trace_id);
+  store_le64(body + 8, span_id);
+  store_le64(body + 16, 0);  // reserved
+  unsigned char frame[kBlockFrameBytes];
+  encode_block_frame(frame, kTraceFrameAuxFlag, body, sizeof(body));
+  out.insert(out.end(), frame, frame + kBlockFrameBytes);
+  out.insert(out.end(), body, body + sizeof(body));
+}
+
 FrameAssembler::FrameAssembler(std::string name, std::size_t max_body_bytes)
     : name_(std::move(name)), max_body_bytes_(max_body_bytes) {
   buffer_.resize(EventLogHeader::kSize);
@@ -115,6 +130,29 @@ void FrameAssembler::finish_frame() {
 void FrameAssembler::finish_body(std::vector<LogEvent>& out) {
   if (!verify_block_payload(frame_, buffer_.data(), pending_)) {
     fail("block payload CRC mismatch");
+  }
+  if (frame_.aux & kTraceFrameAuxFlag) {
+    if (frame_.aux != kTraceFrameAuxFlag) {
+      fail("trace frame aux carries unexpected bits " +
+           std::to_string(frame_.aux & ~kTraceFrameAuxFlag));
+    }
+    if (pending_ != kTraceFrameBodyBytes) {
+      fail("trace frame body is " + std::to_string(pending_) +
+           " bytes, expected " + std::to_string(kTraceFrameBodyBytes));
+    }
+    const std::uint64_t trace_id = load_le64(buffer_.data());
+    const std::uint64_t span_id = load_le64(buffer_.data() + 8);
+    if (load_le64(buffer_.data() + 16) != 0) {
+      fail("trace frame reserved field is not zero");
+    }
+    if (trace_id == 0) fail("trace frame carries a zero trace id");
+    latest_trace_ = obs::TraceContext{trace_id, span_id};
+    ++trace_frames_;
+    ++frames_;
+    state_ = State::kFrame;
+    pending_ = 0;
+    target_ = kBlockFrameBytes;
+    return;
   }
   // Decode into scratch and validate the whole frame before publishing:
   // a frame that fails any check must contribute nothing to `out`, so

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "codec/block.hpp"
+#include "obs/trace.hpp"
 #include "trace/event_log.hpp"
 
 namespace repl {
@@ -41,6 +42,16 @@ namespace repl {
 /// "REPLNACK": the server's handshake reply magic.
 inline constexpr std::uint64_t kNetAckMagic = 0x4b43414e4c504552ULL;
 inline constexpr std::size_t kNetAckBytes = 16;
+
+/// Trace-context frames ride the event stream as ordinary block frames
+/// whose aux field has this bit set. Event blocks can never collide:
+/// their aux is the event count, capped at kMaxBlockEvents (4096), so
+/// bit 31 is free. The 24-byte body is u64 trace_id, u64 span_id, u64
+/// reserved (must be 0). A trace frame updates the assembler's
+/// latest_trace() and decodes no events; every event that follows is
+/// attributed to that context until the next trace frame.
+inline constexpr std::uint32_t kTraceFrameAuxFlag = 0x80000000u;
+inline constexpr std::size_t kTraceFrameBodyBytes = 24;
 
 /// Encodes the 32-byte client stream header (a v2 event-log header with
 /// unknown counts) into `out`.
@@ -51,6 +62,12 @@ void encode_net_ack(unsigned char* out, std::uint64_t resume_events);
 
 /// Decodes an ACK; throws std::runtime_error on a bad magic.
 std::uint64_t decode_net_ack(const unsigned char* raw);
+
+/// Appends one framed trace-context message (see kTraceFrameAuxFlag) to
+/// `out`. Requires a nonzero trace_id — zero means "no trace", which is
+/// expressed by sending nothing.
+void encode_trace_frame(std::vector<unsigned char>& out,
+                        std::uint64_t trace_id, std::uint64_t span_id);
 
 /// Incremental decoder for one client's byte stream. Feed bytes in any
 /// chunking; completed events are appended to the caller's buffer.
@@ -83,8 +100,12 @@ class FrameAssembler {
   std::uint64_t bytes_consumed() const { return offset_; }
   std::uint64_t frames_completed() const { return frames_; }
   std::uint64_t events_decoded() const { return events_; }
+  std::uint64_t trace_frames() const { return trace_frames_; }
   /// Newest decoded event time (0 before the first event).
   double last_time() const { return last_time_; }
+  /// Trace context announced by the most recent trace frame; invalid
+  /// (zero trace_id) until one arrives.
+  obs::TraceContext latest_trace() const { return latest_trace_; }
 
  private:
   enum class State { kHeader, kFrame, kBody };
@@ -110,7 +131,9 @@ class FrameAssembler {
   std::uint64_t offset_ = 0;
   std::uint64_t frames_ = 0;
   std::uint64_t events_ = 0;
+  std::uint64_t trace_frames_ = 0;
   double last_time_ = 0.0;
+  obs::TraceContext latest_trace_{};
   bool dead_ = false;
 };
 

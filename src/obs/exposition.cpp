@@ -69,7 +69,10 @@ std::string series_name(const Sample& s) {
 }  // namespace
 
 std::string prometheus_text(MetricsRegistry& registry) {
-  const std::vector<Sample> samples = registry.collect();
+  return prometheus_text(registry.collect());
+}
+
+std::string prometheus_text(const std::vector<Sample>& samples) {
   std::ostringstream os;
   std::string last_family;
   for (const Sample& s : samples) {
@@ -114,7 +117,12 @@ const char* prometheus_content_type() {
 std::string metrics_json_text(
     MetricsRegistry& registry,
     const std::function<void(JsonWriter&)>& extra) {
-  const std::vector<Sample> samples = registry.collect();
+  return metrics_json_text(registry.collect(), extra);
+}
+
+std::string metrics_json_text(
+    const std::vector<Sample>& samples,
+    const std::function<void(JsonWriter&)>& extra) {
   JsonWriter w;
   w.begin_object();
   w.key("metrics").begin_object();

@@ -18,6 +18,11 @@ namespace repl::obs {
 /// deterministic (name, labels) order.
 std::string prometheus_text(MetricsRegistry& registry);
 
+/// Same rendering over an explicit sample snapshot — the federation
+/// path, where one exposition merges several registries' samples.
+/// `samples` must be sorted by (name, labels); obs::sort_samples does.
+std::string prometheus_text(const std::vector<Sample>& samples);
+
 /// The MIME type `prometheus_text` should be served under.
 const char* prometheus_content_type();
 
@@ -29,6 +34,11 @@ const char* prometheus_content_type();
 /// object.
 std::string metrics_json_text(
     MetricsRegistry& registry,
+    const std::function<void(JsonWriter&)>& extra = nullptr);
+
+/// JSON exposition over an explicit sample snapshot (see above).
+std::string metrics_json_text(
+    const std::vector<Sample>& samples,
     const std::function<void(JsonWriter&)>& extra = nullptr);
 
 }  // namespace repl::obs

@@ -1,0 +1,340 @@
+#include "obs/federation.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "codec/endian.hpp"
+
+namespace repl::obs {
+
+namespace {
+
+// Wire layout per sample (little-endian):
+//   u8   type (0 counter, 1 gauge, 2 histogram)
+//   u16  name_len,  bytes
+//   u16  help_len,  bytes
+//   u16  label_count, then per label: u16 key_len, bytes, u16 val_len, bytes
+//   counter:   u64 counter_value
+//   gauge:     f64 value
+//   histogram: u16 bound_count, f64 * bounds,
+//              u64 cumulative * (bounds + 1), f64 sum
+// The message frame already carries a CRC (codec/block.hpp), so the
+// codec itself adds none.
+
+void put_u8(std::vector<unsigned char>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u16(std::vector<unsigned char>& out, std::uint16_t v) {
+  out.push_back(static_cast<unsigned char>(v));
+  out.push_back(static_cast<unsigned char>(v >> 8));
+}
+
+void put_u64(std::vector<unsigned char>& out, std::uint64_t v) {
+  const std::size_t at = out.size();
+  out.resize(at + 8);
+  store_le64(out.data() + at, v);
+}
+
+void put_f64(std::vector<unsigned char>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_string(std::vector<unsigned char>& out, const std::string& text,
+                const char* field) {
+  if (text.size() > kMaxSampleStringBytes) {
+    throw std::invalid_argument(std::string("sample ") + field + " is " +
+                                std::to_string(text.size()) +
+                                " bytes, the codec caps at " +
+                                std::to_string(kMaxSampleStringBytes));
+  }
+  put_u16(out, static_cast<std::uint16_t>(text.size()));
+  out.insert(out.end(), text.begin(), text.end());
+}
+
+/// Bounded cursor over the encoded bytes; every read is range-checked.
+struct Cursor {
+  const unsigned char* data;
+  std::size_t size;
+  std::size_t at = 0;
+  const std::string& what;
+
+  void need(std::size_t n, const char* field) {
+    if (size - at < n) {
+      throw std::runtime_error(what + ": metrics sample truncated in " +
+                               field + " at byte " + std::to_string(at));
+    }
+  }
+
+  std::uint8_t u8(const char* field) {
+    need(1, field);
+    return data[at++];
+  }
+
+  std::uint16_t u16(const char* field) {
+    need(2, field);
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        data[at] | (std::uint16_t{data[at + 1]} << 8));
+    at += 2;
+    return v;
+  }
+
+  std::uint64_t u64(const char* field) {
+    need(8, field);
+    const std::uint64_t v = load_le64(data + at);
+    at += 8;
+    return v;
+  }
+
+  double f64(const char* field) { return std::bit_cast<double>(u64(field)); }
+
+  std::string string(const char* field, std::size_t cap) {
+    const std::uint16_t len = u16(field);
+    if (len > cap) {
+      throw std::runtime_error(what + ": metrics sample " + field + " is " +
+                               std::to_string(len) + " bytes, cap is " +
+                               std::to_string(cap));
+    }
+    need(len, field);
+    std::string out(reinterpret_cast<const char*>(data + at), len);
+    at += len;
+    return out;
+  }
+};
+
+std::string series_key(const Sample& s) {
+  std::string key = s.name;
+  for (const auto& [k, v] : s.labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+}  // namespace
+
+void encode_samples(const std::vector<Sample>& samples,
+                    std::vector<unsigned char>& out) {
+  if (samples.size() > kMaxEncodedSamples) {
+    throw std::invalid_argument("cannot encode " +
+                                std::to_string(samples.size()) +
+                                " metric samples (cap " +
+                                std::to_string(kMaxEncodedSamples) + ")");
+  }
+  for (const Sample& s : samples) {
+    put_u8(out, static_cast<std::uint8_t>(s.type));
+    if (s.name.empty()) {
+      throw std::invalid_argument("cannot encode a sample with no name");
+    }
+    put_string(out, s.name, "name");
+    put_string(out, s.help, "help");
+    if (s.labels.size() > kMaxSampleLabels) {
+      throw std::invalid_argument(
+          "sample " + s.name + " carries " + std::to_string(s.labels.size()) +
+          " labels, the codec caps at " + std::to_string(kMaxSampleLabels));
+    }
+    put_u16(out, static_cast<std::uint16_t>(s.labels.size()));
+    for (const auto& [k, v] : s.labels) {
+      put_string(out, k, "label key");
+      put_string(out, v, "label value");
+    }
+    switch (s.type) {
+      case MetricType::kCounter:
+        put_u64(out, s.counter_value);
+        break;
+      case MetricType::kGauge:
+        put_f64(out, s.value);
+        break;
+      case MetricType::kHistogram: {
+        if (s.bounds.size() > kMaxSampleBounds) {
+          throw std::invalid_argument(
+              "sample " + s.name + " has " + std::to_string(s.bounds.size()) +
+              " histogram bounds, the codec caps at " +
+              std::to_string(kMaxSampleBounds));
+        }
+        if (s.cumulative.size() != s.bounds.size() + 1) {
+          throw std::invalid_argument(
+              "sample " + s.name + " histogram has " +
+              std::to_string(s.cumulative.size()) + " cumulative buckets for " +
+              std::to_string(s.bounds.size()) + " bounds");
+        }
+        put_u16(out, static_cast<std::uint16_t>(s.bounds.size()));
+        for (double b : s.bounds) put_f64(out, b);
+        for (std::uint64_t c : s.cumulative) put_u64(out, c);
+        put_f64(out, s.sum);
+        break;
+      }
+    }
+  }
+}
+
+std::vector<Sample> decode_samples(const unsigned char* data,
+                                   std::size_t size,
+                                   std::size_t expected_count,
+                                   const std::string& what) {
+  if (expected_count > kMaxEncodedSamples) {
+    throw std::runtime_error(what + ": metrics message declares " +
+                             std::to_string(expected_count) +
+                             " samples, cap is " +
+                             std::to_string(kMaxEncodedSamples));
+  }
+  Cursor cur{data, size, 0, what};
+  std::vector<Sample> samples;
+  samples.reserve(expected_count);
+  for (std::size_t i = 0; i < expected_count; ++i) {
+    Sample s;
+    const std::uint8_t raw_type = cur.u8("type");
+    if (raw_type > 2) {
+      throw std::runtime_error(what + ": metrics sample " + std::to_string(i) +
+                               " has unknown type " +
+                               std::to_string(raw_type));
+    }
+    s.type = static_cast<MetricType>(raw_type);
+    s.name = cur.string("name", kMaxSampleStringBytes);
+    if (s.name.empty()) {
+      throw std::runtime_error(what + ": metrics sample " + std::to_string(i) +
+                               " has an empty name");
+    }
+    s.help = cur.string("help", kMaxSampleStringBytes);
+    const std::uint16_t labels = cur.u16("label count");
+    if (labels > kMaxSampleLabels) {
+      throw std::runtime_error(what + ": metrics sample " + s.name +
+                               " declares " + std::to_string(labels) +
+                               " labels, cap is " +
+                               std::to_string(kMaxSampleLabels));
+    }
+    for (std::uint16_t l = 0; l < labels; ++l) {
+      std::string key = cur.string("label key", kMaxSampleStringBytes);
+      std::string value = cur.string("label value", kMaxSampleStringBytes);
+      if (key.empty()) {
+        throw std::runtime_error(what + ": metrics sample " + s.name +
+                                 " has an empty label key");
+      }
+      s.labels.emplace_back(std::move(key), std::move(value));
+    }
+    switch (s.type) {
+      case MetricType::kCounter:
+        s.counter_value = cur.u64("counter value");
+        s.value = static_cast<double>(s.counter_value);
+        break;
+      case MetricType::kGauge:
+        s.value = cur.f64("gauge value");
+        break;
+      case MetricType::kHistogram: {
+        const std::uint16_t bounds = cur.u16("bound count");
+        if (bounds > kMaxSampleBounds) {
+          throw std::runtime_error(what + ": metrics sample " + s.name +
+                                   " declares " + std::to_string(bounds) +
+                                   " histogram bounds, cap is " +
+                                   std::to_string(kMaxSampleBounds));
+        }
+        s.bounds.resize(bounds);
+        for (std::uint16_t b = 0; b < bounds; ++b) {
+          s.bounds[b] = cur.f64("histogram bound");
+          if (!std::isfinite(s.bounds[b]) ||
+              (b > 0 && s.bounds[b] <= s.bounds[b - 1])) {
+            throw std::runtime_error(what + ": metrics sample " + s.name +
+                                     " histogram bounds are not strictly "
+                                     "increasing finite values");
+          }
+        }
+        s.cumulative.resize(bounds + std::size_t{1});
+        for (std::size_t b = 0; b < s.cumulative.size(); ++b) {
+          s.cumulative[b] = cur.u64("cumulative bucket");
+          if (b > 0 && s.cumulative[b] < s.cumulative[b - 1]) {
+            throw std::runtime_error(what + ": metrics sample " + s.name +
+                                     " histogram buckets are not cumulative");
+          }
+        }
+        s.count = s.cumulative.back();
+        s.sum = cur.f64("histogram sum");
+        break;
+      }
+    }
+    samples.push_back(std::move(s));
+  }
+  if (cur.at != size) {
+    throw std::runtime_error(what + ": metrics message carries " +
+                             std::to_string(size - cur.at) +
+                             " trailing bytes past " +
+                             std::to_string(expected_count) + " samples");
+  }
+  return samples;
+}
+
+void sort_samples(std::vector<Sample>& samples) {
+  std::sort(samples.begin(), samples.end(),
+            [](const Sample& a, const Sample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+}
+
+void FederatedMetrics::update(std::uint32_t partition,
+                              const std::vector<Sample>& samples) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, Sample>& cache = partitions_[partition];
+  for (const Sample& s : samples) {
+    auto [it, inserted] = cache.emplace(series_key(s), s);
+    if (inserted) continue;
+    Sample& held = it->second;
+    if (held.type == MetricType::kCounter && s.type == MetricType::kCounter &&
+        s.counter_value < held.counter_value) {
+      // A respawned worker re-reports from its resume offset; the
+      // federated view stays monotone by holding the high-water mark
+      // until the replay catches back up.
+      continue;
+    }
+    held = s;
+  }
+}
+
+std::vector<Sample> FederatedMetrics::collect() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> out;
+  for (const auto& [partition, cache] : partitions_) {
+    const std::string partition_text = std::to_string(partition);
+    for (const auto& [key, sample] : cache) {
+      (void)key;
+      Sample s = sample;
+      // Insert sorted by key, matching the registry's normalized order.
+      const auto pos = std::lower_bound(
+          s.labels.begin(), s.labels.end(), std::string("partition"),
+          [](const auto& kv, const std::string& k) { return kv.first < k; });
+      s.labels.emplace(pos, "partition", partition_text);
+      out.push_back(std::move(s));
+    }
+  }
+  sort_samples(out);
+  return out;
+}
+
+std::uint64_t FederatedMetrics::counter_value(std::uint32_t partition,
+                                              const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto pit = partitions_.find(partition);
+  if (pit == partitions_.end()) return 0;
+  const auto sit = pit->second.find(name);  // unlabeled: key == name
+  if (sit == pit->second.end() ||
+      sit->second.type != MetricType::kCounter) {
+    return 0;
+  }
+  return sit->second.counter_value;
+}
+
+std::vector<std::uint32_t> FederatedMetrics::partitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::uint32_t> out;
+  out.reserve(partitions_.size());
+  for (const auto& [partition, cache] : partitions_) {
+    (void)cache;
+    out.push_back(partition);
+  }
+  return out;
+}
+
+}  // namespace repl::obs

@@ -1,0 +1,84 @@
+// Cluster metrics federation: workers snapshot their MetricsRegistry,
+// ship the samples to the coordinator over the control socket (the
+// `metrics` control message, cluster/control.hpp), and the coordinator
+// exposes one merged /metrics where every worker series carries a
+// `partition` label next to the coordinator's own series.
+//
+// Two pieces live here:
+//
+//  * a compact binary codec for a vector<Sample> — the metrics message
+//    body. The decoder treats its input as untrusted (it is a fuzzer
+//    target via the cluster control stream): every length is bounded,
+//    histogram ladders must be cumulative, and the byte count must come
+//    out exact, with positioned diagnostics on anything else.
+//
+//  * FederatedMetrics — the coordinator-side cache of the latest
+//    snapshot per partition. Merging is respawn-aware: counters are
+//    clamped to the maximum ever seen per (partition, series), so a
+//    worker that restarts from a checkpoint (its counters re-seeded at
+//    the resume offset, possibly below the pre-kill value until it
+//    catches up) can never make a federated counter go backwards.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace repl::obs {
+
+/// Decoder caps. A snapshot is a few dozen series in practice; these
+/// bound a hostile peer, not a real one.
+inline constexpr std::size_t kMaxSampleStringBytes = 1024;
+inline constexpr std::size_t kMaxSampleLabels = 64;
+inline constexpr std::size_t kMaxSampleBounds = 512;
+inline constexpr std::size_t kMaxEncodedSamples = 65535;
+
+/// Appends the binary encoding of `samples` to `out`. Throws
+/// std::invalid_argument when a sample exceeds the decoder caps.
+void encode_samples(const std::vector<Sample>& samples,
+                    std::vector<unsigned char>& out);
+
+/// Strict inverse of encode_samples: exactly `expected_count` samples
+/// spanning exactly `size` bytes, every field validated. `what` names
+/// the input in diagnostics. Throws std::runtime_error on violation.
+std::vector<Sample> decode_samples(const unsigned char* data,
+                                   std::size_t size,
+                                   std::size_t expected_count,
+                                   const std::string& what);
+
+/// Sorts by (name, labels) — the order Prometheus exposition requires
+/// and MetricsRegistry::collect() produces natively.
+void sort_samples(std::vector<Sample>& samples);
+
+class FederatedMetrics {
+ public:
+  /// Folds a worker snapshot in. New series are added, existing ones
+  /// updated; counters take max(old, new) so respawns stay monotone.
+  /// Series absent from `samples` are retained at their last value (a
+  /// freshly respawned worker re-registers series lazily).
+  void update(std::uint32_t partition, const std::vector<Sample>& samples);
+
+  /// Every cached sample with a `partition` label spliced into its
+  /// label set, sorted ready for exposition.
+  std::vector<Sample> collect() const;
+
+  /// Latest counter value of `name` (unlabeled series) for `partition`;
+  /// 0 when unseen. Feeds derived cluster gauges.
+  std::uint64_t counter_value(std::uint32_t partition,
+                              const std::string& name) const;
+
+  /// Partitions that have reported at least once.
+  std::vector<std::uint32_t> partitions() const;
+
+ private:
+  mutable std::mutex mu_;
+  /// partition -> series key (name + rendered labels) -> latest sample.
+  std::map<std::uint32_t, std::map<std::string, Sample>> partitions_;
+};
+
+}  // namespace repl::obs

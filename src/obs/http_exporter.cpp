@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "obs/exposition.hpp"
+#include "obs/federation.hpp"
 #include "util/check.hpp"
 
 namespace repl::obs {
@@ -82,13 +83,21 @@ HttpRequest parse_http_request(const std::string& raw) {
   return req;
 }
 
+bool http_keepalive_requested(const HttpRequest& request) {
+  if (!request.valid) return false;
+  const std::string connection = to_lower(request.header("connection"));
+  if (request.version == "HTTP/1.0") return connection == "keep-alive";
+  if (request.version.empty()) return false;  // 0.9-style one-shot
+  return connection != "close";  // HTTP/1.1+: persistent by default
+}
+
 std::string http_response(int status, const std::string& content_type,
-                          const std::string& body) {
+                          const std::string& body, bool keep_alive) {
   std::ostringstream os;
   os << "HTTP/1.1 " << status << ' ' << status_text(status) << "\r\n"
      << "Content-Type: " << content_type << "\r\n"
      << "Content-Length: " << body.size() << "\r\n"
-     << "Connection: close\r\n\r\n"
+     << "Connection: " << (keep_alive ? "keep-alive" : "close") << "\r\n\r\n"
      << body;
   return os.str();
 }
@@ -108,6 +117,12 @@ void MetricsHttpServer::set_health_extra(
     std::function<void(JsonWriter&)> extra) {
   REPL_CHECK_MSG(!started_, "set_health_extra after start");
   health_extra_ = std::move(extra);
+}
+
+void MetricsHttpServer::set_extra_samples(
+    std::function<std::vector<Sample>()> extra) {
+  REPL_CHECK_MSG(!started_, "set_extra_samples after start");
+  extra_samples_ = std::move(extra);
 }
 
 void MetricsHttpServer::start() {
@@ -142,35 +157,73 @@ void MetricsHttpServer::serve_loop() {
 void MetricsHttpServer::handle_connection(Socket client) {
   std::string raw;
   unsigned char buf[1024];
-  while (raw.size() < kMaxRequestBytes &&
-         raw.find("\r\n\r\n") == std::string::npos) {
-    const std::size_t n = client.read_some(buf, sizeof(buf));
-    if (n == 0) break;  // client sent its head and half-closed
-    raw.append(reinterpret_cast<const char*>(buf), n);
+  std::size_t served = 0;
+  for (;;) {
+    // Pull the next request head; `raw` may already hold a pipelined one.
+    while (raw.size() < kMaxRequestBytes &&
+           raw.find("\r\n\r\n") == std::string::npos) {
+      const std::size_t n = client.read_some(buf, sizeof(buf));
+      if (n == 0) break;  // client half-closed (or sent a CRLF-less head)
+      raw.append(reinterpret_cast<const char*>(buf), n);
+    }
+    const std::size_t head_end = raw.find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+      // EOF mid-head. A clean close between keep-alive requests is
+      // normal; anything else gets one best-effort response.
+      if (raw.empty() && served > 0) break;
+      const std::string response = respond(parse_http_request(raw), false);
+      client.write_all(
+          reinterpret_cast<const unsigned char*>(response.data()),
+          response.size());
+      break;
+    }
+    const HttpRequest request = parse_http_request(raw.substr(0, head_end + 4));
+    raw.erase(0, head_end + 4);
+    ++served;
+    // Requests with bodies are not served here (GET only); rather than
+    // parse one out of the stream, close after responding.
+    const bool keep_alive = http_keepalive_requested(request) &&
+                            served < options_.max_requests_per_connection &&
+                            request.header("content-length").empty();
+    const std::string response = respond(request, keep_alive);
+    client.write_all(reinterpret_cast<const unsigned char*>(response.data()),
+                     response.size());
+    if (!keep_alive) break;
   }
-  const std::string response = respond(parse_http_request(raw));
-  client.write_all(reinterpret_cast<const unsigned char*>(response.data()),
-                   response.size());
   client.shutdown_write();
 }
 
-std::string MetricsHttpServer::respond(const HttpRequest& request) {
+std::vector<Sample> MetricsHttpServer::collect_samples() {
+  std::vector<Sample> samples = registry_.collect();
+  if (extra_samples_) {
+    std::vector<Sample> extra = extra_samples_();
+    samples.insert(samples.end(), std::make_move_iterator(extra.begin()),
+                   std::make_move_iterator(extra.end()));
+    sort_samples(samples);
+  }
+  return samples;
+}
+
+std::string MetricsHttpServer::respond(const HttpRequest& request,
+                                       bool keep_alive) {
   if (!request.valid) {
-    return http_response(400, "text/plain; charset=utf-8", "bad request\n");
+    return http_response(400, "text/plain; charset=utf-8", "bad request\n",
+                         keep_alive);
   }
   if (request.method != "GET") {
     return http_response(405, "text/plain; charset=utf-8",
-                         "method not allowed\n");
+                         "method not allowed\n", keep_alive);
   }
   const bool wants_json =
       request.header("accept").find("application/json") != std::string::npos;
   if (request.path == "/metrics" && !wants_json) {
     return http_response(200, prometheus_content_type(),
-                         prometheus_text(registry_));
+                         prometheus_text(collect_samples()), keep_alive);
   }
   if (request.path == "/metrics" || request.path == "/metrics.json") {
     return http_response(200, "application/json",
-                         metrics_json_text(registry_, json_extra_));
+                         metrics_json_text(collect_samples(), json_extra_),
+                         keep_alive);
   }
   if (request.path == "/healthz") {
     JsonWriter w;
@@ -178,9 +231,10 @@ std::string MetricsHttpServer::respond(const HttpRequest& request) {
     w.key("status").value("ok");
     if (health_extra_) health_extra_(w);
     w.end_object();
-    return http_response(200, "application/json", w.str());
+    return http_response(200, "application/json", w.str(), keep_alive);
   }
-  return http_response(404, "text/plain; charset=utf-8", "not found\n");
+  return http_response(404, "text/plain; charset=utf-8", "not found\n",
+                       keep_alive);
 }
 
 }  // namespace repl::obs

@@ -11,7 +11,11 @@
 //
 // Query strings are stripped before routing, HTTP/1.0 and version-less
 // request lines are accepted, and every response — including 400/404/405
-// — carries `Connection: close` and a correct `Content-Length`.
+// — carries a correct `Content-Length`. Connections are persistent when
+// the client asks (HTTP/1.1 default; `Connection: keep-alive` on 1.0),
+// bounded at MetricsHttpOptions::max_requests_per_connection requests,
+// so a polling scraper reuses one socket instead of re-dialing per
+// scrape; everything else gets `Connection: close`.
 #pragma once
 
 #include <functional>
@@ -44,13 +48,23 @@ struct HttpRequest {
 /// Parses a raw request head (through the blank line; body ignored).
 HttpRequest parse_http_request(const std::string& raw);
 
-/// Serializes a full response with Content-Length and Connection: close.
+/// Whether the request asks for a persistent connection: HTTP/1.1
+/// unless `Connection: close`; HTTP/1.0 only with
+/// `Connection: keep-alive`; version-less and invalid requests never.
+bool http_keepalive_requested(const HttpRequest& request);
+
+/// Serializes a full response with Content-Length and a Connection
+/// header (`keep-alive` or `close`).
 std::string http_response(int status, const std::string& content_type,
-                          const std::string& body);
+                          const std::string& body, bool keep_alive = false);
 
 struct MetricsHttpOptions {
   std::string host = "127.0.0.1";
   int port = 0;  ///< 0 = kernel-assigned; read back via port().
+  /// Requests served per connection before the server closes it (the
+  /// keep-alive bound; prevents one scraper pinning a handler thread
+  /// forever).
+  std::size_t max_requests_per_connection = 100;
 };
 
 class MetricsHttpServer {
@@ -68,22 +82,32 @@ class MetricsHttpServer {
   /// Extra members appended to the /healthz document. Set before start().
   void set_health_extra(std::function<void(JsonWriter&)> extra);
 
+  /// Extra samples merged into every /metrics exposition alongside the
+  /// registry's own (the federation path: a cluster coordinator injects
+  /// partition-labeled worker samples here). Called per scrape; must be
+  /// thread-safe. Set before start().
+  void set_extra_samples(std::function<std::vector<Sample>()> extra);
+
   void start();
   void stop();
 
   int port() const { return port_; }
 
-  /// Pure request -> response routing, exposed for tests.
-  std::string respond(const HttpRequest& request);
+  /// Pure request -> response routing, exposed for tests. `keep_alive`
+  /// selects the Connection header; the server passes its keep-alive
+  /// decision, tests may pass either.
+  std::string respond(const HttpRequest& request, bool keep_alive = false);
 
  private:
   void serve_loop();
   void handle_connection(Socket client);
+  std::vector<Sample> collect_samples();
 
   MetricsRegistry& registry_;
   MetricsHttpOptions options_;
   std::function<void(JsonWriter&)> json_extra_;
   std::function<void(JsonWriter&)> health_extra_;
+  std::function<std::vector<Sample>()> extra_samples_;
 
   std::unique_ptr<Listener> listener_;
   std::thread thread_;

@@ -1,0 +1,105 @@
+// Leveled, component-scoped structured logging for every process in a
+// serve (engine, net front-end, cluster coordinator/workers).
+//
+// One process-wide Logger renders either human text lines
+//
+//   2026-08-08T12:00:00.123Z INFO  cluster worker respawned partition=2
+//
+// or JSON lines ({"ts":...,"level":"info","component":"cluster",
+// "msg":...,"partition":"2"}) to stderr — never stdout, which carries
+// the AGGREGATE/READY contract lines drivers diff. Levels are settable
+// per component ("net=debug") on top of a default, from one spec string
+// (the `--log-level` flag): "info,net=debug,cluster=trace".
+//
+// REPL_LOG_* macros evaluate their stream expression only when the
+// (level, component) pair is enabled, so a disabled debug line costs
+// one mutex-free atomic load plus a map lookup only when components
+// have overrides. Logging is observability, not control flow: nothing
+// in the serve path may branch on it, and aggregates must be
+// bit-identical with logging on or off.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace repl::obs {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+const char* log_level_name(LogLevel level);
+
+/// Parses "trace"/"debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+/// Throws std::invalid_argument on anything else.
+LogLevel parse_log_level(const std::string& name);
+
+/// One structured key/value attached to a log line (rendered as
+/// `key=value` in text mode, `"key":"value"` in JSON mode).
+using LogFields = std::vector<std::pair<std::string, std::string>>;
+
+class Logger {
+ public:
+  /// Process-wide logger. Defaults: level info, text mode, stderr sink.
+  static Logger& global();
+
+  /// Applies a `--log-level` spec: a comma-separated list of either a
+  /// bare level (the new default) or `component=level` overrides, e.g.
+  /// "warn,net=debug". Throws std::invalid_argument on a malformed
+  /// spec, naming the offending element.
+  void configure(const std::string& spec);
+
+  void set_default_level(LogLevel level);
+  void set_component_level(const std::string& component, LogLevel level);
+  /// JSON-lines mode instead of human text.
+  void set_json(bool json);
+  bool json() const;
+  /// Redirects rendered lines ("" sink = back to stderr). The line does
+  /// not include a trailing newline. Used by tests and embedding hosts.
+  void set_sink(std::function<void(const std::string& line)> sink);
+  /// Back to defaults: info / text / stderr, no component overrides.
+  void reset();
+
+  bool enabled(LogLevel level, const char* component) const;
+
+  /// Renders and emits one line. Prefer the REPL_LOG_* macros, which
+  /// skip message construction when the line is disabled.
+  void log(LogLevel level, const char* component, const std::string& message,
+           const LogFields& fields = {});
+
+ private:
+  Logger() = default;
+};
+
+}  // namespace repl::obs
+
+/// Stream-style logging: REPL_LOG_INFO("cluster", "respawned p" << id).
+/// The stream expression is evaluated only when the line is enabled.
+#define REPL_LOG_AT(level_, component_, stream_)                          \
+  do {                                                                    \
+    ::repl::obs::Logger& repl_log_logger_ = ::repl::obs::Logger::global(); \
+    if (repl_log_logger_.enabled((level_), (component_))) {               \
+      std::ostringstream repl_log_os_;                                    \
+      repl_log_os_ << stream_;                                            \
+      repl_log_logger_.log((level_), (component_), repl_log_os_.str());   \
+    }                                                                     \
+  } while (0)
+
+#define REPL_LOG_TRACE(component_, stream_) \
+  REPL_LOG_AT(::repl::obs::LogLevel::kTrace, component_, stream_)
+#define REPL_LOG_DEBUG(component_, stream_) \
+  REPL_LOG_AT(::repl::obs::LogLevel::kDebug, component_, stream_)
+#define REPL_LOG_INFO(component_, stream_) \
+  REPL_LOG_AT(::repl::obs::LogLevel::kInfo, component_, stream_)
+#define REPL_LOG_WARN(component_, stream_) \
+  REPL_LOG_AT(::repl::obs::LogLevel::kWarn, component_, stream_)
+#define REPL_LOG_ERROR(component_, stream_) \
+  REPL_LOG_AT(::repl::obs::LogLevel::kError, component_, stream_)

@@ -922,13 +922,15 @@ DecodeOutcome decode_snapshot_file(const std::string& path) {
 struct ClusterCase {
   ControlHello hello;
   std::vector<ControlProgress> progress;
+  std::vector<ControlMetrics> metrics;
   std::vector<std::uint64_t> checkpoints;
   std::vector<EngineObjectFinal> finals;
   ControlSummary summary;
   std::size_t finals_chunk = 3;
   std::vector<unsigned char> base;
   ControlImage image;
-  /// Frames in `base` (hello + progress + checkpoints + chunks + summary).
+  /// Frames in `base` (hello + progress + metrics + checkpoints + chunks
+  /// + summary).
   std::uint64_t messages = 0;
 };
 
@@ -947,6 +949,9 @@ std::vector<unsigned char> encode_cluster_stream(const ClusterCase& c) {
   encode_control_hello(c.hello, out);
   for (const ControlProgress& p : c.progress) {
     encode_control_progress(p, out);
+  }
+  for (const ControlMetrics& m : c.metrics) {
+    encode_control_metrics(m, out);
   }
   for (std::uint64_t events : c.checkpoints) {
     encode_control_checkpoint({events}, out);
@@ -975,6 +980,52 @@ ClusterCase make_cluster_case(Rng& rng) {
     events += 1 + rng.uniform_index(5000);
     batches += 1 + rng.uniform_index(3);
     c.progress.push_back({events, batches});
+  }
+  // Metrics snapshots: valid anywhere between hello and finals. Their
+  // bodies carry the federation sample codec, so the flip/truncate
+  // mutators exercise that decoder through the control stream too.
+  const std::size_t nm = rng.uniform_index(3);
+  for (std::size_t i = 0; i < nm; ++i) {
+    ControlMetrics m;
+    m.trace_id = rng.next_u64();
+    m.span_id = rng.next_u64();
+    const std::size_t ns = 1 + rng.uniform_index(4);
+    for (std::size_t s = 0; s < ns; ++s) {
+      obs::Sample sample;
+      sample.name = "repl_fuzz_series_" + std::to_string(rng.uniform_index(4));
+      sample.help = "fuzz-generated series";
+      if (rng.bernoulli(0.5)) {
+        sample.labels.push_back(
+            {"partition", std::to_string(rng.uniform_index(4))});
+      }
+      switch (rng.uniform_index(3)) {
+        case 0: {
+          sample.type = obs::MetricType::kCounter;
+          sample.counter_value = rng.uniform_index(1 << 20);
+          sample.value = static_cast<double>(sample.counter_value);
+          break;
+        }
+        case 1: {
+          sample.type = obs::MetricType::kGauge;
+          sample.value = rng.uniform(-1000.0, 1000.0);
+          break;
+        }
+        default: {
+          sample.type = obs::MetricType::kHistogram;
+          sample.bounds = {0.5, 1.5, 4.5};
+          std::uint64_t cum = 0;
+          for (std::size_t b = 0; b <= sample.bounds.size(); ++b) {
+            cum += rng.uniform_index(50);
+            sample.cumulative.push_back(cum);
+          }
+          sample.count = sample.cumulative.back();
+          sample.sum = rng.uniform(0.0, 500.0);
+          break;
+        }
+      }
+      m.samples.push_back(std::move(sample));
+    }
+    c.metrics.push_back(std::move(m));
   }
   std::uint64_t ck = c.hello.resume_events;
   const std::size_t nc = 1 + rng.uniform_index(2);
@@ -1083,9 +1134,9 @@ Mutation mutate_cluster_overflow(const ClusterCase& c, Rng& rng) {
       store_le32(frame + 4, load_le32(frame + 4) & 0x00ffffffu);
       refresh_frame_crc(m.bytes, off);
       break;
-    default:  // type past kSummary: unknown message
+    default:  // type past kMetrics: unknown message
       store_le32(frame + 4, (load_le32(frame + 4) & 0x00ffffffu) |
-                                ((6u + static_cast<std::uint32_t>(
+                                ((7u + static_cast<std::uint32_t>(
                                            rng.uniform_index(200)))
                                  << 24));
       refresh_frame_crc(m.bytes, off);
@@ -1108,7 +1159,7 @@ Mutation mutate_cluster_protocol(const ClusterCase& c, Rng& rng) {
       encode_control_progress(p, out);
     }
   };
-  const std::size_t variant = rng.uniform_index(11);
+  const std::size_t variant = rng.uniform_index(13);
   switch (variant) {
     case 0: {  // duplicate hello
       encode_control_hello(c.hello, out);
@@ -1186,7 +1237,7 @@ Mutation mutate_cluster_protocol(const ClusterCase& c, Rng& rng) {
       m.name = "protocol:empty-finals-frame";
       break;
     }
-    default: {  // non-finals frame claiming an item count
+    case 10: {  // non-finals frame claiming an item count
       encode_control_hello(c.hello, out);
       std::vector<unsigned char> framed;
       encode_control_progress(c.progress.front(), framed);
@@ -1197,6 +1248,38 @@ Mutation mutate_cluster_protocol(const ClusterCase& c, Rng& rng) {
       refresh_frame_crc(framed, 0);
       out.insert(out.end(), framed.begin(), framed.end());
       m.name = "protocol:count-on-progress";
+      break;
+    }
+    case 11: {  // metrics once the finals sequence has begun
+      encode_control_hello(c.hello, out);
+      encode_control_finals(c.finals.data(), 1, out);
+      ControlMetrics snapshot;
+      snapshot.trace_id = rng.next_u64();
+      obs::Sample sample;
+      sample.name = "repl_fuzz_series_0";
+      sample.type = obs::MetricType::kCounter;
+      sample.counter_value = 1;
+      snapshot.samples.push_back(std::move(sample));
+      encode_control_metrics(snapshot, out);
+      m.name = "protocol:metrics-after-finals";
+      break;
+    }
+    default: {  // metrics sample count disagrees with the body
+      encode_control_hello(c.hello, out);
+      ControlMetrics snapshot;
+      snapshot.trace_id = rng.next_u64();
+      obs::Sample sample;
+      sample.name = "repl_fuzz_series_0";
+      sample.type = obs::MetricType::kGauge;
+      sample.value = 1.0;
+      snapshot.samples.push_back(std::move(sample));
+      std::vector<unsigned char> framed;
+      encode_control_metrics(snapshot, framed);
+      const std::uint32_t aux = load_le32(framed.data() + 4);
+      store_le32(framed.data() + 4, aux + 1);  // count 1 -> 2, same body
+      refresh_frame_crc(framed, 0);
+      out.insert(out.end(), framed.begin(), framed.end());
+      m.name = "protocol:metrics-count-mismatch";
       break;
     }
   }

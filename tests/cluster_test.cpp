@@ -27,7 +27,10 @@
 #include "codec/crc32.hpp"
 #include "codec/endian.hpp"
 #include "engine/engine.hpp"
+#include "obs/federation.hpp"
+#include "obs/trace.hpp"
 #include "trace/event_log.hpp"
+#include "util/json.hpp"
 
 namespace repl {
 namespace {
@@ -413,6 +416,69 @@ std::vector<unsigned char> raw_control_frame(
   return frame;
 }
 
+TEST(ControlCodec, MetricsRoundTripAndObeyTheStateMachine) {
+  ControlMetrics snapshot;
+  snapshot.trace_id = 0x1111222233334444ULL;
+  snapshot.span_id = 0x5555666677778888ULL;
+  obs::Sample counter;
+  counter.name = "repl_events_ingested_total";
+  counter.help = "Events folded into per-object deques";
+  counter.type = obs::MetricType::kCounter;
+  counter.counter_value = 123456789;
+  counter.value = 123456789.0;
+  obs::Sample gauge;
+  gauge.name = "repl_net_events_queued";
+  gauge.type = obs::MetricType::kGauge;
+  gauge.value = 17.5;
+  gauge.labels = {{"listener", "unix"}};
+  snapshot.samples = {counter, gauge};
+
+  std::vector<unsigned char> bytes = control_prefix();
+  encode_control_metrics(snapshot, bytes);
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{7}, bytes.size()}) {
+    ClusterControlAssembler assembler("test");
+    const std::vector<ControlMessage> messages =
+        feed_all(bytes, chunk, assembler);
+    ASSERT_EQ(messages.size(), 2u) << "chunk " << chunk;
+    ASSERT_EQ(messages[1].type, ControlType::kMetrics);
+    EXPECT_EQ(messages[1].metrics.trace_id, snapshot.trace_id);
+    EXPECT_EQ(messages[1].metrics.span_id, snapshot.span_id);
+    ASSERT_EQ(messages[1].metrics.samples.size(), 2u);
+    EXPECT_EQ(messages[1].metrics.samples[0].name, counter.name);
+    EXPECT_EQ(messages[1].metrics.samples[0].counter_value,
+              counter.counter_value);
+    EXPECT_EQ(messages[1].metrics.samples[1].name, gauge.name);
+    EXPECT_EQ(messages[1].metrics.samples[1].value, gauge.value);
+    ASSERT_EQ(messages[1].metrics.samples[1].labels.size(), 1u);
+    EXPECT_EQ(messages[1].metrics.samples[1].labels[0].second, "unix");
+  }
+
+  // Metrics frames are rejected once the finals sequence has begun —
+  // the worker must settle its snapshot before draining.
+  const std::vector<EngineObjectFinal> finals = make_finals(1, 5);
+  std::vector<unsigned char> late = control_prefix();
+  encode_control_finals(finals.data(), 1, late);
+  encode_control_metrics(snapshot, late);
+  expect_control_rejects(late, "metrics after finals began");
+
+  // The frame's item count must equal the encoded sample count.
+  std::vector<unsigned char> body(16, 0);
+  obs::encode_samples(snapshot.samples, body);
+  std::vector<unsigned char> miscounted = control_prefix();
+  const std::vector<unsigned char> frame = raw_control_frame(
+      static_cast<std::uint32_t>(ControlType::kMetrics), 3, body);
+  miscounted.insert(miscounted.end(), frame.begin(), frame.end());
+  expect_control_rejects(miscounted, "truncated");
+
+  // A body shorter than the trace prefix can hold no samples at all.
+  std::vector<unsigned char> stub = control_prefix();
+  const std::vector<unsigned char> short_frame = raw_control_frame(
+      static_cast<std::uint32_t>(ControlType::kMetrics), 0,
+      std::vector<unsigned char>(8));
+  stub.insert(stub.end(), short_frame.begin(), short_frame.end());
+  expect_control_rejects(stub, "metrics body is 8 bytes");
+}
+
 TEST(ControlCodec, RejectsMalformedFrames) {
   const auto append = [](std::vector<unsigned char>& out,
                          const std::vector<unsigned char>& frame) {
@@ -443,10 +509,10 @@ TEST(ControlCodec, RejectsMalformedFrames) {
   }
   expect_control_rejects(huge, "implausible frame length");
 
-  // Unknown message type.
+  // Unknown message type (7 is the first past kMetrics).
   std::vector<unsigned char> unknown = control_prefix();
-  append(unknown, raw_control_frame(6, 0, std::vector<unsigned char>(8)));
-  expect_control_rejects(unknown, "unknown control message type 6");
+  append(unknown, raw_control_frame(7, 0, std::vector<unsigned char>(8)));
+  expect_control_rejects(unknown, "unknown control message type 7");
 
   // A finals frame with no records.
   std::vector<unsigned char> empty_finals = control_prefix();
@@ -734,6 +800,90 @@ TEST_F(ClusterTest, MultiPartitionServeIsBitIdenticalToSingleProcess) {
   }
 }
 
+TEST_F(ClusterTest, FederationAndTracingCoverTheWholeServe) {
+  // One cluster serve with tracing on: the coordinator's federated
+  // /metrics view must settle at the workers' true per-partition totals,
+  // /healthz must report every partition, and the merged Chrome trace
+  // must hold spans from the coordinator and both worker processes.
+  const std::vector<LogEvent> events = make_events(12000, 101);
+  const std::string log = write_log(events);
+  const std::string dir = run_dir("fed");
+  const std::string coord_part = dir + "/trace.coord.jsonl";
+
+  ClusterCoordinatorOptions options;
+  options.num_partitions = 2;
+  options.worker_binary = kClusterBin == nullptr ? "" : kClusterBin;
+  options.socket_dir = dir;
+  options.config = cluster_config();
+  options.base_seed = kSeed;
+  options.worker_shards = 8;
+  options.checkpoint_every = 1024;
+  options.batch_events = 512;
+  options.trace_dir = dir;
+
+  obs::Tracer::global().start(coord_part, "coordinator-test");
+  ClusterCoordinator coordinator(options);
+  const ClusterServeResult result = coordinator.serve_log(log);
+  obs::Tracer::global().stop();
+  expect_same(single_reference(log), result.metrics);
+
+  // Each worker's last metrics snapshot lands before its finals, so the
+  // federated ingest counters equal the per-partition event totals and
+  // sum to the whole log — the same number a single process would count.
+  std::uint64_t fed_sum = 0;
+  for (std::uint32_t p = 0; p < options.num_partitions; ++p) {
+    const std::uint64_t ingested =
+        coordinator.federated_counter(p, "repl_events_ingested_total");
+    EXPECT_EQ(ingested, result.summaries[p].events) << "partition " << p;
+    fed_sum += ingested;
+  }
+  EXPECT_EQ(fed_sum, events.size());
+
+  // The federated samples carry partition labels plus the derived
+  // cluster gauges.
+  bool saw_labeled = false;
+  bool saw_floor = false;
+  for (const obs::Sample& sample : coordinator.federated_samples()) {
+    if (sample.name == "repl_events_ingested_total") {
+      for (const auto& [key, value] : sample.labels) {
+        if (key == "partition") saw_labeled = true;
+      }
+    }
+    if (sample.name == "repl_cluster_slowest_partition_events") {
+      saw_floor = true;
+      EXPECT_GT(sample.value, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_labeled);
+  EXPECT_TRUE(saw_floor);
+
+  JsonWriter health;
+  health.begin_object();
+  coordinator.health_json(health);
+  health.end_object();
+  const std::string health_doc = health.str();
+  EXPECT_NE(health_doc.find("\"partitions\":["), std::string::npos);
+  EXPECT_NE(health_doc.find("\"state\":\"alive\""), std::string::npos);
+  EXPECT_NE(health_doc.find("\"events_routed\":"), std::string::npos);
+
+  // Merge the coordinator's part with every worker part: the timeline
+  // must parse and contain spans from all three processes.
+  std::vector<std::string> parts = coordinator.trace_parts();
+  EXPECT_EQ(parts.size(), 2u);  // one incarnation per partition
+  parts.push_back(coord_part);
+  const std::string merged_path = dir + "/trace.json";
+  const std::size_t merged = obs::merge_trace_parts(parts, merged_path);
+  EXPECT_GT(merged, 0u);
+  std::ifstream in(merged_path);
+  std::string trace_doc((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  EXPECT_NE(trace_doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace_doc.find("route.batch"), std::string::npos);
+  EXPECT_NE(trace_doc.find("engine.ingest"), std::string::npos);
+  EXPECT_NE(trace_doc.find("worker-p0"), std::string::npos);
+  EXPECT_NE(trace_doc.find("worker-p1"), std::string::npos);
+}
+
 TEST_F(ClusterTest, KillRespawnMatrixStaysBitIdentical) {
   // The satellite matrix: SIGKILL one worker at 1/4, 1/2, and 3/4 of its
   // slice, at 2 and 4 partitions, with periodic per-partition
@@ -754,12 +904,13 @@ TEST_F(ClusterTest, KillRespawnMatrixStaysBitIdentical) {
       plan.partition = victim;
       plan.at = std::max<std::uint64_t>(
           1, counts[victim] * static_cast<std::uint64_t>(quarter) / 4);
+      std::string dir_name = "k";
+      dir_name += std::to_string(partitions);
+      dir_name += 'q';
+      dir_name += std::to_string(quarter);
       const ClusterServeResult result = run_cluster(
-          log,
-          run_dir("k" + std::to_string(partitions) + "q" +
-                  std::to_string(quarter)),
-          partitions, /*checkpoint_every=*/1024, /*batch_events=*/512,
-          &plan);
+          log, run_dir(dir_name), partitions, /*checkpoint_every=*/1024,
+          /*batch_events=*/512, &plan);
       EXPECT_TRUE(plan.fired.load());
       EXPECT_GE(result.respawns, 1u);
       expect_same(want, result.metrics);

@@ -10,8 +10,12 @@
 #include <cctype>
 #include <cstdint>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <map>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,9 +27,12 @@
 #include "engine/event_source.hpp"
 #include "net/socket.hpp"
 #include "obs/exposition.hpp"
+#include "obs/federation.hpp"
 #include "obs/http_exporter.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stage_timer.hpp"
+#include "obs/trace.hpp"
 #include "predictor/last_gap.hpp"
 #include "util/histogram.hpp"
 
@@ -405,6 +412,22 @@ TEST(ObsHttpParseTest, ParsesVariants) {
   EXPECT_FALSE(obs::parse_http_request("GET /x FTP/9\r\n").valid);
 }
 
+TEST(ObsHttpParseTest, KeepAliveNegotiationFollowsHttpVersionRules) {
+  const auto wants = [](const std::string& raw) {
+    return obs::http_keepalive_requested(obs::parse_http_request(raw));
+  };
+  // HTTP/1.1: persistent unless the client opts out.
+  EXPECT_TRUE(wants("GET /metrics HTTP/1.1\r\n\r\n"));
+  EXPECT_FALSE(wants("GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n"));
+  EXPECT_FALSE(wants("GET /metrics HTTP/1.1\r\nConnection: CLOSE\r\n\r\n"));
+  // HTTP/1.0: persistent only on an explicit opt-in.
+  EXPECT_FALSE(wants("GET /metrics HTTP/1.0\r\n\r\n"));
+  EXPECT_TRUE(wants("GET /metrics HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"));
+  // Version-less and invalid request lines never keep the socket.
+  EXPECT_FALSE(wants("GET /metrics\r\n\r\n"));
+  EXPECT_FALSE(wants("garbage\r\n\r\n"));
+}
+
 TEST(ObsHttpTest, ContentNegotiationAndStatusBranches) {
   MetricsRegistry r;
   r.counter("neg_total", "").inc(9);
@@ -468,7 +491,9 @@ TEST(ObsHttpTest, ServesOverRealSockets) {
   ASSERT_GT(server.port(), 0);
 
   Socket sock = connect_tcp("127.0.0.1", server.port());
-  const std::string request = "GET /metrics HTTP/1.1\r\n\r\n";
+  // Opt out of keep-alive so the server closes and EOF ends the read.
+  const std::string request =
+      "GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n";
   sock.write_all(reinterpret_cast<const unsigned char*>(request.data()),
                  request.size());
   std::string response;
@@ -481,6 +506,382 @@ TEST(ObsHttpTest, ServesOverRealSockets) {
   EXPECT_NE(response.find("200 OK"), std::string::npos);
   EXPECT_NE(response.find("sock_total 3"), std::string::npos);
   server.stop();
+}
+
+/// Reads one full HTTP response (head + Content-Length body) off `sock`,
+/// carrying any read-ahead between calls in `buffer`. "" on EOF.
+std::string read_http_response(Socket& sock, std::string& buffer) {
+  unsigned char buf[1024];
+  for (;;) {
+    const std::size_t head = buffer.find("\r\n\r\n");
+    if (head != std::string::npos) {
+      const std::size_t cl = buffer.find("Content-Length: ");
+      EXPECT_NE(cl, std::string::npos) << buffer;
+      if (cl == std::string::npos) return "";
+      const std::size_t total =
+          head + 4 + static_cast<std::size_t>(std::stoul(buffer.substr(cl + 16)));
+      if (buffer.size() >= total) {
+        const std::string response = buffer.substr(0, total);
+        buffer.erase(0, total);
+        return response;
+      }
+    }
+    const std::size_t n = sock.read_some(buf, sizeof(buf));
+    if (n == 0) return "";
+    buffer.append(reinterpret_cast<const char*>(buf), n);
+  }
+}
+
+TEST(ObsHttpTest, KeepAliveReusesOneSocketUpToTheRequestBound) {
+  MetricsRegistry r;
+  r.counter("ka_total", "").inc(5);
+  obs::MetricsHttpOptions options;
+  options.max_requests_per_connection = 3;
+  obs::MetricsHttpServer server(r, options);
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  Socket sock = connect_tcp("127.0.0.1", server.port());
+  std::string buffer;
+  const std::string request = "GET /metrics HTTP/1.1\r\n\r\n";
+  const auto roundtrip = [&] {
+    sock.write_all(reinterpret_cast<const unsigned char*>(request.data()),
+                   request.size());
+    return read_http_response(sock, buffer);
+  };
+
+  // Requests 1 and 2 keep the socket; request 3 hits the bound.
+  for (int i = 0; i < 2; ++i) {
+    const std::string resp = roundtrip();
+    EXPECT_NE(resp.find("200 OK"), std::string::npos) << i;
+    EXPECT_NE(resp.find("Connection: keep-alive"), std::string::npos) << i;
+    EXPECT_NE(resp.find("ka_total 5"), std::string::npos) << i;
+  }
+  const std::string last = roundtrip();
+  EXPECT_NE(last.find("200 OK"), std::string::npos);
+  EXPECT_NE(last.find("Connection: close"), std::string::npos);
+  unsigned char byte = 0;
+  EXPECT_EQ(sock.read_some(&byte, 1), 0u);  // server closed at the bound
+
+  // An explicit Connection: close is honored on the first request.
+  Socket once = connect_tcp("127.0.0.1", server.port());
+  const std::string closing =
+      "GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n";
+  once.write_all(reinterpret_cast<const unsigned char*>(closing.data()),
+                 closing.size());
+  std::string once_buffer;
+  const std::string only = read_http_response(once, once_buffer);
+  EXPECT_NE(only.find("Connection: close"), std::string::npos);
+  EXPECT_EQ(once.read_some(&byte, 1), 0u);
+  server.stop();
+}
+
+TEST(ObsHttpTest, ExtraSamplesFederateIntoEveryExposition) {
+  MetricsRegistry r;
+  r.counter("zz_local_total", "coordinator-side series").inc(2);
+  obs::MetricsHttpServer server(r, {});
+  server.set_extra_samples([] {
+    Sample s;
+    s.name = "aa_remote_total";
+    s.help = "worker-side series";
+    s.type = obs::MetricType::kCounter;
+    s.labels = {{"partition", "3"}};
+    s.counter_value = 7;
+    s.value = 7.0;
+    return std::vector<Sample>{s};
+  });
+
+  const std::string text =
+      server.respond(obs::parse_http_request("GET /metrics HTTP/1.1\r\n\r\n"));
+  EXPECT_NE(text.find("aa_remote_total{partition=\"3\"} 7"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("zz_local_total 2"), std::string::npos);
+  // The merge is re-sorted: the injected series lands before the local one.
+  EXPECT_LT(text.find("aa_remote_total"), text.find("zz_local_total"));
+  const std::size_t body = text.find("\r\n\r\n");
+  ASSERT_NE(body, std::string::npos);
+  EXPECT_EQ(validate_prometheus(text.substr(body + 4)), "") << text;
+
+  const std::string json = server.respond(obs::parse_http_request(
+      "GET /metrics.json HTTP/1.1\r\n\r\n"));
+  EXPECT_NE(json.find("aa_remote_total"), std::string::npos);
+  EXPECT_NE(json.find("zz_local_total"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Federation: the metrics-message sample codec and the coordinator merge
+
+TEST(ObsFederationTest, SampleCodecRoundTripsEveryTypeAndStaysStrict) {
+  std::vector<Sample> in;
+  Sample c;
+  c.name = "repl_events_ingested_total";
+  c.help = "Events ingested";
+  c.type = obs::MetricType::kCounter;
+  c.counter_value = 123456789;
+  c.value = 123456789.0;
+  in.push_back(c);
+  Sample g;
+  g.name = "repl_net_events_queued";
+  g.type = obs::MetricType::kGauge;
+  g.labels = {{"listener", "unix"}};
+  g.value = -3.25;
+  in.push_back(g);
+  Sample h;
+  h.name = "repl_batch_seconds";
+  h.help = "Batch latency";
+  h.type = obs::MetricType::kHistogram;
+  h.bounds = {0.5, 1.5, 4.5};
+  h.cumulative = {2, 5, 7, 9};
+  h.count = 9;
+  h.sum = 13.75;
+  in.push_back(h);
+
+  std::vector<unsigned char> bytes;
+  obs::encode_samples(in, bytes);
+  const std::vector<Sample> out =
+      obs::decode_samples(bytes.data(), bytes.size(), in.size(), "test");
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].name, c.name);
+  EXPECT_EQ(out[0].help, c.help);
+  EXPECT_EQ(out[0].type, obs::MetricType::kCounter);
+  EXPECT_EQ(out[0].counter_value, 123456789u);
+  EXPECT_EQ(out[1].type, obs::MetricType::kGauge);
+  ASSERT_EQ(out[1].labels.size(), 1u);
+  EXPECT_EQ(out[1].labels[0].first, "listener");
+  EXPECT_EQ(out[1].labels[0].second, "unix");
+  EXPECT_EQ(out[1].value, -3.25);
+  EXPECT_EQ(out[2].type, obs::MetricType::kHistogram);
+  EXPECT_EQ(out[2].bounds, h.bounds);
+  EXPECT_EQ(out[2].cumulative, h.cumulative);
+  EXPECT_EQ(out[2].count, 9u);  // derived from the +Inf bucket
+  EXPECT_EQ(out[2].sum, 13.75);
+
+  // The decoder is exact-byte and exact-count: anything else throws.
+  std::vector<unsigned char> tampered = bytes;
+  tampered.push_back(0);  // trailing byte
+  EXPECT_THROW(
+      obs::decode_samples(tampered.data(), tampered.size(), 3, "test"),
+      std::runtime_error);
+  EXPECT_THROW(obs::decode_samples(bytes.data(), bytes.size(), 2, "test"),
+               std::runtime_error);  // bytes left over after last sample
+  EXPECT_THROW(obs::decode_samples(bytes.data(), bytes.size() - 1, 3, "test"),
+               std::runtime_error);  // truncated
+  tampered = bytes;
+  tampered[0] = 9;  // unknown sample type tag
+  EXPECT_THROW(
+      obs::decode_samples(tampered.data(), tampered.size(), 3, "test"),
+      std::runtime_error);
+}
+
+TEST(ObsFederationTest, FederationLabelsPartitionsAndStaysMonotone) {
+  obs::FederatedMetrics fed;
+  Sample c;
+  c.name = "repl_events_ingested_total";
+  c.type = obs::MetricType::kCounter;
+  c.counter_value = 100;
+  c.value = 100.0;
+  fed.update(0, {c});
+  Sample c1 = c;
+  c1.counter_value = 150;
+  fed.update(1, {c1});
+
+  // The same series from two partitions federates into two labeled
+  // samples, not one clobbered slot.
+  std::size_t labeled = 0;
+  for (const Sample& s : fed.collect()) {
+    if (s.name != "repl_events_ingested_total") continue;
+    ++labeled;
+    ASSERT_EQ(s.labels.size(), 1u);
+    EXPECT_EQ(s.labels[0].first, "partition");
+    const std::uint64_t want = s.labels[0].second == "0" ? 100u : 150u;
+    EXPECT_EQ(s.counter_value, want);
+  }
+  EXPECT_EQ(labeled, 2u);
+  EXPECT_EQ(fed.counter_value(0, "repl_events_ingested_total"), 100u);
+  EXPECT_EQ(fed.counter_value(1, "repl_events_ingested_total"), 150u);
+  EXPECT_EQ(fed.counter_value(2, "repl_events_ingested_total"), 0u);
+  ASSERT_EQ(fed.partitions().size(), 2u);
+
+  // A respawned worker re-seeds its counters below the pre-kill value;
+  // the federated view must not go backwards, then tracks the catch-up.
+  Sample low = c;
+  low.counter_value = 40;
+  fed.update(0, {low});
+  EXPECT_EQ(fed.counter_value(0, "repl_events_ingested_total"), 100u);
+  Sample high = c;
+  high.counter_value = 170;
+  fed.update(0, {high});
+  EXPECT_EQ(fed.counter_value(0, "repl_events_ingested_total"), 170u);
+
+  // A snapshot that omits a series retains the last value (respawned
+  // workers re-register series lazily).
+  Sample other;
+  other.name = "repl_checkpoints_total";
+  other.type = obs::MetricType::kCounter;
+  other.counter_value = 4;
+  other.value = 4.0;
+  fed.update(0, {other});
+  EXPECT_EQ(fed.counter_value(0, "repl_events_ingested_total"), 170u);
+  EXPECT_EQ(fed.counter_value(0, "repl_checkpoints_total"), 4u);
+}
+
+TEST(ObsFederationTest, FederatedExpositionEscapesLabelsAndValidates) {
+  obs::FederatedMetrics fed;
+  Sample s;
+  s.name = "repl_label_escape";
+  s.type = obs::MetricType::kGauge;
+  s.labels = {{"path", "a\"b\\c\nd"}};
+  s.value = 1.0;
+  fed.update(7, {s});
+
+  const std::string text = obs::prometheus_text(fed.collect());
+  EXPECT_EQ(validate_prometheus(text), "") << text;
+  EXPECT_NE(text.find("partition=\"7\""), std::string::npos) << text;
+  EXPECT_NE(text.find("a\\\"b\\\\c\\nd"), std::string::npos) << text;
+}
+
+// ---------------------------------------------------------------------
+// Structured logging
+
+TEST(ObsLogTest, SpecGatesComponentsAndMacrosSkipDisabledWork) {
+  obs::Logger& log = obs::Logger::global();
+  log.reset();
+  std::vector<std::string> lines;
+  log.set_sink([&lines](const std::string& line) { lines.push_back(line); });
+  log.configure("warn,net=debug");
+  EXPECT_FALSE(log.enabled(obs::LogLevel::kInfo, "engine"));
+  EXPECT_TRUE(log.enabled(obs::LogLevel::kWarn, "engine"));
+  EXPECT_TRUE(log.enabled(obs::LogLevel::kDebug, "net"));
+  EXPECT_FALSE(log.enabled(obs::LogLevel::kTrace, "net"));
+
+  // A disabled line must not evaluate its stream expression.
+  int evaluated = 0;
+  const auto observe = [&evaluated] {
+    ++evaluated;
+    return "seen";
+  };
+  REPL_LOG_INFO("engine", "skipped " << observe());
+  REPL_LOG_WARN("engine", "kept " << observe());
+  EXPECT_EQ(evaluated, 1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("WARN"), std::string::npos) << lines[0];
+  EXPECT_NE(lines[0].find("engine kept seen"), std::string::npos) << lines[0];
+
+  // Malformed specs throw without half-applying.
+  EXPECT_THROW(log.configure("info,info"), std::invalid_argument);
+  EXPECT_THROW(log.configure("=debug"), std::invalid_argument);
+  EXPECT_THROW(log.configure("net=loud"), std::invalid_argument);
+  EXPECT_THROW(obs::parse_log_level("loud"), std::invalid_argument);
+  EXPECT_EQ(obs::parse_log_level("WARNING"), obs::LogLevel::kWarn);
+  EXPECT_EQ(std::string(obs::log_level_name(obs::LogLevel::kWarn)), "warn");
+  log.reset();
+}
+
+TEST(ObsLogTest, JsonModeEmitsOneEscapedObjectPerLine) {
+  obs::Logger& log = obs::Logger::global();
+  log.reset();
+  std::vector<std::string> lines;
+  log.set_sink([&lines](const std::string& line) { lines.push_back(line); });
+  log.set_json(true);
+  EXPECT_TRUE(log.json());
+
+  log.log(obs::LogLevel::kError, "net",
+          std::string("quote \" slash \\ nl \n tab \t ctl \x01"),
+          {{"peer", "10.0.0.1:99"}});
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& line = lines[0];
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '}');
+  EXPECT_NE(line.find("\"level\":\"error\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"component\":\"net\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\\\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\\\\"), std::string::npos) << line;
+  EXPECT_NE(line.find("\\n"), std::string::npos) << line;
+  EXPECT_NE(line.find("\\t"), std::string::npos) << line;
+  EXPECT_NE(line.find("\\u0001"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"peer\":\"10.0.0.1:99\""), std::string::npos) << line;
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // one line, escaped newline
+  log.reset();
+}
+
+// ---------------------------------------------------------------------
+// Tracing: spans, part files, and the Chrome-trace merge
+
+TEST(ObsTraceTest, SpansFlushToPartsAndMergeSkipsMissingOnes) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "repl_obs_trace_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string part_a = (dir / "a.jsonl").string();
+  const std::string part_b = (dir / "b.jsonl").string();
+
+  obs::Tracer& tracer = obs::Tracer::global();
+  ASSERT_FALSE(tracer.enabled());
+  {
+    // Disabled tracer: spans are no-ops with no context.
+    obs::Span noop("disabled.span");
+    noop.set_arg("events", 1);
+    EXPECT_FALSE(noop.context().valid());
+  }
+
+  tracer.start(part_a, "proc-a");
+  EXPECT_TRUE(tracer.enabled());
+  obs::TraceContext root_ctx;
+  {
+    obs::Span root("test.root");
+    root.set_arg("events", 42);
+    root_ctx = root.context();
+    EXPECT_TRUE(root_ctx.valid());
+    obs::Span child("test.child", root_ctx);
+    EXPECT_EQ(child.context().trace_id, root_ctx.trace_id);
+    EXPECT_NE(child.context().span_id, root_ctx.span_id);
+  }
+  EXPECT_NE(tracer.next_id(), 0u);
+  tracer.stop();
+  EXPECT_FALSE(tracer.enabled());
+  tracer.stop();  // idempotent
+
+  // The part file is one complete JSON object per line: the process
+  // metadata plus both spans.
+  std::ifstream part(part_a);
+  ASSERT_TRUE(part.good());
+  std::size_t json_lines = 0;
+  bool saw_root = false;
+  bool saw_meta = false;
+  std::string line;
+  while (std::getline(part, line)) {
+    if (line.empty()) continue;
+    ++json_lines;
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    if (line.find("test.root") != std::string::npos) saw_root = true;
+    if (line.find("proc-a") != std::string::npos) saw_meta = true;
+  }
+  EXPECT_GE(json_lines, 3u);
+  EXPECT_TRUE(saw_root);
+  EXPECT_TRUE(saw_meta);
+
+  // A second incarnation writes its own part.
+  tracer.start(part_b, "proc-b");
+  { obs::Span other("test.other"); }
+  tracer.stop();
+
+  // Merge stitches both parts and skips the part that never flushed.
+  const std::string merged = (dir / "trace.json").string();
+  const std::size_t events = obs::merge_trace_parts(
+      {part_a, part_b, (dir / "missing.jsonl").string()}, merged);
+  EXPECT_GE(events, 4u);
+  std::ifstream mf(merged);
+  const std::string doc((std::istreambuf_iterator<char>(mf)),
+                        std::istreambuf_iterator<char>());
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("test.root"), std::string::npos);
+  EXPECT_NE(doc.find("test.child"), std::string::npos);
+  EXPECT_NE(doc.find("test.other"), std::string::npos);
+  EXPECT_NE(doc.find("proc-a"), std::string::npos);
+  EXPECT_NE(doc.find("proc-b"), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+  fs::remove_all(dir);
 }
 
 // ---------------------------------------------------------------------
